@@ -1,0 +1,119 @@
+//===- analysis_throughput.cpp - Vectorizer compile-time --------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Micro-benchmarks of the analysis stages themselves (the cost of running
+/// the tool, not the generated code): lexing+parsing, dependence-graph
+/// construction and full vectorization, over the paper corpus and over a
+/// synthetically enlarged program. Validates the paper's implicit claim
+/// that the dimension abstraction is cheap enough for source-to-source
+/// use.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "Corpus.h"
+
+#include "deps/DepAnalysis.h"
+#include "deps/LoopNest.h"
+#include "shape/AnnotationParser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mvecbench;
+
+namespace {
+
+/// A synthetic program with \p NumLoops independent vectorizable nests.
+std::string syntheticProgram(int NumLoops) {
+  std::string Source = "n = 16;\nx = rand(1,n); y = rand(1,n);\n"
+                       "%! x(1,*) y(1,*)\n";
+  for (int I = 0; I != NumLoops; ++I) {
+    std::string Z = "z" + std::to_string(I);
+    Source += "%! " + Z + "(1,*)\n";
+    Source += Z + " = zeros(1,n);\n";
+    Source += "for i=1:n\n  " + Z + "(i) = " + std::to_string(I + 1) +
+              "*x(i)+y(i);\nend\n";
+  }
+  return Source;
+}
+
+void BM_ParseCorpus(benchmark::State &State) {
+  auto Corpus = paperCorpus();
+  for (auto _ : State) {
+    for (const CorpusProgram &P : Corpus) {
+      DiagnosticEngine Diags;
+      ParseResult R = parseMatlab(P.Source, Diags);
+      benchmark::DoNotOptimize(R.Prog.Stmts.size());
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Corpus.size());
+}
+
+void BM_DependenceAnalysis(benchmark::State &State) {
+  // Fig. 4's two-statement nest: the densest dependence problem in the
+  // corpus.
+  auto Corpus = paperCorpus();
+  const CorpusProgram *Fig4 = nullptr;
+  for (const CorpusProgram &P : Corpus)
+    if (P.Name == "fig4-compound")
+      Fig4 = &P;
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab(Fig4->Source, Diags);
+  ShapeEnv Env = parseShapeAnnotations(R.Annotations, Diags);
+  ForStmt *Root = nullptr;
+  for (StmtPtr &S : R.Prog.Stmts)
+    if (auto *For = dyn_cast<ForStmt>(S.get()))
+      Root = For;
+  for (auto _ : State) {
+    std::string Reason;
+    auto Nest = buildLoopNest(*Root, Reason);
+    DepGraph G = buildDepGraph(*Nest, Env);
+    benchmark::DoNotOptimize(G.Edges.size());
+  }
+}
+
+void BM_FullVectorization(benchmark::State &State) {
+  auto Corpus = paperCorpus();
+  for (auto _ : State) {
+    for (const CorpusProgram &P : Corpus) {
+      PipelineResult R = vectorizeSource(P.Source);
+      benchmark::DoNotOptimize(R.VectorizedSource.size());
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Corpus.size());
+}
+
+void BM_VectorizeSynthetic(benchmark::State &State) {
+  std::string Source = syntheticProgram(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    PipelineResult R = vectorizeSource(Source);
+    benchmark::DoNotOptimize(R.Stats.StmtsVectorized);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+
+BENCHMARK(BM_ParseCorpus)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DependenceAnalysis)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FullVectorization)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VectorizeSynthetic)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("\n=== Analysis throughput (tool compile time; not a paper "
+              "table — supports Sec. 4's feasibility claim) ===\n");
+  auto Corpus = paperCorpus();
+  double Secs = timeSeconds([&Corpus] {
+    for (const CorpusProgram &P : Corpus)
+      vectorizeSource(P.Source);
+  });
+  std::printf("full pipeline over %zu corpus programs: %.2f ms\n",
+              Corpus.size(), Secs * 1e3);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,124 @@
+//===- fig3_histeq.cpp - Paper Fig. 3: histogram equalization ---------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's Sec. 5 histogram-equalization experiment
+/// (Fig. 3): an 800x600 8-bit image is equalized through a 256-entry
+/// lookup table. The paper reports, on MATLAB 7.2 / 3.0 GHz Pentium D:
+///   whole program:  0.178 s -> 0.114 s  (speedup ~1.56)
+///   loop part only: 0.0814 s -> 0.0176 s (speedup ~4.6)
+/// We measure the same two rows on the simulated MATLAB environment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mvecbench;
+
+namespace {
+
+std::string imageSetup(int Rows, int Cols) {
+  // A deterministic 8-bit test image with a non-uniform histogram.
+  return "im = mod(floor(reshape(0:" + std::to_string(Rows * Cols - 1) +
+         ", " + std::to_string(Rows) + ", " + std::to_string(Cols) +
+         ").^1.5/97), 256);\n";
+}
+
+Workload wholeProgram(int Rows, int Cols) {
+  Workload W;
+  W.Name = "fig3/whole-program";
+  W.Setup = "%! im(*,*) im2(*,*) heq(1,*) h(1,*)\n" + imageSetup(Rows, Cols);
+  W.Kernel = "h = hist(im(:),[0:255]);\n"
+             "heq = 255*cumsum(h(:))/sum(h(:));\n"
+             "for i=1:size(im,1)\n"
+             " for j=1:size(im,2)\n"
+             "  im2(i,j) = heq(im(i,j)+1);\n"
+             " end\n"
+             "end\n";
+  return W;
+}
+
+Workload loopOnly(int Rows, int Cols) {
+  Workload W;
+  W.Name = "fig3/loop-only";
+  W.Setup = "%! im(*,*) im2(*,*) heq(1,*) h(1,*)\n" + imageSetup(Rows, Cols) +
+            "h = hist(im(:),[0:255]);\n"
+            "heq = 255*cumsum(h(:))/sum(h(:));\n";
+  W.Kernel = "for i=1:size(im,1)\n"
+             " for j=1:size(im,2)\n"
+             "  im2(i,j) = heq(im(i,j)+1);\n"
+             " end\n"
+             "end\n";
+  return W;
+}
+
+const PreparedWorkload &preparedLoopOnly(int Rows, int Cols) {
+  static std::map<std::pair<int, int>, std::unique_ptr<PreparedWorkload>>
+      Cache;
+  auto &Slot = Cache[{Rows, Cols}];
+  if (!Slot)
+    Slot = std::make_unique<PreparedWorkload>(loopOnly(Rows, Cols));
+  return *Slot;
+}
+
+void BM_HisteqLoop(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  const PreparedWorkload &P = preparedLoopOnly(N, N);
+  Interpreter Workspace = P.makeSetupWorkspace();
+  for (auto _ : State)
+    P.runOriginalKernel(Workspace);
+  State.SetItemsProcessed(State.iterations() * N * N);
+}
+
+void BM_HisteqVectorized(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  const PreparedWorkload &P = preparedLoopOnly(N, N);
+  Interpreter Workspace = P.makeSetupWorkspace();
+  for (auto _ : State)
+    P.runVectorizedKernel(Workspace);
+  State.SetItemsProcessed(State.iterations() * N * N);
+}
+
+BENCHMARK(BM_HisteqLoop)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_HisteqVectorized)->Arg(64)->Arg(128)->Arg(256);
+
+void printPaperSection() {
+  printPaperHeader("Paper Fig. 3 / Sec. 5: histogram equalization, "
+                   "800x600 8-bit image");
+
+  PreparedWorkload Whole(wholeProgram(800, 600));
+  Interpreter WholeWs = Whole.makeSetupWorkspace();
+  double WholeIn =
+      timeSeconds([&] { Whole.runOriginalKernel(WholeWs); }, 2);
+  double WholeVect =
+      timeSeconds([&] { Whole.runVectorizedKernel(WholeWs); }, 2);
+  printPaperRow("whole program", WholeIn, WholeVect, "0.178s", "0.114s",
+                "~1.56x");
+
+  const PreparedWorkload &Loop = preparedLoopOnly(800, 600);
+  Interpreter LoopWs = Loop.makeSetupWorkspace();
+  double LoopIn = timeSeconds([&] { Loop.runOriginalKernel(LoopWs); }, 2);
+  double LoopVect =
+      timeSeconds([&] { Loop.runVectorizedKernel(LoopWs); }, 2);
+  printPaperRow("loop portion only", LoopIn, LoopVect, "0.0814s", "0.0176s",
+                "~4.6x");
+
+  std::printf("\nvectorized loop portion:\n%s\n",
+              Loop.VectorizedSource
+                  .substr(Loop.VectorizedSource.rfind("im2("))
+                  .c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printPaperSection();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- fig4_compound.cpp - Paper Fig. 4: the compound example ---------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's Fig. 4 experiment: a doubly nested loop with
+/// diagonal accesses, a row-by-column dot product, a genuine matrix
+/// product against an index vector, a transposed read and a broadcast. The
+/// paper reports ~25 s for the loops vs ~0.5 s vectorized (speedup ~50) at
+/// the stated 1500x1501 sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+using namespace mvecbench;
+
+namespace {
+
+/// The Fig. 4 program at scale factor \p Half (the paper uses Half = 750:
+/// loops i=2:2:1500 and j=3:2:1501 with ind = 1:750).
+Workload fig4(int Half) {
+  int N = 2 * Half;      // 1500
+  int M = 2 * Half + 1;  // 1501
+  Workload W;
+  W.Name = "fig4/half=" + std::to_string(Half);
+  W.Setup = "%! A(*,*) B(*,*) C(*,*) D(*,*) a(1,*) ind(1,*)\n"
+            "A = rand(" + std::to_string(N) + "," + std::to_string(M) + ");\n"
+            "B = rand(" + std::to_string(N) + "," + std::to_string(M) + ");\n"
+            "C = rand(" + std::to_string(N) + "," + std::to_string(M) + ");\n"
+            "D = rand(" + std::to_string(M) + "," + std::to_string(M) + ");\n"
+            "a = rand(1," + std::to_string(2 * N) + ");\n"
+            "ind = 1:" + std::to_string(Half) + ";\n";
+  W.Kernel = "for i=2:2:" + std::to_string(N) + "\n"
+             " B(i,1) = D(i,i)*A(i,i)+C(i,:)*D(:,i);\n"
+             " for j=3:2:" + std::to_string(M) + "\n"
+             "  A(i,j) = B(i,ind)*C(ind,j)+D(j,i)'-a(2*i-1);\n"
+             " end\n"
+             "end\n";
+  return W;
+}
+
+const PreparedWorkload &prepared(int Half) {
+  static std::map<int, std::unique_ptr<PreparedWorkload>> Cache;
+  auto &Slot = Cache[Half];
+  if (!Slot)
+    Slot = std::make_unique<PreparedWorkload>(fig4(Half));
+  return *Slot;
+}
+
+void BM_Fig4Loop(benchmark::State &State) {
+  const PreparedWorkload &P = prepared(static_cast<int>(State.range(0)));
+  Interpreter Workspace = P.makeSetupWorkspace();
+  for (auto _ : State)
+    P.runOriginalKernel(Workspace);
+}
+
+void BM_Fig4Vectorized(benchmark::State &State) {
+  const PreparedWorkload &P = prepared(static_cast<int>(State.range(0)));
+  Interpreter Workspace = P.makeSetupWorkspace();
+  for (auto _ : State)
+    P.runVectorizedKernel(Workspace);
+}
+
+BENCHMARK(BM_Fig4Loop)->Arg(25)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig4Vectorized)->Arg(25)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void printPaperSection() {
+  printPaperHeader("Paper Fig. 4: compound example, 1500x1501 matrices");
+  const PreparedWorkload &P = prepared(750);
+  Interpreter Workspace = P.makeSetupWorkspace();
+  double In = timeSeconds([&] { P.runOriginalKernel(Workspace); }, 1);
+  double Vect = timeSeconds([&] { P.runVectorizedKernel(Workspace); }, 1);
+  printPaperRow("Fig. 4 loops (i=2:2:1500)", In, Vect, "~25s", "~0.5s",
+                "~50x");
+  std::printf("\nvectorized form:\n%s\n",
+              P.VectorizedSource
+                  .substr(P.VectorizedSource.find("B(2*(1:750)"))
+                  .c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printPaperSection();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- custom_pattern.cpp - Extending the pattern database ------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the extensible loop pattern database (paper Sec. 3 and
+/// Fig. 2): a permutation-gather loop that the built-in patterns cannot
+/// vectorize becomes vectorizable once the user's "general gather" pattern
+/// is added. The pattern is loaded twice, to show both mechanisms:
+///
+///   1. through the dlopen plugin protocol (the paper's DLL design),
+///      loading ./libgather_pattern_plugin.so built from
+///      gather_pattern_plugin.cpp;
+///   2. registered directly through the PatternDatabase API.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "patterns/PluginAPI.h"
+
+#include <cstdio>
+
+// Entry point exported by the plugin library (also linked directly, to
+// demonstrate plain API registration).
+extern "C" void mvecRegisterPatterns(mvec::PatternDatabase *DB);
+
+using namespace mvec;
+
+namespace {
+
+const char *const Source =
+    "n = 8;\n"
+    "A = rand(n,n);\n"
+    "p = zeros(1,n);\n"
+    "for i=1:n\n  p(i) = n+1-i;\nend\n" // a permutation (reversal)
+    "a = zeros(1,n);\n"
+    "%! A(*,*) p(1,*) a(1,*) n(1)\n"
+    "for i=1:n\n"
+    "  a(i) = A(i,p(i));\n" // gather along a permuted column per row
+    "end\n";
+
+int runWith(const PatternDatabase &DB, const char *Label) {
+  VectorizerOptions Opts;
+  PipelineResult Result = vectorizeSource(Source, Opts, &DB);
+  if (!Result.succeeded()) {
+    std::fprintf(stderr, "%s: pipeline failed:\n%s", Label,
+                 Result.Diags.str().c_str());
+    return 1;
+  }
+  bool GatherVectorized =
+      Result.VectorizedSource.find("a(1:n)=") != std::string::npos;
+  std::printf("[%s] gather loop vectorized: %s\n", Label,
+              GatherVectorized ? "yes" : "no");
+  if (GatherVectorized) {
+    std::string Diff = diffRun(Source, Result.VectorizedSource);
+    if (!Diff.empty()) {
+      std::fprintf(stderr, "  semantic divergence: %s\n", Diff.c_str());
+      return 1;
+    }
+    std::printf("  -> %s  (validated against the loop version)\n",
+                Result.VectorizedSource
+                    .substr(Result.VectorizedSource.find("a(1:n)="))
+                    .substr(0, 60)
+                    .c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main() {
+  // Built-ins alone: the diagonal pattern declines A(i,p(i)) (the second
+  // subscript is not affine), so the loop stays.
+  PatternDatabase Builtin = makeDefaultPatternDatabase();
+  if (runWith(Builtin, "built-in patterns"))
+    return 1;
+
+  // Mechanism 1: the paper's DLL design — dlopen the plugin.
+#ifdef GATHER_PLUGIN_PATH
+  {
+    PatternDatabase DB = makeDefaultPatternDatabase();
+    std::string Error;
+    if (!loadPatternPlugin(GATHER_PLUGIN_PATH, DB, Error)) {
+      std::fprintf(stderr, "plugin load failed: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("loaded plugin: %s (now %zu access patterns)\n",
+                GATHER_PLUGIN_PATH, DB.numAccessPatterns());
+    if (runWith(DB, "dlopen plugin"))
+      return 1;
+  }
+#endif
+
+  // Mechanism 2: direct registration through the library API.
+  {
+    PatternDatabase DB = makeDefaultPatternDatabase();
+    mvecRegisterPatterns(&DB); // linked against the same plugin code
+    if (runWith(DB, "API registration"))
+      return 1;
+  }
+  return 0;
+}

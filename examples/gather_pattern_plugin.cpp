@@ -1,0 +1,65 @@
+//===- gather_pattern_plugin.cpp - A user-defined pattern plugin ------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dynamically loadable pattern plugin in the style of the paper's
+/// Fig. 2. It extends the vectorizer with a "general gather" matrix-access
+/// pattern: any access A(e1, e2) whose two subscripts vary with the same
+/// loop (vectorized dimensionality (r1, r1)) is rewritten into the
+/// column-major linear access
+///
+///     A(e1 + size(A,1)*(e2 - 1))
+///
+/// The built-in diagonal pattern only accepts affine subscripts c*i+d;
+/// this plugin generalizes it to arbitrary row-shaped subscripts such as
+/// permutation lookups A(i, p(i)).
+///
+/// Built as a shared library; the vectorizer loads it at runtime via
+/// loadPatternPlugin() — no rebuild of the tool required.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Simplify.h"
+#include "patterns/PluginAPI.h"
+
+using namespace mvec;
+
+namespace {
+
+ExprPtr gatherTransform(const IndexExpr &Access, const PatternContext &) {
+  if (Access.numArgs() != 2)
+    return nullptr;
+  // Decline ':' subscripts; everything else is taken as-is. Both
+  // subscripts substitute to equally shaped row vectors because their
+  // vectorized dimensionality was (1, r1) each.
+  if (isa<MagicColonExpr>(Access.arg(0)) ||
+      isa<MagicColonExpr>(Access.arg(1)))
+    return nullptr;
+
+  std::vector<ExprPtr> SizeArgs;
+  SizeArgs.push_back(Access.base()->clone());
+  SizeArgs.push_back(makeNumber(1));
+  ExprPtr Rows = makeCall("size", std::move(SizeArgs));
+
+  ExprPtr ColTerm = simplifyExpr(
+      makeBinary(BinaryOp::Sub, Access.arg(1)->clone(), makeNumber(1)));
+  ExprPtr Linear =
+      makeBinary(BinaryOp::Add, Access.arg(0)->clone(),
+                 makeBinary(BinaryOp::DotMul, std::move(Rows),
+                            std::move(ColTerm)));
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(Linear));
+  return std::make_unique<IndexExpr>(Access.base()->clone(), std::move(Args),
+                                     Access.loc());
+}
+
+} // namespace
+
+extern "C" void mvecRegisterPatterns(PatternDatabase *DB) {
+  DB->addAccessPattern(AccessPattern{
+      "general-gather", PatternShape{PatternDim::var(1), PatternDim::var(1)},
+      PatternShape{PatternDim::one(), PatternDim::var(1)}, gatherTransform});
+}

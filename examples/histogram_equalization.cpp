@@ -1,0 +1,108 @@
+//===- histogram_equalization.cpp - Paper Fig. 3 end to end -----------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating image-processing workload (Fig. 3): equalize the
+/// histogram of an 8-bit image through a 256-entry lookup table. This
+/// example runs the loop-based and the automatically vectorized versions
+/// on a synthetic image, times both, and renders a small ASCII view of the
+/// image before and after equalization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace mvec;
+
+namespace {
+
+/// Renders a tiny ASCII visualization of a matrix of 0..255 intensities.
+void renderAscii(const Value &Image, const char *Title) {
+  static const char Ramp[] = " .:-=+*#%@";
+  std::printf("%s (%zux%zu, showing 16x32 corner)\n", Title, Image.rows(),
+              Image.cols());
+  for (size_t R = 0; R < Image.rows() && R < 16; ++R) {
+    for (size_t C = 0; C < Image.cols() && C < 32; ++C) {
+      int Level = static_cast<int>(Image.at(R, C) / 256.0 * 9.999);
+      std::putchar(Ramp[Level < 0 ? 0 : Level > 9 ? 9 : Level]);
+    }
+    std::putchar('\n');
+  }
+}
+
+double runTimed(const Program &P, Interpreter &I) {
+  auto Start = std::chrono::steady_clock::now();
+  if (!I.run(P)) {
+    std::fprintf(stderr, "execution failed: %s\n", I.errorMessage().c_str());
+    std::exit(1);
+  }
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+} // namespace
+
+int main() {
+  // A 200x320 test image with a badly skewed (dark) histogram.
+  const std::string Setup =
+      "rows = 200; cols = 320;\n"
+      "im = mod(floor(reshape(0:rows*cols-1, rows, cols)/17), 64);\n";
+  const std::string LoopCode =
+      "%! im(*,*) im2(*,*) heq(1,*) h(1,*)\n"
+      "h = hist(im(:),[0:255]);\n"
+      "heq = 255*cumsum(h(:))/sum(h(:));\n"
+      "for i=1:size(im,1)\n"
+      " for j=1:size(im,2)\n"
+      "  im2(i,j) = heq(im(i,j)+1);\n"
+      " end\n"
+      "end\n";
+
+  // 1. Vectorize the loop-based program.
+  PipelineResult Result = vectorizeSource(Setup + LoopCode);
+  if (!Result.succeeded()) {
+    std::fprintf(stderr, "vectorization failed:\n%s",
+                 Result.Diags.str().c_str());
+    return 1;
+  }
+  std::printf("--- automatically vectorized program ---\n%s\n",
+              Result.VectorizedSource.c_str());
+
+  // 2. Execute both versions and time them.
+  DiagnosticEngine Diags;
+  ParseResult Original = parseMatlab(Setup + LoopCode, Diags);
+  ParseResult Vectorized = parseMatlab(Result.VectorizedSource, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  Interpreter LoopI, VectI;
+  double LoopSecs = runTimed(Original.Prog, LoopI);
+  double VectSecs = runTimed(Vectorized.Prog, VectI);
+
+  std::printf("loop version:       %8.4f s\n", LoopSecs);
+  std::printf("vectorized version: %8.4f s   (speedup %.1fx)\n", VectSecs,
+              LoopSecs / VectSecs);
+
+  // 3. Outputs must agree exactly.
+  const Value *A = LoopI.getVariable("im2");
+  const Value *B = VectI.getVariable("im2");
+  if (!A || !B || !A->equals(*B, 1e-12)) {
+    std::fprintf(stderr, "outputs differ!\n");
+    return 1;
+  }
+  std::printf("outputs identical.\n\n");
+
+  renderAscii(*LoopI.getVariable("im"), "input image");
+  std::printf("\n");
+  renderAscii(*B, "equalized image");
+  return 0;
+}

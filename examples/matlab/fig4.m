@@ -1,0 +1,12 @@
+% Paper Fig. 4: the compound example (diagonal accesses, dot product,
+% matrix product, transposed read, broadcast), scaled to 1/10 size.
+A = rand(150,151); B = rand(150,151); C = rand(150,151); D = rand(151,151);
+a = rand(1,300);
+%! A(*,*) B(*,*) C(*,*) D(*,*) a(1,*) ind(1,*)
+ind = 1:75;
+for i=2:2:150
+ B(i,1) = D(i,i)*A(i,i)+C(i,:)*D(:,i);
+ for j=3:2:151
+  A(i,j) = B(i,ind)*C(ind,j)+D(j,i)'-a(2*i-1);
+ end
+end

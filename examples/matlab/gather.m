@@ -1,0 +1,13 @@
+% Permutation gather: vectorizable only with the general-gather plugin.
+% Run: mvec_tool --validate --plugin build/examples/libgather_pattern_plugin.so examples/matlab/gather.m
+n = 12;
+A = rand(n,n);
+p = zeros(1,n);
+for i=1:n
+  p(i) = n+1-i;
+end
+a = zeros(1,n);
+%! A(*,*) p(1,*) a(1,*) n(1)
+for i=1:n
+  a(i) = A(i,p(i));
+end

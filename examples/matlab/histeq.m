@@ -1,0 +1,14 @@
+% Paper Fig. 3: histogram equalization of an 8-bit image.
+% Run:  mvec_tool --validate --run examples/matlab/histeq.m
+rows = 64; cols = 96;
+im = mod(floor(reshape(0:rows*cols-1, rows, cols)/7), 64);
+%! im(*,*) im2(*,*) heq(1,*) h(1,*)
+h = hist(im(:),[0:255]);
+heq = 255*cumsum(h(:))/sum(h(:));
+for i=1:size(im,1)
+ for j=1:size(im,2)
+  im2(i,j) = heq(im(i,j)+1);
+ end
+end
+fprintf('mean intensity before %g after %g\n', ...
+        sum(im(:))/numel(im), sum(im2(:))/numel(im2));

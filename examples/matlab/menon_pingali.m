@@ -1,0 +1,32 @@
+% Paper Fig. 5: the three Menon & Pingali additive-reduction examples.
+p = 40; n = 8; i = 5; N = 16; k = 1;
+X = rand(8,p); L = rand(8,8);
+a = rand(N,N); x_se = rand(N,1); f = rand(N,1); phi = zeros(1,2);
+x = rand(n,1); A = rand(n,n); B = rand(n,n); C = rand(n,n); y = zeros(n,1);
+%! X(*,*) L(*,*) i(1) p(1) a(*,*) x_se(*,1) f(*,1) phi(1,*) N(1) k(1)
+%! x(*,1) A(*,*) B(*,*) C(*,*) y(*,1) n(1)
+
+% Example 1: forward elimination step.
+for kk=1:p
+ for j=1:(i-1)
+  X(i,kk) = X(i,kk) - L(i,j)*X(j,kk);
+ end
+end
+
+% Example 2: quadratic form accumulation.
+for ii=1:N
+ for j=1:N
+  phi(k) = phi(k) + a(ii,j)*x_se(ii)*f(j);
+ end
+end
+
+% Example 3: quadruply nested reduction.
+for ii=1:n
+ for j=1:n
+  for kk=1:n
+   for l=1:n
+    y(ii) = y(ii) + x(j)*A(ii,kk)*B(l,kk)*C(l,j);
+   end
+  end
+ end
+end

@@ -1,0 +1,12 @@
+% Five-point averaging stencil (image smoothing). Reads A, writes T:
+% no loop-carried dependences, so both loops vectorize into slice algebra.
+% Run: mvec_tool --validate examples/matlab/stencil.m
+n = 32; m = 24;
+A = rand(m,n);
+T = zeros(m,n);
+%! A(*,*) T(*,*) m(1) n(1)
+for i=2:m-1
+ for j=2:n-1
+  T(i,j) = 0.25*(A(i-1,j)+A(i+1,j)+A(i,j-1)+A(i,j+1));
+ end
+end

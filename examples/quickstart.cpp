@@ -1,0 +1,61 @@
+//===- quickstart.cpp - Minimal mvec usage ----------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 60-second tour: vectorize a loop-based MATLAB snippet, print the
+/// transformed source, and prove the transformation preserved semantics by
+/// executing both versions in the bundled interpreter.
+///
+/// Build & run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+int main() {
+  // A loop-based program. The %! comment annotates variable shapes, as
+  // the paper's prototype expects (scalars, row/column vectors, matrices);
+  // shapes of the straight-line setup code are inferred automatically.
+  const std::string Source =
+      "n = 10;\n"
+      "x = rand(n,1);\n"  // column vector
+      "y = rand(1,n);\n"  // row vector
+      "z = zeros(n,1);\n"
+      "%! x(*,1) y(1,*) z(*,1)\n"
+      "for i=1:n\n"
+      "  z(i) = 2*x(i) + y(i);\n" // row + column: needs a transpose!
+      "end\n";
+
+  std::printf("--- original ---\n%s\n", Source.c_str());
+
+  mvec::VectorizerOptions Opts;
+  Opts.EmitRemarks = true;
+  mvec::PipelineResult Result = mvec::vectorizeSource(Source, Opts);
+  if (!Result.succeeded()) {
+    std::fprintf(stderr, "vectorization failed:\n%s",
+                 Result.Diags.str().c_str());
+    return 1;
+  }
+
+  std::printf("--- vectorized (%u statement(s)) ---\n%s\n",
+              Result.Stats.StmtsVectorized,
+              Result.VectorizedSource.c_str());
+
+  std::printf("--- optimization remarks ---\n%s\n",
+              Result.Diags.str("quickstart.m").c_str());
+
+  // Differential validation: run both programs, compare workspaces.
+  std::string Diff = mvec::diffRun(Source, Result.VectorizedSource);
+  if (!Diff.empty()) {
+    std::fprintf(stderr, "semantic divergence: %s\n", Diff.c_str());
+    return 1;
+  }
+  std::printf("differential check: original and vectorized programs "
+              "compute identical workspaces\n");
+  return 0;
+}

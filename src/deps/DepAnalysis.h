@@ -1,0 +1,32 @@
+//===- DepAnalysis.h - Dependence testing -----------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the data dependence graph for a loop nest, following Allen &
+/// Kennedy: per-dimension subscript tests (ZIV / strong SIV / GCD) compute
+/// per-loop direction sets; a symbolic interval test disproves dependences
+/// like X(i,k) vs X(j,k) with j in [1, i-1]; anything beyond the tests'
+/// reach is treated conservatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_DEPS_DEPANALYSIS_H
+#define MVEC_DEPS_DEPANALYSIS_H
+
+#include "deps/DepGraph.h"
+#include "deps/LoopNest.h"
+#include "shape/ShapeEnv.h"
+
+namespace mvec {
+
+/// Builds the level-annotated DDG over \p Nest's statements. \p Env is used
+/// to distinguish array accesses from builtin calls and to identify scalar
+/// symbols for the affine tests.
+DepGraph buildDepGraph(const LoopNest &Nest, const ShapeEnv &Env);
+
+} // namespace mvec
+
+#endif // MVEC_DEPS_DEPANALYSIS_H

@@ -1,0 +1,62 @@
+//===- DepGraph.h - Data dependence graph -----------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data dependence graph over a loop nest's statements, with
+/// level-annotated edges (Allen & Kennedy), plus Tarjan SCC computation in
+/// condensation-topological order — the inputs to the paper's Algorithm 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_DEPS_DEPGRAPH_H
+#define MVEC_DEPS_DEPGRAPH_H
+
+#include <string>
+#include <vector>
+
+namespace mvec {
+
+enum class DepKind { Flow, Anti, Output };
+
+const char *depKindName(DepKind Kind);
+
+/// One dependence edge between statement nodes.
+struct DepEdge {
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  /// 0 = loop-independent; otherwise the 1-based nest level carrying the
+  /// dependence.
+  unsigned Level = 0;
+  DepKind Kind = DepKind::Flow;
+  std::string Variable;
+
+  bool isLoopIndependent() const { return Level == 0; }
+};
+
+struct DepGraph {
+  unsigned NumNodes = 0;
+  std::vector<DepEdge> Edges;
+
+  std::string str() const;
+};
+
+/// Computes strongly connected components over the subgraph of \p Graph
+/// containing only edges with Level == 0 or Level >= MinLevel (the edges
+/// still relevant once loops outside MinLevel have been peeled). Components
+/// are returned in topological order of the condensation; node order inside
+/// a component and between independent components follows statement order
+/// for deterministic code generation.
+std::vector<std::vector<unsigned>>
+stronglyConnectedComponents(const DepGraph &Graph, unsigned MinLevel);
+
+/// True when node \p Node has a self-edge at Level >= MinLevel (a
+/// recurrence on itself at the levels under consideration).
+bool hasSelfRecurrence(const DepGraph &Graph, unsigned Node,
+                       unsigned MinLevel);
+
+} // namespace mvec
+
+#endif // MVEC_DEPS_DEPGRAPH_H

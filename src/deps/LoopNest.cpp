@@ -1,0 +1,250 @@
+//===- LoopNest.cpp - Loop nest extraction and normalization ---------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/LoopNest.h"
+
+#include "frontend/ASTUtils.h"
+#include "frontend/Simplify.h"
+
+#include <cmath>
+
+using namespace mvec;
+
+ExprPtr LoopHeader::makeRangeExpr() const {
+  return makeRange(Start->clone(), Step ? Step->clone() : nullptr,
+                   Stop->clone());
+}
+
+ExprPtr LoopHeader::makeTripCountExpr() const {
+  std::vector<ExprPtr> Args;
+  Args.push_back(makeRangeExpr());
+  Args.push_back(makeNumber(2));
+  return makeCall("size", std::move(Args));
+}
+
+//===----------------------------------------------------------------------===//
+// Normalization
+//===----------------------------------------------------------------------===//
+
+void mvec::normalizeLoopIndices(ForStmt &Loop) {
+  // Recurse first so inner substitutions see original outer names (the
+  // rewrites commute, but bottom-up keeps each step local).
+  for (StmtPtr &S : Loop.body())
+    if (auto *Inner = dyn_cast<ForStmt>(S.get()))
+      normalizeLoopIndices(*Inner);
+
+  const auto *Range = dyn_cast<RangeExpr>(Loop.range());
+  if (!Range)
+    return;
+  double Start = 0, Step = 1;
+  if (!evaluateConstant(*Range->start(), Start))
+    return;
+  if (Range->step() && !evaluateConstant(*Range->step(), Step))
+    return;
+  if (Step == 0)
+    return;
+  if (Start == 1 && Step == 1)
+    return; // already normalized
+
+  ExprPtr NewStop;
+  if (Step == 1) {
+    // i = c:n  ->  i = 1:(n-(c-1)), occurrences become i+(c-1). Exact for
+    // symbolic n.
+    NewStop = simplifyExpr(makeBinary(BinaryOp::Sub, Range->stop()->clone(),
+                                      makeNumber(Start - 1)));
+  } else {
+    // Non-unit steps need a constant trip count.
+    double Stop = 0;
+    if (!evaluateConstant(*Range->stop(), Stop))
+      return;
+    double Trip = std::floor((Stop - Start) / Step) + 1;
+    if (Trip < 1)
+      return; // empty or degenerate; leave untouched
+    NewStop = makeNumber(Trip);
+  }
+
+  // Replacement expression: step*i + (start-step).
+  ExprPtr Repl = simplifyExpr(makeBinary(
+      BinaryOp::Add,
+      makeBinary(BinaryOp::Mul, makeNumber(Step),
+                 makeIdent(Loop.indexVar())),
+      makeNumber(Start - Step)));
+
+  // Rewrite every occurrence in the body (including nested loop bounds).
+  struct Rewriter {
+    const std::string &Name;
+    const Expr &Repl;
+
+    void rewriteBody(std::vector<StmtPtr> &Body) {
+      for (StmtPtr &S : Body)
+        rewriteStmt(*S);
+    }
+
+    void rewriteStmt(Stmt &S) {
+      switch (S.kind()) {
+      case Stmt::Kind::Assign: {
+        auto &A = cast<AssignStmt>(S);
+        A.setLHS(substituteIdentifier(A.takeLHS(), Name, Repl));
+        A.setRHS(substituteIdentifier(A.takeRHS(), Name, Repl));
+        return;
+      }
+      case Stmt::Kind::Expr:
+        // Expression statements make the nest ineligible anyway; skip.
+        return;
+      case Stmt::Kind::For: {
+        auto &F = cast<ForStmt>(S);
+        ExprPtr Range = F.range()->clone();
+        F.setRange(substituteIdentifier(std::move(Range), Name, Repl));
+        rewriteBody(F.body());
+        return;
+      }
+      case Stmt::Kind::While: {
+        rewriteBody(cast<WhileStmt>(S).body());
+        return;
+      }
+      case Stmt::Kind::If: {
+        for (IfStmt::Branch &B : cast<IfStmt>(S).branches())
+          rewriteBody(B.Body);
+        return;
+      }
+      default:
+        return;
+      }
+    }
+  };
+  Rewriter R{Loop.indexVar(), *Repl};
+  R.rewriteBody(Loop.body());
+
+  Loop.setRange(makeRange(makeNumber(1), nullptr, std::move(NewStop)));
+}
+
+//===----------------------------------------------------------------------===//
+// Nest construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects all identifier names written by assignments under \p Body.
+void collectWrittenNames(const std::vector<StmtPtr> &Body,
+                         std::set<std::string> &Names) {
+  visitStmts(Body, [&Names](const Stmt &S) {
+    if (const auto *A = dyn_cast<AssignStmt>(&S))
+      Names.insert(A->targetName());
+  });
+}
+
+} // namespace
+
+namespace {
+
+/// Walks the nest chain in source order, building headers and statements.
+bool walkNest(ForStmt &Current, LoopNest &Nest,
+              std::set<std::string> &IndexVars, std::string &Reason) {
+  if (IndexVars.count(Current.indexVar())) {
+    Reason =
+        "nested loops reuse index variable '" + Current.indexVar() + "'";
+    return false;
+  }
+  IndexVars.insert(Current.indexVar());
+
+  const auto *Range = dyn_cast<RangeExpr>(Current.range());
+  if (!Range) {
+    Reason = "loop over '" + Current.indexVar() +
+             "' does not iterate over a range expression";
+    return false;
+  }
+
+  LoopHeader Header;
+  Header.IndexVar = Current.indexVar();
+  Header.Id = static_cast<LoopId>(Nest.Loops.size() + 1);
+  Header.Loop = &Current;
+  Header.Start = Range->start();
+  Header.Step = Range->step();
+  Header.Stop = Range->stop();
+  Header.StartAffine = AffineExpr::fromExpr(*Range->start());
+  Header.StopAffine = AffineExpr::fromExpr(*Range->stop());
+  if (!Range->step())
+    Header.StepConst = 1.0;
+  else {
+    double Step = 0;
+    if (evaluateConstant(*Range->step(), Step))
+      Header.StepConst = Step;
+  }
+  Nest.Loops.push_back(Header);
+  unsigned Depth = Nest.Loops.size();
+
+  bool SawInner = false;
+  for (StmtPtr &S : Current.body()) {
+    switch (S->kind()) {
+    case Stmt::Kind::Assign:
+      Nest.Stmts.push_back(NestStmt{cast<AssignStmt>(S.get()), Depth});
+      break;
+    case Stmt::Kind::For:
+      if (SawInner) {
+        Reason = "loop body contains sibling inner loops";
+        return false;
+      }
+      SawInner = true;
+      if (!walkNest(*cast<ForStmt>(S.get()), Nest, IndexVars, Reason))
+        return false;
+      break;
+    case Stmt::Kind::If:
+    case Stmt::Kind::While:
+      Reason = "loop body contains embedded control statements";
+      return false;
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Return:
+      Reason = "loop body transfers control out of the loop";
+      return false;
+    case Stmt::Kind::Expr:
+      Reason = "loop body contains a non-assignment statement";
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<LoopNest> mvec::buildLoopNest(ForStmt &Root,
+                                            std::string &Reason) {
+  LoopNest Nest;
+  std::set<std::string> IndexVars;
+  if (!walkNest(Root, Nest, IndexVars, Reason))
+    return std::nullopt;
+
+  // No statement may write an index variable (paper Sec. 4), and loop
+  // bounds must not depend on variables written inside the nest.
+  std::set<std::string> Written;
+  collectWrittenNames(Root.body(), Written);
+  for (const std::string &IndexVar : IndexVars) {
+    if (Written.count(IndexVar)) {
+      Reason = "loop writes to its own index variable '" + IndexVar + "'";
+      return std::nullopt;
+    }
+  }
+  for (const LoopHeader &H : Nest.Loops) {
+    std::set<std::string> BoundNames;
+    collectIdentifiers(*H.Start, BoundNames);
+    if (H.Step)
+      collectIdentifiers(*H.Step, BoundNames);
+    collectIdentifiers(*H.Stop, BoundNames);
+    for (const std::string &Name : BoundNames) {
+      if (Written.count(Name)) {
+        Reason = "bounds of loop '" + H.IndexVar +
+                 "' depend on '" + Name + "' written inside the nest";
+        return std::nullopt;
+      }
+    }
+  }
+
+  if (Nest.Stmts.empty()) {
+    Reason = "loop nest contains no assignments";
+    return std::nullopt;
+  }
+  return Nest;
+}

@@ -1,0 +1,92 @@
+//===- LoopNest.h - Loop nest extraction and normalization ------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extracts a vectorization candidate from a for-loop: the chain of nested
+/// loop headers and the assignment statements at each depth, after the
+/// eligibility checks of the paper's Sec. 4 (for-loops only, no embedded
+/// control flow, no writes to an index variable) and index-variable
+/// normalization (for i=2:2:1500 becomes i=1:750 with occurrences rewritten
+/// to 2*i — reproducing the paper's Fig. 4 output form).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_DEPS_LOOPNEST_H
+#define MVEC_DEPS_LOOPNEST_H
+
+#include "deps/AffineExpr.h"
+#include "frontend/AST.h"
+#include "shape/Dim.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mvec {
+
+/// One loop of the nest chain (the paper's loopHeaders entry).
+struct LoopHeader {
+  std::string IndexVar;
+  LoopId Id = 0;   ///< 1-based, unique within the nest.
+  ForStmt *Loop = nullptr;
+
+  // Range components (owned by Loop's range expression). Step is null for
+  // the implicit step of 1.
+  const Expr *Start = nullptr;
+  const Expr *Step = nullptr;
+  const Expr *Stop = nullptr;
+
+  /// Affine forms of the bounds when extractable (used by the dependence
+  /// disproof: j in [1, i-1]).
+  std::optional<AffineExpr> StartAffine;
+  std::optional<AffineExpr> StopAffine;
+  /// Constant step when known (1.0 after successful normalization).
+  std::optional<double> StepConst;
+
+  /// Clone of the full range expression (start:step:stop), for index
+  /// substitution.
+  ExprPtr makeRangeExpr() const;
+  /// size((range),2) — the trip count as an expression (paper Table 2).
+  ExprPtr makeTripCountExpr() const;
+};
+
+/// An assignment statement inside the nest, with the number of loops
+/// enclosing it (1 = directly inside the outermost loop).
+struct NestStmt {
+  AssignStmt *S = nullptr;
+  unsigned Depth = 0;
+};
+
+/// A vectorization candidate: a chain of loops plus the statements at each
+/// depth, in source order.
+struct LoopNest {
+  std::vector<LoopHeader> Loops; ///< outermost first
+  std::vector<NestStmt> Stmts;   ///< source order
+
+  unsigned depth() const { return Loops.size(); }
+  const LoopHeader *headerFor(LoopId Id) const {
+    for (const LoopHeader &H : Loops)
+      if (H.Id == Id)
+        return &H;
+    return nullptr;
+  }
+};
+
+/// Normalizes \p Loop in place when its range has constant start/step:
+/// rewrites the range to 1:n and every body occurrence of the index
+/// variable to step*i+(start-step). Recurses into nested loops. No-op when
+/// bounds resist normalization.
+void normalizeLoopIndices(ForStmt &Loop);
+
+/// Builds the nest chain rooted at \p Root. Returns nullopt and sets
+/// \p Reason when the nest is not a vectorization candidate (embedded
+/// control flow, writes to an index variable, non-range loop bounds,
+/// sibling inner loops, non-assignment statements).
+std::optional<LoopNest> buildLoopNest(ForStmt &Root, std::string &Reason);
+
+} // namespace mvec
+
+#endif // MVEC_DEPS_LOOPNEST_H

@@ -1,0 +1,109 @@
+//===- Pipeline.cpp - End-to-end vectorization pipeline ---------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "frontend/ASTPrinter.h"
+#include "frontend/ASTUtils.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "shape/AnnotationParser.h"
+#include "shape/ShapeInference.h"
+
+#include <set>
+
+using namespace mvec;
+
+PipelineResult mvec::vectorizeSource(const std::string &Source,
+                                     const VectorizerOptions &Opts,
+                                     const PatternDatabase *DB) {
+  PipelineResult Result;
+  ParseResult Parsed = parseMatlab(Source, Result.Diags);
+  if (Result.Diags.hasErrors())
+    return Result;
+
+  ShapeEnv Env = parseShapeAnnotations(Parsed.Annotations, Result.Diags);
+  inferProgramShapes(Parsed.Prog, Env);
+
+  PatternDatabase Default;
+  if (!DB) {
+    registerBuiltinPatterns(Default);
+    DB = &Default;
+  }
+
+  Program Vectorized = vectorizeProgram(Parsed.Prog, Env, *DB, Opts,
+                                        Result.Diags, &Result.Stats);
+  Result.VectorizedSource = printProgram(Vectorized);
+  return Result;
+}
+
+std::string mvec::diffRun(const std::string &OriginalSource,
+                          const std::string &TransformedSource, double Tol,
+                          uint64_t Seed) {
+  DiagnosticEngine Diags;
+  ParseResult Original = parseMatlab(OriginalSource, Diags);
+  if (Diags.hasErrors())
+    return "original program does not parse: " + Diags.str();
+  ParseResult Transformed = parseMatlab(TransformedSource, Diags);
+  if (Diags.hasErrors())
+    return "transformed program does not parse: " + Diags.str();
+
+  Interpreter A, B;
+  A.seedRandom(Seed);
+  B.seedRandom(Seed);
+  if (!A.run(Original.Prog))
+    return "original program failed: " + A.errorMessage();
+  if (!B.run(Transformed.Prog))
+    return "transformed program failed: " + B.errorMessage();
+
+  // For-loop index variables of either program are incidental state: a
+  // vectorized loop never materializes its index.
+  std::set<std::string> Ignore;
+  auto CollectIndexVars = [&Ignore](const Program &P) {
+    visitStmts(P.Stmts, [&Ignore](const Stmt &S) {
+      if (const auto *For = dyn_cast<ForStmt>(&S))
+        Ignore.insert(For->indexVar());
+    });
+  };
+  CollectIndexVars(Original.Prog);
+  CollectIndexVars(Transformed.Prog);
+
+  for (const auto &[Name, ValueA] : A.workspace()) {
+    if (Ignore.count(Name))
+      continue;
+    const Value *ValueB = B.getVariable(Name);
+    if (!ValueB)
+      return "variable '" + Name + "' missing after transformation";
+    if (!ValueA.equals(*ValueB, Tol))
+      return "variable '" + Name + "' differs: " + ValueA.str() + " vs " +
+             ValueB->str();
+  }
+  for (const auto &[Name, ValueB] : B.workspace()) {
+    (void)ValueB;
+    if (!Ignore.count(Name) && !A.getVariable(Name))
+      return "transformation introduced variable '" + Name + "'";
+  }
+  if (A.output() != B.output())
+    return "printed output differs";
+  return std::string();
+}
+
+std::optional<std::string>
+mvec::vectorizeAndValidate(const std::string &Source, std::string &Error,
+                           const VectorizerOptions &Opts) {
+  PipelineResult Result = vectorizeSource(Source, Opts);
+  if (!Result.succeeded()) {
+    Error = "vectorization failed: " + Result.Diags.str();
+    return std::nullopt;
+  }
+  std::string Diff = diffRun(Source, Result.VectorizedSource);
+  if (!Diff.empty()) {
+    Error = "semantic divergence: " + Diff + "\n--- vectorized ---\n" +
+            Result.VectorizedSource;
+    return std::nullopt;
+  }
+  return Result.VectorizedSource;
+}

@@ -1,0 +1,63 @@
+//===- Pipeline.h - End-to-end vectorization pipeline -----------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-call public API (paper Fig. 1): MATLAB source in, vectorized
+/// MATLAB source out — parse, collect `%!` shape annotations, run the
+/// light intra-script shape inference, vectorize, print. Also provides the
+/// differential runner that validates a transformation by executing the
+/// original and vectorized programs and comparing final workspaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_DRIVER_PIPELINE_H
+#define MVEC_DRIVER_PIPELINE_H
+
+#include "patterns/PatternDatabase.h"
+#include "support/Diagnostics.h"
+#include "vectorizer/Options.h"
+#include "vectorizer/Vectorizer.h"
+
+#include <optional>
+#include <string>
+
+namespace mvec {
+
+struct PipelineResult {
+  /// The vectorized program, re-rendered as MATLAB source.
+  std::string VectorizedSource;
+  VectorizeStats Stats;
+  /// Parse/analysis diagnostics (includes remarks when enabled).
+  DiagnosticEngine Diags;
+
+  bool succeeded() const { return !Diags.hasErrors(); }
+};
+
+/// Runs the full pipeline on \p Source. \p DB defaults to the builtin
+/// pattern database when null.
+PipelineResult vectorizeSource(const std::string &Source,
+                               const VectorizerOptions &Opts = {},
+                               const PatternDatabase *DB = nullptr);
+
+/// Differential validation: executes \p OriginalSource and
+/// \p TransformedSource in fresh interpreters (same RNG seed) and compares
+/// the final workspaces, ignoring for-loop index variables of the original
+/// program (vectorized code no longer materializes them). Returns an empty
+/// string when the states agree, else a description of the divergence.
+std::string diffRun(const std::string &OriginalSource,
+                    const std::string &TransformedSource,
+                    double Tol = 1e-9, uint64_t Seed = 12345);
+
+/// Convenience for tests and benchmarks: vectorizes \p Source and checks
+/// semantic equivalence via diffRun. Returns the vectorized source, or
+/// nullopt with \p Error filled.
+std::optional<std::string> vectorizeAndValidate(const std::string &Source,
+                                                std::string &Error,
+                                                const VectorizerOptions &Opts = {});
+
+} // namespace mvec
+
+#endif // MVEC_DRIVER_PIPELINE_H

@@ -1,0 +1,202 @@
+//===- AST.cpp - MATLAB abstract syntax tree ------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/AST.h"
+
+using namespace mvec;
+
+const char *mvec::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Pow:
+    return "^";
+  case BinaryOp::DotMul:
+    return ".*";
+  case BinaryOp::DotDiv:
+    return "./";
+  case BinaryOp::DotPow:
+    return ".^";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "~=";
+  case BinaryOp::And:
+    return "&";
+  case BinaryOp::Or:
+    return "|";
+  case BinaryOp::AndAnd:
+    return "&&";
+  case BinaryOp::OrOr:
+    return "||";
+  }
+  return "?";
+}
+
+const char *mvec::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Plus:
+    return "+";
+  case UnaryOp::Minus:
+    return "-";
+  case UnaryOp::Not:
+    return "~";
+  }
+  return "?";
+}
+
+bool mvec::isPointwiseArithOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::DotMul:
+  case BinaryOp::DotDiv:
+  case BinaryOp::DotPow:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool mvec::isElementwiseRelOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::And:
+  case BinaryOp::Or:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string IndexExpr::baseName() const {
+  if (const auto *Ident = dyn_cast<IdentExpr>(Base.get()))
+    return Ident->name();
+  return std::string();
+}
+
+ExprPtr IndexExpr::clone() const {
+  std::vector<ExprPtr> ClonedArgs;
+  ClonedArgs.reserve(Args.size());
+  for (const ExprPtr &A : Args)
+    ClonedArgs.push_back(A->clone());
+  return std::make_unique<IndexExpr>(Base->clone(), std::move(ClonedArgs),
+                                     loc());
+}
+
+ExprPtr MatrixExpr::clone() const {
+  std::vector<Row> ClonedRows;
+  ClonedRows.reserve(Rows.size());
+  for (const Row &R : Rows) {
+    Row Cloned;
+    Cloned.reserve(R.size());
+    for (const ExprPtr &E : R)
+      Cloned.push_back(E->clone());
+    ClonedRows.push_back(std::move(Cloned));
+  }
+  return std::make_unique<MatrixExpr>(std::move(ClonedRows), loc());
+}
+
+std::string AssignStmt::targetName() const {
+  if (const auto *Ident = dyn_cast<IdentExpr>(LHS.get()))
+    return Ident->name();
+  if (const auto *Index = dyn_cast<IndexExpr>(LHS.get()))
+    return Index->baseName();
+  return std::string();
+}
+
+static std::vector<StmtPtr> cloneBody(const std::vector<StmtPtr> &Body) {
+  std::vector<StmtPtr> Cloned;
+  Cloned.reserve(Body.size());
+  for (const StmtPtr &S : Body)
+    Cloned.push_back(S->clone());
+  return Cloned;
+}
+
+StmtPtr ForStmt::clone() const {
+  return std::make_unique<ForStmt>(IndexVar, RangeE->clone(), cloneBody(Body),
+                                   loc());
+}
+
+StmtPtr WhileStmt::clone() const {
+  return std::make_unique<WhileStmt>(Cond->clone(), cloneBody(Body), loc());
+}
+
+StmtPtr IfStmt::clone() const {
+  std::vector<Branch> ClonedBranches;
+  ClonedBranches.reserve(Branches.size());
+  for (const Branch &B : Branches) {
+    Branch Cloned;
+    Cloned.Cond = B.Cond ? B.Cond->clone() : nullptr;
+    Cloned.Body = cloneBody(B.Body);
+    ClonedBranches.push_back(std::move(Cloned));
+  }
+  return std::make_unique<IfStmt>(std::move(ClonedBranches), loc());
+}
+
+Program Program::cloneProgram() const {
+  Program P;
+  P.Stmts = cloneBody(Stmts);
+  return P;
+}
+
+ExprPtr mvec::makeNumber(double Value) {
+  return std::make_unique<NumberExpr>(Value);
+}
+
+ExprPtr mvec::makeIdent(std::string Name) {
+  return std::make_unique<IdentExpr>(std::move(Name));
+}
+
+ExprPtr mvec::makeBinary(BinaryOp Op, ExprPtr LHS, ExprPtr RHS) {
+  return std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS));
+}
+
+ExprPtr mvec::makeUnary(UnaryOp Op, ExprPtr Operand) {
+  return std::make_unique<UnaryExpr>(Op, std::move(Operand));
+}
+
+ExprPtr mvec::makeTranspose(ExprPtr Operand) {
+  return std::make_unique<TransposeExpr>(std::move(Operand));
+}
+
+ExprPtr mvec::makeRange(ExprPtr Start, ExprPtr Stop) {
+  return std::make_unique<RangeExpr>(std::move(Start), nullptr,
+                                     std::move(Stop));
+}
+
+ExprPtr mvec::makeRange(ExprPtr Start, ExprPtr Step, ExprPtr Stop) {
+  return std::make_unique<RangeExpr>(std::move(Start), std::move(Step),
+                                     std::move(Stop));
+}
+
+ExprPtr mvec::makeIndex(std::string Base, std::vector<ExprPtr> Args) {
+  return std::make_unique<IndexExpr>(makeIdent(std::move(Base)),
+                                     std::move(Args));
+}
+
+ExprPtr mvec::makeCall(std::string Callee, std::vector<ExprPtr> Args) {
+  return makeIndex(std::move(Callee), std::move(Args));
+}

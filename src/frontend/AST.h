@@ -1,0 +1,524 @@
+//===- AST.h - MATLAB abstract syntax tree ----------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the MATLAB subset. Nodes use LLVM-style kind discriminators with
+/// isa<>/cast<>/dyn_cast<> (see support/Casting.h). All nodes are clonable,
+/// because the vectorizer rewrites statement parse trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FRONTEND_AST_H
+#define MVEC_FRONTEND_AST_H
+
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mvec {
+
+class Expr;
+class Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+//===----------------------------------------------------------------------===//
+// Operators
+//===----------------------------------------------------------------------===//
+
+enum class BinaryOp {
+  Add,    // +
+  Sub,    // -
+  Mul,    // *   (matrix multiply)
+  Div,    // /   (matrix right divide)
+  Pow,    // ^   (matrix power)
+  DotMul, // .*
+  DotDiv, // ./
+  DotPow, // .^
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  And,    // &
+  Or,     // |
+  AndAnd, // &&
+  OrOr,   // ||
+};
+
+enum class UnaryOp { Plus, Minus, Not };
+
+/// MATLAB source spelling of \p Op ("+", ".*", ...).
+const char *binaryOpSpelling(BinaryOp Op);
+const char *unaryOpSpelling(UnaryOp Op);
+
+/// True for the pointwise arithmetic operators {+, -, .*, ./, .^} that the
+/// dimensionality analysis of Sec. 2.1 applies to.
+bool isPointwiseArithOp(BinaryOp Op);
+
+/// True for elementwise comparison / logical operators (also pointwise in
+/// MATLAB and safe to vectorize pointwise).
+bool isElementwiseRelOp(BinaryOp Op);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class Expr {
+public:
+  enum class Kind {
+    Number,
+    String,
+    Ident,
+    MagicColon, // bare ':' inside a subscript
+    EndKeyword, // 'end' inside a subscript
+    Range,      // a:b or a:s:b
+    Unary,
+    Binary,
+    Transpose,
+    Index, // base(args...) — subscript or function call
+    Matrix // [ ... ; ... ]
+  };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  /// Deep copy.
+  virtual ExprPtr clone() const = 0;
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+class NumberExpr : public Expr {
+public:
+  NumberExpr(double Value, SourceLoc Loc = SourceLoc())
+      : Expr(Kind::Number, Loc), Value(Value) {}
+
+  double value() const { return Value; }
+
+  ExprPtr clone() const override {
+    return std::make_unique<NumberExpr>(Value, loc());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Number; }
+
+private:
+  double Value;
+};
+
+class StringExpr : public Expr {
+public:
+  StringExpr(std::string Value, SourceLoc Loc = SourceLoc())
+      : Expr(Kind::String, Loc), Value(std::move(Value)) {}
+
+  const std::string &value() const { return Value; }
+
+  ExprPtr clone() const override {
+    return std::make_unique<StringExpr>(Value, loc());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::String; }
+
+private:
+  std::string Value;
+};
+
+class IdentExpr : public Expr {
+public:
+  IdentExpr(std::string Name, SourceLoc Loc = SourceLoc())
+      : Expr(Kind::Ident, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  ExprPtr clone() const override {
+    return std::make_unique<IdentExpr>(Name, loc());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Ident; }
+
+private:
+  std::string Name;
+};
+
+/// The bare ':' subscript selecting a whole dimension, e.g. A(:,i).
+class MagicColonExpr : public Expr {
+public:
+  explicit MagicColonExpr(SourceLoc Loc = SourceLoc())
+      : Expr(Kind::MagicColon, Loc) {}
+
+  ExprPtr clone() const override {
+    return std::make_unique<MagicColonExpr>(loc());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::MagicColon; }
+};
+
+/// The 'end' keyword used inside a subscript, e.g. A(end,1).
+class EndKeywordExpr : public Expr {
+public:
+  explicit EndKeywordExpr(SourceLoc Loc = SourceLoc())
+      : Expr(Kind::EndKeyword, Loc) {}
+
+  ExprPtr clone() const override {
+    return std::make_unique<EndKeywordExpr>(loc());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::EndKeyword; }
+};
+
+/// A colon range start:stop or start:step:stop.
+class RangeExpr : public Expr {
+public:
+  RangeExpr(ExprPtr Start, ExprPtr Step, ExprPtr Stop,
+            SourceLoc Loc = SourceLoc())
+      : Expr(Kind::Range, Loc), Start(std::move(Start)), Step(std::move(Step)),
+        Stop(std::move(Stop)) {}
+
+  const Expr *start() const { return Start.get(); }
+  Expr *start() { return Start.get(); }
+  /// Null when the step is the implicit 1.
+  const Expr *step() const { return Step.get(); }
+  Expr *step() { return Step.get(); }
+  const Expr *stop() const { return Stop.get(); }
+  Expr *stop() { return Stop.get(); }
+
+  ExprPtr clone() const override {
+    return std::make_unique<RangeExpr>(Start->clone(),
+                                       Step ? Step->clone() : nullptr,
+                                       Stop->clone(), loc());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Range; }
+
+private:
+  ExprPtr Start;
+  ExprPtr Step; // may be null
+  ExprPtr Stop;
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc Loc = SourceLoc())
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOp op() const { return Op; }
+  const Expr *operand() const { return Operand.get(); }
+  Expr *operand() { return Operand.get(); }
+  ExprPtr takeOperand() { return std::move(Operand); }
+
+  ExprPtr clone() const override {
+    return std::make_unique<UnaryExpr>(Op, Operand->clone(), loc());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc = SourceLoc())
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp op() const { return Op; }
+  void setOp(BinaryOp NewOp) { Op = NewOp; }
+  const Expr *lhs() const { return LHS.get(); }
+  Expr *lhs() { return LHS.get(); }
+  const Expr *rhs() const { return RHS.get(); }
+  Expr *rhs() { return RHS.get(); }
+  ExprPtr takeLHS() { return std::move(LHS); }
+  ExprPtr takeRHS() { return std::move(RHS); }
+  void setLHS(ExprPtr E) { LHS = std::move(E); }
+  void setRHS(ExprPtr E) { RHS = std::move(E); }
+
+  ExprPtr clone() const override {
+    return std::make_unique<BinaryExpr>(Op, LHS->clone(), RHS->clone(), loc());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// Transpose e' (both ' and .' — all values are real in this subset).
+class TransposeExpr : public Expr {
+public:
+  TransposeExpr(ExprPtr Operand, SourceLoc Loc = SourceLoc())
+      : Expr(Kind::Transpose, Loc), Operand(std::move(Operand)) {}
+
+  const Expr *operand() const { return Operand.get(); }
+  Expr *operand() { return Operand.get(); }
+  ExprPtr takeOperand() { return std::move(Operand); }
+
+  ExprPtr clone() const override {
+    return std::make_unique<TransposeExpr>(Operand->clone(), loc());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Transpose; }
+
+private:
+  ExprPtr Operand;
+};
+
+/// base(arg1, ..., argK). Covers both array subscripts and function calls;
+/// the distinction is made semantically (via the shape environment and the
+/// builtin table), exactly as in MATLAB.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Base, std::vector<ExprPtr> Args, SourceLoc Loc = SourceLoc())
+      : Expr(Kind::Index, Loc), Base(std::move(Base)), Args(std::move(Args)) {}
+
+  const Expr *base() const { return Base.get(); }
+  Expr *base() { return Base.get(); }
+  unsigned numArgs() const { return Args.size(); }
+  const Expr *arg(unsigned I) const { return Args[I].get(); }
+  Expr *arg(unsigned I) { return Args[I].get(); }
+  std::vector<ExprPtr> &args() { return Args; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  void setArg(unsigned I, ExprPtr E) { Args[I] = std::move(E); }
+
+  /// The base name when the base is a plain identifier, else "".
+  std::string baseName() const;
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Index; }
+
+private:
+  ExprPtr Base;
+  std::vector<ExprPtr> Args;
+};
+
+/// Matrix literal [r11, r12; r21, r22].
+class MatrixExpr : public Expr {
+public:
+  using Row = std::vector<ExprPtr>;
+
+  MatrixExpr(std::vector<Row> Rows, SourceLoc Loc = SourceLoc())
+      : Expr(Kind::Matrix, Loc), Rows(std::move(Rows)) {}
+
+  const std::vector<Row> &rows() const { return Rows; }
+  std::vector<Row> &rows() { return Rows; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Matrix; }
+
+private:
+  std::vector<Row> Rows;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind { Assign, Expr, For, While, If, Break, Continue, Return };
+
+  virtual ~Stmt() = default;
+
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  virtual StmtPtr clone() const = 0;
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// lhs = rhs. The LHS is an identifier or a subscripted identifier.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(ExprPtr LHS, ExprPtr RHS, SourceLoc Loc = SourceLoc())
+      : Stmt(Kind::Assign, Loc), LHS(std::move(LHS)), RHS(std::move(RHS)) {}
+
+  const Expr *lhs() const { return LHS.get(); }
+  Expr *lhs() { return LHS.get(); }
+  const Expr *rhs() const { return RHS.get(); }
+  Expr *rhs() { return RHS.get(); }
+  ExprPtr takeRHS() { return std::move(RHS); }
+  ExprPtr takeLHS() { return std::move(LHS); }
+  void setRHS(ExprPtr E) { RHS = std::move(E); }
+  void setLHS(ExprPtr E) { LHS = std::move(E); }
+
+  /// Name of the variable being (possibly partially) written.
+  std::string targetName() const;
+
+  StmtPtr clone() const override {
+    return std::make_unique<AssignStmt>(LHS->clone(), RHS->clone(), loc());
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// A bare expression statement (usually a call such as disp(x)).
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLoc Loc = SourceLoc())
+      : Stmt(Kind::Expr, Loc), E(std::move(E)) {}
+
+  const Expr *expr() const { return E.get(); }
+  Expr *expr() { return E.get(); }
+
+  StmtPtr clone() const override {
+    return std::make_unique<ExprStmt>(E->clone(), loc());
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Expr; }
+
+private:
+  ExprPtr E;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(std::string IndexVar, ExprPtr RangeE, std::vector<StmtPtr> Body,
+          SourceLoc Loc = SourceLoc())
+      : Stmt(Kind::For, Loc), IndexVar(std::move(IndexVar)),
+        RangeE(std::move(RangeE)), Body(std::move(Body)) {}
+
+  const std::string &indexVar() const { return IndexVar; }
+  const Expr *range() const { return RangeE.get(); }
+  Expr *range() { return RangeE.get(); }
+  void setRange(ExprPtr E) { RangeE = std::move(E); }
+  const std::vector<StmtPtr> &body() const { return Body; }
+  std::vector<StmtPtr> &body() { return Body; }
+
+  StmtPtr clone() const override;
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  std::string IndexVar;
+  ExprPtr RangeE;
+  std::vector<StmtPtr> Body;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, std::vector<StmtPtr> Body, SourceLoc Loc = SourceLoc())
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  const Expr *cond() const { return Cond.get(); }
+  Expr *cond() { return Cond.get(); }
+  const std::vector<StmtPtr> &body() const { return Body; }
+  std::vector<StmtPtr> &body() { return Body; }
+
+  StmtPtr clone() const override;
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  std::vector<StmtPtr> Body;
+};
+
+class IfStmt : public Stmt {
+public:
+  struct Branch {
+    ExprPtr Cond; // null for the final else
+    std::vector<StmtPtr> Body;
+  };
+
+  IfStmt(std::vector<Branch> Branches, SourceLoc Loc = SourceLoc())
+      : Stmt(Kind::If, Loc), Branches(std::move(Branches)) {}
+
+  const std::vector<Branch> &branches() const { return Branches; }
+  std::vector<Branch> &branches() { return Branches; }
+
+  StmtPtr clone() const override;
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  std::vector<Branch> Branches;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc = SourceLoc()) : Stmt(Kind::Break, Loc) {}
+  StmtPtr clone() const override {
+    return std::make_unique<BreakStmt>(loc());
+  }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc = SourceLoc())
+      : Stmt(Kind::Continue, Loc) {}
+  StmtPtr clone() const override {
+    return std::make_unique<ContinueStmt>(loc());
+  }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Continue; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(SourceLoc Loc = SourceLoc()) : Stmt(Kind::Return, Loc) {}
+  StmtPtr clone() const override {
+    return std::make_unique<ReturnStmt>(loc());
+  }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+};
+
+/// A whole script: a list of top-level statements.
+struct Program {
+  std::vector<StmtPtr> Stmts;
+
+  Program() = default;
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  Program cloneProgram() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Convenience constructors (used heavily by the rewriter and tests)
+//===----------------------------------------------------------------------===//
+
+ExprPtr makeNumber(double Value);
+ExprPtr makeIdent(std::string Name);
+ExprPtr makeBinary(BinaryOp Op, ExprPtr LHS, ExprPtr RHS);
+ExprPtr makeUnary(UnaryOp Op, ExprPtr Operand);
+ExprPtr makeTranspose(ExprPtr Operand);
+ExprPtr makeRange(ExprPtr Start, ExprPtr Stop);
+ExprPtr makeRange(ExprPtr Start, ExprPtr Step, ExprPtr Stop);
+ExprPtr makeIndex(std::string Base, std::vector<ExprPtr> Args);
+ExprPtr makeCall(std::string Callee, std::vector<ExprPtr> Args);
+
+} // namespace mvec
+
+#endif // MVEC_FRONTEND_AST_H

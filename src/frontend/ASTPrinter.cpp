@@ -1,0 +1,281 @@
+//===- ASTPrinter.cpp - MATLAB source emission ----------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ASTPrinter.h"
+
+#include "support/StringExtras.h"
+
+#include <sstream>
+
+using namespace mvec;
+
+namespace {
+
+/// Binding strength used to decide parenthesization. Higher binds tighter.
+enum Precedence : unsigned {
+  PrecNone = 0,
+  PrecOrOr = 1,
+  PrecAndAnd = 2,
+  PrecOr = 3,
+  PrecAnd = 4,
+  PrecCmp = 5,
+  PrecRange = 6,
+  PrecAdd = 7,
+  PrecMul = 8,
+  PrecUnary = 9,
+  PrecPow = 10,
+  PrecPostfix = 11,
+};
+
+unsigned binaryPrec(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::OrOr:
+    return PrecOrOr;
+  case BinaryOp::AndAnd:
+    return PrecAndAnd;
+  case BinaryOp::Or:
+    return PrecOr;
+  case BinaryOp::And:
+    return PrecAnd;
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return PrecCmp;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return PrecAdd;
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::DotMul:
+  case BinaryOp::DotDiv:
+    return PrecMul;
+  case BinaryOp::Pow:
+  case BinaryOp::DotPow:
+    return PrecPow;
+  }
+  return PrecNone;
+}
+
+class PrinterImpl {
+public:
+  void printExpr(std::string &Out, const Expr &E, unsigned MinPrec);
+  void printStmtList(std::string &Out, const std::vector<StmtPtr> &Body,
+                     unsigned Indent);
+  void printStmt(std::string &Out, const Stmt &S, unsigned Indent);
+
+private:
+  void indent(std::string &Out, unsigned Indent) {
+    Out.append(2 * static_cast<size_t>(Indent), ' ');
+  }
+};
+
+void PrinterImpl::printExpr(std::string &Out, const Expr &E,
+                            unsigned MinPrec) {
+  switch (E.kind()) {
+  case Expr::Kind::Number:
+    Out += formatMatlabNumber(cast<NumberExpr>(E).value());
+    return;
+  case Expr::Kind::String: {
+    Out += '\'';
+    for (char C : cast<StringExpr>(E).value()) {
+      Out += C;
+      if (C == '\'')
+        Out += '\''; // re-escape
+    }
+    Out += '\'';
+    return;
+  }
+  case Expr::Kind::Ident:
+    Out += cast<IdentExpr>(E).name();
+    return;
+  case Expr::Kind::MagicColon:
+    Out += ':';
+    return;
+  case Expr::Kind::EndKeyword:
+    Out += "end";
+    return;
+  case Expr::Kind::Range: {
+    const auto &R = cast<RangeExpr>(E);
+    bool Paren = PrecRange < MinPrec;
+    if (Paren)
+      Out += '(';
+    printExpr(Out, *R.start(), PrecAdd);
+    Out += ':';
+    if (R.step()) {
+      printExpr(Out, *R.step(), PrecAdd);
+      Out += ':';
+    }
+    printExpr(Out, *R.stop(), PrecAdd);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    bool Paren = PrecUnary < MinPrec;
+    if (Paren)
+      Out += '(';
+    Out += unaryOpSpelling(U.op());
+    printExpr(Out, *U.operand(), PrecUnary);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    unsigned Prec = binaryPrec(B.op());
+    bool Paren = Prec < MinPrec;
+    if (Paren)
+      Out += '(';
+    printExpr(Out, *B.lhs(), Prec);
+    Out += binaryOpSpelling(B.op());
+    // Left-associative: the right operand needs one level more binding.
+    printExpr(Out, *B.rhs(), Prec + 1);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case Expr::Kind::Transpose: {
+    const auto &T = cast<TransposeExpr>(E);
+    printExpr(Out, *T.operand(), PrecPostfix);
+    Out += '\'';
+    return;
+  }
+  case Expr::Kind::Index: {
+    const auto &I = cast<IndexExpr>(E);
+    printExpr(Out, *I.base(), PrecPostfix);
+    Out += '(';
+    for (unsigned A = 0, N = I.numArgs(); A != N; ++A) {
+      if (A != 0)
+        Out += ',';
+      printExpr(Out, *I.arg(A), PrecNone);
+    }
+    Out += ')';
+    return;
+  }
+  case Expr::Kind::Matrix: {
+    const auto &M = cast<MatrixExpr>(E);
+    Out += '[';
+    for (size_t R = 0; R != M.rows().size(); ++R) {
+      if (R != 0)
+        Out += ';';
+      const MatrixExpr::Row &Row = M.rows()[R];
+      for (size_t C = 0; C != Row.size(); ++C) {
+        if (C != 0)
+          Out += ',';
+        printExpr(Out, *Row[C], PrecNone);
+      }
+    }
+    Out += ']';
+    return;
+  }
+  }
+}
+
+void PrinterImpl::printStmtList(std::string &Out,
+                                const std::vector<StmtPtr> &Body,
+                                unsigned Indent) {
+  for (const StmtPtr &S : Body)
+    printStmt(Out, *S, Indent);
+}
+
+void PrinterImpl::printStmt(std::string &Out, const Stmt &S, unsigned Indent) {
+  indent(Out, Indent);
+  switch (S.kind()) {
+  case Stmt::Kind::Assign: {
+    const auto &A = cast<AssignStmt>(S);
+    printExpr(Out, *A.lhs(), PrecNone);
+    Out += '=';
+    printExpr(Out, *A.rhs(), PrecNone);
+    Out += ";\n";
+    return;
+  }
+  case Stmt::Kind::Expr: {
+    const auto &E = cast<ExprStmt>(S);
+    printExpr(Out, *E.expr(), PrecNone);
+    Out += ";\n";
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto &F = cast<ForStmt>(S);
+    Out += "for ";
+    Out += F.indexVar();
+    Out += '=';
+    printExpr(Out, *F.range(), PrecNone);
+    Out += '\n';
+    printStmtList(Out, F.body(), Indent + 1);
+    indent(Out, Indent);
+    Out += "end\n";
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto &W = cast<WhileStmt>(S);
+    Out += "while ";
+    printExpr(Out, *W.cond(), PrecNone);
+    Out += '\n';
+    printStmtList(Out, W.body(), Indent + 1);
+    indent(Out, Indent);
+    Out += "end\n";
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto &If = cast<IfStmt>(S);
+    for (size_t BI = 0; BI != If.branches().size(); ++BI) {
+      const IfStmt::Branch &B = If.branches()[BI];
+      if (BI != 0)
+        indent(Out, Indent);
+      if (BI == 0) {
+        Out += "if ";
+        printExpr(Out, *B.Cond, PrecNone);
+      } else if (B.Cond) {
+        Out += "elseif ";
+        printExpr(Out, *B.Cond, PrecNone);
+      } else {
+        Out += "else";
+      }
+      Out += '\n';
+      printStmtList(Out, B.Body, Indent + 1);
+    }
+    indent(Out, Indent);
+    Out += "end\n";
+    return;
+  }
+  case Stmt::Kind::Break:
+    Out += "break;\n";
+    return;
+  case Stmt::Kind::Continue:
+    Out += "continue;\n";
+    return;
+  case Stmt::Kind::Return:
+    Out += "return;\n";
+    return;
+  }
+}
+
+} // namespace
+
+std::string mvec::printExpr(const Expr &E) {
+  std::string Out;
+  PrinterImpl().printExpr(Out, E, PrecNone);
+  return Out;
+}
+
+std::string mvec::printStmt(const Stmt &S, unsigned Indent) {
+  std::string Out;
+  PrinterImpl().printStmt(Out, S, Indent);
+  return Out;
+}
+
+std::string mvec::printProgram(const Program &P) {
+  std::string Out;
+  PrinterImpl Printer;
+  for (const StmtPtr &S : P.Stmts)
+    Printer.printStmt(Out, *S, 0);
+  return Out;
+}

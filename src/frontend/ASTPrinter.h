@@ -1,0 +1,35 @@
+//===- ASTPrinter.h - MATLAB source emission --------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST back to MATLAB source. Parenthesization is recomputed
+/// from operator precedence, so rewritten trees always print as valid
+/// MATLAB regardless of how they were constructed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FRONTEND_ASTPRINTER_H
+#define MVEC_FRONTEND_ASTPRINTER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+
+namespace mvec {
+
+/// Renders a single expression.
+std::string printExpr(const Expr &E);
+
+/// Renders a single statement (including any nested bodies), with
+/// \p Indent leading levels of two-space indentation.
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+/// Renders a whole program.
+std::string printProgram(const Program &P);
+
+} // namespace mvec
+
+#endif // MVEC_FRONTEND_ASTPRINTER_H

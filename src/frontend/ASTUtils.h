@@ -1,0 +1,69 @@
+//===- ASTUtils.h - AST traversal helpers -----------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural equality, identifier collection and identifier substitution
+/// over expressions — the building blocks of the rewriting passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FRONTEND_ASTUTILS_H
+#define MVEC_FRONTEND_ASTUTILS_H
+
+#include "frontend/AST.h"
+
+#include <functional>
+#include <set>
+#include <string>
+
+namespace mvec {
+
+/// Structural (syntactic) equality of two expressions. Source locations are
+/// ignored. Used e.g. to recognize the accumulator occurrence A(J) on the
+/// right-hand side of an additive-reduction statement.
+bool exprEquals(const Expr &A, const Expr &B);
+
+/// Collects every identifier occurring in \p E (including index-expression
+/// base names) into \p Names.
+void collectIdentifiers(const Expr &E, std::set<std::string> &Names);
+
+/// True if identifier \p Name occurs anywhere in \p E.
+bool mentionsIdentifier(const Expr &E, const std::string &Name);
+
+/// Replaces every free occurrence of identifier \p Name in \p E with a clone
+/// of \p Replacement, returning the rewritten expression. Occurrences as an
+/// IndexExpr base are not replaced (a(i): the 'a' is a variable being
+/// indexed, not a scalar use) unless \p ReplaceBases is set.
+ExprPtr substituteIdentifier(ExprPtr E, const std::string &Name,
+                             const Expr &Replacement,
+                             bool ReplaceBases = false);
+
+/// Visits every expression node of \p E in pre-order.
+void visitExpr(const Expr &E, const std::function<void(const Expr &)> &Fn);
+
+/// Visits every statement in \p Body recursively (including nested loop and
+/// branch bodies) in source order.
+void visitStmts(const std::vector<StmtPtr> &Body,
+                const std::function<void(const Stmt &)> &Fn);
+
+/// Evaluates \p E as a compile-time numeric constant. Returns true and sets
+/// \p Value on success. Handles numbers, unary +/- and the four arithmetic
+/// binary operators on constants.
+bool evaluateConstant(const Expr &E, double &Value);
+
+/// True when \p E contains an 'end' keyword belonging to the *current*
+/// subscript — 'end' inside a nested subscript (A(B(end))) binds to the
+/// nested one and is not counted.
+bool mentionsEndKeyword(const Expr &E);
+
+/// Replaces every current-subscript 'end' in \p E with the constant
+/// \p Extent (nested subscripts keep theirs, resolved when they are
+/// evaluated).
+ExprPtr replaceEndKeyword(ExprPtr E, double Extent);
+
+} // namespace mvec
+
+#endif // MVEC_FRONTEND_ASTUTILS_H

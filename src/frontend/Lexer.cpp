@@ -1,0 +1,377 @@
+//===- Lexer.cpp - MATLAB lexer -------------------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace mvec;
+
+const char *mvec::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Newline:
+    return "newline";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElseIf:
+    return "'elseif'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFunction:
+    return "'function'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Backslash:
+    return "'\\'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::DotStar:
+    return "'.*'";
+  case TokenKind::DotSlash:
+    return "'./'";
+  case TokenKind::DotBackslash:
+    return "'.\\'";
+  case TokenKind::DotCaret:
+    return "'.^'";
+  case TokenKind::Quote:
+    return "transpose";
+  case TokenKind::DotQuote:
+    return "'.''";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'~='";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Tilde:
+    return "'~'";
+  }
+  return "token";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+Token Lexer::make(TokenKind Kind, SourceLoc Loc, std::string Text) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = Loc;
+  Tok.Text = std::move(Text);
+  Tok.PrecededBySpace = SpaceBefore;
+  SpaceBefore = false;
+  PrevKind = Kind;
+  return Tok;
+}
+
+bool Lexer::quoteIsTranspose() const {
+  switch (PrevKind) {
+  case TokenKind::Identifier:
+  case TokenKind::Number:
+  case TokenKind::RParen:
+  case TokenKind::RBracket:
+  case TokenKind::RBrace:
+  case TokenKind::Quote:
+  case TokenKind::DotQuote:
+  case TokenKind::KwEnd:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Token Lexer::lexNumber(SourceLoc Start) {
+  std::string Text;
+  bool SawDigit = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) {
+    Text += advance();
+    SawDigit = true;
+  }
+  // Fractional part. Take care not to consume the '.' of '.*', '.^', or of
+  // a '.'' transpose ("3.'": MATLAB parses the dot as part of the number,
+  // but we only need numbers the paper's codes use).
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    Text += advance(); // '.'
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      Text += advance();
+      SawDigit = true;
+    }
+  }
+  if (SawDigit && (peek() == 'e' || peek() == 'E')) {
+    char Next = peek(1);
+    char Next2 = peek(2);
+    if (std::isdigit(static_cast<unsigned char>(Next)) ||
+        ((Next == '+' || Next == '-') &&
+         std::isdigit(static_cast<unsigned char>(Next2)))) {
+      Text += advance(); // 'e'
+      if (peek() == '+' || peek() == '-')
+        Text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    }
+  }
+  Token Tok = make(TokenKind::Number, Start, Text);
+  Tok.NumValue = std::strtod(Text.c_str(), nullptr);
+  return Tok;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Start) {
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text += advance();
+  TokenKind Kind = TokenKind::Identifier;
+  if (Text == "for")
+    Kind = TokenKind::KwFor;
+  else if (Text == "end")
+    Kind = TokenKind::KwEnd;
+  else if (Text == "if")
+    Kind = TokenKind::KwIf;
+  else if (Text == "elseif")
+    Kind = TokenKind::KwElseIf;
+  else if (Text == "else")
+    Kind = TokenKind::KwElse;
+  else if (Text == "while")
+    Kind = TokenKind::KwWhile;
+  else if (Text == "function")
+    Kind = TokenKind::KwFunction;
+  else if (Text == "return")
+    Kind = TokenKind::KwReturn;
+  else if (Text == "break")
+    Kind = TokenKind::KwBreak;
+  else if (Text == "continue")
+    Kind = TokenKind::KwContinue;
+  return make(Kind, Start, Text);
+}
+
+Token Lexer::lexString(SourceLoc Start) {
+  std::string Text;
+  while (true) {
+    char C = peek();
+    if (C == '\0' || C == '\n') {
+      Diags.error(loc(), "unterminated string literal");
+      break;
+    }
+    advance();
+    if (C == '\'') {
+      if (peek() == '\'') { // Escaped quote inside the string.
+        Text += '\'';
+        advance();
+        continue;
+      }
+      break;
+    }
+    Text += C;
+  }
+  return make(TokenKind::String, Start, Text);
+}
+
+Token Lexer::next() {
+  while (true) {
+    char C = peek();
+    if (C == '\0')
+      return make(TokenKind::Eof, loc());
+
+    if (C == ' ' || C == '\t' || C == '\r') {
+      SpaceBefore = true;
+      advance();
+      continue;
+    }
+
+    if (C == '%') {
+      SourceLoc CommentLoc = loc();
+      advance();
+      bool IsAnnotation = peek() == '!';
+      if (IsAnnotation)
+        advance();
+      std::string Text;
+      while (peek() != '\n' && peek() != '\0')
+        Text += advance();
+      if (IsAnnotation)
+        Annotations.push_back(AnnotationComment{CommentLoc, Text});
+      continue;
+    }
+
+    if (C == '.' && peek(1) == '.' && peek(2) == '.') {
+      // Line continuation: skip to (and including) the newline.
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      if (peek() == '\n')
+        advance();
+      SpaceBefore = true;
+      continue;
+    }
+
+    SourceLoc Start = loc();
+    if (C == '\n') {
+      advance();
+      return make(TokenKind::Newline, Start);
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+      return lexNumber(Start);
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdentifier(Start);
+
+    advance();
+    switch (C) {
+    case '(':
+      return make(TokenKind::LParen, Start);
+    case ')':
+      return make(TokenKind::RParen, Start);
+    case '[':
+      return make(TokenKind::LBracket, Start);
+    case ']':
+      return make(TokenKind::RBracket, Start);
+    case '{':
+      return make(TokenKind::LBrace, Start);
+    case '}':
+      return make(TokenKind::RBrace, Start);
+    case ',':
+      return make(TokenKind::Comma, Start);
+    case ';':
+      return make(TokenKind::Semicolon, Start);
+    case ':':
+      return make(TokenKind::Colon, Start);
+    case '+':
+      return make(TokenKind::Plus, Start);
+    case '-':
+      return make(TokenKind::Minus, Start);
+    case '*':
+      return make(TokenKind::Star, Start);
+    case '/':
+      return make(TokenKind::Slash, Start);
+    case '\\':
+      return make(TokenKind::Backslash, Start);
+    case '^':
+      return make(TokenKind::Caret, Start);
+    case '=':
+      return make(match('=') ? TokenKind::EqEq : TokenKind::Assign, Start);
+    case '<':
+      return make(match('=') ? TokenKind::Le : TokenKind::Lt, Start);
+    case '>':
+      return make(match('=') ? TokenKind::Ge : TokenKind::Gt, Start);
+    case '~':
+      return make(match('=') ? TokenKind::NotEq : TokenKind::Tilde, Start);
+    case '&':
+      return make(match('&') ? TokenKind::AmpAmp : TokenKind::Amp, Start);
+    case '|':
+      return make(match('|') ? TokenKind::PipePipe : TokenKind::Pipe, Start);
+    case '.':
+      if (match('*'))
+        return make(TokenKind::DotStar, Start);
+      if (match('/'))
+        return make(TokenKind::DotSlash, Start);
+      if (match('\\'))
+        return make(TokenKind::DotBackslash, Start);
+      if (match('^'))
+        return make(TokenKind::DotCaret, Start);
+      if (match('\''))
+        return make(TokenKind::DotQuote, Start);
+      Diags.error(Start, "unexpected '.'");
+      continue;
+    case '\'':
+      if (quoteIsTranspose())
+        return make(TokenKind::Quote, Start);
+      return lexString(Start);
+    default:
+      Diags.error(Start, std::string("unexpected character '") + C + "'");
+      continue;
+    }
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

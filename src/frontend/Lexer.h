@@ -1,0 +1,79 @@
+//===- Lexer.h - MATLAB lexer -----------------------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the MATLAB subset handled by the vectorizer.
+///
+/// MATLAB-specific behaviour implemented here:
+///  - `'` is transpose after an operand (identifier, number, `)`, `]`, `}`,
+///    another transpose) and a string delimiter otherwise;
+///  - `...` swallows the rest of the line (continuation);
+///  - `%` starts a comment; `%!` comments carry shape annotations and are
+///    collected separately for the annotation parser;
+///  - newlines are significant (statement separators) and are emitted as
+///    Newline tokens.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FRONTEND_LEXER_H
+#define MVEC_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace mvec {
+
+/// A `%!` comment found during lexing, e.g. "%! a(1,*) B(*,*)".
+struct AnnotationComment {
+  SourceLoc Loc;
+  std::string Text; // Text after the "%!" marker.
+};
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the next token. Returns Eof forever once the input is exhausted.
+  Token next();
+
+  /// Lexes the whole input. The trailing Eof token is included.
+  std::vector<Token> lexAll();
+
+  const std::vector<AnnotationComment> &annotations() const {
+    return Annotations;
+  }
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  Token make(TokenKind Kind, SourceLoc Loc, std::string Text = std::string());
+  Token lexNumber(SourceLoc Start);
+  Token lexIdentifier(SourceLoc Start);
+  Token lexString(SourceLoc Start);
+
+  /// True if `'` at the current position is a transpose, based on the
+  /// previously produced token.
+  bool quoteIsTranspose() const;
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  bool SpaceBefore = false;
+  TokenKind PrevKind = TokenKind::Newline;
+  std::vector<AnnotationComment> Annotations;
+};
+
+} // namespace mvec
+
+#endif // MVEC_FRONTEND_LEXER_H

@@ -1,0 +1,559 @@
+//===- Parser.cpp - MATLAB parser -----------------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace mvec;
+
+Parser::Parser(std::string Source, DiagnosticEngine &Diags) : Diags(Diags) {
+  Lexer Lex(std::move(Source), Diags);
+  Tokens = Lex.lexAll();
+  Annotations = Lex.annotations();
+}
+
+const Token &Parser::peek(unsigned Ahead) {
+  size_t P = Pos;
+  unsigned Remaining = Ahead;
+  while (P < Tokens.size()) {
+    const Token &Tok = Tokens[P];
+    // Inside parentheses (but not matrix brackets, where newlines separate
+    // rows) newlines are insignificant.
+    bool SkipNewline = ParenDepth > 0 && Tok.is(TokenKind::Newline);
+    if (!SkipNewline) {
+      if (Remaining == 0)
+        return Tok;
+      --Remaining;
+    }
+    ++P;
+  }
+  return Tokens.back(); // Eof
+}
+
+Token Parser::consume() {
+  while (Pos < Tokens.size() - 1 && ParenDepth > 0 &&
+         Tokens[Pos].is(TokenKind::Newline))
+    ++Pos;
+  Token Tok = Tokens[Pos];
+  if (Pos < Tokens.size() - 1)
+    ++Pos;
+  return Tok;
+}
+
+bool Parser::consumeIf(TokenKind Kind) {
+  if (!current().is(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (consumeIf(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(Kind) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+void Parser::skipStatementSeparators() {
+  while (current().is(TokenKind::Newline) ||
+         current().is(TokenKind::Semicolon) || current().is(TokenKind::Comma))
+    consume();
+}
+
+void Parser::syncToStatementBoundary() {
+  while (!current().is(TokenKind::Eof) && !current().is(TokenKind::Newline) &&
+         !current().is(TokenKind::Semicolon) &&
+         !current().is(TokenKind::KwEnd))
+    consume();
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+ParseResult Parser::parseProgram() {
+  ParseResult Result;
+  Result.Prog.Stmts = parseStmtList();
+  if (!current().is(TokenKind::Eof))
+    Diags.error(current().Loc, std::string("unexpected ") +
+                                   tokenKindName(current().Kind) +
+                                   " at top level");
+  Result.Annotations = std::move(Annotations);
+  return Result;
+}
+
+ExprPtr Parser::parseSingleExpression() {
+  ExprPtr E = parseExpr();
+  skipStatementSeparators();
+  if (!current().is(TokenKind::Eof))
+    Diags.error(current().Loc, "trailing input after expression");
+  return E;
+}
+
+bool Parser::startsStmtListTerminator() const {
+  const Token &Tok = Tokens[Pos];
+  return Tok.is(TokenKind::Eof) || Tok.is(TokenKind::KwEnd) ||
+         Tok.is(TokenKind::KwElse) || Tok.is(TokenKind::KwElseIf);
+}
+
+std::vector<StmtPtr> Parser::parseStmtList() {
+  std::vector<StmtPtr> Stmts;
+  skipStatementSeparators();
+  while (!startsStmtListTerminator()) {
+    unsigned Before = Diags.errorCount();
+    StmtPtr S = parseStmt();
+    if (S)
+      Stmts.push_back(std::move(S));
+    if (Diags.errorCount() != Before)
+      syncToStatementBoundary();
+    skipStatementSeparators();
+  }
+  return Stmts;
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (current().Kind) {
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwBreak: {
+    SourceLoc Loc = consume().Loc;
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLoc Loc = consume().Loc;
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  case TokenKind::KwReturn: {
+    SourceLoc Loc = consume().Loc;
+    return std::make_unique<ReturnStmt>(Loc);
+  }
+  case TokenKind::KwFunction:
+    Diags.error(current().Loc,
+                "function definitions are not supported; provide a script");
+    syncToStatementBoundary();
+    return nullptr;
+  default:
+    return parseAssignOrExpr();
+  }
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = consume().Loc; // 'for'
+  bool Parenthesized = consumeIf(TokenKind::LParen);
+  if (!current().is(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected loop index variable after 'for'");
+    syncToStatementBoundary();
+    return nullptr;
+  }
+  std::string IndexVar = consume().Text;
+  if (!expect(TokenKind::Assign, "after for-loop index variable"))
+    return nullptr;
+  ExprPtr Range = parseExpr();
+  if (Parenthesized)
+    expect(TokenKind::RParen, "to close 'for ('");
+  std::vector<StmtPtr> Body = parseStmtList();
+  expect(TokenKind::KwEnd, "to close 'for'");
+  return std::make_unique<ForStmt>(std::move(IndexVar), std::move(Range),
+                                   std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = consume().Loc; // 'while'
+  ExprPtr Cond = parseExpr();
+  std::vector<StmtPtr> Body = parseStmtList();
+  expect(TokenKind::KwEnd, "to close 'while'");
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = consume().Loc; // 'if'
+  std::vector<IfStmt::Branch> Branches;
+  IfStmt::Branch First;
+  First.Cond = parseExpr();
+  First.Body = parseStmtList();
+  Branches.push_back(std::move(First));
+  while (current().is(TokenKind::KwElseIf)) {
+    consume();
+    IfStmt::Branch B;
+    B.Cond = parseExpr();
+    B.Body = parseStmtList();
+    Branches.push_back(std::move(B));
+  }
+  if (consumeIf(TokenKind::KwElse)) {
+    IfStmt::Branch Else;
+    Else.Body = parseStmtList();
+    Branches.push_back(std::move(Else));
+  }
+  expect(TokenKind::KwEnd, "to close 'if'");
+  return std::make_unique<IfStmt>(std::move(Branches), Loc);
+}
+
+StmtPtr Parser::parseAssignOrExpr() {
+  SourceLoc Loc = current().Loc;
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (!consumeIf(TokenKind::Assign))
+    return std::make_unique<ExprStmt>(std::move(E), Loc);
+
+  if (!isa<IdentExpr>(E.get()) && !isa<IndexExpr>(E.get())) {
+    Diags.error(Loc, "invalid assignment target");
+    syncToStatementBoundary();
+    return nullptr;
+  }
+  ExprPtr RHS = parseExpr();
+  if (!RHS)
+    return nullptr;
+  return std::make_unique<AssignStmt>(std::move(E), std::move(RHS), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::errorExpr(const char *Message) {
+  Diags.error(current().Loc, Message);
+  return makeNumber(0);
+}
+
+ExprPtr Parser::parseExpr() { return parseOrOr(); }
+
+ExprPtr Parser::parseOrOr() {
+  ExprPtr LHS = parseAndAnd();
+  while (current().is(TokenKind::PipePipe)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseAndAnd();
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::OrOr, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseAndAnd() {
+  ExprPtr LHS = parseOr();
+  while (current().is(TokenKind::AmpAmp)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseOr();
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::AndAnd, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseOr() {
+  ExprPtr LHS = parseAnd();
+  while (current().is(TokenKind::Pipe)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseAnd();
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr LHS = parseComparison();
+  while (current().is(TokenKind::Amp)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseComparison();
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr LHS = parseRange();
+  while (true) {
+    BinaryOp Op;
+    switch (current().Kind) {
+    case TokenKind::Lt:
+      Op = BinaryOp::Lt;
+      break;
+    case TokenKind::Gt:
+      Op = BinaryOp::Gt;
+      break;
+    case TokenKind::Le:
+      Op = BinaryOp::Le;
+      break;
+    case TokenKind::Ge:
+      Op = BinaryOp::Ge;
+      break;
+    case TokenKind::EqEq:
+      Op = BinaryOp::Eq;
+      break;
+    case TokenKind::NotEq:
+      Op = BinaryOp::Ne;
+      break;
+    default:
+      return LHS;
+    }
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseRange();
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseRange() {
+  ExprPtr First = parseAdditive();
+  if (!current().is(TokenKind::Colon))
+    return First;
+  SourceLoc Loc = consume().Loc;
+  ExprPtr Second = parseAdditive();
+  if (!current().is(TokenKind::Colon))
+    return std::make_unique<RangeExpr>(std::move(First), nullptr,
+                                       std::move(Second), Loc);
+  consume();
+  ExprPtr Third = parseAdditive();
+  return std::make_unique<RangeExpr>(std::move(First), std::move(Second),
+                                     std::move(Third), Loc);
+}
+
+bool Parser::minusBeginsNewMatrixElement() {
+  // Inside a matrix literal, "a -b" is two elements while "a - b" and "a-b"
+  // are subtractions: the sign must be preceded but not followed by
+  // whitespace.
+  if (MatrixDepth == 0 || ParenDepth > 0)
+    return false;
+  const Token &Op = current();
+  if (!Op.is(TokenKind::Plus) && !Op.is(TokenKind::Minus))
+    return false;
+  return Op.PrecededBySpace && !peek(1).PrecededBySpace;
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr LHS = parseMultiplicative();
+  while ((current().is(TokenKind::Plus) || current().is(TokenKind::Minus)) &&
+         !minusBeginsNewMatrixElement()) {
+    BinaryOp Op =
+        current().is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseMultiplicative();
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr LHS = parseUnary();
+  while (true) {
+    BinaryOp Op;
+    switch (current().Kind) {
+    case TokenKind::Star:
+      Op = BinaryOp::Mul;
+      break;
+    case TokenKind::Slash:
+      Op = BinaryOp::Div;
+      break;
+    case TokenKind::DotStar:
+      Op = BinaryOp::DotMul;
+      break;
+    case TokenKind::DotSlash:
+      Op = BinaryOp::DotDiv;
+      break;
+    case TokenKind::Backslash:
+    case TokenKind::DotBackslash:
+      Diags.error(current().Loc,
+                  "left-division operators are not supported");
+      consume();
+      continue;
+    default:
+      return LHS;
+    }
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseUnary();
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  switch (current().Kind) {
+  case TokenKind::Plus: {
+    SourceLoc Loc = consume().Loc;
+    return std::make_unique<UnaryExpr>(UnaryOp::Plus, parseUnary(), Loc);
+  }
+  case TokenKind::Minus: {
+    SourceLoc Loc = consume().Loc;
+    return std::make_unique<UnaryExpr>(UnaryOp::Minus, parseUnary(), Loc);
+  }
+  case TokenKind::Tilde: {
+    SourceLoc Loc = consume().Loc;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), Loc);
+  }
+  default:
+    return parsePower();
+  }
+}
+
+ExprPtr Parser::parsePower() {
+  ExprPtr LHS = parsePostfix();
+  while (current().is(TokenKind::Caret) ||
+         current().is(TokenKind::DotCaret)) {
+    BinaryOp Op =
+        current().is(TokenKind::Caret) ? BinaryOp::Pow : BinaryOp::DotPow;
+    SourceLoc Loc = consume().Loc;
+    // MATLAB allows a signed exponent: 2^-1.
+    ExprPtr RHS;
+    if (current().is(TokenKind::Plus) || current().is(TokenKind::Minus)) {
+      UnaryOp UOp = current().is(TokenKind::Plus) ? UnaryOp::Plus
+                                                  : UnaryOp::Minus;
+      SourceLoc ULoc = consume().Loc;
+      RHS = std::make_unique<UnaryExpr>(UOp, parsePostfix(), ULoc);
+    } else {
+      RHS = parsePostfix();
+    }
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (true) {
+    if (current().is(TokenKind::LParen)) {
+      SourceLoc Loc = current().Loc;
+      std::vector<ExprPtr> Args = parseIndexArgs();
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(Args), Loc);
+      continue;
+    }
+    if (current().is(TokenKind::Quote) || current().is(TokenKind::DotQuote)) {
+      SourceLoc Loc = consume().Loc;
+      E = std::make_unique<TransposeExpr>(std::move(E), Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+std::vector<ExprPtr> Parser::parseIndexArgs() {
+  assert(current().is(TokenKind::LParen));
+  consume();
+  ++ParenDepth;
+  ++IndexDepth;
+  std::vector<ExprPtr> Args;
+  if (!current().is(TokenKind::RParen)) {
+    while (true) {
+      // A bare ':' argument (whole-dimension selection).
+      if (current().is(TokenKind::Colon) &&
+          (peek(1).is(TokenKind::Comma) || peek(1).is(TokenKind::RParen))) {
+        SourceLoc Loc = consume().Loc;
+        Args.push_back(std::make_unique<MagicColonExpr>(Loc));
+      } else {
+        Args.push_back(parseExpr());
+      }
+      if (!consumeIf(TokenKind::Comma))
+        break;
+    }
+  }
+  --IndexDepth;
+  --ParenDepth;
+  expect(TokenKind::RParen, "to close subscript or call");
+  return Args;
+}
+
+bool Parser::startsMatrixElement() {
+  switch (current().Kind) {
+  case TokenKind::Number:
+  case TokenKind::String:
+  case TokenKind::Identifier:
+  case TokenKind::LParen:
+  case TokenKind::LBracket:
+  case TokenKind::Tilde:
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprPtr Parser::parseMatrixLiteral() {
+  SourceLoc Loc = consume().Loc; // '['
+  ++MatrixDepth;
+  std::vector<MatrixExpr::Row> Rows;
+  MatrixExpr::Row CurrentRow;
+  while (!current().is(TokenKind::RBracket) &&
+         !current().is(TokenKind::Eof)) {
+    if (current().is(TokenKind::Semicolon) ||
+        current().is(TokenKind::Newline)) {
+      consume();
+      if (!CurrentRow.empty()) {
+        Rows.push_back(std::move(CurrentRow));
+        CurrentRow.clear();
+      }
+      continue;
+    }
+    if (current().is(TokenKind::Comma)) {
+      consume();
+      continue;
+    }
+    if (!CurrentRow.empty() && !startsMatrixElement()) {
+      Diags.error(current().Loc, std::string("unexpected ") +
+                                     tokenKindName(current().Kind) +
+                                     " in matrix literal");
+      break;
+    }
+    CurrentRow.push_back(parseExpr());
+  }
+  if (!CurrentRow.empty())
+    Rows.push_back(std::move(CurrentRow));
+  --MatrixDepth;
+  expect(TokenKind::RBracket, "to close matrix literal");
+  return std::make_unique<MatrixExpr>(std::move(Rows), Loc);
+}
+
+ExprPtr Parser::parsePrimary() {
+  switch (current().Kind) {
+  case TokenKind::Number: {
+    Token Tok = consume();
+    return std::make_unique<NumberExpr>(Tok.NumValue, Tok.Loc);
+  }
+  case TokenKind::String: {
+    Token Tok = consume();
+    return std::make_unique<StringExpr>(Tok.Text, Tok.Loc);
+  }
+  case TokenKind::Identifier: {
+    Token Tok = consume();
+    return std::make_unique<IdentExpr>(Tok.Text, Tok.Loc);
+  }
+  case TokenKind::KwEnd:
+    if (IndexDepth > 0) {
+      SourceLoc Loc = consume().Loc;
+      return std::make_unique<EndKeywordExpr>(Loc);
+    }
+    return errorExpr("'end' is only valid inside a subscript");
+  case TokenKind::LParen: {
+    consume();
+    ++ParenDepth;
+    ExprPtr E = parseExpr();
+    --ParenDepth;
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokenKind::LBracket:
+    return parseMatrixLiteral();
+  case TokenKind::LBrace:
+    return errorExpr("cell arrays are not supported");
+  default:
+    return errorExpr("expected an expression");
+  }
+}
+
+ParseResult mvec::parseMatlab(std::string Source, DiagnosticEngine &Diags) {
+  Parser P(std::move(Source), Diags);
+  return P.parseProgram();
+}

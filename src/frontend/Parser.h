@@ -1,0 +1,106 @@
+//===- Parser.h - MATLAB parser ---------------------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the MATLAB subset. Produces a Program AST
+/// and the list of `%!` shape-annotation comments found in the source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FRONTEND_PARSER_H
+#define MVEC_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mvec {
+
+/// Result of parsing a script.
+struct ParseResult {
+  Program Prog;
+  std::vector<AnnotationComment> Annotations;
+};
+
+class Parser {
+public:
+  Parser(std::string Source, DiagnosticEngine &Diags);
+
+  /// Parses the whole script. Errors are reported through the diagnostic
+  /// engine; a partial program is still returned so tools can report as many
+  /// problems as possible.
+  ParseResult parseProgram();
+
+  /// Convenience: parse a single expression (used by tests and by the
+  /// annotation-driven tools).
+  ExprPtr parseSingleExpression();
+
+private:
+  // Token stream access. When the paren context is active, newlines are
+  // transparent (the lexer has already folded `...` continuations).
+  const Token &peek(unsigned Ahead = 0);
+  const Token &current() { return peek(0); }
+  Token consume();
+  bool consumeIf(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void skipStatementSeparators();
+  void syncToStatementBoundary();
+
+  // Statements.
+  std::vector<StmtPtr> parseStmtList();
+  bool startsStmtListTerminator() const;
+  StmtPtr parseStmt();
+  StmtPtr parseFor();
+  StmtPtr parseWhile();
+  StmtPtr parseIf();
+  StmtPtr parseAssignOrExpr();
+
+  // Expressions, lowest to highest precedence.
+  ExprPtr parseExpr();
+  ExprPtr parseOrOr();
+  ExprPtr parseAndAnd();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseComparison();
+  ExprPtr parseRange();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePower();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  ExprPtr parseMatrixLiteral();
+  std::vector<ExprPtr> parseIndexArgs();
+
+  /// True when the current token could begin a new matrix element after the
+  /// previous one ended (MATLAB's whitespace-separated elements).
+  bool startsMatrixElement();
+  /// True when a '+'/'-' at the current position should end the current
+  /// matrix element ("[a -b]" is two elements; "[a - b]" is a subtraction).
+  bool minusBeginsNewMatrixElement();
+
+  ExprPtr errorExpr(const char *Message);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  DiagnosticEngine &Diags;
+  std::vector<AnnotationComment> Annotations;
+  unsigned ParenDepth = 0;
+  unsigned MatrixDepth = 0;
+  unsigned IndexDepth = 0;
+};
+
+/// Parses \p Source, returning the program (empty on hard errors; check
+/// \p Diags).
+ParseResult parseMatlab(std::string Source, DiagnosticEngine &Diags);
+
+} // namespace mvec
+
+#endif // MVEC_FRONTEND_PARSER_H

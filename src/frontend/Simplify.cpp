@@ -1,0 +1,300 @@
+//===- Simplify.cpp - Algebraic expression cleanup --------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Simplify.h"
+
+#include "frontend/ASTUtils.h"
+
+#include <cmath>
+
+using namespace mvec;
+
+namespace {
+
+bool isNumber(const Expr *E, double Value) {
+  const auto *N = dyn_cast<NumberExpr>(E);
+  return N && N->value() == Value;
+}
+
+} // namespace
+
+ExprPtr mvec::simplifyExpr(ExprPtr E) {
+  switch (E->kind()) {
+  case Expr::Kind::Number:
+  case Expr::Kind::String:
+  case Expr::Kind::Ident:
+  case Expr::Kind::MagicColon:
+  case Expr::Kind::EndKeyword:
+    return E;
+  case Expr::Kind::Range: {
+    auto &R = cast<RangeExpr>(*E);
+    ExprPtr Start = simplifyExpr(R.start()->clone());
+    ExprPtr Step = R.step() ? simplifyExpr(R.step()->clone()) : nullptr;
+    ExprPtr Stop = simplifyExpr(R.stop()->clone());
+    if (Step && isNumber(Step.get(), 1.0))
+      Step = nullptr; // 1:1:n is just 1:n
+    return std::make_unique<RangeExpr>(std::move(Start), std::move(Step),
+                                       std::move(Stop), E->loc());
+  }
+  case Expr::Kind::Unary: {
+    auto &U = cast<UnaryExpr>(*E);
+    ExprPtr Operand = simplifyExpr(U.takeOperand());
+    if (U.op() == UnaryOp::Plus)
+      return Operand;
+    if (U.op() == UnaryOp::Minus)
+      if (const auto *N = dyn_cast<NumberExpr>(Operand.get()))
+        return makeNumber(-N->value());
+    // --x => x
+    if (U.op() == UnaryOp::Minus)
+      if (auto *Inner = dyn_cast<UnaryExpr>(Operand.get()))
+        if (Inner->op() == UnaryOp::Minus)
+          return Inner->takeOperand();
+    return std::make_unique<UnaryExpr>(U.op(), std::move(Operand), E->loc());
+  }
+  case Expr::Kind::Binary: {
+    auto &B = cast<BinaryExpr>(*E);
+    ExprPtr LHS = simplifyExpr(B.takeLHS());
+    ExprPtr RHS = simplifyExpr(B.takeRHS());
+    BinaryOp Op = B.op();
+
+    // Constant folding for the arithmetic operators.
+    const auto *LN = dyn_cast<NumberExpr>(LHS.get());
+    const auto *RN = dyn_cast<NumberExpr>(RHS.get());
+    if (LN && RN) {
+      switch (Op) {
+      case BinaryOp::Add:
+        return makeNumber(LN->value() + RN->value());
+      case BinaryOp::Sub:
+        return makeNumber(LN->value() - RN->value());
+      case BinaryOp::Mul:
+      case BinaryOp::DotMul:
+        return makeNumber(LN->value() * RN->value());
+      case BinaryOp::Div:
+      case BinaryOp::DotDiv:
+        if (RN->value() != 0.0)
+          return makeNumber(LN->value() / RN->value());
+        break;
+      case BinaryOp::Pow:
+      case BinaryOp::DotPow:
+        return makeNumber(std::pow(LN->value(), RN->value()));
+      default:
+        break;
+      }
+    }
+
+    switch (Op) {
+    case BinaryOp::Add:
+      if (isNumber(LHS.get(), 0.0))
+        return RHS;
+      if (isNumber(RHS.get(), 0.0))
+        return LHS;
+      // x + (-c) => x - c
+      if (RN && RN->value() < 0)
+        return makeBinary(BinaryOp::Sub, std::move(LHS),
+                          makeNumber(-RN->value()));
+      break;
+    case BinaryOp::Sub:
+      if (isNumber(RHS.get(), 0.0))
+        return LHS;
+      if (RN && RN->value() < 0)
+        return makeBinary(BinaryOp::Add, std::move(LHS),
+                          makeNumber(-RN->value()));
+      break;
+    case BinaryOp::Mul:
+    case BinaryOp::DotMul:
+      if (isNumber(LHS.get(), 1.0))
+        return RHS;
+      if (isNumber(RHS.get(), 1.0))
+        return LHS;
+      if (isNumber(LHS.get(), 0.0) || isNumber(RHS.get(), 0.0))
+        return makeNumber(0.0);
+      break;
+    case BinaryOp::Div:
+    case BinaryOp::DotDiv:
+      if (isNumber(RHS.get(), 1.0))
+        return LHS;
+      break;
+    default:
+      break;
+    }
+    return std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                        E->loc());
+  }
+  case Expr::Kind::Transpose: {
+    auto &T = cast<TransposeExpr>(*E);
+    ExprPtr Operand = simplifyExpr(T.takeOperand());
+    // Scalars are transpose-invariant.
+    if (isa<NumberExpr>(Operand.get()))
+      return Operand;
+    // x'' == x.
+    if (auto *Inner = dyn_cast<TransposeExpr>(Operand.get()))
+      return Inner->takeOperand();
+    return std::make_unique<TransposeExpr>(std::move(Operand), E->loc());
+  }
+  case Expr::Kind::Index: {
+    auto &I = cast<IndexExpr>(*E);
+    ExprPtr Base = simplifyExpr(I.base()->clone());
+    std::vector<ExprPtr> Args;
+    Args.reserve(I.numArgs());
+    for (ExprPtr &A : I.args())
+      Args.push_back(simplifyExpr(std::move(A)));
+    return std::make_unique<IndexExpr>(std::move(Base), std::move(Args),
+                                       E->loc());
+  }
+  case Expr::Kind::Matrix: {
+    auto &M = cast<MatrixExpr>(*E);
+    std::vector<MatrixExpr::Row> Rows;
+    for (MatrixExpr::Row &Row : M.rows()) {
+      MatrixExpr::Row NewRow;
+      for (ExprPtr &Elt : Row)
+        NewRow.push_back(simplifyExpr(std::move(Elt)));
+      Rows.push_back(std::move(NewRow));
+    }
+    return std::make_unique<MatrixExpr>(std::move(Rows), E->loc());
+  }
+  }
+  return E;
+}
+
+void mvec::simplifyStmt(Stmt &S) {
+  switch (S.kind()) {
+  case Stmt::Kind::Assign: {
+    auto &A = cast<AssignStmt>(S);
+    A.setLHS(simplifyExpr(A.takeLHS()));
+    A.setRHS(simplifyExpr(A.takeRHS()));
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto &F = cast<ForStmt>(S);
+    ExprPtr Range = F.range()->clone();
+    F.setRange(simplifyExpr(std::move(Range)));
+    for (StmtPtr &Child : F.body())
+      simplifyStmt(*Child);
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto &W = cast<WhileStmt>(S);
+    for (StmtPtr &Child : W.body())
+      simplifyStmt(*Child);
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto &If = cast<IfStmt>(S);
+    for (IfStmt::Branch &B : If.branches())
+      for (StmtPtr &Child : B.Body)
+        simplifyStmt(*Child);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+namespace {
+
+/// Builds the distributed equivalent of Transpose(\p Inner); \p Inner has
+/// already been processed bottom-up.
+ExprPtr pushTransposeInward(ExprPtr Inner) {
+  switch (Inner->kind()) {
+  case Expr::Kind::Number:
+    return Inner; // scalars are transpose-invariant
+  case Expr::Kind::Transpose:
+    // (x')' == x.
+    return cast<TransposeExpr>(*Inner).takeOperand();
+  case Expr::Kind::Unary: {
+    auto &U = cast<UnaryExpr>(*Inner);
+    if (U.op() == UnaryOp::Minus || U.op() == UnaryOp::Plus)
+      return std::make_unique<UnaryExpr>(
+          U.op(), pushTransposeInward(U.takeOperand()), Inner->loc());
+    break;
+  }
+  case Expr::Kind::Binary: {
+    auto &B = cast<BinaryExpr>(*Inner);
+    switch (B.op()) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::DotMul:
+    case BinaryOp::DotDiv:
+    case BinaryOp::DotPow:
+      // Elementwise: distribute to both operands.
+      return std::make_unique<BinaryExpr>(
+          B.op(), pushTransposeInward(B.takeLHS()),
+          pushTransposeInward(B.takeRHS()), Inner->loc());
+    case BinaryOp::Mul:
+      // (A*B)' == B'*A'.
+      return std::make_unique<BinaryExpr>(
+          BinaryOp::Mul, pushTransposeInward(B.takeRHS()),
+          pushTransposeInward(B.takeLHS()), Inner->loc());
+    default:
+      break;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  return std::make_unique<TransposeExpr>(std::move(Inner));
+}
+
+} // namespace
+
+ExprPtr mvec::distributeTransposes(ExprPtr E) {
+  switch (E->kind()) {
+  case Expr::Kind::Number:
+  case Expr::Kind::String:
+  case Expr::Kind::Ident:
+  case Expr::Kind::MagicColon:
+  case Expr::Kind::EndKeyword:
+    return E;
+  case Expr::Kind::Range: {
+    auto &R = cast<RangeExpr>(*E);
+    ExprPtr Start = distributeTransposes(R.start()->clone());
+    ExprPtr Step =
+        R.step() ? distributeTransposes(R.step()->clone()) : nullptr;
+    ExprPtr Stop = distributeTransposes(R.stop()->clone());
+    return std::make_unique<RangeExpr>(std::move(Start), std::move(Step),
+                                       std::move(Stop), E->loc());
+  }
+  case Expr::Kind::Unary: {
+    auto &U = cast<UnaryExpr>(*E);
+    return std::make_unique<UnaryExpr>(
+        U.op(), distributeTransposes(U.takeOperand()), E->loc());
+  }
+  case Expr::Kind::Binary: {
+    auto &B = cast<BinaryExpr>(*E);
+    ExprPtr LHS = distributeTransposes(B.takeLHS());
+    ExprPtr RHS = distributeTransposes(B.takeRHS());
+    return std::make_unique<BinaryExpr>(B.op(), std::move(LHS),
+                                        std::move(RHS), E->loc());
+  }
+  case Expr::Kind::Transpose: {
+    auto &T = cast<TransposeExpr>(*E);
+    ExprPtr Inner = distributeTransposes(T.takeOperand());
+    return pushTransposeInward(std::move(Inner));
+  }
+  case Expr::Kind::Index: {
+    auto &I = cast<IndexExpr>(*E);
+    ExprPtr Base = distributeTransposes(I.base()->clone());
+    std::vector<ExprPtr> Args;
+    for (ExprPtr &A : I.args())
+      Args.push_back(distributeTransposes(std::move(A)));
+    return std::make_unique<IndexExpr>(std::move(Base), std::move(Args),
+                                       E->loc());
+  }
+  case Expr::Kind::Matrix: {
+    auto &M = cast<MatrixExpr>(*E);
+    std::vector<MatrixExpr::Row> Rows;
+    for (MatrixExpr::Row &Row : M.rows()) {
+      MatrixExpr::Row NewRow;
+      for (ExprPtr &Elt : Row)
+        NewRow.push_back(distributeTransposes(std::move(Elt)));
+      Rows.push_back(std::move(NewRow));
+    }
+    return std::make_unique<MatrixExpr>(std::move(Rows), E->loc());
+  }
+  }
+  return E;
+}

@@ -1,0 +1,36 @@
+//===- Simplify.h - Algebraic expression cleanup ----------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Local algebraic simplification of expressions: constant folding and the
+/// identities x+0, x-0, 0+x, x*1, 1*x, x/1, x*0. Used to keep generated
+/// code readable (loop normalization would otherwise emit "2*i+0").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FRONTEND_SIMPLIFY_H
+#define MVEC_FRONTEND_SIMPLIFY_H
+
+#include "frontend/AST.h"
+
+namespace mvec {
+
+/// Returns the simplified expression (may be the input, rewritten in
+/// place).
+ExprPtr simplifyExpr(ExprPtr E);
+
+/// Simplifies every expression in a statement in place.
+void simplifyStmt(Stmt &S);
+
+/// Distributes transposes inward — the "later optimization" the paper
+/// leaves open: (A+B)' becomes A'+B', (A*B)' becomes B'*A', x'' becomes
+/// x. All rewrites are shape-generic identities; transposes that cannot
+/// be distributed (subscripts, calls, '/') stay put.
+ExprPtr distributeTransposes(ExprPtr E);
+
+} // namespace mvec
+
+#endif // MVEC_FRONTEND_SIMPLIFY_H

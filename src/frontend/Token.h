@@ -1,0 +1,98 @@
+//===- Token.h - MATLAB token definitions -----------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the MATLAB lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FRONTEND_TOKEN_H
+#define MVEC_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+
+namespace mvec {
+
+enum class TokenKind {
+  Eof,
+  Newline, // '\n' or '\r\n' (statement separator)
+  Number,
+  String,
+  Identifier,
+
+  // Keywords.
+  KwFor,
+  KwEnd,
+  KwIf,
+  KwElseIf,
+  KwElse,
+  KwWhile,
+  KwFunction,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Semicolon,
+  Colon,
+  Assign, // '='
+
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Backslash,
+  Caret,
+  DotStar,
+  DotSlash,
+  DotBackslash,
+  DotCaret,
+  Quote,    // '  (transpose; string literals are lexed separately)
+  DotQuote, // .'
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq, // ~=
+  Amp,
+  Pipe,
+  AmpAmp,
+  PipePipe,
+  Tilde, // ~
+};
+
+/// Returns a human-readable spelling for diagnostics ("'('", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// A lexed token. \c Text holds the literal spelling for identifiers,
+/// numbers and strings (string text excludes the surrounding quotes).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  double NumValue = 0;
+  /// True when at least one whitespace character precedes this token on the
+  /// same line. The parser needs this to disambiguate matrix elements
+  /// ("[a -b]" vs "[a - b]") the same way MATLAB does.
+  bool PrecededBySpace = false;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace mvec
+
+#endif // MVEC_FRONTEND_TOKEN_H

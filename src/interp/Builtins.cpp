@@ -1,0 +1,683 @@
+//===- Builtins.cpp - MATLAB builtin functions -----------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Builtins.h"
+
+#include "interp/Interpreter.h"
+#include "interp/MatrixOps.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+
+using namespace mvec;
+
+namespace {
+
+using ArgList = std::vector<Value>;
+using BuiltinFn =
+    std::function<Value(Interpreter &, const ArgList &, SourceLoc)>;
+
+bool requireArgs(Interpreter &Interp, const ArgList &Args, size_t Min,
+                 size_t Max, const char *Name, SourceLoc Loc) {
+  if (Args.size() >= Min && Args.size() <= Max)
+    return true;
+  Interp.fail(Loc, std::string("wrong number of arguments to '") + Name +
+                       "'");
+  return false;
+}
+
+bool requireScalar(Interpreter &Interp, const Value &V, const char *Name,
+                   SourceLoc Loc) {
+  if (V.isScalar())
+    return true;
+  Interp.fail(Loc, std::string("argument to '") + Name +
+                       "' must be a scalar");
+  return false;
+}
+
+bool toExtent(Interpreter &Interp, const Value &V, size_t &Out,
+              const char *Name, SourceLoc Loc) {
+  if (!requireScalar(Interp, V, Name, Loc))
+    return false;
+  double D = V.scalarValue();
+  if (D < 0 || D != std::floor(D)) {
+    Interp.fail(Loc, std::string("size argument to '") + Name +
+                         "' must be a nonnegative integer");
+    return false;
+  }
+  Out = static_cast<size_t>(D);
+  return true;
+}
+
+Value mapUnary(const Value &A, double (*Fn)(double)) {
+  Value Result(A.rows(), A.cols());
+  for (size_t I = 0, E = A.numel(); I != E; ++I)
+    Result.linear(I) = Fn(A.linear(I));
+  return Result;
+}
+
+/// min/max with MATLAB's two forms: reduce(v) and elementwise(a, b).
+Value minMax(Interpreter &Interp, const ArgList &Args, SourceLoc Loc,
+             bool IsMin) {
+  const char *Name = IsMin ? "min" : "max";
+  if (!requireArgs(Interp, Args, 1, 2, Name, Loc))
+    return Value();
+  auto Pick = [IsMin](double A, double B) {
+    if (std::isnan(A))
+      return B;
+    if (std::isnan(B))
+      return A;
+    return IsMin ? std::fmin(A, B) : std::fmax(A, B);
+  };
+  if (Args.size() == 2) {
+    const Value &A = Args[0], &B = Args[1];
+    if (A.isScalar() || B.isScalar() ||
+        (A.rows() == B.rows() && A.cols() == B.cols())) {
+      size_t R = A.isScalar() ? B.rows() : A.rows();
+      size_t C = A.isScalar() ? B.cols() : A.cols();
+      Value Result(R, C);
+      for (size_t I = 0, E = Result.numel(); I != E; ++I) {
+        double AV = A.isScalar() ? A.scalarValue() : A.linear(I);
+        double BV = B.isScalar() ? B.scalarValue() : B.linear(I);
+        Result.linear(I) = Pick(AV, BV);
+      }
+      return Result;
+    }
+    Interp.fail(Loc, "matrix dimensions must agree");
+    return Value();
+  }
+  const Value &A = Args[0];
+  if (A.isEmpty())
+    return Value();
+  if (A.isVector()) {
+    double Best = A.linear(0);
+    for (size_t I = 1, E = A.numel(); I != E; ++I)
+      Best = Pick(Best, A.linear(I));
+    return Value::scalar(Best);
+  }
+  Value Result(1, A.cols());
+  for (size_t C = 0; C != A.cols(); ++C) {
+    double Best = A.at(0, C);
+    for (size_t R = 1; R != A.rows(); ++R)
+      Best = Pick(Best, A.at(R, C));
+    Result.at(0, C) = Best;
+  }
+  return Result;
+}
+
+Value doFprintf(Interpreter &Interp, const ArgList &Args, SourceLoc Loc) {
+  if (Args.empty()) {
+    Interp.fail(Loc, "fprintf requires a format string");
+    return Value();
+  }
+  std::string Fmt;
+  for (double Code : Args[0].data())
+    Fmt += static_cast<char>(Code);
+
+  // Flatten the remaining arguments into one stream of scalars, MATLAB
+  // style (format recycling is not needed by our examples).
+  std::vector<double> Pool;
+  for (size_t A = 1; A < Args.size(); ++A)
+    for (double D : Args[A].data())
+      Pool.push_back(D);
+  size_t Next = 0;
+
+  std::string Out;
+  for (size_t I = 0; I < Fmt.size(); ++I) {
+    char C = Fmt[I];
+    if (C == '\\' && I + 1 < Fmt.size()) {
+      char N = Fmt[++I];
+      if (N == 'n')
+        Out += '\n';
+      else if (N == 't')
+        Out += '\t';
+      else
+        Out += N;
+      continue;
+    }
+    if (C != '%') {
+      Out += C;
+      continue;
+    }
+    if (I + 1 >= Fmt.size())
+      break;
+    // Parse a conversion: %[flags][width][.prec]letter
+    std::string Spec = "%";
+    ++I;
+    while (I < Fmt.size() && (std::isdigit(Fmt[I]) || Fmt[I] == '.' ||
+                              Fmt[I] == '-' || Fmt[I] == '+'))
+      Spec += Fmt[I++];
+    if (I >= Fmt.size())
+      break;
+    char Conv = Fmt[I];
+    if (Conv == '%') {
+      Out += '%';
+      continue;
+    }
+    double Arg = Next < Pool.size() ? Pool[Next++] : 0.0;
+    char Buf[64];
+    switch (Conv) {
+    case 'd':
+    case 'i':
+      std::snprintf(Buf, sizeof(Buf), (Spec + "lld").c_str(),
+                    static_cast<long long>(Arg));
+      break;
+    case 'f':
+    case 'e':
+    case 'g':
+      std::snprintf(Buf, sizeof(Buf), (Spec + Conv).c_str(), Arg);
+      break;
+    default:
+      Interp.fail(Loc, std::string("unsupported fprintf conversion '%") +
+                           Conv + "'");
+      return Value();
+    }
+    Out += Buf;
+  }
+  Interp.appendOutput(Out);
+  return Value::scalar(static_cast<double>(Out.size()));
+}
+
+const std::map<std::string, BuiltinFn> &builtinTable() {
+  static const std::map<std::string, BuiltinFn> Table = [] {
+    std::map<std::string, BuiltinFn> T;
+
+    T["size"] = [](Interpreter &Interp, const ArgList &Args,
+                   SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 2, "size", Loc))
+        return Value();
+      const Value &A = Args[0];
+      if (Args.size() == 2) {
+        if (!requireScalar(Interp, Args[1], "size", Loc))
+          return Value();
+        double Dim = Args[1].scalarValue();
+        if (Dim == 1)
+          return Value::scalar(static_cast<double>(A.rows()));
+        if (Dim == 2)
+          return Value::scalar(static_cast<double>(A.cols()));
+        return Value::scalar(1.0); // trailing singleton dimensions
+      }
+      Value Result(1, 2);
+      Result.linear(0) = static_cast<double>(A.rows());
+      Result.linear(1) = static_cast<double>(A.cols());
+      return Result;
+    };
+
+    T["numel"] = [](Interpreter &Interp, const ArgList &Args,
+                    SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "numel", Loc))
+        return Value();
+      return Value::scalar(static_cast<double>(Args[0].numel()));
+    };
+
+    T["length"] = [](Interpreter &Interp, const ArgList &Args,
+                     SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "length", Loc))
+        return Value();
+      return Value::scalar(static_cast<double>(
+          std::max(Args[0].rows(), Args[0].cols())));
+    };
+
+    T["isempty"] = [](Interpreter &Interp, const ArgList &Args,
+                      SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "isempty", Loc))
+        return Value();
+      return Value::scalar(Args[0].isEmpty() ? 1.0 : 0.0);
+    };
+
+    auto MakeFilled = [](double Fill) {
+      return [Fill](Interpreter &Interp, const ArgList &Args,
+                    SourceLoc Loc) -> Value {
+        if (Args.empty())
+          return Value::scalar(Fill);
+        size_t R = 0, C = 0;
+        if (!toExtent(Interp, Args[0], R, "zeros/ones", Loc))
+          return Value();
+        if (Args.size() == 1)
+          C = R;
+        else if (!toExtent(Interp, Args[1], C, "zeros/ones", Loc))
+          return Value();
+        return Value(R, C, Fill);
+      };
+    };
+    T["zeros"] = MakeFilled(0.0);
+    T["ones"] = MakeFilled(1.0);
+
+    T["eye"] = [](Interpreter &Interp, const ArgList &Args,
+                  SourceLoc Loc) -> Value {
+      size_t N = 1, M = 1;
+      if (!Args.empty() && !toExtent(Interp, Args[0], N, "eye", Loc))
+        return Value();
+      M = N;
+      if (Args.size() >= 2 && !toExtent(Interp, Args[1], M, "eye", Loc))
+        return Value();
+      Value Result(N, M);
+      for (size_t I = 0; I < N && I < M; ++I)
+        Result.at(I, I) = 1.0;
+      return Result;
+    };
+
+    T["rand"] = [](Interpreter &Interp, const ArgList &Args,
+                   SourceLoc Loc) -> Value {
+      size_t R = 1, C = 1;
+      if (!Args.empty()) {
+        if (!toExtent(Interp, Args[0], R, "rand", Loc))
+          return Value();
+        C = R;
+        if (Args.size() >= 2 && !toExtent(Interp, Args[1], C, "rand", Loc))
+          return Value();
+      }
+      Value Result(R, C);
+      for (size_t I = 0, E = Result.numel(); I != E; ++I)
+        Result.linear(I) = Interp.nextRandom();
+      return Result;
+    };
+
+    T["reshape"] = [](Interpreter &Interp, const ArgList &Args,
+                      SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 3, 3, "reshape", Loc))
+        return Value();
+      size_t R = 0, C = 0;
+      if (!toExtent(Interp, Args[1], R, "reshape", Loc) ||
+          !toExtent(Interp, Args[2], C, "reshape", Loc))
+        return Value();
+      if (R * C != Args[0].numel()) {
+        Interp.fail(Loc, "reshape must preserve the number of elements");
+        return Value();
+      }
+      Value Result = Args[0];
+      Result.reshapeTo(R, C);
+      return Result;
+    };
+
+    T["repmat"] = [](Interpreter &Interp, const ArgList &Args,
+                     SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 2, 3, "repmat", Loc))
+        return Value();
+      size_t R = 0, C = 0;
+      if (Args.size() == 3) {
+        if (!toExtent(Interp, Args[1], R, "repmat", Loc) ||
+            !toExtent(Interp, Args[2], C, "repmat", Loc))
+          return Value();
+      } else {
+        // repmat(X, [r c]) or repmat(X, n).
+        const Value &Spec = Args[1];
+        if (Spec.isScalar()) {
+          if (!toExtent(Interp, Spec, R, "repmat", Loc))
+            return Value();
+          C = R;
+        } else if (Spec.numel() == 2) {
+          R = static_cast<size_t>(Spec.linear(0));
+          C = static_cast<size_t>(Spec.linear(1));
+        } else {
+          Interp.fail(Loc, "invalid repmat replication specification");
+          return Value();
+        }
+      }
+      return repmat(Args[0], R, C);
+    };
+
+    T["sum"] = [](Interpreter &Interp, const ArgList &Args,
+                  SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 2, "sum", Loc))
+        return Value();
+      if (Args.size() == 2) {
+        if (!requireScalar(Interp, Args[1], "sum", Loc))
+          return Value();
+        return sumAlong(Args[0],
+                        static_cast<unsigned>(Args[1].scalarValue()));
+      }
+      return sumDefault(Args[0]);
+    };
+
+    T["cumsum"] = [](Interpreter &Interp, const ArgList &Args,
+                     SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 2, "cumsum", Loc))
+        return Value();
+      if (Args.size() == 2) {
+        if (!requireScalar(Interp, Args[1], "cumsum", Loc))
+          return Value();
+        return cumsumAlong(Args[0],
+                           static_cast<unsigned>(Args[1].scalarValue()));
+      }
+      return cumsumDefault(Args[0]);
+    };
+
+    T["prod"] = [](Interpreter &Interp, const ArgList &Args,
+                   SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "prod", Loc))
+        return Value();
+      return prodDefault(Args[0]);
+    };
+
+    T["min"] = [](Interpreter &Interp, const ArgList &Args, SourceLoc Loc) {
+      return minMax(Interp, Args, Loc, /*IsMin=*/true);
+    };
+    T["max"] = [](Interpreter &Interp, const ArgList &Args, SourceLoc Loc) {
+      return minMax(Interp, Args, Loc, /*IsMin=*/false);
+    };
+
+    auto MakeMap = [](double (*Fn)(double), const char *Name) {
+      return [Fn, Name](Interpreter &Interp, const ArgList &Args,
+                        SourceLoc Loc) -> Value {
+        if (!requireArgs(Interp, Args, 1, 1, Name, Loc))
+          return Value();
+        return mapUnary(Args[0], Fn);
+      };
+    };
+    T["abs"] = MakeMap([](double X) { return std::fabs(X); }, "abs");
+    T["sqrt"] = MakeMap([](double X) { return std::sqrt(X); }, "sqrt");
+    T["cos"] = MakeMap([](double X) { return std::cos(X); }, "cos");
+    T["sin"] = MakeMap([](double X) { return std::sin(X); }, "sin");
+    T["tan"] = MakeMap([](double X) { return std::tan(X); }, "tan");
+    T["exp"] = MakeMap([](double X) { return std::exp(X); }, "exp");
+    T["log"] = MakeMap([](double X) { return std::log(X); }, "log");
+    T["floor"] = MakeMap([](double X) { return std::floor(X); }, "floor");
+    T["ceil"] = MakeMap([](double X) { return std::ceil(X); }, "ceil");
+    T["round"] = MakeMap([](double X) { return std::round(X); }, "round");
+    T["fix"] = MakeMap([](double X) { return std::trunc(X); }, "fix");
+
+    T["mod"] = [](Interpreter &Interp, const ArgList &Args,
+                  SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 2, 2, "mod", Loc))
+        return Value();
+      OpError Err;
+      Value Quot = elementwiseBinary(BinaryOp::DotDiv, Args[0], Args[1], Err);
+      if (Err.failed()) {
+        Interp.fail(Loc, Err.Message);
+        return Value();
+      }
+      Value Result(Quot.rows(), Quot.cols());
+      for (size_t I = 0, E = Quot.numel(); I != E; ++I) {
+        double A = Args[0].isScalar() ? Args[0].scalarValue()
+                                      : Args[0].linear(I);
+        double B = Args[1].isScalar() ? Args[1].scalarValue()
+                                      : Args[1].linear(I);
+        Result.linear(I) = B == 0.0 ? A : A - std::floor(A / B) * B;
+      }
+      return Result;
+    };
+
+    T["hist"] = [](Interpreter &Interp, const ArgList &Args,
+                   SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 2, "hist", Loc))
+        return Value();
+      Value Centers;
+      if (Args.size() == 2) {
+        Centers = Args[1];
+      } else {
+        OpError RangeErr;
+        Centers = makeRange(1, 1, 10, RangeErr); // MATLAB default: 10 bins
+      }
+      OpError Err;
+      Value Result = histCounts(Args[0], Centers, Err);
+      if (Err.failed())
+        Interp.fail(Loc, Err.Message);
+      return Result;
+    };
+
+    T["diag"] = [](Interpreter &Interp, const ArgList &Args,
+                   SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "diag", Loc))
+        return Value();
+      const Value &A = Args[0];
+      if (A.isVector()) {
+        size_t N = A.numel();
+        Value Result(N, N);
+        for (size_t I = 0; I != N; ++I)
+          Result.at(I, I) = A.linear(I);
+        return Result;
+      }
+      size_t N = std::min(A.rows(), A.cols());
+      Value Result(N, 1);
+      for (size_t I = 0; I != N; ++I)
+        Result.at(I, 0) = A.at(I, I);
+      return Result;
+    };
+
+    T["linspace"] = [](Interpreter &Interp, const ArgList &Args,
+                       SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 2, 3, "linspace", Loc))
+        return Value();
+      if (!requireScalar(Interp, Args[0], "linspace", Loc) ||
+          !requireScalar(Interp, Args[1], "linspace", Loc))
+        return Value();
+      size_t N = 100;
+      if (Args.size() == 3 && !toExtent(Interp, Args[2], N, "linspace", Loc))
+        return Value();
+      double A = Args[0].scalarValue(), B = Args[1].scalarValue();
+      Value Result(1, N);
+      for (size_t I = 0; I != N; ++I)
+        Result.linear(I) =
+            N == 1 ? B : A + (B - A) * static_cast<double>(I) /
+                                 static_cast<double>(N - 1);
+      return Result;
+    };
+
+    T["transpose"] = [](Interpreter &Interp, const ArgList &Args,
+                        SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "transpose", Loc))
+        return Value();
+      return Args[0].transposed();
+    };
+
+    T["mean"] = [](Interpreter &Interp, const ArgList &Args,
+                   SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "mean", Loc))
+        return Value();
+      const Value &A = Args[0];
+      if (A.isEmpty()) {
+        Interp.fail(Loc, "mean of an empty value");
+        return Value();
+      }
+      if (A.isVector()) {
+        Value S = sumDefault(A);
+        return Value::scalar(S.scalarValue() /
+                             static_cast<double>(A.numel()));
+      }
+      Value S = sumAlong(A, 1);
+      for (size_t I = 0, E = S.numel(); I != E; ++I)
+        S.linear(I) /= static_cast<double>(A.rows());
+      return S;
+    };
+
+    T["true"] = [](Interpreter &, const ArgList &, SourceLoc) -> Value {
+      Value V = Value::scalar(1.0);
+      V.setLogical(true);
+      return V;
+    };
+    T["false"] = [](Interpreter &, const ArgList &, SourceLoc) -> Value {
+      Value V = Value::scalar(0.0);
+      V.setLogical(true);
+      return V;
+    };
+    T["logical"] = [](Interpreter &Interp, const ArgList &Args,
+                      SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "logical", Loc))
+        return Value();
+      Value V(Args[0].rows(), Args[0].cols());
+      for (size_t I = 0, E = Args[0].numel(); I != E; ++I)
+        V.linear(I) = Args[0].linear(I) != 0.0 ? 1.0 : 0.0;
+      V.setLogical(true);
+      return V;
+    };
+    T["islogical"] = [](Interpreter &Interp, const ArgList &Args,
+                        SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "islogical", Loc))
+        return Value();
+      return Value::scalar(Args[0].isLogical() ? 1.0 : 0.0);
+    };
+    T["double"] = [](Interpreter &Interp, const ArgList &Args,
+                     SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "double", Loc))
+        return Value();
+      Value V = Args[0];
+      V.setLogical(false);
+      return V;
+    };
+
+    T["find"] = [](Interpreter &Interp, const ArgList &Args,
+                   SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "find", Loc))
+        return Value();
+      const Value &A = Args[0];
+      std::vector<double> Indices;
+      for (size_t I = 0, E = A.numel(); I != E; ++I)
+        if (A.linear(I) != 0.0)
+          Indices.push_back(static_cast<double>(I + 1));
+      // find on a row vector yields a row; otherwise a column.
+      return Value::vector(std::move(Indices), /*Row=*/A.isRow());
+    };
+
+    T["any"] = [](Interpreter &Interp, const ArgList &Args,
+                  SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "any", Loc))
+        return Value();
+      const Value &A = Args[0];
+      if (A.isVector() || A.isEmpty()) {
+        for (double D : A.data())
+          if (D != 0.0)
+            return Value::scalar(1.0);
+        return Value::scalar(0.0);
+      }
+      Value R(1, A.cols());
+      for (size_t C = 0; C != A.cols(); ++C)
+        for (size_t Row = 0; Row != A.rows(); ++Row)
+          if (A.at(Row, C) != 0.0) {
+            R.at(0, C) = 1.0;
+            break;
+          }
+      return R;
+    };
+
+    T["all"] = [](Interpreter &Interp, const ArgList &Args,
+                  SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "all", Loc))
+        return Value();
+      const Value &A = Args[0];
+      if (A.isVector() || A.isEmpty()) {
+        for (double D : A.data())
+          if (D == 0.0)
+            return Value::scalar(0.0);
+        return Value::scalar(1.0);
+      }
+      Value R(1, A.cols(), 1.0);
+      for (size_t C = 0; C != A.cols(); ++C)
+        for (size_t Row = 0; Row != A.rows(); ++Row)
+          if (A.at(Row, C) == 0.0) {
+            R.at(0, C) = 0.0;
+            break;
+          }
+      return R;
+    };
+
+    T["nnz"] = [](Interpreter &Interp, const ArgList &Args,
+                  SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "nnz", Loc))
+        return Value();
+      double Count = 0;
+      for (double D : Args[0].data())
+        if (D != 0.0)
+          Count += 1;
+      return Value::scalar(Count);
+    };
+
+    T["norm"] = [](Interpreter &Interp, const ArgList &Args,
+                   SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "norm", Loc))
+        return Value();
+      if (!Args[0].isVector() && !Args[0].isEmpty()) {
+        Interp.fail(Loc, "norm supports vectors only");
+        return Value();
+      }
+      double Acc = 0;
+      for (double D : Args[0].data())
+        Acc += D * D;
+      return Value::scalar(std::sqrt(Acc));
+    };
+
+    T["dot"] = [](Interpreter &Interp, const ArgList &Args,
+                  SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 2, 2, "dot", Loc))
+        return Value();
+      if (!Args[0].isVector() || !Args[1].isVector() ||
+          Args[0].numel() != Args[1].numel()) {
+        Interp.fail(Loc, "dot requires equal-length vectors");
+        return Value();
+      }
+      double Acc = 0;
+      for (size_t I = 0, E = Args[0].numel(); I != E; ++I)
+        Acc += Args[0].linear(I) * Args[1].linear(I);
+      return Value::scalar(Acc);
+    };
+
+    T["fliplr"] = [](Interpreter &Interp, const ArgList &Args,
+                     SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "fliplr", Loc))
+        return Value();
+      const Value &A = Args[0];
+      Value R(A.rows(), A.cols());
+      for (size_t C = 0; C != A.cols(); ++C)
+        for (size_t Row = 0; Row != A.rows(); ++Row)
+          R.at(Row, C) = A.at(Row, A.cols() - 1 - C);
+      return R;
+    };
+
+    T["flipud"] = [](Interpreter &Interp, const ArgList &Args,
+                     SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "flipud", Loc))
+        return Value();
+      const Value &A = Args[0];
+      Value R(A.rows(), A.cols());
+      for (size_t C = 0; C != A.cols(); ++C)
+        for (size_t Row = 0; Row != A.rows(); ++Row)
+          R.at(Row, C) = A.at(A.rows() - 1 - Row, C);
+      return R;
+    };
+
+    T["disp"] = [](Interpreter &Interp, const ArgList &Args,
+                   SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "disp", Loc))
+        return Value();
+      Interp.appendOutput(Args[0].str() + "\n");
+      return Value();
+    };
+
+    T["fprintf"] = doFprintf;
+
+    return T;
+  }();
+  return Table;
+}
+
+} // namespace
+
+bool mvec::isBuiltinName(const std::string &Name) {
+  return builtinTable().count(Name) != 0;
+}
+
+Value mvec::callBuiltin(Interpreter &Interp, const std::string &Name,
+                        const std::vector<Value> &Args, SourceLoc Loc) {
+  auto It = builtinTable().find(Name);
+  if (It == builtinTable().end()) {
+    Interp.fail(Loc, "unknown builtin '" + Name + "'");
+    return Value();
+  }
+  return It->second(Interp, Args, Loc);
+}
+
+std::vector<std::string> mvec::builtinNames() {
+  std::vector<std::string> Names;
+  for (const auto &[Name, Fn] : builtinTable()) {
+    (void)Fn;
+    Names.push_back(Name);
+  }
+  return Names;
+}

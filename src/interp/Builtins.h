@@ -1,0 +1,40 @@
+//===- Builtins.h - MATLAB builtin functions --------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The builtin function table of the interpreter. These are the "efficient
+/// intrinsics" the vectorizer targets (size, sum, cumsum, repmat, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_INTERP_BUILTINS_H
+#define MVEC_INTERP_BUILTINS_H
+
+#include "interp/Value.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace mvec {
+
+class Interpreter;
+
+/// True when \p Name is a builtin function known to the interpreter.
+bool isBuiltinName(const std::string &Name);
+
+/// Invokes builtin \p Name with already-evaluated \p Args. Reports problems
+/// through the interpreter's fail state.
+Value callBuiltin(Interpreter &Interp, const std::string &Name,
+                  const std::vector<Value> &Args, SourceLoc Loc);
+
+/// Names of every registered builtin (used by analyses that must decide
+/// whether an identifier is a function or an array).
+std::vector<std::string> builtinNames();
+
+} // namespace mvec
+
+#endif // MVEC_INTERP_BUILTINS_H

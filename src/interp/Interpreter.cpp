@@ -1,0 +1,586 @@
+//===- Interpreter.cpp - MATLAB interpreter --------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "frontend/ASTUtils.h"
+#include "interp/Builtins.h"
+
+#include <cmath>
+
+using namespace mvec;
+
+void Interpreter::fail(SourceLoc Loc, std::string Message) {
+  if (Failed)
+    return;
+  Failed = true;
+  ErrorMsg = std::move(Message);
+  ErrorLoc = Loc;
+}
+
+double Interpreter::nextRandom() {
+  // xorshift64*: deterministic, seedable, good enough for workloads.
+  RandState ^= RandState >> 12;
+  RandState ^= RandState << 25;
+  RandState ^= RandState >> 27;
+  uint64_t Bits = RandState * 0x2545F4914F6CDD1Dull;
+  return static_cast<double>(Bits >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Interpreter::run(const Program &P) {
+  execBody(P.Stmts);
+  return !Failed;
+}
+
+Interpreter::Flow Interpreter::execBody(const std::vector<StmtPtr> &Body) {
+  for (const StmtPtr &S : Body) {
+    Flow F = execStmt(*S);
+    if (Failed)
+      return Flow::Return;
+    if (F != Flow::Normal)
+      return F;
+  }
+  return Flow::Normal;
+}
+
+Interpreter::Flow Interpreter::execStmt(const Stmt &S) {
+  ++Steps;
+  if (StepLimit != 0 && Steps > StepLimit) {
+    fail(S.loc(), "execution step limit exceeded");
+    return Flow::Return;
+  }
+  switch (S.kind()) {
+  case Stmt::Kind::Assign:
+    execAssign(cast<AssignStmt>(S));
+    return Flow::Normal;
+  case Stmt::Kind::Expr:
+    eval(*cast<ExprStmt>(S).expr());
+    return Flow::Normal;
+  case Stmt::Kind::For:
+    return execFor(cast<ForStmt>(S));
+  case Stmt::Kind::While:
+    return execWhile(cast<WhileStmt>(S));
+  case Stmt::Kind::If:
+    return execIf(cast<IfStmt>(S));
+  case Stmt::Kind::Break:
+    return Flow::Break;
+  case Stmt::Kind::Continue:
+    return Flow::Continue;
+  case Stmt::Kind::Return:
+    return Flow::Return;
+  }
+  return Flow::Normal;
+}
+
+Interpreter::Flow Interpreter::execFor(const ForStmt &S) {
+  Value RangeV = eval(*S.range());
+  if (Failed)
+    return Flow::Return;
+  // MATLAB iterates over the columns of the range value.
+  size_t NumIters = RangeV.isEmpty() ? 0 : RangeV.cols();
+  for (size_t Col = 0; Col != NumIters; ++Col) {
+    if (RangeV.rows() == 1) {
+      Vars[S.indexVar()] = Value::scalar(RangeV.at(0, Col));
+    } else {
+      Value Slice(RangeV.rows(), 1);
+      for (size_t R = 0; R != RangeV.rows(); ++R)
+        Slice.at(R, 0) = RangeV.at(R, Col);
+      Vars[S.indexVar()] = std::move(Slice);
+    }
+    Flow F = execBody(S.body());
+    if (Failed || F == Flow::Return)
+      return Flow::Return;
+    if (F == Flow::Break)
+      break;
+  }
+  return Flow::Normal;
+}
+
+Interpreter::Flow Interpreter::execWhile(const WhileStmt &S) {
+  while (true) {
+    Value Cond = eval(*S.cond());
+    if (Failed)
+      return Flow::Return;
+    if (!Cond.isTrue())
+      return Flow::Normal;
+    Flow F = execBody(S.body());
+    if (Failed || F == Flow::Return)
+      return Flow::Return;
+    if (F == Flow::Break)
+      return Flow::Normal;
+  }
+}
+
+Interpreter::Flow Interpreter::execIf(const IfStmt &S) {
+  for (const IfStmt::Branch &B : S.branches()) {
+    bool Taken = true;
+    if (B.Cond) {
+      Value Cond = eval(*B.Cond);
+      if (Failed)
+        return Flow::Return;
+      Taken = Cond.isTrue();
+    }
+    if (Taken)
+      return execBody(B.Body);
+  }
+  return Flow::Normal;
+}
+
+void Interpreter::execAssign(const AssignStmt &S) {
+  Value RHS = eval(*S.rhs());
+  if (Failed)
+    return;
+  if (const auto *Ident = dyn_cast<IdentExpr>(S.lhs())) {
+    Vars[Ident->name()] = std::move(RHS);
+    return;
+  }
+  const auto *Index = dyn_cast<IndexExpr>(S.lhs());
+  if (!Index || Index->baseName().empty()) {
+    fail(S.loc(), "invalid assignment target");
+    return;
+  }
+  Value &Target = Vars[Index->baseName()]; // creates [] when absent
+  writeIndexed(Target, *Index, RHS);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+Value Interpreter::eval(const Expr &E) {
+  if (Failed)
+    return Value();
+  switch (E.kind()) {
+  case Expr::Kind::Number:
+    return Value::scalar(cast<NumberExpr>(E).value());
+  case Expr::Kind::String: {
+    // Strings become char-code row vectors (enough for fprintf/disp).
+    const std::string &S = cast<StringExpr>(E).value();
+    std::vector<double> Codes(S.begin(), S.end());
+    return Value::vector(std::move(Codes), /*Row=*/true);
+  }
+  case Expr::Kind::Ident: {
+    const auto &Ident = cast<IdentExpr>(E);
+    if (const Value *V = getVariable(Ident.name()))
+      return *V;
+    if (Ident.name() == "pi")
+      return Value::scalar(3.14159265358979323846);
+    // Zero-argument builtin call without parens (e.g. rand).
+    if (isBuiltinName(Ident.name()))
+      return callBuiltin(*this, Ident.name(), {}, E.loc());
+    fail(E.loc(), "undefined variable '" + Ident.name() + "'");
+    return Value();
+  }
+  case Expr::Kind::MagicColon:
+    fail(E.loc(), "':' is only valid inside a subscript");
+    return Value();
+  case Expr::Kind::EndKeyword:
+    fail(E.loc(), "'end' outside of a subscript");
+    return Value();
+  case Expr::Kind::Range: {
+    const auto &R = cast<RangeExpr>(E);
+    Value Start = eval(*R.start());
+    Value Step = R.step() ? eval(*R.step()) : Value::scalar(1.0);
+    Value Stop = eval(*R.stop());
+    if (Failed)
+      return Value();
+    if (!Start.isScalar() || !Step.isScalar() || !Stop.isScalar()) {
+      fail(E.loc(), "range endpoints must be scalars");
+      return Value();
+    }
+    OpError Err;
+    Value Result = makeRange(Start.scalarValue(), Step.scalarValue(),
+                             Stop.scalarValue(), Err);
+    if (Err.failed())
+      fail(E.loc(), Err.Message);
+    return Result;
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    Value Operand = eval(*U.operand());
+    if (Failed)
+      return Value();
+    switch (U.op()) {
+    case UnaryOp::Plus:
+      return Operand;
+    case UnaryOp::Minus:
+      return unaryMinus(Operand);
+    case UnaryOp::Not:
+      return unaryNot(Operand);
+    }
+    return Value();
+  }
+  case Expr::Kind::Binary:
+    return evalBinary(cast<BinaryExpr>(E));
+  case Expr::Kind::Transpose: {
+    Value Operand = eval(*cast<TransposeExpr>(E).operand());
+    if (Failed)
+      return Value();
+    return Operand.transposed();
+  }
+  case Expr::Kind::Index:
+    return evalIndexOrCall(cast<IndexExpr>(E));
+  case Expr::Kind::Matrix:
+    return evalMatrixLiteral(cast<MatrixExpr>(E));
+  }
+  return Value();
+}
+
+Value Interpreter::evalBinary(const BinaryExpr &E) {
+  // Short-circuit logical operators first.
+  if (E.op() == BinaryOp::AndAnd || E.op() == BinaryOp::OrOr) {
+    Value LHS = eval(*E.lhs());
+    if (Failed)
+      return Value();
+    bool LTrue = LHS.isTrue();
+    if (E.op() == BinaryOp::AndAnd && !LTrue)
+      return Value::scalar(0.0);
+    if (E.op() == BinaryOp::OrOr && LTrue)
+      return Value::scalar(1.0);
+    Value RHS = eval(*E.rhs());
+    if (Failed)
+      return Value();
+    return Value::scalar(RHS.isTrue() ? 1.0 : 0.0);
+  }
+
+  Value LHS = eval(*E.lhs());
+  Value RHS = eval(*E.rhs());
+  if (Failed)
+    return Value();
+
+  OpError Err;
+  Value Result;
+  switch (E.op()) {
+  case BinaryOp::Mul:
+    Result = mulOp(LHS, RHS, Err);
+    break;
+  case BinaryOp::Div:
+    Result = divOp(LHS, RHS, Err);
+    break;
+  case BinaryOp::Pow:
+    Result = powOp(LHS, RHS, Err);
+    break;
+  default:
+    Result = elementwiseBinary(E.op(), LHS, RHS, Err);
+    break;
+  }
+  if (Err.failed())
+    fail(E.loc(), Err.Message);
+  return Result;
+}
+
+Value Interpreter::evalMatrixLiteral(const MatrixExpr &E) {
+  OpError Err;
+  Value Result;
+  bool FirstRow = true;
+  for (const MatrixExpr::Row &Row : E.rows()) {
+    Value RowValue;
+    bool FirstElt = true;
+    for (const ExprPtr &Elt : Row) {
+      Value V = eval(*Elt);
+      if (Failed)
+        return Value();
+      if (FirstElt) {
+        RowValue = std::move(V);
+        FirstElt = false;
+      } else {
+        RowValue = horzcat(RowValue, V, Err);
+      }
+    }
+    if (FirstRow) {
+      Result = std::move(RowValue);
+      FirstRow = false;
+    } else {
+      Result = vertcat(Result, RowValue, Err);
+    }
+  }
+  if (Err.failed())
+    fail(E.loc(), Err.Message);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Indexing
+//===----------------------------------------------------------------------===//
+
+Value Interpreter::evalSubscript(const Expr &Arg, size_t Extent) {
+  if (isa<MagicColonExpr>(&Arg)) {
+    Value All(1, Extent);
+    for (size_t I = 0; I != Extent; ++I)
+      All.linear(I) = static_cast<double>(I + 1);
+    return All;
+  }
+  if (!mentionsEndKeyword(Arg))
+    return eval(Arg);
+  ExprPtr Rewritten =
+      replaceEndKeyword(Arg.clone(), static_cast<double>(Extent));
+  return eval(*Rewritten);
+}
+
+bool Interpreter::toIndices(const Value &Idx, size_t Extent,
+                            std::vector<size_t> &Out, SourceLoc Loc) {
+  Out.clear();
+  // Logical subscripts select by mask (MATLAB logical indexing).
+  if (Idx.isLogical()) {
+    if (Idx.numel() > Extent) {
+      fail(Loc, "logical index has too many elements (" +
+                    std::to_string(Idx.numel()) + " for extent " +
+                    std::to_string(Extent) + ")");
+      return false;
+    }
+    for (size_t I = 0, E = Idx.numel(); I != E; ++I)
+      if (Idx.linear(I) != 0.0)
+        Out.push_back(I);
+    return true;
+  }
+  Out.reserve(Idx.numel());
+  for (size_t I = 0, E = Idx.numel(); I != E; ++I) {
+    double D = Idx.linear(I);
+    if (D < 1.0 || D != std::floor(D)) {
+      fail(Loc, "subscript indices must be positive integers");
+      return false;
+    }
+    auto Index = static_cast<size_t>(D);
+    if (Index > Extent) {
+      fail(Loc, "index " + std::to_string(Index) +
+                    " exceeds matrix dimension (" + std::to_string(Extent) +
+                    ")");
+      return false;
+    }
+    Out.push_back(Index - 1);
+  }
+  return true;
+}
+
+Value Interpreter::readIndexed(const Value &Base, const IndexExpr &E) {
+  if (E.numArgs() == 0)
+    return Base; // f() with a variable f is just the value.
+
+  if (E.numArgs() == 1) {
+    // Linear (column-major) indexing. A(:) flattens to a column.
+    if (isa<MagicColonExpr>(E.arg(0))) {
+      Value Result = Base;
+      Result.reshapeTo(Base.numel(), Base.numel() ? 1 : 0);
+      return Result;
+    }
+    Value Idx = evalSubscript(*E.arg(0), Base.numel());
+    if (Failed)
+      return Value();
+    std::vector<size_t> Indices;
+    if (!toIndices(Idx, Base.numel(), Indices, E.loc()))
+      return Value();
+    // Result shape: like the index, except that vector(A)(vector idx)
+    // follows A's orientation; mask selection yields a column unless the
+    // base is a row.
+    size_t R = Idx.rows(), C = Idx.cols();
+    if (Idx.isLogical()) {
+      if (Base.isRow()) {
+        R = 1;
+        C = Indices.size();
+      } else {
+        R = Indices.size();
+        C = Indices.empty() ? 0 : 1;
+      }
+    } else if (Base.isVector() && Idx.isVector()) {
+      if (Base.isRow()) {
+        R = 1;
+        C = Indices.size();
+      } else {
+        R = Indices.size();
+        C = 1;
+      }
+    }
+    Value Result(R, C);
+    for (size_t I = 0; I != Indices.size(); ++I)
+      Result.linear(I) = Base.linear(Indices[I]);
+    Result.setLogical(Base.isLogical());
+    return Result;
+  }
+
+  if (E.numArgs() == 2) {
+    Value RowIdx = evalSubscript(*E.arg(0), Base.rows());
+    Value ColIdx = evalSubscript(*E.arg(1), Base.cols());
+    if (Failed)
+      return Value();
+    std::vector<size_t> RI, CI;
+    if (!toIndices(RowIdx, Base.rows(), RI, E.loc()) ||
+        !toIndices(ColIdx, Base.cols(), CI, E.loc()))
+      return Value();
+    Value Result(RI.size(), CI.size());
+    for (size_t C = 0; C != CI.size(); ++C)
+      for (size_t R = 0; R != RI.size(); ++R)
+        Result.at(R, C) = Base.at(RI[R], CI[C]);
+    Result.setLogical(Base.isLogical());
+    return Result;
+  }
+
+  fail(E.loc(), "N-dimensional indexing is not supported");
+  return Value();
+}
+
+void Interpreter::writeIndexed(Value &Target, const IndexExpr &LHS,
+                               const Value &RHS) {
+  if (LHS.numArgs() == 0) {
+    fail(LHS.loc(), "invalid indexed assignment");
+    return;
+  }
+
+  if (LHS.numArgs() == 1) {
+    if (isa<MagicColonExpr>(LHS.arg(0))) {
+      // A(:) = B requires matching element count or scalar B.
+      if (RHS.isScalar()) {
+        for (size_t I = 0, E = Target.numel(); I != E; ++I)
+          Target.linear(I) = RHS.scalarValue();
+        return;
+      }
+      if (RHS.numel() != Target.numel()) {
+        fail(LHS.loc(), "A(:) assignment requires matching element counts");
+        return;
+      }
+      for (size_t I = 0, E = Target.numel(); I != E; ++I)
+        Target.linear(I) = RHS.linear(I);
+      return;
+    }
+    Value Idx = evalSubscript(*LHS.arg(0), Target.numel());
+    if (Failed)
+      return;
+    if (Idx.isLogical()) {
+      std::vector<size_t> Indices;
+      if (!toIndices(Idx, Target.numel(), Indices, LHS.loc()))
+        return;
+      if (!RHS.isScalar() && RHS.numel() != Indices.size()) {
+        fail(LHS.loc(), "masked assignment size mismatch");
+        return;
+      }
+      for (size_t I = 0; I != Indices.size(); ++I)
+        Target.linear(Indices[I]) =
+            RHS.isScalar() ? RHS.scalarValue() : RHS.linear(I);
+      return;
+    }
+    // Determine whether growth is needed and legal.
+    double MaxIdx = 0;
+    for (size_t I = 0, E = Idx.numel(); I != E; ++I)
+      MaxIdx = std::fmax(MaxIdx, Idx.linear(I));
+    if (MaxIdx > static_cast<double>(Target.numel())) {
+      auto Needed = static_cast<size_t>(MaxIdx);
+      if (Target.isEmpty()) {
+        // x(5) = v on an empty x yields a row vector, unless the index
+        // values come as a column.
+        if (Idx.isColumn() && Idx.numel() > 1)
+          Target.growTo(Needed, 1);
+        else
+          Target.growTo(1, Needed);
+      } else if (Target.isRow()) {
+        Target.growTo(1, Needed);
+      } else if (Target.isColumn()) {
+        Target.growTo(Needed, 1);
+      } else {
+        fail(LHS.loc(),
+             "linear indexed assignment cannot grow a matrix");
+        return;
+      }
+    }
+    std::vector<size_t> Indices;
+    if (!toIndices(Idx, Target.numel(), Indices, LHS.loc()))
+      return;
+    if (!RHS.isScalar() && RHS.numel() != Indices.size()) {
+      fail(LHS.loc(), "indexed assignment size mismatch");
+      return;
+    }
+    for (size_t I = 0; I != Indices.size(); ++I)
+      Target.linear(Indices[I]) =
+          RHS.isScalar() ? RHS.scalarValue() : RHS.linear(I);
+    return;
+  }
+
+  if (LHS.numArgs() == 2) {
+    Value RowIdx = evalSubscript(*LHS.arg(0), Target.rows());
+    Value ColIdx = evalSubscript(*LHS.arg(1), Target.cols());
+    if (Failed)
+      return;
+    double MaxRow = 0, MaxCol = 0;
+    for (size_t I = 0, E = RowIdx.numel(); I != E; ++I)
+      MaxRow = std::fmax(MaxRow, RowIdx.linear(I));
+    for (size_t I = 0, E = ColIdx.numel(); I != E; ++I)
+      MaxCol = std::fmax(MaxCol, ColIdx.linear(I));
+    if (MaxRow > static_cast<double>(Target.rows()) ||
+        MaxCol > static_cast<double>(Target.cols()))
+      Target.growTo(static_cast<size_t>(std::fmax(
+                        MaxRow, static_cast<double>(Target.rows()))),
+                    static_cast<size_t>(std::fmax(
+                        MaxCol, static_cast<double>(Target.cols()))));
+    std::vector<size_t> RI, CI;
+    if (!toIndices(RowIdx, Target.rows(), RI, LHS.loc()) ||
+        !toIndices(ColIdx, Target.cols(), CI, LHS.loc()))
+      return;
+    if (!RHS.isScalar() && RHS.numel() != RI.size() * CI.size()) {
+      fail(LHS.loc(), "indexed assignment size mismatch");
+      return;
+    }
+    size_t Flat = 0;
+    for (size_t C = 0; C != CI.size(); ++C)
+      for (size_t R = 0; R != RI.size(); ++R) {
+        Target.at(RI[R], CI[C]) =
+            RHS.isScalar() ? RHS.scalarValue() : RHS.linear(Flat);
+        ++Flat;
+      }
+    return;
+  }
+
+  fail(LHS.loc(), "N-dimensional indexed assignment is not supported");
+}
+
+Value Interpreter::evalIndexOrCall(const IndexExpr &E) {
+  std::string Name = E.baseName();
+  if (Name.empty()) {
+    // Expression base: evaluate it and index the result, e.g. (A*B)(1,2) is
+    // not MATLAB syntax, but transposed bases appear via rewrites.
+    Value Base = eval(*E.base());
+    if (Failed)
+      return Value();
+    return readIndexed(Base, E);
+  }
+  if (const Value *Var = getVariable(Name))
+    return readIndexed(*Var, E);
+  if (isBuiltinName(Name)) {
+    std::vector<Value> Args;
+    Args.reserve(E.numArgs());
+    for (unsigned I = 0, N = E.numArgs(); I != N; ++I) {
+      if (isa<MagicColonExpr>(E.arg(I)) || isa<EndKeywordExpr>(E.arg(I))) {
+        fail(E.loc(), "':' and 'end' are not valid function arguments");
+        return Value();
+      }
+      Args.push_back(eval(*E.arg(I)));
+      if (Failed)
+        return Value();
+    }
+    return callBuiltin(*this, Name, Args, E.loc());
+  }
+  fail(E.loc(), "undefined function or variable '" + Name + "'");
+  return Value();
+}
+
+//===----------------------------------------------------------------------===//
+// Workspace comparison
+//===----------------------------------------------------------------------===//
+
+std::string mvec::compareWorkspaces(const Interpreter &A, const Interpreter &B,
+                                    double Tol) {
+  for (const auto &[Name, ValueA] : A.workspace()) {
+    const Value *ValueB = B.getVariable(Name);
+    if (!ValueB)
+      return "variable '" + Name + "' missing from second workspace";
+    if (!ValueA.equals(*ValueB, Tol))
+      return "variable '" + Name + "' differs: " + ValueA.str() + " vs " +
+             ValueB->str();
+  }
+  for (const auto &[Name, ValueB] : B.workspace()) {
+    (void)ValueB;
+    if (!A.getVariable(Name))
+      return "variable '" + Name + "' missing from first workspace";
+  }
+  return std::string();
+}

@@ -1,0 +1,125 @@
+//===- Interpreter.h - MATLAB interpreter -----------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking interpreter for the MATLAB subset. This is the simulated
+/// MATLAB environment the benchmarks run on: loop iterations pay per-node
+/// dispatch and environment-lookup cost, while array built-ins execute as
+/// tight kernels (MatrixOps) — the performance profile the paper's
+/// measurements rely on.
+///
+/// Runtime errors do not throw; they put the interpreter into a failed
+/// state carrying a message and location (checked via failed()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_INTERP_INTERPRETER_H
+#define MVEC_INTERP_INTERPRETER_H
+
+#include "frontend/AST.h"
+#include "interp/MatrixOps.h"
+#include "interp/Value.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mvec {
+
+class Interpreter {
+public:
+  Interpreter() = default;
+
+  /// Executes a whole program. Returns false when a runtime error occurred
+  /// (see errorMessage()). The workspace persists across run() calls.
+  bool run(const Program &P);
+
+  /// Evaluates a single expression in the current workspace.
+  Value eval(const Expr &E);
+
+  // Workspace access.
+  void setVariable(const std::string &Name, Value V) {
+    Vars[Name] = std::move(V);
+  }
+  /// Null when undefined.
+  const Value *getVariable(const std::string &Name) const {
+    auto It = Vars.find(Name);
+    return It == Vars.end() ? nullptr : &It->second;
+  }
+  const std::map<std::string, Value> &workspace() const { return Vars; }
+  void clearWorkspace() { Vars.clear(); }
+
+  // Error state.
+  bool failed() const { return Failed; }
+  const std::string &errorMessage() const { return ErrorMsg; }
+  SourceLoc errorLoc() const { return ErrorLoc; }
+  void clearError() {
+    Failed = false;
+    ErrorMsg.clear();
+  }
+
+  /// Text printed by disp/fprintf.
+  const std::string &output() const { return Output; }
+  void appendOutput(const std::string &Text) { Output += Text; }
+  void clearOutput() { Output.clear(); }
+
+  /// Aborts execution after this many statement executions (0 = unlimited).
+  /// Useful to bound property tests against accidental infinite loops.
+  void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
+  uint64_t stepsExecuted() const { return Steps; }
+
+  /// Deterministic PRNG used by the rand builtin.
+  void seedRandom(uint64_t Seed) { RandState = Seed ? Seed : 1; }
+  double nextRandom();
+
+  /// Reports a runtime error (first error wins).
+  void fail(SourceLoc Loc, std::string Message);
+
+private:
+  enum class Flow { Normal, Break, Continue, Return };
+
+  Flow execBody(const std::vector<StmtPtr> &Body);
+  Flow execStmt(const Stmt &S);
+  Flow execFor(const ForStmt &S);
+  Flow execWhile(const WhileStmt &S);
+  Flow execIf(const IfStmt &S);
+  void execAssign(const AssignStmt &S);
+
+  Value evalBinary(const BinaryExpr &E);
+  Value evalIndexOrCall(const IndexExpr &E);
+  Value evalMatrixLiteral(const MatrixExpr &E);
+
+  /// Evaluates subscript argument \p Arg for a dimension of extent
+  /// \p Extent ('end' resolves to Extent; ':' yields 1..Extent).
+  Value evalSubscript(const Expr &Arg, size_t Extent);
+
+  /// Converts \p Idx to validated 0-based indices against \p Extent
+  /// (growing writes pass Extent = SIZE_MAX to skip the upper check).
+  bool toIndices(const Value &Idx, size_t Extent, std::vector<size_t> &Out,
+                 SourceLoc Loc);
+
+  Value readIndexed(const Value &Base, const IndexExpr &E);
+  void writeIndexed(Value &Target, const IndexExpr &LHS, const Value &RHS);
+
+  std::map<std::string, Value> Vars;
+  std::string Output;
+  bool Failed = false;
+  std::string ErrorMsg;
+  SourceLoc ErrorLoc;
+  uint64_t StepLimit = 0;
+  uint64_t Steps = 0;
+  uint64_t RandState = 0x9E3779B97F4A7C15ull;
+};
+
+/// Compares two workspaces for semantic equality within \p Tol. Returns an
+/// empty string when equal, else a description of the first difference.
+/// Used by the differential tests: original vs. vectorized program state.
+std::string compareWorkspaces(const Interpreter &A, const Interpreter &B,
+                              double Tol = 1e-9);
+
+} // namespace mvec
+
+#endif // MVEC_INTERP_INTERPRETER_H

@@ -1,0 +1,353 @@
+//===- MatrixOps.cpp - Bulk matrix kernels ---------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/MatrixOps.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace mvec;
+
+namespace {
+
+double applyScalarOp(BinaryOp Op, double A, double B, OpError &Err) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return A + B;
+  case BinaryOp::Sub:
+    return A - B;
+  case BinaryOp::Mul:
+  case BinaryOp::DotMul:
+    return A * B;
+  case BinaryOp::Div:
+  case BinaryOp::DotDiv:
+    return A / B; // MATLAB yields Inf/NaN on division by zero.
+  case BinaryOp::Pow:
+  case BinaryOp::DotPow:
+    return std::pow(A, B);
+  case BinaryOp::Lt:
+    return A < B ? 1.0 : 0.0;
+  case BinaryOp::Gt:
+    return A > B ? 1.0 : 0.0;
+  case BinaryOp::Le:
+    return A <= B ? 1.0 : 0.0;
+  case BinaryOp::Ge:
+    return A >= B ? 1.0 : 0.0;
+  case BinaryOp::Eq:
+    return A == B ? 1.0 : 0.0;
+  case BinaryOp::Ne:
+    return A != B ? 1.0 : 0.0;
+  case BinaryOp::And:
+    return (A != 0.0 && B != 0.0) ? 1.0 : 0.0;
+  case BinaryOp::Or:
+    return (A != 0.0 || B != 0.0) ? 1.0 : 0.0;
+  case BinaryOp::AndAnd:
+  case BinaryOp::OrOr:
+    Err.set("short-circuit operators require scalar operands");
+    return 0.0;
+  }
+  return 0.0;
+}
+
+} // namespace
+
+namespace {
+
+/// Comparisons and elementwise logic produce MATLAB logical values.
+bool producesLogical(BinaryOp Op) {
+  return isElementwiseRelOp(Op);
+}
+
+} // namespace
+
+Value mvec::elementwiseBinary(BinaryOp Op, const Value &A, const Value &B,
+                              OpError &Err) {
+  if (A.isScalar() && !B.isScalar()) {
+    Value Result(B.rows(), B.cols());
+    double S = A.scalarValue();
+    const std::vector<double> &BD = B.data();
+    std::vector<double> &RD = Result.data();
+    for (size_t I = 0, E = BD.size(); I != E; ++I)
+      RD[I] = applyScalarOp(Op, S, BD[I], Err);
+    Result.setLogical(producesLogical(Op));
+    return Result;
+  }
+  if (B.isScalar() && !A.isScalar()) {
+    Value Result(A.rows(), A.cols());
+    double S = B.scalarValue();
+    const std::vector<double> &AD = A.data();
+    std::vector<double> &RD = Result.data();
+    for (size_t I = 0, E = AD.size(); I != E; ++I)
+      RD[I] = applyScalarOp(Op, AD[I], S, Err);
+    Result.setLogical(producesLogical(Op));
+    return Result;
+  }
+  if (A.rows() != B.rows() || A.cols() != B.cols()) {
+    Err.set("matrix dimensions must agree (" + std::to_string(A.rows()) +
+            "x" + std::to_string(A.cols()) + " vs " +
+            std::to_string(B.rows()) + "x" + std::to_string(B.cols()) + ")");
+    return Value();
+  }
+  Value Result(A.rows(), A.cols());
+  const std::vector<double> &AD = A.data();
+  const std::vector<double> &BD = B.data();
+  std::vector<double> &RD = Result.data();
+  for (size_t I = 0, E = AD.size(); I != E; ++I)
+    RD[I] = applyScalarOp(Op, AD[I], BD[I], Err);
+  Result.setLogical(producesLogical(Op));
+  return Result;
+}
+
+Value mvec::matMul(const Value &A, const Value &B, OpError &Err) {
+  if (A.cols() != B.rows()) {
+    Err.set("inner matrix dimensions must agree (" +
+            std::to_string(A.rows()) + "x" + std::to_string(A.cols()) +
+            " * " + std::to_string(B.rows()) + "x" + std::to_string(B.cols()) +
+            ")");
+    return Value();
+  }
+  size_t M = A.rows(), K = A.cols(), N = B.cols();
+  Value Result(M, N);
+  const double *AD = A.data().data();
+  const double *BD = B.data().data();
+  double *RD = Result.data().data();
+  // Column-major jki loop order keeps the inner loop unit-stride.
+  for (size_t J = 0; J != N; ++J) {
+    double *RCol = RD + J * M;
+    for (size_t P = 0; P != K; ++P) {
+      double BV = BD[J * K + P];
+      if (BV == 0.0)
+        continue;
+      const double *ACol = AD + P * M;
+      for (size_t I = 0; I != M; ++I)
+        RCol[I] += ACol[I] * BV;
+    }
+  }
+  return Result;
+}
+
+Value mvec::mulOp(const Value &A, const Value &B, OpError &Err) {
+  if (A.isScalar() || B.isScalar())
+    return elementwiseBinary(BinaryOp::DotMul, A, B, Err);
+  return matMul(A, B, Err);
+}
+
+Value mvec::divOp(const Value &A, const Value &B, OpError &Err) {
+  if (B.isScalar())
+    return elementwiseBinary(BinaryOp::DotDiv, A, B, Err);
+  Err.set("matrix right division is only supported with a scalar divisor");
+  return Value();
+}
+
+Value mvec::powOp(const Value &A, const Value &B, OpError &Err) {
+  if (A.isScalar() && B.isScalar())
+    return Value::scalar(std::pow(A.scalarValue(), B.scalarValue()));
+  if (B.isScalar()) {
+    double E = B.scalarValue();
+    if (A.rows() != A.cols()) {
+      Err.set("matrix power requires a square matrix");
+      return Value();
+    }
+    if (E != std::floor(E) || E < 0) {
+      Err.set("matrix power supports nonnegative integer exponents only");
+      return Value();
+    }
+    // Identity.
+    Value Result(A.rows(), A.cols());
+    for (size_t I = 0; I != A.rows(); ++I)
+      Result.at(I, I) = 1.0;
+    Value Base = A;
+    auto Exp = static_cast<unsigned long long>(E);
+    while (Exp != 0 && !Err.failed()) {
+      if (Exp & 1)
+        Result = matMul(Result, Base, Err);
+      Exp >>= 1;
+      if (Exp)
+        Base = matMul(Base, Base, Err);
+    }
+    return Result;
+  }
+  Err.set("unsupported '^' operand shapes");
+  return Value();
+}
+
+Value mvec::unaryMinus(const Value &A) {
+  Value Result(A.rows(), A.cols());
+  for (size_t I = 0, E = A.numel(); I != E; ++I)
+    Result.linear(I) = -A.linear(I);
+  return Result;
+}
+
+Value mvec::unaryNot(const Value &A) {
+  Value Result(A.rows(), A.cols());
+  for (size_t I = 0, E = A.numel(); I != E; ++I)
+    Result.linear(I) = A.linear(I) == 0.0 ? 1.0 : 0.0;
+  Result.setLogical(true);
+  return Result;
+}
+
+Value mvec::makeRange(double Start, double Step, double Stop, OpError &Err) {
+  if (Step == 0.0) {
+    Err.set("range step must be nonzero");
+    return Value();
+  }
+  double CountF = std::floor((Stop - Start) / Step + 1e-10) + 1.0;
+  if (CountF < 1.0)
+    return Value(1, 0); // empty row
+  auto Count = static_cast<size_t>(CountF);
+  Value Result(1, Count);
+  for (size_t I = 0; I != Count; ++I)
+    Result.linear(I) = Start + static_cast<double>(I) * Step;
+  return Result;
+}
+
+Value mvec::horzcat(const Value &A, const Value &B, OpError &Err) {
+  if (A.isEmpty())
+    return B;
+  if (B.isEmpty())
+    return A;
+  if (A.rows() != B.rows()) {
+    Err.set("horizontal concatenation requires equal row counts");
+    return Value();
+  }
+  Value Result(A.rows(), A.cols() + B.cols());
+  std::copy(A.data().begin(), A.data().end(), Result.data().begin());
+  std::copy(B.data().begin(), B.data().end(),
+            Result.data().begin() + static_cast<long>(A.numel()));
+  return Result;
+}
+
+Value mvec::vertcat(const Value &A, const Value &B, OpError &Err) {
+  if (A.isEmpty())
+    return B;
+  if (B.isEmpty())
+    return A;
+  if (A.cols() != B.cols()) {
+    Err.set("vertical concatenation requires equal column counts");
+    return Value();
+  }
+  Value Result(A.rows() + B.rows(), A.cols());
+  for (size_t C = 0; C != A.cols(); ++C) {
+    for (size_t R = 0; R != A.rows(); ++R)
+      Result.at(R, C) = A.at(R, C);
+    for (size_t R = 0; R != B.rows(); ++R)
+      Result.at(A.rows() + R, C) = B.at(R, C);
+  }
+  return Result;
+}
+
+Value mvec::sumAlong(const Value &A, unsigned Dim) {
+  if (A.isEmpty())
+    return Dim == 1 ? Value(1, A.cols(), 0.0) : Value(A.rows(), 1, 0.0);
+  if (Dim == 1) {
+    Value Result(1, A.cols());
+    for (size_t C = 0; C != A.cols(); ++C) {
+      double Acc = 0;
+      for (size_t R = 0; R != A.rows(); ++R)
+        Acc += A.at(R, C);
+      Result.at(0, C) = Acc;
+    }
+    return Result;
+  }
+  Value Result(A.rows(), 1);
+  for (size_t R = 0; R != A.rows(); ++R) {
+    double Acc = 0;
+    for (size_t C = 0; C != A.cols(); ++C)
+      Acc += A.at(R, C);
+    Result.at(R, 0) = Acc;
+  }
+  return Result;
+}
+
+Value mvec::sumDefault(const Value &A) {
+  if (A.isVector()) {
+    double Acc = 0;
+    for (double D : A.data())
+      Acc += D;
+    return Value::scalar(Acc);
+  }
+  return sumAlong(A, 1);
+}
+
+Value mvec::cumsumAlong(const Value &A, unsigned Dim) {
+  Value Result(A.rows(), A.cols());
+  if (Dim == 1) {
+    for (size_t C = 0; C != A.cols(); ++C) {
+      double Acc = 0;
+      for (size_t R = 0; R != A.rows(); ++R) {
+        Acc += A.at(R, C);
+        Result.at(R, C) = Acc;
+      }
+    }
+    return Result;
+  }
+  for (size_t R = 0; R != A.rows(); ++R) {
+    double Acc = 0;
+    for (size_t C = 0; C != A.cols(); ++C) {
+      Acc += A.at(R, C);
+      Result.at(R, C) = Acc;
+    }
+  }
+  return Result;
+}
+
+Value mvec::cumsumDefault(const Value &A) {
+  if (A.isRow())
+    return cumsumAlong(A, 2);
+  return cumsumAlong(A, 1);
+}
+
+Value mvec::prodDefault(const Value &A) {
+  if (A.isVector()) {
+    double Acc = 1;
+    for (double D : A.data())
+      Acc *= D;
+    return Value::scalar(Acc);
+  }
+  Value Result(1, A.cols());
+  for (size_t C = 0; C != A.cols(); ++C) {
+    double Acc = 1;
+    for (size_t R = 0; R != A.rows(); ++R)
+      Acc *= A.at(R, C);
+    Result.at(0, C) = Acc;
+  }
+  return Result;
+}
+
+Value mvec::repmat(const Value &A, size_t R, size_t C) {
+  Value Result(A.rows() * R, A.cols() * C);
+  for (size_t BC = 0; BC != C; ++BC)
+    for (size_t BR = 0; BR != R; ++BR)
+      for (size_t AC = 0; AC != A.cols(); ++AC)
+        for (size_t AR = 0; AR != A.rows(); ++AR)
+          Result.at(BR * A.rows() + AR, BC * A.cols() + AC) = A.at(AR, AC);
+  return Result;
+}
+
+Value mvec::histCounts(const Value &X, const Value &Centers, OpError &Err) {
+  if (!Centers.isVector() || Centers.isEmpty()) {
+    Err.set("hist requires a nonempty vector of bin centers");
+    return Value();
+  }
+  size_t NumBins = Centers.numel();
+  Value Counts(1, NumBins);
+  // Edges midway between consecutive centers; the outer bins catch
+  // everything beyond (MATLAB hist semantics).
+  for (double Sample : X.data()) {
+    if (std::isnan(Sample))
+      continue;
+    size_t Bin = 0;
+    while (Bin + 1 < NumBins) {
+      double Edge =
+          0.5 * (Centers.linear(Bin) + Centers.linear(Bin + 1));
+      if (Sample < Edge)
+        break;
+      ++Bin;
+    }
+    Counts.linear(Bin) += 1.0;
+  }
+  return Counts;
+}

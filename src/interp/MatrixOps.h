@@ -1,0 +1,87 @@
+//===- MatrixOps.h - Bulk matrix kernels ------------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tight C++ kernels behind MATLAB's built-in array operations. These
+/// are the "fast path" of the simulated MATLAB environment: vectorized
+/// statements execute through these, while interpreted loops pay per-node
+/// dispatch cost — reproducing the performance profile the paper measures.
+///
+/// Following MATLAB 7 semantics (the paper's version), elementwise binary
+/// operations require equal shapes or a scalar operand; there is no implicit
+/// row/column broadcasting (that is what repmat is for).
+///
+/// All functions report problems through an OpError out-parameter instead of
+/// throwing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_INTERP_MATRIXOPS_H
+#define MVEC_INTERP_MATRIXOPS_H
+
+#include "frontend/AST.h"
+#include "interp/Value.h"
+
+#include <string>
+
+namespace mvec {
+
+/// Error slot for the kernels. Empty message means success.
+struct OpError {
+  std::string Message;
+
+  bool failed() const { return !Message.empty(); }
+  void set(std::string Msg) {
+    if (Message.empty())
+      Message = std::move(Msg);
+  }
+};
+
+/// Elementwise binary operation with MATLAB scalar expansion. Handles the
+/// pointwise arithmetic operators, comparisons and logical &,|.
+Value elementwiseBinary(BinaryOp Op, const Value &A, const Value &B,
+                        OpError &Err);
+
+/// Full MATLAB '*': scalar*X, X*scalar or matrix product with inner-dim
+/// check.
+Value mulOp(const Value &A, const Value &B, OpError &Err);
+
+/// Full MATLAB '/': X/scalar only (general linear solves are out of scope).
+Value divOp(const Value &A, const Value &B, OpError &Err);
+
+/// Full MATLAB '^': scalar^scalar or square-matrix^nonnegative-integer.
+Value powOp(const Value &A, const Value &B, OpError &Err);
+
+/// Plain matrix product (shapes already conformant).
+Value matMul(const Value &A, const Value &B, OpError &Err);
+
+Value unaryMinus(const Value &A);
+Value unaryNot(const Value &A);
+
+/// Builds the row vector start:step:stop (empty when the range is empty).
+Value makeRange(double Start, double Step, double Stop, OpError &Err);
+
+/// Horizontal / vertical concatenation for matrix literals.
+Value horzcat(const Value &A, const Value &B, OpError &Err);
+Value vertcat(const Value &A, const Value &B, OpError &Err);
+
+/// sum along dimension \p Dim (1 = down columns, 2 = across rows).
+Value sumAlong(const Value &A, unsigned Dim);
+/// MATLAB sum(X): columns sums for matrices, total for vectors.
+Value sumDefault(const Value &A);
+Value cumsumAlong(const Value &A, unsigned Dim);
+Value cumsumDefault(const Value &A);
+Value prodDefault(const Value &A);
+
+/// repmat(X, R, C).
+Value repmat(const Value &A, size_t R, size_t C);
+
+/// MATLAB hist(x, centers): bin counts with edges midway between centers.
+Value histCounts(const Value &X, const Value &Centers, OpError &Err);
+
+} // namespace mvec
+
+#endif // MVEC_INTERP_MATRIXOPS_H

@@ -1,0 +1,87 @@
+//===- Value.cpp - MATLAB runtime value -----------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+#include "support/StringExtras.h"
+
+#include <cmath>
+
+using namespace mvec;
+
+Value Value::transposed() const {
+  Value Result(NumCols, NumRows);
+  for (size_t C = 0; C != NumCols; ++C)
+    for (size_t R = 0; R != NumRows; ++R)
+      Result.at(C, R) = at(R, C);
+  Result.setLogical(isLogical());
+  return Result;
+}
+
+void Value::growTo(size_t Rows, size_t Cols) {
+  if (Rows <= NumRows && Cols <= NumCols)
+    return;
+  size_t NewRows = Rows > NumRows ? Rows : NumRows;
+  size_t NewCols = Cols > NumCols ? Cols : NumCols;
+  std::vector<double> NewData(NewRows * NewCols, 0.0);
+  for (size_t C = 0; C != NumCols; ++C)
+    for (size_t R = 0; R != NumRows; ++R)
+      NewData[C * NewRows + R] = Data[C * NumRows + R];
+  NumRows = NewRows;
+  NumCols = NewCols;
+  Data = std::move(NewData);
+}
+
+bool Value::equals(const Value &Other, double Tol) const {
+  if (NumRows != Other.NumRows || NumCols != Other.NumCols)
+    return false;
+  for (size_t I = 0, E = Data.size(); I != E; ++I) {
+    double A = Data[I], B = Other.Data[I];
+    if (std::isnan(A) && std::isnan(B))
+      continue;
+    if (Tol == 0.0) {
+      if (A != B)
+        return false;
+    } else {
+      double Scale = std::fmax(1.0, std::fmax(std::fabs(A), std::fabs(B)));
+      if (std::fabs(A - B) > Tol * Scale)
+        return false;
+    }
+  }
+  return true;
+}
+
+bool Value::isTrue() const {
+  if (isEmpty())
+    return false;
+  for (double D : Data)
+    if (D == 0.0)
+      return false;
+  return true;
+}
+
+std::string Value::str() const {
+  if (isEmpty())
+    return "[]";
+  if (isScalar())
+    return formatMatlabNumber(Data[0]);
+  std::string Out = "[" + std::to_string(NumRows) + "x" +
+                    std::to_string(NumCols) + "]";
+  if (numel() <= 16) {
+    Out += " [";
+    for (size_t R = 0; R != NumRows; ++R) {
+      if (R != 0)
+        Out += "; ";
+      for (size_t C = 0; C != NumCols; ++C) {
+        if (C != 0)
+          Out += ' ';
+        Out += formatMatlabNumber(at(R, C));
+      }
+    }
+    Out += ']';
+  }
+  return Out;
+}

@@ -1,0 +1,125 @@
+//===- Value.h - MATLAB runtime value ---------------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime value of the MATLAB interpreter: a dense 2-D double matrix
+/// in column-major order (MATLAB's layout — the diagonal-access pattern in
+/// the paper relies on it). Scalars are 1x1, the empty value is 0x0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_INTERP_VALUE_H
+#define MVEC_INTERP_VALUE_H
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mvec {
+
+class Value {
+public:
+  /// The empty 0x0 value ([]).
+  Value() = default;
+
+  Value(size_t Rows, size_t Cols, double Fill = 0.0)
+      : NumRows(Rows), NumCols(Cols),
+        Data(Rows * Cols, Fill) {}
+
+  static Value scalar(double V) {
+    Value Result(1, 1);
+    Result.Data[0] = V;
+    return Result;
+  }
+
+  /// Builds a vector from \p Elems, as a row when \p Row is true, else a
+  /// column.
+  static Value vector(std::vector<double> Elems, bool Row) {
+    Value Result;
+    Result.NumRows = Row ? (Elems.empty() ? 0 : 1) : Elems.size();
+    Result.NumCols = Row ? Elems.size() : (Elems.empty() ? 0 : 1);
+    Result.Data = std::move(Elems);
+    return Result;
+  }
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  size_t numel() const { return Data.size(); }
+
+  bool isEmpty() const { return Data.empty(); }
+  bool isScalar() const { return NumRows == 1 && NumCols == 1; }
+  bool isRow() const { return NumRows == 1 && NumCols >= 1; }
+  bool isColumn() const { return NumCols == 1 && NumRows >= 1; }
+  bool isVector() const { return !isEmpty() && (NumRows == 1 || NumCols == 1); }
+
+  double scalarValue() const {
+    assert(isScalar() && "not a scalar");
+    return Data[0];
+  }
+
+  /// 0-based element access (column-major linear index).
+  double linear(size_t I) const {
+    assert(I < Data.size() && "linear index out of range");
+    return Data[I];
+  }
+  double &linear(size_t I) {
+    assert(I < Data.size() && "linear index out of range");
+    return Data[I];
+  }
+
+  /// 0-based (row, col) access.
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "subscript out of range");
+    return Data[C * NumRows + R];
+  }
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "subscript out of range");
+    return Data[C * NumRows + R];
+  }
+
+  const std::vector<double> &data() const { return Data; }
+  std::vector<double> &data() { return Data; }
+
+  Value transposed() const;
+
+  /// Grows to \p Rows x \p Cols, zero-filling new elements and preserving
+  /// existing elements at their (row, col) positions.
+  void growTo(size_t Rows, size_t Cols);
+
+  /// Reshapes in place (column-major element order preserved).
+  /// Requires Rows*Cols == numel().
+  void reshapeTo(size_t Rows, size_t Cols) {
+    assert(Rows * Cols == Data.size() && "reshape changes element count");
+    NumRows = Rows;
+    NumCols = Cols;
+  }
+
+  /// All elements equal within \p Tol (and same shape).
+  bool equals(const Value &Other, double Tol = 0.0) const;
+
+  /// MATLAB-truthiness: nonempty and all elements nonzero.
+  bool isTrue() const;
+
+  /// MATLAB logical class flag: set on the results of comparisons and
+  /// logical operators. A logical value used as a subscript selects by
+  /// mask instead of by position.
+  bool isLogical() const { return Logical; }
+  void setLogical(bool L) { Logical = L; }
+
+  /// A short display form ("[2x3]" contents for small values).
+  std::string str() const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  bool Logical = false;
+  std::vector<double> Data;
+};
+
+} // namespace mvec
+
+#endif // MVEC_INTERP_VALUE_H

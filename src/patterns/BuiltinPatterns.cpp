@@ -1,0 +1,189 @@
+//===- BuiltinPatterns.cpp - The built-in pattern set -----------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The default pattern database: the three patterns of the paper's Table 2
+/// (dot product, repmat broadcast, diagonal access) plus the general
+/// matrix-product shapes that the paper's Fig. 4 example exercises
+/// (matrix-matrix, matrix-vector, vector-matrix, outer product).
+///
+//===----------------------------------------------------------------------===//
+
+#include "deps/AffineExpr.h"
+#include "frontend/Simplify.h"
+#include "patterns/PatternDatabase.h"
+
+using namespace mvec;
+
+namespace {
+
+const PatternDim P1 = PatternDim::one();
+const PatternDim PS = PatternDim::star();
+const PatternDim R1 = PatternDim::var(1);
+const PatternDim R2 = PatternDim::var(2);
+
+/// size(<base>,1) — rows of the accessed matrix.
+ExprPtr makeRowsOf(const Expr &Base) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(Base.clone());
+  Args.push_back(makeNumber(1));
+  return makeCall("size", std::move(Args));
+}
+
+/// Pattern 1 (Table 2): a(i) = X(i,:)*Y(:,i) becomes
+/// a(1:n) = sum(X(1:n,:)'.*Y(:,1:n),1).
+ExprPtr dotProductTransform(BinaryOp, ExprPtr LHS, ExprPtr RHS,
+                            const PatternContext &) {
+  ExprPtr Pointwise = makeBinary(BinaryOp::DotMul,
+                                 makeTranspose(std::move(LHS)),
+                                 std::move(RHS));
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(Pointwise));
+  Args.push_back(makeNumber(1));
+  return makeCall("sum", std::move(Args));
+}
+
+/// Keeps the expression as a native matrix product (the inner '*'
+/// dimension is a genuine data extent, not a loop range).
+ExprPtr identityMulTransform(BinaryOp, ExprPtr LHS, ExprPtr RHS,
+                             const PatternContext &) {
+  return makeBinary(BinaryOp::Mul, std::move(LHS), std::move(RHS));
+}
+
+/// Pattern 2 (Table 2): A(i,j) = B(i,j) + C(i) becomes
+/// A(...) = B(...) + repmat(C(...),1,size(1:n,2)). \p Var names the
+/// pattern variable whose loop supplies the replication count;
+/// \p AlongColumns replicates across columns (repmat(x,1,n)) vs rows.
+BinaryTransformFn makeBroadcastTransform(bool SmallOnRHS, unsigned Var,
+                                         bool AlongColumns) {
+  return [SmallOnRHS, Var, AlongColumns](BinaryOp Op, ExprPtr LHS,
+                                         ExprPtr RHS,
+                                         const PatternContext &Ctx) -> ExprPtr {
+    const LoopHeader *H = Ctx.headerForVar(Var);
+    if (!H)
+      return nullptr;
+    ExprPtr &Small = SmallOnRHS ? RHS : LHS;
+    std::vector<ExprPtr> Args;
+    Args.push_back(std::move(Small));
+    if (AlongColumns) {
+      Args.push_back(makeNumber(1));
+      Args.push_back(H->makeTripCountExpr());
+    } else {
+      Args.push_back(H->makeTripCountExpr());
+      Args.push_back(makeNumber(1));
+    }
+    ExprPtr Replicated = makeCall("repmat", std::move(Args));
+    if (SmallOnRHS)
+      return makeBinary(Op, std::move(LHS), std::move(Replicated));
+    return makeBinary(Op, std::move(Replicated), std::move(RHS));
+  };
+}
+
+/// Pattern 3 (Table 2): the diagonal access A(c1*i+c2, c3*i+c4) becomes the
+/// column-major linear access A((c1*i+c2)+size(A,1)*((c3*i+c4)-1)).
+ExprPtr diagonalAccessTransform(const IndexExpr &Access,
+                                const PatternContext &Ctx) {
+  if (Access.numArgs() != 2)
+    return nullptr;
+  const LoopHeader *H = Ctx.headerForVar(1);
+  if (!H)
+    return nullptr;
+  auto Row = AffineExpr::fromExpr(*Access.arg(0));
+  auto Col = AffineExpr::fromExpr(*Access.arg(1));
+  if (!Row || !Col || Row->coeff(H->IndexVar) == 0.0 ||
+      Col->coeff(H->IndexVar) == 0.0)
+    return nullptr;
+
+  ExprPtr ColMinusOne = simplifyExpr(
+      makeBinary(BinaryOp::Sub, Access.arg(1)->clone(), makeNumber(1)));
+  ExprPtr Linear = makeBinary(
+      BinaryOp::Add, Access.arg(0)->clone(),
+      makeBinary(BinaryOp::Mul, makeRowsOf(*Access.base()),
+                 std::move(ColMinusOne)));
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(Linear));
+  return std::make_unique<IndexExpr>(Access.base()->clone(), std::move(Args),
+                                     Access.loc());
+}
+
+} // namespace
+
+void mvec::registerBuiltinPatterns(PatternDatabase &DB) {
+  // --- Pattern 1: dot product of a row slice and a column slice.
+  DB.addBinaryPattern(BinaryPattern{
+      "dot-product", BinaryOp::Mul, /*AnyPointwiseOp=*/false,
+      PatternShape{R1, PS}, PatternShape{PS, R1}, PatternShape{P1, R1},
+      dotProductTransform});
+
+  // --- General matrix products: the inner extents are data dimensions, so
+  // the expression stays a native '*'. (Fig. 4: B(i,ind)*C(ind,j).)
+  DB.addBinaryPattern(BinaryPattern{
+      "matmul", BinaryOp::Mul, false, PatternShape{R1, PS},
+      PatternShape{PS, R2}, PatternShape{R1, R2}, identityMulTransform});
+  DB.addBinaryPattern(BinaryPattern{
+      "matvec", BinaryOp::Mul, false, PatternShape{R1, PS},
+      PatternShape{PS, P1}, PatternShape{R1, P1}, identityMulTransform});
+  DB.addBinaryPattern(BinaryPattern{
+      "vecmat", BinaryOp::Mul, false, PatternShape{P1, PS},
+      PatternShape{PS, R1}, PatternShape{P1, R1}, identityMulTransform});
+
+  // --- Outer product: per-iteration scalar products over two loops.
+  DB.addBinaryPattern(BinaryPattern{
+      "outer-product", BinaryOp::Mul, false, PatternShape{R1, P1},
+      PatternShape{P1, R2}, PatternShape{R1, R2}, identityMulTransform});
+
+  // --- Pattern 2: broadcast the smaller operand with repmat. Four
+  // orientations: column vector against (r1,r2) columns, row vector
+  // against rows, each with the small operand on either side.
+  DB.addBinaryPattern(BinaryPattern{
+      "broadcast-col-rhs", BinaryOp::Add, /*AnyPointwiseOp=*/true,
+      PatternShape{R1, R2}, PatternShape{R1, P1}, PatternShape{R1, R2},
+      makeBroadcastTransform(/*SmallOnRHS=*/true, /*Var=*/2,
+                             /*AlongColumns=*/true)});
+  DB.addBinaryPattern(BinaryPattern{
+      "broadcast-col-lhs", BinaryOp::Add, true, PatternShape{R1, P1},
+      PatternShape{R1, R2}, PatternShape{R1, R2},
+      makeBroadcastTransform(false, 2, true)});
+  DB.addBinaryPattern(BinaryPattern{
+      "broadcast-row-rhs", BinaryOp::Add, true, PatternShape{R1, R2},
+      PatternShape{P1, R2}, PatternShape{R1, R2},
+      makeBroadcastTransform(true, 1, false)});
+  DB.addBinaryPattern(BinaryPattern{
+      "broadcast-row-lhs", BinaryOp::Add, true, PatternShape{P1, R2},
+      PatternShape{R1, R2}, PatternShape{R1, R2},
+      makeBroadcastTransform(false, 1, false)});
+
+  // --- Pattern 3: diagonal-style accesses with a repeated range symbol.
+  DB.addAccessPattern(AccessPattern{
+      "diagonal-access", PatternShape{R1, R1}, PatternShape{P1, R1},
+      diagonalAccessTransform});
+
+  // --- Function-call dimensionality signatures (paper Sec. 7): treating
+  // pointwise calls like matrix accesses is correct; the signature
+  // declares how result dims follow from argument dims.
+  auto Identity = [](const std::vector<Dimensionality> &Args)
+      -> std::optional<Dimensionality> { return Args[0]; };
+  for (const char *Fn : {"cos", "sin", "tan", "sqrt", "exp", "log", "abs",
+                         "floor", "ceil", "round", "fix"})
+    DB.addCallPattern(CallPattern{std::string("pointwise-") + Fn, Fn, 1, 1,
+                                  Identity});
+
+  // Elementwise two-argument functions: shapes must agree or one operand
+  // is a scalar (MATLAB's own rule for mod/min/max).
+  auto Elementwise2 = [](const std::vector<Dimensionality> &Args)
+      -> std::optional<Dimensionality> {
+    if (Args[0].isScalarShape())
+      return Args[1];
+    if (Args[1].isScalarShape())
+      return Args[0];
+    if (compatible(Args[0], Args[1]))
+      return Args[0];
+    return std::nullopt;
+  };
+  for (const char *Fn : {"mod", "min", "max"})
+    DB.addCallPattern(CallPattern{std::string("elementwise-") + Fn, Fn, 2,
+                                  2, Elementwise2});
+}

@@ -1,0 +1,75 @@
+//===- Pattern.cpp - Loop pattern descriptions ------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "patterns/Pattern.h"
+
+using namespace mvec;
+
+bool mvec::matchShape(const PatternShape &Shape, const Dimensionality &Dims,
+                      PatternBindings &Bindings) {
+  // Compare against the reduced form and ignore trailing 1s in the pattern
+  // too, mirroring the compatibility relation.
+  Dimensionality Reduced = Dims.reduced();
+  size_t ShapeLen = Shape.size();
+  while (ShapeLen > 0 && Shape[ShapeLen - 1].kind() == PatternDim::Kind::One)
+    --ShapeLen;
+  if (ShapeLen != Reduced.size())
+    return false;
+
+  for (size_t I = 0; I != ShapeLen; ++I) {
+    DimSymbol S = Reduced[I];
+    switch (Shape[I].kind()) {
+    case PatternDim::Kind::One:
+      if (!S.isOne())
+        return false;
+      break;
+    case PatternDim::Kind::Star:
+      if (!S.isStar())
+        return false;
+      break;
+    case PatternDim::Kind::Var: {
+      if (!S.isRange())
+        return false;
+      unsigned Var = Shape[I].varIndex();
+      auto Existing = Bindings.lookup(Var);
+      if (Existing) {
+        if (*Existing != S.loop())
+          return false;
+        break;
+      }
+      // Distinct pattern variables must bind distinct loops.
+      for (const auto &[OtherVar, Loop] : Bindings.VarToLoop)
+        if (OtherVar != Var && Loop == S.loop())
+          return false;
+      Bindings.VarToLoop[Var] = S.loop();
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+Dimensionality mvec::instantiateShape(const PatternShape &Shape,
+                                      const PatternBindings &Bindings) {
+  std::vector<DimSymbol> Symbols;
+  Symbols.reserve(Shape.size());
+  for (const PatternDim &D : Shape) {
+    switch (D.kind()) {
+    case PatternDim::Kind::One:
+      Symbols.push_back(DimSymbol::one());
+      break;
+    case PatternDim::Kind::Star:
+      Symbols.push_back(DimSymbol::star());
+      break;
+    case PatternDim::Kind::Var: {
+      auto Loop = Bindings.lookup(D.varIndex());
+      Symbols.push_back(Loop ? DimSymbol::range(*Loop) : DimSymbol::star());
+      break;
+    }
+    }
+  }
+  return Dimensionality(std::move(Symbols));
+}

@@ -1,0 +1,172 @@
+//===- Pattern.h - Loop pattern descriptions --------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extensible loop pattern database of the paper's Sec. 3. Each pattern
+/// is keyed by an operator and the vectorized dimensionalities of its
+/// operands, written with pattern variables r1, r2, ... that unify with
+/// concrete loop ranges; a matched pattern supplies the output
+/// dimensionality and a transformation that rewrites the parse tree.
+///
+/// Two pattern classes exist, mirroring the paper:
+///  - binary-operator patterns (e.g. the dot product X(i,:)*Y(:,i) becoming
+///    sum(X(...)'. *Y(...)) );
+///  - matrix-access patterns (operator "(.)"), which rewrite subscripted
+///    accesses whose vectorized dimensionality repeats a range symbol, such
+///    as the diagonal access A(i,i).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_PATTERNS_PATTERN_H
+#define MVEC_PATTERNS_PATTERN_H
+
+#include "deps/LoopNest.h"
+#include "frontend/AST.h"
+#include "shape/Dim.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mvec {
+
+/// One abstract dimension in a pattern shape: 1, *, or a pattern variable
+/// rK that unifies with a concrete loop range.
+class PatternDim {
+public:
+  enum class Kind : uint8_t { One, Star, Var };
+
+  static PatternDim one() { return PatternDim(Kind::One, 0); }
+  static PatternDim star() { return PatternDim(Kind::Star, 0); }
+  /// Pattern variable rK (K >= 1). Distinct variables bind distinct loops.
+  static PatternDim var(unsigned K) { return PatternDim(Kind::Var, K); }
+
+  Kind kind() const { return TheKind; }
+  unsigned varIndex() const { return VarIndex; }
+
+private:
+  PatternDim(Kind K, unsigned VarIndex) : TheKind(K), VarIndex(VarIndex) {}
+  Kind TheKind;
+  unsigned VarIndex;
+};
+
+using PatternShape = std::vector<PatternDim>;
+
+/// Bindings from pattern variables to concrete loops, produced by matching.
+struct PatternBindings {
+  std::map<unsigned, LoopId> VarToLoop;
+
+  std::optional<LoopId> lookup(unsigned Var) const {
+    auto It = VarToLoop.find(Var);
+    if (It == VarToLoop.end())
+      return std::nullopt;
+    return It->second;
+  }
+};
+
+/// Context handed to a pattern's transformation: the nest (for loop ranges
+/// and trip counts) and the unification bindings.
+struct PatternContext {
+  const LoopNest *Nest = nullptr;
+  PatternBindings Bindings;
+
+  /// Header of the loop bound to pattern variable \p Var (null if absent).
+  const LoopHeader *headerForVar(unsigned Var) const {
+    if (!Nest)
+      return nullptr;
+    auto Loop = Bindings.lookup(Var);
+    if (!Loop)
+      return nullptr;
+    return Nest->headerFor(*Loop);
+  }
+};
+
+/// Rewrites a matched binary expression. Receives the effective operator
+/// (the dimension checker may have turned a scalar '*' into '.*') and the
+/// (already checked and possibly transpose-adjusted) operand trees, pre
+/// index-substitution; the returned tree must have the pattern's declared
+/// output dimensionality.
+using BinaryTransformFn = std::function<ExprPtr(
+    BinaryOp Op, ExprPtr LHS, ExprPtr RHS, const PatternContext &)>;
+
+/// Rewrites a matched subscripted access (e.g. the diagonal A(i,i) into a
+/// column-major linear access). Returns null when the access's subscripts
+/// resist the rewrite (e.g. non-affine), in which case matching falls
+/// through to other patterns.
+using AccessTransformFn =
+    std::function<ExprPtr(const IndexExpr &Access, const PatternContext &)>;
+
+/// A binary-operator pattern entry.
+struct BinaryPattern {
+  std::string Name;
+  BinaryOp Op;
+  /// When true, Op is ignored and the pattern applies to every pointwise
+  /// arithmetic operator (the paper's pattern 2 matches any (.)).
+  bool AnyPointwiseOp = false;
+  PatternShape LHS;
+  PatternShape RHS;
+  PatternShape Out;
+  BinaryTransformFn Transform;
+};
+
+/// A matrix-access pattern entry (operator class "(.)").
+struct AccessPattern {
+  std::string Name;
+  PatternShape In; ///< the raw vectorized dimensionality of the access
+  PatternShape Out;
+  AccessTransformFn Transform;
+};
+
+/// Computes a call's output dimensionality from its argument
+/// dimensionalities, or nullopt when the signature rejects them.
+using CallDimRule = std::function<std::optional<Dimensionality>(
+    const std::vector<Dimensionality> &)>;
+
+/// A function-call dimensionality signature — the paper's Sec. 7 proposal
+/// ("defining the input and output dimensionalities of the function").
+/// Declares how a call's result shape follows from its arguments' shapes,
+/// letting the vectorizer treat the call like a matrix access. The default
+/// built-ins cover the pointwise math functions (cos, sqrt, ...) and the
+/// elementwise two-argument functions (mod, min, max); plugins may add
+/// their own.
+struct CallPattern {
+  std::string Name;   ///< display name
+  std::string Callee; ///< matched function name
+  unsigned MinArgs = 1;
+  unsigned MaxArgs = 1;
+  CallDimRule DimRule;
+};
+
+/// A successful binary-pattern match.
+struct BinaryMatch {
+  const BinaryPattern *Pattern = nullptr;
+  PatternBindings Bindings;
+  Dimensionality OutDims;
+};
+
+/// A successful access-pattern match.
+struct AccessMatch {
+  const AccessPattern *Pattern = nullptr;
+  PatternBindings Bindings;
+  Dimensionality OutDims;
+};
+
+/// Matches \p Shape against \p Dims, extending \p Bindings. Pattern
+/// variables unify with range symbols (consistently; distinct variables
+/// take distinct loops); 1 matches 1; * matches *. Trailing 1 dimensions
+/// are ignored on both sides.
+bool matchShape(const PatternShape &Shape, const Dimensionality &Dims,
+                PatternBindings &Bindings);
+
+/// Instantiates a pattern shape under \p Bindings.
+Dimensionality instantiateShape(const PatternShape &Shape,
+                                const PatternBindings &Bindings);
+
+} // namespace mvec
+
+#endif // MVEC_PATTERNS_PATTERN_H

@@ -1,0 +1,94 @@
+//===- PatternDatabase.cpp - Extensible pattern registry --------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "patterns/PatternDatabase.h"
+
+using namespace mvec;
+
+std::vector<BinaryMatch>
+PatternDatabase::matchBinaryAll(BinaryOp Op, const Dimensionality &LHS,
+                                const Dimensionality &RHS) const {
+  std::vector<BinaryMatch> Matches;
+  for (const BinaryPattern &P : BinaryPatterns) {
+    if (P.AnyPointwiseOp) {
+      if (!isPointwiseArithOp(Op) && !isElementwiseRelOp(Op))
+        continue;
+    } else if (P.Op != Op) {
+      continue;
+    }
+    PatternBindings Bindings;
+    if (!matchShape(P.LHS, LHS, Bindings))
+      continue;
+    if (!matchShape(P.RHS, RHS, Bindings))
+      continue;
+    BinaryMatch Match;
+    Match.Pattern = &P;
+    Match.Bindings = Bindings;
+    Match.OutDims = instantiateShape(P.Out, Bindings);
+    Matches.push_back(std::move(Match));
+  }
+  return Matches;
+}
+
+std::optional<BinaryMatch>
+PatternDatabase::matchBinary(BinaryOp Op, const Dimensionality &LHS,
+                             const Dimensionality &RHS) const {
+  std::vector<BinaryMatch> Matches = matchBinaryAll(Op, LHS, RHS);
+  if (Matches.empty())
+    return std::nullopt;
+  return std::move(Matches.front());
+}
+
+std::vector<AccessMatch>
+PatternDatabase::matchAccessAll(const Dimensionality &Dims) const {
+  std::vector<AccessMatch> Matches;
+  for (const AccessPattern &P : AccessPatterns) {
+    PatternBindings Bindings;
+    if (!matchShape(P.In, Dims, Bindings))
+      continue;
+    AccessMatch Match;
+    Match.Pattern = &P;
+    Match.Bindings = Bindings;
+    Match.OutDims = instantiateShape(P.Out, Bindings);
+    Matches.push_back(std::move(Match));
+  }
+  return Matches;
+}
+
+std::optional<AccessMatch>
+PatternDatabase::matchAccess(const Dimensionality &Dims) const {
+  std::vector<AccessMatch> Matches = matchAccessAll(Dims);
+  if (Matches.empty())
+    return std::nullopt;
+  return std::move(Matches.front());
+}
+
+PatternDatabase mvec::makeDefaultPatternDatabase() {
+  PatternDatabase DB;
+  registerBuiltinPatterns(DB);
+  return DB;
+}
+
+std::optional<Dimensionality>
+PatternDatabase::matchCall(const std::string &Callee,
+                           const std::vector<Dimensionality> &ArgDims) const {
+  for (const CallPattern &P : CallPatterns) {
+    if (P.Callee != Callee)
+      continue;
+    if (ArgDims.size() < P.MinArgs || ArgDims.size() > P.MaxArgs)
+      continue;
+    if (auto Out = P.DimRule(ArgDims))
+      return Out;
+  }
+  return std::nullopt;
+}
+
+bool PatternDatabase::knowsCall(const std::string &Callee) const {
+  for (const CallPattern &P : CallPatterns)
+    if (P.Callee == Callee)
+      return true;
+  return false;
+}

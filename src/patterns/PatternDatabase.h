@@ -1,0 +1,95 @@
+//===- PatternDatabase.h - Extensible pattern registry ----------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of loop patterns. The paper ships each pattern in its own
+/// dynamically loadable library; this registry is the in-process half of
+/// that design (see PluginAPI.h for the dlopen-compatible entry point).
+/// Users extend the vectorizer by registering additional patterns — no
+/// changes to the solution core required.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_PATTERNS_PATTERNDATABASE_H
+#define MVEC_PATTERNS_PATTERNDATABASE_H
+
+#include "patterns/Pattern.h"
+
+#include <vector>
+
+namespace mvec {
+
+class PatternDatabase {
+public:
+  void addBinaryPattern(BinaryPattern Pattern) {
+    BinaryPatterns.push_back(std::move(Pattern));
+  }
+  void addAccessPattern(AccessPattern Pattern) {
+    AccessPatterns.push_back(std::move(Pattern));
+  }
+  void addCallPattern(CallPattern Pattern) {
+    CallPatterns.push_back(std::move(Pattern));
+  }
+
+  /// Finds the first binary pattern matching \p Op with the given operand
+  /// dimensionalities. Registration order is priority order.
+  std::optional<BinaryMatch> matchBinary(BinaryOp Op,
+                                         const Dimensionality &LHS,
+                                         const Dimensionality &RHS) const;
+
+  /// All binary patterns matching, in priority order (a pattern's
+  /// transformation may decline a match; callers then try the next one).
+  std::vector<BinaryMatch> matchBinaryAll(BinaryOp Op,
+                                          const Dimensionality &LHS,
+                                          const Dimensionality &RHS) const;
+
+  /// Finds the first access pattern matching the raw access
+  /// dimensionality \p Dims.
+  std::optional<AccessMatch> matchAccess(const Dimensionality &Dims) const;
+
+  /// All access patterns matching, in priority order.
+  std::vector<AccessMatch> matchAccessAll(const Dimensionality &Dims) const;
+
+  /// Applies the first call signature for \p Callee accepting \p ArgDims;
+  /// returns the result dimensionality, or nullopt when no signature
+  /// matches.
+  std::optional<Dimensionality>
+  matchCall(const std::string &Callee,
+            const std::vector<Dimensionality> &ArgDims) const;
+
+  /// True when some signature exists for \p Callee (regardless of arg
+  /// shapes).
+  bool knowsCall(const std::string &Callee) const;
+
+  size_t numBinaryPatterns() const { return BinaryPatterns.size(); }
+  size_t numAccessPatterns() const { return AccessPatterns.size(); }
+  size_t numCallPatterns() const { return CallPatterns.size(); }
+
+  const std::vector<BinaryPattern> &binaryPatterns() const {
+    return BinaryPatterns;
+  }
+  const std::vector<AccessPattern> &accessPatterns() const {
+    return AccessPatterns;
+  }
+
+private:
+  std::vector<BinaryPattern> BinaryPatterns;
+  std::vector<AccessPattern> AccessPatterns;
+  std::vector<CallPattern> CallPatterns;
+};
+
+/// Registers the built-in patterns (the paper's Table 2 plus the general
+/// matrix-product forms): dot product, broadcast-by-repmat, diagonal
+/// access, matrix-by-matrix / matrix-by-vector products and outer
+/// products.
+void registerBuiltinPatterns(PatternDatabase &DB);
+
+/// A database preloaded with the builtin patterns.
+PatternDatabase makeDefaultPatternDatabase();
+
+} // namespace mvec
+
+#endif // MVEC_PATTERNS_PATTERNDATABASE_H

@@ -1,0 +1,31 @@
+//===- PluginAPI.cpp - Dynamically loadable pattern plugins ------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "patterns/PluginAPI.h"
+
+#include <dlfcn.h>
+
+using namespace mvec;
+
+bool mvec::loadPatternPlugin(const std::string &Path, PatternDatabase &DB,
+                             std::string &Error) {
+  void *Handle = dlopen(Path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *Msg = dlerror();
+    Error = Msg ? Msg : "dlopen failed";
+    return false;
+  }
+  void *Sym = dlsym(Handle, MVEC_PLUGIN_ENTRY_POINT);
+  if (!Sym) {
+    Error = "plugin does not export " MVEC_PLUGIN_ENTRY_POINT;
+    dlclose(Handle);
+    return false;
+  }
+  auto Register = reinterpret_cast<MvecRegisterPatternsFn>(Sym);
+  Register(&DB);
+  // Keep the library loaded: the database now holds its callbacks.
+  return true;
+}

@@ -1,0 +1,46 @@
+//===- PluginAPI.h - Dynamically loadable pattern plugins -------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper stores each pattern-based transformation in its own
+/// dynamically loadable library (Fig. 2). This header defines the plugin
+/// contract: a shared library exports
+///
+///   extern "C" void mvecRegisterPatterns(mvec::PatternDatabase *DB);
+///
+/// and registers its patterns into \p DB. loadPatternPlugin() dlopens such
+/// a library and invokes the entry point, extending the vectorizer at
+/// runtime without rebuilding it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_PATTERNS_PLUGINAPI_H
+#define MVEC_PATTERNS_PLUGINAPI_H
+
+#include "patterns/PatternDatabase.h"
+
+#include <string>
+
+/// Symbol name every plugin must export.
+#define MVEC_PLUGIN_ENTRY_POINT "mvecRegisterPatterns"
+
+extern "C" {
+/// Plugin entry-point signature.
+using MvecRegisterPatternsFn = void (*)(mvec::PatternDatabase *);
+}
+
+namespace mvec {
+
+/// Loads the shared library at \p Path and invokes its registration entry
+/// point against \p DB. Returns false and fills \p Error on failure (file
+/// not found, missing symbol). The library stays loaded for the process
+/// lifetime — its transformation callbacks live inside the database.
+bool loadPatternPlugin(const std::string &Path, PatternDatabase &DB,
+                       std::string &Error);
+
+} // namespace mvec
+
+#endif // MVEC_PATTERNS_PLUGINAPI_H

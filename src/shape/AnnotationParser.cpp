@@ -1,0 +1,119 @@
+//===- AnnotationParser.cpp - %! shape annotations -------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shape/AnnotationParser.h"
+
+#include <cctype>
+
+using namespace mvec;
+
+namespace {
+
+class AnnotationScanner {
+public:
+  AnnotationScanner(const std::string &Text, SourceLoc Loc, ShapeEnv &Env,
+                    DiagnosticEngine &Diags)
+      : Text(Text), Loc(Loc), Env(Env), Diags(Diags) {}
+
+  void run() {
+    while (true) {
+      skipEntrySeparators();
+      if (atEnd())
+        return;
+      if (!parseEntry())
+        return;
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return atEnd() ? '\0' : Text[Pos]; }
+
+  void skipSpace() {
+    while (!atEnd() && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  /// Entries may be separated by whitespace and/or commas.
+  void skipEntrySeparators() {
+    while (!atEnd() && (std::isspace(static_cast<unsigned char>(Text[Pos])) ||
+                        Text[Pos] == ','))
+      ++Pos;
+  }
+
+  bool parseEntry() {
+    if (!std::isalpha(static_cast<unsigned char>(peek())) && peek() != '_') {
+      Diags.warning(Loc, "malformed shape annotation near '" +
+                             Text.substr(Pos) + "'");
+      return false;
+    }
+    std::string Name;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Name += Text[Pos++];
+    skipSpace();
+    if (peek() != '(') {
+      Diags.warning(Loc, "expected '(' after variable '" + Name +
+                             "' in shape annotation");
+      return false;
+    }
+    ++Pos; // '('
+    std::vector<DimSymbol> Dims;
+    while (true) {
+      skipSpace();
+      char C = peek();
+      if (C == '1') {
+        Dims.push_back(DimSymbol::one());
+        ++Pos;
+      } else if (C == '*') {
+        Dims.push_back(DimSymbol::star());
+        ++Pos;
+      } else {
+        Diags.warning(Loc, "expected '1' or '*' in shape annotation for '" +
+                               Name + "'");
+        return false;
+      }
+      skipSpace();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    if (peek() != ')') {
+      Diags.warning(Loc, "expected ')' in shape annotation for '" + Name +
+                             "'");
+      return false;
+    }
+    ++Pos; // ')'
+
+    // A single-entry annotation: v(1) is a scalar, v(*) a column vector.
+    if (Dims.size() == 1 && Dims[0].isStar())
+      Dims.push_back(DimSymbol::one());
+    Env.setShape(Name, Dimensionality(std::move(Dims)));
+    return true;
+  }
+
+  const std::string &Text;
+  SourceLoc Loc;
+  ShapeEnv &Env;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+void mvec::parseShapeAnnotation(const std::string &Text, SourceLoc Loc,
+                                ShapeEnv &Env, DiagnosticEngine &Diags) {
+  AnnotationScanner(Text, Loc, Env, Diags).run();
+}
+
+ShapeEnv mvec::parseShapeAnnotations(
+    const std::vector<AnnotationComment> &Comments, DiagnosticEngine &Diags) {
+  ShapeEnv Env;
+  for (const AnnotationComment &C : Comments)
+    parseShapeAnnotation(C.Text, C.Loc, Env, Diags);
+  return Env;
+}

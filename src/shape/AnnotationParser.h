@@ -1,0 +1,40 @@
+//===- AnnotationParser.h - %! shape annotations ----------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the paper's shape annotation comments:
+///
+///   %! i(1) a(1,*) b(*,1) A(*,*)
+///
+/// declaring i scalar, a a row vector, b a column vector and A a matrix.
+/// A single-entry annotation v(*) declares a column vector (MATLAB's
+/// default vector orientation for an n-element vector is n x 1 here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SHAPE_ANNOTATIONPARSER_H
+#define MVEC_SHAPE_ANNOTATIONPARSER_H
+
+#include "frontend/Lexer.h"
+#include "shape/ShapeEnv.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace mvec {
+
+/// Parses one annotation body (the text after "%!") into \p Env.
+/// Malformed entries are diagnosed and skipped.
+void parseShapeAnnotation(const std::string &Text, SourceLoc Loc,
+                          ShapeEnv &Env, DiagnosticEngine &Diags);
+
+/// Parses every collected annotation comment into a fresh environment.
+ShapeEnv parseShapeAnnotations(const std::vector<AnnotationComment> &Comments,
+                               DiagnosticEngine &Diags);
+
+} // namespace mvec
+
+#endif // MVEC_SHAPE_ANNOTATIONPARSER_H

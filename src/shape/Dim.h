@@ -1,0 +1,157 @@
+//===- Dim.h - Abstract dimensionality --------------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's dimension abstraction (Sec. 2.1). A dimension size is one of:
+///   1    — the size in that dimension is exactly one;
+///   *    — the size is greater than one;
+///   r_i  — the size equals the trip count of loop i (also greater than
+///          one). Distinct loops yield distinct, mutually incompatible
+///          symbols, even when their bounds coincide (Sec. 2.2).
+///
+/// A Dimensionality is an ordered list of such symbols, with the paper's
+/// f_reduce / f_reverse / f_max operations and the compatibility relation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SHAPE_DIM_H
+#define MVEC_SHAPE_DIM_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mvec {
+
+/// Identifies a loop in the nest under analysis. Stable for the lifetime of
+/// one vectorization attempt.
+using LoopId = uint32_t;
+
+/// One abstract dimension size: 1, * or r_i.
+class DimSymbol {
+public:
+  enum class Kind : uint8_t { One, Star, Range };
+
+  constexpr DimSymbol() : TheKind(Kind::One), Loop(0) {}
+
+  static constexpr DimSymbol one() { return DimSymbol(Kind::One, 0); }
+  static constexpr DimSymbol star() { return DimSymbol(Kind::Star, 0); }
+  static constexpr DimSymbol range(LoopId Loop) {
+    return DimSymbol(Kind::Range, Loop);
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isOne() const { return TheKind == Kind::One; }
+  bool isStar() const { return TheKind == Kind::Star; }
+  bool isRange() const { return TheKind == Kind::Range; }
+  /// True for sizes known to exceed one (* and every r_i).
+  bool isGreaterThanOne() const { return !isOne(); }
+
+  LoopId loop() const {
+    assert(isRange() && "not a range symbol");
+    return Loop;
+  }
+
+  /// Exact symbol identity: r_i == r_j only when i == j; * is never equal
+  /// to any r_i (they are distinct symbols per the paper).
+  friend bool operator==(DimSymbol A, DimSymbol B) {
+    return A.TheKind == B.TheKind && A.Loop == B.Loop;
+  }
+  friend bool operator!=(DimSymbol A, DimSymbol B) { return !(A == B); }
+
+  std::string str() const;
+
+private:
+  constexpr DimSymbol(Kind K, LoopId Loop) : TheKind(K), Loop(Loop) {}
+
+  Kind TheKind;
+  LoopId Loop;
+};
+
+/// An ordered list of abstract dimension sizes.
+///
+/// Values are kept padded to at least two entries (MATLAB values are at
+/// least two-dimensional); comparison goes through f_reduce which strips
+/// trailing 1 entries, so (1), (1,1) and (1,1,1) are all compatible.
+class Dimensionality {
+public:
+  Dimensionality() = default;
+  Dimensionality(std::initializer_list<DimSymbol> Symbols);
+  explicit Dimensionality(std::vector<DimSymbol> Symbols);
+
+  static Dimensionality scalar() {
+    return Dimensionality{DimSymbol::one(), DimSymbol::one()};
+  }
+  static Dimensionality rowVector() {
+    return Dimensionality{DimSymbol::one(), DimSymbol::star()};
+  }
+  static Dimensionality columnVector() {
+    return Dimensionality{DimSymbol::star(), DimSymbol::one()};
+  }
+  static Dimensionality matrix() {
+    return Dimensionality{DimSymbol::star(), DimSymbol::star()};
+  }
+
+  size_t size() const { return Symbols.size(); }
+  DimSymbol operator[](size_t I) const {
+    assert(I < Symbols.size());
+    return Symbols[I];
+  }
+  void set(size_t I, DimSymbol S) {
+    assert(I < Symbols.size());
+    Symbols[I] = S;
+  }
+
+  const std::vector<DimSymbol> &symbols() const { return Symbols; }
+
+  /// f_reduce: strips trailing 1 dimensions (a 5x5 matrix is effectively a
+  /// 5x5x1 matrix).
+  Dimensionality reduced() const;
+
+  /// f_reverse: the reversed symbol list (the shape after a transpose).
+  Dimensionality reversed() const;
+
+  /// f_max: the largest dimension of a vector-shaped argument, e.g.
+  /// f_max(1,*) = *, f_max(r_i,1) = r_i, f_max(1,1) = 1. Fails (nullopt)
+  /// when the argument is not scalar- or vector-shaped — i.e. when more
+  /// than one entry exceeds one — because then no single "largest" symbol
+  /// describes it.
+  std::optional<DimSymbol> fmax() const;
+
+  /// All entries are 1.
+  bool isScalarShape() const;
+  /// At most one entry exceeds 1.
+  bool isVectorShape() const;
+  /// At least two entries exceed 1 (the paper's isMatrix predicate).
+  bool isMatrixShape() const;
+
+  bool containsRange(LoopId Loop) const;
+  bool containsAnyRange() const;
+
+  /// Exact element-wise equality (the paper's ≡ relation).
+  friend bool operator==(const Dimensionality &A, const Dimensionality &B) {
+    return A.Symbols == B.Symbols;
+  }
+  friend bool operator!=(const Dimensionality &A, const Dimensionality &B) {
+    return !(A == B);
+  }
+
+  std::string str() const;
+
+private:
+  void padToTwo();
+
+  std::vector<DimSymbol> Symbols;
+};
+
+/// The paper's compatibility relation (≃): reduced forms are equal.
+bool compatible(const Dimensionality &A, const Dimensionality &B);
+
+} // namespace mvec
+
+#endif // MVEC_SHAPE_DIM_H

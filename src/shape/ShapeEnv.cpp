@@ -1,0 +1,19 @@
+//===- ShapeEnv.cpp - Variable shape environment ---------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shape/ShapeEnv.h"
+
+using namespace mvec;
+
+std::string ShapeEnv::str() const {
+  std::string Out;
+  for (const auto &[Name, Dim] : Shapes) {
+    if (!Out.empty())
+      Out += ' ';
+    Out += Name + Dim.str();
+  }
+  return Out;
+}

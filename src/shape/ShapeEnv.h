@@ -1,0 +1,68 @@
+//===- ShapeEnv.h - Variable shape environment ------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps variable names to their abstract shapes. Shapes come from `%!`
+/// annotations (the paper's prototype assumes an external shape-inference
+/// tool whose output is provided as annotations) and, optionally, from the
+/// light intra-script inference in ShapeInference.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SHAPE_SHAPEENV_H
+#define MVEC_SHAPE_SHAPEENV_H
+
+#include "shape/Dim.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace mvec {
+
+class ShapeEnv {
+public:
+  void setShape(const std::string &Name, Dimensionality Dim) {
+    Shapes[Name] = std::move(Dim);
+  }
+
+  /// The declared shape of \p Name, if known.
+  std::optional<Dimensionality> getShape(const std::string &Name) const {
+    auto It = Shapes.find(Name);
+    if (It == Shapes.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  bool knows(const std::string &Name) const { return Shapes.count(Name); }
+
+  void erase(const std::string &Name) { Shapes.erase(Name); }
+
+  /// The paper's isMatrix predicate for a named variable. Unknown names are
+  /// not matrices.
+  bool isMatrix(const std::string &Name) const {
+    auto Shape = getShape(Name);
+    return Shape && Shape->isMatrixShape();
+  }
+
+  bool isScalar(const std::string &Name) const {
+    auto Shape = getShape(Name);
+    return Shape && Shape->isScalarShape();
+  }
+
+  const std::map<std::string, Dimensionality> &shapes() const {
+    return Shapes;
+  }
+
+  std::string str() const;
+
+private:
+  std::map<std::string, Dimensionality> Shapes;
+};
+
+} // namespace mvec
+
+#endif // MVEC_SHAPE_SHAPEENV_H

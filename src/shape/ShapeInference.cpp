@@ -1,0 +1,214 @@
+//===- ShapeInference.cpp - Light intra-script shape inference -------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shape/ShapeInference.h"
+
+#include "frontend/ASTUtils.h"
+
+#include <cmath>
+#include <set>
+
+using namespace mvec;
+
+namespace {
+
+DimSymbol symbolForExtent(const Expr &E) {
+  double Value = 0;
+  if (evaluateConstant(E, Value))
+    return Value == 1 ? DimSymbol::one() : DimSymbol::star();
+  // Unknown extents are conservatively "greater than one"; a dimension of
+  // symbolic size n could be 1 at runtime, but shape annotations in the
+  // paper make the same assumption (n is a problem size).
+  return DimSymbol::star();
+}
+
+std::optional<Dimensionality> inferCallShape(const IndexExpr &Call,
+                                             const ShapeEnv &Env) {
+  std::string Name = Call.baseName();
+  if (Name.empty())
+    return std::nullopt;
+
+  // Shape-constructing builtins.
+  if (Name == "zeros" || Name == "ones" || Name == "rand" || Name == "eye") {
+    if (Call.numArgs() == 0)
+      return Dimensionality::scalar();
+    if (Call.numArgs() == 1) {
+      DimSymbol S = symbolForExtent(*Call.arg(0));
+      return Dimensionality{S, S};
+    }
+    if (Call.numArgs() == 2)
+      return Dimensionality{symbolForExtent(*Call.arg(0)),
+                            symbolForExtent(*Call.arg(1))};
+    return std::nullopt;
+  }
+  if (Name == "hist")
+    return Dimensionality::rowVector();
+  if (Name == "size") {
+    if (Call.numArgs() == 2)
+      return Dimensionality::scalar();
+    return Dimensionality::rowVector();
+  }
+  if (Name == "numel" || Name == "length")
+    return Dimensionality::scalar();
+  if (Name == "linspace")
+    return Dimensionality::rowVector();
+
+  // Pointwise math functions preserve the argument's shape.
+  static const char *const Pointwise[] = {"cos",  "sin",  "tan", "sqrt",
+                                          "exp",  "log",  "abs", "floor",
+                                          "ceil", "round"};
+  for (const char *Fn : Pointwise) {
+    if (Name == Fn && Call.numArgs() == 1)
+      return inferExprShape(*Call.arg(0), Env);
+  }
+  if (Name == "cumsum" && Call.numArgs() == 1)
+    return inferExprShape(*Call.arg(0), Env);
+
+  // A known variable being subscripted: scalar subscripts of a variable
+  // yield a scalar; anything else would need the vectorizer's richer rules.
+  if (Env.knows(Name)) {
+    bool AllScalarArgs = true;
+    for (unsigned I = 0, E = Call.numArgs(); I != E; ++I) {
+      auto ArgShape = inferExprShape(*Call.arg(I), Env);
+      if (!ArgShape || !ArgShape->isScalarShape())
+        AllScalarArgs = false;
+    }
+    if (AllScalarArgs && Call.numArgs() >= 1)
+      return Dimensionality::scalar();
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Dimensionality> mvec::inferExprShape(const Expr &E,
+                                                   const ShapeEnv &Env) {
+  switch (E.kind()) {
+  case Expr::Kind::Number:
+    return Dimensionality::scalar();
+  case Expr::Kind::String:
+    return std::nullopt;
+  case Expr::Kind::Ident:
+    return Env.getShape(cast<IdentExpr>(E).name());
+  case Expr::Kind::MagicColon:
+  case Expr::Kind::EndKeyword:
+    return std::nullopt;
+  case Expr::Kind::Range: {
+    const auto &R = cast<RangeExpr>(E);
+    double Start = 0, Stop = 0;
+    double Step = 1;
+    bool Const = evaluateConstant(*R.start(), Start) &&
+                 evaluateConstant(*R.stop(), Stop) &&
+                 (!R.step() || evaluateConstant(*R.step(), Step));
+    if (Const && Step != 0) {
+      double Count = std::floor((Stop - Start) / Step) + 1;
+      if (Count == 1)
+        return Dimensionality::scalar();
+    }
+    return Dimensionality::rowVector();
+  }
+  case Expr::Kind::Unary:
+    return inferExprShape(*cast<UnaryExpr>(E).operand(), Env);
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    auto L = inferExprShape(*B.lhs(), Env);
+    auto R = inferExprShape(*B.rhs(), Env);
+    if (!L || !R)
+      return std::nullopt;
+    if (isPointwiseArithOp(B.op()) || isElementwiseRelOp(B.op())) {
+      if (L->isScalarShape())
+        return R;
+      if (R->isScalarShape())
+        return L;
+      if (compatible(*L, *R))
+        return L;
+      return std::nullopt;
+    }
+    if (B.op() == BinaryOp::Mul) {
+      if (L->isScalarShape())
+        return R;
+      if (R->isScalarShape())
+        return L;
+      // Matrix product A(m,k)*B(k,n) -> (m,n), when both are 2-D.
+      if (L->size() == 2 && R->size() == 2)
+        return Dimensionality{(*L)[0], (*R)[1]};
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+  case Expr::Kind::Transpose: {
+    auto Inner = inferExprShape(*cast<TransposeExpr>(E).operand(), Env);
+    if (!Inner)
+      return std::nullopt;
+    return Inner->reversed();
+  }
+  case Expr::Kind::Index:
+    return inferCallShape(cast<IndexExpr>(E), Env);
+  case Expr::Kind::Matrix: {
+    const auto &M = cast<MatrixExpr>(E);
+    if (M.rows().empty())
+      return std::nullopt;
+    // A 1x1 literal takes the shape of its single element (e.g. [0:255]).
+    if (M.rows().size() == 1 && M.rows()[0].size() == 1)
+      return inferExprShape(*M.rows()[0][0], Env);
+    DimSymbol RowSym =
+        M.rows().size() == 1 ? DimSymbol::one() : DimSymbol::star();
+    DimSymbol ColSym =
+        M.rows()[0].size() == 1 ? DimSymbol::one() : DimSymbol::star();
+    return Dimensionality{RowSym, ColSym};
+  }
+  }
+  return std::nullopt;
+}
+
+void mvec::inferProgramShapes(const Program &P, ShapeEnv &Env) {
+  // Variables written inside loops or branches may have data-dependent
+  // shapes; drop whatever the straight-line pass would have concluded
+  // unless an annotation pins them down. Annotations are already in Env
+  // and are never overwritten here, so we only need to avoid adding
+  // entries for such variables.
+  std::set<std::string> WrittenInControlFlow;
+  for (const StmtPtr &S : P.Stmts) {
+    if (isa<AssignStmt>(S.get()) || isa<ExprStmt>(S.get()))
+      continue;
+    std::vector<const Stmt *> Work{S.get()};
+    while (!Work.empty()) {
+      const Stmt *Cur = Work.back();
+      Work.pop_back();
+      auto AddBody = [&Work](const std::vector<StmtPtr> &Body) {
+        for (const StmtPtr &Child : Body)
+          Work.push_back(Child.get());
+      };
+      if (const auto *For = dyn_cast<ForStmt>(Cur))
+        AddBody(For->body());
+      else if (const auto *While = dyn_cast<WhileStmt>(Cur))
+        AddBody(While->body());
+      else if (const auto *If = dyn_cast<IfStmt>(Cur))
+        for (const IfStmt::Branch &B : If->branches())
+          AddBody(B.Body);
+      else if (const auto *Assign = dyn_cast<AssignStmt>(Cur)) {
+        // Only whole-variable assignments can change a variable's shape
+        // class; subscripted writes (z(i) = ...) preserve it.
+        if (isa<IdentExpr>(Assign->lhs()))
+          WrittenInControlFlow.insert(Assign->targetName());
+      }
+    }
+  }
+
+  for (const StmtPtr &S : P.Stmts) {
+    const auto *Assign = dyn_cast<AssignStmt>(S.get());
+    if (!Assign)
+      continue;
+    const auto *Target = dyn_cast<IdentExpr>(Assign->lhs());
+    if (!Target)
+      continue; // Subscripted writes can grow arrays; stay conservative.
+    if (Env.knows(Target->name()) ||
+        WrittenInControlFlow.count(Target->name()))
+      continue;
+    if (auto Shape = inferExprShape(*Assign->rhs(), Env))
+      Env.setShape(Target->name(), *Shape);
+  }
+}

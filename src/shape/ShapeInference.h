@@ -1,0 +1,38 @@
+//===- ShapeInference.h - Light intra-script shape inference ----*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conservative forward shape propagation over straight-line top-level
+/// assignments. The paper assumes shapes come from an external inference
+/// tool [5,18]; this pass stands in for the easy cases (constants, ranges,
+/// zeros/ones/eye, transposes, pointwise combinations) so that simple
+/// scripts vectorize without annotations. Annotated shapes always win; the
+/// pass never overwrites an annotation and only records shapes it is sure
+/// about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SHAPE_SHAPEINFERENCE_H
+#define MVEC_SHAPE_SHAPEINFERENCE_H
+
+#include "frontend/AST.h"
+#include "shape/ShapeEnv.h"
+
+#include <optional>
+
+namespace mvec {
+
+/// Infers the shape of \p E under \p Env, or nullopt when unsure.
+std::optional<Dimensionality> inferExprShape(const Expr &E,
+                                             const ShapeEnv &Env);
+
+/// Propagates shapes through the top-level straight-line prefix of \p P
+/// (loops and branches stop propagation for the variables they write).
+void inferProgramShapes(const Program &P, ShapeEnv &Env);
+
+} // namespace mvec
+
+#endif // MVEC_SHAPE_SHAPEINFERENCE_H

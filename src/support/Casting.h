@@ -1,0 +1,71 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast templates ------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the style of llvm/Support/Casting.h. Classes opt in by
+/// providing a static `classof(const Base *)` predicate, typically backed by
+/// a kind discriminator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SUPPORT_CASTING_H
+#define MVEC_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace mvec {
+
+/// Returns true if \p Val is an instance of (a subclass of) \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type!");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type!");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type!");
+  return static_cast<To &>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type!");
+  return static_cast<const To &>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return Val && isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (returns false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+} // namespace mvec
+
+#endif // MVEC_SUPPORT_CASTING_H

@@ -1,0 +1,43 @@
+//===- Diagnostics.cpp - Diagnostic collection ----------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace mvec;
+
+const char *mvec::severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Remark:
+    return "remark";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::str(const std::string &FileName) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    OS << FileName;
+    if (D.Loc.isValid())
+      OS << ':' << D.Loc.Line << ':' << D.Loc.Col;
+    OS << ": " << severityName(D.Severity) << ": " << D.Message << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,75 @@
+//===- Diagnostics.h - Diagnostic collection --------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. Library code never writes to stderr directly;
+/// it reports through a DiagnosticEngine which tools can print or inspect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SUPPORT_DIAGNOSTICS_H
+#define MVEC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace mvec {
+
+enum class DiagSeverity { Note, Remark, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced by the frontend and the vectorizer.
+///
+/// Remarks are used to explain vectorization decisions (why a loop was or
+/// was not vectorized), mirroring compiler optimization remarks.
+class DiagnosticEngine {
+public:
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void remark(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Remark, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// Renders all diagnostics as "file:line:col: severity: message" lines.
+  std::string str(const std::string &FileName = "<input>") const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+/// Returns the display name for \p Severity ("error", "warning", ...).
+const char *severityName(DiagSeverity Severity);
+
+} // namespace mvec
+
+#endif // MVEC_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,37 @@
+//===- SourceLoc.h - Source locations for diagnostics ----------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight 1-based line/column source locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SUPPORT_SOURCELOC_H
+#define MVEC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace mvec {
+
+/// A position in the input buffer. Line and column are 1-based; a value of
+/// zero means "unknown" (e.g. for synthesized AST nodes).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace mvec
+
+#endif // MVEC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,72 @@
+//===- StringExtras.cpp - String helpers ----------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+using namespace mvec;
+
+std::string mvec::join(const std::vector<std::string> &Parts,
+                       std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string_view mvec::trim(std::string_view S) {
+  size_t Begin = 0, End = S.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string> mvec::split(std::string_view S, char Sep) {
+  std::vector<std::string> Fields;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Fields.emplace_back(S.substr(Start));
+      return Fields;
+    }
+    Fields.emplace_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string mvec::formatMatlabNumber(double Value) {
+  if (std::isfinite(Value) && Value == std::floor(Value) &&
+      std::fabs(Value) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", Value);
+    return Buf;
+  }
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  // Trim needless precision when a shorter form round-trips.
+  for (int Precision = 1; Precision < 17; ++Precision) {
+    char Short[48];
+    std::snprintf(Short, sizeof(Short), "%.*g", Precision, Value);
+    double Parsed = 0;
+    std::sscanf(Short, "%lf", &Parsed);
+    if (Parsed == Value)
+      return Short;
+  }
+  return Buf;
+}
+
+bool mvec::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}

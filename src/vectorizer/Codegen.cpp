@@ -1,0 +1,216 @@
+//===- Codegen.cpp - Allen & Kennedy codegen with dim checking --------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/Codegen.h"
+
+#include "frontend/ASTPrinter.h"
+#include "frontend/ASTUtils.h"
+#include "frontend/Simplify.h"
+#include "vectorizer/DimChecker.h"
+
+#include <map>
+
+using namespace mvec;
+
+namespace {
+
+class CodegenDriver {
+public:
+  CodegenDriver(const LoopNest &Nest, const DepGraph &Graph,
+                const ShapeEnv &Env, const PatternDatabase &DB,
+                const VectorizerOptions &Opts, DiagnosticEngine &Diags)
+      : Nest(Nest), Graph(Graph), Env(Env), DB(DB), Opts(Opts), Diags(Diags) {
+  }
+
+  CodegenResult run() {
+    std::vector<unsigned> All;
+    for (unsigned I = 0; I != Nest.Stmts.size(); ++I)
+      All.push_back(I);
+    Result.Stmts = codegen(All, 1);
+    return std::move(Result);
+  }
+
+private:
+  std::vector<StmtPtr> codegen(const std::vector<unsigned> &Active,
+                               unsigned Level);
+  void emitSingle(unsigned StmtIdx, unsigned Level,
+                  std::vector<StmtPtr> &Block);
+
+  StmtPtr makeSequentialLoop(unsigned Level) const {
+    const LoopHeader &H = Nest.Loops[Level - 1];
+    return std::make_unique<ForStmt>(H.IndexVar, H.makeRangeExpr(),
+                                     std::vector<StmtPtr>());
+  }
+
+  void remark(SourceLoc Loc, const std::string &Message) {
+    if (Opts.EmitRemarks)
+      Diags.remark(Loc, Message);
+  }
+
+  const LoopNest &Nest;
+  const DepGraph &Graph;
+  const ShapeEnv &Env;
+  const PatternDatabase &DB;
+  const VectorizerOptions &Opts;
+  DiagnosticEngine &Diags;
+  CodegenResult Result;
+};
+
+std::vector<StmtPtr>
+CodegenDriver::codegen(const std::vector<unsigned> &Active, unsigned Level) {
+  std::vector<StmtPtr> Block;
+
+  // Induced subgraph over the active statements, renumbered locally.
+  std::map<unsigned, unsigned> GlobalToLocal;
+  for (unsigned I = 0; I != Active.size(); ++I)
+    GlobalToLocal[Active[I]] = I;
+  DepGraph Local;
+  Local.NumNodes = Active.size();
+  for (const DepEdge &E : Graph.Edges) {
+    auto SrcIt = GlobalToLocal.find(E.Src);
+    auto DstIt = GlobalToLocal.find(E.Dst);
+    if (SrcIt == GlobalToLocal.end() || DstIt == GlobalToLocal.end())
+      continue;
+    DepEdge Renumbered = E;
+    Renumbered.Src = SrcIt->second;
+    Renumbered.Dst = DstIt->second;
+    Local.Edges.push_back(Renumbered);
+  }
+
+  for (const std::vector<unsigned> &LocalComp :
+       stronglyConnectedComponents(Local, Level)) {
+    std::vector<unsigned> Comp;
+    Comp.reserve(LocalComp.size());
+    for (unsigned L : LocalComp)
+      Comp.push_back(Active[L]);
+
+    if (Comp.size() == 1) {
+      emitSingle(Comp[0], Level, Block);
+      continue;
+    }
+
+    // A multi-statement recurrence: run the loop at this level
+    // sequentially, drop its carried edges and recurse (Algorithm 1,
+    // lines 22-26).
+    if (Level > Nest.Loops.size()) {
+      // No loop left to serialize (cannot happen for well-formed graphs,
+      // but degrade gracefully): emit the statements in order.
+      for (unsigned StmtIdx : Comp) {
+        Block.push_back(Nest.Stmts[StmtIdx].S->clone());
+        ++Result.SequentialStmts;
+      }
+      continue;
+    }
+    remark(Nest.Stmts[Comp[0]].S->loc(),
+           "recurrence among " + std::to_string(Comp.size()) +
+               " statements: running loop '" +
+               Nest.Loops[Level - 1].IndexVar + "' sequentially");
+    StmtPtr Loop = makeSequentialLoop(Level);
+    auto *LoopRaw = cast<ForStmt>(Loop.get());
+    LoopRaw->body() = codegen(Comp, Level + 1);
+    ++Result.SequentialLoops;
+    Block.push_back(std::move(Loop));
+  }
+  return Block;
+}
+
+void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
+                               std::vector<StmtPtr> &Block) {
+  const NestStmt &NS = Nest.Stmts[StmtIdx];
+  unsigned MaxL = NS.Depth;
+  std::vector<StmtPtr> *BlockPtr = &Block;
+
+  for (unsigned L = Level; L <= MaxL; ++L) {
+    // Recurrences on the statement itself at the levels still in play.
+    std::set<unsigned> CarriedLevels;
+    for (const DepEdge &E : Graph.Edges)
+      if (E.Src == StmtIdx && E.Dst == StmtIdx && E.Level != 0 &&
+          E.Level >= L)
+        CarriedLevels.insert(E.Level);
+
+    DimChecker Checker(Nest, L, MaxL, Env, DB, Opts);
+    std::optional<CheckedStmt> Checked;
+    std::string Why;
+
+    if (CarriedLevels.empty()) {
+      Checked = Checker.checkStatement(*NS.S);
+      if (!Checked)
+        Why = Checker.failureReason();
+    } else if (!Opts.EnableReductions) {
+      Why = "recurrence (reduction vectorization disabled)";
+    } else {
+      // The paper's extension: vectorize the accumulation when every
+      // carried level is a reduction variable (a loop absent from the
+      // accumulator's subscripts).
+      std::set<LoopId> ReductionVars;
+      for (unsigned K = L; K <= MaxL; ++K) {
+        const LoopHeader &H = Nest.Loops[K - 1];
+        if (!mentionsIdentifier(*NS.S->lhs(), H.IndexVar))
+          ReductionVars.insert(H.Id);
+      }
+      bool Covered = !ReductionVars.empty();
+      for (unsigned CL : CarriedLevels)
+        if (CL > Nest.Loops.size() ||
+            !ReductionVars.count(Nest.Loops[CL - 1].Id))
+          Covered = false;
+      if (Covered) {
+        Checked = Checker.checkStatement(*NS.S, ReductionVars);
+        if (!Checked)
+          Why = Checker.failureReason();
+      } else {
+        Why = "recurrence carried by a non-reduction loop";
+      }
+    }
+
+    if (Checked) {
+      ExprPtr LHS = std::move(Checked->LHS);
+      ExprPtr RHS = std::move(Checked->RHS);
+      for (unsigned K = L; K <= MaxL; ++K) {
+        const LoopHeader &H = Nest.Loops[K - 1];
+        ExprPtr Range = H.makeRangeExpr();
+        LHS = substituteIdentifier(std::move(LHS), H.IndexVar, *Range);
+        RHS = substituteIdentifier(std::move(RHS), H.IndexVar, *Range);
+      }
+      if (Opts.DistributeTransposes) {
+        LHS = distributeTransposes(std::move(LHS));
+        RHS = distributeTransposes(std::move(RHS));
+      }
+      LHS = simplifyExpr(std::move(LHS));
+      RHS = simplifyExpr(std::move(RHS));
+      auto NewStmt = std::make_unique<AssignStmt>(
+          std::move(LHS), std::move(RHS), NS.S->loc());
+      remark(NS.S->loc(), "vectorized statement at loop level " +
+                              std::to_string(L) + ": " +
+                              printStmt(*NewStmt));
+      BlockPtr->push_back(std::move(NewStmt));
+      ++Result.VectorizedStmts;
+      return;
+    }
+
+    if (!Why.empty())
+      remark(NS.S->loc(), "level " + std::to_string(L) +
+                              " not vectorizable: " + Why);
+    StmtPtr Loop = makeSequentialLoop(L);
+    auto *LoopRaw = cast<ForStmt>(Loop.get());
+    ++Result.SequentialLoops;
+    BlockPtr->push_back(std::move(Loop));
+    BlockPtr = &LoopRaw->body();
+  }
+
+  // No level vectorized: the statement stays inside the sequential loops
+  // materialized above.
+  BlockPtr->push_back(NS.S->clone());
+  ++Result.SequentialStmts;
+}
+
+} // namespace
+
+CodegenResult mvec::runCodegen(const LoopNest &Nest, const DepGraph &Graph,
+                               const ShapeEnv &Env, const PatternDatabase &DB,
+                               const VectorizerOptions &Opts,
+                               DiagnosticEngine &Diags) {
+  return CodegenDriver(Nest, Graph, Env, DB, Opts, Diags).run();
+}

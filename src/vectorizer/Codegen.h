@@ -1,0 +1,53 @@
+//===- Codegen.h - Allen & Kennedy codegen with dim checking ----*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Algorithm 1 (codegen_dim): partitions the nest's DDG into
+/// SCCs, visits them in topological order, and for each acyclic component
+/// tries to vectorize at the outermost possible level, peeling sequential
+/// loops one at a time on failure. Recurrences either vectorize as
+/// additive reductions (the paper's extension) or serialize their carrier
+/// loop and recurse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_VECTORIZER_CODEGEN_H
+#define MVEC_VECTORIZER_CODEGEN_H
+
+#include "deps/DepAnalysis.h"
+#include "deps/DepGraph.h"
+#include "deps/LoopNest.h"
+#include "patterns/PatternDatabase.h"
+#include "shape/ShapeEnv.h"
+#include "support/Diagnostics.h"
+#include "vectorizer/Options.h"
+
+#include <vector>
+
+namespace mvec {
+
+/// Outcome of code generation for one loop nest.
+struct CodegenResult {
+  /// Replacement statements for the nest's root loop.
+  std::vector<StmtPtr> Stmts;
+  /// Number of original statements emitted in vector form.
+  unsigned VectorizedStmts = 0;
+  /// Number left inside sequential loops.
+  unsigned SequentialStmts = 0;
+  /// Sequential for-loops materialized in the output (0 when the whole
+  /// nest vectorized).
+  unsigned SequentialLoops = 0;
+};
+
+/// Runs codegen_dim over \p Nest with dependence graph \p Graph.
+CodegenResult runCodegen(const LoopNest &Nest, const DepGraph &Graph,
+                         const ShapeEnv &Env, const PatternDatabase &DB,
+                         const VectorizerOptions &Opts,
+                         DiagnosticEngine &Diags);
+
+} // namespace mvec
+
+#endif // MVEC_VECTORIZER_CODEGEN_H

@@ -1,0 +1,145 @@
+//===- DimChecker.h - Vectorized dimensionality checking --------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core of the paper: computes vectorized dimensionalities dim_i(e)
+/// bottom-up over a statement's parse tree (Table 1), checks compatibility
+/// of assignments and pointwise operators (Sec. 2.1), inserts transposes
+/// (Sec. 2.2), applies pattern-database transformations (Sec. 3), and
+/// handles additive reductions with the Gamma operator, reduced-variable
+/// sets rho(e), implicit reduction through matrix multiplication and chain
+/// re-association (Sec. 3.1).
+///
+/// Checking and rewriting are fused: a successful check returns the
+/// transformed statement, still containing the loop index variables (index
+/// substitution happens in the code generator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_VECTORIZER_DIMCHECKER_H
+#define MVEC_VECTORIZER_DIMCHECKER_H
+
+#include "deps/LoopNest.h"
+#include "patterns/PatternDatabase.h"
+#include "shape/ShapeEnv.h"
+#include "vectorizer/Options.h"
+
+#include <optional>
+#include <set>
+#include <string>
+
+namespace mvec {
+
+/// A checked (and possibly rewritten) expression with its vectorized
+/// dimensionality and reduced-variable set rho.
+struct CheckedExpr {
+  ExprPtr E;
+  Dimensionality Dims;
+  std::set<LoopId> Rho;
+
+  CheckedExpr clone() const {
+    CheckedExpr C;
+    C.E = E->clone();
+    C.Dims = Dims;
+    C.Rho = Rho;
+    return C;
+  }
+};
+
+/// Result of checking a whole assignment statement.
+struct CheckedStmt {
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+class DimChecker {
+public:
+  /// Prepares a checker that vectorizes nest loops [Level, MaxLevel]
+  /// (1-based, inclusive); loops below Level run sequentially and their
+  /// index variables are treated as scalars.
+  DimChecker(const LoopNest &Nest, unsigned Level, unsigned MaxLevel,
+             const ShapeEnv &Env, const PatternDatabase &DB,
+             const VectorizerOptions &Opts);
+
+  /// The paper's vectDimsOkay: checks \p S and returns the transformed
+  /// statement on success. \p ReductionLoops names the loops to reduce
+  /// over (empty for plain statements); when nonempty, \p S must have the
+  /// additive-reduction form A(J) = A(J) +/- E.
+  std::optional<CheckedStmt>
+  checkStatement(const AssignStmt &S,
+                 const std::set<LoopId> &ReductionLoops = {});
+
+  /// Why the last checkStatement failed.
+  const std::string &failureReason() const { return Failure; }
+
+  /// Checks a single expression (exposed for unit tests).
+  std::optional<CheckedExpr> checkExpr(const Expr &E);
+
+  /// Identifies the additive-reduction form A(J) = A(J) +/- E. On success
+  /// returns the non-accumulator expression E and sets \p IsSub for the
+  /// '-' form.
+  static const Expr *matchAdditiveReduction(const AssignStmt &S,
+                                            bool &IsSub);
+
+private:
+  std::optional<CheckedExpr> check(const Expr &E);
+  std::optional<CheckedExpr> checkLValue(const Expr &E);
+  std::optional<CheckedExpr> checkBinary(const BinaryExpr &E);
+  std::optional<CheckedExpr> checkIndex(const IndexExpr &E);
+  std::optional<CheckedExpr> checkCall(const IndexExpr &E,
+                                       const std::string &Name);
+
+  /// Pointwise combination with scalar rules, transpose repair and the
+  /// pattern database. \p Op is the effective (already elementwise)
+  /// operator.
+  std::optional<CheckedExpr> combinePointwise(BinaryOp Op, CheckedExpr L,
+                                              CheckedExpr R);
+
+  /// One '*' combination: scalar forms, pointwise rewriting to '.*',
+  /// implicit reduction by native matrix multiplication, and the product
+  /// patterns, each modulo operand transposition.
+  std::optional<CheckedExpr> combineMul(const CheckedExpr &L,
+                                        const CheckedExpr &R);
+
+  /// Re-associates a maximal multiplication chain (Sec. 3.1 footnote).
+  std::optional<CheckedExpr> checkMulChain(const BinaryExpr &E);
+
+  /// The Gamma reduction operator: reduce \p E along loop \p Loop, either
+  /// by sum() along the matching dimension or by trip-count scaling.
+  CheckedExpr gammaReduce(CheckedExpr E, LoopId Loop);
+
+  /// rho-consistency for non-additive operators: a variable reduced in one
+  /// operand must not appear in the other's dimensionality.
+  bool rhoConsistent(const CheckedExpr &L, const CheckedExpr &R) const;
+
+  /// Loop id when \p Name is the index variable of a vectorized loop.
+  std::optional<LoopId> vectorizedLoop(const std::string &Name) const;
+  /// True when \p Name is the index of a sequential (outer) loop.
+  bool isSequentialLoopVar(const std::string &Name) const;
+
+  const LoopHeader *headerOf(LoopId Id) const { return Nest.headerFor(Id); }
+
+  std::optional<CheckedExpr> fail(const std::string &Reason) {
+    if (Failure.empty())
+      Failure = Reason;
+    return std::nullopt;
+  }
+
+  PatternContext patternContext(const PatternBindings &Bindings) const;
+
+  const LoopNest &Nest;
+  unsigned Level;
+  unsigned MaxLevel;
+  const ShapeEnv &Env;
+  const PatternDatabase &DB;
+  const VectorizerOptions &Opts;
+  std::set<LoopId> ReductionLoops;
+  std::string Failure;
+};
+
+} // namespace mvec
+
+#endif // MVEC_VECTORIZER_DIMCHECKER_H

@@ -1,0 +1,118 @@
+//===- Vectorizer.cpp - Top-level vectorization driver ----------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/Vectorizer.h"
+
+#include "deps/DepAnalysis.h"
+#include "deps/LoopNest.h"
+#include "vectorizer/Codegen.h"
+
+using namespace mvec;
+
+namespace {
+
+class VectorizerDriver {
+public:
+  VectorizerDriver(const ShapeEnv &Env, const PatternDatabase &DB,
+                   const VectorizerOptions &Opts, DiagnosticEngine &Diags,
+                   VectorizeStats &Stats)
+      : Env(Env), DB(DB), Opts(Opts), Diags(Diags), Stats(Stats) {}
+
+  void processBody(std::vector<StmtPtr> &Body);
+
+private:
+  /// Attempts to vectorize the nest rooted at \p Loop. Returns the
+  /// replacement statements, or an empty vector when the loop should stay.
+  std::vector<StmtPtr> tryNest(ForStmt &Loop);
+
+  ShapeEnv Env; ///< extended with enclosing loop indices while recursing
+  const PatternDatabase &DB;
+  const VectorizerOptions &Opts;
+  DiagnosticEngine &Diags;
+  VectorizeStats &Stats;
+};
+
+std::vector<StmtPtr> VectorizerDriver::tryNest(ForStmt &Loop) {
+  ++Stats.LoopNestsConsidered;
+
+  // Work on a clone: normalization rewrites the tree, and we only commit
+  // when something was vectorized.
+  StmtPtr CloneStmt = Loop.clone();
+  auto *Clone = cast<ForStmt>(CloneStmt.get());
+  if (Opts.NormalizeLoops)
+    normalizeLoopIndices(*Clone);
+
+  std::string Reason;
+  auto Nest = buildLoopNest(*Clone, Reason);
+  if (!Nest) {
+    ++Stats.IneligibleNests;
+    if (Opts.EmitRemarks)
+      Diags.remark(Loop.loc(), "loop not a vectorization candidate: " +
+                                   Reason);
+    return {};
+  }
+
+  DepGraph Graph = buildDepGraph(*Nest, Env);
+  CodegenResult Result = runCodegen(*Nest, Graph, Env, DB, Opts, Diags);
+
+  Stats.StmtsVectorized += Result.VectorizedStmts;
+  Stats.StmtsSequential += Result.SequentialStmts;
+  if (Result.VectorizedStmts != 0)
+    Stats.SequentialLoopsEmitted += Result.SequentialLoops;
+  if (Result.VectorizedStmts == 0)
+    return {}; // nothing improved: keep the original loop untouched
+
+  ++Stats.LoopNestsImproved;
+  return std::move(Result.Stmts);
+}
+
+void VectorizerDriver::processBody(std::vector<StmtPtr> &Body) {
+  std::vector<StmtPtr> NewBody;
+  NewBody.reserve(Body.size());
+  for (StmtPtr &S : Body) {
+    if (auto *Loop = dyn_cast<ForStmt>(S.get())) {
+      std::vector<StmtPtr> Replacement = tryNest(*Loop);
+      if (!Replacement.empty()) {
+        for (StmtPtr &R : Replacement)
+          NewBody.push_back(std::move(R));
+        continue;
+      }
+      // Keep the loop; try loops nested inside it independently. Within
+      // the body this loop's index variable is a scalar.
+      std::optional<Dimensionality> Saved = Env.getShape(Loop->indexVar());
+      Env.setShape(Loop->indexVar(), Dimensionality::scalar());
+      processBody(Loop->body());
+      if (Saved)
+        Env.setShape(Loop->indexVar(), *Saved);
+      else
+        Env.erase(Loop->indexVar());
+      NewBody.push_back(std::move(S));
+      continue;
+    }
+    if (auto *While = dyn_cast<WhileStmt>(S.get()))
+      processBody(While->body());
+    else if (auto *If = dyn_cast<IfStmt>(S.get()))
+      for (IfStmt::Branch &B : If->branches())
+        processBody(B.Body);
+    NewBody.push_back(std::move(S));
+  }
+  Body = std::move(NewBody);
+}
+
+} // namespace
+
+Program mvec::vectorizeProgram(const Program &P, const ShapeEnv &Env,
+                               const PatternDatabase &DB,
+                               const VectorizerOptions &Opts,
+                               DiagnosticEngine &Diags,
+                               VectorizeStats *Stats) {
+  VectorizeStats LocalStats;
+  VectorizeStats &S = Stats ? *Stats : LocalStats;
+  Program Result = P.cloneProgram();
+  VectorizerDriver Driver(Env, DB, Opts, Diags, S);
+  Driver.processBody(Result.Stmts);
+  return Result;
+}

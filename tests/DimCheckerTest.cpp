@@ -1,0 +1,442 @@
+//===- DimCheckerTest.cpp - Table 1 rule unit tests ------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct unit tests of the vectorized-dimensionality computation: the
+/// rules of the paper's Table 1, the compatibility checks of Sec. 2.1, the
+/// transpose extension of Sec. 2.2 and the reduction machinery of
+/// Sec. 3.1, exercised expression by expression.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/DimChecker.h"
+
+#include "deps/LoopNest.h"
+#include "frontend/ASTPrinter.h"
+#include "frontend/Parser.h"
+#include "shape/AnnotationParser.h"
+
+#include "gtest/gtest.h"
+
+using namespace mvec;
+
+namespace {
+
+/// Fixture: a two-deep loop nest "for i=1:m, for j=1:n" with annotated
+/// variable shapes; expressions are checked as if appearing in its body.
+class CheckFixture {
+public:
+  explicit CheckFixture(const std::string &Annotations) {
+    std::string Source = "%!" + Annotations + "\n"
+                         "for i=1:m\n for j=1:n\n  t=0;\n end\nend\n";
+    Parsed = parseMatlab(Source, Diags);
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+    Env = parseShapeAnnotations(Parsed.Annotations, Diags);
+    Env.setShape("t", Dimensionality::scalar());
+    auto *Root = cast<ForStmt>(Parsed.Prog.Stmts[0].get());
+    std::string Reason;
+    Nest = buildLoopNest(*Root, Reason);
+    EXPECT_TRUE(Nest.has_value()) << Reason;
+    registerBuiltinPatterns(DB);
+  }
+
+  /// Checks \p ExprSource vectorizing loops [Level, MaxLevel].
+  std::optional<CheckedExpr> check(const std::string &ExprSource,
+                                   unsigned Level = 1,
+                                   unsigned MaxLevel = 2) {
+    DiagnosticEngine D;
+    Parser P(ExprSource, D);
+    ExprPtr E = P.parseSingleExpression();
+    EXPECT_FALSE(D.hasErrors()) << D.str();
+    Checker.emplace(*Nest, Level, MaxLevel, Env, DB, Opts);
+    return Checker->checkExpr(*E);
+  }
+
+  std::string dims(const std::string &ExprSource, unsigned Level = 1,
+                   unsigned MaxLevel = 2) {
+    auto C = check(ExprSource, Level, MaxLevel);
+    if (!C)
+      return "FAIL: " + Checker->failureReason();
+    return C->Dims.str();
+  }
+
+  std::string rewritten(const std::string &ExprSource) {
+    auto C = check(ExprSource);
+    if (!C)
+      return "FAIL: " + Checker->failureReason();
+    return printExpr(*C->E);
+  }
+
+  DiagnosticEngine Diags;
+  ParseResult Parsed;
+  ShapeEnv Env;
+  std::optional<LoopNest> Nest;
+  PatternDatabase DB;
+  VectorizerOptions Opts;
+  std::optional<DimChecker> Checker;
+};
+
+//===----------------------------------------------------------------------===//
+// Table 1: simple expressions
+//===----------------------------------------------------------------------===//
+
+TEST(Table1Test, ScalarConstant) {
+  CheckFixture F(" A(*,*)");
+  EXPECT_EQ(F.dims("3"), "(1,1)");
+  EXPECT_EQ(F.dims("2.5"), "(1,1)");
+}
+
+TEST(Table1Test, IndexVariableBecomesRowRange) {
+  // dim_i(i) = (1, r_i).
+  CheckFixture F(" A(*,*)");
+  EXPECT_EQ(F.dims("i"), "(1,r1)");
+  EXPECT_EQ(F.dims("j"), "(1,r2)");
+}
+
+TEST(Table1Test, NonVectorizedIndexVariableIsScalar) {
+  CheckFixture F(" A(*,*)");
+  // With Level=2, loop i runs sequentially: i is a scalar.
+  EXPECT_EQ(F.dims("i", 2), "(1,1)");
+  EXPECT_EQ(F.dims("j", 2), "(1,r2)");
+}
+
+TEST(Table1Test, AnnotatedIdentifiers) {
+  CheckFixture F(" A(*,*) v(1,*) c(*,1) s(1)");
+  EXPECT_EQ(F.dims("A"), "(*,*)");
+  EXPECT_EQ(F.dims("v"), "(1,*)");
+  EXPECT_EQ(F.dims("c"), "(*,1)");
+  EXPECT_EQ(F.dims("s"), "(1,1)");
+}
+
+TEST(Table1Test, UnknownIdentifierFails) {
+  CheckFixture F(" A(*,*)");
+  EXPECT_EQ(F.dims("mystery").substr(0, 4), "FAIL");
+}
+
+TEST(Table1Test, ColonExpressionIsRowVector) {
+  CheckFixture F(" n(1)");
+  EXPECT_EQ(F.dims("1:n"), "(1,*)");
+  EXPECT_EQ(F.dims("1:2:n"), "(1,*)");
+}
+
+TEST(Table1Test, RangeOverIndexVariableFails) {
+  CheckFixture F(" n(1)");
+  EXPECT_EQ(F.dims("1:i").substr(0, 4), "FAIL");
+}
+
+TEST(Table1Test, SignedExpressionKeepsDims) {
+  CheckFixture F(" c(*,1)");
+  EXPECT_EQ(F.dims("-c"), "(*,1)");
+  EXPECT_EQ(F.dims("+c(i)"), "(r1,1)");
+}
+
+TEST(Table1Test, TransposeReversesDims) {
+  CheckFixture F(" A(*,*) c(*,1)");
+  EXPECT_EQ(F.dims("c'"), "(1,*)");
+  EXPECT_EQ(F.dims("c(i)'"), "(1,r1)");
+  EXPECT_EQ(F.dims("A(i,j)'"), "(r2,r1)");
+}
+
+//===----------------------------------------------------------------------===//
+// Table 1: subscripted expressions
+//===----------------------------------------------------------------------===//
+
+TEST(Table1Test, VectorSubscriptOrientsAlongBase) {
+  // The paper's example: dim_i(A(i)) = (r_i, 1) for column A.
+  CheckFixture F(" c(*,1) v(1,*)");
+  EXPECT_EQ(F.dims("c(i)"), "(r1,1)");
+  EXPECT_EQ(F.dims("v(i)"), "(1,r1)");
+}
+
+TEST(Table1Test, MatrixValuedSubscriptTakesSubscriptShape) {
+  // Table 1: M(e1) with isMatrix(e1): dims follow e1 — the heq(im+1) case.
+  CheckFixture F(" v(1,*) M(*,*)");
+  EXPECT_EQ(F.dims("v(M(i,j)+1)"), "(r1,r2)");
+}
+
+TEST(Table1Test, MatrixBaseLinearIndexTakesSubscriptShape) {
+  CheckFixture F(" M(*,*) v(1,*)");
+  EXPECT_EQ(F.dims("M(i)"), "(1,r1)");
+}
+
+TEST(Table1Test, TwoSubscriptsUseFmax) {
+  CheckFixture F(" A(*,*) s(1)");
+  EXPECT_EQ(F.dims("A(i,j)"), "(r1,r2)");
+  EXPECT_EQ(F.dims("A(j,i)"), "(r2,r1)");
+  EXPECT_EQ(F.dims("A(i,s)"), "(r1,1)");
+  EXPECT_EQ(F.dims("A(s,s)"), "(1,1)");
+  EXPECT_EQ(F.dims("A(2*i-1,j)"), "(r1,r2)");
+}
+
+TEST(Table1Test, ColonSubscriptTakesBaseExtent) {
+  CheckFixture F(" A(*,*) v(1,*)");
+  EXPECT_EQ(F.dims("A(i,:)"), "(r1,*)");
+  EXPECT_EQ(F.dims("A(:,j)"), "(*,r2)");
+  EXPECT_EQ(F.dims("A(:)"), "(*,1)");
+}
+
+TEST(Table1Test, MatrixShapedSubscriptDimFails) {
+  // A subscript whose own dims are a matrix has no f_max.
+  CheckFixture F(" A(*,*) M(*,*)");
+  EXPECT_EQ(F.dims("A(M(i,j),j)").substr(0, 4), "FAIL");
+}
+
+TEST(Table1Test, DiagonalAccessResolvedByPattern) {
+  CheckFixture F(" A(*,*)");
+  EXPECT_EQ(F.dims("A(i,i)"), "(1,r1)");
+  EXPECT_EQ(F.rewritten("A(i,i)"), "A(i+size(A,1)*(i-1))");
+}
+
+TEST(Table1Test, DiagonalAffineForms) {
+  CheckFixture F(" A(*,*)");
+  EXPECT_EQ(F.rewritten("A(2*i,2*i-1)"), "A(2*i+size(A,1)*(2*i-1-1))");
+}
+
+TEST(Table1Test, RepeatedRangeWithoutPatternFails) {
+  CheckFixture F(" A(*,*)");
+  F.Opts.EnablePatterns = false;
+  EXPECT_EQ(F.dims("A(i,i)").substr(0, 4), "FAIL");
+}
+
+//===----------------------------------------------------------------------===//
+// Sec. 2.1 compatibility & operators
+//===----------------------------------------------------------------------===//
+
+TEST(CompatTest, PointwiseSameDims) {
+  CheckFixture F(" v(1,*) w(1,*)");
+  EXPECT_EQ(F.dims("v(i)+w(i)"), "(1,r1)");
+  EXPECT_EQ(F.dims("v(i)-w(i)"), "(1,r1)");
+}
+
+TEST(CompatTest, ScalarOperandAlwaysCompatible) {
+  CheckFixture F(" v(1,*) s(1)");
+  EXPECT_EQ(F.dims("v(i)+s"), "(1,r1)");
+  EXPECT_EQ(F.dims("s*v(i)"), "(1,r1)");
+  EXPECT_EQ(F.dims("3*v(i)+1"), "(1,r1)");
+}
+
+TEST(CompatTest, DistinctRangesIncompatible) {
+  CheckFixture F(" v(1,*) w(1,*)");
+  EXPECT_EQ(F.dims("v(i)+w(j)").substr(0, 4), "FAIL");
+}
+
+TEST(CompatTest, TransposeRepairsOrientation) {
+  CheckFixture F(" v(1,*) c(*,1)");
+  // row (1,r1) + column (r1,1): one side must be transposed.
+  auto C = F.check("v(i)+c(i)");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_NE(printExpr(*C->E).find("'"), std::string::npos);
+}
+
+TEST(CompatTest, TransposeDisabled) {
+  CheckFixture F(" v(1,*) c(*,1)");
+  F.Opts.EnableTransposes = false;
+  EXPECT_EQ(F.dims("v(i)+c(i)").substr(0, 4), "FAIL");
+}
+
+TEST(CompatTest, StarAndRangeIncompatible) {
+  // r_i is "like * but not compatible with it" (Sec. 2.1).
+  CheckFixture F(" v(1,*) A(*,*)");
+  EXPECT_EQ(F.dims("v(i)+v").substr(0, 4), "FAIL");
+  EXPECT_EQ(F.dims("A(i,:)+A(i,j)").substr(0, 4), "FAIL");
+}
+
+TEST(CompatTest, ScalarMulStaysNative) {
+  CheckFixture F(" v(1,*) s(1)");
+  EXPECT_EQ(F.rewritten("s*v(i)"), "s*v(i)");
+}
+
+TEST(CompatTest, ElementMulBecomesDotMul) {
+  CheckFixture F(" v(1,*) w(1,*)");
+  EXPECT_EQ(F.rewritten("v(i)*w(i)"), "v(i).*w(i)");
+}
+
+TEST(CompatTest, ScalarPowStaysNative) {
+  CheckFixture F(" s(1)");
+  EXPECT_EQ(F.rewritten("s^2"), "s^2");
+}
+
+TEST(CompatTest, ElementPowBecomesDotPow) {
+  CheckFixture F(" v(1,*)");
+  EXPECT_EQ(F.rewritten("v(i)^2"), "v(i).^2");
+}
+
+TEST(CompatTest, ElementDivBecomesDotDiv) {
+  CheckFixture F(" v(1,*) w(1,*)");
+  EXPECT_EQ(F.rewritten("v(i)/w(i)"), "v(i)./w(i)");
+  // Scalar divisor keeps native '/'.
+  EXPECT_EQ(F.rewritten("v(i)/2"), "v(i)/2");
+}
+
+TEST(CompatTest, ComparisonOperatorsVectorize) {
+  CheckFixture F(" v(1,*) w(1,*)");
+  EXPECT_EQ(F.dims("v(i)<w(i)"), "(1,r1)");
+  EXPECT_EQ(F.dims("v(i)==w(i)"), "(1,r1)");
+}
+
+TEST(CompatTest, ShortCircuitNeedsScalars) {
+  CheckFixture F(" v(1,*) s(1)");
+  EXPECT_EQ(F.dims("s>0 && s<10"), "(1,1)");
+  EXPECT_EQ(F.dims("v(i)>0 && s<10").substr(0, 4), "FAIL");
+}
+
+TEST(CompatTest, PointwiseFunctionPropagatesDims) {
+  CheckFixture F(" A(*,*)");
+  EXPECT_EQ(F.dims("cos(A(i,j))"), "(r1,r2)");
+  EXPECT_EQ(F.dims("sqrt(abs(A(i,j)))"), "(r1,r2)");
+}
+
+TEST(CompatTest, UnknownCallFails) {
+  CheckFixture F(" v(1,*)");
+  EXPECT_EQ(F.dims("hist(v(i))").substr(0, 4), "FAIL");
+}
+
+TEST(CompatTest, SizeQueryIsScalar) {
+  CheckFixture F(" A(*,*)");
+  EXPECT_EQ(F.dims("size(A,1)"), "(1,1)");
+  EXPECT_EQ(F.dims("size(A,i)").substr(0, 4), "FAIL");
+}
+
+//===----------------------------------------------------------------------===//
+// Patterns inside expressions
+//===----------------------------------------------------------------------===//
+
+TEST(PatternCheckTest, DotProductInsideExpression) {
+  CheckFixture F(" X(*,*) Y(*,*)");
+  auto C = F.check("X(i,:)*Y(:,i)");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->Dims.str(), "(1,r1)");
+  EXPECT_EQ(printExpr(*C->E), "sum(X(i,:)'.*Y(:,i),1)");
+}
+
+TEST(PatternCheckTest, GeneralMatmulKeepsStar) {
+  CheckFixture F(" B(*,*) C(*,*) ind(1,*)");
+  auto C = F.check("B(i,ind)*C(ind,j)");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->Dims.str(), "(r1,r2)");
+  EXPECT_EQ(printExpr(*C->E), "B(i,ind)*C(ind,j)");
+}
+
+TEST(PatternCheckTest, OuterProduct) {
+  CheckFixture F(" u(*,1) v(1,*)");
+  auto C = F.check("u(i)*v(j)");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->Dims.str(), "(r1,r2)");
+}
+
+TEST(PatternCheckTest, BroadcastRepmat) {
+  CheckFixture F(" B(*,*) c(*,1)");
+  auto C = F.check("B(i,j)+c(i)");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->Dims.str(), "(r1,r2)");
+  EXPECT_NE(printExpr(*C->E).find("repmat("), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Reductions (Sec. 3.1): Gamma and rho through checkStatement
+//===----------------------------------------------------------------------===//
+
+std::optional<CheckedStmt> checkReduction(CheckFixture &F,
+                                          const std::string &StmtSource,
+                                          std::set<LoopId> RV,
+                                          std::string *WhyOut = nullptr) {
+  DiagnosticEngine D;
+  ParseResult R = parseMatlab(StmtSource, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  const auto *S = cast<AssignStmt>(R.Prog.Stmts[0].get());
+  DimChecker Checker(*F.Nest, 1, 2, F.Env, F.DB, F.Opts);
+  auto Result = Checker.checkStatement(*S, RV);
+  if (WhyOut)
+    *WhyOut = Checker.failureReason();
+  return Result;
+}
+
+TEST(ReductionTest, MatchAdditiveReductionForm) {
+  DiagnosticEngine D;
+  ParseResult R = parseMatlab("s = s + x;\ns = x + s;\ns = s - x;\n"
+                              "s = x - s;\ns = x;\n",
+                              D);
+  bool IsSub = false;
+  EXPECT_NE(DimChecker::matchAdditiveReduction(
+                *cast<AssignStmt>(R.Prog.Stmts[0].get()), IsSub),
+            nullptr);
+  EXPECT_FALSE(IsSub);
+  EXPECT_NE(DimChecker::matchAdditiveReduction(
+                *cast<AssignStmt>(R.Prog.Stmts[1].get()), IsSub),
+            nullptr);
+  EXPECT_NE(DimChecker::matchAdditiveReduction(
+                *cast<AssignStmt>(R.Prog.Stmts[2].get()), IsSub),
+            nullptr);
+  EXPECT_TRUE(IsSub);
+  // s = x - s is not an additive reduction on s.
+  EXPECT_EQ(DimChecker::matchAdditiveReduction(
+                *cast<AssignStmt>(R.Prog.Stmts[3].get()), IsSub),
+            nullptr);
+  EXPECT_EQ(DimChecker::matchAdditiveReduction(
+                *cast<AssignStmt>(R.Prog.Stmts[4].get()), IsSub),
+            nullptr);
+}
+
+TEST(ReductionTest, GammaSumsMatchingDimension) {
+  CheckFixture F(" s(1) v(1,*) w(1,*)");
+  auto C = checkReduction(F, "s = s + v(i)*w(i);", {1, 2});
+  ASSERT_TRUE(C.has_value());
+  std::string RHS = printExpr(*C->RHS);
+  // The i-dimension is summed; the j loop contributes a trip count.
+  EXPECT_NE(RHS.find("sum("), std::string::npos) << RHS;
+  EXPECT_NE(RHS.find("size(1:n,2)"), std::string::npos) << RHS;
+}
+
+TEST(ReductionTest, MatmulImplicitReduction) {
+  CheckFixture F(" a(*,*) x(*,1) f(*,1) phi(1,*) k(1)");
+  auto C = checkReduction(F, "phi(k) = phi(k) + a(i,j)*x(i)*f(j);", {1, 2});
+  ASSERT_TRUE(C.has_value());
+  std::string RHS = printExpr(*C->RHS);
+  EXPECT_EQ(RHS, "phi(k)+sum(a(i,j)'*x(i).*f(j),1)") << RHS;
+}
+
+TEST(ReductionTest, NonReductionStatementRejected) {
+  CheckFixture F(" s(1) v(1,*)");
+  std::string Why;
+  auto C = checkReduction(F, "s = 2*s + v(i);", {1, 2}, &Why);
+  EXPECT_FALSE(C.has_value());
+  EXPECT_NE(Why.find("additive"), std::string::npos);
+}
+
+TEST(ReductionTest, GammaSumsAlongColumnDimension) {
+  // A column-shaped accumulation sums along dimension 1.
+  CheckFixture F(" s(1) c(*,1)");
+  auto C = checkReduction(F, "s = s + c(i);", {1, 2});
+  ASSERT_TRUE(C.has_value());
+  std::string RHS = printExpr(*C->RHS);
+  EXPECT_NE(RHS.find("sum(c(i),1)"), std::string::npos) << RHS;
+}
+
+TEST(ReductionTest, AdditionSynchronizesRhoWithGamma) {
+  // s = s + v(i) + w(j): each term reduces a different loop; the '+'
+  // must Gamma-extend both sides before combining (Sec. 3.1).
+  CheckFixture F(" s(1) v(1,*) w(1,*)");
+  auto C = checkReduction(F, "s = s + (v(i) + w(j));", {1, 2});
+  ASSERT_TRUE(C.has_value());
+  std::string RHS = printExpr(*C->RHS);
+  // Both a sum and a trip-count scaling appear on each side:
+  // s+(size(1:n,2)*sum(v(i),2)+sum(size(1:m,2)*w(j),2)).
+  EXPECT_NE(RHS.find("sum(v(i),2)"), std::string::npos) << RHS;
+  EXPECT_NE(RHS.find("*w(j)"), std::string::npos) << RHS;
+  EXPECT_NE(RHS.find("size(1:"), std::string::npos) << RHS;
+}
+
+TEST(ReductionTest, ElementwiseTripleProductVectorizes) {
+  // (v(i)*w(i))*v(i) is a pointwise triple product; pointwise always has
+  // priority over reduction through '*' (footnote 1).
+  CheckFixture F(" s(1) v(1,*) w(1,*)");
+  auto C = checkReduction(F, "s = s + (v(i)*w(i))*v(i);", {1, 2});
+  ASSERT_TRUE(C.has_value());
+  std::string RHS = printExpr(*C->RHS);
+  EXPECT_NE(RHS.find(".*"), std::string::npos) << RHS;
+}
+
+} // namespace

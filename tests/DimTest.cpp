@@ -1,0 +1,233 @@
+//===- DimTest.cpp - Dimensionality abstraction unit tests ----------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shape/AnnotationParser.h"
+#include "shape/Dim.h"
+#include "shape/ShapeEnv.h"
+#include "shape/ShapeInference.h"
+
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace mvec;
+
+namespace {
+
+const DimSymbol One = DimSymbol::one();
+const DimSymbol Star = DimSymbol::star();
+
+TEST(DimSymbolTest, Identity) {
+  EXPECT_EQ(One, DimSymbol::one());
+  EXPECT_EQ(Star, DimSymbol::star());
+  EXPECT_NE(One, Star);
+  EXPECT_EQ(DimSymbol::range(1), DimSymbol::range(1));
+  // r_i and r_j are distinct symbols even with identical bounds (Sec. 2.2).
+  EXPECT_NE(DimSymbol::range(1), DimSymbol::range(2));
+  // r_i is similar to * but the two are not compatible (Sec. 2.1).
+  EXPECT_NE(DimSymbol::range(1), Star);
+}
+
+TEST(DimSymbolTest, GreaterThanOne) {
+  EXPECT_FALSE(One.isGreaterThanOne());
+  EXPECT_TRUE(Star.isGreaterThanOne());
+  EXPECT_TRUE(DimSymbol::range(3).isGreaterThanOne());
+}
+
+TEST(DimSymbolTest, Printing) {
+  EXPECT_EQ(One.str(), "1");
+  EXPECT_EQ(Star.str(), "*");
+  EXPECT_EQ(DimSymbol::range(2).str(), "r2");
+}
+
+TEST(DimensionalityTest, PaddedToTwo) {
+  Dimensionality D{Star};
+  EXPECT_EQ(D.size(), 2u);
+  EXPECT_EQ(D[1], One);
+}
+
+TEST(DimensionalityTest, Factories) {
+  EXPECT_EQ(Dimensionality::scalar().str(), "(1,1)");
+  EXPECT_EQ(Dimensionality::rowVector().str(), "(1,*)");
+  EXPECT_EQ(Dimensionality::columnVector().str(), "(*,1)");
+  EXPECT_EQ(Dimensionality::matrix().str(), "(*,*)");
+}
+
+TEST(DimensionalityTest, ReduceStripsTrailingOnes) {
+  // A 5x5 matrix is effectively a 5x5x1 matrix (paper Sec. 2.1).
+  Dimensionality A{Star, Star};
+  Dimensionality B{Star, Star, One};
+  EXPECT_TRUE(compatible(A, B));
+  Dimensionality Scalar1{One};
+  Dimensionality Scalar2{One, One, One};
+  EXPECT_TRUE(compatible(Scalar1, Scalar2));
+}
+
+TEST(DimensionalityTest, CompatibilityRequiresSameSymbols) {
+  Dimensionality RowI{One, DimSymbol::range(1)};
+  Dimensionality RowJ{One, DimSymbol::range(2)};
+  Dimensionality RowStar{One, Star};
+  EXPECT_FALSE(compatible(RowI, RowJ));
+  EXPECT_FALSE(compatible(RowI, RowStar));
+  EXPECT_TRUE(compatible(RowI, RowI));
+}
+
+TEST(DimensionalityTest, ColumnNotCompatibleWithRow) {
+  Dimensionality Col{DimSymbol::range(1), One};
+  Dimensionality Row{One, DimSymbol::range(1)};
+  EXPECT_FALSE(compatible(Col, Row));
+  EXPECT_TRUE(compatible(Col, Row.reversed()));
+}
+
+TEST(DimensionalityTest, Reverse) {
+  Dimensionality D{DimSymbol::range(1), DimSymbol::range(2)};
+  EXPECT_EQ(D.reversed().str(), "(r2,r1)");
+}
+
+TEST(DimensionalityTest, FmaxRules) {
+  // f_max(1,*) = f_max(*,1) = *, f_max(1,1) = 1, f_max(1,r_i) = r_i.
+  EXPECT_EQ(*Dimensionality({One, Star}).fmax(), Star);
+  EXPECT_EQ(*Dimensionality({Star, One}).fmax(), Star);
+  EXPECT_EQ(*Dimensionality({One, One}).fmax(), One);
+  EXPECT_EQ(*Dimensionality({One, DimSymbol::range(4)}).fmax(),
+            DimSymbol::range(4));
+  EXPECT_EQ(*Dimensionality({DimSymbol::range(4), One}).fmax(),
+            DimSymbol::range(4));
+  // No single largest dimension for matrix shapes.
+  EXPECT_FALSE(Dimensionality({Star, Star}).fmax().has_value());
+  EXPECT_FALSE(
+      Dimensionality({DimSymbol::range(1), DimSymbol::range(2)}).fmax());
+}
+
+TEST(DimensionalityTest, ShapePredicates) {
+  EXPECT_TRUE(Dimensionality::scalar().isScalarShape());
+  EXPECT_TRUE(Dimensionality::rowVector().isVectorShape());
+  EXPECT_FALSE(Dimensionality::rowVector().isScalarShape());
+  EXPECT_TRUE(Dimensionality::matrix().isMatrixShape());
+  EXPECT_FALSE(Dimensionality::columnVector().isMatrixShape());
+}
+
+TEST(DimensionalityTest, ContainsRange) {
+  Dimensionality D{DimSymbol::range(7), One};
+  EXPECT_TRUE(D.containsRange(7));
+  EXPECT_FALSE(D.containsRange(8));
+  EXPECT_TRUE(D.containsAnyRange());
+  EXPECT_FALSE(Dimensionality::matrix().containsAnyRange());
+}
+
+//===----------------------------------------------------------------------===//
+// Annotation parsing
+//===----------------------------------------------------------------------===//
+
+TEST(AnnotationTest, PaperExample) {
+  // "%! i(1) a(1,*) b(*,1) A(*,*)" from Sec. 4.
+  DiagnosticEngine Diags;
+  ShapeEnv Env;
+  parseShapeAnnotation(" i(1) a(1,*) b(*,1) A(*,*)", SourceLoc(), Env, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Env.isScalar("i"));
+  EXPECT_EQ(Env.getShape("a")->str(), "(1,*)");
+  EXPECT_EQ(Env.getShape("b")->str(), "(*,1)");
+  EXPECT_TRUE(Env.isMatrix("A"));
+}
+
+TEST(AnnotationTest, SingleStarIsColumnVector) {
+  DiagnosticEngine Diags;
+  ShapeEnv Env;
+  parseShapeAnnotation("h(*)", SourceLoc(), Env, Diags);
+  EXPECT_EQ(Env.getShape("h")->str(), "(*,1)");
+}
+
+TEST(AnnotationTest, ScalarPadsToTwo) {
+  DiagnosticEngine Diags;
+  ShapeEnv Env;
+  parseShapeAnnotation("i(1)", SourceLoc(), Env, Diags);
+  EXPECT_EQ(Env.getShape("i")->str(), "(1,1)");
+}
+
+TEST(AnnotationTest, MalformedEntryWarnsAndStops) {
+  DiagnosticEngine Diags;
+  ShapeEnv Env;
+  parseShapeAnnotation("a(1,*) 5(*)", SourceLoc(), Env, Diags);
+  EXPECT_TRUE(Env.knows("a"));
+  EXPECT_FALSE(Diags.hasErrors()); // warnings only
+  EXPECT_FALSE(Diags.diagnostics().empty());
+}
+
+TEST(AnnotationTest, FromLexedProgram) {
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab("%! im(*,*) heq(1,*)\nx=1;", Diags);
+  ShapeEnv Env = parseShapeAnnotations(R.Annotations, Diags);
+  EXPECT_TRUE(Env.isMatrix("im"));
+  EXPECT_EQ(Env.getShape("heq")->str(), "(1,*)");
+}
+
+//===----------------------------------------------------------------------===//
+// Intra-script shape inference
+//===----------------------------------------------------------------------===//
+
+ShapeEnv inferOn(const std::string &Source) {
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  ShapeEnv Env = parseShapeAnnotations(R.Annotations, Diags);
+  inferProgramShapes(R.Prog, Env);
+  return Env;
+}
+
+TEST(ShapeInferenceTest, Constants) {
+  ShapeEnv Env = inferOn("x = 3;\ny = -2.5;");
+  EXPECT_TRUE(Env.isScalar("x"));
+  EXPECT_TRUE(Env.isScalar("y"));
+}
+
+TEST(ShapeInferenceTest, Ranges) {
+  ShapeEnv Env = inferOn("ind = 1:750;");
+  EXPECT_EQ(Env.getShape("ind")->str(), "(1,*)");
+}
+
+TEST(ShapeInferenceTest, Builders) {
+  ShapeEnv Env = inferOn("A = zeros(10,20);\nv = ones(5,1);\ns = zeros(1,1);");
+  EXPECT_TRUE(Env.isMatrix("A"));
+  EXPECT_EQ(Env.getShape("v")->str(), "(*,1)");
+  EXPECT_TRUE(Env.isScalar("s"));
+}
+
+TEST(ShapeInferenceTest, TransposeFlips) {
+  ShapeEnv Env = inferOn("v = (1:10)';");
+  EXPECT_EQ(Env.getShape("v")->str(), "(*,1)");
+}
+
+TEST(ShapeInferenceTest, PointwiseCombination) {
+  ShapeEnv Env = inferOn("a = 1:10;\nb = 2*a;\nc = a+b;");
+  EXPECT_EQ(Env.getShape("b")->str(), "(1,*)");
+  EXPECT_EQ(Env.getShape("c")->str(), "(1,*)");
+}
+
+TEST(ShapeInferenceTest, AnnotationWins) {
+  ShapeEnv Env = inferOn("%! x(*,1)\nx = 1:10;");
+  // The annotation declares a column vector; inference must not override.
+  EXPECT_EQ(Env.getShape("x")->str(), "(*,1)");
+}
+
+TEST(ShapeInferenceTest, LoopWritesAreNotInferred) {
+  ShapeEnv Env = inferOn("for i=1:10, x = i; end");
+  EXPECT_FALSE(Env.knows("x"));
+}
+
+TEST(ShapeInferenceTest, MatrixLiteralShape) {
+  ShapeEnv Env = inferOn("M = [1 2; 3 4];\nr = [1 2 3];\nc = [1;2];");
+  EXPECT_TRUE(Env.isMatrix("M"));
+  EXPECT_EQ(Env.getShape("r")->str(), "(1,*)");
+  EXPECT_EQ(Env.getShape("c")->str(), "(*,1)");
+}
+
+TEST(ShapeInferenceTest, HistIsRowVector) {
+  ShapeEnv Env = inferOn("h = hist(x,[0:255]);");
+  EXPECT_EQ(Env.getShape("h")->str(), "(1,*)");
+}
+
+} // namespace

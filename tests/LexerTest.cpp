@@ -1,0 +1,180 @@
+//===- LexerTest.cpp - Lexer unit tests ------------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "gtest/gtest.h"
+
+using namespace mvec;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source,
+                       DiagnosticEngine *DiagsOut = nullptr) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (DiagsOut)
+    *DiagsOut = Diags;
+  else
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, Numbers) {
+  auto Tokens = lex("1 2.5 .25 1e3 2.5e-2 7E+2");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 1);
+  EXPECT_DOUBLE_EQ(Tokens[1].NumValue, 2.5);
+  EXPECT_DOUBLE_EQ(Tokens[2].NumValue, 0.25);
+  EXPECT_DOUBLE_EQ(Tokens[3].NumValue, 1000);
+  EXPECT_DOUBLE_EQ(Tokens[4].NumValue, 0.025);
+  EXPECT_DOUBLE_EQ(Tokens[5].NumValue, 700);
+}
+
+TEST(LexerTest, NumberDoesNotEatDotStar) {
+  auto Tokens = lex("2.*x");
+  ASSERT_GE(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Number);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 2);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::DotStar);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Tokens = lex("for end if elseif else while foo_1 Bar");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwFor);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwEnd);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwIf);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwElseIf);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwElse);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::KwWhile);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[6].Text, "foo_1");
+  EXPECT_EQ(Tokens[7].Text, "Bar");
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto Tokens = lex("a==b~=c<=d>=e&&f||g.*h./k.^m");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::EqEq,       TokenKind::Identifier,
+      TokenKind::NotEq,      TokenKind::Identifier, TokenKind::Le,
+      TokenKind::Identifier, TokenKind::Ge,         TokenKind::Identifier,
+      TokenKind::AmpAmp,     TokenKind::Identifier, TokenKind::PipePipe,
+      TokenKind::Identifier, TokenKind::DotStar,    TokenKind::Identifier,
+      TokenKind::DotSlash,   TokenKind::Identifier, TokenKind::DotCaret,
+      TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(LexerTest, QuoteAfterIdentIsTranspose) {
+  auto Tokens = lex("A'");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Quote);
+}
+
+TEST(LexerTest, QuoteAfterParenIsTranspose) {
+  auto Tokens = lex("(a+b)'");
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::Quote);
+}
+
+TEST(LexerTest, QuoteAtStatementStartIsString) {
+  auto Tokens = lex("x = 'hello'");
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::String);
+  EXPECT_EQ(Tokens[2].Text, "hello");
+}
+
+TEST(LexerTest, StringWithEscapedQuote) {
+  auto Tokens = lex("x = 'it''s'");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::String);
+  EXPECT_EQ(Tokens[2].Text, "it's");
+}
+
+TEST(LexerTest, DoubleTranspose) {
+  auto Tokens = lex("A''");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Quote);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Quote);
+}
+
+TEST(LexerTest, DotQuoteTranspose) {
+  auto Tokens = lex("A.'");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::DotQuote);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Tokens = lex("a % this is a comment\nb");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier, TokenKind::Newline,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(LexerTest, AnnotationCommentsAreCollected) {
+  DiagnosticEngine Diags;
+  Lexer Lex("%! i(1) A(*,*)\nx=1;", Diags);
+  Lex.lexAll();
+  ASSERT_EQ(Lex.annotations().size(), 1u);
+  EXPECT_EQ(Lex.annotations()[0].Text, " i(1) A(*,*)");
+  EXPECT_EQ(Lex.annotations()[0].Loc.Line, 1u);
+}
+
+TEST(LexerTest, ContinuationJoinsLines) {
+  auto Tokens = lex("a + ...\n b");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier, TokenKind::Plus,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(LexerTest, SourceLocations) {
+  auto Tokens = lex("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[2].Loc.Col, 3u);
+}
+
+TEST(LexerTest, PrecededBySpaceFlag) {
+  auto Tokens = lex("[a -b]");
+  // '-' has a space before it and none after.
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Minus);
+  EXPECT_TRUE(Tokens[2].PrecededBySpace);
+  EXPECT_FALSE(Tokens[3].PrecededBySpace);
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  DiagnosticEngine Diags;
+  lex("x = 'oops", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnknownCharacterIsError) {
+  DiagnosticEngine Diags;
+  lex("a # b", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, SemicolonsAndCommas) {
+  auto Tokens = lex("a;b,c");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Semicolon, TokenKind::Identifier,
+      TokenKind::Comma,      TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+} // namespace

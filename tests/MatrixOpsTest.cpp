@@ -1,0 +1,292 @@
+//===- MatrixOpsTest.cpp - Bulk kernel unit tests ---------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/MatrixOps.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace mvec;
+
+namespace {
+
+Value rowOf(std::initializer_list<double> Elems) {
+  return Value::vector(std::vector<double>(Elems), /*Row=*/true);
+}
+
+Value colOf(std::initializer_list<double> Elems) {
+  return Value::vector(std::vector<double>(Elems), /*Row=*/false);
+}
+
+Value mat2x2(double A, double B, double C, double D) {
+  Value M(2, 2);
+  M.at(0, 0) = A;
+  M.at(0, 1) = B;
+  M.at(1, 0) = C;
+  M.at(1, 1) = D;
+  return M;
+}
+
+TEST(ValueTest, ColumnMajorLayout) {
+  Value M = mat2x2(1, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(M.linear(0), 1);
+  EXPECT_DOUBLE_EQ(M.linear(1), 3); // down the first column
+  EXPECT_DOUBLE_EQ(M.linear(2), 2);
+  EXPECT_DOUBLE_EQ(M.linear(3), 4);
+}
+
+TEST(ValueTest, Predicates) {
+  EXPECT_TRUE(Value().isEmpty());
+  EXPECT_TRUE(Value::scalar(5).isScalar());
+  EXPECT_TRUE(rowOf({1, 2}).isRow());
+  EXPECT_TRUE(colOf({1, 2}).isColumn());
+  EXPECT_TRUE(rowOf({1, 2}).isVector());
+  EXPECT_FALSE(mat2x2(1, 2, 3, 4).isVector());
+}
+
+TEST(ValueTest, TransposeRoundTrip) {
+  Value M = mat2x2(1, 2, 3, 4);
+  Value T = M.transposed();
+  EXPECT_DOUBLE_EQ(T.at(0, 1), 3);
+  EXPECT_TRUE(M.equals(T.transposed()));
+}
+
+TEST(ValueTest, GrowPreservesAndZeroFills) {
+  Value M = mat2x2(1, 2, 3, 4);
+  M.growTo(3, 4);
+  EXPECT_EQ(M.rows(), 3u);
+  EXPECT_EQ(M.cols(), 4u);
+  EXPECT_DOUBLE_EQ(M.at(1, 1), 4);
+  EXPECT_DOUBLE_EQ(M.at(2, 3), 0);
+}
+
+TEST(ValueTest, GrowNeverShrinks) {
+  Value M(3, 3, 7.0);
+  M.growTo(1, 5);
+  EXPECT_EQ(M.rows(), 3u);
+  EXPECT_EQ(M.cols(), 5u);
+}
+
+TEST(ValueTest, EqualsWithTolerance) {
+  Value A = Value::scalar(1.0);
+  Value B = Value::scalar(1.0 + 1e-12);
+  EXPECT_FALSE(A.equals(B));
+  EXPECT_TRUE(A.equals(B, 1e-9));
+  EXPECT_FALSE(A.equals(Value::scalar(2), 1e-9));
+  EXPECT_FALSE(A.equals(rowOf({1, 1})));
+}
+
+TEST(ValueTest, NanEqualsNan) {
+  Value A = Value::scalar(std::nan(""));
+  Value B = Value::scalar(std::nan(""));
+  EXPECT_TRUE(A.equals(B));
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value().isTrue());
+  EXPECT_TRUE(Value::scalar(1).isTrue());
+  EXPECT_FALSE(Value::scalar(0).isTrue());
+  EXPECT_TRUE(rowOf({1, 2, 3}).isTrue());
+  EXPECT_FALSE(rowOf({1, 0, 3}).isTrue());
+}
+
+TEST(ElementwiseTest, ScalarExpansion) {
+  OpError Err;
+  Value R = elementwiseBinary(BinaryOp::Add, Value::scalar(10),
+                              rowOf({1, 2, 3}), Err);
+  ASSERT_FALSE(Err.failed());
+  EXPECT_DOUBLE_EQ(R.linear(2), 13);
+  Value R2 = elementwiseBinary(BinaryOp::Sub, rowOf({1, 2, 3}),
+                               Value::scalar(1), Err);
+  EXPECT_DOUBLE_EQ(R2.linear(0), 0);
+}
+
+TEST(ElementwiseTest, ShapeMismatchReported) {
+  OpError Err;
+  elementwiseBinary(BinaryOp::Add, rowOf({1, 2}), rowOf({1, 2, 3}), Err);
+  EXPECT_TRUE(Err.failed());
+}
+
+TEST(ElementwiseTest, RowPlusColumnRejected) {
+  // MATLAB 7 semantics: no implicit broadcasting.
+  OpError Err;
+  elementwiseBinary(BinaryOp::Add, rowOf({1, 2}), colOf({1, 2}), Err);
+  EXPECT_TRUE(Err.failed());
+}
+
+TEST(ElementwiseTest, ComparisonsAndLogic) {
+  OpError Err;
+  Value R = elementwiseBinary(BinaryOp::Lt, rowOf({1, 5}), rowOf({3, 3}),
+                              Err);
+  EXPECT_DOUBLE_EQ(R.linear(0), 1);
+  EXPECT_DOUBLE_EQ(R.linear(1), 0);
+  Value A = elementwiseBinary(BinaryOp::And, rowOf({1, 0}), rowOf({2, 2}),
+                              Err);
+  EXPECT_DOUBLE_EQ(A.linear(0), 1);
+  EXPECT_DOUBLE_EQ(A.linear(1), 0);
+}
+
+TEST(MatMulTest, Basic) {
+  OpError Err;
+  Value C = matMul(mat2x2(1, 2, 3, 4), mat2x2(5, 6, 7, 8), Err);
+  ASSERT_FALSE(Err.failed());
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 50);
+}
+
+TEST(MatMulTest, InnerMismatch) {
+  OpError Err;
+  matMul(Value(2, 3), Value(2, 3), Err);
+  EXPECT_TRUE(Err.failed());
+}
+
+TEST(MatMulTest, RowTimesColumnIsScalar) {
+  OpError Err;
+  Value D = matMul(rowOf({1, 2, 3}), colOf({4, 5, 6}), Err);
+  ASSERT_FALSE(Err.failed());
+  EXPECT_TRUE(D.isScalar());
+  EXPECT_DOUBLE_EQ(D.scalarValue(), 32);
+}
+
+TEST(MatMulTest, OuterProduct) {
+  OpError Err;
+  Value O = matMul(colOf({1, 2}), rowOf({3, 4}), Err);
+  EXPECT_EQ(O.rows(), 2u);
+  EXPECT_EQ(O.cols(), 2u);
+  EXPECT_DOUBLE_EQ(O.at(1, 1), 8);
+}
+
+TEST(MulOpTest, ScalarShortcut) {
+  OpError Err;
+  Value R = mulOp(Value::scalar(2), mat2x2(1, 2, 3, 4), Err);
+  EXPECT_DOUBLE_EQ(R.at(1, 1), 8);
+}
+
+TEST(PowOpTest, MatrixPower) {
+  OpError Err;
+  Value M = mat2x2(1, 1, 0, 1);
+  Value R = powOp(M, Value::scalar(3), Err);
+  ASSERT_FALSE(Err.failed());
+  EXPECT_DOUBLE_EQ(R.at(0, 1), 3);
+  Value I = powOp(M, Value::scalar(0), Err);
+  EXPECT_DOUBLE_EQ(I.at(0, 0), 1);
+  EXPECT_DOUBLE_EQ(I.at(0, 1), 0);
+}
+
+TEST(PowOpTest, NonSquareRejected) {
+  OpError Err;
+  powOp(Value(2, 3), Value::scalar(2), Err);
+  EXPECT_TRUE(Err.failed());
+}
+
+TEST(RangeTest, Construction) {
+  OpError Err;
+  EXPECT_EQ(makeRange(1, 1, 5, Err).numel(), 5u);
+  EXPECT_EQ(makeRange(2, 2, 10, Err).numel(), 5u);
+  EXPECT_EQ(makeRange(10, -2, 5, Err).numel(), 3u);
+  EXPECT_EQ(makeRange(5, 1, 1, Err).numel(), 0u);
+  EXPECT_FALSE(Err.failed());
+  makeRange(1, 0, 5, Err);
+  EXPECT_TRUE(Err.failed());
+}
+
+TEST(RangeTest, NonDivisibleStopsShort) {
+  OpError Err;
+  Value R = makeRange(1, 2, 6, Err); // 1 3 5
+  ASSERT_EQ(R.numel(), 3u);
+  EXPECT_DOUBLE_EQ(R.linear(2), 5);
+}
+
+TEST(ConcatTest, HorzVert) {
+  OpError Err;
+  Value H = horzcat(rowOf({1, 2}), rowOf({3}), Err);
+  EXPECT_EQ(H.cols(), 3u);
+  Value V = vertcat(rowOf({1, 2}), rowOf({3, 4}), Err);
+  EXPECT_EQ(V.rows(), 2u);
+  EXPECT_DOUBLE_EQ(V.at(1, 0), 3);
+  EXPECT_FALSE(Err.failed());
+  vertcat(rowOf({1, 2}), rowOf({1, 2, 3}), Err);
+  EXPECT_TRUE(Err.failed());
+}
+
+TEST(ConcatTest, EmptyIsNeutral) {
+  OpError Err;
+  Value R = horzcat(Value(), rowOf({1, 2}), Err);
+  EXPECT_EQ(R.numel(), 2u);
+  Value V = vertcat(colOf({1}), Value(), Err);
+  EXPECT_EQ(V.numel(), 1u);
+}
+
+TEST(ReduceTest, SumVariants) {
+  Value M = mat2x2(1, 2, 3, 4);
+  Value Cols = sumAlong(M, 1);
+  EXPECT_DOUBLE_EQ(Cols.at(0, 0), 4);
+  EXPECT_DOUBLE_EQ(Cols.at(0, 1), 6);
+  Value Rows = sumAlong(M, 2);
+  EXPECT_DOUBLE_EQ(Rows.at(0, 0), 3);
+  EXPECT_DOUBLE_EQ(Rows.at(1, 0), 7);
+  EXPECT_DOUBLE_EQ(sumDefault(rowOf({1, 2, 3})).scalarValue(), 6);
+  EXPECT_DOUBLE_EQ(sumDefault(M).at(0, 1), 6);
+}
+
+TEST(ReduceTest, CumsumOrientation) {
+  Value R = cumsumDefault(rowOf({1, 2, 3}));
+  EXPECT_DOUBLE_EQ(R.linear(2), 6);
+  Value C = cumsumDefault(colOf({1, 2, 3}));
+  EXPECT_DOUBLE_EQ(C.linear(2), 6);
+  Value M = cumsumDefault(mat2x2(1, 2, 3, 4)); // down columns
+  EXPECT_DOUBLE_EQ(M.at(1, 0), 4);
+}
+
+TEST(ReduceTest, Prod) {
+  EXPECT_DOUBLE_EQ(prodDefault(rowOf({2, 3, 4})).scalarValue(), 24);
+}
+
+TEST(RepmatTest, Tiling) {
+  Value R = repmat(colOf({1, 2}), 2, 3);
+  EXPECT_EQ(R.rows(), 4u);
+  EXPECT_EQ(R.cols(), 3u);
+  EXPECT_DOUBLE_EQ(R.at(3, 2), 2);
+  EXPECT_DOUBLE_EQ(R.at(2, 0), 1);
+}
+
+TEST(HistTest, BinningAtMidpoints) {
+  OpError Err;
+  // Centers 0,1,2: edges at 0.5 and 1.5.
+  Value H = histCounts(rowOf({0, 0.4, 0.6, 1.4, 1.6, 5, -3}),
+                       rowOf({0, 1, 2}), Err);
+  ASSERT_FALSE(Err.failed());
+  EXPECT_DOUBLE_EQ(H.linear(0), 3); // 0, 0.4, -3
+  EXPECT_DOUBLE_EQ(H.linear(1), 2); // 0.6, 1.4
+  EXPECT_DOUBLE_EQ(H.linear(2), 2); // 1.6, 5
+}
+
+TEST(HistTest, EmptyCentersRejected) {
+  OpError Err;
+  histCounts(rowOf({1}), Value(), Err);
+  EXPECT_TRUE(Err.failed());
+}
+
+TEST(UnaryTest, MinusAndNot) {
+  Value M = unaryMinus(rowOf({1, -2}));
+  EXPECT_DOUBLE_EQ(M.linear(0), -1);
+  EXPECT_DOUBLE_EQ(M.linear(1), 2);
+  Value N = unaryNot(rowOf({0, 3}));
+  EXPECT_DOUBLE_EQ(N.linear(0), 1);
+  EXPECT_DOUBLE_EQ(N.linear(1), 0);
+}
+
+TEST(DivOpTest, ScalarDenominatorOnly) {
+  OpError Err;
+  Value R = divOp(rowOf({2, 4}), Value::scalar(2), Err);
+  EXPECT_DOUBLE_EQ(R.linear(1), 2);
+  EXPECT_FALSE(Err.failed());
+  divOp(rowOf({2, 4}), rowOf({1, 2}), Err);
+  EXPECT_TRUE(Err.failed());
+}
+
+} // namespace

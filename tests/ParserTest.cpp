@@ -1,0 +1,375 @@
+//===- ParserTest.cpp - Parser + printer unit tests ------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ASTPrinter.h"
+#include "frontend/ASTUtils.h"
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+#include <random>
+
+using namespace mvec;
+
+namespace {
+
+Program parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  ParseResult Result = parseMatlab(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return std::move(Result.Prog);
+}
+
+ExprPtr parseExprOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Parser P(Source, Diags);
+  ExprPtr E = P.parseSingleExpression();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return E;
+}
+
+/// Round-trips an expression through the printer.
+std::string printed(const std::string &Source) {
+  return printExpr(*parseExprOk(Source));
+}
+
+TEST(ParserTest, SimpleAssignment) {
+  Program P = parseOk("x = 1;");
+  ASSERT_EQ(P.Stmts.size(), 1u);
+  const auto *A = dyn_cast<AssignStmt>(P.Stmts[0].get());
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->targetName(), "x");
+  EXPECT_TRUE(isa<NumberExpr>(A->rhs()));
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  EXPECT_EQ(printed("a+b*c"), "a+b*c");
+  EXPECT_EQ(printed("(a+b)*c"), "(a+b)*c");
+}
+
+TEST(ParserTest, SubtractionLeftAssociative) {
+  // a-b-c must not print (or re-parse) as a-(b-c).
+  EXPECT_EQ(printed("a-b-c"), "a-b-c");
+  EXPECT_EQ(printed("a-(b-c)"), "a-(b-c)");
+}
+
+TEST(ParserTest, DivisionRightOperandParens) {
+  EXPECT_EQ(printed("a/(b*c)"), "a/(b*c)");
+}
+
+TEST(ParserTest, PowerBindsTighterThanUnaryMinus) {
+  ExprPtr E = parseExprOk("-2^2");
+  const auto *U = dyn_cast<UnaryExpr>(E.get());
+  ASSERT_NE(U, nullptr);
+  EXPECT_EQ(U->op(), UnaryOp::Minus);
+  EXPECT_TRUE(isa<BinaryExpr>(U->operand()));
+}
+
+TEST(ParserTest, SignedExponent) {
+  ExprPtr E = parseExprOk("2^-1");
+  const auto *B = dyn_cast<BinaryExpr>(E.get());
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->op(), BinaryOp::Pow);
+  EXPECT_TRUE(isa<UnaryExpr>(B->rhs()));
+}
+
+TEST(ParserTest, RangeBindsLooserThanAdd) {
+  ExprPtr E = parseExprOk("1:n+1");
+  const auto *R = dyn_cast<RangeExpr>(E.get());
+  ASSERT_NE(R, nullptr);
+  EXPECT_TRUE(isa<BinaryExpr>(R->stop()));
+}
+
+TEST(ParserTest, ThreePartRange) {
+  ExprPtr E = parseExprOk("2:2:1500");
+  const auto *R = dyn_cast<RangeExpr>(E.get());
+  ASSERT_NE(R, nullptr);
+  ASSERT_NE(R->step(), nullptr);
+  EXPECT_EQ(printExpr(*E), "2:2:1500");
+}
+
+TEST(ParserTest, RangeInMultiplicationNeedsParens) {
+  EXPECT_EQ(printed("2*(1:750)"), "2*(1:750)");
+}
+
+TEST(ParserTest, IndexingAndCalls) {
+  ExprPtr E = parseExprOk("A(i,j)");
+  const auto *I = dyn_cast<IndexExpr>(E.get());
+  ASSERT_NE(I, nullptr);
+  EXPECT_EQ(I->baseName(), "A");
+  EXPECT_EQ(I->numArgs(), 2u);
+}
+
+TEST(ParserTest, MagicColonSubscript) {
+  ExprPtr E = parseExprOk("A(:,i)");
+  const auto *I = dyn_cast<IndexExpr>(E.get());
+  ASSERT_NE(I, nullptr);
+  EXPECT_TRUE(isa<MagicColonExpr>(I->arg(0)));
+  EXPECT_EQ(printExpr(*E), "A(:,i)");
+}
+
+TEST(ParserTest, ColonRangeSubscript) {
+  EXPECT_EQ(printed("A(1:n,:)"), "A(1:n,:)");
+}
+
+TEST(ParserTest, EndInsideSubscript) {
+  ExprPtr E = parseExprOk("A(end-1)");
+  const auto *I = dyn_cast<IndexExpr>(E.get());
+  ASSERT_NE(I, nullptr);
+  const auto *B = dyn_cast<BinaryExpr>(I->arg(0));
+  ASSERT_NE(B, nullptr);
+  EXPECT_TRUE(isa<EndKeywordExpr>(B->lhs()));
+}
+
+TEST(ParserTest, EndOutsideSubscriptIsError) {
+  DiagnosticEngine Diags;
+  parseMatlab("x = end + 1;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, TransposePostfix) {
+  EXPECT_EQ(printed("A'"), "A'");
+  EXPECT_EQ(printed("(B+C)'"), "(B+C)'");
+  EXPECT_EQ(printed("A(i,:)'"), "A(i,:)'");
+}
+
+TEST(ParserTest, TransposeOfRangePrintsParens) {
+  DiagnosticEngine Diags;
+  Parser P("(1:n)'", Diags);
+  ExprPtr E = P.parseSingleExpression();
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(printExpr(*E), "(1:n)'");
+}
+
+TEST(ParserTest, NestedCalls) {
+  EXPECT_EQ(printed("sum(X(1:n,:)'.*Y(:,1:n))"), "sum(X(1:n,:)'.*Y(:,1:n))");
+}
+
+TEST(ParserTest, ForLoop) {
+  Program P = parseOk("for i=1:n\n  x(i)=i;\nend");
+  ASSERT_EQ(P.Stmts.size(), 1u);
+  const auto *For = dyn_cast<ForStmt>(P.Stmts[0].get());
+  ASSERT_NE(For, nullptr);
+  EXPECT_EQ(For->indexVar(), "i");
+  ASSERT_EQ(For->body().size(), 1u);
+}
+
+TEST(ParserTest, ForLoopCommaSeparatedBody) {
+  Program P = parseOk("for i=1:n, x(i)=i; end");
+  const auto *For = dyn_cast<ForStmt>(P.Stmts[0].get());
+  ASSERT_NE(For, nullptr);
+  ASSERT_EQ(For->body().size(), 1u);
+}
+
+TEST(ParserTest, NestedForOnOneLine) {
+  Program P = parseOk("for i=1:m, for j=1:n, A(i,j)=0; end end");
+  const auto *Outer = dyn_cast<ForStmt>(P.Stmts[0].get());
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_EQ(Outer->body().size(), 1u);
+  const auto *Inner = dyn_cast<ForStmt>(Outer->body()[0].get());
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->indexVar(), "j");
+}
+
+TEST(ParserTest, IfElseChain) {
+  Program P = parseOk("if a<1\n x=1;\nelseif a<2\n x=2;\nelse\n x=3;\nend");
+  const auto *If = dyn_cast<IfStmt>(P.Stmts[0].get());
+  ASSERT_NE(If, nullptr);
+  ASSERT_EQ(If->branches().size(), 3u);
+  EXPECT_NE(If->branches()[0].Cond, nullptr);
+  EXPECT_NE(If->branches()[1].Cond, nullptr);
+  EXPECT_EQ(If->branches()[2].Cond, nullptr);
+}
+
+TEST(ParserTest, WhileLoop) {
+  Program P = parseOk("while x<10\n x=x+1;\nend");
+  EXPECT_TRUE(isa<WhileStmt>(P.Stmts[0].get()));
+}
+
+TEST(ParserTest, BreakContinueReturn) {
+  Program P = parseOk("for i=1:3, break; end\nfor j=1:3, continue; end\nreturn");
+  const auto *F1 = cast<ForStmt>(P.Stmts[0].get());
+  EXPECT_TRUE(isa<BreakStmt>(F1->body()[0].get()));
+  const auto *F2 = cast<ForStmt>(P.Stmts[1].get());
+  EXPECT_TRUE(isa<ContinueStmt>(F2->body()[0].get()));
+  EXPECT_TRUE(isa<ReturnStmt>(P.Stmts[2].get()));
+}
+
+TEST(ParserTest, MatrixLiteralCommas) {
+  ExprPtr E = parseExprOk("[1,2;3,4]");
+  const auto *M = dyn_cast<MatrixExpr>(E.get());
+  ASSERT_NE(M, nullptr);
+  ASSERT_EQ(M->rows().size(), 2u);
+  EXPECT_EQ(M->rows()[0].size(), 2u);
+  EXPECT_EQ(printExpr(*E), "[1,2;3,4]");
+}
+
+TEST(ParserTest, MatrixLiteralSpaces) {
+  ExprPtr E = parseExprOk("[1 2 3]");
+  const auto *M = dyn_cast<MatrixExpr>(E.get());
+  ASSERT_NE(M, nullptr);
+  ASSERT_EQ(M->rows().size(), 1u);
+  EXPECT_EQ(M->rows()[0].size(), 3u);
+}
+
+TEST(ParserTest, MatrixSpaceMinusIsNewElement) {
+  ExprPtr E = parseExprOk("[a -b]");
+  const auto *M = dyn_cast<MatrixExpr>(E.get());
+  ASSERT_NE(M, nullptr);
+  ASSERT_EQ(M->rows()[0].size(), 2u);
+}
+
+TEST(ParserTest, MatrixSpacedMinusIsSubtraction) {
+  ExprPtr E = parseExprOk("[a - b]");
+  const auto *M = dyn_cast<MatrixExpr>(E.get());
+  ASSERT_NE(M, nullptr);
+  ASSERT_EQ(M->rows()[0].size(), 1u);
+  EXPECT_TRUE(isa<BinaryExpr>(M->rows()[0][0].get()));
+}
+
+TEST(ParserTest, MatrixWithRange) {
+  ExprPtr E = parseExprOk("[0:255]");
+  const auto *M = dyn_cast<MatrixExpr>(E.get());
+  ASSERT_NE(M, nullptr);
+  ASSERT_EQ(M->rows()[0].size(), 1u);
+  EXPECT_TRUE(isa<RangeExpr>(M->rows()[0][0].get()));
+}
+
+TEST(ParserTest, ContinuationInsideExpression) {
+  Program P = parseOk("x = a + ...\n    b;");
+  const auto *A = cast<AssignStmt>(P.Stmts[0].get());
+  EXPECT_TRUE(isa<BinaryExpr>(A->rhs()));
+}
+
+TEST(ParserTest, AssignToSubscript) {
+  Program P = parseOk("A(i,j) = 0;");
+  const auto *A = cast<AssignStmt>(P.Stmts[0].get());
+  EXPECT_TRUE(isa<IndexExpr>(A->lhs()));
+  EXPECT_EQ(A->targetName(), "A");
+}
+
+TEST(ParserTest, InvalidAssignmentTarget) {
+  DiagnosticEngine Diags;
+  parseMatlab("a+b = 3;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, ErrorRecoveryContinuesParsing) {
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab("x = );\ny = 2;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // The second statement is still parsed.
+  bool FoundY = false;
+  for (const StmtPtr &S : R.Prog.Stmts)
+    if (const auto *A = dyn_cast<AssignStmt>(S.get()))
+      if (A->targetName() == "y")
+        FoundY = true;
+  EXPECT_TRUE(FoundY);
+}
+
+TEST(ParserTest, PaperFig4Statement) {
+  // A statement from the paper's Fig. 4 with continuations and transposes.
+  Program P = parseOk(
+      "B(i,1)=D(i,i)*A(i,i)+C(i,:)*D(:,i);\n"
+      "A(i,j)=B(i,ind)*C(ind,j)+D(j,i)'-a(2*i-1);\n");
+  ASSERT_EQ(P.Stmts.size(), 2u);
+  EXPECT_EQ(printStmt(*P.Stmts[0]),
+            "B(i,1)=D(i,i)*A(i,i)+C(i,:)*D(:,i);\n");
+  EXPECT_EQ(printStmt(*P.Stmts[1]),
+            "A(i,j)=B(i,ind)*C(ind,j)+D(j,i)'-a(2*i-1);\n");
+}
+
+TEST(ParserTest, ProgramRoundTripReparses) {
+  const char *Source = "for i=2:2:1500\n"
+                       "  B(i,1)=D(i,i)*A(i,i)+C(i,:)*D(:,i);\n"
+                       "  for j=3:2:1501\n"
+                       "    A(i,j)=B(i,ind)*C(ind,j)+D(j,i)'-a(2*i-1);\n"
+                       "  end\n"
+                       "end\n";
+  Program P1 = parseOk(Source);
+  std::string Printed = printProgram(P1);
+  Program P2 = parseOk(Printed);
+  EXPECT_EQ(Printed, printProgram(P2));
+}
+
+TEST(ParserTest, ExprEqualsOnClones) {
+  ExprPtr E = parseExprOk("A(i,j)+B(j,i)'");
+  ExprPtr C = E->clone();
+  EXPECT_TRUE(exprEquals(*E, *C));
+}
+
+TEST(ParserTest, SubstituteIdentifier) {
+  ExprPtr E = parseExprOk("x(i)+i*2");
+  ExprPtr Range = parseExprOk("1:n");
+  ExprPtr Substituted = substituteIdentifier(E->clone(), "i", *Range);
+  EXPECT_EQ(printExpr(*Substituted), "x(1:n)+(1:n)*2");
+}
+
+TEST(ParserTest, SubstituteDoesNotTouchBases) {
+  ExprPtr E = parseExprOk("i(i)");
+  ExprPtr Repl = parseExprOk("1:n");
+  ExprPtr Substituted = substituteIdentifier(E->clone(), "i", *Repl);
+  // The base 'i' names an array and must stay; the subscript use changes.
+  EXPECT_EQ(printExpr(*Substituted), "i(1:n)");
+}
+
+TEST(ParserTest, EvaluateConstant) {
+  double V = 0;
+  EXPECT_TRUE(evaluateConstant(*parseExprOk("2*3+4"), V));
+  EXPECT_DOUBLE_EQ(V, 10);
+  EXPECT_TRUE(evaluateConstant(*parseExprOk("-2^2"), V));
+  EXPECT_DOUBLE_EQ(V, -4);
+  EXPECT_FALSE(evaluateConstant(*parseExprOk("n+1"), V));
+}
+
+TEST(ParserTest, CollectIdentifiers) {
+  std::set<std::string> Names;
+  collectIdentifiers(*parseExprOk("A(i,j)+b*c"), Names);
+  EXPECT_EQ(Names, (std::set<std::string>{"A", "i", "j", "b", "c"}));
+}
+
+} // namespace
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Robustness properties
+//===----------------------------------------------------------------------===//
+
+class ParserRobustness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParserRobustness, GarbageNeverCrashesAndPrintingIsStable) {
+  // Random token soup: parsing must terminate without crashing, and when
+  // it succeeds, print -> reparse -> print must be a fixpoint.
+  std::mt19937 Engine(GetParam() * 2654435761u + 1);
+  const std::vector<std::string> Tokens = {
+      "for",  "end", "if",  "while", "=",  "+",   "-",  "*",  "/",
+      "(",    ")",   "[",   "]",     ",",  ";",   ":",  "'",  ".*",
+      "x",    "y",   "A",   "1",     "2.5", "\n", " ",  "~",  "==",
+      "else", "&&",  "...", "%c\n"};
+  std::string Source;
+  std::uniform_int_distribution<size_t> Pick(0, Tokens.size() - 1);
+  std::uniform_int_distribution<int> Len(5, 60);
+  int N = Len(Engine);
+  for (int I = 0; I != N; ++I)
+    Source += Tokens[Pick(Engine)];
+
+  DiagnosticEngine Diags;
+  ParseResult R1 = parseMatlab(Source, Diags);
+  if (Diags.hasErrors())
+    return; // rejected is fine; not crashing is the property
+  std::string P1 = printProgram(R1.Prog);
+  DiagnosticEngine Diags2;
+  ParseResult R2 = parseMatlab(P1, Diags2);
+  ASSERT_FALSE(Diags2.hasErrors())
+      << "printed program must reparse:\n" << P1 << Diags2.str();
+  EXPECT_EQ(printProgram(R2.Prog), P1) << "print must be a fixpoint";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness,
+                         ::testing::Range(0u, 60u));
+
+} // namespace

@@ -1,0 +1,199 @@
+//===- PatternTest.cpp - Pattern database unit tests -----------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "patterns/PatternDatabase.h"
+#include "patterns/PluginAPI.h"
+
+#include "frontend/ASTPrinter.h"
+
+#include "gtest/gtest.h"
+
+using namespace mvec;
+
+namespace {
+
+const DimSymbol One = DimSymbol::one();
+const DimSymbol Star = DimSymbol::star();
+const DimSymbol R1 = DimSymbol::range(1);
+const DimSymbol R2 = DimSymbol::range(2);
+
+//===----------------------------------------------------------------------===//
+// Shape matching / unification
+//===----------------------------------------------------------------------===//
+
+TEST(PatternShapeTest, LiteralMatch) {
+  PatternBindings B;
+  EXPECT_TRUE(matchShape({PatternDim::one(), PatternDim::star()},
+                         Dimensionality{One, Star}, B));
+  EXPECT_FALSE(matchShape({PatternDim::one(), PatternDim::one()},
+                          Dimensionality{One, Star}, B));
+  EXPECT_FALSE(matchShape({PatternDim::star(), PatternDim::star()},
+                          Dimensionality{One, Star}, B));
+}
+
+TEST(PatternShapeTest, StarDoesNotMatchRange) {
+  // * and r_i are distinct symbols (paper Sec. 2.1).
+  PatternBindings B;
+  EXPECT_FALSE(matchShape({PatternDim::star()}, Dimensionality{R1, One}, B));
+}
+
+TEST(PatternShapeTest, VariableBindsRange) {
+  PatternBindings B;
+  ASSERT_TRUE(matchShape({PatternDim::var(1), PatternDim::star()},
+                         Dimensionality{R1, Star}, B));
+  EXPECT_EQ(*B.lookup(1), 1u);
+}
+
+TEST(PatternShapeTest, VariableConsistencyAcrossOperands) {
+  // (r1,*) x (*,r1): both r1 occurrences must be the same loop.
+  PatternBindings B;
+  ASSERT_TRUE(matchShape({PatternDim::var(1), PatternDim::star()},
+                         Dimensionality{R1, Star}, B));
+  EXPECT_TRUE(matchShape({PatternDim::star(), PatternDim::var(1)},
+                         Dimensionality{Star, R1}, B));
+  PatternBindings B2;
+  ASSERT_TRUE(matchShape({PatternDim::var(1), PatternDim::star()},
+                         Dimensionality{R1, Star}, B2));
+  EXPECT_FALSE(matchShape({PatternDim::star(), PatternDim::var(1)},
+                          Dimensionality{Star, R2}, B2));
+}
+
+TEST(PatternShapeTest, DistinctVariablesNeedDistinctLoops) {
+  PatternBindings B;
+  EXPECT_FALSE(matchShape({PatternDim::var(1), PatternDim::var(2)},
+                          Dimensionality{R1, R1}, B));
+  PatternBindings B2;
+  EXPECT_TRUE(matchShape({PatternDim::var(1), PatternDim::var(2)},
+                         Dimensionality{R1, R2}, B2));
+}
+
+TEST(PatternShapeTest, RepeatedVariableNeedsSameLoop) {
+  PatternBindings B;
+  EXPECT_TRUE(matchShape({PatternDim::var(1), PatternDim::var(1)},
+                         Dimensionality{R1, R1}, B));
+  PatternBindings B2;
+  EXPECT_FALSE(matchShape({PatternDim::var(1), PatternDim::var(1)},
+                          Dimensionality{R1, R2}, B2));
+}
+
+TEST(PatternShapeTest, TrailingOnesIgnored) {
+  PatternBindings B;
+  EXPECT_TRUE(matchShape({PatternDim::var(1)}, Dimensionality{R1, One}, B));
+  PatternBindings B2;
+  EXPECT_TRUE(matchShape({PatternDim::var(1), PatternDim::one()},
+                         Dimensionality{R1}, B2));
+}
+
+TEST(PatternShapeTest, Instantiate) {
+  PatternBindings B;
+  B.VarToLoop[1] = 7;
+  Dimensionality D = instantiateShape(
+      {PatternDim::one(), PatternDim::var(1)}, B);
+  EXPECT_EQ(D.str(), "(1,r7)");
+}
+
+//===----------------------------------------------------------------------===//
+// Database lookup
+//===----------------------------------------------------------------------===//
+
+TEST(PatternDatabaseTest, BuiltinsRegistered) {
+  PatternDatabase DB = makeDefaultPatternDatabase();
+  EXPECT_GE(DB.numBinaryPatterns(), 8u);
+  EXPECT_GE(DB.numAccessPatterns(), 1u);
+}
+
+TEST(PatternDatabaseTest, DotProductMatch) {
+  PatternDatabase DB = makeDefaultPatternDatabase();
+  auto Match = DB.matchBinary(BinaryOp::Mul, Dimensionality{R1, Star},
+                              Dimensionality{Star, R1});
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_EQ(Match->Pattern->Name, "dot-product");
+  EXPECT_EQ(Match->OutDims.str(), "(1,r1)");
+}
+
+TEST(PatternDatabaseTest, GeneralMatmulForDistinctRanges) {
+  PatternDatabase DB = makeDefaultPatternDatabase();
+  auto Match = DB.matchBinary(BinaryOp::Mul, Dimensionality{R1, Star},
+                              Dimensionality{Star, R2});
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_EQ(Match->Pattern->Name, "matmul");
+  EXPECT_EQ(Match->OutDims.str(), "(r1,r2)");
+}
+
+TEST(PatternDatabaseTest, BroadcastMatchesAnyPointwiseOp) {
+  PatternDatabase DB = makeDefaultPatternDatabase();
+  for (BinaryOp Op : {BinaryOp::Add, BinaryOp::Sub, BinaryOp::DotMul}) {
+    auto Match = DB.matchBinary(Op, Dimensionality{R1, R2},
+                                Dimensionality{R1, One});
+    ASSERT_TRUE(Match.has_value()) << binaryOpSpelling(Op);
+    EXPECT_EQ(Match->OutDims.str(), "(r1,r2)");
+  }
+  // ...but not the matrix product operator.
+  EXPECT_FALSE(DB.matchBinary(BinaryOp::Mul, Dimensionality{R1, R2},
+                              Dimensionality{R1, One}));
+}
+
+TEST(PatternDatabaseTest, DiagonalAccessMatch) {
+  PatternDatabase DB = makeDefaultPatternDatabase();
+  auto Match = DB.matchAccess(Dimensionality{R1, R1});
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_EQ(Match->Pattern->Name, "diagonal-access");
+  EXPECT_EQ(Match->OutDims.str(), "(1,r1)");
+  EXPECT_FALSE(DB.matchAccess(Dimensionality{R1, R2}));
+}
+
+TEST(PatternDatabaseTest, RegistrationOrderIsPriority) {
+  PatternDatabase DB;
+  auto NullTransform = [](BinaryOp, ExprPtr, ExprPtr,
+                          const PatternContext &) -> ExprPtr {
+    return nullptr;
+  };
+  DB.addBinaryPattern(BinaryPattern{"first", BinaryOp::Add, false,
+                                    {PatternDim::var(1)},
+                                    {PatternDim::var(1)},
+                                    {PatternDim::var(1)}, NullTransform});
+  DB.addBinaryPattern(BinaryPattern{"second", BinaryOp::Add, false,
+                                    {PatternDim::var(1)},
+                                    {PatternDim::var(1)},
+                                    {PatternDim::var(1)}, NullTransform});
+  auto All = DB.matchBinaryAll(BinaryOp::Add, Dimensionality{R1, One},
+                               Dimensionality{R1, One});
+  ASSERT_EQ(All.size(), 2u);
+  EXPECT_EQ(All[0].Pattern->Name, "first");
+  EXPECT_EQ(All[1].Pattern->Name, "second");
+}
+
+//===----------------------------------------------------------------------===//
+// Plugin loading (the paper's Fig. 2 DLL design)
+//===----------------------------------------------------------------------===//
+
+TEST(PluginTest, MissingFileFails) {
+  PatternDatabase DB;
+  std::string Error;
+  EXPECT_FALSE(loadPatternPlugin("/nonexistent/plugin.so", DB, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(PluginTest, NonPluginLibraryFails) {
+  PatternDatabase DB;
+  std::string Error;
+  // libm exists but exports no mvecRegisterPatterns.
+  if (loadPatternPlugin("libm.so.6", DB, Error))
+    GTEST_SKIP() << "unexpectedly loadable";
+  EXPECT_FALSE(Error.empty());
+}
+
+#ifdef GATHER_PLUGIN_PATH
+TEST(PluginTest, GatherPluginRegistersPattern) {
+  PatternDatabase DB = makeDefaultPatternDatabase();
+  size_t Before = DB.numAccessPatterns();
+  std::string Error;
+  ASSERT_TRUE(loadPatternPlugin(GATHER_PLUGIN_PATH, DB, Error)) << Error;
+  EXPECT_EQ(DB.numAccessPatterns(), Before + 1);
+}
+#endif
+
+} // namespace

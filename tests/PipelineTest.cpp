@@ -1,0 +1,166 @@
+//===- PipelineTest.cpp - Driver API tests ----------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "gtest/gtest.h"
+
+using namespace mvec;
+
+namespace {
+
+TEST(PipelineTest, ParseErrorSurfaces) {
+  PipelineResult R = vectorizeSource("x = ;\n");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_TRUE(R.Diags.hasErrors());
+}
+
+TEST(PipelineTest, EmptyProgram) {
+  PipelineResult R = vectorizeSource("");
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(R.VectorizedSource, "");
+  EXPECT_EQ(R.Stats.LoopNestsConsidered, 0u);
+}
+
+TEST(PipelineTest, ProgramWithoutLoopsPassesThrough) {
+  PipelineResult R = vectorizeSource("x = 1+2;\ny = x*3;\n");
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(R.VectorizedSource, "x=1+2;\ny=x*3;\n");
+}
+
+TEST(PipelineTest, RemarksExplainDecisions) {
+  VectorizerOptions Opts;
+  Opts.EmitRemarks = true;
+  PipelineResult R = vectorizeSource("n = 4;\nx = zeros(1,n);\n%! x(1,*)\n"
+                                     "for i=1:n\n  x(i) = i;\nend\n",
+                                     Opts);
+  ASSERT_TRUE(R.succeeded());
+  bool SawVectorizedRemark = false;
+  for (const Diagnostic &D : R.Diags.diagnostics())
+    if (D.Severity == DiagSeverity::Remark &&
+        D.Message.find("vectorized statement") != std::string::npos)
+      SawVectorizedRemark = true;
+  EXPECT_TRUE(SawVectorizedRemark) << R.Diags.str();
+}
+
+TEST(PipelineTest, RemarksExplainFailures) {
+  VectorizerOptions Opts;
+  Opts.EmitRemarks = true;
+  PipelineResult R = vectorizeSource(
+      "n = 4;\nv = zeros(1,n);\n%! v(1,*)\n"
+      "for i=2:n\n  v(i) = v(i-1);\nend\n",
+      Opts);
+  ASSERT_TRUE(R.succeeded());
+  bool SawReason = false;
+  for (const Diagnostic &D : R.Diags.diagnostics())
+    if (D.Severity == DiagSeverity::Remark &&
+        D.Message.find("recurrence") != std::string::npos)
+      SawReason = true;
+  EXPECT_TRUE(SawReason) << R.Diags.str();
+}
+
+TEST(PipelineTest, IneligibleNestCounted) {
+  PipelineResult R = vectorizeSource("for i=1:3\n  disp(i);\nend\n");
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Stats.IneligibleNests, 1u);
+  EXPECT_EQ(R.Stats.LoopNestsImproved, 0u);
+}
+
+TEST(PipelineTest, CustomDatabaseIsUsed) {
+  // With an empty database, pattern-dependent loops stay sequential.
+  PatternDatabase Empty;
+  std::string Source = "n = 4;\nA = rand(n,n); b = rand(1,n); a = "
+                       "zeros(1,n);\n%! A(*,*) b(1,*) a(1,*) n(1)\n"
+                       "for i=1:n\n  a(i) = A(i,i)*b(i);\nend\n";
+  PipelineResult R = vectorizeSource(Source, {}, &Empty);
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Stats.StmtsVectorized, 0u);
+}
+
+TEST(PipelineTest, DiffRunDetectsDivergence) {
+  EXPECT_EQ(diffRun("x = 1;", "x = 1;"), "");
+  EXPECT_NE(diffRun("x = 1;", "x = 2;"), "");
+  EXPECT_NE(diffRun("x = 1;", "y = 1;"), "");
+  EXPECT_NE(diffRun("x = 1;", "x = 1; y = 2;"), "");
+}
+
+TEST(PipelineTest, DiffRunIgnoresLoopIndexVariables) {
+  // After vectorization the index variable no longer exists; that must
+  // not count as divergence.
+  EXPECT_EQ(diffRun("for i=1:3\n x(i)=i;\nend\n", "x(1:3)=1:3;"), "");
+}
+
+TEST(PipelineTest, DiffRunComparesPrintedOutput) {
+  EXPECT_NE(diffRun("disp(1);", "disp(2);"), "");
+  EXPECT_EQ(diffRun("disp(7);", "disp(7);"), "");
+}
+
+TEST(PipelineTest, DiffRunReportsRuntimeErrors) {
+  std::string Diff = diffRun("x = undefined_thing;", "x = 1;");
+  EXPECT_NE(Diff.find("original program failed"), std::string::npos);
+  Diff = diffRun("x = 1;", "x = undefined_thing;");
+  EXPECT_NE(Diff.find("transformed program failed"), std::string::npos);
+}
+
+TEST(PipelineTest, VectorizeAndValidateHappyPath) {
+  std::string Error;
+  auto V = vectorizeAndValidate("n = 4;\nx = zeros(1,n);\n%! x(1,*)\n"
+                                "for i=1:n\n  x(i) = 2*i;\nend\n",
+                                Error);
+  ASSERT_TRUE(V.has_value()) << Error;
+  EXPECT_NE(V->find("x(1:n)=2*(1:n);"), std::string::npos) << *V;
+}
+
+TEST(PipelineTest, StatsAcrossMultipleNests) {
+  PipelineResult R = vectorizeSource(
+      "n = 4;\nx = zeros(1,n); y = zeros(1,n);\n%! x(1,*) y(1,*)\n"
+      "for i=1:n\n  x(i) = i;\nend\n"
+      "for j=1:n\n  y(j) = 2*j;\nend\n"
+      "for k=1:n\n  y(k) = y(k-0)+1;\nend\n");
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Stats.LoopNestsConsidered, 3u);
+  EXPECT_GE(R.Stats.StmtsVectorized, 2u);
+}
+
+TEST(PipelineTest, LoopInsideIfIsStillFound) {
+  PipelineResult R = vectorizeSource(
+      "n = 4;\nflag = 1;\nx = zeros(1,n);\n%! x(1,*) flag(1)\n"
+      "if flag\n  for i=1:n\n    x(i) = i;\n  end\nend\n");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Stats.StmtsVectorized, 1u);
+  EXPECT_NE(R.VectorizedSource.find("x(1:n)=1:n;"), std::string::npos)
+      << R.VectorizedSource;
+  EXPECT_EQ(diffRun("n = 4;\nflag = 1;\nx = zeros(1,n);\n"
+                    "if flag\n  for i=1:n\n    x(i) = i;\n  end\nend\n",
+                    R.VectorizedSource),
+            "");
+}
+
+TEST(PipelineTest, AnnotationsBeatInference) {
+  // x is declared a column even though the straight-line code would infer
+  // a row; the vectorizer must trust the annotation (and the transform
+  // then fails validation only if the annotation were wrong — here we
+  // just check the annotation is respected by looking for the transpose).
+  PipelineResult R = vectorizeSource(
+      "n = 4;\nx = rand(n,1);\ny = rand(1,n);\nz = zeros(n,1);\n"
+      "%! x(*,1) y(1,*) z(*,1) n(1)\n"
+      "for i=1:n\n  z(i) = x(i)+y(i);\nend\n");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_NE(R.VectorizedSource.find("'"), std::string::npos)
+      << R.VectorizedSource;
+}
+
+TEST(PipelineTest, SequentialFallbackIsFaithful) {
+  // A program the vectorizer cannot improve must round-trip untouched.
+  std::string Source = "n = 5;\nv = zeros(1,n);\nv(1) = 1;\n%! v(1,*)\n"
+                       "for i=2:n\n  v(i) = v(i-1)*1.1;\nend\n";
+  PipelineResult R = vectorizeSource(Source);
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Stats.StmtsVectorized, 0u);
+  EXPECT_EQ(diffRun(Source, R.VectorizedSource), "");
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+//===- SimplifyTest.cpp - Expression simplifier unit tests ------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Simplify.h"
+
+#include "frontend/ASTPrinter.h"
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace mvec;
+
+namespace {
+
+std::string simplified(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Parser P(Source, Diags);
+  ExprPtr E = P.parseSingleExpression();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return printExpr(*simplifyExpr(std::move(E)));
+}
+
+TEST(SimplifyTest, ConstantFolding) {
+  EXPECT_EQ(simplified("2+3"), "5");
+  EXPECT_EQ(simplified("2*3+4"), "10");
+  EXPECT_EQ(simplified("10/4"), "2.5");
+  EXPECT_EQ(simplified("2^10"), "1024");
+  EXPECT_EQ(simplified("1500-2+2"), "1500");
+}
+
+TEST(SimplifyTest, AdditiveIdentities) {
+  EXPECT_EQ(simplified("x+0"), "x");
+  EXPECT_EQ(simplified("0+x"), "x");
+  EXPECT_EQ(simplified("x-0"), "x");
+  EXPECT_EQ(simplified("2*i+0"), "2*i");
+}
+
+TEST(SimplifyTest, MultiplicativeIdentities) {
+  EXPECT_EQ(simplified("1*x"), "x");
+  EXPECT_EQ(simplified("x*1"), "x");
+  EXPECT_EQ(simplified("x/1"), "x");
+  EXPECT_EQ(simplified("0*x"), "0");
+  EXPECT_EQ(simplified("x*0"), "0");
+}
+
+TEST(SimplifyTest, NegativeConstantsFoldIntoSubtraction) {
+  // x + (-3) => x-3 and x - (-3) => x+3.
+  EXPECT_EQ(simplified("x+(0-3)"), "x-3");
+  EXPECT_EQ(simplified("x-(0-3)"), "x+3");
+}
+
+TEST(SimplifyTest, UnaryCleanup) {
+  EXPECT_EQ(simplified("+x"), "x");
+  EXPECT_EQ(simplified("-(3)"), "-3");
+  EXPECT_EQ(simplified("-(-x)"), "x");
+}
+
+TEST(SimplifyTest, TransposeCleanup) {
+  EXPECT_EQ(simplified("x''"), "x");
+  EXPECT_EQ(simplified("3'"), "3");
+  EXPECT_EQ(simplified("(x')'"), "x");
+}
+
+TEST(SimplifyTest, UnitStepRangeDropsStep) {
+  EXPECT_EQ(simplified("1:1:n"), "1:n");
+  EXPECT_EQ(simplified("1:2:n"), "1:2:n");
+}
+
+TEST(SimplifyTest, RecursesIntoSubscripts) {
+  EXPECT_EQ(simplified("A(2*i+0,j*1)"), "A(2*i,j)");
+  EXPECT_EQ(simplified("f(x+0)+g(1*y)"), "f(x)+g(y)");
+}
+
+TEST(SimplifyTest, DoesNotChangeSemantics) {
+  // No reassociation of non-constant terms (floating point!).
+  EXPECT_EQ(simplified("x+1+2"), "x+1+2");
+  // Division folding requires an exactly representable result path.
+  EXPECT_EQ(simplified("x/0"), "x/0");
+}
+
+TEST(SimplifyTest, NormalizationShapes) {
+  // The forms produced by loop normalization print cleanly.
+  EXPECT_EQ(simplified("2*i+(2-2)"), "2*i");
+  EXPECT_EQ(simplified("1*i+(3-1)"), "i+2");
+  EXPECT_EQ(simplified("2*i+(3-2)"), "2*i+1");
+}
+
+TEST(SimplifyTest, StatementTraversal) {
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab(
+      "x = 1*y+0;\nfor i=1:1:n\n  A(i+0) = 0+b;\nend\n", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  for (StmtPtr &S : R.Prog.Stmts)
+    simplifyStmt(*S);
+  EXPECT_EQ(printProgram(R.Prog), "x=y;\nfor i=1:n\n  A(i)=b;\nend\n");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Transpose distribution (the paper's deferred optimization)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string distributed(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Parser P(Source, Diags);
+  ExprPtr E = P.parseSingleExpression();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return printExpr(*distributeTransposes(std::move(E)));
+}
+
+TEST(TransposeDistributionTest, SumDistributes) {
+  // The paper's own example: (B+C')' -> B'+C.
+  EXPECT_EQ(distributed("(B+C')'"), "B'+C");
+  EXPECT_EQ(distributed("(A-B)'"), "A'-B'");
+}
+
+TEST(TransposeDistributionTest, ElementwiseOpsDistribute) {
+  EXPECT_EQ(distributed("(A.*B)'"), "A'.*B'");
+  EXPECT_EQ(distributed("(A./B)'"), "A'./B'");
+}
+
+TEST(TransposeDistributionTest, MatrixProductSwapsOperands) {
+  EXPECT_EQ(distributed("(A*B)'"), "B'*A'");
+  EXPECT_EQ(distributed("(A*B*C)'"), "C'*(B'*A')");
+}
+
+TEST(TransposeDistributionTest, DoubleTransposeCancels) {
+  EXPECT_EQ(distributed("A''"), "A");
+  EXPECT_EQ(distributed("(A'+B)'"), "A+B'");
+}
+
+TEST(TransposeDistributionTest, ScalarsDropTranspose) {
+  EXPECT_EQ(distributed("(x+3')'"), "x'+3");
+}
+
+TEST(TransposeDistributionTest, OpaqueOperandsKeepTranspose) {
+  EXPECT_EQ(distributed("A(1:n,:)'"), "A(1:n,:)'");
+  EXPECT_EQ(distributed("sum(A,1)'"), "sum(A,1)'");
+  EXPECT_EQ(distributed("(A/s)'"), "(A/s)'"); // '/' is not distributed
+}
+
+TEST(TransposeDistributionTest, UnaryMinusPassesThrough) {
+  EXPECT_EQ(distributed("(-A)'"), "-A'");
+}
+
+TEST(TransposeDistributionTest, RecursesEverywhere) {
+  EXPECT_EQ(distributed("f((A+B)') + (C.*D)'"), "f(A'+B')+C'.*D'");
+}
+
+} // namespace
