@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_throughput.dir/analysis_throughput.cpp.o"
+  "CMakeFiles/analysis_throughput.dir/analysis_throughput.cpp.o.d"
+  "analysis_throughput"
+  "analysis_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_histeq.dir/fig3_histeq.cpp.o"
+  "CMakeFiles/fig3_histeq.dir/fig3_histeq.cpp.o.d"
+  "fig3_histeq"
+  "fig3_histeq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_histeq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_compound.dir/fig4_compound.cpp.o"
+  "CMakeFiles/fig4_compound.dir/fig4_compound.cpp.o.d"
+  "fig4_compound"
+  "fig4_compound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_compound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

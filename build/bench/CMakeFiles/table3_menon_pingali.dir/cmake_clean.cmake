@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_menon_pingali.dir/table3_menon_pingali.cpp.o"
+  "CMakeFiles/table3_menon_pingali.dir/table3_menon_pingali.cpp.o.d"
+  "table3_menon_pingali"
+  "table3_menon_pingali.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_menon_pingali.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

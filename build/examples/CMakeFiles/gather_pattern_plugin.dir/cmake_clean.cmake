@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gather_pattern_plugin.dir/gather_pattern_plugin.cpp.o"
+  "CMakeFiles/gather_pattern_plugin.dir/gather_pattern_plugin.cpp.o.d"
+  "libgather_pattern_plugin.pdb"
+  "libgather_pattern_plugin.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gather_pattern_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/histogram_equalization.cpp" "examples/CMakeFiles/histogram_equalization.dir/histogram_equalization.cpp.o" "gcc" "examples/CMakeFiles/histogram_equalization.dir/histogram_equalization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/mvec_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/vectorizer/CMakeFiles/mvec_vectorizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/mvec_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/mvec_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/mvec_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/mvec_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/mvec_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

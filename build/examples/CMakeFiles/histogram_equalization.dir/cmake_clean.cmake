@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_equalization.dir/histogram_equalization.cpp.o"
+  "CMakeFiles/histogram_equalization.dir/histogram_equalization.cpp.o.d"
+  "histogram_equalization"
+  "histogram_equalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_equalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

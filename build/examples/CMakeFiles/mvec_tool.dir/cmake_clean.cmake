@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvec_tool.dir/mvec_tool.cpp.o"
+  "CMakeFiles/mvec_tool.dir/mvec_tool.cpp.o.d"
+  "mvec_tool"
+  "mvec_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvec_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.custom_pattern "/root/repo/build/examples/custom_pattern")
+set_tests_properties(example.custom_pattern PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.histogram_equalization "/root/repo/build/examples/histogram_equalization")
+set_tests_properties(example.histogram_equalization PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool.histeq "/root/repo/build/examples/mvec_tool" "--validate" "/root/repo/examples/matlab/histeq.m")
+set_tests_properties(tool.histeq PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool.fig4 "/root/repo/build/examples/mvec_tool" "--validate" "/root/repo/examples/matlab/fig4.m")
+set_tests_properties(tool.fig4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool.menon_pingali "/root/repo/build/examples/mvec_tool" "--validate" "/root/repo/examples/matlab/menon_pingali.m")
+set_tests_properties(tool.menon_pingali PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool.plugin_gather "/root/repo/build/examples/mvec_tool" "--validate" "--plugin" "/root/repo/build/examples/libgather_pattern_plugin.so" "/root/repo/examples/matlab/gather.m")
+set_tests_properties(tool.plugin_gather PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool.run_flag "/root/repo/build/examples/mvec_tool" "--run" "/root/repo/examples/matlab/histeq.m")
+set_tests_properties(tool.run_flag PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool.stencil "/root/repo/build/examples/mvec_tool" "--validate" "/root/repo/examples/matlab/stencil.m")
+set_tests_properties(tool.stencil PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;39;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvec_deps.dir/AffineExpr.cpp.o"
+  "CMakeFiles/mvec_deps.dir/AffineExpr.cpp.o.d"
+  "CMakeFiles/mvec_deps.dir/DepAnalysis.cpp.o"
+  "CMakeFiles/mvec_deps.dir/DepAnalysis.cpp.o.d"
+  "CMakeFiles/mvec_deps.dir/DepGraph.cpp.o"
+  "CMakeFiles/mvec_deps.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/mvec_deps.dir/LoopNest.cpp.o"
+  "CMakeFiles/mvec_deps.dir/LoopNest.cpp.o.d"
+  "libmvec_deps.a"
+  "libmvec_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvec_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvec_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/mvec_driver.dir/Pipeline.cpp.o.d"
+  "libmvec_driver.a"
+  "libmvec_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvec_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvec_frontend.dir/AST.cpp.o"
+  "CMakeFiles/mvec_frontend.dir/AST.cpp.o.d"
+  "CMakeFiles/mvec_frontend.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/mvec_frontend.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/mvec_frontend.dir/ASTUtils.cpp.o"
+  "CMakeFiles/mvec_frontend.dir/ASTUtils.cpp.o.d"
+  "CMakeFiles/mvec_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/mvec_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/mvec_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/mvec_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/mvec_frontend.dir/Simplify.cpp.o"
+  "CMakeFiles/mvec_frontend.dir/Simplify.cpp.o.d"
+  "libmvec_frontend.a"
+  "libmvec_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvec_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

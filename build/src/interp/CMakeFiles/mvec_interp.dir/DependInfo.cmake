@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/Builtins.cpp" "src/interp/CMakeFiles/mvec_interp.dir/Builtins.cpp.o" "gcc" "src/interp/CMakeFiles/mvec_interp.dir/Builtins.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/interp/CMakeFiles/mvec_interp.dir/Interpreter.cpp.o" "gcc" "src/interp/CMakeFiles/mvec_interp.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/interp/MatrixOps.cpp" "src/interp/CMakeFiles/mvec_interp.dir/MatrixOps.cpp.o" "gcc" "src/interp/CMakeFiles/mvec_interp.dir/MatrixOps.cpp.o.d"
+  "/root/repo/src/interp/Value.cpp" "src/interp/CMakeFiles/mvec_interp.dir/Value.cpp.o" "gcc" "src/interp/CMakeFiles/mvec_interp.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/mvec_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

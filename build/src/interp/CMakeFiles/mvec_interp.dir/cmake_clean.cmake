@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvec_interp.dir/Builtins.cpp.o"
+  "CMakeFiles/mvec_interp.dir/Builtins.cpp.o.d"
+  "CMakeFiles/mvec_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/mvec_interp.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/mvec_interp.dir/MatrixOps.cpp.o"
+  "CMakeFiles/mvec_interp.dir/MatrixOps.cpp.o.d"
+  "CMakeFiles/mvec_interp.dir/Value.cpp.o"
+  "CMakeFiles/mvec_interp.dir/Value.cpp.o.d"
+  "libmvec_interp.a"
+  "libmvec_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvec_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

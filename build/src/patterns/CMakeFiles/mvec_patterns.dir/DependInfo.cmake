@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patterns/BuiltinPatterns.cpp" "src/patterns/CMakeFiles/mvec_patterns.dir/BuiltinPatterns.cpp.o" "gcc" "src/patterns/CMakeFiles/mvec_patterns.dir/BuiltinPatterns.cpp.o.d"
+  "/root/repo/src/patterns/Pattern.cpp" "src/patterns/CMakeFiles/mvec_patterns.dir/Pattern.cpp.o" "gcc" "src/patterns/CMakeFiles/mvec_patterns.dir/Pattern.cpp.o.d"
+  "/root/repo/src/patterns/PatternDatabase.cpp" "src/patterns/CMakeFiles/mvec_patterns.dir/PatternDatabase.cpp.o" "gcc" "src/patterns/CMakeFiles/mvec_patterns.dir/PatternDatabase.cpp.o.d"
+  "/root/repo/src/patterns/PluginAPI.cpp" "src/patterns/CMakeFiles/mvec_patterns.dir/PluginAPI.cpp.o" "gcc" "src/patterns/CMakeFiles/mvec_patterns.dir/PluginAPI.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deps/CMakeFiles/mvec_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/mvec_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/mvec_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mvec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/mvec_interp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

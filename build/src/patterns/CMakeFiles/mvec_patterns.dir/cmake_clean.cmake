@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvec_patterns.dir/BuiltinPatterns.cpp.o"
+  "CMakeFiles/mvec_patterns.dir/BuiltinPatterns.cpp.o.d"
+  "CMakeFiles/mvec_patterns.dir/Pattern.cpp.o"
+  "CMakeFiles/mvec_patterns.dir/Pattern.cpp.o.d"
+  "CMakeFiles/mvec_patterns.dir/PatternDatabase.cpp.o"
+  "CMakeFiles/mvec_patterns.dir/PatternDatabase.cpp.o.d"
+  "CMakeFiles/mvec_patterns.dir/PluginAPI.cpp.o"
+  "CMakeFiles/mvec_patterns.dir/PluginAPI.cpp.o.d"
+  "libmvec_patterns.a"
+  "libmvec_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvec_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

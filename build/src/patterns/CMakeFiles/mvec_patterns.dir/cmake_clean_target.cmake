@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvec_patterns.a"
+)

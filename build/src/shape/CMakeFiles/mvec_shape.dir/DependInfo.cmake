@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shape/AnnotationParser.cpp" "src/shape/CMakeFiles/mvec_shape.dir/AnnotationParser.cpp.o" "gcc" "src/shape/CMakeFiles/mvec_shape.dir/AnnotationParser.cpp.o.d"
+  "/root/repo/src/shape/Dim.cpp" "src/shape/CMakeFiles/mvec_shape.dir/Dim.cpp.o" "gcc" "src/shape/CMakeFiles/mvec_shape.dir/Dim.cpp.o.d"
+  "/root/repo/src/shape/ShapeEnv.cpp" "src/shape/CMakeFiles/mvec_shape.dir/ShapeEnv.cpp.o" "gcc" "src/shape/CMakeFiles/mvec_shape.dir/ShapeEnv.cpp.o.d"
+  "/root/repo/src/shape/ShapeInference.cpp" "src/shape/CMakeFiles/mvec_shape.dir/ShapeInference.cpp.o" "gcc" "src/shape/CMakeFiles/mvec_shape.dir/ShapeInference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/mvec_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvec_shape.dir/AnnotationParser.cpp.o"
+  "CMakeFiles/mvec_shape.dir/AnnotationParser.cpp.o.d"
+  "CMakeFiles/mvec_shape.dir/Dim.cpp.o"
+  "CMakeFiles/mvec_shape.dir/Dim.cpp.o.d"
+  "CMakeFiles/mvec_shape.dir/ShapeEnv.cpp.o"
+  "CMakeFiles/mvec_shape.dir/ShapeEnv.cpp.o.d"
+  "CMakeFiles/mvec_shape.dir/ShapeInference.cpp.o"
+  "CMakeFiles/mvec_shape.dir/ShapeInference.cpp.o.d"
+  "libmvec_shape.a"
+  "libmvec_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvec_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvec_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/mvec_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/mvec_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/mvec_support.dir/StringExtras.cpp.o.d"
+  "libmvec_support.a"
+  "libmvec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vectorizer/Codegen.cpp" "src/vectorizer/CMakeFiles/mvec_vectorizer.dir/Codegen.cpp.o" "gcc" "src/vectorizer/CMakeFiles/mvec_vectorizer.dir/Codegen.cpp.o.d"
+  "/root/repo/src/vectorizer/DimChecker.cpp" "src/vectorizer/CMakeFiles/mvec_vectorizer.dir/DimChecker.cpp.o" "gcc" "src/vectorizer/CMakeFiles/mvec_vectorizer.dir/DimChecker.cpp.o.d"
+  "/root/repo/src/vectorizer/Vectorizer.cpp" "src/vectorizer/CMakeFiles/mvec_vectorizer.dir/Vectorizer.cpp.o" "gcc" "src/vectorizer/CMakeFiles/mvec_vectorizer.dir/Vectorizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/patterns/CMakeFiles/mvec_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/mvec_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/mvec_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/mvec_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mvec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/mvec_interp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvec_vectorizer.dir/Codegen.cpp.o"
+  "CMakeFiles/mvec_vectorizer.dir/Codegen.cpp.o.d"
+  "CMakeFiles/mvec_vectorizer.dir/DimChecker.cpp.o"
+  "CMakeFiles/mvec_vectorizer.dir/DimChecker.cpp.o.d"
+  "CMakeFiles/mvec_vectorizer.dir/Vectorizer.cpp.o"
+  "CMakeFiles/mvec_vectorizer.dir/Vectorizer.cpp.o.d"
+  "libmvec_vectorizer.a"
+  "libmvec_vectorizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvec_vectorizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

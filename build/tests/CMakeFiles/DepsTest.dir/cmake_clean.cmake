@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DepsTest.dir/DepsTest.cpp.o"
+  "CMakeFiles/DepsTest.dir/DepsTest.cpp.o.d"
+  "DepsTest"
+  "DepsTest.pdb"
+  "DepsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DepsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

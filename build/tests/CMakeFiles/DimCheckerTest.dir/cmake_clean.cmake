@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DimCheckerTest.dir/DimCheckerTest.cpp.o"
+  "CMakeFiles/DimCheckerTest.dir/DimCheckerTest.cpp.o.d"
+  "DimCheckerTest"
+  "DimCheckerTest.pdb"
+  "DimCheckerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DimCheckerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DimTest.dir/DimTest.cpp.o"
+  "CMakeFiles/DimTest.dir/DimTest.cpp.o.d"
+  "DimTest"
+  "DimTest.pdb"
+  "DimTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DimTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

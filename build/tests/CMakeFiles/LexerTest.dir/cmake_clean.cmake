@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LexerTest.dir/LexerTest.cpp.o"
+  "CMakeFiles/LexerTest.dir/LexerTest.cpp.o.d"
+  "LexerTest"
+  "LexerTest.pdb"
+  "LexerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LexerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MatrixOpsTest.dir/MatrixOpsTest.cpp.o"
+  "CMakeFiles/MatrixOpsTest.dir/MatrixOpsTest.cpp.o.d"
+  "MatrixOpsTest"
+  "MatrixOpsTest.pdb"
+  "MatrixOpsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MatrixOpsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

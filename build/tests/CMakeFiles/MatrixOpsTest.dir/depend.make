@@ -1,0 +1,2 @@
+# Empty dependencies file for MatrixOpsTest.
+# This may be replaced when dependencies are built.

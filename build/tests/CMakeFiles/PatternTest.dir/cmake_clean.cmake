@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PatternTest.dir/PatternTest.cpp.o"
+  "CMakeFiles/PatternTest.dir/PatternTest.cpp.o.d"
+  "PatternTest"
+  "PatternTest.pdb"
+  "PatternTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PatternTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

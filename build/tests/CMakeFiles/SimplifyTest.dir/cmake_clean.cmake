@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SimplifyTest.dir/SimplifyTest.cpp.o"
+  "CMakeFiles/SimplifyTest.dir/SimplifyTest.cpp.o.d"
+  "SimplifyTest"
+  "SimplifyTest.pdb"
+  "SimplifyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SimplifyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

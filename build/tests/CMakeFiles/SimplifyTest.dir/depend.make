@@ -1,0 +1,2 @@
+# Empty dependencies file for SimplifyTest.
+# This may be replaced when dependencies are built.

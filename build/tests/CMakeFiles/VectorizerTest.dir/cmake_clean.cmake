@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/VectorizerTest.dir/VectorizerTest.cpp.o"
+  "CMakeFiles/VectorizerTest.dir/VectorizerTest.cpp.o.d"
+  "VectorizerTest"
+  "VectorizerTest.pdb"
+  "VectorizerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/VectorizerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

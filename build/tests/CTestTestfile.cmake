@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/LexerTest[1]_include.cmake")
+include("/root/repo/build/tests/ParserTest[1]_include.cmake")
+include("/root/repo/build/tests/DimTest[1]_include.cmake")
+include("/root/repo/build/tests/InterpreterTest[1]_include.cmake")
+include("/root/repo/build/tests/DepsTest[1]_include.cmake")
+include("/root/repo/build/tests/VectorizerTest[1]_include.cmake")
+include("/root/repo/build/tests/PatternTest[1]_include.cmake")
+include("/root/repo/build/tests/DimCheckerTest[1]_include.cmake")
+include("/root/repo/build/tests/MatrixOpsTest[1]_include.cmake")
+include("/root/repo/build/tests/SimplifyTest[1]_include.cmake")
+include("/root/repo/build/tests/PropertyTest[1]_include.cmake")
+include("/root/repo/build/tests/PipelineTest[1]_include.cmake")
