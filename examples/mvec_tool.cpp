@@ -9,6 +9,8 @@
 /// user of the paper's prototype would actually invoke:
 ///
 ///   mvec_tool [options] input.m           vectorize a file (or - = stdin)
+///   mvec_tool --batch DIR [options]       vectorize every *.m file in DIR
+///                                         concurrently via the service
 ///
 /// Options:
 ///   -o FILE            write transformed source to FILE (default stdout)
@@ -21,15 +23,27 @@
 ///   --no-reassociation / --no-normalize
 ///                      disable individual mechanisms
 ///
+/// Batch-mode options:
+///   --batch DIR        process every *.m file under DIR (sorted order)
+///   --jobs N           worker threads (default 4)
+///   --cache N          result-cache entries (default 256; 0 disables)
+///   --deadline-ms N    per-job deadline (default 10000; 0 = none)
+///   --no-validate      skip differential validation of batch jobs
+///   --stats            print the service metrics dump after the batch
+///   --stats-json FILE  write the metrics as JSON to FILE
+///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
 #include "patterns/PluginAPI.h"
+#include "service/VectorizationService.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -41,11 +55,94 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [options] input.m\n"
+               "       %s --batch DIR [--jobs N] [--cache N] "
+               "[--deadline-ms N] [--no-validate] [--stats] "
+               "[--stats-json FILE]\n"
                "  -o FILE, --remarks, --validate, --run, --plugin PATH,\n"
                "  --no-transposes, --no-patterns, --no-reductions,\n"
                "  --no-reassociation, --no-normalize\n",
-               Argv0);
+               Argv0, Argv0);
   return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+/// Vectorizes every *.m file under \p Dir through the service; returns the
+/// process exit code (0 only when every job succeeded).
+int runBatch(const std::string &Dir, const VectorizerOptions &Opts,
+             const PatternDatabase &DB, unsigned Jobs, size_t CacheEntries,
+             unsigned DeadlineMs, bool Validate, bool Stats,
+             const std::string &StatsJsonPath) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  std::vector<std::string> Paths;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, EC))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".m")
+      Paths.push_back(Entry.path().string());
+  if (EC) {
+    std::fprintf(stderr, "error: cannot read directory '%s': %s\n",
+                 Dir.c_str(), EC.message().c_str());
+    return 1;
+  }
+  if (Paths.empty()) {
+    std::fprintf(stderr, "error: no .m files under '%s'\n", Dir.c_str());
+    return 1;
+  }
+  std::sort(Paths.begin(), Paths.end());
+
+  std::vector<JobSpec> Specs;
+  for (const std::string &Path : Paths) {
+    JobSpec Spec;
+    Spec.Name = Path;
+    if (!readFile(Path, Spec.Source)) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+      return 1;
+    }
+    Spec.Opts = Opts;
+    Spec.Validate = Validate;
+    Specs.push_back(std::move(Spec));
+  }
+
+  ServiceConfig Config;
+  Config.Workers = Jobs;
+  Config.CacheCapacity = CacheEntries;
+  Config.DefaultDeadline = std::chrono::milliseconds(DeadlineMs);
+  Config.DB = &DB;
+  VectorizationService Service(Config);
+  std::vector<JobResult> Results = Service.runBatch(std::move(Specs));
+
+  size_t Succeeded = 0;
+  for (const JobResult &R : Results) {
+    if (R.succeeded())
+      ++Succeeded;
+    std::fprintf(stderr, "%-40s %-9s %s%6.1f ms  %u stmt(s) vectorized%s%s\n",
+                 R.Name.c_str(), jobStatusName(R.Status),
+                 R.CacheHit ? "[cache] " : "", R.TotalSeconds * 1e3,
+                 R.Stats.StmtsVectorized, R.Message.empty() ? "" : "\n    ",
+                 R.Message.c_str());
+  }
+  std::fprintf(stderr, "batch: %zu/%zu job(s) succeeded\n", Succeeded,
+               Results.size());
+  if (Stats)
+    std::fprintf(stderr, "%s", Service.metrics().text().c_str());
+  if (!StatsJsonPath.empty()) {
+    std::ofstream Out(StatsJsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   StatsJsonPath.c_str());
+      return 1;
+    }
+    Out << Service.metrics().json() << "\n";
+  }
+  return Succeeded == Results.size() ? 0 : 1;
 }
 
 } // namespace
@@ -56,6 +153,12 @@ int main(int argc, char **argv) {
   std::string OutputPath;
   std::vector<std::string> Plugins;
   bool Validate = false, Run = false;
+  std::string BatchDir;
+  unsigned Jobs = 4;
+  size_t CacheEntries = 256;
+  unsigned DeadlineMs = 10000;
+  bool NoValidate = false, Stats = false;
+  std::string StatsJsonPath;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -69,6 +172,20 @@ int main(int argc, char **argv) {
       Run = true;
     else if (Arg == "--plugin" && I + 1 < argc)
       Plugins.push_back(argv[++I]);
+    else if (Arg == "--batch" && I + 1 < argc)
+      BatchDir = argv[++I];
+    else if (Arg == "--jobs" && I + 1 < argc)
+      Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (Arg == "--cache" && I + 1 < argc)
+      CacheEntries = static_cast<size_t>(std::atoll(argv[++I]));
+    else if (Arg == "--deadline-ms" && I + 1 < argc)
+      DeadlineMs = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (Arg == "--no-validate")
+      NoValidate = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg == "--stats-json" && I + 1 < argc)
+      StatsJsonPath = argv[++I];
     else if (Arg == "--no-transposes")
       Opts.EnableTransposes = false;
     else if (Arg == "--no-patterns")
@@ -90,8 +207,23 @@ int main(int argc, char **argv) {
     else
       return usage(argv[0]);
   }
-  if (InputPath.empty())
+  if (BatchDir.empty() == InputPath.empty())
     return usage(argv[0]);
+
+  if (!BatchDir.empty()) {
+    PatternDatabase DB = makeDefaultPatternDatabase();
+    for (const std::string &Plugin : Plugins) {
+      std::string Error;
+      if (!loadPatternPlugin(Plugin, DB, Error)) {
+        std::fprintf(stderr, "error: plugin '%s': %s\n", Plugin.c_str(),
+                     Error.c_str());
+        return 1;
+      }
+    }
+    DB.freeze();
+    return runBatch(BatchDir, Opts, DB, Jobs, CacheEntries, DeadlineMs,
+                    !NoValidate, Stats, StatsJsonPath);
+  }
 
   // Read the input.
   std::string Source;

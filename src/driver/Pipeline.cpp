@@ -40,24 +40,50 @@ PipelineResult mvec::vectorizeSource(const std::string &Source,
   return Result;
 }
 
-std::string mvec::diffRun(const std::string &OriginalSource,
-                          const std::string &TransformedSource, double Tol,
-                          uint64_t Seed) {
+DiffOutcome mvec::diffRunLimited(const std::string &OriginalSource,
+                                 const std::string &TransformedSource,
+                                 const RunLimits &Limits, double Tol,
+                                 uint64_t Seed) {
+  auto Fail = [](DiffStatus Status, std::string Message) {
+    return DiffOutcome{Status, std::move(Message)};
+  };
   DiagnosticEngine Diags;
   ParseResult Original = parseMatlab(OriginalSource, Diags);
   if (Diags.hasErrors())
-    return "original program does not parse: " + Diags.str();
+    return Fail(DiffStatus::Error,
+                "original program does not parse: " + Diags.str());
   ParseResult Transformed = parseMatlab(TransformedSource, Diags);
   if (Diags.hasErrors())
-    return "transformed program does not parse: " + Diags.str();
+    return Fail(DiffStatus::Error,
+                "transformed program does not parse: " + Diags.str());
 
   Interpreter A, B;
-  A.seedRandom(Seed);
-  B.seedRandom(Seed);
+  for (Interpreter *I : {&A, &B}) {
+    I->seedRandom(Seed);
+    I->setStepLimit(Limits.MaxSteps);
+    if (Limits.Deadline)
+      I->setDeadline(*Limits.Deadline);
+    I->setCancelFlag(Limits.Cancel);
+  }
+  // Maps an interrupted run onto the outcome status; plain runtime errors
+  // stay Error.
+  auto RunStatus = [](const Interpreter &I) {
+    switch (I.interruptKind()) {
+    case Interpreter::InterruptKind::StepLimit:
+    case Interpreter::InterruptKind::Deadline:
+      return DiffStatus::TimedOut;
+    case Interpreter::InterruptKind::Cancelled:
+      return DiffStatus::Cancelled;
+    case Interpreter::InterruptKind::None:
+      break;
+    }
+    return DiffStatus::Error;
+  };
   if (!A.run(Original.Prog))
-    return "original program failed: " + A.errorMessage();
+    return Fail(RunStatus(A), "original program failed: " + A.errorMessage());
   if (!B.run(Transformed.Prog))
-    return "transformed program failed: " + B.errorMessage();
+    return Fail(RunStatus(B),
+                "transformed program failed: " + B.errorMessage());
 
   // For-loop index variables of either program are incidental state: a
   // vectorized loop never materializes its index.
@@ -76,19 +102,30 @@ std::string mvec::diffRun(const std::string &OriginalSource,
       continue;
     const Value *ValueB = B.getVariable(Name);
     if (!ValueB)
-      return "variable '" + Name + "' missing after transformation";
+      return Fail(DiffStatus::Mismatch,
+                  "variable '" + Name + "' missing after transformation");
     if (!ValueA.equals(*ValueB, Tol))
-      return "variable '" + Name + "' differs: " + ValueA.str() + " vs " +
-             ValueB->str();
+      return Fail(DiffStatus::Mismatch, "variable '" + Name +
+                                            "' differs: " + ValueA.str() +
+                                            " vs " + ValueB->str());
   }
   for (const auto &[Name, ValueB] : B.workspace()) {
     (void)ValueB;
     if (!Ignore.count(Name) && !A.getVariable(Name))
-      return "transformation introduced variable '" + Name + "'";
+      return Fail(DiffStatus::Mismatch,
+                  "transformation introduced variable '" + Name + "'");
   }
   if (A.output() != B.output())
-    return "printed output differs";
-  return std::string();
+    return Fail(DiffStatus::Mismatch, "printed output differs");
+  return DiffOutcome{};
+}
+
+std::string mvec::diffRun(const std::string &OriginalSource,
+                          const std::string &TransformedSource, double Tol,
+                          uint64_t Seed) {
+  return diffRunLimited(OriginalSource, TransformedSource, RunLimits{}, Tol,
+                        Seed)
+      .Message;
 }
 
 std::optional<std::string>

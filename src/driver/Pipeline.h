@@ -21,6 +21,8 @@
 #include "vectorizer/Options.h"
 #include "vectorizer/Vectorizer.h"
 
+#include <atomic>
+#include <chrono>
 #include <optional>
 #include <string>
 
@@ -38,15 +40,58 @@ struct PipelineResult {
 
 /// Runs the full pipeline on \p Source. \p DB defaults to the builtin
 /// pattern database when null.
+///
+/// Thread-safety: re-entrant. All state (parse tree, shape environment,
+/// diagnostics, the fallback pattern database) is local to the call; a
+/// caller-supplied \p DB is only read through its const interface, so one
+/// frozen database may be shared by any number of concurrent calls (see
+/// PatternDatabase::freeze()). The service layer (src/service) relies on
+/// this to fan the pipeline out over a worker pool.
 PipelineResult vectorizeSource(const std::string &Source,
                                const VectorizerOptions &Opts = {},
                                const PatternDatabase *DB = nullptr);
+
+/// Execution bounds for differential validation. Interpreted MATLAB can
+/// loop forever (or merely far too long); services must be able to cut a
+/// runaway run off without wedging a worker thread.
+struct RunLimits {
+  /// Abort after this many interpreted statements (0 = unlimited).
+  uint64_t MaxSteps = 0;
+  /// Abort once the steady clock passes this point.
+  std::optional<std::chrono::steady_clock::time_point> Deadline;
+  /// Abort soon after the flag becomes true (caller-owned; may be shared
+  /// across a batch for bulk cancellation). Must outlive the call.
+  const std::atomic<bool> *Cancel = nullptr;
+};
+
+enum class DiffStatus {
+  Match,     ///< programs agree
+  Mismatch,  ///< both ran; final states diverge
+  Error,     ///< a program failed to parse or raised a runtime error
+  TimedOut,  ///< a run hit MaxSteps or the deadline
+  Cancelled, ///< the cancel flag fired mid-run
+};
+
+struct DiffOutcome {
+  DiffStatus Status = DiffStatus::Match;
+  /// Empty on Match, else a description of the divergence / failure.
+  std::string Message;
+  bool agreed() const { return Status == DiffStatus::Match; }
+};
+
+/// diffRun with execution bounds; see diffRun below for the comparison
+/// semantics. Also re-entrant (fresh interpreters per call).
+DiffOutcome diffRunLimited(const std::string &OriginalSource,
+                           const std::string &TransformedSource,
+                           const RunLimits &Limits, double Tol = 1e-9,
+                           uint64_t Seed = 12345);
 
 /// Differential validation: executes \p OriginalSource and
 /// \p TransformedSource in fresh interpreters (same RNG seed) and compares
 /// the final workspaces, ignoring for-loop index variables of the original
 /// program (vectorized code no longer materializes them). Returns an empty
 /// string when the states agree, else a description of the divergence.
+/// Unbounded; prefer diffRunLimited when the input is untrusted.
 std::string diffRun(const std::string &OriginalSource,
                     const std::string &TransformedSource,
                     double Tol = 1e-9, uint64_t Seed = 12345);

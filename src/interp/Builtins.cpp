@@ -11,10 +11,12 @@
 #include "support/StringExtras.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <thread>
 
 using namespace mvec;
 
@@ -651,6 +653,32 @@ const std::map<std::string, BuiltinFn> &builtinTable() {
     };
 
     T["fprintf"] = doFprintf;
+
+    T["pause"] = [](Interpreter &Interp, const ArgList &Args,
+                    SourceLoc Loc) -> Value {
+      if (!requireArgs(Interp, Args, 1, 1, "pause", Loc))
+        return Value();
+      if (!requireScalar(Interp, Args[0], "pause", Loc))
+        return Value();
+      double Secs = Args[0].scalarValue();
+      if (!(Secs >= 0)) {
+        Interp.fail(Loc, "argument to 'pause' must be nonnegative");
+        return Value();
+      }
+      // Sleep in short slices so a deadline or batch cancellation
+      // interrupts the wait promptly instead of after the full duration.
+      auto End = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(Secs));
+      while (!Interp.checkInterrupt(Loc)) {
+        auto Now = std::chrono::steady_clock::now();
+        if (Now >= End)
+          break;
+        std::this_thread::sleep_for(std::min<std::chrono::steady_clock::duration>(
+            End - Now, std::chrono::milliseconds(1)));
+      }
+      return Value();
+    };
 
     return T;
   }();

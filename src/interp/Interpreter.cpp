@@ -46,12 +46,40 @@ Interpreter::Flow Interpreter::execBody(const std::vector<StmtPtr> &Body) {
   return Flow::Normal;
 }
 
+bool Interpreter::checkInterrupt(SourceLoc Loc) {
+  if (Failed)
+    return true;
+  if (StepLimit != 0 && Steps > StepLimit) {
+    Interrupt = InterruptKind::StepLimit;
+    fail(Loc, "execution step limit exceeded");
+    return true;
+  }
+  if (CancelFlag && CancelFlag->load(std::memory_order_relaxed)) {
+    Interrupt = InterruptKind::Cancelled;
+    fail(Loc, "execution cancelled");
+    return true;
+  }
+  if (DeadlineTp && std::chrono::steady_clock::now() >= *DeadlineTp) {
+    Interrupt = InterruptKind::Deadline;
+    fail(Loc, "execution deadline exceeded");
+    return true;
+  }
+  return false;
+}
+
 Interpreter::Flow Interpreter::execStmt(const Stmt &S) {
   ++Steps;
+  // The step limit must catch the exact overflowing statement (property
+  // tests rely on it); the clock and cancel-flag polls are amortized over
+  // a few statements to keep the hot interpret loop cheap.
   if (StepLimit != 0 && Steps > StepLimit) {
+    Interrupt = InterruptKind::StepLimit;
     fail(S.loc(), "execution step limit exceeded");
     return Flow::Return;
   }
+  if ((CancelFlag || DeadlineTp) && (Steps & 0xF) == 0 &&
+      checkInterrupt(S.loc()))
+    return Flow::Return;
   switch (S.kind()) {
   case Stmt::Kind::Assign:
     execAssign(cast<AssignStmt>(S));

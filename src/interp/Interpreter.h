@@ -23,8 +23,11 @@
 #include "interp/MatrixOps.h"
 #include "interp/Value.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 
 namespace mvec {
@@ -59,6 +62,7 @@ public:
   void clearError() {
     Failed = false;
     ErrorMsg.clear();
+    Interrupt = InterruptKind::None;
   }
 
   /// Text printed by disp/fprintf.
@@ -70,6 +74,30 @@ public:
   /// Useful to bound property tests against accidental infinite loops.
   void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
   uint64_t stepsExecuted() const { return Steps; }
+
+  /// Why execution was aborted early, if it was. StepLimit/Deadline/
+  /// Cancelled interrupts also put the interpreter into the failed state,
+  /// so failed() callers keep working unchanged; interruptKind() lets a
+  /// driver (e.g. the vectorization service) distinguish "the program is
+  /// wrong" from "the program was cut off".
+  enum class InterruptKind { None, StepLimit, Deadline, Cancelled };
+  InterruptKind interruptKind() const { return Interrupt; }
+
+  /// Aborts execution once the steady clock passes \p Deadline. The check
+  /// runs every few statements and inside pause(), so a runaway loop stops
+  /// within microseconds of the deadline, not at the next quiescent point.
+  void setDeadline(std::chrono::steady_clock::time_point Deadline) {
+    DeadlineTp = Deadline;
+  }
+  /// Aborts execution soon after \p Flag becomes true. The flag is owned
+  /// by the caller (typically shared by every job of a cancelled batch)
+  /// and must outlive the run.
+  void setCancelFlag(const std::atomic<bool> *Flag) { CancelFlag = Flag; }
+
+  /// Polls the step limit, deadline, and cancel flag; on expiry enters the
+  /// failed state (recording \p Loc) and returns true. Builtins with
+  /// internal waits (pause) call this between slices.
+  bool checkInterrupt(SourceLoc Loc);
 
   /// Deterministic PRNG used by the rand builtin.
   void seedRandom(uint64_t Seed) { RandState = Seed ? Seed : 1; }
@@ -111,6 +139,9 @@ private:
   SourceLoc ErrorLoc;
   uint64_t StepLimit = 0;
   uint64_t Steps = 0;
+  std::optional<std::chrono::steady_clock::time_point> DeadlineTp;
+  const std::atomic<bool> *CancelFlag = nullptr;
+  InterruptKind Interrupt = InterruptKind::None;
   uint64_t RandState = 0x9E3779B97F4A7C15ull;
 };
 

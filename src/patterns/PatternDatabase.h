@@ -18,21 +18,39 @@
 
 #include "patterns/Pattern.h"
 
+#include <cassert>
 #include <vector>
 
 namespace mvec {
 
+/// Thread-safety contract: registration (the add* methods, plugin loading)
+/// is a single-threaded setup phase; every match* / accessor method is
+/// const and touches no mutable state, so after setup one database may be
+/// read concurrently from any number of threads without locking. Call
+/// freeze() when setup is done — it makes the contract explicit and turns
+/// a late registration into an assertion failure instead of a data race.
 class PatternDatabase {
 public:
   void addBinaryPattern(BinaryPattern Pattern) {
+    assert(!Frozen && "pattern registered after freeze(); registration must "
+                      "finish before serving begins");
     BinaryPatterns.push_back(std::move(Pattern));
   }
   void addAccessPattern(AccessPattern Pattern) {
+    assert(!Frozen && "pattern registered after freeze(); registration must "
+                      "finish before serving begins");
     AccessPatterns.push_back(std::move(Pattern));
   }
   void addCallPattern(CallPattern Pattern) {
+    assert(!Frozen && "pattern registered after freeze(); registration must "
+                      "finish before serving begins");
     CallPatterns.push_back(std::move(Pattern));
   }
+
+  /// Marks registration as complete. A frozen database is safe to share
+  /// across concurrent vectorizeSource calls; further add* calls assert.
+  void freeze() { Frozen = true; }
+  bool frozen() const { return Frozen; }
 
   /// Finds the first binary pattern matching \p Op with the given operand
   /// dimensionalities. Registration order is priority order.
@@ -79,6 +97,7 @@ private:
   std::vector<BinaryPattern> BinaryPatterns;
   std::vector<AccessPattern> AccessPatterns;
   std::vector<CallPattern> CallPatterns;
+  bool Frozen = false;
 };
 
 /// Registers the built-in patterns (the paper's Table 2 plus the general

@@ -1,0 +1,94 @@
+//===- ContentCache.cpp - Content-addressed result cache --------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ContentCache.h"
+
+using namespace mvec;
+
+uint64_t mvec::fnv1aHash(const std::string &Data, uint64_t Hash) {
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+uint64_t mvec::optionsFingerprint(const VectorizerOptions &Opts) {
+  uint64_t Bits = 0;
+  auto Pack = [&Bits](bool Flag) { Bits = (Bits << 1) | (Flag ? 1 : 0); };
+  Pack(Opts.EnableTransposes);
+  Pack(Opts.EnablePatterns);
+  Pack(Opts.EnableReductions);
+  Pack(Opts.EnableReassociation);
+  Pack(Opts.NormalizeLoops);
+  Pack(Opts.DistributeTransposes);
+  Pack(Opts.EmitRemarks);
+  return Bits;
+}
+
+uint64_t mvec::cacheKeyFor(const std::string &Source,
+                           const VectorizerOptions &Opts, bool Validate) {
+  uint64_t Key = fnv1aHash(Source);
+  // Fold the configuration in through one more FNV round per byte so a
+  // toggle flip never cancels against a source edit.
+  uint64_t Config = (optionsFingerprint(Opts) << 1) | (Validate ? 1 : 0);
+  for (int Byte = 0; Byte != 8; ++Byte) {
+    Key ^= (Config >> (8 * Byte)) & 0xFF;
+    Key *= 0x100000001b3ull;
+  }
+  return Key;
+}
+
+std::optional<JobResult> ContentCache::lookup(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++Misses;
+    return std::nullopt;
+  }
+  ++Hits;
+  LRU.splice(LRU.begin(), LRU, It->second);
+  return It->second->Result;
+}
+
+void ContentCache::insert(uint64_t Key, JobResult Result) {
+  if (Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->Result = std::move(Result);
+    LRU.splice(LRU.begin(), LRU, It->second);
+    return;
+  }
+  if (LRU.size() >= Capacity) {
+    Index.erase(LRU.back().Key);
+    LRU.pop_back();
+    ++Evictions;
+  }
+  LRU.push_front(Entry{Key, std::move(Result)});
+  Index[Key] = LRU.begin();
+}
+
+size_t ContentCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return LRU.size();
+}
+
+uint64_t ContentCache::hits() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Hits;
+}
+
+uint64_t ContentCache::misses() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Misses;
+}
+
+uint64_t ContentCache::evictions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Evictions;
+}

@@ -1,0 +1,87 @@
+//===- ContentCache.h - Content-addressed result cache ----------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, content-addressed cache of vectorization results with
+/// LRU eviction. The key is a 64-bit FNV-1a hash over the exact source
+/// text plus a fingerprint of every option that can change the output
+/// (VectorizerOptions toggles and the validate flag), so two submissions
+/// collide only when the pipeline would provably do identical work.
+/// Results of failed jobs are never cached: a failure may be transient
+/// (deadline, cancellation) and re-attempting is cheap relative to
+/// serving a wrong verdict forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SERVICE_CONTENTCACHE_H
+#define MVEC_SERVICE_CONTENTCACHE_H
+
+#include "service/Job.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace mvec {
+
+/// 64-bit FNV-1a over \p Data, continuing from \p Hash (pass the default
+/// to start a fresh hash).
+uint64_t fnv1aHash(const std::string &Data,
+                   uint64_t Hash = 0xcbf29ce484222325ull);
+
+/// Packs every output-affecting VectorizerOptions toggle into a bitmask.
+/// New options must be added here, or distinct configurations would share
+/// cache entries.
+uint64_t optionsFingerprint(const VectorizerOptions &Opts);
+
+/// The cache key for one job: hash(source) combined with the options
+/// fingerprint and the validate flag.
+uint64_t cacheKeyFor(const std::string &Source, const VectorizerOptions &Opts,
+                     bool Validate);
+
+/// Bounded LRU map from cache key to successful JobResult.
+class ContentCache {
+public:
+  /// \p Capacity of zero disables caching (every lookup misses, inserts
+  /// are dropped).
+  explicit ContentCache(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Returns the cached result for \p Key and refreshes its recency;
+  /// counts a hit or a miss.
+  std::optional<JobResult> lookup(uint64_t Key);
+
+  /// Inserts (or refreshes) \p Result under \p Key, evicting the least
+  /// recently used entry when full.
+  void insert(uint64_t Key, JobResult Result);
+
+  size_t size() const;
+  size_t capacity() const { return Capacity; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+private:
+  struct Entry {
+    uint64_t Key;
+    JobResult Result;
+  };
+
+  const size_t Capacity;
+  mutable std::mutex Mutex;
+  /// Most recently used at the front.
+  std::list<Entry> LRU;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace mvec
+
+#endif // MVEC_SERVICE_CONTENTCACHE_H

@@ -1,0 +1,118 @@
+//===- ServiceMetrics.cpp - Service observability ---------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceMetrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace mvec;
+
+void LatencyHistogram::record(double Seconds) {
+  double Micros = std::max(Seconds, 0.0) * 1e6;
+  auto Us = static_cast<uint64_t>(Micros);
+  size_t B = 0;
+  while (B + 1 < NumBuckets && (uint64_t(1) << (B + 1)) <= (Us | 1))
+    ++B;
+  Buckets[B].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  SumUs.fetch_add(Us, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::meanSeconds() const {
+  uint64_t N = count();
+  return N == 0 ? 0.0 : double(sumMicros()) / double(N) * 1e-6;
+}
+
+double LatencyHistogram::quantileSeconds(double Q) const {
+  uint64_t N = count();
+  if (N == 0)
+    return 0.0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  auto Rank = static_cast<uint64_t>(std::ceil(Q * double(N)));
+  Rank = std::max<uint64_t>(Rank, 1);
+  uint64_t Seen = 0;
+  for (size_t B = 0; B != NumBuckets; ++B) {
+    Seen += bucket(B);
+    if (Seen >= Rank)
+      return double(uint64_t(1) << (B + 1)) * 1e-6;
+  }
+  return double(uint64_t(1) << NumBuckets) * 1e-6;
+}
+
+void ServiceMetrics::noteQueueDepth(uint64_t Depth) {
+  uint64_t Cur = QueueDepthHighWater.load(std::memory_order_relaxed);
+  while (Depth > Cur && !QueueDepthHighWater.compare_exchange_weak(
+                            Cur, Depth, std::memory_order_relaxed))
+    ;
+}
+
+namespace {
+
+void appendHistText(std::ostringstream &Out, const char *Name,
+                    const LatencyHistogram &H) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "  %-10s count=%llu mean=%.6fs p50<=%.6fs p99<=%.6fs\n", Name,
+                static_cast<unsigned long long>(H.count()), H.meanSeconds(),
+                H.quantileSeconds(0.5), H.quantileSeconds(0.99));
+  Out << Buf;
+}
+
+void appendHistJson(std::ostringstream &Out, const char *Name,
+                    const LatencyHistogram &H) {
+  Out << "\"" << Name << "\":{\"count\":" << H.count()
+      << ",\"sum_us\":" << H.sumMicros() << ",\"mean_s\":" << H.meanSeconds()
+      << ",\"p50_le_s\":" << H.quantileSeconds(0.5)
+      << ",\"p99_le_s\":" << H.quantileSeconds(0.99) << ",\"buckets_us\":[";
+  for (size_t B = 0; B != LatencyHistogram::NumBuckets; ++B)
+    Out << (B ? "," : "") << H.bucket(B);
+  Out << "]}";
+}
+
+} // namespace
+
+std::string ServiceMetrics::text() const {
+  std::ostringstream Out;
+  Out << "service metrics:\n"
+      << "  jobs: submitted=" << JobsSubmitted.load()
+      << " succeeded=" << JobsSucceeded.load()
+      << " failed=" << JobsFailed.load()
+      << " timed_out=" << JobsTimedOut.load()
+      << " cancelled=" << JobsCancelled.load() << "\n"
+      << "  cache: hits=" << CacheHits.load()
+      << " misses=" << CacheMisses.load() << "\n"
+      << "  queue: depth_high_water=" << QueueDepthHighWater.load() << "\n";
+  appendHistText(Out, "queue", QueueLatency);
+  appendHistText(Out, "vectorize", VectorizeLatency);
+  appendHistText(Out, "validate", ValidateLatency);
+  appendHistText(Out, "total", TotalLatency);
+  return Out.str();
+}
+
+std::string ServiceMetrics::json() const {
+  std::ostringstream Out;
+  Out << "{\"jobs\":{\"submitted\":" << JobsSubmitted.load()
+      << ",\"succeeded\":" << JobsSucceeded.load()
+      << ",\"failed\":" << JobsFailed.load()
+      << ",\"timed_out\":" << JobsTimedOut.load()
+      << ",\"cancelled\":" << JobsCancelled.load() << "},"
+      << "\"cache\":{\"hits\":" << CacheHits.load()
+      << ",\"misses\":" << CacheMisses.load() << "},"
+      << "\"queue\":{\"depth_high_water\":" << QueueDepthHighWater.load()
+      << "},\"latency\":{";
+  appendHistJson(Out, "queue", QueueLatency);
+  Out << ",";
+  appendHistJson(Out, "vectorize", VectorizeLatency);
+  Out << ",";
+  appendHistJson(Out, "validate", ValidateLatency);
+  Out << ",";
+  appendHistJson(Out, "total", TotalLatency);
+  Out << "}}";
+  return Out.str();
+}

@@ -1,0 +1,86 @@
+//===- ServiceMetrics.h - Service observability -----------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters and latency histograms for the vectorization service. All
+/// recording paths are lock-free (relaxed atomics): workers bump them on
+/// the hot path, and dump() readers tolerate a momentarily torn view
+/// (counts may be one apart across counters — fine for monitoring).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SERVICE_SERVICEMETRICS_H
+#define MVEC_SERVICE_SERVICEMETRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mvec {
+
+/// A fixed-bucket log-2 latency histogram (microsecond resolution).
+/// Bucket B counts samples in [2^B, 2^(B+1)) microseconds; the last
+/// bucket absorbs everything slower (~34 s and beyond).
+class LatencyHistogram {
+public:
+  static constexpr size_t NumBuckets = 26;
+
+  void record(double Seconds);
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  /// Total observed time in microseconds.
+  uint64_t sumMicros() const { return SumUs.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t B) const {
+    return Buckets[B].load(std::memory_order_relaxed);
+  }
+  double meanSeconds() const;
+  /// Upper edge (seconds) of the bucket containing quantile \p Q — a
+  /// conservative approximation good enough for dashboards.
+  double quantileSeconds(double Q) const;
+
+private:
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> SumUs{0};
+};
+
+/// The service-wide counter registry.
+struct ServiceMetrics {
+  std::atomic<uint64_t> JobsSubmitted{0};
+  std::atomic<uint64_t> JobsSucceeded{0};
+  std::atomic<uint64_t> JobsFailed{0};
+  std::atomic<uint64_t> JobsTimedOut{0};
+  std::atomic<uint64_t> JobsCancelled{0};
+  std::atomic<uint64_t> CacheHits{0};
+  std::atomic<uint64_t> CacheMisses{0};
+  /// Deepest the submission queue has ever been.
+  std::atomic<uint64_t> QueueDepthHighWater{0};
+
+  LatencyHistogram QueueLatency;     ///< submission -> worker pickup
+  LatencyHistogram VectorizeLatency; ///< parse+infer+vectorize stage
+  LatencyHistogram ValidateLatency;  ///< differential validation stage
+  LatencyHistogram TotalLatency;     ///< submission -> completion
+
+  uint64_t jobsCompleted() const {
+    return JobsSucceeded.load(std::memory_order_relaxed) +
+           JobsFailed.load(std::memory_order_relaxed) +
+           JobsTimedOut.load(std::memory_order_relaxed) +
+           JobsCancelled.load(std::memory_order_relaxed);
+  }
+
+  /// Raises QueueDepthHighWater to at least \p Depth.
+  void noteQueueDepth(uint64_t Depth);
+
+  /// Human-readable multi-line dump.
+  std::string text() const;
+  /// Machine-readable dump (one JSON object; stable key names).
+  std::string json() const;
+};
+
+} // namespace mvec
+
+#endif // MVEC_SERVICE_SERVICEMETRICS_H

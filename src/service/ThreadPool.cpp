@@ -1,0 +1,90 @@
+//===- ThreadPool.cpp - Fixed-size worker pool ------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace mvec;
+
+ThreadPool::ThreadPool(unsigned Workers, size_t QueueCapacity)
+    : Capacity(std::max<size_t>(QueueCapacity, 1)) {
+  Workers = std::max(Workers, 1u);
+  Threads.reserve(Workers);
+  for (unsigned W = 0; W != Workers; ++W)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    QueueNotFull.wait(
+        Lock, [this] { return ShuttingDown || Queue.size() < Capacity; });
+    if (ShuttingDown)
+      return false;
+    Queue.push_back(std::move(Task));
+    HighWater = std::max(HighWater, Queue.size());
+  }
+  QueueNotEmpty.notify_one();
+  return true;
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (ShuttingDown && Threads.empty())
+      return;
+    ShuttingDown = true;
+  }
+  QueueNotEmpty.notify_all();
+  QueueNotFull.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+  Threads.clear();
+}
+
+size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size();
+}
+
+size_t ThreadPool::queueHighWater() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return HighWater;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      QueueNotEmpty.wait(Lock,
+                         [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty()) {
+        // Shutting down with nothing left to run.
+        return;
+      }
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++Running;
+    }
+    QueueNotFull.notify_one();
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Running;
+      if (Queue.empty() && Running == 0)
+        Idle.notify_all();
+    }
+  }
+}

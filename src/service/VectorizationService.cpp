@@ -1,0 +1,223 @@
+//===- VectorizationService.cpp - Concurrent batch vectorization ------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/VectorizationService.h"
+
+#include "driver/Pipeline.h"
+
+using namespace mvec;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start, Clock::time_point End) {
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+} // namespace
+
+const char *mvec::jobStatusName(JobStatus Status) {
+  switch (Status) {
+  case JobStatus::Succeeded:
+    return "succeeded";
+  case JobStatus::Failed:
+    return "failed";
+  case JobStatus::TimedOut:
+    return "timed_out";
+  case JobStatus::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+VectorizationService::VectorizationService(ServiceConfig Config)
+    : Config(Config), Cache(Config.CacheCapacity) {
+  if (Config.DB) {
+    DB = Config.DB;
+  } else {
+    registerBuiltinPatterns(OwnedDB);
+    OwnedDB.freeze();
+    DB = &OwnedDB;
+  }
+  Pool = std::make_unique<ThreadPool>(Config.Workers, Config.QueueCapacity);
+}
+
+VectorizationService::~VectorizationService() {
+  // Runs everything already queued (fulfilling every future), then joins.
+  Pool.reset();
+}
+
+std::future<JobResult> VectorizationService::submit(JobSpec Spec) {
+  Metrics.JobsSubmitted.fetch_add(1, std::memory_order_relaxed);
+  Clock::time_point SubmitTime = Clock::now();
+  auto Promise = std::make_shared<std::promise<JobResult>>();
+  std::future<JobResult> Future = Promise->get_future();
+  std::string Name = Spec.Name;
+  bool Accepted = Pool->submit(
+      [this, Promise, Spec = std::move(Spec), SubmitTime]() mutable {
+        Promise->set_value(processJob(Spec, SubmitTime));
+      });
+  Metrics.noteQueueDepth(Pool->queueHighWater());
+  if (!Accepted) {
+    JobResult R;
+    R.Name = std::move(Name);
+    R.Status = JobStatus::Cancelled;
+    R.Message = "service is shutting down";
+    Metrics.JobsCancelled.fetch_add(1, std::memory_order_relaxed);
+    Promise->set_value(std::move(R));
+  }
+  return Future;
+}
+
+std::vector<JobResult> VectorizationService::runBatch(
+    std::vector<JobSpec> Specs) {
+  std::vector<std::future<JobResult>> Futures;
+  Futures.reserve(Specs.size());
+  for (JobSpec &Spec : Specs)
+    Futures.push_back(submit(std::move(Spec)));
+  std::vector<JobResult> Results;
+  Results.reserve(Futures.size());
+  for (std::future<JobResult> &F : Futures)
+    Results.push_back(F.get());
+  return Results;
+}
+
+void VectorizationService::drain() { Pool->drain(); }
+
+void VectorizationService::cancelAll() {
+  CancelRequested.store(true, std::memory_order_relaxed);
+}
+
+void VectorizationService::resetCancellation() {
+  CancelRequested.store(false, std::memory_order_relaxed);
+}
+
+JobResult VectorizationService::processJob(const JobSpec &Spec,
+                                           Clock::time_point SubmitTime) {
+  Clock::time_point Start = Clock::now();
+  double QueueSeconds = secondsSince(SubmitTime, Start);
+  Metrics.QueueLatency.record(QueueSeconds);
+
+  JobResult R;
+  if (CancelRequested.load(std::memory_order_relaxed)) {
+    R.Name = Spec.Name;
+    R.Status = JobStatus::Cancelled;
+    R.Message = "batch cancelled before execution";
+  } else if (Config.CacheCapacity > 0) {
+    uint64_t Key = cacheKeyFor(Spec.Source, Spec.Opts, Spec.Validate);
+    if (std::optional<JobResult> Hit = Cache.lookup(Key)) {
+      Metrics.CacheHits.fetch_add(1, std::memory_order_relaxed);
+      R = std::move(*Hit);
+      R.Name = Spec.Name;
+      R.CacheHit = true;
+      // Stage timings describe *this* serving, not the original run.
+      R.VectorizeSeconds = 0;
+      R.ValidateSeconds = 0;
+    } else {
+      Metrics.CacheMisses.fetch_add(1, std::memory_order_relaxed);
+      R = executeUncached(Spec, Start);
+      if (R.succeeded())
+        Cache.insert(Key, R);
+    }
+  } else {
+    R = executeUncached(Spec, Start);
+  }
+
+  R.QueueSeconds = QueueSeconds;
+  R.TotalSeconds = secondsSince(SubmitTime, Clock::now());
+  Metrics.TotalLatency.record(R.TotalSeconds);
+  switch (R.Status) {
+  case JobStatus::Succeeded:
+    Metrics.JobsSucceeded.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case JobStatus::Failed:
+    Metrics.JobsFailed.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case JobStatus::TimedOut:
+    Metrics.JobsTimedOut.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case JobStatus::Cancelled:
+    Metrics.JobsCancelled.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+  return R;
+}
+
+JobResult VectorizationService::executeUncached(const JobSpec &Spec,
+                                                Clock::time_point Start) {
+  JobResult R;
+  R.Name = Spec.Name;
+
+  std::chrono::milliseconds DeadlineMs =
+      Spec.Deadline.count() > 0 ? Spec.Deadline : Config.DefaultDeadline;
+  RunLimits Limits;
+  if (DeadlineMs.count() > 0)
+    Limits.Deadline = Start + DeadlineMs;
+  Limits.Cancel = &CancelRequested;
+
+  // One malformed (or downright hostile) script must never take the
+  // worker — or the batch — down with it: every failure mode folds into
+  // the job's result.
+  try {
+    Clock::time_point T0 = Clock::now();
+    PipelineResult P = vectorizeSource(Spec.Source, Spec.Opts, DB);
+    R.VectorizeSeconds = secondsSince(T0, Clock::now());
+    Metrics.VectorizeLatency.record(R.VectorizeSeconds);
+    if (!P.succeeded()) {
+      R.Status = JobStatus::Failed;
+      R.Message = P.Diags.str(Spec.Name.empty() ? "<input>" : Spec.Name);
+      return R;
+    }
+    R.Stats = P.Stats;
+
+    if (Limits.Deadline && Clock::now() >= *Limits.Deadline) {
+      R.Status = JobStatus::TimedOut;
+      R.Message = "deadline exceeded during vectorization";
+      return R;
+    }
+    if (CancelRequested.load(std::memory_order_relaxed)) {
+      R.Status = JobStatus::Cancelled;
+      R.Message = "batch cancelled";
+      return R;
+    }
+
+    if (Spec.Validate) {
+      Clock::time_point T1 = Clock::now();
+      DiffOutcome Diff =
+          diffRunLimited(Spec.Source, P.VectorizedSource, Limits);
+      R.ValidateSeconds = secondsSince(T1, Clock::now());
+      Metrics.ValidateLatency.record(R.ValidateSeconds);
+      switch (Diff.Status) {
+      case DiffStatus::Match:
+        break;
+      case DiffStatus::TimedOut:
+        R.Status = JobStatus::TimedOut;
+        R.Message = "validation timed out: " + Diff.Message;
+        return R;
+      case DiffStatus::Cancelled:
+        R.Status = JobStatus::Cancelled;
+        R.Message = "validation cancelled: " + Diff.Message;
+        return R;
+      case DiffStatus::Mismatch:
+      case DiffStatus::Error:
+        R.Status = JobStatus::Failed;
+        R.Message = "validation failed: " + Diff.Message;
+        return R;
+      }
+    }
+
+    R.Status = JobStatus::Succeeded;
+    R.VectorizedSource = std::move(P.VectorizedSource);
+  } catch (const std::exception &E) {
+    R.Status = JobStatus::Failed;
+    R.Message = std::string("internal error: ") + E.what();
+  } catch (...) {
+    R.Status = JobStatus::Failed;
+    R.Message = "internal error: unknown exception";
+  }
+  return R;
+}

@@ -1,0 +1,109 @@
+//===- VectorizationService.h - Concurrent batch vectorization --*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service layer over the one-shot pipeline: many scripts in, many
+/// results out, concurrently. A fixed worker pool fans vectorizeSource
+/// (+ optional differential validation) out over submitted jobs; a
+/// content-addressed LRU cache serves repeated submissions without
+/// re-parsing; per-job deadlines and batch cancellation keep a runaway
+/// interpreter run from wedging a worker; and a metrics registry counts
+/// everything a dashboard would want.
+///
+/// Threading model: one shared frozen PatternDatabase (read-only during
+/// serving), per-job DiagnosticEngine and interpreters (the pipeline is
+/// re-entrant, see Pipeline.h), shared cache/metrics behind their own
+/// synchronization. submit() may be called from any thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SERVICE_VECTORIZATIONSERVICE_H
+#define MVEC_SERVICE_VECTORIZATIONSERVICE_H
+
+#include "patterns/PatternDatabase.h"
+#include "service/ContentCache.h"
+#include "service/Job.h"
+#include "service/ServiceMetrics.h"
+#include "service/ThreadPool.h"
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <vector>
+
+namespace mvec {
+
+struct ServiceConfig {
+  /// Worker threads (clamped to >= 1).
+  unsigned Workers = 4;
+  /// Bounded submission queue; submit() blocks when full (back-pressure).
+  size_t QueueCapacity = 64;
+  /// Result-cache entries; 0 disables caching.
+  size_t CacheCapacity = 256;
+  /// Default per-job deadline (zero = no deadline). Individual jobs may
+  /// override via JobSpec::Deadline.
+  std::chrono::milliseconds DefaultDeadline{0};
+  /// Pattern database to serve with; null uses the builtins (which the
+  /// service builds and freezes itself). A caller-supplied database must
+  /// outlive the service and must be fully registered — ideally frozen —
+  /// before the first job is submitted (see PatternDatabase::freeze()).
+  const PatternDatabase *DB = nullptr;
+};
+
+class VectorizationService {
+public:
+  explicit VectorizationService(ServiceConfig Config = {});
+  /// Waits for in-flight jobs (drains the queue) before tearing down.
+  ~VectorizationService();
+
+  VectorizationService(const VectorizationService &) = delete;
+  VectorizationService &operator=(const VectorizationService &) = delete;
+
+  /// Enqueues one job; blocks while the submission queue is full. The
+  /// future is fulfilled when the job reaches a terminal status (it never
+  /// throws — all failures are folded into JobResult).
+  std::future<JobResult> submit(JobSpec Spec);
+
+  /// Convenience: submits every spec, waits for all of them, and returns
+  /// results in submission order.
+  std::vector<JobResult> runBatch(std::vector<JobSpec> Specs);
+
+  /// Blocks until every job submitted so far has completed.
+  void drain();
+
+  /// Requests cancellation of everything in flight and everything queued.
+  /// Running interpreter work stops at the next interrupt poll; queued
+  /// jobs complete immediately as Cancelled. Cancellation is sticky until
+  /// resetCancellation() — new submissions complete as Cancelled too.
+  void cancelAll();
+  void resetCancellation();
+
+  const ServiceConfig &config() const { return Config; }
+  ServiceMetrics &metrics() { return Metrics; }
+  const ServiceMetrics &metrics() const { return Metrics; }
+  const ContentCache &cache() const { return Cache; }
+
+private:
+  JobResult processJob(const JobSpec &Spec,
+                       std::chrono::steady_clock::time_point SubmitTime);
+  JobResult executeUncached(const JobSpec &Spec,
+                            std::chrono::steady_clock::time_point Start);
+
+  ServiceConfig Config;
+  /// Owns the database when the config did not supply one.
+  PatternDatabase OwnedDB;
+  const PatternDatabase *DB;
+  ContentCache Cache;
+  ServiceMetrics Metrics;
+  std::atomic<bool> CancelRequested{false};
+  /// Constructed last so workers never see a half-built service; the
+  /// unique_ptr keeps teardown order explicit (reset first in ~).
+  std::unique_ptr<ThreadPool> Pool;
+};
+
+} // namespace mvec
+
+#endif // MVEC_SERVICE_VECTORIZATIONSERVICE_H
