@@ -1,0 +1,123 @@
+//===- fuzz_throughput.cpp - Fuzzing pipeline throughput --------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the differential-fuzzing pipeline's end-to-end throughput
+/// (candidates classified per second): generate -> vectorize -> run both
+/// programs -> compare workspaces, fanned out over the oracle's service
+/// workers. Run at 1 worker and at N workers to see how much of the
+/// oracle's work parallelizes. Emits BENCH_fuzz.json so later PRs have a
+/// perf trajectory to beat.
+///
+/// The candidate stream is fixed (seeds 0..NumPrograms-1, same mix of
+/// generator families every run), so runs are comparable across commits.
+///
+/// Usage: fuzz_throughput [output.json]
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mvec;
+using namespace mvec::fuzz;
+
+namespace {
+
+constexpr int NumPrograms = 256;
+
+std::vector<GenProgram> makeCandidates() {
+  std::vector<GenProgram> Candidates;
+  Candidates.reserve(NumPrograms);
+  for (int Seed = 0; Seed != NumPrograms; ++Seed)
+    Candidates.push_back(Generator(static_cast<uint64_t>(Seed)).next());
+  return Candidates;
+}
+
+struct Sample {
+  unsigned Jobs;
+  double ProgramsPerSec;
+  unsigned Findings;
+};
+
+Sample runOnce(unsigned Jobs, const std::vector<GenProgram> &Candidates) {
+  OracleConfig Config;
+  Config.Jobs = Jobs;
+  // The benchmark re-checks one fixed candidate set; a cache would turn
+  // the second configuration into a no-op measurement.
+  Config.CacheCapacity = 0;
+  Oracle O(Config);
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<Verdict> Verdicts = O.checkBatch(Candidates);
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  Sample S;
+  S.Jobs = Jobs;
+  S.ProgramsPerSec = NumPrograms / Secs;
+  S.Findings = 0;
+  for (const Verdict &V : Verdicts)
+    if (V.isFinding())
+      ++S.Findings;
+  return S;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const std::string OutPath = argc > 1 ? argv[1] : "BENCH_fuzz.json";
+  const unsigned MaxJobs =
+      std::max(2u, std::thread::hardware_concurrency());
+
+  std::vector<GenProgram> Candidates = makeCandidates();
+  std::printf("fuzz_throughput: %d generated candidates per run "
+              "(differential oracle, validate+compare)\n\n",
+              NumPrograms);
+  std::printf("%8s %22s %10s\n", "jobs", "programs/sec", "findings");
+
+  std::vector<Sample> Samples;
+  for (unsigned Jobs : {1u, MaxJobs}) {
+    Sample S = runOnce(Jobs, Candidates);
+    Samples.push_back(S);
+    std::printf("%8u %22.1f %10u\n", S.Jobs, S.ProgramsPerSec, S.Findings);
+    if (S.Findings != 0) {
+      // The benchmark corpus must be clean: a finding here means the
+      // pipeline regressed, and the timing would measure reduction noise.
+      std::fprintf(stderr, "error: %u findings on the benchmark stream\n",
+                   S.Findings);
+      return 1;
+    }
+  }
+
+  double Scaling = Samples.back().ProgramsPerSec / Samples[0].ProgramsPerSec;
+  std::printf("\nscaling %u vs 1 jobs: %.2fx\n", MaxJobs, Scaling);
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  Out << "{\n  \"benchmark\": \"fuzz_throughput\",\n"
+      << "  \"programs\": " << NumPrograms << ",\n  \"runs\": [\n";
+  for (size_t I = 0; I != Samples.size(); ++I) {
+    const Sample &S = Samples[I];
+    Out << "    {\"jobs\": " << S.Jobs
+        << ", \"programs_per_sec\": " << S.ProgramsPerSec << "}"
+        << (I + 1 == Samples.size() ? "\n" : ",\n");
+  }
+  Out << "  ],\n  \"scaling_max_vs_1\": " << Scaling << "\n}\n";
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+% fuzz-finding: kind=mismatch status=fixed
+% bucket: mismatch:introduced:t
+% family: mutate:jitter-annotation
+% A whole-variable write was hoisted out of a loop whose bound is only
+% known at runtime; with k(1)=0 the original never defines 't' but the
+% transformed program did.
+k = zeros(1,2);
+u = 7;
+%! k(1,*) u(1) t(1)
+for i=1:k(1)
+  t = u*2;
+end

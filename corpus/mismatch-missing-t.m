@@ -1,0 +1,13 @@
+% fuzz-finding: kind=mismatch status=fixed
+% bucket: mismatch:missing:t
+% family: mutate:jitter-num,dup-stmt
+% Zero-trip nest removal deleted a level-1 statement together with the
+% provably-empty inner loop; 't' vanished from the workspace.
+m = 1;
+n = 1;
+%! m(1) n(1) t(1)
+for i=1:m
+  t = 0;
+  for j=3:n
+  end
+end

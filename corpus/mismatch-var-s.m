@@ -1,0 +1,12 @@
+% fuzz-finding: kind=mismatch status=fixed
+% bucket: mismatch:var:s
+% family: generate:reduction
+% sum() reassociates the floating-point accumulation; byte-exact
+% workspace comparison flagged 1-ulp differences as divergence.
+n = 6;
+v = rand(1,n);
+s = 0;
+%! v(1,*) s(1) n(1)
+for i=1:n
+  s = s+v(i);
+end

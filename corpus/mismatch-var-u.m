@@ -1,0 +1,14 @@
+% fuzz-finding: kind=mismatch status=fixed
+% bucket: mismatch:var:u
+% family: mutate:splice-stmt
+% The interpreter leaves a loop's index variable holding its final value;
+% vectorizing the nest (and normalizing its indices) lost that value for
+% the later read 'u = i'.
+n = 3;
+x = rand(1,n);
+z = zeros(1,n);
+%! x(1,*) z(1,*) n(1) u(1)
+for i=1:n
+  z(i) = x(i);
+end
+u = i;

@@ -1,0 +1,11 @@
+% fuzz-finding: kind=mismatch status=fixed
+% bucket: mismatch:var:w
+% family: generate:pointwise
+% Growing an empty 0x1 variable by one whole-slice assignment disagreed
+% with growing it element-at-a-time (the orientation flipped).
+v = rand(1,3);
+w = zeros(0,1);
+%! v(1,*) w(1,*)
+for i=1:3
+  w(i) = v(i);
+end

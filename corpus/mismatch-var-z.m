@@ -1,0 +1,12 @@
+% fuzz-finding: kind=mismatch status=fixed
+% bucket: mismatch:var:z
+% family: generate:compound
+% Hoisting rand() out of the loop changed how many values the
+% deterministic stream yields and which element receives which draw.
+n = 2;
+z = zeros(1,n);
+%! z(1,*) n(1) s(1)
+for i=1:n
+  z(i) = rand(1,1);
+end
+s = z(1)+z(2);

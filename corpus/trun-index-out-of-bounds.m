@@ -1,0 +1,15 @@
+% fuzz-finding: kind=transformed-run-error status=fixed
+% bucket: trun:index # out of bounds
+% family: mutate:perm-loops
+% The emitted slice assignment evaluated B's out-of-range subscript on a
+% non-empty axis eagerly, where the original's zero-trip inner loop ran
+% nothing at all.
+m = 1;
+B = 5;
+A = zeros(1,2);
+%! m(1) B(1) A(1,*)
+for i=1:m
+  for j=2:1
+    A(i,j) = B(j,i);
+  end
+end

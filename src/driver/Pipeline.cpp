@@ -13,9 +13,48 @@
 #include "shape/AnnotationParser.h"
 #include "shape/ShapeInference.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <set>
+#include <sstream>
 
 using namespace mvec;
+
+namespace {
+
+/// Whitespace-tokenized comparison of two printed transcripts. Tokens
+/// that both parse fully as numbers are compared with the same relative
+/// tolerance as workspace values — a reassociated reduction can shift
+/// the last ulp, and round-trip printing would surface it — everything
+/// else must match byte for byte.
+bool outputsMatch(const std::string &OutA, const std::string &OutB,
+                  double Tol) {
+  std::istringstream SA(OutA), SB(OutB);
+  std::string TA, TB;
+  while (true) {
+    bool HasA = static_cast<bool>(SA >> TA);
+    bool HasB = static_cast<bool>(SB >> TB);
+    if (HasA != HasB)
+      return false;
+    if (!HasA)
+      return true;
+    if (TA == TB)
+      continue;
+    char *EndA = nullptr, *EndB = nullptr;
+    double VA = std::strtod(TA.c_str(), &EndA);
+    double VB = std::strtod(TB.c_str(), &EndB);
+    if (EndA == TA.c_str() || *EndA != '\0' || EndB == TB.c_str() ||
+        *EndB != '\0')
+      return false;
+    if (std::isnan(VA) && std::isnan(VB))
+      continue;
+    double Scale = std::fmax(1.0, std::fmax(std::fabs(VA), std::fabs(VB)));
+    if (!(std::fabs(VA - VB) <= Tol * Scale))
+      return false;
+  }
+}
+
+} // namespace
 
 PipelineResult mvec::vectorizeSource(const std::string &Source,
                                      const VectorizerOptions &Opts,
@@ -79,8 +118,48 @@ DiffOutcome mvec::diffRunLimited(const std::string &OriginalSource,
     }
     return DiffStatus::Error;
   };
+  DiagnosticEngine AnnDiags;
+  ShapeEnv Declared;
+  if (Limits.CheckAnnotations) {
+    Declared = parseShapeAnnotations(Original.Annotations, AnnDiags);
+    // Axes declared as 1 must never widen, not even transiently: the
+    // vectorizer trusted the annotation for every statement it rewrote,
+    // so a loop-time violation invalidates the whole comparison even if
+    // the final workspace happens to conform.
+    std::map<std::string, std::pair<bool, bool>> Caps;
+    for (const auto &[Name, Dim] : Declared.shapes()) {
+      bool RowCapped = Dim.size() > 0 && Dim[0].isOne();
+      bool ColCapped = Dim.size() > 1 && Dim[1].isOne();
+      if (RowCapped || ColCapped)
+        Caps[Name] = {RowCapped, ColCapped};
+    }
+    A.setShapeCaps(std::move(Caps));
+  }
+
   if (!A.run(Original.Prog))
     return Fail(RunStatus(A), "original program failed: " + A.errorMessage());
+
+  if (Limits.CheckAnnotations) {
+    for (const auto &[Name, Dim] : Declared.shapes()) {
+      const Value *V = A.getVariable(Name);
+      if (!V)
+        continue; // never materialized: nothing to contradict
+      size_t Actual[2] = {V->rows(), V->cols()};
+      bool Honored = true;
+      for (size_t I = 0; I != Dim.size(); ++I) {
+        size_t Size = I < 2 ? Actual[I] : 1;
+        if (Dim[I].isOne() ? Size != 1 : Size <= 1)
+          Honored = false;
+      }
+      if (!Honored)
+        return Fail(DiffStatus::Error,
+                    "original program violates annotation: '" + Name +
+                        "' declared " + Dim.str() + " but is " +
+                        std::to_string(V->rows()) + "x" +
+                        std::to_string(V->cols()));
+    }
+  }
+
   if (!B.run(Transformed.Prog))
     return Fail(RunStatus(B),
                 "transformed program failed: " + B.errorMessage());
@@ -115,7 +194,7 @@ DiffOutcome mvec::diffRunLimited(const std::string &OriginalSource,
       return Fail(DiffStatus::Mismatch,
                   "transformation introduced variable '" + Name + "'");
   }
-  if (A.output() != B.output())
+  if (!outputsMatch(A.output(), B.output(), Tol))
     return Fail(DiffStatus::Mismatch, "printed output differs");
   return DiffOutcome{};
 }

@@ -62,6 +62,13 @@ struct RunLimits {
   /// Abort soon after the flag becomes true (caller-owned; may be shared
   /// across a batch for bulk cancellation). Must outlive the call.
   const std::atomic<bool> *Cancel = nullptr;
+  /// After the original program runs, check that its workspace honors the
+  /// %! shape annotations (a declared 1 axis is exactly one, a declared *
+  /// axis exceeds one). A violation is reported as an "original program"
+  /// error: the input lied to the vectorizer, so a divergence is the
+  /// input's fault, not the transformation's. Used by the fuzzer, where
+  /// mutation can desynchronize annotations from code.
+  bool CheckAnnotations = false;
 };
 
 enum class DiffStatus {

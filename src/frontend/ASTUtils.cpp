@@ -233,14 +233,28 @@ void mvec::visitStmts(const std::vector<StmtPtr> &Body,
 }
 
 bool mvec::evaluateConstant(const Expr &E, double &Value) {
+  static const std::map<std::string, double> NoConstants;
+  return evaluateConstantWith(E, NoConstants, Value);
+}
+
+bool mvec::evaluateConstantWith(const Expr &E,
+                                const std::map<std::string, double> &Constants,
+                                double &Value) {
   switch (E.kind()) {
   case Expr::Kind::Number:
     Value = cast<NumberExpr>(E).value();
     return true;
+  case Expr::Kind::Ident: {
+    auto It = Constants.find(cast<IdentExpr>(E).name());
+    if (It == Constants.end())
+      return false;
+    Value = It->second;
+    return true;
+  }
   case Expr::Kind::Unary: {
     const auto &U = cast<UnaryExpr>(E);
     double Inner = 0;
-    if (!evaluateConstant(*U.operand(), Inner))
+    if (!evaluateConstantWith(*U.operand(), Constants, Inner))
       return false;
     switch (U.op()) {
     case UnaryOp::Plus:
@@ -257,7 +271,8 @@ bool mvec::evaluateConstant(const Expr &E, double &Value) {
   case Expr::Kind::Binary: {
     const auto &B = cast<BinaryExpr>(E);
     double L = 0, R = 0;
-    if (!evaluateConstant(*B.lhs(), L) || !evaluateConstant(*B.rhs(), R))
+    if (!evaluateConstantWith(*B.lhs(), Constants, L) ||
+        !evaluateConstantWith(*B.rhs(), Constants, R))
       return false;
     switch (B.op()) {
     case BinaryOp::Add:

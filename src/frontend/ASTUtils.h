@@ -16,6 +16,7 @@
 #include "frontend/AST.h"
 
 #include <functional>
+#include <map>
 #include <set>
 #include <string>
 
@@ -53,6 +54,12 @@ void visitStmts(const std::vector<StmtPtr> &Body,
 /// \p Value on success. Handles numbers, unary +/- and the four arithmetic
 /// binary operators on constants.
 bool evaluateConstant(const Expr &E, double &Value);
+
+/// Like evaluateConstant, but additionally resolves plain identifiers
+/// through \p Constants (name -> known numeric value).
+bool evaluateConstantWith(const Expr &E,
+                          const std::map<std::string, double> &Constants,
+                          double &Value);
 
 /// True when \p E contains an 'end' keyword belonging to the *current*
 /// subscript — 'end' inside a nested subscript (A(B(end))) binds to the

@@ -1,0 +1,111 @@
+//===- Corpus.h - On-disk finding corpus ------------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistence and triage for fuzzer findings. Each corpus entry is a
+/// plain MATLAB file whose leading comment lines carry the triage
+/// metadata:
+///
+///   % fuzz-finding: kind=mismatch status=fixed
+///   % bucket: mismatch:var:s
+///   <the minimized program>
+///
+/// Entries are keyed by bucket signature: a second finding with a bucket
+/// already on disk is a duplicate and is not re-saved. Entries marked
+/// status=fixed double as a regression suite — \c replay re-runs every
+/// entry through the oracle and reports fixed entries that fail again.
+/// Entries marked status=open document known, not-yet-fixed defects; the
+/// fuzz driver treats their buckets as known and only fails on buckets
+/// that appear in neither set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FUZZ_CORPUS_H
+#define MVEC_FUZZ_CORPUS_H
+
+#include "fuzz/Oracle.h"
+
+#include <string>
+#include <vector>
+
+namespace mvec {
+namespace fuzz {
+
+struct CorpusEntry {
+  /// Absolute or corpus-relative path of the backing file.
+  std::string Path;
+  /// File stem, e.g. "mismatch-var-s".
+  std::string Name;
+  /// Bucket signature from the "% bucket:" header (empty when absent).
+  std::string Bucket;
+  /// Finding kind from the header; Mismatch when unspecified.
+  FindingKind Kind = FindingKind::Mismatch;
+  /// "fixed" entries are regressions that must pass; "open" entries are
+  /// known defects that may still fail.
+  bool Fixed = false;
+  /// Full file contents (headers included) — valid fuzz seed material.
+  std::string Source;
+};
+
+/// Result of re-running one corpus entry through the oracle.
+struct ReplayResult {
+  const CorpusEntry *Entry = nullptr;
+  Verdict V;
+  /// True when the outcome contradicts the entry's status: a fixed entry
+  /// that produced a finding again (regression), or was rejected outright
+  /// (the stored reproducer no longer parses/runs).
+  bool Regressed = false;
+};
+
+class Corpus {
+public:
+  /// Binds the corpus to \p Dir without touching the filesystem; call
+  /// \c load to read existing entries. The directory is created lazily on
+  /// the first \c add.
+  explicit Corpus(std::string Dir);
+
+  /// Reads every *.m file under the corpus directory. Returns the number
+  /// of entries loaded; a missing directory is an empty corpus, not an
+  /// error. Replaces any previously loaded state.
+  size_t load();
+
+  /// True when \p Bucket matches a loaded entry (fixed or open).
+  bool containsBucket(const std::string &Bucket) const;
+
+  /// Persists \p F as a new open entry with \p ReducedSource as the body
+  /// and returns its path. Returns an empty string (and writes nothing)
+  /// when the bucket is already present. File names are slugs of the
+  /// bucket signature.
+  std::string add(const Finding &F, const std::string &ReducedSource);
+
+  /// Re-checks every entry against \p O. Fixed entries must come back
+  /// Ok; anything else is flagged as regressed. Open entries are
+  /// reported but never regress (they are allowed to keep failing — and
+  /// also to start passing, e.g. after an unrelated fix).
+  std::vector<ReplayResult> replay(const Oracle &O) const;
+
+  const std::vector<CorpusEntry> &entries() const { return Entries; }
+  const std::string &dir() const { return Dir; }
+
+  /// Renders \p F and \p Body as a corpus file ("% fuzz-finding:" and
+  /// "% bucket:" headers followed by the program). Exposed so tests and
+  /// tools can mint entries without a Corpus instance.
+  static std::string formatEntry(const Finding &F, const std::string &Body,
+                                 bool Fixed);
+
+  /// Filesystem-safe slug of a bucket signature ("mismatch:var:s" ->
+  /// "mismatch-var-s").
+  static std::string slugify(const std::string &Bucket);
+
+private:
+  std::string Dir;
+  std::vector<CorpusEntry> Entries;
+};
+
+} // namespace fuzz
+} // namespace mvec
+
+#endif // MVEC_FUZZ_CORPUS_H

@@ -1,0 +1,89 @@
+//===- Generator.h - Random annotated-program generator ---------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grammar-based generation of shape-annotated MATLAB loop nests — the
+/// program source of the fuzzing subsystem and of the PropertyTest
+/// sweeps. Each family is one grammar over a region of the vectorizer's
+/// input space (orientation mismatches, 2-D nests with transposed reads,
+/// reductions, strided/diagonal affine accesses, dependence shapes,
+/// nested accumulators, compound multi-loop scripts, degenerate ranges).
+/// Generation is bit-stable: the same seed produces byte-identical
+/// sources on every platform (see Rng.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FUZZ_GENERATOR_H
+#define MVEC_FUZZ_GENERATOR_H
+
+#include "fuzz/Rng.h"
+
+#include <string>
+
+namespace mvec {
+namespace fuzz {
+
+/// One generated candidate program.
+struct GenProgram {
+  /// Annotated MATLAB source, ready for the pipeline.
+  std::string Source;
+  /// Display name of the generating family ("pointwise", ...).
+  std::string Family;
+  /// True when the family guarantees every generated program fully
+  /// vectorizes (the property tests additionally assert
+  /// StmtsVectorized > 0 for these).
+  bool ExpectVectorized = false;
+};
+
+/// Generates one program per call. Construct with the candidate's seed;
+/// every family draws from the same deterministic stream, so
+/// Generator(S).family() is a pure function of S.
+class Generator {
+public:
+  explicit Generator(uint64_t Seed) : R(Seed) {}
+
+  /// Number of grammar families generate() accepts.
+  static constexpr unsigned NumFamilies = 8;
+
+  /// Generates from a uniformly chosen family.
+  GenProgram next();
+
+  /// Generates from family \p FamilyIndex in [0, NumFamilies).
+  GenProgram generate(unsigned FamilyIndex);
+
+  // The individual grammars. The first five are the (extended) families
+  // factored out of tests/PropertyTest.cpp; the last three exist for the
+  // fuzzer's sake.
+
+  /// Pointwise expressions over randomly oriented vectors; every
+  /// combination must vectorize.
+  GenProgram pointwise();
+  /// Two-dimensional nests with transposed reads and broadcasts.
+  GenProgram nest2D();
+  /// Additive reductions into a scalar accumulator.
+  GenProgram reduction();
+  /// Strided loops and affine (diagonal-style) subscripts.
+  GenProgram affineAccess();
+  /// Recurrences and dependences the vectorizer must not break.
+  GenProgram dependence();
+  /// Two-level nests with an inner scalar accumulator feeding an outer
+  /// elementwise write.
+  GenProgram nestedAccumulator();
+  /// Multi-loop scripts mixing diagonals, broadcasts, reductions,
+  /// builtins, powers and whole-array statements.
+  GenProgram compound();
+  /// Degenerate and descending loop ranges (empty trips, single trips,
+  /// negative steps, strides past the end).
+  GenProgram edgeRanges();
+
+private:
+  Rng R;
+};
+
+} // namespace fuzz
+} // namespace mvec
+
+#endif // MVEC_FUZZ_GENERATOR_H

@@ -1,0 +1,292 @@
+//===- Mutator.cpp - Corpus program mutation --------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include <cctype>
+#include <vector>
+
+using namespace mvec;
+using namespace mvec::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  std::string Current;
+  for (char C : S) {
+    if (C == '\n') {
+      Lines.push_back(Current);
+      Current.clear();
+    } else {
+      Current += C;
+    }
+  }
+  if (!Current.empty())
+    Lines.push_back(Current);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string S;
+  for (const std::string &Line : Lines) {
+    S += Line;
+    S += '\n';
+  }
+  return S;
+}
+
+std::string trimmed(const std::string &Line) {
+  size_t Begin = Line.find_first_not_of(" \t");
+  return Begin == std::string::npos ? std::string() : Line.substr(Begin);
+}
+
+/// A plain assignment/expression line — not a comment, loop header or
+/// terminator. The unit of splicing, deletion and duplication.
+bool isSimpleStatementLine(const std::string &Line) {
+  std::string T = trimmed(Line);
+  return !T.empty() && T[0] != '%' && T.rfind("for", 0) != 0 &&
+         T.rfind("while", 0) != 0 && T.rfind("if", 0) != 0 && T != "end" &&
+         T.find('=') != std::string::npos && T.back() == ';';
+}
+
+bool isLoopHeaderLine(const std::string &Line) {
+  return trimmed(Line).rfind("for ", 0) == 0;
+}
+
+} // namespace
+
+Mutant Mutator::mutate(const std::string &Source, const std::string *Donor) {
+  Mutant Result;
+  Result.Source = Source;
+  int Count = R.range(1, 3);
+  for (int I = 0; I != Count; ++I) {
+    // Draw a mutation kind; skip kinds with no mutation point this round.
+    int Kind = R.range(0, 6);
+    bool Applied = false;
+    const char *Name = "";
+    switch (Kind) {
+    case 0:
+      Applied = swapOperator(Result.Source);
+      Name = "swap-op";
+      break;
+    case 1:
+      Applied = jitterNumber(Result.Source);
+      Name = "jitter-num";
+      break;
+    case 2:
+      Applied = jitterAnnotation(Result.Source);
+      Name = "jitter-ann";
+      break;
+    case 3:
+      Applied = permuteLoopHeaders(Result.Source);
+      Name = "permute-loops";
+      break;
+    case 4:
+      Applied = Donor && spliceStatement(Result.Source, *Donor);
+      Name = "splice";
+      break;
+    case 5:
+      Applied = deleteStatement(Result.Source);
+      Name = "delete-stmt";
+      break;
+    default:
+      Applied = duplicateStatement(Result.Source);
+      Name = "dup-stmt";
+      break;
+    }
+    if (Applied) {
+      if (!Result.Trace.empty())
+        Result.Trace += ',';
+      Result.Trace += Name;
+    }
+  }
+  return Result;
+}
+
+bool Mutator::swapOperator(std::string &S) {
+  // Candidate operator occurrences outside comments: the pointwise
+  // two-character forms first, then the bare arithmetic characters.
+  static const std::vector<std::string> Pool = {"+",  "-",  "*",  "/",
+                                                "^",  ".*", "./", ".^"};
+  struct Site {
+    size_t Pos;
+    size_t Len;
+  };
+  std::vector<Site> Sites;
+  bool InComment = false;
+  for (size_t I = 0; I != S.size(); ++I) {
+    char C = S[I];
+    if (C == '\n') {
+      InComment = false;
+      continue;
+    }
+    if (InComment)
+      continue;
+    if (C == '%') {
+      InComment = true;
+      continue;
+    }
+    if (C == '.' && I + 1 != S.size() &&
+        (S[I + 1] == '*' || S[I + 1] == '/' || S[I + 1] == '^')) {
+      Sites.push_back({I, 2});
+      ++I;
+      continue;
+    }
+    if ((C == '+' || C == '-' || C == '*' || C == '/' || C == '^') &&
+        (I == 0 || S[I - 1] != '.'))
+      Sites.push_back({I, 1});
+  }
+  if (Sites.empty())
+    return false;
+  const Site &Chosen = Sites[R.range(0, static_cast<int>(Sites.size()) - 1)];
+  std::string Current = S.substr(Chosen.Pos, Chosen.Len);
+  std::string Replacement = Current;
+  while (Replacement == Current)
+    Replacement = R.pick(Pool);
+  S.replace(Chosen.Pos, Chosen.Len, Replacement);
+  return true;
+}
+
+bool Mutator::jitterNumber(std::string &S) {
+  // Integer literals only: a digit run not adjacent to '.' (floats keep
+  // their value; sizes and bounds are where the interesting shifts are).
+  struct Site {
+    size_t Pos;
+    size_t Len;
+  };
+  std::vector<Site> Sites;
+  bool InComment = false;
+  for (size_t I = 0; I != S.size(); ++I) {
+    if (S[I] == '\n') {
+      InComment = false;
+      continue;
+    }
+    if (InComment)
+      continue;
+    if (S[I] == '%') {
+      InComment = true;
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(S[I])))
+      continue;
+    size_t End = I;
+    while (End != S.size() &&
+           std::isdigit(static_cast<unsigned char>(S[End])))
+      ++End;
+    bool DotBefore = I != 0 && S[I - 1] == '.';
+    bool DotAfter = End != S.size() && S[End] == '.';
+    bool IdentBefore =
+        I != 0 && (std::isalpha(static_cast<unsigned char>(S[I - 1])) ||
+                   S[I - 1] == '_');
+    if (!DotBefore && !DotAfter && !IdentBefore)
+      Sites.push_back({I, End - I});
+    I = End - 1;
+  }
+  if (Sites.empty())
+    return false;
+  const Site &Chosen = Sites[R.range(0, static_cast<int>(Sites.size()) - 1)];
+  long Value = std::stol(S.substr(Chosen.Pos, Chosen.Len));
+  long Delta = 0;
+  while (Delta == 0)
+    Delta = R.range(-2, 2);
+  Value = std::max(0l, Value + Delta);
+  S.replace(Chosen.Pos, Chosen.Len, std::to_string(Value));
+  return true;
+}
+
+bool Mutator::jitterAnnotation(std::string &S) {
+  static const std::vector<std::string> Shapes = {"(1,*)", "(*,1)", "(*,*)",
+                                                  "(1)"};
+  std::vector<std::string> Lines = splitLines(S);
+  std::vector<size_t> AnnLines;
+  for (size_t I = 0; I != Lines.size(); ++I)
+    if (trimmed(Lines[I]).rfind("%!", 0) == 0)
+      AnnLines.push_back(I);
+  if (AnnLines.empty())
+    return false;
+  std::string &Line =
+      Lines[AnnLines[R.range(0, static_cast<int>(AnnLines.size()) - 1)]];
+  struct Site {
+    size_t Pos;
+    size_t Len;
+  };
+  std::vector<Site> Sites;
+  for (const std::string &Shape : Shapes)
+    for (size_t Pos = Line.find(Shape); Pos != std::string::npos;
+         Pos = Line.find(Shape, Pos + 1))
+      Sites.push_back({Pos, Shape.size()});
+  if (Sites.empty())
+    return false;
+  const Site &Chosen = Sites[R.range(0, static_cast<int>(Sites.size()) - 1)];
+  std::string Current = Line.substr(Chosen.Pos, Chosen.Len);
+  std::string Replacement = Current;
+  while (Replacement == Current)
+    Replacement = R.pick(Shapes);
+  Line.replace(Chosen.Pos, Chosen.Len, Replacement);
+  S = joinLines(Lines);
+  return true;
+}
+
+bool Mutator::permuteLoopHeaders(std::string &S) {
+  std::vector<std::string> Lines = splitLines(S);
+  std::vector<size_t> Headers;
+  for (size_t I = 0; I != Lines.size(); ++I)
+    if (isLoopHeaderLine(Lines[I]))
+      Headers.push_back(I);
+  if (Headers.size() < 2)
+    return false;
+  int A = R.range(0, static_cast<int>(Headers.size()) - 1);
+  int B = A;
+  while (B == A)
+    B = R.range(0, static_cast<int>(Headers.size()) - 1);
+  std::swap(Lines[Headers[A]], Lines[Headers[B]]);
+  S = joinLines(Lines);
+  return true;
+}
+
+bool Mutator::spliceStatement(std::string &S, const std::string &Donor) {
+  std::vector<std::string> DonorLines = splitLines(Donor);
+  std::vector<std::string> Candidates;
+  for (const std::string &Line : DonorLines)
+    if (isSimpleStatementLine(Line))
+      Candidates.push_back(trimmed(Line));
+  if (Candidates.empty())
+    return false;
+  std::vector<std::string> Lines = splitLines(S);
+  size_t At = static_cast<size_t>(R.range(0, static_cast<int>(Lines.size())));
+  Lines.insert(Lines.begin() + At, "  " + R.pick(Candidates));
+  S = joinLines(Lines);
+  return true;
+}
+
+bool Mutator::deleteStatement(std::string &S) {
+  std::vector<std::string> Lines = splitLines(S);
+  std::vector<size_t> Candidates;
+  for (size_t I = 0; I != Lines.size(); ++I)
+    if (isSimpleStatementLine(Lines[I]))
+      Candidates.push_back(I);
+  if (Candidates.empty())
+    return false;
+  Lines.erase(Lines.begin() +
+              Candidates[R.range(0, static_cast<int>(Candidates.size()) - 1)]);
+  S = joinLines(Lines);
+  return true;
+}
+
+bool Mutator::duplicateStatement(std::string &S) {
+  std::vector<std::string> Lines = splitLines(S);
+  std::vector<size_t> Candidates;
+  for (size_t I = 0; I != Lines.size(); ++I)
+    if (isSimpleStatementLine(Lines[I]))
+      Candidates.push_back(I);
+  if (Candidates.empty())
+    return false;
+  size_t At = Candidates[R.range(0, static_cast<int>(Candidates.size()) - 1)];
+  Lines.insert(Lines.begin() + At, Lines[At]);
+  S = joinLines(Lines);
+  return true;
+}

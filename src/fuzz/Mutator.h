@@ -1,0 +1,60 @@
+//===- Mutator.h - Corpus program mutation ----------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text-level mutation of existing corpus programs. Mutations are
+/// deliberately applied to the source text rather than the AST so they
+/// can perturb everything the pipeline consumes — including the `%!`
+/// shape annotations, which the AST printer does not carry. A mutant
+/// that no longer parses (or no longer runs) is simply rejected by the
+/// oracle; only the transformed-versus-original contract counts as a
+/// finding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FUZZ_MUTATOR_H
+#define MVEC_FUZZ_MUTATOR_H
+
+#include "fuzz/Rng.h"
+
+#include <string>
+
+namespace mvec {
+namespace fuzz {
+
+/// One mutated candidate plus the mutation trace (for triage reports).
+struct Mutant {
+  std::string Source;
+  /// Comma-separated names of the mutations applied ("swap-op,jitter-num").
+  std::string Trace;
+};
+
+class Mutator {
+public:
+  explicit Mutator(uint64_t Seed) : R(Seed) {}
+
+  /// Applies 1–3 random mutations to \p Source. \p Donor, when non-null,
+  /// supplies statements for splicing. Falls back to returning the input
+  /// unchanged (with an empty trace) when no mutation point exists.
+  Mutant mutate(const std::string &Source,
+                const std::string *Donor = nullptr);
+
+private:
+  bool swapOperator(std::string &S);
+  bool jitterNumber(std::string &S);
+  bool jitterAnnotation(std::string &S);
+  bool permuteLoopHeaders(std::string &S);
+  bool spliceStatement(std::string &S, const std::string &Donor);
+  bool deleteStatement(std::string &S);
+  bool duplicateStatement(std::string &S);
+
+  Rng R;
+};
+
+} // namespace fuzz
+} // namespace mvec
+
+#endif // MVEC_FUZZ_MUTATOR_H

@@ -1,0 +1,260 @@
+//===- Oracle.cpp - Differential fuzzing oracle -----------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "driver/Pipeline.h"
+
+#include <cctype>
+
+using namespace mvec;
+using namespace mvec::fuzz;
+
+const char *mvec::fuzz::findingKindName(FindingKind Kind) {
+  switch (Kind) {
+  case FindingKind::Crash:
+    return "crash";
+  case FindingKind::TransformedRunError:
+    return "transformed-run-error";
+  case FindingKind::Mismatch:
+    return "mismatch";
+  case FindingKind::Hang:
+    return "hang";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool startsWith(const std::string &S, const char *Prefix) {
+  return S.rfind(Prefix, 0) == 0;
+}
+
+/// Extracts the text between the first pair of single quotes ("variable
+/// 'name' differs" -> "name"); empty when there is no quoted token.
+std::string firstQuoted(const std::string &S) {
+  size_t Open = S.find('\'');
+  if (Open == std::string::npos)
+    return std::string();
+  size_t Close = S.find('\'', Open + 1);
+  if (Close == std::string::npos)
+    return std::string();
+  return S.substr(Open + 1, Close - Open - 1);
+}
+
+Verdict finding(FindingKind Kind, std::string Bucket, std::string Message) {
+  Verdict V;
+  V.S = Verdict::State::Finding;
+  V.F.Kind = Kind;
+  V.F.Bucket = std::move(Bucket);
+  V.F.Message = std::move(Message);
+  return V;
+}
+
+Verdict rejected() {
+  Verdict V;
+  V.S = Verdict::State::Rejected;
+  return V;
+}
+
+/// Shared classification of a differential-run failure description — the
+/// strings produced by diffRunLimited (Pipeline.cpp). Both the sync path
+/// (which holds the DiffOutcome) and the batch path (which recovers it
+/// from the JobResult message) land here, so buckets are identical.
+Verdict classifyDiff(DiffStatus Status, const std::string &Msg) {
+  switch (Status) {
+  case DiffStatus::Match:
+    return Verdict{};
+  case DiffStatus::Cancelled:
+    return rejected();
+  case DiffStatus::TimedOut:
+    // A slow original is the input's fault; a slow transformed program
+    // means the transformation changed the amount of work.
+    if (startsWith(Msg, "original program"))
+      return rejected();
+    return finding(FindingKind::Hang, "hang:transformed", Msg);
+  case DiffStatus::Error:
+    if (startsWith(Msg, "original program"))
+      return rejected();
+    if (startsWith(Msg, "transformed program does not parse"))
+      return finding(FindingKind::TransformedRunError,
+                     "trun:parse:" + Oracle::normalizeForBucket(Msg), Msg);
+    if (startsWith(Msg, "transformed program failed: ")) {
+      std::string Err = Msg.substr(std::string("transformed program failed: ")
+                                       .size());
+      return finding(FindingKind::TransformedRunError,
+                     "trun:" + Oracle::normalizeForBucket(Err), Msg);
+    }
+    return finding(FindingKind::TransformedRunError,
+                   "trun:" + Oracle::normalizeForBucket(Msg), Msg);
+  case DiffStatus::Mismatch:
+    if (startsWith(Msg, "variable '")) {
+      std::string Var = firstQuoted(Msg);
+      if (Msg.find("missing after transformation") != std::string::npos)
+        return finding(FindingKind::Mismatch, "mismatch:missing:" + Var, Msg);
+      return finding(FindingKind::Mismatch, "mismatch:var:" + Var, Msg);
+    }
+    if (startsWith(Msg, "transformation introduced variable"))
+      return finding(FindingKind::Mismatch,
+                     "mismatch:introduced:" + firstQuoted(Msg), Msg);
+    return finding(FindingKind::Mismatch, "mismatch:output", Msg);
+  }
+  return rejected();
+}
+
+} // namespace
+
+std::string Oracle::normalizeForBucket(const std::string &Message) {
+  std::string Out;
+  bool LastWasHash = false, LastWasSpace = false;
+  for (char C : Message) {
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      if (!LastWasHash)
+        Out += '#';
+      LastWasHash = true;
+      LastWasSpace = false;
+      continue;
+    }
+    LastWasHash = false;
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      if (!LastWasSpace && !Out.empty())
+        Out += ' ';
+      LastWasSpace = true;
+      continue;
+    }
+    LastWasSpace = false;
+    Out += C;
+  }
+  while (!Out.empty() && Out.back() == ' ')
+    Out.pop_back();
+  if (Out.size() > 96)
+    Out.resize(96);
+  return Out;
+}
+
+Oracle::Oracle(OracleConfig Config) : Config(Config) {
+  ServiceConfig SC;
+  SC.Workers = Config.Jobs;
+  SC.CacheCapacity = Config.CacheCapacity;
+  SC.DefaultDeadline = Config.Deadline;
+  // Submission happens in batches sized to the worker count; a roomy
+  // queue keeps the generator ahead of the workers.
+  SC.QueueCapacity = std::max<size_t>(64, 8 * Config.Jobs);
+  Service = std::make_unique<VectorizationService>(SC);
+}
+
+Oracle::~Oracle() = default;
+
+ServiceMetrics &Oracle::metrics() { return Service->metrics(); }
+
+Verdict Oracle::check(const std::string &Source,
+                      const std::string &Family) const {
+  Verdict V;
+  try {
+    PipelineResult P = vectorizeSource(Source, Config.Opts);
+    if (!P.succeeded()) {
+      // The pipeline refused the input with diagnostics; for a fuzzer
+      // that is the expected fate of malformed mutants, not a defect.
+      V = rejected();
+    } else {
+      RunLimits Limits;
+      Limits.MaxSteps = Config.MaxSteps;
+      // Mutation can make the code contradict its %! annotations; a
+      // divergence on a lying input blames the input, not the vectorizer.
+      Limits.CheckAnnotations = true;
+      if (Config.Deadline.count() > 0)
+        Limits.Deadline = std::chrono::steady_clock::now() + Config.Deadline;
+      DiffOutcome Diff =
+          diffRunLimited(Source, P.VectorizedSource, Limits, Config.Tol);
+      V = classifyDiff(Diff.Status, Diff.Message);
+    }
+  } catch (const std::exception &E) {
+    V = finding(FindingKind::Crash,
+                "crash:" + normalizeForBucket(E.what()),
+                std::string("internal error: ") + E.what());
+  } catch (...) {
+    V = finding(FindingKind::Crash, "crash:unknown",
+                "internal error: unknown exception");
+  }
+  if (V.isFinding()) {
+    V.F.Source = Source;
+    V.F.Family = Family;
+  }
+  return V;
+}
+
+Verdict Oracle::classifyJob(const JobResult &R) {
+  switch (R.Status) {
+  case JobStatus::Succeeded:
+    return Verdict{};
+  case JobStatus::Cancelled:
+    return rejected();
+  case JobStatus::TimedOut: {
+    if (startsWith(R.Message, "deadline exceeded during vectorization"))
+      return finding(FindingKind::Hang, "hang:vectorize", R.Message);
+    const char *Prefix = "validation timed out: ";
+    std::string Msg = startsWith(R.Message, Prefix)
+                          ? R.Message.substr(std::string(Prefix).size())
+                          : R.Message;
+    return classifyDiff(DiffStatus::TimedOut, Msg);
+  }
+  case JobStatus::Failed: {
+    if (startsWith(R.Message, "internal error: "))
+      return finding(
+          FindingKind::Crash,
+          "crash:" + normalizeForBucket(
+                         R.Message.substr(std::string("internal error: ")
+                                              .size())),
+          R.Message);
+    const char *Prefix = "validation failed: ";
+    if (startsWith(R.Message, Prefix)) {
+      std::string Msg = R.Message.substr(std::string(Prefix).size());
+      // Re-derive the diff status from the message shape; the two
+      // failure classes diffRunLimited can produce under this prefix are
+      // Error ("... program ...") and Mismatch (everything else).
+      DiffStatus Status = startsWith(Msg, "original program") ||
+                                  startsWith(Msg, "transformed program")
+                              ? DiffStatus::Error
+                              : DiffStatus::Mismatch;
+      return classifyDiff(Status, Msg);
+    }
+    // Anything else is the pipeline's diagnostics for an input it
+    // refused (parse/annotation errors): invalid input, not a finding.
+    return rejected();
+  }
+  }
+  return rejected();
+}
+
+std::vector<Verdict>
+Oracle::checkBatch(const std::vector<GenProgram> &Candidates) {
+  std::vector<JobSpec> Specs;
+  Specs.reserve(Candidates.size());
+  for (const GenProgram &Candidate : Candidates) {
+    JobSpec Spec;
+    Spec.Name = Candidate.Family;
+    Spec.Source = Candidate.Source;
+    Spec.Opts = Config.Opts;
+    Spec.Validate = true;
+    Spec.Deadline = Config.Deadline;
+    Spec.ValidateTol = Config.Tol;
+    Spec.MaxSteps = Config.MaxSteps;
+    Spec.CheckAnnotations = true;
+    Specs.push_back(std::move(Spec));
+  }
+  std::vector<JobResult> Results = Service->runBatch(std::move(Specs));
+  std::vector<Verdict> Verdicts;
+  Verdicts.reserve(Results.size());
+  for (size_t I = 0; I != Results.size(); ++I) {
+    Verdict V = classifyJob(Results[I]);
+    if (V.isFinding()) {
+      V.F.Source = Candidates[I].Source;
+      V.F.Family = Candidates[I].Family;
+    }
+    Verdicts.push_back(std::move(V));
+  }
+  return Verdicts;
+}

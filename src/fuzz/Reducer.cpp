@@ -1,0 +1,439 @@
+//===- Reducer.cpp - Test-case reduction ------------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "frontend/ASTPrinter.h"
+#include "frontend/ASTUtils.h"
+#include "frontend/Parser.h"
+#include "support/Casting.h"
+
+#include <set>
+#include <sstream>
+
+using namespace mvec;
+using namespace mvec::fuzz;
+
+size_t mvec::fuzz::countTokens(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  size_t Count = 0;
+  for (const Token &Tok : Lex.lexAll())
+    if (Tok.Kind != TokenKind::Eof && Tok.Kind != TokenKind::Newline)
+      ++Count;
+  return Count;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Emission: annotations first, then the printed program. Annotations are
+// script-global, so their position does not matter semantically.
+//===----------------------------------------------------------------------===//
+
+std::string emit(const Program &P, const std::vector<std::string> &Anns) {
+  std::string Out;
+  for (const std::string &Ann : Anns)
+    if (!Ann.empty())
+      Out += "%! " + Ann + "\n";
+  Out += printProgram(P);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement-subtree removal (ddmin over pre-order ordinals)
+//===----------------------------------------------------------------------===//
+
+unsigned subtreeSize(const Stmt &S) {
+  unsigned Size = 1;
+  if (const auto *For = dyn_cast<ForStmt>(&S)) {
+    for (const StmtPtr &Child : For->body())
+      Size += subtreeSize(*Child);
+  } else if (const auto *While = dyn_cast<WhileStmt>(&S)) {
+    for (const StmtPtr &Child : While->body())
+      Size += subtreeSize(*Child);
+  } else if (const auto *If = dyn_cast<IfStmt>(&S)) {
+    for (const IfStmt::Branch &Branch : If->branches())
+      for (const StmtPtr &Child : Branch.Body)
+        Size += subtreeSize(*Child);
+  }
+  return Size;
+}
+
+unsigned countStmts(const Program &P) {
+  unsigned Total = 0;
+  for (const StmtPtr &S : P.Stmts)
+    Total += subtreeSize(*S);
+  return Total;
+}
+
+/// Erases every statement whose pre-order ordinal falls in
+/// [\p Begin, \p End). Removing a loop removes its whole subtree, whose
+/// ordinals are consumed either way so numbering stays stable.
+void removeRange(std::vector<StmtPtr> &Body, unsigned &Counter,
+                 unsigned Begin, unsigned End) {
+  for (auto It = Body.begin(); It != Body.end();) {
+    unsigned Ord = Counter;
+    unsigned Size = subtreeSize(**It);
+    if (Ord >= Begin && Ord < End) {
+      Counter += Size;
+      It = Body.erase(It);
+      continue;
+    }
+    ++Counter;
+    if (auto *For = dyn_cast<ForStmt>(It->get()))
+      removeRange(For->body(), Counter, Begin, End);
+    else if (auto *While = dyn_cast<WhileStmt>(It->get()))
+      removeRange(While->body(), Counter, Begin, End);
+    else if (auto *If = dyn_cast<IfStmt>(It->get()))
+      for (IfStmt::Branch &Branch : If->branches())
+        removeRange(Branch.Body, Counter, Begin, End);
+    ++It;
+  }
+}
+
+Program withoutRange(const Program &P, unsigned Begin, unsigned End) {
+  Program Clone = P.cloneProgram();
+  unsigned Counter = 0;
+  removeRange(Clone.Stmts, Counter, Begin, End);
+  return Clone;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression simplification edits
+//===----------------------------------------------------------------------===//
+
+/// Walks a program counting simplification points; when the counter hits
+/// Target, the edit is applied to the rebuilt clone. A pass with an
+/// unreachable Target measures the number of available edits.
+struct EditCtx {
+  unsigned Next = 0;
+  unsigned Target = ~0u;
+  bool Applied = false;
+
+  bool hit() { return Next++ == Target; }
+};
+
+ExprPtr editExpr(const Expr &E, EditCtx &C);
+
+std::vector<ExprPtr> editArgs(const std::vector<ExprPtr> &Args, EditCtx &C) {
+  std::vector<ExprPtr> Out;
+  Out.reserve(Args.size());
+  for (const ExprPtr &Arg : Args)
+    Out.push_back(editExpr(*Arg, C));
+  return Out;
+}
+
+ExprPtr editExpr(const Expr &E, EditCtx &C) {
+  switch (E.kind()) {
+  case Expr::Kind::Number: {
+    const auto &N = cast<NumberExpr>(E);
+    if (N.value() != 0 && N.value() != 1 && C.hit()) {
+      C.Applied = true;
+      return makeNumber(1);
+    }
+    return E.clone();
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    if (C.hit()) {
+      C.Applied = true;
+      return B.lhs()->clone();
+    }
+    if (C.hit()) {
+      C.Applied = true;
+      return B.rhs()->clone();
+    }
+    return makeBinary(B.op(), editExpr(*B.lhs(), C), editExpr(*B.rhs(), C));
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    if (C.hit()) {
+      C.Applied = true;
+      return U.operand()->clone();
+    }
+    return makeUnary(U.op(), editExpr(*U.operand(), C));
+  }
+  case Expr::Kind::Transpose: {
+    const auto &T = cast<TransposeExpr>(E);
+    if (C.hit()) {
+      C.Applied = true;
+      return T.operand()->clone();
+    }
+    return makeTranspose(editExpr(*T.operand(), C));
+  }
+  case Expr::Kind::Index: {
+    const auto &I = cast<IndexExpr>(E);
+    if (C.hit()) {
+      C.Applied = true;
+      return makeNumber(1);
+    }
+    return std::make_unique<IndexExpr>(I.base()->clone(),
+                                       editArgs(I.args(), C), I.loc());
+  }
+  case Expr::Kind::Matrix: {
+    const auto &M = cast<MatrixExpr>(E);
+    if (!M.rows().empty() && !M.rows().front().empty() && C.hit()) {
+      C.Applied = true;
+      return M.rows().front().front()->clone();
+    }
+    std::vector<MatrixExpr::Row> Rows;
+    for (const MatrixExpr::Row &Row : M.rows())
+      Rows.push_back(editArgs(Row, C));
+    return std::make_unique<MatrixExpr>(std::move(Rows), M.loc());
+  }
+  case Expr::Kind::Range: {
+    const auto &R = cast<RangeExpr>(E);
+    return std::make_unique<RangeExpr>(
+        editExpr(*R.start(), C),
+        R.step() ? editExpr(*R.step(), C) : nullptr, editExpr(*R.stop(), C),
+        R.loc());
+  }
+  default:
+    return E.clone();
+  }
+}
+
+std::vector<StmtPtr> editBody(const std::vector<StmtPtr> &Body, EditCtx &C);
+
+StmtPtr editStmt(const Stmt &S, EditCtx &C) {
+  if (const auto *Assign = dyn_cast<AssignStmt>(&S)) {
+    // The LHS gets one dedicated edit — dropping the subscript entirely
+    // (z(i) = e  ->  z = e); its subscript arguments are simplified like
+    // any expression, but the LHS node itself must stay assignable.
+    ExprPtr LHS;
+    if (const auto *Idx = dyn_cast<IndexExpr>(Assign->lhs())) {
+      if (C.hit()) {
+        C.Applied = true;
+        LHS = Idx->base()->clone();
+      } else {
+        LHS = std::make_unique<IndexExpr>(Idx->base()->clone(),
+                                          editArgs(Idx->args(), C),
+                                          Idx->loc());
+      }
+    } else {
+      LHS = Assign->lhs()->clone();
+    }
+    return std::make_unique<AssignStmt>(std::move(LHS),
+                                        editExpr(*Assign->rhs(), C), S.loc());
+  }
+  if (const auto *E = dyn_cast<ExprStmt>(&S))
+    return std::make_unique<ExprStmt>(editExpr(*E->expr(), C), S.loc());
+  if (const auto *For = dyn_cast<ForStmt>(&S))
+    return std::make_unique<ForStmt>(For->indexVar(),
+                                     editExpr(*For->range(), C),
+                                     editBody(For->body(), C), S.loc());
+  if (const auto *While = dyn_cast<WhileStmt>(&S))
+    return std::make_unique<WhileStmt>(editExpr(*While->cond(), C),
+                                       editBody(While->body(), C), S.loc());
+  if (const auto *If = dyn_cast<IfStmt>(&S)) {
+    std::vector<IfStmt::Branch> Branches;
+    for (const IfStmt::Branch &Branch : If->branches()) {
+      IfStmt::Branch NewBranch;
+      NewBranch.Cond = Branch.Cond ? editExpr(*Branch.Cond, C) : nullptr;
+      NewBranch.Body = editBody(Branch.Body, C);
+      Branches.push_back(std::move(NewBranch));
+    }
+    return std::make_unique<IfStmt>(std::move(Branches), S.loc());
+  }
+  return S.clone();
+}
+
+std::vector<StmtPtr> editBody(const std::vector<StmtPtr> &Body, EditCtx &C) {
+  std::vector<StmtPtr> Out;
+  Out.reserve(Body.size());
+  for (const StmtPtr &S : Body)
+    Out.push_back(editStmt(*S, C));
+  return Out;
+}
+
+Program applyEdit(const Program &P, unsigned Target, bool &Applied) {
+  EditCtx C;
+  C.Target = Target;
+  Program Out;
+  Out.Stmts = editBody(P.Stmts, C);
+  Applied = C.Applied;
+  return Out;
+}
+
+unsigned countEdits(const Program &P) {
+  EditCtx C; // unreachable target: pure counting pass
+  Program Discard;
+  Discard.Stmts = editBody(P.Stmts, C);
+  return C.Next;
+}
+
+//===----------------------------------------------------------------------===//
+// Annotation pruning
+//===----------------------------------------------------------------------===//
+
+void collectProgramIdentifiers(const Program &P, std::set<std::string> &Names) {
+  visitStmts(P.Stmts, [&Names](const Stmt &S) {
+    auto Collect = [&Names](const Expr *E) {
+      if (E)
+        collectIdentifiers(*E, Names);
+    };
+    if (const auto *Assign = dyn_cast<AssignStmt>(&S)) {
+      Collect(Assign->lhs());
+      Collect(Assign->rhs());
+    } else if (const auto *E = dyn_cast<ExprStmt>(&S)) {
+      Collect(E->expr());
+    } else if (const auto *For = dyn_cast<ForStmt>(&S)) {
+      Names.insert(For->indexVar());
+      Collect(For->range());
+    } else if (const auto *While = dyn_cast<WhileStmt>(&S)) {
+      Collect(While->cond());
+    } else if (const auto *If = dyn_cast<IfStmt>(&S)) {
+      for (const IfStmt::Branch &Branch : If->branches())
+        Collect(Branch.Cond.get());
+    }
+  });
+}
+
+std::vector<std::string> splitEntries(const std::string &Text) {
+  std::vector<std::string> Entries;
+  std::istringstream In(Text);
+  std::string Entry;
+  while (In >> Entry)
+    Entries.push_back(Entry);
+  return Entries;
+}
+
+std::string joinEntries(const std::vector<std::string> &Entries) {
+  std::string Out;
+  for (const std::string &Entry : Entries) {
+    if (!Out.empty())
+      Out += ' ';
+    Out += Entry;
+  }
+  return Out;
+}
+
+std::string entryName(const std::string &Entry) {
+  return Entry.substr(0, Entry.find('('));
+}
+
+} // namespace
+
+ReduceResult mvec::fuzz::reduceProgram(const std::string &Source,
+                                       const FailPredicate &StillFails,
+                                       const ReduceOptions &Opts) {
+  ReduceResult Res;
+  Res.Reduced = Source;
+  Res.OriginalTokens = Res.ReducedTokens = countTokens(Source);
+
+  auto Check = [&](const std::string &Candidate) {
+    if (Res.Checks >= Opts.MaxChecks)
+      return false;
+    ++Res.Checks;
+    return StillFails(Candidate);
+  };
+
+  DiagnosticEngine Diags;
+  ParseResult Parsed = parseMatlab(Source, Diags);
+  if (Diags.hasErrors())
+    return Res;
+  Program Current = std::move(Parsed.Prog);
+  std::vector<std::string> Anns;
+  for (const AnnotationComment &Ann : Parsed.Annotations)
+    Anns.push_back(Ann.Text);
+
+  // The round-tripped form must itself reproduce; otherwise the failure
+  // is tied to surface syntax the printer normalizes away, and we leave
+  // the input untouched.
+  if (!Check(emit(Current, Anns)))
+    return Res;
+
+  auto Adopt = [&](Program P, std::vector<std::string> A) {
+    Current = std::move(P);
+    Anns = std::move(A);
+  };
+
+  for (unsigned Round = 0; Round != Opts.MaxRounds; ++Round) {
+    bool Changed = false;
+
+    // Pass 1: ddmin over statement subtrees, largest chunks first.
+    for (bool Progress = true; Progress;) {
+      Progress = false;
+      unsigned Total = countStmts(Current);
+      for (unsigned Chunk = std::max(1u, Total / 2); Chunk != 0 && !Progress;
+           Chunk /= 2) {
+        for (unsigned Begin = 0; Begin < Total; Begin += Chunk) {
+          Program Candidate = withoutRange(Current, Begin, Begin + Chunk);
+          if (Check(emit(Candidate, Anns))) {
+            Adopt(std::move(Candidate), Anns);
+            Changed = Progress = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Pass 2: greedy expression simplification.
+    for (bool Progress = true; Progress;) {
+      Progress = false;
+      unsigned NumEdits = countEdits(Current);
+      for (unsigned Target = 0; Target != NumEdits; ++Target) {
+        bool Applied = false;
+        Program Candidate = applyEdit(Current, Target, Applied);
+        if (!Applied)
+          continue;
+        if (Check(emit(Candidate, Anns))) {
+          Adopt(std::move(Candidate), Anns);
+          Progress = Changed = true;
+          break;
+        }
+      }
+    }
+
+    // Pass 3: prune shape-annotation entries. Unreferenced entries go in
+    // one shot; surviving entries are then attacked one at a time.
+    {
+      std::set<std::string> Used;
+      collectProgramIdentifiers(Current, Used);
+      std::vector<std::string> Pruned;
+      for (const std::string &Ann : Anns) {
+        std::vector<std::string> Kept;
+        for (const std::string &Entry : splitEntries(Ann))
+          if (Used.count(entryName(Entry)))
+            Kept.push_back(Entry);
+        if (!Kept.empty())
+          Pruned.push_back(joinEntries(Kept));
+      }
+      if (Pruned != Anns && Check(emit(Current, Pruned))) {
+        Anns = std::move(Pruned);
+        Changed = true;
+      }
+      for (bool Progress = true; Progress;) {
+        Progress = false;
+        for (size_t I = 0; I != Anns.size() && !Progress; ++I) {
+          std::vector<std::string> Entries = splitEntries(Anns[I]);
+          for (size_t J = 0; J != Entries.size(); ++J) {
+            std::vector<std::string> Fewer = Entries;
+            Fewer.erase(Fewer.begin() + J);
+            std::vector<std::string> Candidate = Anns;
+            if (Fewer.empty())
+              Candidate.erase(Candidate.begin() + I);
+            else
+              Candidate[I] = joinEntries(Fewer);
+            if (Check(emit(Current, Candidate))) {
+              Anns = std::move(Candidate);
+              Progress = Changed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    if (!Changed)
+      break;
+  }
+
+  Res.Reduced = emit(Current, Anns);
+  Res.ReducedTokens = countTokens(Res.Reduced);
+  return Res;
+}

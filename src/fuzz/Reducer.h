@@ -1,0 +1,65 @@
+//===- Reducer.h - Test-case reduction --------------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST-level delta debugging: shrinks a failing program to a minimal
+/// reproducer while a caller-supplied predicate keeps holding. The
+/// predicate is typically "the oracle still reports the same bucket",
+/// which pins the reduction to one defect; any predicate works, so tests
+/// can drive the reducer with synthetic failures.
+///
+/// The loop alternates three passes to a fixpoint: ddmin-style statement
+/// (subtree) removal, greedy expression simplification (drop an operand
+/// of a binary, unwrap transposes, collapse subscripts and literals),
+/// and shape-annotation pruning. Candidates that no longer parse simply
+/// fail the predicate, so every accepted step is a valid program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FUZZ_REDUCER_H
+#define MVEC_FUZZ_REDUCER_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace mvec {
+namespace fuzz {
+
+/// Returns true while the candidate still reproduces the failure under
+/// reduction. Called many times; must be deterministic.
+using FailPredicate = std::function<bool(const std::string &)>;
+
+struct ReduceOptions {
+  /// Fixpoint rounds over the three passes.
+  unsigned MaxRounds = 6;
+  /// Hard cap on predicate invocations (each runs the full oracle).
+  unsigned MaxChecks = 2000;
+};
+
+struct ReduceResult {
+  /// The minimized program (equal to the input when nothing shrank).
+  std::string Reduced;
+  size_t OriginalTokens = 0;
+  size_t ReducedTokens = 0;
+  /// Predicate invocations spent.
+  unsigned Checks = 0;
+};
+
+/// Number of lexical tokens in \p Source, excluding separators — the
+/// size metric reduction minimizes.
+size_t countTokens(const std::string &Source);
+
+/// Shrinks \p Source while \p StillFails holds. \p StillFails must be
+/// true for \p Source itself; otherwise the input is returned unchanged.
+ReduceResult reduceProgram(const std::string &Source,
+                           const FailPredicate &StillFails,
+                           const ReduceOptions &Opts = {});
+
+} // namespace fuzz
+} // namespace mvec
+
+#endif // MVEC_FUZZ_REDUCER_H

@@ -1,0 +1,72 @@
+//===- Rng.h - Deterministic fuzzing RNG ------------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The random source for the fuzzing subsystem. Deliberately not
+/// <random>: the standard distributions are implementation-defined, and
+/// the fuzzer promises that `--seed N` reproduces the identical program
+/// stream on every platform and standard library. splitmix64 plus plain
+/// modular reduction is bit-stable everywhere (the modulo bias is
+/// irrelevant at our range sizes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_FUZZ_RNG_H
+#define MVEC_FUZZ_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mvec {
+namespace fuzz {
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next 64 raw bits (splitmix64).
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [Lo, Hi], inclusive.
+  int range(int Lo, int Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int>(next() %
+                                 static_cast<uint64_t>(Hi - Lo + 1));
+  }
+
+  bool flip() { return next() & 1; }
+
+  /// True with probability Percent/100.
+  bool percent(int Percent) { return range(0, 99) < Percent; }
+
+  template <typename T> const T &pick(const std::vector<T> &Options) {
+    assert(!Options.empty() && "pick from empty set");
+    return Options[range(0, static_cast<int>(Options.size()) - 1)];
+  }
+
+  /// Derives an independent stream: mixes \p Salt into the current seed
+  /// without consuming from this stream. Used to give candidate K its own
+  /// generator so the stream stays reproducible no matter how many draws
+  /// each candidate makes.
+  static uint64_t deriveSeed(uint64_t Seed, uint64_t Salt) {
+    Rng R(Seed ^ (Salt * 0x2545f4914f6cdd1dull + 0x9e3779b97f4a7c15ull));
+    return R.next();
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace fuzz
+} // namespace mvec
+
+#endif // MVEC_FUZZ_RNG_H

@@ -163,6 +163,7 @@ void Interpreter::execAssign(const AssignStmt &S) {
     return;
   if (const auto *Ident = dyn_cast<IdentExpr>(S.lhs())) {
     Vars[Ident->name()] = std::move(RHS);
+    checkShapeCap(Ident->name(), S.loc());
     return;
   }
   const auto *Index = dyn_cast<IndexExpr>(S.lhs());
@@ -172,6 +173,23 @@ void Interpreter::execAssign(const AssignStmt &S) {
   }
   Value &Target = Vars[Index->baseName()]; // creates [] when absent
   writeIndexed(Target, *Index, RHS);
+  checkShapeCap(Index->baseName(), S.loc());
+}
+
+void Interpreter::checkShapeCap(const std::string &Name, SourceLoc Loc) {
+  if (ShapeCaps.empty() || Failed)
+    return;
+  auto It = ShapeCaps.find(Name);
+  if (It == ShapeCaps.end())
+    return;
+  const Value *V = getVariable(Name);
+  if (!V)
+    return;
+  if ((It->second.first && V->rows() > 1) ||
+      (It->second.second && V->cols() > 1))
+    fail(Loc, "variable '" + Name + "' exceeds its annotated shape (" +
+                  std::to_string(V->rows()) + "x" +
+                  std::to_string(V->cols()) + ")");
 }
 
 //===----------------------------------------------------------------------===//
@@ -367,7 +385,10 @@ bool Interpreter::toIndices(const Value &Idx, size_t Extent,
   Out.reserve(Idx.numel());
   for (size_t I = 0, E = Idx.numel(); I != E; ++I) {
     double D = Idx.linear(I);
-    if (D < 1.0 || D != std::floor(D)) {
+    // The finiteness check matters: floor(Inf) == Inf passes the
+    // integer test, and casting Inf to size_t is undefined behavior
+    // that turns into an out-of-bounds read.
+    if (!std::isfinite(D) || D < 1.0 || D != std::floor(D)) {
       fail(Loc, "subscript indices must be positive integers");
       return false;
     }
@@ -494,16 +515,22 @@ void Interpreter::writeIndexed(Value &Target, const IndexExpr &LHS,
       MaxIdx = std::fmax(MaxIdx, Idx.linear(I));
     if (MaxIdx > static_cast<double>(Target.numel())) {
       auto Needed = static_cast<size_t>(MaxIdx);
-      if (Target.isEmpty()) {
-        // x(5) = v on an empty x yields a row vector, unless the index
-        // values come as a column.
+      if (Target.rows() == 0 && Target.cols() <= 1) {
+        // x(5) = v on a 0x0 x yields a row vector, unless the index
+        // values come as a column. A 0x1 empty takes the same path:
+        // element-at-a-time growth necessarily passes through a 1x1
+        // value (which then widens into a row), so slice growth must
+        // agree or the two orders of writing the same elements would
+        // produce different shapes. Degenerate empties with a wider
+        // dimension (e.g. zeros(7,0)) are matrices and fall through to
+        // the growth error below, as in MATLAB.
         if (Idx.isColumn() && Idx.numel() > 1)
           Target.growTo(Needed, 1);
         else
           Target.growTo(1, Needed);
-      } else if (Target.isRow()) {
+      } else if (Target.rows() == 1) {
         Target.growTo(1, Needed);
-      } else if (Target.isColumn()) {
+      } else if (Target.cols() == 1) {
         Target.growTo(Needed, 1);
       } else {
         fail(LHS.loc(),

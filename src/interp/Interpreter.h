@@ -106,6 +106,17 @@ public:
   /// Reports a runtime error (first error wins).
   void fail(SourceLoc Loc, std::string Message);
 
+  /// Declares that a variable's row/column extent must never exceed one
+  /// (pair = {rows capped, cols capped}). Checked after every assignment
+  /// to that name; a violation is a runtime error. Differential
+  /// validation uses this to reject inputs whose %! annotations declare
+  /// an axis as 1 while the program materializes something wider — the
+  /// input lied to the shape analysis, so divergence is not a
+  /// vectorizer defect.
+  void setShapeCaps(std::map<std::string, std::pair<bool, bool>> Caps) {
+    ShapeCaps = std::move(Caps);
+  }
+
 private:
   enum class Flow { Normal, Break, Continue, Return };
 
@@ -132,7 +143,11 @@ private:
   Value readIndexed(const Value &Base, const IndexExpr &E);
   void writeIndexed(Value &Target, const IndexExpr &LHS, const Value &RHS);
 
+  /// Enforces a registered shape cap after an assignment to \p Name.
+  void checkShapeCap(const std::string &Name, SourceLoc Loc);
+
   std::map<std::string, Value> Vars;
+  std::map<std::string, std::pair<bool, bool>> ShapeCaps;
   std::string Output;
   bool Failed = false;
   std::string ErrorMsg;

@@ -194,9 +194,20 @@ Value mvec::makeRange(double Start, double Step, double Stop, OpError &Err) {
     Err.set("range step must be nonzero");
     return Value();
   }
+  if (!std::isfinite(Start) || !std::isfinite(Step) ||
+      !std::isfinite(Stop)) {
+    // A NaN/Inf count would be cast to size_t below, which is undefined
+    // behavior, not merely a huge allocation.
+    Err.set("range endpoints must be finite");
+    return Value();
+  }
   double CountF = std::floor((Stop - Start) / Step + 1e-10) + 1.0;
   if (CountF < 1.0)
     return Value(1, 0); // empty row
+  if (CountF > 1e9) {
+    Err.set("range is too large");
+    return Value();
+  }
   auto Count = static_cast<size_t>(CountF);
   Value Result(1, Count);
   for (size_t I = 0; I != Count; ++I)

@@ -6,6 +6,8 @@
 
 #include "service/ContentCache.h"
 
+#include <cstring>
+
 using namespace mvec;
 
 uint64_t mvec::fnv1aHash(const std::string &Data, uint64_t Hash) {
@@ -38,6 +40,21 @@ uint64_t mvec::cacheKeyFor(const std::string &Source,
   for (int Byte = 0; Byte != 8; ++Byte) {
     Key ^= (Config >> (8 * Byte)) & 0xFF;
     Key *= 0x100000001b3ull;
+  }
+  return Key;
+}
+
+uint64_t mvec::cacheKeyFor(const JobSpec &Spec) {
+  uint64_t Key = cacheKeyFor(Spec.Source, Spec.Opts, Spec.Validate);
+  uint64_t TolBits;
+  static_assert(sizeof(TolBits) == sizeof(Spec.ValidateTol));
+  std::memcpy(&TolBits, &Spec.ValidateTol, sizeof(TolBits));
+  for (uint64_t Word :
+       {TolBits, Spec.MaxSteps, uint64_t(Spec.CheckAnnotations)}) {
+    for (int Byte = 0; Byte != 8; ++Byte) {
+      Key ^= (Word >> (8 * Byte)) & 0xFF;
+      Key *= 0x100000001b3ull;
+    }
   }
   return Key;
 }

@@ -45,6 +45,13 @@ uint64_t optionsFingerprint(const VectorizerOptions &Opts);
 uint64_t cacheKeyFor(const std::string &Source, const VectorizerOptions &Opts,
                      bool Validate);
 
+/// The cache key for a full job spec. Additionally folds in the
+/// result-affecting validation knobs (tolerance, step budget) so two
+/// submissions of the same source under different execution bounds never
+/// share a verdict. Deadlines are deliberately excluded: they only decide
+/// *whether* a result is produced, and failed results are never cached.
+uint64_t cacheKeyFor(const JobSpec &Spec);
+
 /// Bounded LRU map from cache key to successful JobResult.
 class ContentCache {
 public:

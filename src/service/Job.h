@@ -48,6 +48,19 @@ struct JobSpec {
   /// starts when a worker picks the job up, and bounds the whole job
   /// (vectorization plus validation runs).
   std::chrono::milliseconds Deadline{0};
+  /// Comparison tolerance for differential validation. The pipeline may
+  /// reorder floating-point reductions; callers comparing reduction-heavy
+  /// programs typically relax this to ~1e-7.
+  double ValidateTol = 1e-9;
+  /// Per-run interpreted-statement budget for each validation run
+  /// (0 = unlimited). Unlike the wall-clock deadline this is
+  /// deterministic, which the fuzzing oracle relies on to classify hangs
+  /// reproducibly.
+  uint64_t MaxSteps = 0;
+  /// Reject (as an "original program" failure) inputs whose runtime
+  /// shapes contradict their %! annotations; see
+  /// RunLimits::CheckAnnotations.
+  bool CheckAnnotations = false;
 };
 
 /// What the service produced for one job.

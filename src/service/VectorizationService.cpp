@@ -108,7 +108,7 @@ JobResult VectorizationService::processJob(const JobSpec &Spec,
     R.Status = JobStatus::Cancelled;
     R.Message = "batch cancelled before execution";
   } else if (Config.CacheCapacity > 0) {
-    uint64_t Key = cacheKeyFor(Spec.Source, Spec.Opts, Spec.Validate);
+    uint64_t Key = cacheKeyFor(Spec);
     if (std::optional<JobResult> Hit = Cache.lookup(Key)) {
       Metrics.CacheHits.fetch_add(1, std::memory_order_relaxed);
       R = std::move(*Hit);
@@ -158,6 +158,8 @@ JobResult VectorizationService::executeUncached(const JobSpec &Spec,
   if (DeadlineMs.count() > 0)
     Limits.Deadline = Start + DeadlineMs;
   Limits.Cancel = &CancelRequested;
+  Limits.MaxSteps = Spec.MaxSteps;
+  Limits.CheckAnnotations = Spec.CheckAnnotations;
 
   // One malformed (or downright hostile) script must never take the
   // worker — or the batch — down with it: every failure mode folds into
@@ -187,8 +189,8 @@ JobResult VectorizationService::executeUncached(const JobSpec &Spec,
 
     if (Spec.Validate) {
       Clock::time_point T1 = Clock::now();
-      DiffOutcome Diff =
-          diffRunLimited(Spec.Source, P.VectorizedSource, Limits);
+      DiffOutcome Diff = diffRunLimited(Spec.Source, P.VectorizedSource,
+                                        Limits, Spec.ValidateTol);
       R.ValidateSeconds = secondsSince(T1, Clock::now());
       Metrics.ValidateLatency.record(R.ValidateSeconds);
       switch (Diff.Status) {

@@ -11,7 +11,9 @@
 #include "frontend/Simplify.h"
 #include "vectorizer/DimChecker.h"
 
+#include <algorithm>
 #include <map>
+#include <optional>
 
 using namespace mvec;
 
@@ -21,11 +23,24 @@ class CodegenDriver {
 public:
   CodegenDriver(const LoopNest &Nest, const DepGraph &Graph,
                 const ShapeEnv &Env, const PatternDatabase &DB,
-                const VectorizerOptions &Opts, DiagnosticEngine &Diags)
-      : Nest(Nest), Graph(Graph), Env(Env), DB(DB), Opts(Opts), Diags(Diags) {
-  }
+                const VectorizerOptions &Opts, DiagnosticEngine &Diags,
+                const CodegenGuards &Guards)
+      : Nest(Nest), Graph(Graph), Env(Env), DB(DB), Opts(Opts), Diags(Diags),
+        Guards(Guards) {}
 
   CodegenResult run() {
+    // When the root loop's trip count is provably zero, nothing in the
+    // nest ever executes; the replacement is no statements at all.
+    // (Inner levels don't qualify: statements at shallower levels still
+    // run when only a deeper loop is empty. Index-variable liveness was
+    // already checked by the caller, so dropping the index assignments
+    // is unobservable.)
+    if (provablyZeroTrips(1, 1)) {
+      remark(Nest.Loops[0].Loop ? Nest.Loops[0].Loop->loc() : SourceLoc(),
+             "removed loop nest with provably-zero trip count");
+      Result.VectorizedStmts = Nest.Stmts.size();
+      return std::move(Result);
+    }
     std::vector<unsigned> All;
     for (unsigned I = 0; I != Nest.Stmts.size(); ++I)
       All.push_back(I);
@@ -38,6 +53,11 @@ private:
                                unsigned Level);
   void emitSingle(unsigned StmtIdx, unsigned Level,
                   std::vector<StmtPtr> &Block);
+  std::optional<double> literalValue(const Expr *E) const;
+  bool provablyPositiveTrips(unsigned L, unsigned MaxL) const;
+  bool provablyZeroTrips(unsigned L, unsigned MaxL) const;
+  std::string emptyTripHazard(unsigned L, unsigned MaxL,
+                              bool IsReduction) const;
 
   StmtPtr makeSequentialLoop(unsigned Level) const {
     const LoopHeader &H = Nest.Loops[Level - 1];
@@ -56,8 +76,149 @@ private:
   const PatternDatabase &DB;
   const VectorizerOptions &Opts;
   DiagnosticEngine &Diags;
+  const CodegenGuards &Guards;
   CodegenResult Result;
 };
+
+/// Evaluates \p E to a number using literals and the caller-provided
+/// constant bindings (handles the same operator subset as
+/// evaluateConstant, with identifiers resolved through
+/// Guards.Constants).
+std::optional<double> CodegenDriver::literalValue(const Expr *E) const {
+  if (!E)
+    return std::nullopt;
+  if (const auto *Id = dyn_cast<IdentExpr>(E)) {
+    auto It = Guards.Constants.find(Id->name());
+    if (It != Guards.Constants.end())
+      return It->second;
+    return std::nullopt;
+  }
+  if (const auto *Un = dyn_cast<UnaryExpr>(E)) {
+    std::optional<double> V = literalValue(Un->operand());
+    if (!V || Un->op() == UnaryOp::Not)
+      return std::nullopt;
+    return Un->op() == UnaryOp::Minus ? -*V : *V;
+  }
+  if (const auto *Bin = dyn_cast<BinaryExpr>(E)) {
+    std::optional<double> A = literalValue(Bin->lhs());
+    std::optional<double> B = literalValue(Bin->rhs());
+    if (!A || !B)
+      return std::nullopt;
+    switch (Bin->op()) {
+    case BinaryOp::Add:
+      return *A + *B;
+    case BinaryOp::Sub:
+      return *A - *B;
+    case BinaryOp::Mul:
+    case BinaryOp::DotMul:
+      return *A * *B;
+    case BinaryOp::Div:
+    case BinaryOp::DotDiv:
+      return *A / *B;
+    default:
+      return std::nullopt;
+    }
+  }
+  if (const auto *Ix = dyn_cast<IndexExpr>(E)) {
+    // size/length/numel of a variable whose construction had literal
+    // extents — but only when the name really is the builtin (no
+    // assignment anywhere shadows it).
+    std::string Fn = Ix->baseName();
+    if (Fn.empty() || Guards.AssignedNames.count(Fn) || Ix->numArgs() == 0)
+      return std::nullopt;
+    const auto *Arg0 = dyn_cast<IdentExpr>(Ix->arg(0));
+    if (!Arg0)
+      return std::nullopt;
+    auto DimIt = Guards.KnownDims.find(Arg0->name());
+    if (DimIt == Guards.KnownDims.end())
+      return std::nullopt;
+    double R = DimIt->second.first, C = DimIt->second.second;
+    if (Fn == "size" && Ix->numArgs() == 2) {
+      std::optional<double> K = literalValue(Ix->arg(1));
+      if (K && *K == 1.0)
+        return R;
+      if (K && *K == 2.0)
+        return C;
+    } else if (Fn == "length" && Ix->numArgs() == 1) {
+      return (R == 0 || C == 0) ? 0.0 : std::max(R, C);
+    } else if (Fn == "numel" && Ix->numArgs() == 1) {
+      return R * C;
+    }
+    return std::nullopt;
+  }
+  double V;
+  if (evaluateConstant(*E, V))
+    return V;
+  return std::nullopt;
+}
+
+/// True when every loop at levels \p L..\p MaxL provably executes at
+/// least one iteration.
+bool CodegenDriver::provablyPositiveTrips(unsigned L, unsigned MaxL) const {
+  for (unsigned K = L; K <= MaxL; ++K) {
+    const LoopHeader &H = Nest.Loops[K - 1];
+    std::optional<double> Start = literalValue(H.Start);
+    std::optional<double> Stop = literalValue(H.Stop);
+    if (!Start || !Stop)
+      return false;
+    double Step = 1.0;
+    if (H.Step) {
+      std::optional<double> SV = literalValue(H.Step);
+      if (!SV)
+        return false;
+      Step = *SV;
+    }
+    bool Positive = (Step > 0 && *Start <= *Stop) ||
+                    (Step < 0 && *Start >= *Stop);
+    if (!Positive)
+      return false;
+  }
+  return true;
+}
+
+/// True when some loop at levels \p L..\p MaxL provably executes zero
+/// iterations, so the nest's body never runs at all.
+bool CodegenDriver::provablyZeroTrips(unsigned L, unsigned MaxL) const {
+  for (unsigned K = L; K <= MaxL; ++K) {
+    const LoopHeader &H = Nest.Loops[K - 1];
+    std::optional<double> Start = literalValue(H.Start);
+    std::optional<double> Stop = literalValue(H.Stop);
+    if (!Start || !Stop)
+      continue;
+    double Step = 1.0;
+    if (H.Step) {
+      std::optional<double> SV = literalValue(H.Step);
+      if (!SV)
+        continue;
+      Step = *SV;
+    }
+    if (Step == 0 || (Step > 0 && *Start > *Stop) ||
+        (Step < 0 && *Start < *Stop))
+      return true;
+  }
+  return false;
+}
+
+/// A vectorized statement executes exactly once where the original body
+/// ran once per iteration — including zero times when a range is empty.
+/// Evaluating the emitted statement over an empty slice is not a
+/// faithful stand-in for not executing: empty subscripts flip
+/// orientation on degenerate bases, subscripts on the other axes are
+/// still bounds-checked eagerly, whole-variable writes happen that the
+/// original skipped, and reductions can yield empty instead of the
+/// additive identity. Emission is therefore allowed only when every
+/// vectorized level's trip count is provably at least one.
+/// Returns a diagnostic reason when emission is unsafe, "" when safe.
+std::string CodegenDriver::emptyTripHazard(unsigned L, unsigned MaxL,
+                                           bool IsReduction) const {
+  if (provablyPositiveTrips(L, MaxL))
+    return "";
+  if (IsReduction)
+    return "reduction over a possibly-empty range (trip count not provably "
+           "positive)";
+  return "statement may execute zero times (trip count not provably "
+         "positive)";
+}
 
 std::vector<StmtPtr>
 CodegenDriver::codegen(const std::vector<unsigned> &Active, unsigned Level) {
@@ -134,6 +295,7 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
     DimChecker Checker(Nest, L, MaxL, Env, DB, Opts);
     std::optional<CheckedStmt> Checked;
     std::string Why;
+    bool IsReduction = false;
 
     if (CarriedLevels.empty()) {
       Checked = Checker.checkStatement(*NS.S);
@@ -158,6 +320,7 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
           Covered = false;
       if (Covered) {
         Checked = Checker.checkStatement(*NS.S, ReductionVars);
+        IsReduction = true;
         if (!Checked)
           Why = Checker.failureReason();
       } else {
@@ -182,12 +345,17 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
       RHS = simplifyExpr(std::move(RHS));
       auto NewStmt = std::make_unique<AssignStmt>(
           std::move(LHS), std::move(RHS), NS.S->loc());
-      remark(NS.S->loc(), "vectorized statement at loop level " +
-                              std::to_string(L) + ": " +
-                              printStmt(*NewStmt));
-      BlockPtr->push_back(std::move(NewStmt));
-      ++Result.VectorizedStmts;
-      return;
+      std::string Hazard = emptyTripHazard(L, MaxL, IsReduction);
+      if (Hazard.empty()) {
+        remark(NS.S->loc(), "vectorized statement at loop level " +
+                                std::to_string(L) + ": " +
+                                printStmt(*NewStmt));
+        BlockPtr->push_back(std::move(NewStmt));
+        ++Result.VectorizedStmts;
+        return;
+      }
+      Checked.reset();
+      Why = Hazard;
     }
 
     if (!Why.empty())
@@ -211,6 +379,7 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
 CodegenResult mvec::runCodegen(const LoopNest &Nest, const DepGraph &Graph,
                                const ShapeEnv &Env, const PatternDatabase &DB,
                                const VectorizerOptions &Opts,
-                               DiagnosticEngine &Diags) {
-  return CodegenDriver(Nest, Graph, Env, DB, Opts, Diags).run();
+                               DiagnosticEngine &Diags,
+                               const CodegenGuards &Guards) {
+  return CodegenDriver(Nest, Graph, Env, DB, Opts, Diags, Guards).run();
 }

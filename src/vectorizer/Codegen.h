@@ -25,9 +25,34 @@
 #include "support/Diagnostics.h"
 #include "vectorizer/Options.h"
 
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 namespace mvec {
+
+/// Program-level facts codegen consults to prove loop trip counts
+/// positive. A vectorized statement executes exactly once where the
+/// original body ran once per iteration — including zero times when a
+/// range is empty — and empty-range slice evaluation is not a faithful
+/// stand-in for not executing (orientations flip on degenerate bases,
+/// subscripts on sibling axes are still bounds-checked, reductions can
+/// yield empty instead of the identity). Emission therefore requires
+/// every vectorized level's trip count to be provably at least one.
+struct CodegenGuards {
+  /// Names bound to a known literal constant at the nest's entry; used
+  /// to prove trip counts positive (e.g. "n = 5;" upstream of 1:n).
+  std::map<std::string, double> Constants;
+  /// Row/column extents of variables constructed with known sizes
+  /// (x = rand(5,7), zeros(n,1) with n constant, ...); lets bounds like
+  /// 1:size(x,2) prove their trip counts.
+  std::map<std::string, std::pair<double, double>> KnownDims;
+  /// Every name assigned anywhere in the program. A call like size(A,1)
+  /// is only folded when "size" is not among them — an assignment
+  /// anywhere shadows the builtin.
+  std::set<std::string> AssignedNames;
+};
 
 /// Outcome of code generation for one loop nest.
 struct CodegenResult {
@@ -46,7 +71,8 @@ struct CodegenResult {
 CodegenResult runCodegen(const LoopNest &Nest, const DepGraph &Graph,
                          const ShapeEnv &Env, const PatternDatabase &DB,
                          const VectorizerOptions &Opts,
-                         DiagnosticEngine &Diags);
+                         DiagnosticEngine &Diags,
+                         const CodegenGuards &Guards = {});
 
 } // namespace mvec
 

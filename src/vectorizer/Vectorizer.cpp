@@ -8,11 +8,228 @@
 
 #include "deps/DepAnalysis.h"
 #include "deps/LoopNest.h"
+#include "frontend/ASTUtils.h"
 #include "vectorizer/Codegen.h"
+
+#include <cmath>
+#include <optional>
 
 using namespace mvec;
 
 namespace {
+
+/// Collects every name assigned anywhere under \p Body (assignment
+/// targets, including indexed-assignment bases, and loop index
+/// variables) into \p Names.
+void collectAssignedNames(const std::vector<StmtPtr> &Body,
+                          std::set<std::string> &Names) {
+  visitStmts(Body, [&](const Stmt &S) {
+    if (const auto *A = dyn_cast<AssignStmt>(&S)) {
+      if (const auto *Id = dyn_cast<IdentExpr>(A->lhs()))
+        Names.insert(Id->name());
+      else if (const auto *Ix = dyn_cast<IndexExpr>(A->lhs()))
+        if (const auto *Base = dyn_cast<IdentExpr>(Ix->base()))
+          Names.insert(Base->name());
+    } else if (const auto *F = dyn_cast<ForStmt>(&S)) {
+      Names.insert(F->indexVar());
+    }
+  });
+}
+
+/// True when the statement \p Target occurs in the subtree under \p Body.
+bool containsStmt(const std::vector<StmtPtr> &Body, const Stmt *Target) {
+  bool Found = false;
+  visitStmts(Body, [&](const Stmt &S) {
+    if (&S == Target)
+      Found = true;
+  });
+  return Found;
+}
+
+/// True when some statement outside loop \p L's subtree may read \p V —
+/// the value \p L's index variable holds after the loop finishes. A
+/// sibling for-loop that itself iterates over \p V rebinds the name, so
+/// reads in its body are not charged to \p L (its range expression is
+/// evaluated before the rebinding and still counts).
+bool readsIndexOutside(const std::vector<StmtPtr> &Body, const std::string &V,
+                       const ForStmt *L) {
+  for (const StmtPtr &SP : Body) {
+    const Stmt *S = SP.get();
+    if (S == static_cast<const Stmt *>(L))
+      continue; // reads under L observe the loop's own binding
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      if (mentionsIdentifier(*A->rhs(), V))
+        return true;
+      // LHS subscripts are reads; a plain identifier LHS is a pure write.
+      if (!isa<IdentExpr>(A->lhs()) && mentionsIdentifier(*A->lhs(), V))
+        return true;
+      break;
+    }
+    case Stmt::Kind::Expr:
+      if (mentionsIdentifier(*cast<ExprStmt>(S)->expr(), V))
+        return true;
+      break;
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      if (mentionsIdentifier(*F->range(), V))
+        return true;
+      if (F->indexVar() == V && !containsStmt(F->body(), L))
+        break;
+      if (readsIndexOutside(F->body(), V, L))
+        return true;
+      break;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      if (mentionsIdentifier(*W->cond(), V) ||
+          readsIndexOutside(W->body(), V, L))
+        return true;
+      break;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      for (const IfStmt::Branch &B : I->branches()) {
+        if (B.Cond && mentionsIdentifier(*B.Cond, V))
+          return true;
+        if (readsIndexOutside(B.Body, V, L))
+          return true;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return false;
+}
+
+/// Row/column extents of \p E when they are statically known: literal-size
+/// constructors (rand/zeros/ones/eye, reshape), elementwise builtins and
+/// operators over operands with known extents, and scalars bound in
+/// \p Constants. Used only to prove loop trip counts positive, so every
+/// rule must be exact for programs the interpreter accepts; programs the
+/// rules would misjudge (mismatched operand shapes, non-integer
+/// constructor extents) error identically in original and transformed
+/// form before the proof matters. Names in \p Assigned shadow builtins.
+std::optional<std::pair<double, double>>
+knownDimsOf(const Expr *E, const std::map<std::string, double> &Constants,
+            const std::map<std::string, std::pair<double, double>> &Known,
+            const std::set<std::string> &Assigned) {
+  if (!E)
+    return std::nullopt;
+  auto Recurse = [&](const Expr *Sub) {
+    return knownDimsOf(Sub, Constants, Known, Assigned);
+  };
+  if (isa<NumberExpr>(E))
+    return std::make_pair(1.0, 1.0);
+  if (const auto *Id = dyn_cast<IdentExpr>(E)) {
+    auto It = Known.find(Id->name());
+    if (It != Known.end())
+      return It->second;
+    if (Constants.count(Id->name()))
+      return std::make_pair(1.0, 1.0);
+    return std::nullopt;
+  }
+  if (const auto *Un = dyn_cast<UnaryExpr>(E))
+    return Recurse(Un->operand());
+  if (const auto *Tr = dyn_cast<TransposeExpr>(E)) {
+    auto D = Recurse(Tr->operand());
+    if (!D)
+      return std::nullopt;
+    return std::make_pair(D->second, D->first);
+  }
+  if (const auto *Bin = dyn_cast<BinaryExpr>(E)) {
+    auto A = Recurse(Bin->lhs());
+    auto B = Recurse(Bin->rhs());
+    if (!A || !B)
+      return std::nullopt;
+    bool AScalar = A->first == 1 && A->second == 1;
+    bool BScalar = B->first == 1 && B->second == 1;
+    if (isPointwiseArithOp(Bin->op()) || isElementwiseRelOp(Bin->op())) {
+      if (AScalar)
+        return B;
+      if (BScalar || *A == *B)
+        return A;
+      return std::nullopt;
+    }
+    switch (Bin->op()) {
+    case BinaryOp::Mul:
+      if (AScalar)
+        return B;
+      if (BScalar)
+        return A;
+      if (A->second == B->first)
+        return std::make_pair(A->first, B->second);
+      return std::nullopt;
+    case BinaryOp::Div:
+    case BinaryOp::Pow:
+      // Only the scalar-divisor/exponent cases are elementwise-like;
+      // matrix divide/power shapes are not modeled.
+      if (BScalar)
+        return A;
+      return std::nullopt;
+    default:
+      return std::nullopt;
+    }
+  }
+  if (const auto *Ix = dyn_cast<IndexExpr>(E)) {
+    std::string Fn = Ix->baseName();
+    if (Fn.empty() || Assigned.count(Fn))
+      return std::nullopt;
+    auto ConstArg = [&](unsigned I) -> std::optional<double> {
+      double V;
+      if (I < Ix->numArgs() && evaluateConstantWith(*Ix->arg(I), Constants, V) &&
+          std::isfinite(V) && V >= 0 && V == std::floor(V))
+        return V;
+      return std::nullopt;
+    };
+    if (Fn == "rand" || Fn == "zeros" || Fn == "ones" || Fn == "eye") {
+      if (Ix->numArgs() == 0)
+        return std::make_pair(1.0, 1.0);
+      if (Ix->numArgs() == 1) {
+        auto N = ConstArg(0);
+        if (N)
+          return std::make_pair(*N, *N);
+        return std::nullopt;
+      }
+      if (Ix->numArgs() == 2) {
+        auto R = ConstArg(0);
+        auto C = ConstArg(1);
+        if (R && C)
+          return std::make_pair(*R, *C);
+      }
+      return std::nullopt;
+    }
+    if (Fn == "reshape" && Ix->numArgs() == 3) {
+      auto R = ConstArg(1);
+      auto C = ConstArg(2);
+      if (R && C)
+        return std::make_pair(*R, *C);
+      return std::nullopt;
+    }
+    // Elementwise single-argument builtins preserve extents.
+    static const std::set<std::string> Elementwise = {
+        "abs",  "sqrt",  "sin", "cos", "tan", "exp",
+        "log",  "floor", "ceil", "round", "fix"};
+    if (Elementwise.count(Fn) && Ix->numArgs() == 1)
+      return Recurse(Ix->arg(0));
+    if (Fn == "mod" && Ix->numArgs() == 2) {
+      auto A = Recurse(Ix->arg(0));
+      auto B = Recurse(Ix->arg(1));
+      if (!A || !B)
+        return std::nullopt;
+      if (B->first == 1 && B->second == 1)
+        return A;
+      if ((A->first == 1 && A->second == 1) || *A == *B)
+        return B;
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
 
 class VectorizerDriver {
 public:
@@ -21,21 +238,67 @@ public:
                    VectorizeStats &Stats)
       : Env(Env), DB(DB), Opts(Opts), Diags(Diags), Stats(Stats) {}
 
-  void processBody(std::vector<StmtPtr> &Body);
+  void run(Program &P) {
+    TopBody = &P.Stmts;
+    collectAssignedNames(P.Stmts, Guards.AssignedNames);
+    processBody(P.Stmts);
+  }
 
 private:
+  void processBody(std::vector<StmtPtr> &Body);
+
   /// Attempts to vectorize the nest rooted at \p Loop. Returns the
-  /// replacement statements, or an empty vector when the loop should stay.
-  std::vector<StmtPtr> tryNest(ForStmt &Loop);
+  /// replacement statements (an empty list when the nest was deleted as
+  /// provably zero-trip), or nullopt when the loop should stay.
+  std::optional<std::vector<StmtPtr>> tryNest(ForStmt &Loop);
+
+  /// Updates the constant/known-extent facts for a straight-line
+  /// assignment reaching this program point on every execution.
+  void recordAssignment(const AssignStmt &A) {
+    if (const auto *Id = dyn_cast<IdentExpr>(A.lhs())) {
+      double V;
+      if (evaluateConstantWith(*A.rhs(), Guards.Constants, V))
+        Guards.Constants[Id->name()] = V;
+      else
+        Guards.Constants.erase(Id->name());
+      auto Dims = knownDimsOf(A.rhs(), Guards.Constants, Guards.KnownDims,
+                              Guards.AssignedNames);
+      if (Dims)
+        Guards.KnownDims[Id->name()] = *Dims;
+      else
+        Guards.KnownDims.erase(Id->name());
+    } else if (const auto *Ix = dyn_cast<IndexExpr>(A.lhs())) {
+      if (const auto *Base = dyn_cast<IdentExpr>(Ix->base())) {
+        Guards.Constants.erase(Base->name());
+        // An indexed write can grow the variable, so its recorded
+        // extents are no longer trustworthy.
+        Guards.KnownDims.erase(Base->name());
+      }
+    }
+  }
+
+  void eraseAssignedConstants(const std::vector<StmtPtr> &Body) {
+    std::set<std::string> Assigned;
+    collectAssignedNames(Body, Assigned);
+    for (const std::string &Name : Assigned) {
+      Guards.Constants.erase(Name);
+      Guards.KnownDims.erase(Name);
+    }
+  }
 
   ShapeEnv Env; ///< extended with enclosing loop indices while recursing
   const PatternDatabase &DB;
   const VectorizerOptions &Opts;
   DiagnosticEngine &Diags;
   VectorizeStats &Stats;
+  /// Root statement list of the program being rewritten; liveness of
+  /// loop index variables is judged against this whole tree.
+  const std::vector<StmtPtr> *TopBody = nullptr;
+  /// Facts codegen needs to stay sound when trip counts may be zero.
+  CodegenGuards Guards;
 };
 
-std::vector<StmtPtr> VectorizerDriver::tryNest(ForStmt &Loop) {
+std::optional<std::vector<StmtPtr>> VectorizerDriver::tryNest(ForStmt &Loop) {
   ++Stats.LoopNestsConsidered;
 
   // Work on a clone: normalization rewrites the tree, and we only commit
@@ -52,54 +315,129 @@ std::vector<StmtPtr> VectorizerDriver::tryNest(ForStmt &Loop) {
     if (Opts.EmitRemarks)
       Diags.remark(Loop.loc(), "loop not a vectorization candidate: " +
                                    Reason);
-    return {};
+    return std::nullopt;
+  }
+
+  // rand() draws from sequential generator state: hoisting an invariant
+  // call changes how many draws happen, and reordering statements
+  // changes which values land where. Any rewrite of a nest that draws
+  // random numbers is observable, so refuse the whole nest.
+  bool DrawsRandom = false;
+  auto CheckExprForRand = [&DrawsRandom](const Expr &E) {
+    if (mentionsIdentifier(E, "rand"))
+      DrawsRandom = true;
+  };
+  visitStmts(Loop.body(), [&](const Stmt &S) {
+    if (const auto *A = dyn_cast<AssignStmt>(&S)) {
+      CheckExprForRand(*A->rhs());
+      CheckExprForRand(*A->lhs());
+    } else if (const auto *E = dyn_cast<ExprStmt>(&S)) {
+      CheckExprForRand(*E->expr());
+    } else if (const auto *F = dyn_cast<ForStmt>(&S)) {
+      CheckExprForRand(*F->range());
+    }
+  });
+  if (DrawsRandom) {
+    ++Stats.IneligibleNests;
+    if (Opts.EmitRemarks)
+      Diags.remark(Loop.loc(), "loop not a vectorization candidate: body "
+                               "draws random numbers (order-sensitive)");
+    return std::nullopt;
+  }
+
+  // The interpreter leaves an index variable holding its final value
+  // after the loop; neither the vector rewrite nor index normalization
+  // reproduces that, so any possible later read of an index variable
+  // makes the nest ineligible.
+  std::vector<const ForStmt *> NestLoops;
+  NestLoops.push_back(&Loop);
+  visitStmts(Loop.body(), [&](const Stmt &S) {
+    if (const auto *F = dyn_cast<ForStmt>(&S))
+      NestLoops.push_back(F);
+  });
+  for (const ForStmt *F : NestLoops) {
+    if (TopBody && readsIndexOutside(*TopBody, F->indexVar(), F)) {
+      ++Stats.IneligibleNests;
+      if (Opts.EmitRemarks)
+        Diags.remark(Loop.loc(),
+                     "loop not a vectorization candidate: index variable '" +
+                         F->indexVar() + "' may be read after the loop");
+      return std::nullopt;
+    }
   }
 
   DepGraph Graph = buildDepGraph(*Nest, Env);
-  CodegenResult Result = runCodegen(*Nest, Graph, Env, DB, Opts, Diags);
+  CodegenResult Result = runCodegen(*Nest, Graph, Env, DB, Opts, Diags, Guards);
 
   Stats.StmtsVectorized += Result.VectorizedStmts;
   Stats.StmtsSequential += Result.SequentialStmts;
   if (Result.VectorizedStmts != 0)
     Stats.SequentialLoopsEmitted += Result.SequentialLoops;
   if (Result.VectorizedStmts == 0)
-    return {}; // nothing improved: keep the original loop untouched
+    return std::nullopt; // nothing improved: keep the original loop untouched
 
   ++Stats.LoopNestsImproved;
   return std::move(Result.Stmts);
 }
 
 void VectorizerDriver::processBody(std::vector<StmtPtr> &Body) {
-  std::vector<StmtPtr> NewBody;
-  NewBody.reserve(Body.size());
-  for (StmtPtr &S : Body) {
-    if (auto *Loop = dyn_cast<ForStmt>(S.get())) {
-      std::vector<StmtPtr> Replacement = tryNest(*Loop);
-      if (!Replacement.empty()) {
-        for (StmtPtr &R : Replacement)
-          NewBody.push_back(std::move(R));
+  // Rewrites in place (splicing replacements at the loop's position) so
+  // the whole program tree stays walkable mid-pass: the index-liveness
+  // check inspects statements far from the nest being considered.
+  for (size_t I = 0; I < Body.size(); ++I) {
+    Stmt *S = Body[I].get();
+    if (auto *Loop = dyn_cast<ForStmt>(S)) {
+      // Names the loop subtree assigns hold unknown values afterwards
+      // regardless of whether the nest is rewritten.
+      eraseAssignedConstants(Loop->body());
+      Guards.Constants.erase(Loop->indexVar());
+      Guards.KnownDims.erase(Loop->indexVar());
+
+      std::optional<std::vector<StmtPtr>> Replacement = tryNest(*Loop);
+      if (Replacement) {
+        // Commit the rewrite — possibly zero statements, when the whole
+        // nest was provably zero-trip and simply removed.
+        size_t N = Replacement->size();
+        Body.erase(Body.begin() + I);
+        Body.insert(Body.begin() + I,
+                    std::make_move_iterator(Replacement->begin()),
+                    std::make_move_iterator(Replacement->end()));
+        // Resume scanning at the first statement after the replacement
+        // (unsigned wraparound at I==0, N==0 is undone by the ++I).
+        I += N;
+        --I;
         continue;
       }
       // Keep the loop; try loops nested inside it independently. Within
-      // the body this loop's index variable is a scalar.
+      // the body this loop's index variable is a scalar, and facts
+      // established inside the body are conditional on the loop running.
       std::optional<Dimensionality> Saved = Env.getShape(Loop->indexVar());
       Env.setShape(Loop->indexVar(), Dimensionality::scalar());
+      CodegenGuards SavedGuards = Guards;
       processBody(Loop->body());
+      Guards = std::move(SavedGuards);
       if (Saved)
         Env.setShape(Loop->indexVar(), *Saved);
       else
         Env.erase(Loop->indexVar());
-      NewBody.push_back(std::move(S));
       continue;
     }
-    if (auto *While = dyn_cast<WhileStmt>(S.get()))
+    if (auto *While = dyn_cast<WhileStmt>(S)) {
+      eraseAssignedConstants(While->body());
+      CodegenGuards SavedGuards = Guards;
       processBody(While->body());
-    else if (auto *If = dyn_cast<IfStmt>(S.get()))
-      for (IfStmt::Branch &B : If->branches())
+      Guards = std::move(SavedGuards);
+    } else if (auto *If = dyn_cast<IfStmt>(S)) {
+      for (IfStmt::Branch &B : If->branches()) {
+        eraseAssignedConstants(B.Body);
+        CodegenGuards SavedGuards = Guards;
         processBody(B.Body);
-    NewBody.push_back(std::move(S));
+        Guards = std::move(SavedGuards);
+      }
+    } else if (const auto *A = dyn_cast<AssignStmt>(S)) {
+      recordAssignment(*A);
+    }
   }
-  Body = std::move(NewBody);
 }
 
 } // namespace
@@ -113,6 +451,6 @@ Program mvec::vectorizeProgram(const Program &P, const ShapeEnv &Env,
   VectorizeStats &S = Stats ? *Stats : LocalStats;
   Program Result = P.cloneProgram();
   VectorizerDriver Driver(Env, DB, Opts, Diags, S);
-  Driver.processBody(Result.Stmts);
+  Driver.run(Result);
   return Result;
 }

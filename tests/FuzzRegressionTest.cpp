@@ -1,0 +1,171 @@
+//===- FuzzRegressionTest.cpp - Minimized fuzzer-found defects -------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Each test is a minimized reproducer of a defect found by mvec_fuzz and
+/// since fixed, pinned here so it stays fixed. The programs are the
+/// reduced sources the fuzzer's triage produced (lightly renamed); the
+/// assertions state the contract the defect violated. The checked-in
+/// corpus/ directory carries the same reproducers in replayable form.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "fuzz/Oracle.h"
+
+#include "gtest/gtest.h"
+
+using namespace mvec;
+
+namespace {
+
+bool contains(const std::string &Haystack, const std::string &Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+/// Vectorizes and differentially runs \p Source; the transformed program
+/// must reproduce the original's workspace.
+std::string transformAndDiff(const std::string &Source) {
+  PipelineResult R = vectorizeSource(Source);
+  EXPECT_TRUE(R.succeeded()) << R.Diags.str();
+  if (!R.succeeded())
+    return std::string();
+  std::string Diff = diffRun(Source, R.VectorizedSource, 1e-7);
+  EXPECT_EQ(Diff, "") << "--- transformed ---\n" << R.VectorizedSource;
+  return R.VectorizedSource;
+}
+
+// Defect: a statement at an outer nest level was deleted together with a
+// provably-empty *inner* loop ("variable 't' missing after
+// transformation"). Zero-trip nest removal must only fire when the root
+// loop itself is empty.
+TEST(FuzzRegression, OuterStatementSurvivesEmptyInnerLoop) {
+  std::string V = transformAndDiff("m = 1;\nn = 1;\n%! m(1) n(1) t(1)\n"
+                                   "for i=1:m\n  t = 0;\n"
+                                   "  for j=3:n\n  end\nend\n");
+  EXPECT_TRUE(contains(V, "t=0")) << V;
+}
+
+// Defect: a whole-variable write was hoisted out of a loop whose trip
+// count could be zero at runtime, materializing a variable the original
+// never defined. Emission now requires provably-positive trip counts;
+// here the bound is opaque (loaded from a matrix element), so the loop
+// must stay sequential.
+TEST(FuzzRegression, NoHoistOutOfPossiblyEmptyLoop) {
+  std::string Source = "k = zeros(1,2);\nu = 7;\n%! k(1,*) u(1) t(1)\n"
+                       "for i=1:k(1)\n  t = u*2;\nend\n";
+  PipelineResult R = vectorizeSource(Source);
+  ASSERT_TRUE(R.succeeded()) << R.Diags.str();
+  // k(1) is 0 at runtime: the loop body never runs and t must stay
+  // undefined afterwards, which only the sequential form guarantees.
+  EXPECT_TRUE(contains(R.VectorizedSource, "for ")) << R.VectorizedSource;
+  EXPECT_EQ(diffRun(Source, R.VectorizedSource, 1e-7), "");
+}
+
+// Defect: an index variable's final value (the interpreter leaves i = n
+// after the loop) was lost when the nest vectorized or its indices were
+// normalized. A nest whose index variable may be read afterwards is no
+// longer a candidate.
+TEST(FuzzRegression, IndexVariableLiveAfterLoopBlocksVectorization) {
+  std::string Source = "n = 3;\nx = rand(1,n);\nz = zeros(1,n);\n"
+                       "%! x(1,*) z(1,*) n(1) t(1)\n"
+                       "for i=1:n\n  z(i) = x(i);\nend\nt = i;\n";
+  PipelineResult R = vectorizeSource(Source);
+  ASSERT_TRUE(R.succeeded()) << R.Diags.str();
+  EXPECT_TRUE(contains(R.VectorizedSource, "for ")) << R.VectorizedSource;
+  EXPECT_EQ(diffRun(Source, R.VectorizedSource, 1e-7), "");
+}
+
+// Defect: rand() draws were reordered/hoisted by vectorization, changing
+// which values land where in the deterministic stream. A nest whose body
+// draws random numbers is refused outright.
+TEST(FuzzRegression, RandDrawingLoopStaysSequential) {
+  std::string Source = "n = 2;\nz = zeros(1,n);\n%! z(1,*) n(1) s(1)\n"
+                       "for i=1:n\n  z(i) = rand(1,1);\nend\ns = z(1)+z(2);\n";
+  PipelineResult R = vectorizeSource(Source);
+  ASSERT_TRUE(R.succeeded()) << R.Diags.str();
+  EXPECT_TRUE(contains(R.VectorizedSource, "for ")) << R.VectorizedSource;
+  EXPECT_EQ(diffRun(Source, R.VectorizedSource, 1e-7), "");
+}
+
+// Defect: growing an empty variable by whole-slice assignment disagreed
+// with growing it element-at-a-time (0x1 bases flipped orientation).
+// The vectorized slice write must land exactly where the loop's writes
+// landed.
+TEST(FuzzRegression, SliceGrowthMatchesElementGrowth) {
+  transformAndDiff("v = rand(1,3);\nw = zeros(0,1);\n%! v(1,*) w(1,*)\n"
+                   "for i=1:3\n  w(i) = v(i);\nend\n");
+}
+
+// Defect: vectorized reductions reorder floating-point sums; byte-exact
+// workspace comparison reported 1-ulp differences as mismatches. The
+// differential runner compares numerically with a relative tolerance.
+TEST(FuzzRegression, ReductionToleratesFloatReassociation) {
+  std::string V = transformAndDiff("n = 6;\nv = rand(1,n);\ns = 0;\n"
+                                   "%! v(1,*) s(1) n(1)\n"
+                                   "for i=1:n\n  s = s+v(i);\nend\n");
+  EXPECT_TRUE(contains(V, "sum")) << V;
+}
+
+// Defect: programs whose runtime shapes contradict their %! annotations
+// made the vectorizer emit code for shapes that never materialize; the
+// divergence was blamed on the pipeline. Annotation liars are now
+// rejected as invalid inputs, not reported as findings.
+TEST(FuzzRegression, AnnotationLiarIsRejectedNotAFinding) {
+  fuzz::OracleConfig Config;
+  Config.Jobs = 1;
+  fuzz::Oracle O(Config);
+  fuzz::Verdict V = O.check("x = zeros(1,1);\n%! x(1,1)\n"
+                            "for i=1:3\n  x(i) = i;\nend\n");
+  EXPECT_TRUE(V.rejected());
+}
+
+// Defect: a non-finite subscript (1/0) passed the integer check
+// (floor(Inf) == Inf) and was cast to size_t — undefined behavior that
+// surfaced as garbage out-of-bounds reads. Non-finite subscripts and
+// range endpoints now error cleanly, so the original program fails and
+// the candidate is rejected.
+TEST(FuzzRegression, InfiniteSubscriptErrorsCleanly) {
+  fuzz::OracleConfig Config;
+  Config.Jobs = 1;
+  fuzz::Oracle O(Config);
+  EXPECT_TRUE(O.check("x = rand(1,3);\n%! x(1,*) y(1)\ny = x(1/0);\n")
+                  .rejected());
+  EXPECT_TRUE(O.check("%! z(1,*)\nz = 1:(1/0);\n").rejected());
+}
+
+// Defect: an eagerly evaluated subscript on a non-empty axis of an
+// emitted statement errored where the original's zero-trip loop ran
+// nothing at all (B(2:1,1:m) on a scalar B). With the strict gate the
+// statement stays inside its sequential loops and never evaluates.
+TEST(FuzzRegression, EmptyInnerRangeDoesNotEvaluateEagerly) {
+  transformAndDiff("m = 1;\nB = 5;\nA = zeros(1,1);\n%! m(1) B(1) A(*,*)\n"
+                   "for i=1:m\n  for j=2:1\n    A(i,j) = B(j,i);\n  end\n"
+                   "end\n");
+}
+
+// The flip side of the strict gate: provably-positive symbolic bounds
+// (size() of a variable built with literal extents) must still
+// vectorize — constant and known-extent propagation carries the proof.
+TEST(FuzzRegression, KnownExtentsKeepSizeBoundsVectorizable) {
+  std::string V = transformAndDiff(
+      "A = rand(5,7);\nB = zeros(5,7);\n%! A(*,*) B(*,*)\n"
+      "for i=1:size(A,1)\n for j=1:size(A,2)\n"
+      "  B(i,j) = 2*A(i,j);\n end\nend\n");
+  EXPECT_FALSE(contains(V, "for ")) << V;
+}
+
+// And a provably-empty root loop is removed outright instead of being
+// emitted as an empty-slice assignment.
+TEST(FuzzRegression, ProvablyEmptyRootLoopIsDeleted) {
+  std::string V = transformAndDiff("n = 0;\nx = rand(1,5);\nz = zeros(1,5);\n"
+                                   "%! x(1,*) z(1,*) n(1)\n"
+                                   "for i=1:n\n  z(i) = x(i);\nend\n");
+  EXPECT_FALSE(contains(V, "for ")) << V;
+  EXPECT_FALSE(contains(V, "z(")) << V;
+}
+
+} // namespace

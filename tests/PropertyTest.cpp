@@ -9,16 +9,17 @@
 /// generated programs: whatever the vectorizer does — full vectorization,
 /// partial vectorization with leftover loops, or leaving the program
 /// untouched — executing the transformed program must produce exactly the
-/// workspace the original produces. Each family sweeps a seed range via
-/// TEST_P.
+/// workspace the original produces. The programs come from the fuzzing
+/// subsystem's grammar families (fuzz::Generator), so these sweeps and the
+/// fuzzer exercise the same input space; each family sweeps a seed range
+/// via TEST_P.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "fuzz/Generator.h"
 
 #include "gtest/gtest.h"
-
-#include <random>
 
 using namespace mvec;
 
@@ -43,186 +44,89 @@ void checkPreservesSemantics(const std::string &Source,
   }
 }
 
-class Rng {
-public:
-  explicit Rng(unsigned Seed) : Engine(Seed * 7919 + 13) {}
-
-  int range(int Lo, int Hi) { // inclusive
-    return std::uniform_int_distribution<int>(Lo, Hi)(Engine);
-  }
-  template <typename T> const T &pick(const std::vector<T> &Options) {
-    return Options[range(0, static_cast<int>(Options.size()) - 1)];
-  }
-  bool flip() { return range(0, 1) == 1; }
-
-private:
-  std::mt19937 Engine;
-};
+/// Generates family \p FamilyIndex at seed \p Seed and checks the
+/// property. The family's own ExpectVectorized flag decides whether the
+/// sweep additionally asserts that something vectorized.
+void checkFamily(unsigned FamilyIndex, unsigned Seed) {
+  fuzz::Generator G(Seed);
+  fuzz::GenProgram P = G.generate(FamilyIndex);
+  SCOPED_TRACE("family=" + P.Family + " seed=" + std::to_string(Seed));
+  checkPreservesSemantics(P.Source, P.ExpectVectorized);
+}
 
 //===----------------------------------------------------------------------===//
-// Family 1: pointwise expressions over randomly oriented vectors
+// One sweep per grammar family
 //===----------------------------------------------------------------------===//
 
 class PointwiseProperty : public ::testing::TestWithParam<unsigned> {};
-
 TEST_P(PointwiseProperty, TransformedProgramIsEquivalent) {
-  Rng R(GetParam());
-  // Three operand vectors with random orientations; one output.
-  std::vector<std::string> Shapes = {"(1,n)", "(n,1)"};
-  std::string SX = R.pick(Shapes), SY = R.pick(Shapes), SZ = R.pick(Shapes);
-  auto Ann = [](const std::string &S) {
-    return S == "(1,n)" ? "(1,*)" : "(*,1)";
-  };
-  std::vector<std::string> Ops = {"+", "-", ".*", "*", "./", "/"};
-  std::string Op1 = R.pick(Ops), Op2 = R.pick(Ops);
-
-  // Operands: x(i), y(i), constants; denominators stay away from zero
-  // because rand() is in (0,1) and we add 0.5.
-  std::string Source =
-      "n = " + std::to_string(R.range(3, 9)) + ";\n"
-      "x = rand" + SX + "+0.5;\n"
-      "y = rand" + SY + "+0.5;\n"
-      "z = zeros" + SZ + ";\n"
-      "%! x" + Ann(SX) + " y" + Ann(SY) + " z" + Ann(SZ) + " n(1)\n"
-      "for i=1:n\n"
-      "  z(i) = (x(i) " + Op1 + " y(i)) " + Op2 + " " +
-      std::to_string(R.range(1, 3)) + ";\n"
-      "end\n";
-  // Orientation mismatches are exactly what the transpose machinery must
-  // absorb; every combination must vectorize.
-  checkPreservesSemantics(Source, /*ExpectVectorized=*/true);
+  // Pointwise expressions over randomly oriented vectors; orientation
+  // mismatches are exactly what the transpose machinery must absorb.
+  checkFamily(0, GetParam());
 }
-
 INSTANTIATE_TEST_SUITE_P(Seeds, PointwiseProperty,
                          ::testing::Range(0u, 40u));
 
-//===----------------------------------------------------------------------===//
-// Family 2: two-dimensional nests with transposed reads and broadcasts
-//===----------------------------------------------------------------------===//
-
 class Nest2DProperty : public ::testing::TestWithParam<unsigned> {};
-
 TEST_P(Nest2DProperty, TransformedProgramIsEquivalent) {
-  Rng R(GetParam());
-  std::vector<std::string> Terms = {"B(i,j)", "B(j,i)'", "c(i)",   "r(j)",
-                                    "2",      "B(i,j)",  "B(j,i)"};
-  // Note: B(j,i)' is invalid as a scalar transpose has no effect; both
-  // forms exercise the analysis identically at runtime.
-  std::vector<std::string> Ops = {"+", "-", ".*"};
-  std::string T1 = R.pick(Terms), T2 = R.pick(Terms);
-  std::string Op = R.pick(Ops);
-  int M = R.range(3, 6), N = R.range(3, 6);
-  std::string Source =
-      "m = " + std::to_string(M) + "; n = " + std::to_string(N) + ";\n"
-      "B = rand(" + std::to_string(std::max(M, N)) + "," +
-      std::to_string(std::max(M, N)) + ");\n"
-      "c = rand(m,1);\nr = rand(1,n);\nA = zeros(m,n);\n"
-      "%! B(*,*) c(*,1) r(1,*) A(*,*) m(1) n(1)\n"
-      "for i=1:m\n for j=1:n\n"
-      "  A(i,j) = " + T1 + " " + Op + " " + T2 + ";\n"
-      " end\nend\n";
-  checkPreservesSemantics(Source);
+  // Two-dimensional nests with transposed reads and broadcasts.
+  checkFamily(1, GetParam());
 }
-
 INSTANTIATE_TEST_SUITE_P(Seeds, Nest2DProperty, ::testing::Range(0u, 40u));
 
-//===----------------------------------------------------------------------===//
-// Family 3: additive reductions
-//===----------------------------------------------------------------------===//
-
 class ReductionProperty : public ::testing::TestWithParam<unsigned> {};
-
 TEST_P(ReductionProperty, TransformedProgramIsEquivalent) {
-  Rng R(GetParam());
-  std::vector<std::string> Factors = {"v(i)", "w(j)", "M(i,j)", "M(j,i)",
-                                      "2",    "v(i)"};
-  std::string F1 = R.pick(Factors), F2 = R.pick(Factors);
-  std::string AccOp = R.flip() ? "+" : "-";
-  int N = R.range(3, 7);
-  std::string Source =
-      "n = " + std::to_string(N) + ";\n"
-      "v = rand(1,n);\nw = rand(n,1);\nM = rand(n,n);\ns = 1;\n"
-      "%! v(1,*) w(*,1) M(*,*) s(1) n(1)\n"
-      "for i=1:n\n for j=1:n\n"
-      "  s = s " + AccOp + " " + F1 + "*" + F2 + ";\n"
-      " end\nend\n";
-  checkPreservesSemantics(Source);
+  // Additive reductions into a scalar accumulator.
+  checkFamily(2, GetParam());
 }
-
 INSTANTIATE_TEST_SUITE_P(Seeds, ReductionProperty,
                          ::testing::Range(0u, 40u));
 
-//===----------------------------------------------------------------------===//
-// Family 4: strided loops and affine diagonal-style accesses
-//===----------------------------------------------------------------------===//
-
 class AffineAccessProperty : public ::testing::TestWithParam<unsigned> {};
-
 TEST_P(AffineAccessProperty, TransformedProgramIsEquivalent) {
-  Rng R(GetParam());
-  int C1 = R.range(1, 2), C2 = R.range(0, 2);
-  int C3 = R.range(1, 2), C4 = R.range(0, 2);
-  int Trip = R.range(3, 6);
-  int Start = R.range(1, 2), Step = R.range(1, 2);
-  // Large enough for the largest affine access 2*i+2 at the last
-  // iteration.
-  int Size = 2 * (Start + Step * (Trip - 1)) + 4;
-  std::string I = "i"; // loop var
-  auto Affine = [&](int A, int B) {
-    std::string S = A == 1 ? I : std::to_string(A) + "*" + I;
-    if (B != 0)
-      S += "+" + std::to_string(B);
-    return S;
-  };
-  int Stop = Start + Step * (Trip - 1);
-  std::string Source =
-      "A = rand(" + std::to_string(Size) + "," + std::to_string(Size) +
-      ");\n"
-      "b = rand(1," + std::to_string(Size) + ");\n"
-      "a = zeros(1," + std::to_string(Size) + ");\n"
-      "%! A(*,*) b(1,*) a(1,*)\n"
-      "for i=" + std::to_string(Start) + ":" + std::to_string(Step) + ":" +
-      std::to_string(Stop) + "\n"
-      "  a(i) = A(" + Affine(C1, C2) + "," + Affine(C3, C4) + ")*b(i);\n"
-      "end\n";
-  checkPreservesSemantics(Source);
+  // Strided loops and affine diagonal-style accesses.
+  checkFamily(3, GetParam());
 }
-
 INSTANTIATE_TEST_SUITE_P(Seeds, AffineAccessProperty,
                          ::testing::Range(0u, 40u));
 
-//===----------------------------------------------------------------------===//
-// Family 5: recurrences and dependences — the vectorizer must never break
-// programs it cannot fully vectorize
-//===----------------------------------------------------------------------===//
-
 class DependenceProperty : public ::testing::TestWithParam<unsigned> {};
-
 TEST_P(DependenceProperty, TransformedProgramIsEquivalent) {
-  Rng R(GetParam());
-  std::vector<std::string> Bodies = {
-      "v(i) = v(i-1)+x(i);",          // true recurrence
-      "v(i) = x(i); y(i) = v(i)*2;",  // forward flow
-      "y(i) = x(i+1); x(i) = 0.5;",   // anti dependence
-      "v(i) = x(i); v(i) = v(i)+1;",  // output dependence
-      "s = s + x(i); y(i) = x(i);",   // reduction + independent
-      "y(i) = x(n+1-i);",             // reversal read (independent)
-  };
-  std::string Body = R.pick(Bodies);
-  int N = R.range(4, 9);
-  std::string Source =
-      "n = " + std::to_string(N) + ";\n"
-      "x = rand(1,n+1);\nv = rand(1,n);\ny = zeros(1,n);\ns = 0;\n"
-      "%! x(1,*) v(1,*) y(1,*) s(1) n(1)\n"
-      "for i=2:n\n  " + Body + "\nend\n";
-  checkPreservesSemantics(Source);
+  // Recurrences and dependences — the vectorizer must never break
+  // programs it cannot fully vectorize.
+  checkFamily(4, GetParam());
 }
-
 INSTANTIATE_TEST_SUITE_P(Seeds, DependenceProperty,
                          ::testing::Range(0u, 24u));
 
+class NestedAccumulatorProperty : public ::testing::TestWithParam<unsigned> {};
+TEST_P(NestedAccumulatorProperty, TransformedProgramIsEquivalent) {
+  // Inner scalar accumulator feeding an outer elementwise write.
+  checkFamily(5, GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, NestedAccumulatorProperty,
+                         ::testing::Range(0u, 24u));
+
+class CompoundProperty : public ::testing::TestWithParam<unsigned> {};
+TEST_P(CompoundProperty, TransformedProgramIsEquivalent) {
+  // Multi-loop scripts mixing diagonals, broadcasts, reductions,
+  // builtins, powers and whole-array statements.
+  checkFamily(6, GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, CompoundProperty,
+                         ::testing::Range(0u, 24u));
+
+class EdgeRangeProperty : public ::testing::TestWithParam<unsigned> {};
+TEST_P(EdgeRangeProperty, TransformedProgramIsEquivalent) {
+  // Degenerate and descending ranges: empty trips, single trips,
+  // negative steps, strides past the end.
+  checkFamily(7, GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeRangeProperty,
+                         ::testing::Range(0u, 24u));
+
 //===----------------------------------------------------------------------===//
-// Family 6: every feature subset must preserve semantics
+// Every feature subset must preserve semantics
 //===----------------------------------------------------------------------===//
 
 class OptionsProperty : public ::testing::TestWithParam<unsigned> {};
@@ -255,5 +159,18 @@ TEST_P(OptionsProperty, AnyFeatureSubsetIsSound) {
 
 INSTANTIATE_TEST_SUITE_P(AllSubsets, OptionsProperty,
                          ::testing::Range(0u, 32u));
+
+//===----------------------------------------------------------------------===//
+// Seed determinism: the property sweeps must be reproducible by seed
+//===----------------------------------------------------------------------===//
+
+TEST(PropertyTest, GeneratorIsBitStablePerSeed) {
+  for (unsigned Seed = 0; Seed != 16; ++Seed) {
+    fuzz::GenProgram A = fuzz::Generator(Seed).next();
+    fuzz::GenProgram B = fuzz::Generator(Seed).next();
+    EXPECT_EQ(A.Source, B.Source) << "seed " << Seed;
+    EXPECT_EQ(A.Family, B.Family) << "seed " << Seed;
+  }
+}
 
 } // namespace

@@ -46,6 +46,35 @@ TEST(ContentCacheTest, HashIsContentSensitive) {
   EXPECT_EQ(Base, cacheKeyFor("a = 1;\n", Opts, true));
 }
 
+TEST(ContentCacheTest, SpecKeyFoldsExecutionBounds) {
+  JobSpec Spec = makeSpec("k", "a = 1;\n");
+  uint64_t Base = cacheKeyFor(Spec);
+  JobSpec LooseTol = Spec;
+  LooseTol.ValidateTol = 1e-7;
+  EXPECT_NE(Base, cacheKeyFor(LooseTol));
+  JobSpec Bounded = Spec;
+  Bounded.MaxSteps = 100000;
+  EXPECT_NE(Base, cacheKeyFor(Bounded));
+  // Deadlines only decide whether a result is produced; they must not
+  // split the cache.
+  JobSpec Hurried = Spec;
+  Hurried.Deadline = std::chrono::milliseconds(5);
+  EXPECT_EQ(Base, cacheKeyFor(Hurried));
+  EXPECT_EQ(Base, cacheKeyFor(Spec));
+}
+
+TEST(ServiceTest, MaxStepsBoundsValidationDeterministically) {
+  VectorizationService Service(ServiceConfig{});
+  JobSpec Spec = makeSpec("steps", validScript());
+  // A budget far below the script's interpreted statement count trips the
+  // step limit on the original run, independent of wall-clock speed.
+  Spec.MaxSteps = 4;
+  JobResult R = Service.submit(std::move(Spec)).get();
+  EXPECT_EQ(R.Status, JobStatus::TimedOut);
+  EXPECT_NE(R.Message.find("original program"), std::string::npos)
+      << R.Message;
+}
+
 TEST(ContentCacheTest, LRUEvictionAndRecency) {
   ContentCache Cache(2);
   JobResult R;
