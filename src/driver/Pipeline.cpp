@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 using namespace mvec;
 
@@ -126,7 +127,7 @@ DiffOutcome mvec::diffRunLimited(const std::string &OriginalSource,
     // vectorizer trusted the annotation for every statement it rewrote,
     // so a loop-time violation invalidates the whole comparison even if
     // the final workspace happens to conform.
-    std::map<std::string, std::pair<bool, bool>> Caps;
+    std::unordered_map<std::string, std::pair<bool, bool>> Caps;
     for (const auto &[Name, Dim] : Declared.shapes()) {
       bool RowCapped = Dim.size() > 0 && Dim[0].isOne();
       bool ColCapped = Dim.size() > 1 && Dim[1].isOne();

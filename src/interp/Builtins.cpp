@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <thread>
+#include <unordered_map>
 
 using namespace mvec;
 
@@ -120,14 +121,14 @@ Value doFprintf(Interpreter &Interp, const ArgList &Args, SourceLoc Loc) {
     return Value();
   }
   std::string Fmt;
-  for (double Code : Args[0].data())
+  for (double Code : Args[0])
     Fmt += static_cast<char>(Code);
 
   // Flatten the remaining arguments into one stream of scalars, MATLAB
   // style (format recycling is not needed by our examples).
   std::vector<double> Pool;
   for (size_t A = 1; A < Args.size(); ++A)
-    for (double D : Args[A].data())
+    for (double D : Args[A])
       Pool.push_back(D);
   size_t Next = 0;
 
@@ -187,8 +188,16 @@ Value doFprintf(Interpreter &Interp, const ArgList &Args, SourceLoc Loc) {
   return Value::scalar(static_cast<double>(Out.size()));
 }
 
-const std::map<std::string, BuiltinFn> &builtinTable() {
-  static const std::map<std::string, BuiltinFn> Table = [] {
+/// Dense dispatch table plus a name -> id index. IDs are assigned in sorted
+/// name order (the construction goes through a std::map once, at startup),
+/// so builtinNames() stays sorted and ids are stable within a build.
+struct BuiltinRegistry {
+  std::vector<std::pair<std::string, BuiltinFn>> Entries;
+  std::unordered_map<std::string, BuiltinId> Index;
+};
+
+const BuiltinRegistry &registry() {
+  static const BuiltinRegistry Reg = [] {
     std::map<std::string, BuiltinFn> T;
 
     T["size"] = [](Interpreter &Interp, const ArgList &Args,
@@ -390,6 +399,10 @@ const std::map<std::string, BuiltinFn> &builtinTable() {
                   SourceLoc Loc) -> Value {
       if (!requireArgs(Interp, Args, 2, 2, "mod", Loc))
         return Value();
+      if (Args[0].isScalar() && Args[1].isScalar()) {
+        double A = Args[0].scalarValue(), B = Args[1].scalarValue();
+        return Value::scalar(B == 0.0 ? A : A - std::floor(A / B) * B);
+      }
       OpError Err;
       Value Quot = elementwiseBinary(BinaryOp::DotDiv, Args[0], Args[1], Err);
       if (Err.failed()) {
@@ -544,7 +557,7 @@ const std::map<std::string, BuiltinFn> &builtinTable() {
         return Value();
       const Value &A = Args[0];
       if (A.isVector() || A.isEmpty()) {
-        for (double D : A.data())
+        for (double D : A)
           if (D != 0.0)
             return Value::scalar(1.0);
         return Value::scalar(0.0);
@@ -565,7 +578,7 @@ const std::map<std::string, BuiltinFn> &builtinTable() {
         return Value();
       const Value &A = Args[0];
       if (A.isVector() || A.isEmpty()) {
-        for (double D : A.data())
+        for (double D : A)
           if (D == 0.0)
             return Value::scalar(0.0);
         return Value::scalar(1.0);
@@ -585,7 +598,7 @@ const std::map<std::string, BuiltinFn> &builtinTable() {
       if (!requireArgs(Interp, Args, 1, 1, "nnz", Loc))
         return Value();
       double Count = 0;
-      for (double D : Args[0].data())
+      for (double D : Args[0])
         if (D != 0.0)
           Count += 1;
       return Value::scalar(Count);
@@ -600,7 +613,7 @@ const std::map<std::string, BuiltinFn> &builtinTable() {
         return Value();
       }
       double Acc = 0;
-      for (double D : Args[0].data())
+      for (double D : Args[0])
         Acc += D * D;
       return Value::scalar(std::sqrt(Acc));
     };
@@ -680,30 +693,46 @@ const std::map<std::string, BuiltinFn> &builtinTable() {
       return Value();
     };
 
-    return T;
+    BuiltinRegistry R;
+    R.Entries.reserve(T.size());
+    for (auto &[Name, Fn] : T) {
+      R.Index.emplace(Name, static_cast<BuiltinId>(R.Entries.size()));
+      R.Entries.emplace_back(Name, std::move(Fn));
+    }
+    return R;
   }();
-  return Table;
+  return Reg;
 }
 
 } // namespace
 
-bool mvec::isBuiltinName(const std::string &Name) {
-  return builtinTable().count(Name) != 0;
+BuiltinId mvec::builtinIdFor(const std::string &Name) {
+  const BuiltinRegistry &R = registry();
+  auto It = R.Index.find(Name);
+  return It == R.Index.end() ? InvalidBuiltinId : It->second;
+}
+
+Value mvec::callBuiltin(Interpreter &Interp, BuiltinId Id,
+                        const std::vector<Value> &Args, SourceLoc Loc) {
+  const BuiltinRegistry &R = registry();
+  assert(Id >= 0 && static_cast<size_t>(Id) < R.Entries.size() &&
+         "invalid builtin id");
+  return R.Entries[Id].second(Interp, Args, Loc);
 }
 
 Value mvec::callBuiltin(Interpreter &Interp, const std::string &Name,
                         const std::vector<Value> &Args, SourceLoc Loc) {
-  auto It = builtinTable().find(Name);
-  if (It == builtinTable().end()) {
+  BuiltinId Id = builtinIdFor(Name);
+  if (Id == InvalidBuiltinId) {
     Interp.fail(Loc, "unknown builtin '" + Name + "'");
     return Value();
   }
-  return It->second(Interp, Args, Loc);
+  return callBuiltin(Interp, Id, Args, Loc);
 }
 
 std::vector<std::string> mvec::builtinNames() {
   std::vector<std::string> Names;
-  for (const auto &[Name, Fn] : builtinTable()) {
+  for (const auto &[Name, Fn] : registry().Entries) {
     (void)Fn;
     Names.push_back(Name);
   }

@@ -8,6 +8,10 @@
 /// The builtin function table of the interpreter. These are the "efficient
 /// intrinsics" the vectorizer targets (size, sum, cumsum, repmat, ...).
 ///
+/// Builtins are identified by a dense BuiltinId so the interpreter can
+/// resolve a call-site name once (during its pre-pass) and dispatch through
+/// an index instead of a per-call string comparison.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MVEC_INTERP_BUILTINS_H
@@ -16,6 +20,7 @@
 #include "interp/Value.h"
 #include "support/SourceLoc.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,16 +28,30 @@ namespace mvec {
 
 class Interpreter;
 
-/// True when \p Name is a builtin function known to the interpreter.
-bool isBuiltinName(const std::string &Name);
+/// Index into the builtin dispatch table. Values >= 0 are valid builtins;
+/// InvalidBuiltinId means "not a builtin".
+using BuiltinId = int16_t;
+inline constexpr BuiltinId InvalidBuiltinId = -1;
 
-/// Invokes builtin \p Name with already-evaluated \p Args. Reports problems
-/// through the interpreter's fail state.
+/// Resolves \p Name to its table index, or InvalidBuiltinId.
+BuiltinId builtinIdFor(const std::string &Name);
+
+/// True when \p Name is a builtin function known to the interpreter.
+inline bool isBuiltinName(const std::string &Name) {
+  return builtinIdFor(Name) != InvalidBuiltinId;
+}
+
+/// Invokes builtin \p Id (from builtinIdFor) with already-evaluated \p Args.
+/// Reports problems through the interpreter's fail state.
+Value callBuiltin(Interpreter &Interp, BuiltinId Id,
+                  const std::vector<Value> &Args, SourceLoc Loc);
+
+/// Name-keyed convenience wrapper around the ID form.
 Value callBuiltin(Interpreter &Interp, const std::string &Name,
                   const std::vector<Value> &Args, SourceLoc Loc);
 
-/// Names of every registered builtin (used by analyses that must decide
-/// whether an identifier is a function or an array).
+/// Names of every registered builtin, sorted (used by analyses that must
+/// decide whether an identifier is a function or an array).
 std::vector<std::string> builtinNames();
 
 } // namespace mvec

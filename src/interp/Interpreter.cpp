@@ -30,8 +30,67 @@ double Interpreter::nextRandom() {
   return static_cast<double>(Bits >> 11) * (1.0 / 9007199254740992.0);
 }
 
+//===----------------------------------------------------------------------===//
+// Pre-pass: name interning and builtin resolution
+//===----------------------------------------------------------------------===//
+
+void Interpreter::prepare(const Program &P) {
+  NodeCache.clear();
+  auto NoteName = [&](const void *Node, const std::string &Name) {
+    NodeInfo Info;
+    Info.Slot = static_cast<int>(Env.intern(Name));
+    Info.Builtin = builtinIdFor(Name);
+    Info.IsPi = Name == "pi";
+    NodeCache.insert(Node, Info);
+  };
+  auto NoteExpr = [&](const Expr &E) {
+    if (const auto *Ident = dyn_cast<IdentExpr>(&E)) {
+      NoteName(Ident, Ident->name());
+    } else if (const auto *Index = dyn_cast<IndexExpr>(&E)) {
+      std::string Base = Index->baseName();
+      if (!Base.empty())
+        NoteName(Index, Base);
+    }
+  };
+  visitStmts(P.Stmts, [&](const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Assign: {
+      const auto &A = cast<AssignStmt>(S);
+      visitExpr(*A.lhs(), NoteExpr);
+      visitExpr(*A.rhs(), NoteExpr);
+      break;
+    }
+    case Stmt::Kind::Expr:
+      visitExpr(*cast<ExprStmt>(S).expr(), NoteExpr);
+      break;
+    case Stmt::Kind::For: {
+      const auto &F = cast<ForStmt>(S);
+      NodeInfo Info;
+      Info.Slot = static_cast<int>(Env.intern(F.indexVar()));
+      NodeCache.insert(&S, Info);
+      visitExpr(*F.range(), NoteExpr);
+      break;
+    }
+    case Stmt::Kind::While:
+      visitExpr(*cast<WhileStmt>(S).cond(), NoteExpr);
+      break;
+    case Stmt::Kind::If:
+      for (const IfStmt::Branch &B : cast<IfStmt>(S).branches())
+        if (B.Cond)
+          visitExpr(*B.Cond, NoteExpr);
+      break;
+    default:
+      break;
+    }
+  });
+}
+
 bool Interpreter::run(const Program &P) {
+  prepare(P);
   execBody(P.Stmts);
+  // Drop the node cache: a later program could allocate nodes at the same
+  // addresses, and a stale hit would resolve them to the wrong slots.
+  NodeCache.clear();
   return !Failed;
 }
 
@@ -103,28 +162,81 @@ Interpreter::Flow Interpreter::execStmt(const Stmt &S) {
   return Flow::Normal;
 }
 
+void Interpreter::noteAccumulatorHints(const ForStmt &S, size_t NumIters) {
+  for (const StmtPtr &BS : S.body()) {
+    const auto *A = dyn_cast<AssignStmt>(BS.get());
+    if (!A)
+      continue;
+    const auto *Idx = dyn_cast<IndexExpr>(A->lhs());
+    if (!Idx || Idx->numArgs() != 1)
+      continue;
+    const auto *Arg = dyn_cast<IdentExpr>(Idx->arg(0));
+    if (!Arg || Arg->name() != S.indexVar())
+      continue;
+    int Slot;
+    if (const NodeInfo *Info = cachedInfo(Idx))
+      Slot = Info->Slot;
+    else
+      Slot = Env.lookup(Idx->baseName());
+    if (Slot < 0)
+      continue;
+    if (Env.isDefined(Slot))
+      Env.slotValue(Slot).reserveHint(NumIters);
+    else
+      PendingHints.emplace_back(static_cast<unsigned>(Slot), NumIters);
+  }
+}
+
+void Interpreter::applyPendingHint(unsigned Slot, Value &Target) {
+  for (size_t I = 0, E = PendingHints.size(); I != E; ++I)
+    if (PendingHints[I].first == Slot) {
+      Target.reserveHint(PendingHints[I].second);
+      PendingHints.erase(PendingHints.begin() + I);
+      return;
+    }
+}
+
 Interpreter::Flow Interpreter::execFor(const ForStmt &S) {
   Value RangeV = eval(*S.range());
   if (Failed)
     return Flow::Return;
   // MATLAB iterates over the columns of the range value.
   size_t NumIters = RangeV.isEmpty() ? 0 : RangeV.cols();
+  unsigned IdxSlot;
+  if (const NodeInfo *Info = cachedInfo(&S))
+    IdxSlot = static_cast<unsigned>(Info->Slot);
+  else
+    IdxSlot = Env.intern(S.indexVar());
+
+  // A top-level A(i) = ... accumulator grows to at most NumIters elements;
+  // reserving up front turns the growth into one allocation. The hint for
+  // a not-yet-defined target is deferred to its creating assignment so a
+  // body that never reaches the assignment leaves the workspace untouched.
+  size_t HintsBefore = PendingHints.size();
+  if (NumIters > 8)
+    noteAccumulatorHints(S, NumIters);
+
+  Flow Result = Flow::Normal;
   for (size_t Col = 0; Col != NumIters; ++Col) {
     if (RangeV.rows() == 1) {
-      Vars[S.indexVar()] = Value::scalar(RangeV.at(0, Col));
+      Env.define(IdxSlot, Value::scalar(RangeV.at(0, Col)));
     } else {
       Value Slice(RangeV.rows(), 1);
+      double *SliceD = Slice.mutableRaw();
       for (size_t R = 0; R != RangeV.rows(); ++R)
-        Slice.at(R, 0) = RangeV.at(R, Col);
-      Vars[S.indexVar()] = std::move(Slice);
+        SliceD[R] = RangeV.at(R, Col);
+      Env.define(IdxSlot, std::move(Slice));
     }
     Flow F = execBody(S.body());
-    if (Failed || F == Flow::Return)
-      return Flow::Return;
+    if (Failed || F == Flow::Return) {
+      Result = Flow::Return;
+      break;
+    }
     if (F == Flow::Break)
       break;
   }
-  return Flow::Normal;
+  PendingHints.resize(HintsBefore);
+  return Result;
 }
 
 Interpreter::Flow Interpreter::execWhile(const WhileStmt &S) {
@@ -162,39 +274,68 @@ void Interpreter::execAssign(const AssignStmt &S) {
   if (Failed)
     return;
   if (const auto *Ident = dyn_cast<IdentExpr>(S.lhs())) {
-    Vars[Ident->name()] = std::move(RHS);
-    checkShapeCap(Ident->name(), S.loc());
+    unsigned Slot;
+    if (const NodeInfo *Info = cachedInfo(Ident))
+      Slot = static_cast<unsigned>(Info->Slot);
+    else
+      Slot = Env.intern(Ident->name());
+    Env.define(Slot, std::move(RHS));
+    checkShapeCap(Slot, S.loc());
     return;
   }
   const auto *Index = dyn_cast<IndexExpr>(S.lhs());
-  if (!Index || Index->baseName().empty()) {
+  int Slot = -1;
+  if (Index) {
+    if (const NodeInfo *Info = cachedInfo(Index)) {
+      Slot = Info->Slot;
+    } else {
+      std::string Base = Index->baseName();
+      if (!Base.empty())
+        Slot = static_cast<int>(Env.intern(Base));
+    }
+  }
+  if (Slot < 0) {
     fail(S.loc(), "invalid assignment target");
     return;
   }
-  Value &Target = Vars[Index->baseName()]; // creates [] when absent
+  // Marks the slot defined even if the write then fails — same as the old
+  // map-based store, whose operator[] created the [] entry up front.
+  Value &Target = Env.defineRef(static_cast<unsigned>(Slot));
+  if (!PendingHints.empty())
+    applyPendingHint(static_cast<unsigned>(Slot), Target);
   writeIndexed(Target, *Index, RHS);
-  checkShapeCap(Index->baseName(), S.loc());
+  checkShapeCap(static_cast<unsigned>(Slot), S.loc());
 }
 
-void Interpreter::checkShapeCap(const std::string &Name, SourceLoc Loc) {
+void Interpreter::checkShapeCap(unsigned Slot, SourceLoc Loc) {
   if (ShapeCaps.empty() || Failed)
     return;
-  auto It = ShapeCaps.find(Name);
-  if (It == ShapeCaps.end())
+  while (SlotCaps.size() < Env.numSlots()) {
+    auto It = ShapeCaps.find(Env.nameOf(static_cast<unsigned>(SlotCaps.size())));
+    int8_t Mask = 0;
+    if (It != ShapeCaps.end())
+      Mask = static_cast<int8_t>((It->second.first ? 1 : 0) |
+                                 (It->second.second ? 2 : 0));
+    SlotCaps.push_back(Mask);
+  }
+  int8_t Mask = SlotCaps[Slot];
+  if (!Mask || !Env.isDefined(Slot))
     return;
-  const Value *V = getVariable(Name);
-  if (!V)
-    return;
-  if ((It->second.first && V->rows() > 1) ||
-      (It->second.second && V->cols() > 1))
-    fail(Loc, "variable '" + Name + "' exceeds its annotated shape (" +
-                  std::to_string(V->rows()) + "x" +
-                  std::to_string(V->cols()) + ")");
+  const Value &V = Env.slotValue(Slot);
+  if (((Mask & 1) && V.rows() > 1) || ((Mask & 2) && V.cols() > 1))
+    fail(Loc, "variable '" + Env.nameOf(Slot) +
+                  "' exceeds its annotated shape (" + std::to_string(V.rows()) +
+                  "x" + std::to_string(V.cols()) + ")");
 }
 
 //===----------------------------------------------------------------------===//
 // Expression evaluation
 //===----------------------------------------------------------------------===//
+
+static const std::vector<Value> &noArgs() {
+  static const std::vector<Value> Empty;
+  return Empty;
+}
 
 Value Interpreter::eval(const Expr &E) {
   if (Failed)
@@ -210,13 +351,24 @@ Value Interpreter::eval(const Expr &E) {
   }
   case Expr::Kind::Ident: {
     const auto &Ident = cast<IdentExpr>(E);
-    if (const Value *V = getVariable(Ident.name()))
+    if (const NodeInfo *Info = cachedInfo(&Ident)) {
+      if (Info->Slot >= 0 && Env.isDefined(Info->Slot))
+        return Env.slotValue(Info->Slot);
+      if (Info->IsPi)
+        return Value::scalar(3.14159265358979323846);
+      if (Info->Builtin != InvalidBuiltinId)
+        return callBuiltin(*this, Info->Builtin, noArgs(), E.loc());
+      fail(E.loc(), "undefined variable '" + Ident.name() + "'");
+      return Value();
+    }
+    // Uncached node ('end'-keyword rewrite or standalone eval): resolve by
+    // name, with the same variable -> pi -> builtin precedence.
+    if (const Value *V = Env.get(Ident.name()))
       return *V;
     if (Ident.name() == "pi")
       return Value::scalar(3.14159265358979323846);
-    // Zero-argument builtin call without parens (e.g. rand).
-    if (isBuiltinName(Ident.name()))
-      return callBuiltin(*this, Ident.name(), {}, E.loc());
+    if (BuiltinId Id = builtinIdFor(Ident.name()); Id != InvalidBuiltinId)
+      return callBuiltin(*this, Id, noArgs(), E.loc());
     fail(E.loc(), "undefined variable '" + Ident.name() + "'");
     return Value();
   }
@@ -246,26 +398,36 @@ Value Interpreter::eval(const Expr &E) {
   }
   case Expr::Kind::Unary: {
     const auto &U = cast<UnaryExpr>(E);
-    Value Operand = eval(*U.operand());
+    Value Tmp;
+    const Value &Operand = evalOperand(*U.operand(), Tmp);
     if (Failed)
       return Value();
     switch (U.op()) {
     case UnaryOp::Plus:
-      return Operand;
-    case UnaryOp::Minus:
-      return unaryMinus(Operand);
-    case UnaryOp::Not:
-      return unaryNot(Operand);
+      return Operand; // COW copy when the operand is a workspace variable
+    case UnaryOp::Minus: {
+      Value Result = unaryMinus(Operand, &Pool);
+      Pool.recycle(std::move(Tmp));
+      return Result;
+    }
+    case UnaryOp::Not: {
+      Value Result = unaryNot(Operand, &Pool);
+      Pool.recycle(std::move(Tmp));
+      return Result;
+    }
     }
     return Value();
   }
   case Expr::Kind::Binary:
     return evalBinary(cast<BinaryExpr>(E));
   case Expr::Kind::Transpose: {
-    Value Operand = eval(*cast<TransposeExpr>(E).operand());
+    Value Tmp;
+    const Value &Operand = evalOperand(*cast<TransposeExpr>(E).operand(), Tmp);
     if (Failed)
       return Value();
-    return Operand.transposed();
+    Value Result = Operand.transposed();
+    Pool.recycle(std::move(Tmp));
+    return Result;
   }
   case Expr::Kind::Index:
     return evalIndexOrCall(cast<IndexExpr>(E));
@@ -273,6 +435,80 @@ Value Interpreter::eval(const Expr &E) {
     return evalMatrixLiteral(cast<MatrixExpr>(E));
   }
   return Value();
+}
+
+const Value &Interpreter::evalOperand(const Expr &E, Value &Storage) {
+  if (E.kind() == Expr::Kind::Ident) {
+    if (const NodeInfo *Info = cachedInfo(&E)) {
+      if (Info->Slot >= 0 && Env.isDefined(Info->Slot))
+        return Env.slotValue(Info->Slot);
+    }
+  }
+  Storage = eval(E);
+  return Storage;
+}
+
+Value Interpreter::evalFusedMulAdd(const BinaryExpr &E, const BinaryExpr &Prod,
+                                   bool ProductOnLeft) {
+  // Operand evaluation order matches the unfused tree exactly (rand's
+  // state advances identically): product operands around the other side.
+  Value AT, BT, CT;
+  const Value *AP, *BP, *CP;
+  if (ProductOnLeft) {
+    AP = &evalOperand(*Prod.lhs(), AT);
+    BP = &evalOperand(*Prod.rhs(), BT);
+    CP = &evalOperand(*E.rhs(), CT);
+  } else {
+    CP = &evalOperand(*E.lhs(), CT);
+    AP = &evalOperand(*Prod.lhs(), AT);
+    BP = &evalOperand(*Prod.rhs(), BT);
+  }
+  if (Failed)
+    return Value();
+  const Value &A = *AP, &B = *BP, &C = *CP;
+
+  // All-scalar: combine directly, rounding the product first exactly like
+  // the two-step evaluation does.
+  if (A.isScalar() && B.isScalar() && C.isScalar()) {
+    double P = A.scalarValue() * B.scalarValue();
+    double CV = C.scalarValue();
+    if (E.op() != BinaryOp::Sub)
+      return Value::scalar(P + CV);
+    return Value::scalar(ProductOnLeft ? P - CV : CV - P);
+  }
+
+  // '*' is elementwise only when one operand is scalar; a true matrix
+  // product keeps the exact two-step path below.
+  bool Elementwise =
+      Prod.op() == BinaryOp::DotMul || A.isScalar() || B.isScalar();
+  if (Elementwise && fusableMulAddShapes(A, B, C)) {
+    Value Result = fusedMulAdd(A, B, C, /*Subtract=*/E.op() == BinaryOp::Sub,
+                               ProductOnLeft, &Pool);
+    Pool.recycle(std::move(AT));
+    Pool.recycle(std::move(BT));
+    Pool.recycle(std::move(CT));
+    return Result;
+  }
+
+  OpError Err;
+  Value Product = Prod.op() == BinaryOp::DotMul
+                      ? elementwiseBinary(BinaryOp::DotMul, A, B, Err, &Pool)
+                      : mulOp(A, B, Err, &Pool);
+  if (Err.failed()) {
+    fail(Prod.loc(), Err.Message);
+    return Value();
+  }
+  Pool.recycle(std::move(AT));
+  Pool.recycle(std::move(BT));
+  OpError Err2;
+  Value Result = ProductOnLeft
+                     ? elementwiseBinary(E.op(), Product, C, Err2, &Pool)
+                     : elementwiseBinary(E.op(), C, Product, Err2, &Pool);
+  Pool.recycle(std::move(Product));
+  Pool.recycle(std::move(CT));
+  if (Err2.failed())
+    fail(E.loc(), Err2.Message);
+  return Result;
 }
 
 Value Interpreter::evalBinary(const BinaryExpr &E) {
@@ -292,27 +528,110 @@ Value Interpreter::evalBinary(const BinaryExpr &E) {
     return Value::scalar(RHS.isTrue() ? 1.0 : 0.0);
   }
 
-  Value LHS = eval(*E.lhs());
-  Value RHS = eval(*E.rhs());
-  if (Failed)
-    return Value();
+  // Fuse (A .* B) +/- C into a single pass over the data; A * B with a
+  // scalar operand is elementwise and fuses the same way.
+  if (E.op() == BinaryOp::Add || E.op() == BinaryOp::Sub) {
+    if (const auto *L = dyn_cast<BinaryExpr>(E.lhs());
+        L && (L->op() == BinaryOp::DotMul || L->op() == BinaryOp::Mul))
+      return evalFusedMulAdd(E, *L, /*ProductOnLeft=*/true);
+    if (const auto *R = dyn_cast<BinaryExpr>(E.rhs());
+        R && (R->op() == BinaryOp::DotMul || R->op() == BinaryOp::Mul))
+      return evalFusedMulAdd(E, *R, /*ProductOnLeft=*/false);
+  }
+
+  Value LT, RT;
+  const Value *LP = nullptr, *RP = nullptr;
+  // A * B': multiply against packed-transposed data without materializing
+  // the transpose as a value.
+  if (E.op() == BinaryOp::Mul) {
+    if (const auto *T = dyn_cast<TransposeExpr>(E.rhs())) {
+      LP = &evalOperand(*E.lhs(), LT);
+      Value BTmp;
+      const Value &BOp = evalOperand(*T->operand(), BTmp);
+      if (Failed)
+        return Value();
+      if (!LP->isScalar() && !BOp.isScalar() && LP->cols() == BOp.cols()) {
+        OpError Err;
+        Value Result = matMulTransB(*LP, BOp, Err, &Pool);
+        Pool.recycle(std::move(LT));
+        Pool.recycle(std::move(BTmp));
+        if (Err.failed())
+          fail(E.loc(), Err.Message);
+        return Result;
+      }
+      RT = BOp.transposed();
+      Pool.recycle(std::move(BTmp));
+      RP = &RT;
+    }
+  }
+  if (!LP) {
+    LP = &evalOperand(*E.lhs(), LT);
+    RP = &evalOperand(*E.rhs(), RT);
+    if (Failed)
+      return Value();
+  }
+  const Value &LHS = *LP, &RHS = *RP;
+
+  // Scalar fast path: no kernel dispatch, no allocation. Semantics are
+  // those of applyScalarOp in MatrixOps (comparisons and elementwise
+  // logic yield logical values, division by zero yields Inf/NaN).
+  if (LHS.isScalar() && RHS.isScalar()) {
+    double A = LHS.scalarValue(), B = RHS.scalarValue();
+    auto Logical = [](bool V) {
+      Value R = Value::scalar(V ? 1.0 : 0.0);
+      R.setLogical(true);
+      return R;
+    };
+    switch (E.op()) {
+    case BinaryOp::Add:
+      return Value::scalar(A + B);
+    case BinaryOp::Sub:
+      return Value::scalar(A - B);
+    case BinaryOp::Mul:
+    case BinaryOp::DotMul:
+      return Value::scalar(A * B);
+    case BinaryOp::Div:
+    case BinaryOp::DotDiv:
+      return Value::scalar(A / B);
+    case BinaryOp::Lt:
+      return Logical(A < B);
+    case BinaryOp::Gt:
+      return Logical(A > B);
+    case BinaryOp::Le:
+      return Logical(A <= B);
+    case BinaryOp::Ge:
+      return Logical(A >= B);
+    case BinaryOp::Eq:
+      return Logical(A == B);
+    case BinaryOp::Ne:
+      return Logical(A != B);
+    case BinaryOp::And:
+      return Logical(A != 0.0 && B != 0.0);
+    case BinaryOp::Or:
+      return Logical(A != 0.0 || B != 0.0);
+    default: // Pow/DotPow keep the powOp/elementwise path below.
+      break;
+    }
+  }
 
   OpError Err;
   Value Result;
   switch (E.op()) {
   case BinaryOp::Mul:
-    Result = mulOp(LHS, RHS, Err);
+    Result = mulOp(LHS, RHS, Err, &Pool);
     break;
   case BinaryOp::Div:
-    Result = divOp(LHS, RHS, Err);
+    Result = divOp(LHS, RHS, Err, &Pool);
     break;
   case BinaryOp::Pow:
     Result = powOp(LHS, RHS, Err);
     break;
   default:
-    Result = elementwiseBinary(E.op(), LHS, RHS, Err);
+    Result = elementwiseBinary(E.op(), LHS, RHS, Err, &Pool);
     break;
   }
+  Pool.recycle(std::move(LT));
+  Pool.recycle(std::move(RT));
   if (Err.failed())
     fail(E.loc(), Err.Message);
   return Result;
@@ -355,8 +674,9 @@ Value Interpreter::evalMatrixLiteral(const MatrixExpr &E) {
 Value Interpreter::evalSubscript(const Expr &Arg, size_t Extent) {
   if (isa<MagicColonExpr>(&Arg)) {
     Value All(1, Extent);
+    double *AllD = All.mutableRaw();
     for (size_t I = 0; I != Extent; ++I)
-      All.linear(I) = static_cast<double>(I + 1);
+      AllD[I] = static_cast<double>(I + 1);
     return All;
   }
   if (!mentionsEndKeyword(Arg))
@@ -377,14 +697,16 @@ bool Interpreter::toIndices(const Value &Idx, size_t Extent,
                     std::to_string(Extent) + ")");
       return false;
     }
+    const double *D = Idx.raw();
     for (size_t I = 0, E = Idx.numel(); I != E; ++I)
-      if (Idx.linear(I) != 0.0)
+      if (D[I] != 0.0)
         Out.push_back(I);
     return true;
   }
   Out.reserve(Idx.numel());
+  const double *Data = Idx.raw();
   for (size_t I = 0, E = Idx.numel(); I != E; ++I) {
-    double D = Idx.linear(I);
+    double D = Data[I];
     // The finiteness check matters: floor(Inf) == Inf passes the
     // integer test, and casting Inf to size_t is undefined behavior
     // that turns into an out-of-bounds read.
@@ -418,7 +740,7 @@ Value Interpreter::readIndexed(const Value &Base, const IndexExpr &E) {
     Value Idx = evalSubscript(*E.arg(0), Base.numel());
     if (Failed)
       return Value();
-    std::vector<size_t> Indices;
+    std::vector<size_t> &Indices = IdxScratchA;
     if (!toIndices(Idx, Base.numel(), Indices, E.loc()))
       return Value();
     // Result shape: like the index, except that vector(A)(vector idx)
@@ -443,8 +765,10 @@ Value Interpreter::readIndexed(const Value &Base, const IndexExpr &E) {
       }
     }
     Value Result(R, C);
+    const double *BaseD = Base.raw();
+    double *ResultD = Result.mutableRaw();
     for (size_t I = 0; I != Indices.size(); ++I)
-      Result.linear(I) = Base.linear(Indices[I]);
+      ResultD[I] = BaseD[Indices[I]];
     Result.setLogical(Base.isLogical());
     return Result;
   }
@@ -454,14 +778,17 @@ Value Interpreter::readIndexed(const Value &Base, const IndexExpr &E) {
     Value ColIdx = evalSubscript(*E.arg(1), Base.cols());
     if (Failed)
       return Value();
-    std::vector<size_t> RI, CI;
+    std::vector<size_t> &RI = IdxScratchA, &CI = IdxScratchB;
     if (!toIndices(RowIdx, Base.rows(), RI, E.loc()) ||
         !toIndices(ColIdx, Base.cols(), CI, E.loc()))
       return Value();
     Value Result(RI.size(), CI.size());
+    const double *BaseD = Base.raw();
+    double *ResultD = Result.mutableRaw();
+    size_t BaseRows = Base.rows();
     for (size_t C = 0; C != CI.size(); ++C)
       for (size_t R = 0; R != RI.size(); ++R)
-        Result.at(R, C) = Base.at(RI[R], CI[C]);
+        ResultD[C * RI.size() + R] = BaseD[CI[C] * BaseRows + RI[R]];
     Result.setLogical(Base.isLogical());
     return Result;
   }
@@ -481,32 +808,36 @@ void Interpreter::writeIndexed(Value &Target, const IndexExpr &LHS,
     if (isa<MagicColonExpr>(LHS.arg(0))) {
       // A(:) = B requires matching element count or scalar B.
       if (RHS.isScalar()) {
+        double Fill = RHS.scalarValue();
+        double *TD = Target.mutableRaw();
         for (size_t I = 0, E = Target.numel(); I != E; ++I)
-          Target.linear(I) = RHS.scalarValue();
+          TD[I] = Fill;
         return;
       }
       if (RHS.numel() != Target.numel()) {
         fail(LHS.loc(), "A(:) assignment requires matching element counts");
         return;
       }
+      const double *RD = RHS.raw();
+      double *TD = Target.mutableRaw();
       for (size_t I = 0, E = Target.numel(); I != E; ++I)
-        Target.linear(I) = RHS.linear(I);
+        TD[I] = RD[I];
       return;
     }
     Value Idx = evalSubscript(*LHS.arg(0), Target.numel());
     if (Failed)
       return;
     if (Idx.isLogical()) {
-      std::vector<size_t> Indices;
+      std::vector<size_t> &Indices = IdxScratchA;
       if (!toIndices(Idx, Target.numel(), Indices, LHS.loc()))
         return;
       if (!RHS.isScalar() && RHS.numel() != Indices.size()) {
         fail(LHS.loc(), "masked assignment size mismatch");
         return;
       }
+      double *TD = Target.mutableRaw();
       for (size_t I = 0; I != Indices.size(); ++I)
-        Target.linear(Indices[I]) =
-            RHS.isScalar() ? RHS.scalarValue() : RHS.linear(I);
+        TD[Indices[I]] = RHS.isScalar() ? RHS.scalarValue() : RHS.linear(I);
       return;
     }
     // Determine whether growth is needed and legal.
@@ -538,16 +869,16 @@ void Interpreter::writeIndexed(Value &Target, const IndexExpr &LHS,
         return;
       }
     }
-    std::vector<size_t> Indices;
+    std::vector<size_t> &Indices = IdxScratchA;
     if (!toIndices(Idx, Target.numel(), Indices, LHS.loc()))
       return;
     if (!RHS.isScalar() && RHS.numel() != Indices.size()) {
       fail(LHS.loc(), "indexed assignment size mismatch");
       return;
     }
+    double *TD = Target.mutableRaw();
     for (size_t I = 0; I != Indices.size(); ++I)
-      Target.linear(Indices[I]) =
-          RHS.isScalar() ? RHS.scalarValue() : RHS.linear(I);
+      TD[Indices[I]] = RHS.isScalar() ? RHS.scalarValue() : RHS.linear(I);
     return;
   }
 
@@ -567,7 +898,7 @@ void Interpreter::writeIndexed(Value &Target, const IndexExpr &LHS,
                         MaxRow, static_cast<double>(Target.rows()))),
                     static_cast<size_t>(std::fmax(
                         MaxCol, static_cast<double>(Target.cols()))));
-    std::vector<size_t> RI, CI;
+    std::vector<size_t> &RI = IdxScratchA, &CI = IdxScratchB;
     if (!toIndices(RowIdx, Target.rows(), RI, LHS.loc()) ||
         !toIndices(ColIdx, Target.cols(), CI, LHS.loc()))
       return;
@@ -575,10 +906,12 @@ void Interpreter::writeIndexed(Value &Target, const IndexExpr &LHS,
       fail(LHS.loc(), "indexed assignment size mismatch");
       return;
     }
+    double *TD = Target.mutableRaw();
+    size_t TargetRows = Target.rows();
     size_t Flat = 0;
     for (size_t C = 0; C != CI.size(); ++C)
       for (size_t R = 0; R != RI.size(); ++R) {
-        Target.at(RI[R], CI[C]) =
+        TD[CI[C] * TargetRows + RI[R]] =
             RHS.isScalar() ? RHS.scalarValue() : RHS.linear(Flat);
         ++Flat;
       }
@@ -589,19 +922,35 @@ void Interpreter::writeIndexed(Value &Target, const IndexExpr &LHS,
 }
 
 Value Interpreter::evalIndexOrCall(const IndexExpr &E) {
-  std::string Name = E.baseName();
-  if (Name.empty()) {
-    // Expression base: evaluate it and index the result, e.g. (A*B)(1,2) is
-    // not MATLAB syntax, but transposed bases appear via rewrites.
-    Value Base = eval(*E.base());
-    if (Failed)
-      return Value();
-    return readIndexed(Base, E);
+  int Slot = -1;
+  BuiltinId Builtin = InvalidBuiltinId;
+  if (const NodeInfo *Info = cachedInfo(&E)) {
+    Slot = Info->Slot;
+    Builtin = Info->Builtin;
+  } else {
+    std::string Name = E.baseName();
+    if (Name.empty()) {
+      // Expression base: evaluate it and index the result, e.g. (A*B)(1,2)
+      // is not MATLAB syntax, but transposed bases appear via rewrites.
+      Value Base = eval(*E.base());
+      if (Failed)
+        return Value();
+      return readIndexed(Base, E);
+    }
+    Slot = Env.lookup(Name);
+    Builtin = builtinIdFor(Name);
   }
-  if (const Value *Var = getVariable(Name))
-    return readIndexed(*Var, E);
-  if (isBuiltinName(Name)) {
-    std::vector<Value> Args;
+  if (Slot >= 0 && Env.isDefined(Slot))
+    return readIndexed(Env.slotValue(Slot), E);
+  if (Builtin != InvalidBuiltinId) {
+    if (ArgDepth == ArgPool.size())
+      ArgPool.emplace_back();
+    std::vector<Value> &Args = ArgPool[ArgDepth++];
+    struct DepthGuard {
+      size_t &Depth;
+      ~DepthGuard() { --Depth; }
+    } Guard{ArgDepth};
+    Args.clear();
     Args.reserve(E.numArgs());
     for (unsigned I = 0, N = E.numArgs(); I != N; ++I) {
       if (isa<MagicColonExpr>(E.arg(I)) || isa<EndKeywordExpr>(E.arg(I))) {
@@ -612,9 +961,9 @@ Value Interpreter::evalIndexOrCall(const IndexExpr &E) {
       if (Failed)
         return Value();
     }
-    return callBuiltin(*this, Name, Args, E.loc());
+    return callBuiltin(*this, Builtin, Args, E.loc());
   }
-  fail(E.loc(), "undefined function or variable '" + Name + "'");
+  fail(E.loc(), "undefined function or variable '" + E.baseName() + "'");
   return Value();
 }
 

@@ -7,9 +7,14 @@
 /// \file
 /// A tree-walking interpreter for the MATLAB subset. This is the simulated
 /// MATLAB environment the benchmarks run on: loop iterations pay per-node
-/// dispatch and environment-lookup cost, while array built-ins execute as
-/// tight kernels (MatrixOps) — the performance profile the paper's
-/// measurements rely on.
+/// dispatch cost, while array built-ins execute as tight kernels
+/// (MatrixOps) — the performance profile the paper's measurements rely on.
+///
+/// run() begins with a pre-pass over the program that interns every
+/// variable name into a dense workspace slot and resolves builtin names to
+/// table ids, keyed by AST node. The hot evaluation loop then works on
+/// integer slots and ids; only AST nodes materialized after the pre-pass
+/// (the 'end'-keyword rewrites) fall back to name-based resolution.
 ///
 /// Runtime errors do not throw; they put the interpreter into a failed
 /// state carrying a message and location (checked via failed()).
@@ -20,15 +25,21 @@
 #define MVEC_INTERP_INTERPRETER_H
 
 #include "frontend/AST.h"
+#include "interp/Builtins.h"
 #include "interp/MatrixOps.h"
 #include "interp/Value.h"
+#include "interp/Workspace.h"
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace mvec {
 
@@ -45,15 +56,16 @@ public:
 
   // Workspace access.
   void setVariable(const std::string &Name, Value V) {
-    Vars[Name] = std::move(V);
+    Env.set(Name, std::move(V));
   }
   /// Null when undefined.
   const Value *getVariable(const std::string &Name) const {
-    auto It = Vars.find(Name);
-    return It == Vars.end() ? nullptr : &It->second;
+    return Env.get(Name);
   }
-  const std::map<std::string, Value> &workspace() const { return Vars; }
-  void clearWorkspace() { Vars.clear(); }
+  /// Name-keyed snapshot of the defined variables (values are COW copies,
+  /// so this is cheap and isolated from later mutations).
+  std::map<std::string, Value> workspace() const { return Env.snapshot(); }
+  void clearWorkspace() { Env.clear(); }
 
   // Error state.
   bool failed() const { return Failed; }
@@ -113,12 +125,106 @@ public:
   /// an axis as 1 while the program materializes something wider — the
   /// input lied to the shape analysis, so divergence is not a
   /// vectorizer defect.
-  void setShapeCaps(std::map<std::string, std::pair<bool, bool>> Caps) {
+  void setShapeCaps(std::unordered_map<std::string, std::pair<bool, bool>> Caps) {
     ShapeCaps = std::move(Caps);
+    SlotCaps.clear();
   }
 
 private:
   enum class Flow { Normal, Break, Continue, Return };
+
+  /// What the pre-pass learned about an AST node: the workspace slot of the
+  /// identifier (or index base) it names, the builtin it resolves to when
+  /// the slot is undefined at use time, and whether the name is 'pi'. For
+  /// ForStmt nodes, Slot is the loop variable's slot.
+  struct NodeInfo {
+    int Slot = -1;
+    BuiltinId Builtin = InvalidBuiltinId;
+    bool IsPi = false;
+  };
+
+  /// Open-addressing hash map from AST node pointer to NodeInfo. The find
+  /// on this map runs once per identifier evaluation — a flat power-of-two
+  /// table with linear probing beats std::unordered_map's bucket chasing
+  /// on that path.
+  class NodeInfoMap {
+  public:
+    const NodeInfo *find(const void *Key) const {
+      if (Table.empty())
+        return nullptr;
+      size_t Mask = Table.size() - 1;
+      for (size_t I = hashPtr(Key) & Mask;; I = (I + 1) & Mask) {
+        const Entry &E = Table[I];
+        if (E.Key == Key)
+          return &E.Info;
+        if (!E.Key)
+          return nullptr;
+      }
+    }
+
+    /// First insertion for a key wins (re-inserts are ignored).
+    void insert(const void *Key, const NodeInfo &Info) {
+      if (Table.empty() || Count * 4 >= Table.size() * 3)
+        grow();
+      Entry *E = findSlot(Key);
+      if (!E->Key) {
+        E->Key = Key;
+        E->Info = Info;
+        ++Count;
+      }
+    }
+
+    /// Empties the map but keeps the table storage for the next program.
+    void clear() {
+      std::fill(Table.begin(), Table.end(), Entry());
+      Count = 0;
+    }
+
+  private:
+    struct Entry {
+      const void *Key = nullptr;
+      NodeInfo Info;
+    };
+
+    static size_t hashPtr(const void *P) {
+      auto X = reinterpret_cast<uintptr_t>(P);
+      X ^= X >> 33;
+      X *= 0xff51afd7ed558ccdULL;
+      X ^= X >> 33;
+      return static_cast<size_t>(X);
+    }
+
+    Entry *findSlot(const void *Key) {
+      size_t Mask = Table.size() - 1;
+      size_t I = hashPtr(Key) & Mask;
+      while (Table[I].Key && Table[I].Key != Key)
+        I = (I + 1) & Mask;
+      return &Table[I];
+    }
+
+    void grow() {
+      std::vector<Entry> Old = std::move(Table);
+      Table.assign(Old.empty() ? 64 : Old.size() * 2, Entry());
+      Count = 0;
+      for (const Entry &E : Old)
+        if (E.Key) {
+          *findSlot(E.Key) = E;
+          ++Count;
+        }
+    }
+
+    std::vector<Entry> Table;
+    size_t Count = 0;
+  };
+
+  /// Interns every name in \p P and caches the resolution per AST node.
+  /// The cache is rebuilt per run() and dropped afterwards, so pointers of
+  /// freed programs can never alias a later program's nodes.
+  void prepare(const Program &P);
+
+  const NodeInfo *cachedInfo(const void *Node) const {
+    return NodeCache.find(Node);
+  }
 
   Flow execBody(const std::vector<StmtPtr> &Body);
   Flow execStmt(const Stmt &S);
@@ -128,6 +234,17 @@ private:
   void execAssign(const AssignStmt &S);
 
   Value evalBinary(const BinaryExpr &E);
+  /// Evaluates \p E for use as a read-only kernel operand. A defined plain
+  /// identifier resolves to a reference into the workspace (no COW copy,
+  /// no refcount traffic); anything else evaluates into \p Storage. The
+  /// reference is valid until the next assignment — expression evaluation
+  /// never assigns, so operands stay pinned for the kernel call.
+  const Value &evalOperand(const Expr &E, Value &Storage);
+  /// Single-pass (A .* B) +/- C when shapes conform; exact two-step
+  /// fallback (same kernels, same errors) otherwise. \p Prod is the
+  /// product child of \p E; \p ProductOnLeft says which operand it is.
+  Value evalFusedMulAdd(const BinaryExpr &E, const BinaryExpr &Prod,
+                        bool ProductOnLeft);
   Value evalIndexOrCall(const IndexExpr &E);
   Value evalMatrixLiteral(const MatrixExpr &E);
 
@@ -143,11 +260,34 @@ private:
   Value readIndexed(const Value &Base, const IndexExpr &E);
   void writeIndexed(Value &Target, const IndexExpr &LHS, const Value &RHS);
 
-  /// Enforces a registered shape cap after an assignment to \p Name.
-  void checkShapeCap(const std::string &Name, SourceLoc Loc);
+  /// Enforces a registered shape cap after an assignment to \p Slot.
+  void checkShapeCap(unsigned Slot, SourceLoc Loc);
 
-  std::map<std::string, Value> Vars;
-  std::map<std::string, std::pair<bool, bool>> ShapeCaps;
+  /// Records capacity hints for top-level A(i) = ... accumulators of a
+  /// loop with \p NumIters iterations; applied when the target variable
+  /// is (or becomes) defined.
+  void noteAccumulatorHints(const ForStmt &S, size_t NumIters);
+  void applyPendingHint(unsigned Slot, Value &Target);
+
+  Workspace Env;
+  /// Payload buffer pool shared by the kernels this interpreter invokes.
+  OpWorkspace Pool;
+  NodeInfoMap NodeCache;
+  std::unordered_map<std::string, std::pair<bool, bool>> ShapeCaps;
+  /// Per-slot cap mask (bit0 = rows capped, bit1 = cols capped), extended
+  /// lazily from ShapeCaps as slots appear.
+  std::vector<int8_t> SlotCaps;
+  /// Reusable argument vectors for builtin calls, indexed by nesting
+  /// depth (deque: growth never invalidates outstanding references).
+  std::deque<std::vector<Value>> ArgPool;
+  size_t ArgDepth = 0;
+  /// Scratch index buffers for readIndexed/writeIndexed. Subscript
+  /// evaluation (which may recurse into indexing) always completes before
+  /// these are filled, so reuse is safe.
+  std::vector<size_t> IdxScratchA, IdxScratchB;
+  /// (slot, numel) reserve hints noted by enclosing for-loops.
+  std::vector<std::pair<unsigned, size_t>> PendingHints;
+
   std::string Output;
   bool Failed = false;
   std::string ErrorMsg;

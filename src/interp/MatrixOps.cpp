@@ -11,7 +11,50 @@
 
 using namespace mvec;
 
+//===----------------------------------------------------------------------===//
+// OpWorkspace
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<std::vector<double>> OpWorkspace::acquire(size_t N) {
+  if (!Free.empty()) {
+    std::shared_ptr<std::vector<double>> Buf = std::move(Free.back());
+    Free.pop_back();
+    Buf->resize(N);
+    return Buf;
+  }
+  return std::make_shared<std::vector<double>>(N);
+}
+
+std::shared_ptr<std::vector<double>> OpWorkspace::acquireZeroed(size_t N) {
+  std::shared_ptr<std::vector<double>> Buf = acquire(N);
+  std::fill(Buf->begin(), Buf->end(), 0.0);
+  return Buf;
+}
+
+void OpWorkspace::recycle(Value &&V) {
+  recycleBuffer(V.releaseBuffer());
+}
+
+void OpWorkspace::recycleBuffer(std::shared_ptr<std::vector<double>> Buf) {
+  if (Buf && Buf.use_count() == 1 && Free.size() < MaxPooled)
+    Free.push_back(std::move(Buf));
+}
+
 namespace {
+
+/// Destination value of the given shape with unspecified contents.
+Value makeDest(OpWorkspace *WS, size_t R, size_t C) {
+  if (WS && R * C > 1)
+    return Value::adoptBuffer(WS->acquire(R * C), R, C);
+  return Value(R, C);
+}
+
+/// Destination value of the given shape, zero-filled.
+Value makeDestZeroed(OpWorkspace *WS, size_t R, size_t C) {
+  if (WS && R * C > 1)
+    return Value::adoptBuffer(WS->acquireZeroed(R * C), R, C);
+  return Value(R, C);
+}
 
 double applyScalarOp(BinaryOp Op, double A, double B, OpError &Err) {
   switch (Op) {
@@ -52,56 +95,152 @@ double applyScalarOp(BinaryOp Op, double A, double B, OpError &Err) {
   return 0.0;
 }
 
-} // namespace
-
-namespace {
-
 /// Comparisons and elementwise logic produce MATLAB logical values.
 bool producesLogical(BinaryOp Op) {
   return isElementwiseRelOp(Op);
 }
 
+/// Runs the elementwise loop with the per-element op hoisted out of the
+/// switch for the arithmetic operators the benchmarks spend their time in.
+/// \p SA / \p SB are operand strides: 0 replays a scalar, 1 walks a matrix.
+void ewLoop(BinaryOp Op, const double *AD, size_t SA, const double *BD,
+            size_t SB, double *RD, size_t N, OpError &Err) {
+  switch (Op) {
+  case BinaryOp::Add:
+    for (size_t I = 0; I != N; ++I)
+      RD[I] = AD[I * SA] + BD[I * SB];
+    return;
+  case BinaryOp::Sub:
+    for (size_t I = 0; I != N; ++I)
+      RD[I] = AD[I * SA] - BD[I * SB];
+    return;
+  case BinaryOp::Mul:
+  case BinaryOp::DotMul:
+    for (size_t I = 0; I != N; ++I)
+      RD[I] = AD[I * SA] * BD[I * SB];
+    return;
+  case BinaryOp::Div:
+  case BinaryOp::DotDiv:
+    for (size_t I = 0; I != N; ++I)
+      RD[I] = AD[I * SA] / BD[I * SB];
+    return;
+  default:
+    for (size_t I = 0; I != N; ++I)
+      RD[I] = applyScalarOp(Op, AD[I * SA], BD[I * SB], Err);
+    return;
+  }
+}
+
 } // namespace
 
 Value mvec::elementwiseBinary(BinaryOp Op, const Value &A, const Value &B,
-                              OpError &Err) {
+                              OpError &Err, OpWorkspace *WS) {
+  size_t SA = 1, SB = 1;
+  size_t R, C;
   if (A.isScalar() && !B.isScalar()) {
-    Value Result(B.rows(), B.cols());
-    double S = A.scalarValue();
-    const std::vector<double> &BD = B.data();
-    std::vector<double> &RD = Result.data();
-    for (size_t I = 0, E = BD.size(); I != E; ++I)
-      RD[I] = applyScalarOp(Op, S, BD[I], Err);
-    Result.setLogical(producesLogical(Op));
-    return Result;
-  }
-  if (B.isScalar() && !A.isScalar()) {
-    Value Result(A.rows(), A.cols());
-    double S = B.scalarValue();
-    const std::vector<double> &AD = A.data();
-    std::vector<double> &RD = Result.data();
-    for (size_t I = 0, E = AD.size(); I != E; ++I)
-      RD[I] = applyScalarOp(Op, AD[I], S, Err);
-    Result.setLogical(producesLogical(Op));
-    return Result;
-  }
-  if (A.rows() != B.rows() || A.cols() != B.cols()) {
+    SA = 0;
+    R = B.rows();
+    C = B.cols();
+  } else if (B.isScalar() && !A.isScalar()) {
+    SB = 0;
+    R = A.rows();
+    C = A.cols();
+  } else if (A.rows() == B.rows() && A.cols() == B.cols()) {
+    R = A.rows();
+    C = A.cols();
+  } else {
     Err.set("matrix dimensions must agree (" + std::to_string(A.rows()) +
             "x" + std::to_string(A.cols()) + " vs " +
             std::to_string(B.rows()) + "x" + std::to_string(B.cols()) + ")");
     return Value();
   }
-  Value Result(A.rows(), A.cols());
-  const std::vector<double> &AD = A.data();
-  const std::vector<double> &BD = B.data();
-  std::vector<double> &RD = Result.data();
-  for (size_t I = 0, E = AD.size(); I != E; ++I)
-    RD[I] = applyScalarOp(Op, AD[I], BD[I], Err);
+  Value Result = makeDest(WS, R, C);
+  ewLoop(Op, A.raw(), SA, B.raw(), SB, Result.mutableRaw(), R * C, Err);
   Result.setLogical(producesLogical(Op));
   return Result;
 }
 
-Value mvec::matMul(const Value &A, const Value &B, OpError &Err) {
+bool mvec::fusableMulAddShapes(const Value &A, const Value &B,
+                               const Value &C) {
+  // Step 1: T = A .* B must conform.
+  size_t TR, TC;
+  if (A.isScalar()) {
+    TR = B.rows();
+    TC = B.cols();
+  } else if (B.isScalar()) {
+    TR = A.rows();
+    TC = A.cols();
+  } else if (A.rows() == B.rows() && A.cols() == B.cols()) {
+    TR = A.rows();
+    TC = A.cols();
+  } else {
+    return false;
+  }
+  // Step 2: T +/- C must conform.
+  bool TScalar = TR == 1 && TC == 1;
+  return TScalar || C.isScalar() || (C.rows() == TR && C.cols() == TC);
+}
+
+Value mvec::fusedMulAdd(const Value &A, const Value &B, const Value &C,
+                        bool Subtract, bool ProductOnLeft, OpWorkspace *WS) {
+  size_t SA = A.isScalar() ? 0 : 1;
+  size_t SB = B.isScalar() ? 0 : 1;
+  size_t SC = C.isScalar() ? 0 : 1;
+  // Result shape: the widest operand (fusableMulAddShapes guarantees all
+  // non-scalars agree).
+  size_t R = 1, Cn = 1;
+  for (const Value *V : {&A, &B, &C})
+    if (!V->isScalar()) {
+      R = V->rows();
+      Cn = V->cols();
+      break;
+    }
+  Value Result = makeDest(WS, R, Cn);
+  const double *AD = A.raw(), *BD = B.raw(), *CD = C.raw();
+  double *RD = Result.mutableRaw();
+  size_t N = R * Cn;
+  if (!Subtract) {
+    for (size_t I = 0; I != N; ++I)
+      RD[I] = AD[I * SA] * BD[I * SB] + CD[I * SC];
+  } else if (ProductOnLeft) {
+    for (size_t I = 0; I != N; ++I)
+      RD[I] = AD[I * SA] * BD[I * SB] - CD[I * SC];
+  } else {
+    for (size_t I = 0; I != N; ++I)
+      RD[I] = CD[I * SC] - AD[I * SA] * BD[I * SB];
+  }
+  return Result;
+}
+
+namespace {
+
+/// C += A * B on raw column-major payloads, blocked over the inner
+/// dimension so a panel of A stays cache-resident across all columns of
+/// the result. Per output element the accumulation order over P is still
+/// strictly ascending — identical results to the naive jki loop.
+void matMulCore(const double *AD, const double *BD, double *RD, size_t M,
+                size_t K, size_t N) {
+  constexpr size_t PBlock = 128;
+  for (size_t P0 = 0; P0 < K; P0 += PBlock) {
+    size_t P1 = std::min(P0 + PBlock, K);
+    for (size_t J = 0; J != N; ++J) {
+      double *RCol = RD + J * M;
+      for (size_t P = P0; P != P1; ++P) {
+        double BV = BD[J * K + P];
+        if (BV == 0.0)
+          continue;
+        const double *ACol = AD + P * M;
+        for (size_t I = 0; I != M; ++I)
+          RCol[I] += ACol[I] * BV;
+      }
+    }
+  }
+}
+
+} // namespace
+
+Value mvec::matMul(const Value &A, const Value &B, OpError &Err,
+                   OpWorkspace *WS) {
   if (A.cols() != B.rows()) {
     Err.set("inner matrix dimensions must agree (" +
             std::to_string(A.rows()) + "x" + std::to_string(A.cols()) +
@@ -110,34 +249,60 @@ Value mvec::matMul(const Value &A, const Value &B, OpError &Err) {
     return Value();
   }
   size_t M = A.rows(), K = A.cols(), N = B.cols();
-  Value Result(M, N);
-  const double *AD = A.data().data();
-  const double *BD = B.data().data();
-  double *RD = Result.data().data();
-  // Column-major jki loop order keeps the inner loop unit-stride.
-  for (size_t J = 0; J != N; ++J) {
-    double *RCol = RD + J * M;
-    for (size_t P = 0; P != K; ++P) {
-      double BV = BD[J * K + P];
-      if (BV == 0.0)
-        continue;
-      const double *ACol = AD + P * M;
-      for (size_t I = 0; I != M; ++I)
-        RCol[I] += ACol[I] * BV;
-    }
-  }
+  Value Result = makeDestZeroed(WS, M, N);
+  if (M * N != 0)
+    matMulCore(A.raw(), B.raw(), Result.mutableRaw(), M, K, N);
   return Result;
 }
 
-Value mvec::mulOp(const Value &A, const Value &B, OpError &Err) {
-  if (A.isScalar() || B.isScalar())
-    return elementwiseBinary(BinaryOp::DotMul, A, B, Err);
-  return matMul(A, B, Err);
+Value mvec::matMulTransB(const Value &A, const Value &B, OpError &Err,
+                         OpWorkspace *WS) {
+  if (A.cols() != B.cols()) {
+    Err.set("inner matrix dimensions must agree (" +
+            std::to_string(A.rows()) + "x" + std::to_string(A.cols()) +
+            " * " + std::to_string(B.cols()) + "x" + std::to_string(B.rows()) +
+            ")");
+    return Value();
+  }
+  size_t M = A.rows(), K = A.cols(), N = B.rows();
+  Value Result = makeDestZeroed(WS, M, N);
+  if (M * N == 0)
+    return Result;
+  // Pack B' (K x N, column-major) into scratch, then run the blocked
+  // kernel. The packed copy is what makes the inner loop unit-stride; the
+  // scratch comes from (and returns to) the pool, so no Value temporary is
+  // allocated for the transpose.
+  std::shared_ptr<std::vector<double>> Scratch;
+  std::vector<double> Local;
+  double *BT;
+  if (WS) {
+    Scratch = WS->acquire(K * N);
+    BT = Scratch->data();
+  } else {
+    Local.resize(K * N);
+    BT = Local.data();
+  }
+  const double *BD = B.raw();
+  for (size_t P = 0; P != K; ++P)
+    for (size_t J = 0; J != N; ++J)
+      BT[J * K + P] = BD[P * N + J];
+  matMulCore(A.raw(), BT, Result.mutableRaw(), M, K, N);
+  if (Scratch)
+    WS->recycleBuffer(std::move(Scratch));
+  return Result;
 }
 
-Value mvec::divOp(const Value &A, const Value &B, OpError &Err) {
+Value mvec::mulOp(const Value &A, const Value &B, OpError &Err,
+                  OpWorkspace *WS) {
+  if (A.isScalar() || B.isScalar())
+    return elementwiseBinary(BinaryOp::DotMul, A, B, Err, WS);
+  return matMul(A, B, Err, WS);
+}
+
+Value mvec::divOp(const Value &A, const Value &B, OpError &Err,
+                  OpWorkspace *WS) {
   if (B.isScalar())
-    return elementwiseBinary(BinaryOp::DotDiv, A, B, Err);
+    return elementwiseBinary(BinaryOp::DotDiv, A, B, Err, WS);
   Err.set("matrix right division is only supported with a scalar divisor");
   return Value();
 }
@@ -174,17 +339,21 @@ Value mvec::powOp(const Value &A, const Value &B, OpError &Err) {
   return Value();
 }
 
-Value mvec::unaryMinus(const Value &A) {
-  Value Result(A.rows(), A.cols());
+Value mvec::unaryMinus(const Value &A, OpWorkspace *WS) {
+  Value Result = makeDest(WS, A.rows(), A.cols());
+  const double *AD = A.raw();
+  double *RD = Result.mutableRaw();
   for (size_t I = 0, E = A.numel(); I != E; ++I)
-    Result.linear(I) = -A.linear(I);
+    RD[I] = -AD[I];
   return Result;
 }
 
-Value mvec::unaryNot(const Value &A) {
-  Value Result(A.rows(), A.cols());
+Value mvec::unaryNot(const Value &A, OpWorkspace *WS) {
+  Value Result = makeDest(WS, A.rows(), A.cols());
+  const double *AD = A.raw();
+  double *RD = Result.mutableRaw();
   for (size_t I = 0, E = A.numel(); I != E; ++I)
-    Result.linear(I) = A.linear(I) == 0.0 ? 1.0 : 0.0;
+    RD[I] = AD[I] == 0.0 ? 1.0 : 0.0;
   Result.setLogical(true);
   return Result;
 }
@@ -210,8 +379,9 @@ Value mvec::makeRange(double Start, double Step, double Stop, OpError &Err) {
   }
   auto Count = static_cast<size_t>(CountF);
   Value Result(1, Count);
+  double *RD = Result.mutableRaw();
   for (size_t I = 0; I != Count; ++I)
-    Result.linear(I) = Start + static_cast<double>(I) * Step;
+    RD[I] = Start + static_cast<double>(I) * Step;
   return Result;
 }
 
@@ -225,9 +395,9 @@ Value mvec::horzcat(const Value &A, const Value &B, OpError &Err) {
     return Value();
   }
   Value Result(A.rows(), A.cols() + B.cols());
-  std::copy(A.data().begin(), A.data().end(), Result.data().begin());
-  std::copy(B.data().begin(), B.data().end(),
-            Result.data().begin() + static_cast<long>(A.numel()));
+  double *RD = Result.mutableRaw();
+  std::copy(A.begin(), A.end(), RD);
+  std::copy(B.begin(), B.end(), RD + A.numel());
   return Result;
 }
 
@@ -276,7 +446,7 @@ Value mvec::sumAlong(const Value &A, unsigned Dim) {
 Value mvec::sumDefault(const Value &A) {
   if (A.isVector()) {
     double Acc = 0;
-    for (double D : A.data())
+    for (double D : A)
       Acc += D;
     return Value::scalar(Acc);
   }
@@ -314,7 +484,7 @@ Value mvec::cumsumDefault(const Value &A) {
 Value mvec::prodDefault(const Value &A) {
   if (A.isVector()) {
     double Acc = 1;
-    for (double D : A.data())
+    for (double D : A)
       Acc *= D;
     return Value::scalar(Acc);
   }
@@ -347,7 +517,7 @@ Value mvec::histCounts(const Value &X, const Value &Centers, OpError &Err) {
   Value Counts(1, NumBins);
   // Edges midway between consecutive centers; the outer bins catch
   // everything beyond (MATLAB hist semantics).
-  for (double Sample : X.data()) {
+  for (double Sample : X) {
     if (std::isnan(Sample))
       continue;
     size_t Bin = 0;

@@ -15,7 +15,10 @@
 /// row/column broadcasting (that is what repmat is for).
 ///
 /// All functions report problems through an OpError out-parameter instead of
-/// throwing.
+/// throwing. Kernels optionally take an OpWorkspace — a pool of payload
+/// buffers that lets expression chains reuse destination storage instead of
+/// allocating a temporary per node; passing null preserves the old
+/// allocate-per-result behavior.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,7 +28,9 @@
 #include "frontend/AST.h"
 #include "interp/Value.h"
 
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace mvec {
 
@@ -40,26 +45,74 @@ struct OpError {
   }
 };
 
+/// A small pool of payload buffers recycled between kernel invocations.
+/// One workspace belongs to one interpreter (one thread); buffers are only
+/// pooled while exclusively owned, so COW copies handed to other threads
+/// are never recycled underneath them.
+class OpWorkspace {
+public:
+  /// A buffer of exactly \p N elements with unspecified contents (callers
+  /// overwrite every element).
+  std::shared_ptr<std::vector<double>> acquire(size_t N);
+
+  /// Like acquire, but zero-filled (for accumulation kernels).
+  std::shared_ptr<std::vector<double>> acquireZeroed(size_t N);
+
+  /// Takes a dying value's payload back into the pool when it is heap
+  /// allocated and exclusively owned; otherwise does nothing.
+  void recycle(Value &&V);
+
+  /// Returns a raw buffer (from acquire) to the pool.
+  void recycleBuffer(std::shared_ptr<std::vector<double>> Buf);
+
+  void clear() { Free.clear(); }
+
+private:
+  static constexpr size_t MaxPooled = 8;
+  std::vector<std::shared_ptr<std::vector<double>>> Free;
+};
+
 /// Elementwise binary operation with MATLAB scalar expansion. Handles the
 /// pointwise arithmetic operators, comparisons and logical &,|.
 Value elementwiseBinary(BinaryOp Op, const Value &A, const Value &B,
-                        OpError &Err);
+                        OpError &Err, OpWorkspace *WS = nullptr);
+
+/// True when (A .* B) +/- C is computable in one fused pass: each step
+/// conforms under MATLAB scalar expansion. When false, callers must fall
+/// back to the two-step path (which also reproduces the exact error).
+bool fusableMulAddShapes(const Value &A, const Value &B, const Value &C);
+
+/// Fused elementwise multiply-add: (A .* B) op C when \p ProductOnLeft,
+/// else C op (A .* B), for op in {+, -}. No intermediate product value is
+/// materialized. Requires fusableMulAddShapes(A, B, C).
+Value fusedMulAdd(const Value &A, const Value &B, const Value &C,
+                  bool Subtract, bool ProductOnLeft, OpWorkspace *WS = nullptr);
 
 /// Full MATLAB '*': scalar*X, X*scalar or matrix product with inner-dim
 /// check.
-Value mulOp(const Value &A, const Value &B, OpError &Err);
+Value mulOp(const Value &A, const Value &B, OpError &Err,
+            OpWorkspace *WS = nullptr);
 
 /// Full MATLAB '/': X/scalar only (general linear solves are out of scope).
-Value divOp(const Value &A, const Value &B, OpError &Err);
+Value divOp(const Value &A, const Value &B, OpError &Err,
+            OpWorkspace *WS = nullptr);
 
 /// Full MATLAB '^': scalar^scalar or square-matrix^nonnegative-integer.
 Value powOp(const Value &A, const Value &B, OpError &Err);
 
-/// Plain matrix product (shapes already conformant).
-Value matMul(const Value &A, const Value &B, OpError &Err);
+/// Plain matrix product (shapes already conformant). Blocked over the
+/// inner dimension; accumulation order per output element is unchanged.
+Value matMul(const Value &A, const Value &B, OpError &Err,
+             OpWorkspace *WS = nullptr);
 
-Value unaryMinus(const Value &A);
-Value unaryNot(const Value &A);
+/// A * B' without materializing the transpose as a Value: B is packed
+/// transposed into workspace scratch and fed to the blocked kernel.
+/// Requires A.cols() == B.cols(); result is A.rows() x B.rows().
+Value matMulTransB(const Value &A, const Value &B, OpError &Err,
+                   OpWorkspace *WS = nullptr);
+
+Value unaryMinus(const Value &A, OpWorkspace *WS = nullptr);
+Value unaryNot(const Value &A, OpWorkspace *WS = nullptr);
 
 /// Builds the row vector start:step:stop (empty when the range is empty).
 Value makeRange(double Start, double Step, double Stop, OpError &Err);

@@ -8,15 +8,18 @@
 
 #include "support/StringExtras.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace mvec;
 
 Value Value::transposed() const {
   Value Result(NumCols, NumRows);
+  const double *Src = raw();
+  double *Dst = Result.mutableRaw();
   for (size_t C = 0; C != NumCols; ++C)
     for (size_t R = 0; R != NumRows; ++R)
-      Result.at(C, R) = at(R, C);
+      Dst[R * NumCols + C] = Src[C * NumRows + R];
   Result.setLogical(isLogical());
   return Result;
 }
@@ -24,22 +27,69 @@ Value Value::transposed() const {
 void Value::growTo(size_t Rows, size_t Cols) {
   if (Rows <= NumRows && Cols <= NumCols)
     return;
-  size_t NewRows = Rows > NumRows ? Rows : NumRows;
-  size_t NewCols = Cols > NumCols ? Cols : NumCols;
-  std::vector<double> NewData(NewRows * NewCols, 0.0);
-  for (size_t C = 0; C != NumCols; ++C)
-    for (size_t R = 0; R != NumRows; ++R)
-      NewData[C * NewRows + R] = Data[C * NumRows + R];
+  size_t NewRows = std::max(Rows, NumRows);
+  size_t NewCols = std::max(Cols, NumCols);
+  size_t OldN = numel();
+  size_t NewN = NewRows * NewCols;
+  // An element's linear position C * NumRows + R is unchanged by growth
+  // when the row count stays fixed or all data lives in column zero, so
+  // those cases (vector append, matrix column append) extend in place.
+  bool LayoutPreserved = NewRows == NumRows || NumCols <= 1 || OldN == 0;
+  if (NewN <= 1 && !Heap) {
+    // 0x0 -> 1x1 and friends: stays inline.
+  } else if (LayoutPreserved) {
+    if (!Heap) {
+      Heap = std::make_shared<std::vector<double>>();
+      Heap->resize(NewN, 0.0);
+      if (OldN == 1)
+        (*Heap)[0] = InlineVal;
+    } else if (Heap.use_count() > 1) {
+      auto NewBuf = std::make_shared<std::vector<double>>();
+      NewBuf->reserve(NewN);
+      NewBuf->assign(Heap->begin(), Heap->end());
+      NewBuf->resize(NewN, 0.0);
+      Heap = std::move(NewBuf);
+    } else {
+      // vector::resize grows capacity geometrically, which is what makes
+      // A(i) = ... append loops amortized linear.
+      Heap->resize(NewN, 0.0);
+    }
+  } else {
+    auto NewBuf = std::make_shared<std::vector<double>>(NewN, 0.0);
+    const double *Src = raw();
+    double *Dst = NewBuf->data();
+    for (size_t C = 0; C != NumCols; ++C)
+      for (size_t R = 0; R != NumRows; ++R)
+        Dst[C * NewRows + R] = Src[C * NumRows + R];
+    Heap = std::move(NewBuf);
+  }
   NumRows = NewRows;
   NumCols = NewCols;
-  Data = std::move(NewData);
+}
+
+void Value::reserveHint(size_t Numel) {
+  if (Numel <= 1)
+    return;
+  if (Heap) {
+    if (Heap.use_count() == 1 && Heap->capacity() < Numel)
+      Heap->reserve(Numel);
+    return;
+  }
+  size_t N = numel(); // 0 or 1
+  Heap = std::make_shared<std::vector<double>>();
+  Heap->reserve(Numel);
+  Heap->resize(N);
+  if (N == 1)
+    (*Heap)[0] = InlineVal;
 }
 
 bool Value::equals(const Value &Other, double Tol) const {
   if (NumRows != Other.NumRows || NumCols != Other.NumCols)
     return false;
-  for (size_t I = 0, E = Data.size(); I != E; ++I) {
-    double A = Data[I], B = Other.Data[I];
+  const double *AD = raw();
+  const double *BD = Other.raw();
+  for (size_t I = 0, E = numel(); I != E; ++I) {
+    double A = AD[I], B = BD[I];
     if (std::isnan(A) && std::isnan(B))
       continue;
     if (Tol == 0.0) {
@@ -57,7 +107,7 @@ bool Value::equals(const Value &Other, double Tol) const {
 bool Value::isTrue() const {
   if (isEmpty())
     return false;
-  for (double D : Data)
+  for (double D : *this)
     if (D == 0.0)
       return false;
   return true;
@@ -67,7 +117,7 @@ std::string Value::str() const {
   if (isEmpty())
     return "[]";
   if (isScalar())
-    return formatMatlabNumber(Data[0]);
+    return formatMatlabNumber(raw()[0]);
   std::string Out = "[" + std::to_string(NumRows) + "x" +
                     std::to_string(NumCols) + "]";
   if (numel() <= 16) {

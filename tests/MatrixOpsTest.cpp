@@ -8,7 +8,9 @@
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 using namespace mvec;
 
@@ -287,6 +289,168 @@ TEST(DivOpTest, ScalarDenominatorOnly) {
   EXPECT_FALSE(Err.failed());
   divOp(rowOf({2, 4}), rowOf({1, 2}), Err);
   EXPECT_TRUE(Err.failed());
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized differential tests: the fused/blocked/pooled kernels against
+// naive scalar references. The optimized paths restructure the loops
+// (blocking, fusion, buffer reuse), so every element is cross-checked on a
+// spread of shapes, including the scalar-broadcast and empty edge cases.
+//===----------------------------------------------------------------------===//
+
+/// Deterministic xorshift PRNG (tests must not depend on global rand()).
+struct TestRng {
+  uint64_t State;
+  explicit TestRng(uint64_t Seed) : State(Seed ? Seed : 1) {}
+  double next() { // uniform in [-8, 8) with a sprinkle of exact zeros
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    if ((State & 0xF) == 0)
+      return 0.0;
+    return static_cast<double>(State % 10000) / 625.0 - 8.0;
+  }
+};
+
+Value randomValue(TestRng &Rng, size_t Rows, size_t Cols) {
+  Value M(Rows, Cols);
+  for (size_t I = 0; I != M.numel(); ++I)
+    M.linear(I) = Rng.next();
+  return M;
+}
+
+/// Reference A*B via the textbook triple loop, no blocking, no transposes.
+Value naiveMatMul(const Value &A, const Value &B) {
+  Value R(A.rows(), B.cols());
+  for (size_t I = 0; I != A.rows(); ++I)
+    for (size_t J = 0; J != B.cols(); ++J) {
+      double Acc = 0;
+      for (size_t K = 0; K != A.cols(); ++K)
+        Acc += A.at(I, K) * B.at(K, J);
+      if (R.numel())
+        R.at(I, J) = Acc;
+    }
+  return R;
+}
+
+/// Broadcast-aware element read for scalar-or-matrix operands.
+double bcast(const Value &V, size_t I) {
+  return V.isScalar() ? V.scalarValue() : V.linear(I);
+}
+
+TEST(DifferentialTest, FusedMulAddMatchesTwoStep) {
+  TestRng Rng(0xC0FFEE);
+  OpWorkspace WS;
+  const size_t Shapes[][2] = {{1, 1}, {1, 7}, {5, 1}, {3, 4}, {17, 9}, {64, 3}};
+  for (const auto &Shape : Shapes) {
+    size_t R = Shape[0], C = Shape[1];
+    for (int Trial = 0; Trial != 8; ++Trial) {
+      // Mix matrix and scalar operands; fusedMulAdd must accept any
+      // combination fusableMulAddShapes admits.
+      Value A = (Trial & 1) ? Value::scalar(Rng.next()) : randomValue(Rng, R, C);
+      Value B = (Trial & 2) ? Value::scalar(Rng.next()) : randomValue(Rng, R, C);
+      Value Cv = (Trial & 4) ? Value::scalar(Rng.next()) : randomValue(Rng, R, C);
+      if (!fusableMulAddShapes(A, B, Cv))
+        continue;
+      for (bool Subtract : {false, true})
+        for (bool ProductOnLeft : {false, true}) {
+          Value Fused = fusedMulAdd(A, B, Cv, Subtract, ProductOnLeft, &WS);
+          size_t N = std::max({A.numel(), B.numel(), Cv.numel()});
+          ASSERT_EQ(Fused.numel(), N);
+          for (size_t I = 0; I != N; ++I) {
+            double P = bcast(A, I) * bcast(B, I);
+            double Expect = !Subtract         ? P + bcast(Cv, I)
+                            : ProductOnLeft   ? P - bcast(Cv, I)
+                                              : bcast(Cv, I) - P;
+            ASSERT_DOUBLE_EQ(Fused.linear(I), Expect)
+                << R << "x" << C << " trial " << Trial << " elt " << I;
+          }
+          WS.recycle(std::move(Fused));
+        }
+    }
+  }
+}
+
+TEST(DifferentialTest, BlockedMatMulMatchesNaive) {
+  TestRng Rng(0xBEEF);
+  OpWorkspace WS;
+  // Spans the blocking boundaries (PBlock = 128) and skinny shapes.
+  const size_t Dims[][3] = {{1, 1, 1},   {2, 3, 4},   {7, 7, 7},
+                            {1, 130, 1}, {5, 128, 5}, {33, 129, 17},
+                            {130, 2, 3}, {3, 2, 130}};
+  for (const auto &D : Dims) {
+    Value A = randomValue(Rng, D[0], D[1]);
+    Value B = randomValue(Rng, D[1], D[2]);
+    OpError Err;
+    Value R = mulOp(A, B, Err, &WS);
+    ASSERT_FALSE(Err.failed());
+    Value Ref = naiveMatMul(A, B);
+    ASSERT_TRUE(R.equals(Ref, 1e-12))
+        << D[0] << "x" << D[1] << " * " << D[1] << "x" << D[2];
+    WS.recycle(std::move(R));
+  }
+}
+
+TEST(DifferentialTest, MatMulTransBMatchesNaive) {
+  TestRng Rng(0xDEAD);
+  OpWorkspace WS;
+  // matMulTransB(A, B) computes A * B'; B is given untransposed.
+  const size_t Dims[][3] = {{1, 1, 1},  {4, 3, 5},    {16, 16, 16},
+                            {2, 130, 2}, {31, 127, 33}, {1, 64, 1}};
+  for (const auto &D : Dims) {
+    Value A = randomValue(Rng, D[0], D[1]);
+    Value B = randomValue(Rng, D[2], D[1]); // B' is D[1] x D[2]
+    OpError Err;
+    Value R = matMulTransB(A, B, Err, &WS);
+    ASSERT_FALSE(Err.failed());
+    Value Ref = naiveMatMul(A, B.transposed());
+    ASSERT_TRUE(R.equals(Ref, 1e-12))
+        << D[0] << "x" << D[1] << " * (" << D[2] << "x" << D[1] << ")'";
+    WS.recycle(std::move(R));
+  }
+}
+
+TEST(DifferentialTest, PooledElementwiseMatchesFresh) {
+  TestRng Rng(0xF00D);
+  OpWorkspace WS;
+  const BinaryOp Ops[] = {BinaryOp::Add, BinaryOp::Sub,  BinaryOp::DotMul,
+                          BinaryOp::DotDiv, BinaryOp::Lt, BinaryOp::Ge};
+  for (int Trial = 0; Trial != 24; ++Trial) {
+    size_t R = 1 + Trial % 5, C = 1 + Trial % 7;
+    Value A = (Trial % 3 == 0) ? Value::scalar(Rng.next())
+                               : randomValue(Rng, R, C);
+    Value B = (Trial % 3 == 1) ? Value::scalar(Rng.next())
+                               : randomValue(Rng, R, C);
+    for (BinaryOp Op : Ops) {
+      OpError ErrPooled, ErrFresh;
+      // Same kernel with and without the buffer pool: identical results,
+      // including the logical flag on comparisons.
+      Value Pooled = elementwiseBinary(Op, A, B, ErrPooled, &WS);
+      Value Fresh = elementwiseBinary(Op, A, B, ErrFresh, nullptr);
+      ASSERT_EQ(ErrPooled.failed(), ErrFresh.failed());
+      if (ErrFresh.failed())
+        continue;
+      ASSERT_TRUE(Pooled.equals(Fresh)) << "op " << static_cast<int>(Op);
+      ASSERT_EQ(Pooled.isLogical(), Fresh.isLogical());
+      WS.recycle(std::move(Pooled));
+    }
+  }
+}
+
+TEST(DifferentialTest, PoolRecyclingNeverAliasesLiveValues) {
+  OpWorkspace WS;
+  OpError Err;
+  TestRng Rng(7);
+  Value A = randomValue(Rng, 8, 8);
+  Value Live = mulOp(A, A, Err, &WS);
+  ASSERT_FALSE(Err.failed());
+  Value Snapshot = Live; // shares Live's buffer
+  // Recycling Live must not hand its (shared) buffer to the pool...
+  WS.recycle(std::move(Live));
+  Value Next = mulOp(A, A, Err, &WS);
+  // ...so writing the next result cannot corrupt the snapshot.
+  ASSERT_FALSE(Snapshot.sharesBufferWith(Next));
+  ASSERT_TRUE(Snapshot.equals(Next, 0.0));
 }
 
 } // namespace

@@ -1,0 +1,212 @@
+//===- ValueTest.cpp - Copy-on-write Value semantics ----------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the COW payload contract of Value: copies share one buffer until a
+/// mutation detaches, inline scalars never allocate, growth preserves
+/// placement, and workspace snapshots stay isolated from later mutations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace mvec;
+
+namespace {
+
+Value iota(size_t Rows, size_t Cols) {
+  Value M(Rows, Cols);
+  for (size_t I = 0; I != M.numel(); ++I)
+    M.linear(I) = static_cast<double>(I + 1);
+  return M;
+}
+
+Interpreter runOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  Interpreter Interp;
+  EXPECT_TRUE(Interp.run(R.Prog)) << Interp.errorMessage();
+  return Interp;
+}
+
+TEST(CowValueTest, CopySharesBufferUntilMutation) {
+  Value A = iota(3, 3);
+  Value B = A;
+  EXPECT_TRUE(A.sharesBufferWith(B));
+  EXPECT_EQ(A.raw(), B.raw());
+
+  // Mutating the copy detaches it; the original is untouched.
+  B.at(1, 1) = 99;
+  EXPECT_FALSE(A.sharesBufferWith(B));
+  EXPECT_DOUBLE_EQ(A.at(1, 1), 5);
+  EXPECT_DOUBLE_EQ(B.at(1, 1), 99);
+}
+
+TEST(CowValueTest, MutatingOriginalDetachesFromCopies) {
+  Value A = iota(2, 4);
+  Value B = A;
+  A.linear(0) = -1;
+  EXPECT_FALSE(A.sharesBufferWith(B));
+  EXPECT_DOUBLE_EQ(B.linear(0), 1);
+  EXPECT_DOUBLE_EQ(A.linear(0), -1);
+}
+
+TEST(CowValueTest, ExclusiveOwnerMutatesInPlace) {
+  Value A = iota(4, 4);
+  const double *Before = A.raw();
+  A.at(0, 0) = 42;
+  EXPECT_EQ(A.raw(), Before); // no sharer, so no clone
+}
+
+TEST(CowValueTest, ScalarsStayInline) {
+  Value A = Value::scalar(3.5);
+  Value B = A;
+  // Inline payloads are per-value storage: never "shared", never on the heap.
+  EXPECT_FALSE(A.sharesBufferWith(B));
+  B.linear(0) = 7;
+  EXPECT_DOUBLE_EQ(A.scalarValue(), 3.5);
+  EXPECT_DOUBLE_EQ(B.scalarValue(), 7);
+  EXPECT_TRUE(Value().releaseBuffer() == nullptr);
+}
+
+TEST(CowValueTest, AdoptAndReleaseBufferRoundTrip) {
+  auto Buf = std::make_shared<std::vector<double>>(6, 2.0);
+  double *Payload = Buf->data();
+  Value M = Value::adoptBuffer(std::move(Buf), 2, 3);
+  EXPECT_EQ(M.rows(), 2u);
+  EXPECT_EQ(M.cols(), 3u);
+  EXPECT_EQ(M.raw(), Payload);
+
+  // Exclusive owner gets the buffer back; the value empties.
+  auto Out = M.releaseBuffer();
+  ASSERT_NE(Out, nullptr);
+  EXPECT_EQ(Out->data(), Payload);
+  EXPECT_TRUE(M.isEmpty());
+
+  // A shared payload is not released.
+  Value A = Value::adoptBuffer(std::move(Out), 3, 2);
+  Value B = A;
+  EXPECT_EQ(A.releaseBuffer(), nullptr);
+  EXPECT_DOUBLE_EQ(B.at(2, 1), 2.0); // sharer keeps the data
+}
+
+TEST(CowValueTest, GrowToPreservesPositionsWhenShared) {
+  Value A = iota(2, 2); // [1 3; 2 4] column-major
+  Value B = A;
+  A.growTo(3, 3);
+  // Original elements keep their (row, col) slots, new cells are zero.
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 1);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), 2);
+  EXPECT_DOUBLE_EQ(A.at(0, 1), 3);
+  EXPECT_DOUBLE_EQ(A.at(1, 1), 4);
+  EXPECT_DOUBLE_EQ(A.at(2, 2), 0);
+  // The pre-growth copy is bitwise intact.
+  EXPECT_EQ(B.rows(), 2u);
+  EXPECT_DOUBLE_EQ(B.at(1, 1), 4);
+}
+
+TEST(CowValueTest, RowGrowthRestrides) {
+  Value A = iota(2, 3);
+  A.growTo(4, 3); // changes the column stride: every element must move
+  for (size_t C = 0; C != 3; ++C) {
+    EXPECT_DOUBLE_EQ(A.at(0, C), static_cast<double>(2 * C + 1));
+    EXPECT_DOUBLE_EQ(A.at(1, C), static_cast<double>(2 * C + 2));
+    EXPECT_DOUBLE_EQ(A.at(2, C), 0);
+    EXPECT_DOUBLE_EQ(A.at(3, C), 0);
+  }
+}
+
+TEST(CowValueTest, ReserveHintChangesNothingObservable) {
+  Value A = iota(1, 3);
+  Value Before = A;
+  A.reserveHint(500);
+  EXPECT_TRUE(A.equals(Before));
+  A.growTo(1, 4);
+  A.at(0, 3) = 9;
+  EXPECT_DOUBLE_EQ(A.at(0, 2), 3);
+  EXPECT_DOUBLE_EQ(A.at(0, 3), 9);
+
+  // Hinting a scalar or an empty value must not change its shape.
+  Value S = Value::scalar(2);
+  S.reserveHint(100);
+  EXPECT_TRUE(S.isScalar());
+  EXPECT_DOUBLE_EQ(S.scalarValue(), 2);
+  Value E;
+  E.reserveHint(100);
+  EXPECT_TRUE(E.isEmpty());
+}
+
+TEST(CowValueTest, VectorAppendIsAmortized) {
+  // 20k element-at-a-time appends complete instantly under the geometric
+  // policy; the quadratic seed implementation made this test take seconds.
+  Value A;
+  for (size_t I = 0; I != 20000; ++I) {
+    A.growTo(1, I + 1);
+    A.at(0, I) = static_cast<double>(I);
+  }
+  EXPECT_EQ(A.cols(), 20000u);
+  EXPECT_DOUBLE_EQ(A.at(0, 19999), 19999.0);
+}
+
+TEST(CowInterpreterTest, SelfIndexAssignment) {
+  // A = A(...) reads and writes the same variable; COW must keep the read
+  // snapshot intact while the write replaces the slot.
+  Interpreter I = runOk("A = [1 2 3 4];\n"
+                        "A = A(4:-1:1);\n"
+                        "B = [1 2; 3 4];\n"
+                        "B(1, :) = B(2, :);\n");
+  const Value *A = I.getVariable("A");
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(A->equals(Value::vector({4, 3, 2, 1}, /*Row=*/true)));
+  const Value *B = I.getVariable("B");
+  ASSERT_NE(B, nullptr);
+  EXPECT_DOUBLE_EQ(B->at(0, 0), 3);
+  EXPECT_DOUBLE_EQ(B->at(0, 1), 4);
+  EXPECT_DOUBLE_EQ(B->at(1, 0), 3);
+}
+
+TEST(CowInterpreterTest, AliasedVariablesDivergeOnWrite) {
+  // B = A then B(2) = 9: A must not see the write even though the engine
+  // shared the payload at the copy.
+  Interpreter I = runOk("A = [1 2 3];\nB = A;\nB(2) = 9;\n");
+  EXPECT_TRUE(I.getVariable("A")->equals(Value::vector({1, 2, 3}, true)));
+  EXPECT_TRUE(I.getVariable("B")->equals(Value::vector({1, 9, 3}, true)));
+}
+
+TEST(CowInterpreterTest, WorkspaceSnapshotIsolation) {
+  Interpreter I = runOk("X = [1 2; 3 4];\n");
+  std::map<std::string, Value> Snap = I.workspace();
+  ASSERT_EQ(Snap.count("X"), 1u);
+
+  // Mutate the live variable after snapshotting.
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab("X(1, 1) = 100;\n", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_TRUE(I.run(R.Prog));
+
+  EXPECT_DOUBLE_EQ(Snap.at("X").at(0, 0), 1);            // snapshot frozen
+  EXPECT_DOUBLE_EQ(I.getVariable("X")->at(0, 0), 100.0); // live updated
+}
+
+TEST(CowInterpreterTest, SnapshotSurvivesClear) {
+  Interpreter I = runOk("v = [5 6 7];\n");
+  std::map<std::string, Value> Snap = I.workspace();
+  I.clearWorkspace();
+  EXPECT_EQ(I.getVariable("v"), nullptr);
+  EXPECT_TRUE(Snap.at("v").equals(Value::vector({5, 6, 7}, true)));
+}
+
+} // namespace
