@@ -20,8 +20,13 @@
 #include "deps/DepAnalysis.h"
 #include "deps/LoopNest.h"
 #include "shape/AnnotationParser.h"
+#include "vectorizer/NestCache.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <vector>
 
 using namespace mvecbench;
 
@@ -101,19 +106,162 @@ BENCHMARK(BM_DependenceAnalysis)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_FullVectorization)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_VectorizeSynthetic)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
 
+/// Pre-PR cold-path reference times (commit 872262b), medians of
+/// interleaved A/B runs against that commit's binary on the recording
+/// host. The JSON reports current/baseline speedups against these; they
+/// are only comparable across hosts (and across this host's frequency /
+/// scheduling drift, which exceeds 30% run-to-run) after scaling by the
+/// calibration probe below, so the JSON carries every raw piece rather
+/// than hiding a ratio.
+constexpr double BaselineSynthetic200Ms = 7.4;
+constexpr double BaselineCorpusPassMs = 0.80;
+/// calibrationSeconds() on the recording host, captured in the same
+/// window as the baseline medians above.
+constexpr double BaselineCalibrationMs = 49.2;
+
+/// Fixed pure-arithmetic workload timing the host's current effective
+/// speed. The ratio against BaselineCalibrationMs rescales the recorded
+/// baseline times to "this run's" host speed, cancelling frequency and
+/// scheduling drift out of the speedup computation.
+double calibrationSeconds() {
+  return timeSeconds([] {
+    double Y = 1.0;
+    for (int I = 0; I != 20000000; ++I)
+      Y = Y * 1.000000001 + 1e-9;
+    benchmark::DoNotOptimize(Y);
+  }, 5);
+}
+
+/// Batch of \p Count scripts with unique source text (no whole-script
+/// dedup possible) all sharing the same loop nests, modeling service
+/// traffic where many submissions contain the same hot kernels.
+std::vector<std::string> sharedNestBatch(int Count) {
+  std::vector<std::string> Batch;
+  std::string Common = syntheticProgram(8);
+  for (int I = 0; I != Count; ++I)
+    Batch.push_back("% submission " + std::to_string(I) + "\n" + Common);
+  return Batch;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  bool Quick = false;
+  std::string OutPath = "BENCH_analysis.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--quick") == 0) {
+      Quick = true;
+      // Hide the flag from google-benchmark's argument parsing.
+      for (int J = I; J + 1 < argc; ++J)
+        argv[J] = argv[J + 1];
+      --argc;
+      --I;
+    } else if (argv[I][0] != '-') {
+      OutPath = argv[I];
+    }
+  }
+
   std::printf("\n=== Analysis throughput (tool compile time; not a paper "
               "table — supports Sec. 4's feasibility claim) ===\n");
   auto Corpus = paperCorpus();
-  double Secs = timeSeconds([&Corpus] {
+  double CorpusSecs = timeSeconds([&Corpus] {
     for (const CorpusProgram &P : Corpus)
       vectorizeSource(P.Source);
   });
   std::printf("full pipeline over %zu corpus programs: %.2f ms\n",
-              Corpus.size(), Secs * 1e3);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+              Corpus.size(), CorpusSecs * 1e3);
+
+  std::string Synthetic = syntheticProgram(200);
+  // One warmup call (page-in, allocator steady state), then best-of-9:
+  // single cold calls on a shared host jitter by 10-20%, and the JSON's
+  // baseline comparison needs the stable floor, not one noisy sample.
+  vectorizeSource(Synthetic);
+  double SyntheticSecs = timeSeconds([&Synthetic] {
+    PipelineResult R = vectorizeSource(Synthetic);
+    benchmark::DoNotOptimize(R.Stats.StmtsVectorized);
+  }, 9);
+  std::printf("synthetic 200-nest script, cold: %.2f ms\n",
+              SyntheticSecs * 1e3);
+
+  // Nest-cache value proposition: a batch of distinct scripts sharing
+  // their loop nests, compiled cold vs. through one shared NestCache.
+  constexpr int BatchSize = 32;
+  std::vector<std::string> Batch = sharedNestBatch(BatchSize);
+  double BatchColdSecs = timeSeconds([&Batch] {
+    for (const std::string &S : Batch)
+      benchmark::DoNotOptimize(vectorizeSource(S).Stats.StmtsVectorized);
+  }, 5);
+  NestCache Cache(256);
+  vectorizeSource(Batch.front(), {}, nullptr, &Cache); // prime
+  double BatchWarmSecs = timeSeconds([&Batch, &Cache] {
+    for (const std::string &S : Batch)
+      benchmark::DoNotOptimize(
+          vectorizeSource(S, {}, nullptr, &Cache).Stats.StmtsVectorized);
+  }, 5);
+  double WarmSpeedup = BatchWarmSecs > 0 ? BatchColdSecs / BatchWarmSecs : 0;
+  std::printf("shared-nest batch of %d scripts: cold %.2f ms, nest-cache "
+              "warm %.2f ms (%.2fx, %llu hits)\n",
+              BatchSize, BatchColdSecs * 1e3, BatchWarmSecs * 1e3,
+              WarmSpeedup,
+              static_cast<unsigned long long>(Cache.hits()));
+
+  double CalibMs = calibrationSeconds() * 1e3;
+  // Rescale the recorded baseline to this run's host speed before
+  // comparing; see BaselineCalibrationMs.
+  double HostScale = CalibMs / BaselineCalibrationMs;
+  double SpeedupSynthetic =
+      SyntheticSecs > 0
+          ? BaselineSynthetic200Ms * HostScale / (SyntheticSecs * 1e3)
+          : 0;
+  double SpeedupCorpus =
+      CorpusSecs > 0 ? BaselineCorpusPassMs * HostScale / (CorpusSecs * 1e3)
+                     : 0;
+  std::printf("host calibration: %.1f ms (recorded %.1f ms, scale %.2f)\n",
+              CalibMs, BaselineCalibrationMs, HostScale);
+  std::printf("cold speedup vs pre-PR baseline: synthetic-200 %.2fx, "
+              "corpus %.2fx (host-scale corrected)\n",
+              SpeedupSynthetic, SpeedupCorpus);
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  Out << "{\n  \"benchmark\": \"analysis_throughput\",\n"
+      << "  \"corpus_programs\": " << Corpus.size() << ",\n"
+      << "  \"cold\": {\n"
+      << "    \"corpus_pass_ms\": " << CorpusSecs * 1e3 << ",\n"
+      << "    \"corpus_scripts_per_sec\": " << Corpus.size() / CorpusSecs
+      << ",\n"
+      << "    \"synthetic_200_ms\": " << SyntheticSecs * 1e3 << "\n"
+      << "  },\n"
+      << "  \"baseline_pre_pr\": {\n"
+      << "    \"commit\": \"872262b\",\n"
+      << "    \"synthetic_200_ms\": " << BaselineSynthetic200Ms << ",\n"
+      << "    \"corpus_pass_ms\": " << BaselineCorpusPassMs << ",\n"
+      << "    \"calibration_ms\": " << BaselineCalibrationMs << ",\n"
+      << "    \"method\": \"interleaved A/B medians, same host\"\n"
+      << "  },\n"
+      << "  \"host\": {\n"
+      << "    \"calibration_ms\": " << CalibMs << ",\n"
+      << "    \"scale_vs_baseline_host\": " << HostScale << "\n"
+      << "  },\n"
+      << "  \"cold_speedup_vs_baseline\": {\n"
+      << "    \"synthetic_200\": " << SpeedupSynthetic << ",\n"
+      << "    \"corpus\": " << SpeedupCorpus << "\n"
+      << "  },\n"
+      << "  \"nest_cache\": {\n"
+      << "    \"batch_scripts\": " << BatchSize << ",\n"
+      << "    \"cold_batch_ms\": " << BatchColdSecs * 1e3 << ",\n"
+      << "    \"warm_batch_ms\": " << BatchWarmSecs * 1e3 << ",\n"
+      << "    \"warm_speedup\": " << WarmSpeedup << ",\n"
+      << "    \"hits\": " << Cache.hits() << "\n"
+      << "  }\n}\n";
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  if (!Quick) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

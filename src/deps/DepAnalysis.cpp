@@ -20,7 +20,7 @@ namespace {
 
 /// One array/variable access inside a statement.
 struct AccessInfo {
-  std::string Var;
+  Symbol Var;
   bool Write = false;
   const IndexExpr *Subs = nullptr; ///< null = whole-variable access
 };
@@ -49,10 +49,14 @@ class DepBuilder {
 public:
   DepBuilder(const LoopNest &Nest, const ShapeEnv &Env)
       : Nest(Nest), Env(Env) {
-    for (const LoopHeader &H : Nest.Loops)
-      LoopVars.insert(H.IndexVar);
+    for (const LoopHeader &H : Nest.Loops) {
+      LoopVars.insert(H.IndexSym);
+      // Affine forms carry plain coefficient names; keep a string view of
+      // the same set for those membership tests.
+      LoopVarNames.insert(H.indexVar());
+    }
     for (const NestStmt &S : Nest.Stmts)
-      WrittenVars.insert(S.S->targetName());
+      WrittenVars.insert(S.S->targetSym());
   }
 
   DepGraph build();
@@ -65,11 +69,10 @@ private:
 
   void testPair(unsigned S1, const AccessInfo &W, unsigned S2,
                 const AccessInfo &A);
-  void emitEdges(unsigned S1, unsigned S2, const std::string &Var,
-                 bool AIsWrite, unsigned Common,
-                 const std::vector<DirSet> &Dirs);
+  void emitEdges(unsigned S1, unsigned S2, Symbol Var, bool AIsWrite,
+                 unsigned Common, const std::vector<DirSet> &Dirs);
   void addEdge(unsigned Src, unsigned Dst, unsigned Level, DepKind Kind,
-               const std::string &Var);
+               Symbol Var);
 
   /// Symbolic interval of \p E with loop variables expanded to their bound
   /// intervals. Returns false when unbounded.
@@ -77,20 +80,41 @@ private:
                   unsigned Depth = 0) const;
   const LoopHeader *loopByVar(const std::string &Name) const;
 
+  /// Memoized AffineExpr::fromExpr / isScalarPure, keyed by node identity.
+  /// Every (write, access) pair re-tests the same subscripts, so without
+  /// the memo both analyses run O(pairs) times per subscript expression.
+  const std::optional<AffineExpr> &affineOf(const Expr &E) const {
+    auto It = AffineCache.find(&E);
+    if (It == AffineCache.end())
+      It = AffineCache.emplace(&E, AffineExpr::fromExpr(E)).first;
+    return It->second;
+  }
+  bool scalarPure(const Expr &E) const {
+    auto [It, New] = ScalarPureCache.try_emplace(&E, false);
+    if (New)
+      It->second = isScalarPure(E);
+    return It->second;
+  }
+
   const LoopNest &Nest;
   const ShapeEnv &Env;
-  std::set<std::string> LoopVars;
-  std::set<std::string> WrittenVars;
+  std::set<Symbol> LoopVars;
+  std::set<std::string> LoopVarNames;
+  std::set<Symbol> WrittenVars;
   std::vector<DepEdge> Edges;
+  mutable std::unordered_map<const Expr *, std::optional<AffineExpr>>
+      AffineCache;
+  mutable std::unordered_map<const Expr *, bool> ScalarPureCache;
 };
 
 bool DepBuilder::isArrayAccess(const IndexExpr &I) const {
-  std::string Name = I.baseName();
+  Symbol Name = I.baseSym();
   if (Name.empty())
     return false; // expression base: treated via recursion on the base
-  if (Env.knows(Name) || WrittenVars.count(Name) || LoopVars.count(Name))
+  if (Env.knows(Name.str()) || WrittenVars.count(Name) ||
+      LoopVars.count(Name))
     return true;
-  return !isBuiltinName(Name);
+  return !isBuiltinName(Name.str());
 }
 
 void DepBuilder::collectReads(const Expr &E,
@@ -102,7 +126,7 @@ void DepBuilder::collectReads(const Expr &E,
   case Expr::Kind::EndKeyword:
     return;
   case Expr::Kind::Ident:
-    Out.push_back(AccessInfo{cast<IdentExpr>(E).name(), false, nullptr});
+    Out.push_back(AccessInfo{cast<IdentExpr>(E).sym(), false, nullptr});
     return;
   case Expr::Kind::Range: {
     const auto &R = cast<RangeExpr>(E);
@@ -127,8 +151,8 @@ void DepBuilder::collectReads(const Expr &E,
   case Expr::Kind::Index: {
     const auto &I = cast<IndexExpr>(E);
     if (isArrayAccess(I))
-      Out.push_back(AccessInfo{I.baseName(), false, &I});
-    else if (I.baseName().empty())
+      Out.push_back(AccessInfo{I.baseSym(), false, &I});
+    else if (I.baseSym().empty())
       collectReads(*I.base(), Out);
     for (unsigned A = 0, N = I.numArgs(); A != N; ++A)
       collectReads(*I.arg(A), Out);
@@ -147,9 +171,9 @@ DepBuilder::collectAccesses(const AssignStmt &S) const {
   std::vector<AccessInfo> Out;
   // The write access.
   if (const auto *Ident = dyn_cast<IdentExpr>(S.lhs())) {
-    Out.push_back(AccessInfo{Ident->name(), true, nullptr});
+    Out.push_back(AccessInfo{Ident->sym(), true, nullptr});
   } else if (const auto *Index = dyn_cast<IndexExpr>(S.lhs())) {
-    Out.push_back(AccessInfo{Index->baseName(), true, Index});
+    Out.push_back(AccessInfo{Index->baseSym(), true, Index});
     for (unsigned A = 0, N = Index->numArgs(); A != N; ++A)
       collectReads(*Index->arg(A), Out);
   }
@@ -161,7 +185,7 @@ bool DepBuilder::isScalarPure(const Expr &E) const {
   bool Pure = true;
   visitExpr(E, [this, &Pure](const Expr &Node) {
     if (const auto *Ident = dyn_cast<IdentExpr>(&Node)) {
-      if (LoopVars.count(Ident->name()))
+      if (LoopVars.count(Ident->sym()))
         return;
       if (Env.isScalar(Ident->name()))
         return;
@@ -177,7 +201,7 @@ bool DepBuilder::isScalarPure(const Expr &E) const {
 
 const LoopHeader *DepBuilder::loopByVar(const std::string &Name) const {
   for (const LoopHeader &H : Nest.Loops)
-    if (H.IndexVar == Name)
+    if (H.indexVar() == Name)
       return &H;
   return nullptr;
 }
@@ -212,11 +236,11 @@ bool DepBuilder::intervalOf(const AffineExpr &E, AffineInterval &Out,
 }
 
 void DepBuilder::addEdge(unsigned Src, unsigned Dst, unsigned Level,
-                         DepKind Kind, const std::string &Var) {
-  Edges.push_back(DepEdge{Src, Dst, Level, Kind, Var});
+                         DepKind Kind, Symbol Var) {
+  Edges.push_back(DepEdge{Src, Dst, Level, Kind, Var.str()});
 }
 
-void DepBuilder::emitEdges(unsigned S1, unsigned S2, const std::string &Var,
+void DepBuilder::emitEdges(unsigned S1, unsigned S2, Symbol Var,
                            bool AIsWrite, unsigned Common,
                            const std::vector<DirSet> &Dirs) {
   // S1 holds the write W; S2 holds access A. Directions describe
@@ -271,15 +295,15 @@ void DepBuilder::testPair(unsigned S1, const AccessInfo &W, unsigned S2,
     if (isa<MagicColonExpr>(&SubW) || isa<MagicColonExpr>(&SubA))
       continue;
 
-    if (!isScalarPure(SubW) || !isScalarPure(SubA)) {
+    if (!scalarPure(SubW) || !scalarPure(SubA)) {
       // Set-valued or opaque subscripts: structurally identical
       // loop-invariant subscripts denote the same location set in every
       // iteration pair (no constraint); anything else is unknown.
       continue;
     }
 
-    auto FW = AffineExpr::fromExpr(SubW);
-    auto FA = AffineExpr::fromExpr(SubA);
+    const std::optional<AffineExpr> &FW = affineOf(SubW);
+    const std::optional<AffineExpr> &FA = affineOf(SubA);
     if (!FW || !FA)
       continue; // nonlinear: no information from this dimension
 
@@ -299,17 +323,17 @@ void DepBuilder::testPair(unsigned S1, const AccessInfo &W, unsigned S2,
     {
       AffineExpr InvW(FW->constant());
       for (const auto &[Name, Coeff] : FW->coeffs())
-        if (!LoopVars.count(Name))
+        if (!LoopVarNames.count(Name))
           InvW = InvW + AffineExpr::variable(Name, Coeff);
       AffineExpr InvA(FA->constant());
       for (const auto &[Name, Coeff] : FA->coeffs())
-        if (!LoopVars.count(Name))
+        if (!LoopVarNames.count(Name))
           InvA = InvA + AffineExpr::variable(Name, Coeff);
       AffineExpr Delta = InvA - InvW; // right-hand side of the Diophantine
       bool IntegerCoeffs = true;
       long long G = 0;
       for (const auto &[Name, Coeff] : FW->coeffs()) {
-        if (!LoopVars.count(Name))
+        if (!LoopVarNames.count(Name))
           continue;
         if (Coeff != std::floor(Coeff)) {
           IntegerCoeffs = false;
@@ -318,7 +342,7 @@ void DepBuilder::testPair(unsigned S1, const AccessInfo &W, unsigned S2,
         G = std::gcd(G, static_cast<long long>(std::fabs(Coeff)));
       }
       for (const auto &[Name, Coeff] : FA->coeffs()) {
-        if (!LoopVars.count(Name))
+        if (!LoopVarNames.count(Name))
           continue;
         if (Coeff != std::floor(Coeff)) {
           IntegerCoeffs = false;
@@ -346,7 +370,7 @@ void DepBuilder::testPair(unsigned S1, const AccessInfo &W, unsigned S2,
     // SIV).
     for (unsigned L = 1; L <= Common; ++L) {
       const LoopHeader &Header = Nest.Loops[L - 1];
-      const std::string &Var = Header.IndexVar;
+      const std::string &Var = Header.indexVar();
       double AW = FW->coeff(Var);
       double AA = FA->coeff(Var);
       if (AW == 0.0 && AA == 0.0)
@@ -354,12 +378,12 @@ void DepBuilder::testPair(unsigned S1, const AccessInfo &W, unsigned S2,
       bool OtherLoopVarW = false, OtherLoopVarA = false;
       for (const auto &[Name, Coeff] : FW->coeffs()) {
         (void)Coeff;
-        if (Name != Var && LoopVars.count(Name))
+        if (Name != Var && LoopVarNames.count(Name))
           OtherLoopVarW = true;
       }
       for (const auto &[Name, Coeff] : FA->coeffs()) {
         (void)Coeff;
-        if (Name != Var && LoopVars.count(Name))
+        if (Name != Var && LoopVarNames.count(Name))
           OtherLoopVarA = true;
       }
       if (OtherLoopVarW || OtherLoopVarA)

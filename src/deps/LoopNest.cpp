@@ -129,10 +129,10 @@ namespace {
 
 /// Collects all identifier names written by assignments under \p Body.
 void collectWrittenNames(const std::vector<StmtPtr> &Body,
-                         std::set<std::string> &Names) {
+                         std::set<Symbol> &Names) {
   visitStmts(Body, [&Names](const Stmt &S) {
     if (const auto *A = dyn_cast<AssignStmt>(&S))
-      Names.insert(A->targetName());
+      Names.insert(A->targetSym());
   });
 }
 
@@ -142,13 +142,13 @@ namespace {
 
 /// Walks the nest chain in source order, building headers and statements.
 bool walkNest(ForStmt &Current, LoopNest &Nest,
-              std::set<std::string> &IndexVars, std::string &Reason) {
-  if (IndexVars.count(Current.indexVar())) {
+              std::set<Symbol> &IndexVars, std::string &Reason) {
+  if (IndexVars.count(Current.indexSym())) {
     Reason =
         "nested loops reuse index variable '" + Current.indexVar() + "'";
     return false;
   }
-  IndexVars.insert(Current.indexVar());
+  IndexVars.insert(Current.indexSym());
 
   const auto *Range = dyn_cast<RangeExpr>(Current.range());
   if (!Range) {
@@ -158,7 +158,7 @@ bool walkNest(ForStmt &Current, LoopNest &Nest,
   }
 
   LoopHeader Header;
-  Header.IndexVar = Current.indexVar();
+  Header.IndexSym = Current.indexSym();
   Header.Id = static_cast<LoopId>(Nest.Loops.size() + 1);
   Header.Loop = &Current;
   Header.Start = Range->start();
@@ -213,30 +213,31 @@ bool walkNest(ForStmt &Current, LoopNest &Nest,
 std::optional<LoopNest> mvec::buildLoopNest(ForStmt &Root,
                                             std::string &Reason) {
   LoopNest Nest;
-  std::set<std::string> IndexVars;
+  std::set<Symbol> IndexVars;
   if (!walkNest(Root, Nest, IndexVars, Reason))
     return std::nullopt;
 
   // No statement may write an index variable (paper Sec. 4), and loop
   // bounds must not depend on variables written inside the nest.
-  std::set<std::string> Written;
+  std::set<Symbol> Written;
   collectWrittenNames(Root.body(), Written);
-  for (const std::string &IndexVar : IndexVars) {
+  for (Symbol IndexVar : IndexVars) {
     if (Written.count(IndexVar)) {
-      Reason = "loop writes to its own index variable '" + IndexVar + "'";
+      Reason =
+          "loop writes to its own index variable '" + IndexVar.str() + "'";
       return std::nullopt;
     }
   }
   for (const LoopHeader &H : Nest.Loops) {
-    std::set<std::string> BoundNames;
+    std::set<Symbol> BoundNames;
     collectIdentifiers(*H.Start, BoundNames);
     if (H.Step)
       collectIdentifiers(*H.Step, BoundNames);
     collectIdentifiers(*H.Stop, BoundNames);
-    for (const std::string &Name : BoundNames) {
+    for (Symbol Name : BoundNames) {
       if (Written.count(Name)) {
-        Reason = "bounds of loop '" + H.IndexVar +
-                 "' depend on '" + Name + "' written inside the nest";
+        Reason = "bounds of loop '" + H.indexVar() + "' depend on '" +
+                 Name.str() + "' written inside the nest";
         return std::nullopt;
       }
     }

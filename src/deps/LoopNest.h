@@ -29,9 +29,12 @@ namespace mvec {
 
 /// One loop of the nest chain (the paper's loopHeaders entry).
 struct LoopHeader {
-  std::string IndexVar;
+  Symbol IndexSym; ///< interned index variable; == is a pointer compare
   LoopId Id = 0;   ///< 1-based, unique within the nest.
   ForStmt *Loop = nullptr;
+
+  /// Spelling of the index variable, for diagnostics and affine forms.
+  const std::string &indexVar() const { return IndexSym.str(); }
 
   // Range components (owned by Loop's range expression). Step is null for
   // the implicit step of 1.

@@ -23,43 +23,94 @@ using namespace mvec;
 
 namespace {
 
+} // namespace
+
+const PatternDatabase &mvec::defaultPatternDatabase() {
+  // Built on first use and frozen before the reference escapes; C++
+  // magic-static initialization makes the build race-free, and a frozen
+  // database is safe to read from any number of threads.
+  static const PatternDatabase &DB = []() -> const PatternDatabase & {
+    // The database outlives every program arena, so its template ASTs
+    // must come from the heap even if the first caller holds a scope.
+    ArenaScope ForceHeap(nullptr);
+    static PatternDatabase D;
+    registerBuiltinPatterns(D);
+    D.freeze();
+    return D;
+  }();
+  return DB;
+}
+
 /// Whitespace-tokenized comparison of two printed transcripts. Tokens
 /// that both parse fully as numbers are compared with the same relative
 /// tolerance as workspace values — a reassociated reduction can shift
 /// the last ulp, and round-trip printing would surface it — everything
 /// else must match byte for byte.
-bool outputsMatch(const std::string &OutA, const std::string &OutB,
-                  double Tol) {
-  std::istringstream SA(OutA), SB(OutB);
-  std::string TA, TB;
+///
+/// Identical transcripts (the overwhelmingly common case) are accepted
+/// with one memcmp; the tokenizer runs only on a mismatch, walking both
+/// strings in place without istringstream or per-token allocation.
+bool mvec::detail::outputsMatch(const std::string &OutA,
+                                const std::string &OutB, double Tol) {
+  if (OutA == OutB)
+    return true;
+
+  auto IsSpace = [](char C) {
+    return C == ' ' || C == '\t' || C == '\n' || C == '\v' || C == '\f' ||
+           C == '\r';
+  };
+  // Returns the half-open token range at/after Pos, or an empty range at
+  // the end of input.
+  auto NextToken = [&IsSpace](const std::string &S, size_t &Pos) {
+    while (Pos != S.size() && IsSpace(S[Pos]))
+      ++Pos;
+    size_t Begin = Pos;
+    while (Pos != S.size() && !IsSpace(S[Pos]))
+      ++Pos;
+    return std::pair<size_t, size_t>(Begin, Pos);
+  };
+
+  size_t PA = 0, PB = 0;
+  std::string TA, TB; // strtod scratch, reused across tokens
   while (true) {
-    bool HasA = static_cast<bool>(SA >> TA);
-    bool HasB = static_cast<bool>(SB >> TB);
+    auto [BeginA, EndA] = NextToken(OutA, PA);
+    auto [BeginB, EndB] = NextToken(OutB, PB);
+    bool HasA = BeginA != EndA, HasB = BeginB != EndB;
     if (HasA != HasB)
       return false;
     if (!HasA)
       return true;
-    if (TA == TB)
+    size_t LenA = EndA - BeginA, LenB = EndB - BeginB;
+    if (LenA == LenB && OutA.compare(BeginA, LenA, OutB, BeginB, LenB) == 0)
       continue;
-    char *EndA = nullptr, *EndB = nullptr;
-    double VA = std::strtod(TA.c_str(), &EndA);
-    double VB = std::strtod(TB.c_str(), &EndB);
-    if (EndA == TA.c_str() || *EndA != '\0' || EndB == TB.c_str() ||
-        *EndB != '\0')
+    TA.assign(OutA, BeginA, LenA);
+    TB.assign(OutB, BeginB, LenB);
+    char *TailA = nullptr, *TailB = nullptr;
+    double VA = std::strtod(TA.c_str(), &TailA);
+    double VB = std::strtod(TB.c_str(), &TailB);
+    if (TailA == TA.c_str() || *TailA != '\0' || TailB == TB.c_str() ||
+        *TailB != '\0')
       return false;
     if (std::isnan(VA) && std::isnan(VB))
       continue;
+    // An infinite value makes the relative-tolerance band infinite too
+    // (inf <= Tol*inf), which would accept Inf against -Inf or against
+    // any finite number; infinities only ever match themselves.
+    if (std::isinf(VA) || std::isinf(VB)) {
+      if (VA == VB)
+        continue;
+      return false;
+    }
     double Scale = std::fmax(1.0, std::fmax(std::fabs(VA), std::fabs(VB)));
     if (!(std::fabs(VA - VB) <= Tol * Scale))
       return false;
   }
 }
 
-} // namespace
-
 PipelineResult mvec::vectorizeSource(const std::string &Source,
                                      const VectorizerOptions &Opts,
-                                     const PatternDatabase *DB) {
+                                     const PatternDatabase *DB,
+                                     NestCache *NestC) {
   PipelineResult Result;
   ParseResult Parsed = parseMatlab(Source, Result.Diags);
   if (Result.Diags.hasErrors())
@@ -68,14 +119,11 @@ PipelineResult mvec::vectorizeSource(const std::string &Source,
   ShapeEnv Env = parseShapeAnnotations(Parsed.Annotations, Result.Diags);
   inferProgramShapes(Parsed.Prog, Env);
 
-  PatternDatabase Default;
-  if (!DB) {
-    registerBuiltinPatterns(Default);
-    DB = &Default;
-  }
+  if (!DB)
+    DB = &defaultPatternDatabase();
 
   Program Vectorized = vectorizeProgram(Parsed.Prog, Env, *DB, Opts,
-                                        Result.Diags, &Result.Stats);
+                                        Result.Diags, &Result.Stats, NestC);
   Result.VectorizedSource = printProgram(Vectorized);
   return Result;
 }
@@ -195,7 +243,7 @@ DiffOutcome mvec::diffRunLimited(const std::string &OriginalSource,
       return Fail(DiffStatus::Mismatch,
                   "transformation introduced variable '" + Name + "'");
   }
-  if (!outputsMatch(A.output(), B.output(), Tol))
+  if (!detail::outputsMatch(A.output(), B.output(), Tol))
     return Fail(DiffStatus::Mismatch, "printed output differs");
   return DiffOutcome{};
 }

@@ -38,18 +38,36 @@ struct PipelineResult {
   bool succeeded() const { return !Diags.hasErrors(); }
 };
 
+/// The shared builtin pattern database vectorizeSource falls back to when
+/// no caller database is given: built once on first use, frozen, and read
+/// concurrently ever after. Callers that want plugins or extra patterns
+/// still build their own.
+const PatternDatabase &defaultPatternDatabase();
+
+namespace detail {
+/// Whitespace-tokenized transcript comparison with numeric tolerance;
+/// exposed for unit tests (see Pipeline.cpp for the semantics).
+bool outputsMatch(const std::string &OutA, const std::string &OutB,
+                  double Tol);
+} // namespace detail
+
 /// Runs the full pipeline on \p Source. \p DB defaults to the builtin
-/// pattern database when null.
+/// pattern database when null. \p NestC, when given, memoizes per-loop-nest
+/// vectorization outcomes across calls (see vectorizer/NestCache.h); there
+/// is no default instance, so plain calls always measure the true cold
+/// path.
 ///
 /// Thread-safety: re-entrant. All state (parse tree, shape environment,
 /// diagnostics, the fallback pattern database) is local to the call; a
 /// caller-supplied \p DB is only read through its const interface, so one
 /// frozen database may be shared by any number of concurrent calls (see
-/// PatternDatabase::freeze()). The service layer (src/service) relies on
-/// this to fan the pipeline out over a worker pool.
+/// PatternDatabase::freeze()), and a shared \p NestC synchronizes
+/// internally. The service layer (src/service) relies on this to fan the
+/// pipeline out over a worker pool.
 PipelineResult vectorizeSource(const std::string &Source,
                                const VectorizerOptions &Opts = {},
-                               const PatternDatabase *DB = nullptr);
+                               const PatternDatabase *DB = nullptr,
+                               NestCache *NestC = nullptr);
 
 /// Execution bounds for differential validation. Interpreted MATLAB can
 /// loop forever (or merely far too long); services must be able to cut a

@@ -92,9 +92,13 @@ bool mvec::isElementwiseRelOp(BinaryOp Op) {
 }
 
 std::string IndexExpr::baseName() const {
+  return baseSym().str();
+}
+
+Symbol IndexExpr::baseSym() const {
   if (const auto *Ident = dyn_cast<IdentExpr>(Base.get()))
-    return Ident->name();
-  return std::string();
+    return Ident->sym();
+  return Symbol();
 }
 
 ExprPtr IndexExpr::clone() const {
@@ -120,11 +124,15 @@ ExprPtr MatrixExpr::clone() const {
 }
 
 std::string AssignStmt::targetName() const {
+  return targetSym().str();
+}
+
+Symbol AssignStmt::targetSym() const {
   if (const auto *Ident = dyn_cast<IdentExpr>(LHS.get()))
-    return Ident->name();
+    return Ident->sym();
   if (const auto *Index = dyn_cast<IndexExpr>(LHS.get()))
-    return Index->baseName();
-  return std::string();
+    return Index->baseSym();
+  return Symbol();
 }
 
 static std::vector<StmtPtr> cloneBody(const std::vector<StmtPtr> &Body) {
@@ -136,7 +144,7 @@ static std::vector<StmtPtr> cloneBody(const std::vector<StmtPtr> &Body) {
 }
 
 StmtPtr ForStmt::clone() const {
-  return std::make_unique<ForStmt>(IndexVar, RangeE->clone(), cloneBody(Body),
+  return std::make_unique<ForStmt>(IndexSym, RangeE->clone(), cloneBody(Body),
                                    loc());
 }
 
@@ -158,6 +166,8 @@ StmtPtr IfStmt::clone() const {
 
 Program Program::cloneProgram() const {
   Program P;
+  P.Arena = std::make_shared<ArenaAllocator>();
+  ArenaScope Scope(P.Arena.get());
   P.Stmts = cloneBody(Stmts);
   return P;
 }
@@ -167,7 +177,11 @@ ExprPtr mvec::makeNumber(double Value) {
 }
 
 ExprPtr mvec::makeIdent(std::string Name) {
-  return std::make_unique<IdentExpr>(std::move(Name));
+  return std::make_unique<IdentExpr>(Name);
+}
+
+ExprPtr mvec::makeIdent(Symbol Sym) {
+  return std::make_unique<IdentExpr>(Sym);
 }
 
 ExprPtr mvec::makeBinary(BinaryOp Op, ExprPtr LHS, ExprPtr RHS) {

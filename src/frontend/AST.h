@@ -14,8 +14,10 @@
 #ifndef MVEC_FRONTEND_AST_H
 #define MVEC_FRONTEND_AST_H
 
+#include "support/Arena.h"
 #include "support/Casting.h"
 #include "support/SourceLoc.h"
+#include "support/StringInterner.h"
 
 #include <memory>
 #include <string>
@@ -90,6 +92,11 @@ public:
 
   virtual ~Expr() = default;
 
+  /// Nodes allocate from the thread's active ArenaScope when one is set
+  /// (see support/Arena.h); delete is a no-op for arena nodes.
+  void *operator new(size_t Size) { return detail::allocNode(Size); }
+  void operator delete(void *P) noexcept { detail::freeNode(P); }
+
   Kind kind() const { return TheKind; }
   SourceLoc loc() const { return Loc; }
   void setLoc(SourceLoc L) { Loc = L; }
@@ -141,19 +148,23 @@ private:
 
 class IdentExpr : public Expr {
 public:
-  IdentExpr(std::string Name, SourceLoc Loc = SourceLoc())
-      : Expr(Kind::Ident, Loc), Name(std::move(Name)) {}
+  IdentExpr(std::string_view Name, SourceLoc Loc = SourceLoc())
+      : Expr(Kind::Ident, Loc), Sym(internSymbol(Name)) {}
+  IdentExpr(Symbol Sym, SourceLoc Loc = SourceLoc())
+      : Expr(Kind::Ident, Loc), Sym(Sym) {}
 
-  const std::string &name() const { return Name; }
+  const std::string &name() const { return Sym.str(); }
+  /// Interned handle; pointer-compares equal iff the spellings match.
+  Symbol sym() const { return Sym; }
 
   ExprPtr clone() const override {
-    return std::make_unique<IdentExpr>(Name, loc());
+    return std::make_unique<IdentExpr>(Sym, loc());
   }
 
   static bool classof(const Expr *E) { return E->kind() == Kind::Ident; }
 
 private:
-  std::string Name;
+  Symbol Sym;
 };
 
 /// The bare ':' subscript selecting a whole dimension, e.g. A(:,i).
@@ -301,6 +312,8 @@ public:
 
   /// The base name when the base is a plain identifier, else "".
   std::string baseName() const;
+  /// Same, as an interned handle (empty Symbol for non-identifier bases).
+  Symbol baseSym() const;
 
   ExprPtr clone() const override;
 
@@ -340,6 +353,9 @@ public:
 
   virtual ~Stmt() = default;
 
+  void *operator new(size_t Size) { return detail::allocNode(Size); }
+  void operator delete(void *P) noexcept { detail::freeNode(P); }
+
   Kind kind() const { return TheKind; }
   SourceLoc loc() const { return Loc; }
   void setLoc(SourceLoc L) { Loc = L; }
@@ -371,6 +387,8 @@ public:
 
   /// Name of the variable being (possibly partially) written.
   std::string targetName() const;
+  /// Same, as an interned handle (empty Symbol when the LHS is malformed).
+  Symbol targetSym() const;
 
   StmtPtr clone() const override {
     return std::make_unique<AssignStmt>(LHS->clone(), RHS->clone(), loc());
@@ -404,12 +422,18 @@ private:
 
 class ForStmt : public Stmt {
 public:
-  ForStmt(std::string IndexVar, ExprPtr RangeE, std::vector<StmtPtr> Body,
+  ForStmt(std::string_view IndexVar, ExprPtr RangeE, std::vector<StmtPtr> Body,
           SourceLoc Loc = SourceLoc())
-      : Stmt(Kind::For, Loc), IndexVar(std::move(IndexVar)),
+      : Stmt(Kind::For, Loc), IndexSym(internSymbol(IndexVar)),
         RangeE(std::move(RangeE)), Body(std::move(Body)) {}
+  ForStmt(Symbol IndexSym, ExprPtr RangeE, std::vector<StmtPtr> Body,
+          SourceLoc Loc = SourceLoc())
+      : Stmt(Kind::For, Loc), IndexSym(IndexSym), RangeE(std::move(RangeE)),
+        Body(std::move(Body)) {}
 
-  const std::string &indexVar() const { return IndexVar; }
+  const std::string &indexVar() const { return IndexSym.str(); }
+  /// Interned handle for the index variable.
+  Symbol indexSym() const { return IndexSym; }
   const Expr *range() const { return RangeE.get(); }
   Expr *range() { return RangeE.get(); }
   void setRange(ExprPtr E) { RangeE = std::move(E); }
@@ -421,7 +445,7 @@ public:
   static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
 
 private:
-  std::string IndexVar;
+  Symbol IndexSym;
   ExprPtr RangeE;
   std::vector<StmtPtr> Body;
 };
@@ -494,14 +518,29 @@ public:
   static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
 };
 
-/// A whole script: a list of top-level statements.
+/// A whole script: a list of top-level statements. When built under an
+/// ArenaScope (the parser and cloneProgram do this), the Program owns the
+/// arena its nodes live in; Arena is declared before Stmts so statement
+/// destructors run while the arena is still alive.
 struct Program {
+  std::shared_ptr<ArenaAllocator> Arena;
   std::vector<StmtPtr> Stmts;
 
   Program() = default;
   Program(Program &&) = default;
-  Program &operator=(Program &&) = default;
+  Program &operator=(Program &&Other) noexcept {
+    if (this != &Other) {
+      // Destroy the old statements before their arena: member-wise move
+      // assignment would release the arena first and then run node
+      // destructors over freed memory.
+      Stmts.clear();
+      Stmts = std::move(Other.Stmts);
+      Arena = std::move(Other.Arena);
+    }
+    return *this;
+  }
 
+  /// Deep copy into a fresh arena owned by the returned Program.
   Program cloneProgram() const;
 };
 
@@ -511,6 +550,7 @@ struct Program {
 
 ExprPtr makeNumber(double Value);
 ExprPtr makeIdent(std::string Name);
+ExprPtr makeIdent(Symbol Sym);
 ExprPtr makeBinary(BinaryOp Op, ExprPtr LHS, ExprPtr RHS);
 ExprPtr makeUnary(UnaryOp Op, ExprPtr Operand);
 ExprPtr makeTranspose(ExprPtr Operand);

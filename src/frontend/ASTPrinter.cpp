@@ -8,8 +8,6 @@
 
 #include "support/StringExtras.h"
 
-#include <sstream>
-
 using namespace mvec;
 
 namespace {
@@ -274,6 +272,9 @@ std::string mvec::printStmt(const Stmt &S, unsigned Indent) {
 
 std::string mvec::printProgram(const Program &P) {
   std::string Out;
+  // Skip the early growth doublings; a top-level statement (with its
+  // nested body) rarely prints shorter than this.
+  Out.reserve(64 * P.Stmts.size());
   PrinterImpl Printer;
   for (const StmtPtr &S : P.Stmts)
     Printer.printStmt(Out, *S, 0);

@@ -19,7 +19,7 @@ bool mvec::exprEquals(const Expr &A, const Expr &B) {
   case Expr::Kind::String:
     return cast<StringExpr>(A).value() == cast<StringExpr>(B).value();
   case Expr::Kind::Ident:
-    return cast<IdentExpr>(A).name() == cast<IdentExpr>(B).name();
+    return cast<IdentExpr>(A).sym() == cast<IdentExpr>(B).sym();
   case Expr::Kind::MagicColon:
   case Expr::Kind::EndKeyword:
     return true;
@@ -77,51 +77,6 @@ bool mvec::exprEquals(const Expr &A, const Expr &B) {
   return false;
 }
 
-void mvec::visitExpr(const Expr &E,
-                     const std::function<void(const Expr &)> &Fn) {
-  Fn(E);
-  switch (E.kind()) {
-  case Expr::Kind::Number:
-  case Expr::Kind::String:
-  case Expr::Kind::Ident:
-  case Expr::Kind::MagicColon:
-  case Expr::Kind::EndKeyword:
-    return;
-  case Expr::Kind::Range: {
-    const auto &R = cast<RangeExpr>(E);
-    visitExpr(*R.start(), Fn);
-    if (R.step())
-      visitExpr(*R.step(), Fn);
-    visitExpr(*R.stop(), Fn);
-    return;
-  }
-  case Expr::Kind::Unary:
-    visitExpr(*cast<UnaryExpr>(E).operand(), Fn);
-    return;
-  case Expr::Kind::Binary: {
-    const auto &B = cast<BinaryExpr>(E);
-    visitExpr(*B.lhs(), Fn);
-    visitExpr(*B.rhs(), Fn);
-    return;
-  }
-  case Expr::Kind::Transpose:
-    visitExpr(*cast<TransposeExpr>(E).operand(), Fn);
-    return;
-  case Expr::Kind::Index: {
-    const auto &I = cast<IndexExpr>(E);
-    visitExpr(*I.base(), Fn);
-    for (unsigned A = 0, N = I.numArgs(); A != N; ++A)
-      visitExpr(*I.arg(A), Fn);
-    return;
-  }
-  case Expr::Kind::Matrix:
-    for (const auto &Row : cast<MatrixExpr>(E).rows())
-      for (const ExprPtr &Elt : Row)
-        visitExpr(*Elt, Fn);
-    return;
-  }
-}
-
 void mvec::collectIdentifiers(const Expr &E, std::set<std::string> &Names) {
   visitExpr(E, [&Names](const Expr &Node) {
     if (const auto *Ident = dyn_cast<IdentExpr>(&Node))
@@ -129,17 +84,57 @@ void mvec::collectIdentifiers(const Expr &E, std::set<std::string> &Names) {
   });
 }
 
-bool mvec::mentionsIdentifier(const Expr &E, const std::string &Name) {
-  bool Found = false;
-  visitExpr(E, [&](const Expr &Node) {
+void mvec::collectIdentifiers(const Expr &E, std::set<Symbol> &Names) {
+  visitExpr(E, [&Names](const Expr &Node) {
     if (const auto *Ident = dyn_cast<IdentExpr>(&Node))
-      if (Ident->name() == Name)
-        Found = true;
+      Names.insert(Ident->sym());
   });
-  return Found;
 }
 
-ExprPtr mvec::substituteIdentifier(ExprPtr E, const std::string &Name,
+bool mvec::mentionsIdentifier(const Expr &E, Symbol Name) {
+  switch (E.kind()) {
+  case Expr::Kind::Number:
+  case Expr::Kind::String:
+  case Expr::Kind::MagicColon:
+  case Expr::Kind::EndKeyword:
+    return false;
+  case Expr::Kind::Ident:
+    return cast<IdentExpr>(E).sym() == Name;
+  case Expr::Kind::Range: {
+    const auto &R = cast<RangeExpr>(E);
+    return mentionsIdentifier(*R.start(), Name) ||
+           (R.step() && mentionsIdentifier(*R.step(), Name)) ||
+           mentionsIdentifier(*R.stop(), Name);
+  }
+  case Expr::Kind::Unary:
+    return mentionsIdentifier(*cast<UnaryExpr>(E).operand(), Name);
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    return mentionsIdentifier(*B.lhs(), Name) ||
+           mentionsIdentifier(*B.rhs(), Name);
+  }
+  case Expr::Kind::Transpose:
+    return mentionsIdentifier(*cast<TransposeExpr>(E).operand(), Name);
+  case Expr::Kind::Index: {
+    const auto &I = cast<IndexExpr>(E);
+    if (mentionsIdentifier(*I.base(), Name))
+      return true;
+    for (unsigned A = 0, N = I.numArgs(); A != N; ++A)
+      if (mentionsIdentifier(*I.arg(A), Name))
+        return true;
+    return false;
+  }
+  case Expr::Kind::Matrix:
+    for (const auto &Row : cast<MatrixExpr>(E).rows())
+      for (const ExprPtr &Elt : Row)
+        if (mentionsIdentifier(*Elt, Name))
+          return true;
+    return false;
+  }
+  return false;
+}
+
+ExprPtr mvec::substituteIdentifier(ExprPtr E, Symbol Name,
                                    const Expr &Replacement,
                                    bool ReplaceBases) {
   switch (E->kind()) {
@@ -149,7 +144,7 @@ ExprPtr mvec::substituteIdentifier(ExprPtr E, const std::string &Name,
   case Expr::Kind::EndKeyword:
     return E;
   case Expr::Kind::Ident:
-    if (cast<IdentExpr>(*E).name() == Name)
+    if (cast<IdentExpr>(*E).sym() == Name)
       return Replacement.clone();
     return E;
   case Expr::Kind::Range: {
@@ -218,34 +213,20 @@ ExprPtr mvec::substituteIdentifier(ExprPtr E, const std::string &Name,
   return E;
 }
 
-void mvec::visitStmts(const std::vector<StmtPtr> &Body,
-                      const std::function<void(const Stmt &)> &Fn) {
-  for (const StmtPtr &S : Body) {
-    Fn(*S);
-    if (const auto *For = dyn_cast<ForStmt>(S.get()))
-      visitStmts(For->body(), Fn);
-    else if (const auto *While = dyn_cast<WhileStmt>(S.get()))
-      visitStmts(While->body(), Fn);
-    else if (const auto *If = dyn_cast<IfStmt>(S.get()))
-      for (const IfStmt::Branch &B : If->branches())
-        visitStmts(B.Body, Fn);
-  }
-}
-
 bool mvec::evaluateConstant(const Expr &E, double &Value) {
-  static const std::map<std::string, double> NoConstants;
+  static const std::map<Symbol, double> NoConstants;
   return evaluateConstantWith(E, NoConstants, Value);
 }
 
 bool mvec::evaluateConstantWith(const Expr &E,
-                                const std::map<std::string, double> &Constants,
+                                const std::map<Symbol, double> &Constants,
                                 double &Value) {
   switch (E.kind()) {
   case Expr::Kind::Number:
     Value = cast<NumberExpr>(E).value();
     return true;
   case Expr::Kind::Ident: {
-    auto It = Constants.find(cast<IdentExpr>(E).name());
+    auto It = Constants.find(cast<IdentExpr>(E).sym());
     if (It == Constants.end())
       return false;
     Value = It->second;

@@ -369,6 +369,9 @@ Token Lexer::next() {
 
 std::vector<Token> Lexer::lexAll() {
   std::vector<Token> Tokens;
+  // MATLAB averages well under 3 chars per token; one upfront reservation
+  // beats a dozen doubling reallocations on scripts of any real size.
+  Tokens.reserve(Source.size() / 3 + 8);
   while (true) {
     Tokens.push_back(next());
     if (Tokens.back().is(TokenKind::Eof))

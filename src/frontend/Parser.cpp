@@ -79,6 +79,9 @@ void Parser::syncToStatementBoundary() {
 
 ParseResult Parser::parseProgram() {
   ParseResult Result;
+  // The whole parse tree lives and dies with the returned Program.
+  Result.Prog.Arena = std::make_shared<ArenaAllocator>();
+  ArenaScope Scope(Result.Prog.Arena.get());
   Result.Prog.Stmts = parseStmtList();
   if (!current().is(TokenKind::Eof))
     Diags.error(current().Loc, std::string("unexpected ") +

@@ -93,8 +93,8 @@ ExprPtr diagonalAccessTransform(const IndexExpr &Access,
     return nullptr;
   auto Row = AffineExpr::fromExpr(*Access.arg(0));
   auto Col = AffineExpr::fromExpr(*Access.arg(1));
-  if (!Row || !Col || Row->coeff(H->IndexVar) == 0.0 ||
-      Col->coeff(H->IndexVar) == 0.0)
+  if (!Row || !Col || Row->coeff(H->indexVar()) == 0.0 ||
+      Col->coeff(H->indexVar()) == 0.0)
     return nullptr;
 
   ExprPtr ColMinusOne = simplifyExpr(

@@ -10,27 +10,6 @@
 
 using namespace mvec;
 
-uint64_t mvec::fnv1aHash(const std::string &Data, uint64_t Hash) {
-  for (unsigned char C : Data) {
-    Hash ^= C;
-    Hash *= 0x100000001b3ull;
-  }
-  return Hash;
-}
-
-uint64_t mvec::optionsFingerprint(const VectorizerOptions &Opts) {
-  uint64_t Bits = 0;
-  auto Pack = [&Bits](bool Flag) { Bits = (Bits << 1) | (Flag ? 1 : 0); };
-  Pack(Opts.EnableTransposes);
-  Pack(Opts.EnablePatterns);
-  Pack(Opts.EnableReductions);
-  Pack(Opts.EnableReassociation);
-  Pack(Opts.NormalizeLoops);
-  Pack(Opts.DistributeTransposes);
-  Pack(Opts.EmitRemarks);
-  return Bits;
-}
-
 uint64_t mvec::cacheKeyFor(const std::string &Source,
                            const VectorizerOptions &Opts, bool Validate) {
   uint64_t Key = fnv1aHash(Source);

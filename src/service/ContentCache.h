@@ -20,6 +20,7 @@
 #define MVEC_SERVICE_CONTENTCACHE_H
 
 #include "service/Job.h"
+#include "vectorizer/NestCache.h" // fnv1aHash, optionsFingerprint
 
 #include <cstdint>
 #include <list>
@@ -29,16 +30,6 @@
 #include <unordered_map>
 
 namespace mvec {
-
-/// 64-bit FNV-1a over \p Data, continuing from \p Hash (pass the default
-/// to start a fresh hash).
-uint64_t fnv1aHash(const std::string &Data,
-                   uint64_t Hash = 0xcbf29ce484222325ull);
-
-/// Packs every output-affecting VectorizerOptions toggle into a bitmask.
-/// New options must be added here, or distinct configurations would share
-/// cache entries.
-uint64_t optionsFingerprint(const VectorizerOptions &Opts);
 
 /// The cache key for one job: hash(source) combined with the options
 /// fingerprint and the validate flag.

@@ -35,7 +35,8 @@ const char *mvec::jobStatusName(JobStatus Status) {
 }
 
 VectorizationService::VectorizationService(ServiceConfig Config)
-    : Config(Config), Cache(Config.CacheCapacity) {
+    : Config(Config), Cache(Config.CacheCapacity),
+      NCache(Config.NestCacheCapacity) {
   if (Config.DB) {
     DB = Config.DB;
   } else {
@@ -166,7 +167,9 @@ JobResult VectorizationService::executeUncached(const JobSpec &Spec,
   // the job's result.
   try {
     Clock::time_point T0 = Clock::now();
-    PipelineResult P = vectorizeSource(Spec.Source, Spec.Opts, DB);
+    PipelineResult P = vectorizeSource(Spec.Source, Spec.Opts, DB,
+                                       Config.NestCacheCapacity > 0 ? &NCache
+                                                                    : nullptr);
     R.VectorizeSeconds = secondsSince(T0, Clock::now());
     Metrics.VectorizeLatency.record(R.VectorizeSeconds);
     if (!P.succeeded()) {

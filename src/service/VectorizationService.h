@@ -43,6 +43,10 @@ struct ServiceConfig {
   size_t QueueCapacity = 64;
   /// Result-cache entries; 0 disables caching.
   size_t CacheCapacity = 256;
+  /// Per-loop-nest outcome cache entries (see vectorizer/NestCache.h);
+  /// serves nests shared between otherwise-distinct scripts, below the
+  /// whole-script result cache. 0 disables nest caching.
+  size_t NestCacheCapacity = 1024;
   /// Default per-job deadline (zero = no deadline). Individual jobs may
   /// override via JobSpec::Deadline.
   std::chrono::milliseconds DefaultDeadline{0};
@@ -85,6 +89,7 @@ public:
   ServiceMetrics &metrics() { return Metrics; }
   const ServiceMetrics &metrics() const { return Metrics; }
   const ContentCache &cache() const { return Cache; }
+  const NestCache &nestCache() const { return NCache; }
 
 private:
   JobResult processJob(const JobSpec &Spec,
@@ -97,6 +102,9 @@ private:
   PatternDatabase OwnedDB;
   const PatternDatabase *DB;
   ContentCache Cache;
+  /// Nest-level outcome cache shared by every worker (internally
+  /// synchronized).
+  NestCache NCache;
   ServiceMetrics Metrics;
   std::atomic<bool> CancelRequested{false};
   /// Constructed last so workers never see a half-built service; the

@@ -1,0 +1,144 @@
+//===- Arena.h - Bump-pointer allocator for AST nodes -----------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena for AST nodes plus the thread-local scope that
+/// routes `new Expr`/`new Stmt` into it. A parse tree is built and torn
+/// down as a unit, so individual `delete`s of arena nodes are wasted
+/// work; the arena frees everything at once when the owning Program dies.
+///
+/// Nodes created outside any ArenaScope (tests, pattern templates, cache
+/// entries) fall back to the heap. Every node carries a one-word header
+/// recording which allocator produced it, so unique_ptr ownership keeps
+/// working unchanged and arena and heap nodes can be mixed freely in one
+/// tree: `operator delete` runs the destructor either way and releases
+/// memory only for heap nodes.
+///
+/// Thread-safety: an arena is single-threaded by construction — the scope
+/// pointer is thread_local and each Program's tree is built on one thread.
+/// Destroying a Program on a different thread than the one that built it
+/// is fine (the arena is just memory).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SUPPORT_ARENA_H
+#define MVEC_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace mvec {
+
+/// Bump-pointer allocator. Allocations are never freed individually;
+/// everything is released when the arena is destroyed.
+class ArenaAllocator {
+public:
+  ArenaAllocator() = default;
+  ArenaAllocator(const ArenaAllocator &) = delete;
+  ArenaAllocator &operator=(const ArenaAllocator &) = delete;
+
+  void *allocate(size_t Size, size_t Align) {
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + Align - 1) & ~(uintptr_t(Align) - 1);
+    if (Aligned + Size <= reinterpret_cast<uintptr_t>(End)) {
+      Cur = reinterpret_cast<char *>(Aligned + Size);
+      Allocated += Size;
+      return reinterpret_cast<void *>(Aligned);
+    }
+    return allocateSlow(Size, Align);
+  }
+
+  /// Total bytes handed out (excluding block slack).
+  size_t bytesAllocated() const { return Allocated; }
+  size_t numBlocks() const { return Blocks.size(); }
+
+private:
+  void *allocateSlow(size_t Size, size_t Align) {
+    size_t BlockSize = NextBlockSize;
+    if (BlockSize < Size + Align)
+      BlockSize = Size + Align;
+    Blocks.push_back(std::make_unique<char[]>(BlockSize));
+    Cur = Blocks.back().get();
+    End = Cur + BlockSize;
+    if (NextBlockSize < MaxBlockSize)
+      NextBlockSize *= 2;
+    return allocate(Size, Align);
+  }
+
+  static constexpr size_t MaxBlockSize = 1u << 20;
+  std::vector<std::unique_ptr<char[]>> Blocks;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t NextBlockSize = 4096;
+  size_t Allocated = 0;
+};
+
+namespace detail {
+
+/// The arena new AST nodes on this thread are allocated from, or null for
+/// plain heap allocation.
+inline ArenaAllocator *&tlsNodeArena() {
+  thread_local ArenaAllocator *Current = nullptr;
+  return Current;
+}
+
+/// Node header: one max_align_t-sized word in front of every AST node
+/// recording its origin so operator delete can tell them apart.
+inline constexpr size_t NodeHeaderSize = alignof(std::max_align_t);
+inline constexpr uint64_t HeapTag = 0;
+inline constexpr uint64_t ArenaTag = 1;
+
+inline void *allocNode(size_t Size) {
+  char *Raw;
+  uint64_t Tag;
+  if (ArenaAllocator *A = tlsNodeArena()) {
+    Raw = static_cast<char *>(
+        A->allocate(Size + NodeHeaderSize, alignof(std::max_align_t)));
+    Tag = ArenaTag;
+  } else {
+    Raw = static_cast<char *>(::operator new(Size + NodeHeaderSize));
+    Tag = HeapTag;
+  }
+  *reinterpret_cast<uint64_t *>(Raw) = Tag;
+  return Raw + NodeHeaderSize;
+}
+
+inline void freeNode(void *P) noexcept {
+  if (!P)
+    return;
+  char *Raw = static_cast<char *>(P) - NodeHeaderSize;
+  if (*reinterpret_cast<uint64_t *>(Raw) == HeapTag)
+    ::operator delete(Raw);
+  // Arena nodes: the destructor has already run; the memory goes away with
+  // the arena.
+}
+
+} // namespace detail
+
+/// RAII guard directing AST node allocation on the current thread into
+/// \p A (pass null to force heap allocation, e.g. while cloning a tree
+/// into a long-lived cache). Scopes nest; the previous arena is restored
+/// on destruction.
+class ArenaScope {
+public:
+  explicit ArenaScope(ArenaAllocator *A)
+      : Prev(detail::tlsNodeArena()) {
+    detail::tlsNodeArena() = A;
+  }
+  ~ArenaScope() { detail::tlsNodeArena() = Prev; }
+  ArenaScope(const ArenaScope &) = delete;
+  ArenaScope &operator=(const ArenaScope &) = delete;
+
+private:
+  ArenaAllocator *Prev;
+};
+
+} // namespace mvec
+
+#endif // MVEC_SUPPORT_ARENA_H

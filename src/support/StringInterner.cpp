@@ -1,0 +1,33 @@
+//===- StringInterner.cpp - Interned identifier symbols ---------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace mvec;
+
+const std::string &Symbol::emptyString() {
+  static const std::string Empty;
+  return Empty;
+}
+
+Symbol StringInterner::intern(std::string_view S) {
+  if (S.empty())
+    return Symbol();
+  size_t H = std::hash<std::string_view>()(S);
+  Shard &Sh = Shards[H % NumShards];
+  std::lock_guard<std::mutex> Lock(Sh.M);
+  auto It = Sh.Set.find(S);
+  if (It == Sh.Set.end())
+    It = Sh.Set.emplace(S).first;
+  return Symbol(&*It);
+}
+
+StringInterner &StringInterner::global() {
+  // Leaked on purpose: symbols must outlive every static AST (pattern
+  // templates, cached nests), and static destruction order is unknowable.
+  static StringInterner *G = new StringInterner();
+  return *G;
+}

@@ -1,0 +1,122 @@
+//===- StringInterner.h - Interned identifier symbols -----------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide string interner and the `Symbol` handle it hands out.
+/// Identifiers dominate the vectorizer's hot comparisons (is this the loop
+/// index? does this nest read `rand`?), and interning turns each of those
+/// from a string compare into a pointer compare.
+///
+/// Interner lifetime: the global interner is created on first use and
+/// intentionally never destroyed, so a Symbol — and the `const std::string&`
+/// it exposes — stays valid for the life of the process. That lets AST
+/// nodes in static storage (pattern templates, cached nests) keep their
+/// symbols across any destruction order.
+///
+/// Determinism: `Symbol::operator<` orders by string content, not address,
+/// so containers and sorts keyed on Symbol iterate in the same order on
+/// every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SUPPORT_STRINGINTERNER_H
+#define MVEC_SUPPORT_STRINGINTERNER_H
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace mvec {
+
+/// A handle to an interned string. Trivially copyable; equality is a
+/// pointer compare. The default-constructed Symbol is the unique "empty"
+/// handle and compares equal only to itself.
+class Symbol {
+public:
+  Symbol() = default;
+
+  /// The interned spelling. Valid for the process lifetime. The empty
+  /// Symbol yields the empty string.
+  const std::string &str() const { return Ptr ? *Ptr : emptyString(); }
+  const char *c_str() const { return str().c_str(); }
+
+  bool empty() const { return !Ptr; }
+  explicit operator bool() const { return Ptr != nullptr; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Ptr == B.Ptr; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Ptr != B.Ptr; }
+  /// Content order (deterministic across runs), not address order.
+  friend bool operator<(Symbol A, Symbol B) {
+    if (A.Ptr == B.Ptr)
+      return false;
+    return A.str() < B.str();
+  }
+
+  /// Address-based hash (stable within a process; fine for unordered
+  /// containers whose iteration order is never observed).
+  size_t hash() const {
+    return std::hash<const std::string *>()(Ptr);
+  }
+
+private:
+  friend class StringInterner;
+  explicit Symbol(const std::string *P) : Ptr(P) {}
+  static const std::string &emptyString();
+
+  const std::string *Ptr = nullptr;
+};
+
+/// Thread-safe string interner. Sharded to keep concurrent parser threads
+/// off each other's locks; storage is node-based, so element addresses are
+/// stable across rehashes.
+class StringInterner {
+public:
+  /// Interns \p S, returning the canonical Symbol for its content. The
+  /// empty string interns to the empty Symbol.
+  Symbol intern(std::string_view S);
+
+  /// The process-wide interner AST identifiers go through. Never
+  /// destroyed (see file comment).
+  static StringInterner &global();
+
+private:
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>()(S);
+    }
+  };
+  struct TransparentEq {
+    using is_transparent = void;
+    bool operator()(std::string_view A, std::string_view B) const {
+      return A == B;
+    }
+  };
+  struct Shard {
+    std::mutex M;
+    std::unordered_set<std::string, TransparentHash, TransparentEq> Set;
+  };
+
+  static constexpr size_t NumShards = 16;
+  std::array<Shard, NumShards> Shards;
+};
+
+/// Shorthand for StringInterner::global().intern(S).
+inline Symbol internSymbol(std::string_view S) {
+  return StringInterner::global().intern(S);
+}
+
+} // namespace mvec
+
+template <> struct std::hash<mvec::Symbol> {
+  size_t operator()(mvec::Symbol S) const { return S.hash(); }
+};
+
+#endif // MVEC_SUPPORT_STRINGINTERNER_H

@@ -61,7 +61,7 @@ private:
 
   StmtPtr makeSequentialLoop(unsigned Level) const {
     const LoopHeader &H = Nest.Loops[Level - 1];
-    return std::make_unique<ForStmt>(H.IndexVar, H.makeRangeExpr(),
+    return std::make_unique<ForStmt>(H.IndexSym, H.makeRangeExpr(),
                                      std::vector<StmtPtr>());
   }
 
@@ -88,7 +88,7 @@ std::optional<double> CodegenDriver::literalValue(const Expr *E) const {
   if (!E)
     return std::nullopt;
   if (const auto *Id = dyn_cast<IdentExpr>(E)) {
-    auto It = Guards.Constants.find(Id->name());
+    auto It = Guards.Constants.find(Id->sym());
     if (It != Guards.Constants.end())
       return It->second;
     return std::nullopt;
@@ -123,13 +123,15 @@ std::optional<double> CodegenDriver::literalValue(const Expr *E) const {
     // size/length/numel of a variable whose construction had literal
     // extents — but only when the name really is the builtin (no
     // assignment anywhere shadows it).
-    std::string Fn = Ix->baseName();
-    if (Fn.empty() || Guards.AssignedNames.count(Fn) || Ix->numArgs() == 0)
+    Symbol FnSym = Ix->baseSym();
+    if (FnSym.empty() || Guards.AssignedNames.count(FnSym) ||
+        Ix->numArgs() == 0)
       return std::nullopt;
+    const std::string &Fn = FnSym.str();
     const auto *Arg0 = dyn_cast<IdentExpr>(Ix->arg(0));
     if (!Arg0)
       return std::nullopt;
-    auto DimIt = Guards.KnownDims.find(Arg0->name());
+    auto DimIt = Guards.KnownDims.find(Arg0->sym());
     if (DimIt == Guards.KnownDims.end())
       return std::nullopt;
     double R = DimIt->second.first, C = DimIt->second.second;
@@ -268,7 +270,7 @@ CodegenDriver::codegen(const std::vector<unsigned> &Active, unsigned Level) {
     remark(Nest.Stmts[Comp[0]].S->loc(),
            "recurrence among " + std::to_string(Comp.size()) +
                " statements: running loop '" +
-               Nest.Loops[Level - 1].IndexVar + "' sequentially");
+               Nest.Loops[Level - 1].indexVar() + "' sequentially");
     StmtPtr Loop = makeSequentialLoop(Level);
     auto *LoopRaw = cast<ForStmt>(Loop.get());
     LoopRaw->body() = codegen(Comp, Level + 1);
@@ -284,6 +286,14 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
   unsigned MaxL = NS.Depth;
   std::vector<StmtPtr> *BlockPtr = &Block;
 
+  // Share dim_i results across the per-level attempts below: a subtree
+  // indifferent to the level being peeled replays instead of re-deriving.
+  // Single-level statements skip the memo — there is nothing to share and
+  // the bookkeeping would only cost.
+  std::optional<DimCheckMemo> Memo;
+  if (MaxL > Level && Nest.Loops.size() <= 32)
+    Memo.emplace(Nest);
+
   for (unsigned L = Level; L <= MaxL; ++L) {
     // Recurrences on the statement itself at the levels still in play.
     std::set<unsigned> CarriedLevels;
@@ -292,7 +302,8 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
           E.Level >= L)
         CarriedLevels.insert(E.Level);
 
-    DimChecker Checker(Nest, L, MaxL, Env, DB, Opts);
+    DimChecker Checker(Nest, L, MaxL, Env, DB, Opts,
+                       Memo ? &*Memo : nullptr);
     std::optional<CheckedStmt> Checked;
     std::string Why;
     bool IsReduction = false;
@@ -310,7 +321,7 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
       std::set<LoopId> ReductionVars;
       for (unsigned K = L; K <= MaxL; ++K) {
         const LoopHeader &H = Nest.Loops[K - 1];
-        if (!mentionsIdentifier(*NS.S->lhs(), H.IndexVar))
+        if (!mentionsIdentifier(*NS.S->lhs(), H.IndexSym))
           ReductionVars.insert(H.Id);
       }
       bool Covered = !ReductionVars.empty();
@@ -334,8 +345,8 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
       for (unsigned K = L; K <= MaxL; ++K) {
         const LoopHeader &H = Nest.Loops[K - 1];
         ExprPtr Range = H.makeRangeExpr();
-        LHS = substituteIdentifier(std::move(LHS), H.IndexVar, *Range);
-        RHS = substituteIdentifier(std::move(RHS), H.IndexVar, *Range);
+        LHS = substituteIdentifier(std::move(LHS), H.IndexSym, *Range);
+        RHS = substituteIdentifier(std::move(RHS), H.IndexSym, *Range);
       }
       if (Opts.DistributeTransposes) {
         LHS = distributeTransposes(std::move(LHS));

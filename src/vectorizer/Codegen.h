@@ -43,15 +43,16 @@ namespace mvec {
 struct CodegenGuards {
   /// Names bound to a known literal constant at the nest's entry; used
   /// to prove trip counts positive (e.g. "n = 5;" upstream of 1:n).
-  std::map<std::string, double> Constants;
+  /// Symbol keys order by content, so iteration stays deterministic.
+  std::map<Symbol, double> Constants;
   /// Row/column extents of variables constructed with known sizes
   /// (x = rand(5,7), zeros(n,1) with n constant, ...); lets bounds like
   /// 1:size(x,2) prove their trip counts.
-  std::map<std::string, std::pair<double, double>> KnownDims;
+  std::map<Symbol, std::pair<double, double>> KnownDims;
   /// Every name assigned anywhere in the program. A call like size(A,1)
   /// is only folded when "size" is not among them — an assignment
   /// anywhere shadows the builtin.
-  std::set<std::string> AssignedNames;
+  std::set<Symbol> AssignedNames;
 };
 
 /// Outcome of code generation for one loop nest.

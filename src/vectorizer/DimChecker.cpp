@@ -10,6 +10,7 @@
 #include "interp/Builtins.h"
 
 #include <algorithm>
+#include <bit>
 
 using namespace mvec;
 
@@ -50,23 +51,86 @@ std::string dimsMismatch(const Dimensionality &A, const Dimensionality &B) {
 
 DimChecker::DimChecker(const LoopNest &Nest, unsigned Level, unsigned MaxLevel,
                        const ShapeEnv &Env, const PatternDatabase &DB,
-                       const VectorizerOptions &Opts)
+                       const VectorizerOptions &Opts, DimCheckMemo *Memo)
     : Nest(Nest), Level(Level), MaxLevel(MaxLevel), Env(Env), DB(DB),
-      Opts(Opts) {}
+      Opts(Opts), Memo(Memo) {}
 
-std::optional<LoopId>
-DimChecker::vectorizedLoop(const std::string &Name) const {
+uint32_t DimCheckMemo::levelsMask(const Expr &E) {
+  auto It = Masks.find(&E);
+  if (It != Masks.end())
+    return It->second;
+  uint32_t M = 0;
+  switch (E.kind()) {
+  case Expr::Kind::Number:
+  case Expr::Kind::String:
+  case Expr::Kind::MagicColon:
+  case Expr::Kind::EndKeyword:
+    break;
+  case Expr::Kind::Ident: {
+    Symbol S = cast<IdentExpr>(E).sym();
+    for (size_t I = 0; I != LevelSyms.size() && I < 32; ++I)
+      if (LevelSyms[I] == S) {
+        M = 1u << I;
+        break;
+      }
+    break;
+  }
+  case Expr::Kind::Range: {
+    const auto &R = cast<RangeExpr>(E);
+    M = levelsMask(*R.start()) | levelsMask(*R.stop());
+    if (R.step())
+      M |= levelsMask(*R.step());
+    break;
+  }
+  case Expr::Kind::Unary:
+    M = levelsMask(*cast<UnaryExpr>(E).operand());
+    break;
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    M = levelsMask(*B.lhs()) | levelsMask(*B.rhs());
+    break;
+  }
+  case Expr::Kind::Transpose:
+    M = levelsMask(*cast<TransposeExpr>(E).operand());
+    break;
+  case Expr::Kind::Index: {
+    const auto &I = cast<IndexExpr>(E);
+    M = levelsMask(*I.base());
+    for (unsigned A = 0, N = I.numArgs(); A != N; ++A)
+      M |= levelsMask(*I.arg(A));
+    break;
+  }
+  case Expr::Kind::Matrix:
+    for (const auto &Row : cast<MatrixExpr>(E).rows())
+      for (const ExprPtr &Elt : Row)
+        M |= levelsMask(*Elt);
+    break;
+  }
+  Masks.emplace(&E, M);
+  return M;
+}
+
+unsigned DimCheckMemo::suffixKey(const Expr &E, unsigned Level) {
+  uint32_t M = levelsMask(E);
+  if (Level > 1)
+    M &= Level > 32 ? 0u : ~((1u << (Level - 1)) - 1);
+  if (!M)
+    return 0;
+  return static_cast<unsigned>(std::countr_zero(M)) + 1;
+}
+
+std::optional<LoopId> DimChecker::vectorizedLoop(Symbol Name) const {
   for (unsigned L = Level; L <= MaxLevel && L <= Nest.Loops.size(); ++L)
-    if (Nest.Loops[L - 1].IndexVar == Name)
+    if (Nest.Loops[L - 1].IndexSym == Name)
       return Nest.Loops[L - 1].Id;
   return std::nullopt;
 }
 
-bool DimChecker::isSequentialLoopVar(const std::string &Name) const {
+bool DimChecker::isSequentialLoopVar(Symbol Name) const {
   for (unsigned L = 1; L <= Nest.Loops.size(); ++L) {
     if (L >= Level && L <= MaxLevel)
       continue;
-    if (Nest.Loops[L - 1].IndexVar == Name)
+    if (Nest.Loops[L - 1].IndexSym == Name)
       return true;
   }
   return false;
@@ -229,6 +293,39 @@ std::optional<CheckedExpr> DimChecker::checkExpr(const Expr &E) {
 //===----------------------------------------------------------------------===//
 
 std::optional<CheckedExpr> DimChecker::check(const Expr &E) {
+  // Reduction checks thread gamma/rho state through the recursion; their
+  // results are not a function of (node, level window) alone.
+  if (!Memo || !ReductionLoops.empty())
+    return checkImpl(E);
+
+  unsigned Key = Memo->suffixKey(E, Level);
+  auto It = Memo->Cache.find({&E, Key});
+  if (It != Memo->Cache.end()) {
+    const DimCheckMemo::Entry &Ent = It->second;
+    if (!Ent.FailureDelta.empty())
+      fail(Ent.FailureDelta);
+    if (!Ent.Result)
+      return std::nullopt;
+    return Ent.Result->clone();
+  }
+
+  // Compute against a clean failure slot so the entry captures exactly the
+  // diagnostics this subtree produces; fail()'s first-wins rule is then
+  // reapplied against the caller's saved state.
+  std::string Saved = std::move(Failure);
+  Failure.clear();
+  std::optional<CheckedExpr> R = checkImpl(E);
+  DimCheckMemo::Entry Ent;
+  Ent.FailureDelta = Failure;
+  if (R)
+    Ent.Result = R->clone();
+  Memo->Cache.emplace(std::make_pair(&E, Key), std::move(Ent));
+  if (!Saved.empty())
+    Failure = std::move(Saved);
+  return R;
+}
+
+std::optional<CheckedExpr> DimChecker::checkImpl(const Expr &E) {
   switch (E.kind()) {
   case Expr::Kind::Number: {
     CheckedExpr C;
@@ -239,22 +336,23 @@ std::optional<CheckedExpr> DimChecker::check(const Expr &E) {
   case Expr::Kind::String:
     return fail("string literals are not vectorizable");
   case Expr::Kind::Ident: {
-    const std::string &Name = cast<IdentExpr>(E).name();
+    static const Symbol PiSym = internSymbol("pi");
+    Symbol Name = cast<IdentExpr>(E).sym();
     CheckedExpr C;
     C.E = E.clone();
     if (auto Loop = vectorizedLoop(Name)) {
       C.Dims = Dimensionality{DimSymbol::one(), DimSymbol::range(*Loop)};
       return C;
     }
-    if (isSequentialLoopVar(Name) || Name == "pi") {
+    if (isSequentialLoopVar(Name) || Name == PiSym) {
       C.Dims = Dimensionality::scalar();
       return C;
     }
-    if (auto Shape = Env.getShape(Name)) {
+    if (auto Shape = Env.getShape(Name.str())) {
       C.Dims = *Shape;
       return C;
     }
-    return fail("unknown shape for variable '" + Name + "'");
+    return fail("unknown shape for variable '" + Name.str() + "'");
   }
   case Expr::Kind::MagicColon:
     return fail("':' outside of a subscript");
@@ -730,7 +828,7 @@ std::optional<CheckedExpr> DimChecker::checkCall(const IndexExpr &E,
     std::vector<ExprPtr> Args;
     for (unsigned I = 0, K = E.numArgs(); I != K; ++I) {
       for (unsigned L = Level; L <= MaxLevel && L <= Nest.Loops.size(); ++L)
-        if (mentionsIdentifier(*E.arg(I), Nest.Loops[L - 1].IndexVar))
+        if (mentionsIdentifier(*E.arg(I), Nest.Loops[L - 1].IndexSym))
           return fail("size query depends on a vectorized index variable");
       Args.push_back(E.arg(I)->clone());
     }
@@ -752,8 +850,8 @@ std::optional<CheckedExpr> DimChecker::checkIndex(const IndexExpr &E) {
   const std::string &Name = BaseIdent->name();
 
   // Calls: a name that is not a known variable but is a builtin.
-  if (!Env.knows(Name) && !vectorizedLoop(Name) && !isSequentialLoopVar(Name) &&
-      isBuiltinName(Name))
+  if (!Env.knows(Name) && !vectorizedLoop(BaseIdent->sym()) &&
+      !isSequentialLoopVar(BaseIdent->sym()) && isBuiltinName(Name))
     return checkCall(E, Name);
 
   std::optional<Dimensionality> BaseShape = Env.getShape(Name);

@@ -30,6 +30,9 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace mvec {
 
@@ -55,14 +58,66 @@ struct CheckedStmt {
   ExprPtr RHS;
 };
 
+/// Cross-level memo for check() results. The code generator retries each
+/// statement at successive start levels L, L+1, ... against the same nest,
+/// environment, database and options; a subexpression's result depends only
+/// on WHICH of its mentioned index variables are vectorized, i.e. on the
+/// suffix {m >= L} of its mentioned levels — fully determined by the
+/// smallest mentioned level >= L. Entries are keyed by (node, that level),
+/// so a subtree indifferent to the newly-sequential level replays its
+/// earlier result (including the exact failure diagnostics) instead of
+/// re-deriving it. Reduction checks carry gamma state and bypass the memo.
+/// An instance is only valid for one (nest, MaxLevel, Env, DB, Opts)
+/// configuration and must not outlive the statements it has seen.
+class DimCheckMemo {
+public:
+  explicit DimCheckMemo(const LoopNest &Nest) {
+    for (const LoopHeader &H : Nest.Loops)
+      LevelSyms.push_back(H.IndexSym);
+  }
+
+private:
+  friend class DimChecker;
+
+  struct Entry {
+    /// check()'s result; nullopt = the subtree failed.
+    std::optional<CheckedExpr> Result;
+    /// The failure reason this subtree reported when computed fresh (may
+    /// be set even on success: an inner alternative can fail before a
+    /// later one succeeds). Replayed through fail()'s first-wins rule.
+    std::string FailureDelta;
+  };
+
+  /// Bitmask with bit L-1 set iff nest level L's index variable occurs
+  /// in \p E. Memoized per node.
+  uint32_t levelsMask(const Expr &E);
+  /// Smallest mentioned level >= \p Level, or 0 when \p E is invariant to
+  /// every level from \p Level on.
+  unsigned suffixKey(const Expr &E, unsigned Level);
+
+  struct KeyHash {
+    size_t operator()(const std::pair<const Expr *, unsigned> &K) const {
+      return std::hash<const Expr *>()(K.first) ^
+             (static_cast<size_t>(K.second) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  std::vector<Symbol> LevelSyms;
+  std::unordered_map<const Expr *, uint32_t> Masks;
+  std::unordered_map<std::pair<const Expr *, unsigned>, Entry, KeyHash>
+      Cache;
+};
+
 class DimChecker {
 public:
   /// Prepares a checker that vectorizes nest loops [Level, MaxLevel]
   /// (1-based, inclusive); loops below Level run sequentially and their
   /// index variables are treated as scalars.
+  /// \p Memo, when given, is shared across the per-level checkers of one
+  /// statement (see DimCheckMemo for the validity rules).
   DimChecker(const LoopNest &Nest, unsigned Level, unsigned MaxLevel,
              const ShapeEnv &Env, const PatternDatabase &DB,
-             const VectorizerOptions &Opts);
+             const VectorizerOptions &Opts, DimCheckMemo *Memo = nullptr);
 
   /// The paper's vectDimsOkay: checks \p S and returns the transformed
   /// statement on success. \p ReductionLoops names the loops to reduce
@@ -86,6 +141,7 @@ public:
 
 private:
   std::optional<CheckedExpr> check(const Expr &E);
+  std::optional<CheckedExpr> checkImpl(const Expr &E);
   std::optional<CheckedExpr> checkLValue(const Expr &E);
   std::optional<CheckedExpr> checkBinary(const BinaryExpr &E);
   std::optional<CheckedExpr> checkIndex(const IndexExpr &E);
@@ -116,9 +172,9 @@ private:
   bool rhoConsistent(const CheckedExpr &L, const CheckedExpr &R) const;
 
   /// Loop id when \p Name is the index variable of a vectorized loop.
-  std::optional<LoopId> vectorizedLoop(const std::string &Name) const;
+  std::optional<LoopId> vectorizedLoop(Symbol Name) const;
   /// True when \p Name is the index of a sequential (outer) loop.
-  bool isSequentialLoopVar(const std::string &Name) const;
+  bool isSequentialLoopVar(Symbol Name) const;
 
   const LoopHeader *headerOf(LoopId Id) const { return Nest.headerFor(Id); }
 
@@ -136,6 +192,7 @@ private:
   const ShapeEnv &Env;
   const PatternDatabase &DB;
   const VectorizerOptions &Opts;
+  DimCheckMemo *Memo;
   std::set<LoopId> ReductionLoops;
   std::string Failure;
 };

@@ -1,0 +1,113 @@
+//===- NestCache.h - Loop-nest vectorization result cache -------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, content-addressed cache of per-loop-nest vectorization
+/// outcomes, sitting below the service layer's whole-script ContentCache:
+/// two different scripts that share a loop nest (same printed text, same
+/// shapes and guard facts for every mentioned variable, same index-liveness
+/// verdicts, same configuration) reuse the nest's replacement statements
+/// without re-running dependence analysis and dimension checking.
+///
+/// The key is the full context string, not just its hash, so a 64-bit
+/// collision degrades to a miss instead of splicing the wrong code. Values
+/// are heap-owned AST clones (allocated outside any arena scope); lookup
+/// re-clones them under the caller's active arena, so a cached nest can be
+/// spliced into any program. Negative outcomes ("analysis ran, nothing
+/// improved") are cached too — they are exactly the expensive case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_VECTORIZER_NESTCACHE_H
+#define MVEC_VECTORIZER_NESTCACHE_H
+
+#include "frontend/AST.h"
+#include "vectorizer/Options.h"
+#include "vectorizer/Vectorizer.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mvec {
+
+/// 64-bit FNV-1a over \p Data, continuing from \p Hash (pass the default
+/// to start a fresh hash).
+uint64_t fnv1aHash(const std::string &Data,
+                   uint64_t Hash = 0xcbf29ce484222325ull);
+
+/// Packs every output-affecting VectorizerOptions toggle into a bitmask.
+/// New options must be added here, or distinct configurations would share
+/// cache entries (both in this cache and in the service's ContentCache).
+uint64_t optionsFingerprint(const VectorizerOptions &Opts);
+
+/// Bounded LRU map from a nest context key to the nest's vectorization
+/// outcome. All methods are safe to call concurrently; clones handed out
+/// by lookup() belong to the calling thread's active arena scope.
+class NestCache {
+public:
+  /// \p Capacity of zero disables caching (every lookup misses, inserts
+  /// are dropped).
+  explicit NestCache(size_t Capacity = 1024) : Capacity(Capacity) {}
+
+  /// What the driver did with one nest.
+  struct Outcome {
+    /// False when analysis ran but nothing improved (the nest stays).
+    bool Replaced = false;
+    /// Replacement statements when Replaced (possibly empty: a provably
+    /// zero-trip nest is deleted outright).
+    std::vector<StmtPtr> Stmts;
+    /// Statistics the nest's analysis contributed, replayed on a hit.
+    VectorizeStats Delta;
+  };
+
+  /// Returns a clone of the outcome stored under \p Key (statements
+  /// cloned under the caller's arena scope) and refreshes its recency.
+  std::optional<Outcome> lookup(const std::string &Key);
+
+  /// Stores \p Replaced / \p Stmts / \p Delta under \p Key, evicting the
+  /// least recently used entry when full. \p Stmts may be null when the
+  /// nest was kept; the statements are cloned to the heap, the caller
+  /// keeps ownership of the originals.
+  void insert(const std::string &Key, bool Replaced,
+              const std::vector<StmtPtr> *Stmts, const VectorizeStats &Delta);
+
+  size_t size() const;
+  size_t capacity() const { return Capacity; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+private:
+  struct Entry {
+    uint64_t Hash;
+    std::string Key;
+    bool Replaced;
+    /// Shared so a lookup can pin the statements with one refcount bump
+    /// and clone them after releasing the mutex; eviction under a
+    /// concurrent reader only drops a reference.
+    std::shared_ptr<const std::vector<StmtPtr>> Stmts;
+    VectorizeStats Delta;
+  };
+
+  const size_t Capacity;
+  mutable std::mutex Mutex;
+  /// Most recently used at the front.
+  std::list<Entry> LRU;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace mvec
+
+#endif // MVEC_VECTORIZER_NESTCACHE_H

@@ -8,11 +8,17 @@
 
 #include "deps/DepAnalysis.h"
 #include "deps/LoopNest.h"
+#include "frontend/ASTPrinter.h"
 #include "frontend/ASTUtils.h"
 #include "vectorizer/Codegen.h"
+#include "vectorizer/NestCache.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace mvec;
 
@@ -22,88 +28,262 @@ namespace {
 /// targets, including indexed-assignment bases, and loop index
 /// variables) into \p Names.
 void collectAssignedNames(const std::vector<StmtPtr> &Body,
-                          std::set<std::string> &Names) {
+                          std::set<Symbol> &Names) {
   visitStmts(Body, [&](const Stmt &S) {
     if (const auto *A = dyn_cast<AssignStmt>(&S)) {
       if (const auto *Id = dyn_cast<IdentExpr>(A->lhs()))
-        Names.insert(Id->name());
+        Names.insert(Id->sym());
       else if (const auto *Ix = dyn_cast<IndexExpr>(A->lhs()))
         if (const auto *Base = dyn_cast<IdentExpr>(Ix->base()))
-          Names.insert(Base->name());
+          Names.insert(Base->sym());
     } else if (const auto *F = dyn_cast<ForStmt>(&S)) {
-      Names.insert(F->indexVar());
+      Names.insert(F->indexSym());
     }
   });
 }
 
-/// True when the statement \p Target occurs in the subtree under \p Body.
-bool containsStmt(const std::vector<StmtPtr> &Body, const Stmt *Target) {
-  bool Found = false;
-  visitStmts(Body, [&](const Stmt &S) {
-    if (&S == Target)
-      Found = true;
-  });
-  return Found;
-}
-
-/// True when some statement outside loop \p L's subtree may read \p V —
-/// the value \p L's index variable holds after the loop finishes. A
-/// sibling for-loop that itself iterates over \p V rebinds the name, so
-/// reads in its body are not charged to \p L (its range expression is
-/// evaluated before the rebinding and still counts).
-bool readsIndexOutside(const std::vector<StmtPtr> &Body, const std::string &V,
-                       const ForStmt *L) {
+/// Appends the chain of statements containing \p Target (outermost
+/// first) to \p Path. Returns true when \p Target was found under
+/// \p Body. \p Target itself is not part of the chain.
+bool collectAncestors(const std::vector<StmtPtr> &Body, const Stmt *Target,
+                      std::vector<const Stmt *> &Path) {
   for (const StmtPtr &SP : Body) {
     const Stmt *S = SP.get();
-    if (S == static_cast<const Stmt *>(L))
-      continue; // reads under L observe the loop's own binding
-    switch (S->kind()) {
-    case Stmt::Kind::Assign: {
-      const auto *A = cast<AssignStmt>(S);
-      if (mentionsIdentifier(*A->rhs(), V))
-        return true;
-      // LHS subscripts are reads; a plain identifier LHS is a pure write.
-      if (!isa<IdentExpr>(A->lhs()) && mentionsIdentifier(*A->lhs(), V))
-        return true;
-      break;
+    if (S == Target)
+      return true;
+    bool Found = false;
+    if (const auto *For = dyn_cast<ForStmt>(S))
+      Found = collectAncestors(For->body(), Target, Path);
+    else if (const auto *While = dyn_cast<WhileStmt>(S))
+      Found = collectAncestors(While->body(), Target, Path);
+    else if (const auto *If = dyn_cast<IfStmt>(S)) {
+      for (const IfStmt::Branch &B : If->branches())
+        if ((Found = collectAncestors(B.Body, Target, Path)))
+          break;
     }
-    case Stmt::Kind::Expr:
-      if (mentionsIdentifier(*cast<ExprStmt>(S)->expr(), V))
-        return true;
-      break;
-    case Stmt::Kind::For: {
-      const auto *F = cast<ForStmt>(S);
-      if (mentionsIdentifier(*F->range(), V))
-        return true;
-      if (F->indexVar() == V && !containsStmt(F->body(), L))
-        break;
-      if (readsIndexOutside(F->body(), V, L))
-        return true;
-      break;
-    }
-    case Stmt::Kind::While: {
-      const auto *W = cast<WhileStmt>(S);
-      if (mentionsIdentifier(*W->cond(), V) ||
-          readsIndexOutside(W->body(), V, L))
-        return true;
-      break;
-    }
-    case Stmt::Kind::If: {
-      const auto *I = cast<IfStmt>(S);
-      for (const IfStmt::Branch &B : I->branches()) {
-        if (B.Cond && mentionsIdentifier(*B.Cond, V))
-          return true;
-        if (readsIndexOutside(B.Body, V, L))
-          return true;
-      }
-      break;
-    }
-    default:
-      break;
+    if (Found) {
+      Path.push_back(S);
+      return true;
     }
   }
   return false;
 }
+
+/// Per-run side tables for the index-liveness check. Statement addresses
+/// are stable for a whole vectorizeProgram run (the pass only splices
+/// statements, never rewrites one in place, and the program arena never
+/// recycles memory), so subtree facts can be memoized by Stmt identity.
+struct LivenessScanner {
+  /// Every identifier mentioned anywhere in the statement subtree
+  /// (lazily computed, cached for the rest of the run).
+  const std::unordered_set<Symbol> &mentionSet(const Stmt &S) {
+    auto It = Mentions.find(&S);
+    if (It != Mentions.end())
+      return It->second;
+    std::unordered_set<Symbol> Names;
+    auto CollectFrom = [&Names](const Expr *E) {
+      if (E)
+        visitExpr(*E, [&Names](const Expr &Node) {
+          if (const auto *Ident = dyn_cast<IdentExpr>(&Node))
+            Names.insert(Ident->sym());
+        });
+    };
+    auto Visit = [&](const Stmt &Sub) {
+      if (const auto *A = dyn_cast<AssignStmt>(&Sub)) {
+        CollectFrom(A->lhs());
+        CollectFrom(A->rhs());
+      } else if (const auto *E = dyn_cast<ExprStmt>(&Sub)) {
+        CollectFrom(E->expr());
+      } else if (const auto *F = dyn_cast<ForStmt>(&Sub)) {
+        Names.insert(F->indexSym());
+        CollectFrom(F->range());
+      } else if (const auto *W = dyn_cast<WhileStmt>(&Sub)) {
+        CollectFrom(W->cond());
+      } else if (const auto *I = dyn_cast<IfStmt>(&Sub)) {
+        for (const IfStmt::Branch &B : I->branches())
+          CollectFrom(B.Cond.get());
+      }
+    };
+    Visit(S);
+    if (const auto *F = dyn_cast<ForStmt>(&S))
+      visitStmts(F->body(), Visit);
+    else if (const auto *W = dyn_cast<WhileStmt>(&S))
+      visitStmts(W->body(), Visit);
+    else if (const auto *I = dyn_cast<IfStmt>(&S))
+      for (const IfStmt::Branch &B : I->branches())
+        visitStmts(B.Body, Visit);
+    return Mentions.emplace(&S, std::move(Names)).first->second;
+  }
+
+  /// True when some statement outside loop \p L's subtree may read
+  /// \p V — the value \p L's index variable holds after the loop
+  /// finishes. A sibling for-loop that itself iterates over \p V rebinds
+  /// the name, so reads in its body are not charged to \p L (its range
+  /// expression is evaluated before the rebinding and still counts).
+  /// \p AncestorsOfL holds the statements containing L, so "does this
+  /// sibling loop contain L" is a set lookup instead of a subtree walk.
+  bool readsIndexOutside(const std::vector<StmtPtr> &Body, Symbol V,
+                         const ForStmt *L,
+                         const std::unordered_set<const Stmt *> &AncestorsOfL) {
+    for (const StmtPtr &SP : Body) {
+      const Stmt *S = SP.get();
+      if (S == static_cast<const Stmt *>(L))
+        continue; // reads under L observe the loop's own binding
+      if (!mentionSet(*S).count(V))
+        continue; // V does not occur anywhere under S
+      if (stmtReads(*S, V, L, AncestorsOfL))
+        return true;
+    }
+    return false;
+  }
+
+  /// readsIndexOutside against the top-level body, answered through a
+  /// per-symbol partition of the top-level statements instead of a walk.
+  /// The scan is an existence check — no statement's verdict depends on
+  /// another's — and a statement's verdict for \p V cannot change while
+  /// its subtree is untouched, so verdicts are computed once and sorted
+  /// into Readers/Benign; only \p TopStmt (the top-level statement whose
+  /// subtree contains \p L and is being rewritten right now) must be
+  /// scanned live on every query.
+  bool readsIndexOutsideTop(Symbol V, const ForStmt *L, const Stmt *TopStmt,
+                            const std::unordered_set<const Stmt *> &AncestorsOfL) {
+    if (TopStmt && mentionSet(*TopStmt).count(V) &&
+        stmtReads(*TopStmt, V, L, AncestorsOfL))
+      return true;
+    auto It = Top.find(V);
+    if (It == Top.end())
+      return false;
+    PerName &P = It->second;
+    auto Excluded = [&](const Stmt *S) {
+      return S == static_cast<const Stmt *>(L) || S == TopStmt;
+    };
+    for (const Stmt *S : P.Readers)
+      if (!Excluded(S))
+        return true;
+    if (P.Unknown.empty())
+      return false;
+    bool Any = false;
+    std::vector<const Stmt *> Pending(P.Unknown.begin(), P.Unknown.end());
+    for (const Stmt *S : Pending) {
+      if (Excluded(S))
+        continue; // still in flux (or the nest itself); resolve later
+      P.Unknown.erase(S);
+      if (stmtReads(*S, V, L, AncestorsOfL)) {
+        P.Readers.insert(S);
+        Any = true;
+      } else {
+        P.Benign.insert(S);
+      }
+    }
+    return Any;
+  }
+
+  /// Registers every top-level statement with the per-symbol partition.
+  void indexTop(const std::vector<StmtPtr> &Body) {
+    for (const StmtPtr &SP : Body)
+      onTopInsert(*SP);
+  }
+
+  /// A top-level statement is about to be erased (its nest was rewritten).
+  void onTopRemove(const Stmt &S) {
+    for (Symbol Name : mentionSet(S)) {
+      auto It = Top.find(Name);
+      if (It == Top.end())
+        continue;
+      It->second.Readers.erase(&S);
+      It->second.Benign.erase(&S);
+      It->second.Unknown.erase(&S);
+    }
+  }
+
+  /// A new top-level statement was spliced in; its verdicts are pending.
+  void onTopInsert(const Stmt &S) {
+    for (Symbol Name : mentionSet(S))
+      Top[Name].Unknown.insert(&S);
+  }
+
+  /// The subtree of top-level statement \p S changed (an inner nest was
+  /// rewritten): every cached verdict about it is void. Must run after
+  /// the splice and after augment(), so mentionSet covers the new names.
+  void invalidateTop(const Stmt &S) {
+    for (Symbol Name : mentionSet(S)) {
+      PerName &P = Top[Name];
+      P.Readers.erase(&S);
+      P.Benign.erase(&S);
+      P.Unknown.insert(&S);
+    }
+  }
+
+  /// Widens the cached mention sets of every statement in \p Enclosing
+  /// with \p Names. Called when a rewrite splices new statements into a
+  /// body nested under them: the rewrite can introduce identifiers
+  /// (sum, repmat, ...) the enclosing subtrees never mentioned before,
+  /// and a stale set would let the prune skip a genuine read. Supersets
+  /// are always safe — the prune only relies on absence.
+  void augment(const std::vector<const Stmt *> &Enclosing,
+               const std::unordered_set<Symbol> &Names) {
+    for (const Stmt *S : Enclosing) {
+      auto It = Mentions.find(S);
+      if (It != Mentions.end())
+        It->second.insert(Names.begin(), Names.end());
+    }
+  }
+
+private:
+  /// Whether \p S (known to mention \p V somewhere in its subtree) reads
+  /// the value \p V holds after loop \p L.
+  bool stmtReads(const Stmt &S, Symbol V, const ForStmt *L,
+                 const std::unordered_set<const Stmt *> &AncestorsOfL) {
+    switch (S.kind()) {
+    case Stmt::Kind::Assign: {
+      const auto &A = cast<AssignStmt>(S);
+      if (mentionsIdentifier(*A.rhs(), V))
+        return true;
+      // LHS subscripts are reads; a plain identifier LHS is a pure
+      // write.
+      return !isa<IdentExpr>(A.lhs()) && mentionsIdentifier(*A.lhs(), V);
+    }
+    case Stmt::Kind::Expr:
+      return mentionsIdentifier(*cast<ExprStmt>(S).expr(), V);
+    case Stmt::Kind::For: {
+      const auto &F = cast<ForStmt>(S);
+      if (mentionsIdentifier(*F.range(), V))
+        return true;
+      if (F.indexSym() == V && !AncestorsOfL.count(&F))
+        return false;
+      return readsIndexOutside(F.body(), V, L, AncestorsOfL);
+    }
+    case Stmt::Kind::While: {
+      const auto &W = cast<WhileStmt>(S);
+      return mentionsIdentifier(*W.cond(), V) ||
+             readsIndexOutside(W.body(), V, L, AncestorsOfL);
+    }
+    case Stmt::Kind::If: {
+      const auto &I = cast<IfStmt>(S);
+      for (const IfStmt::Branch &B : I.branches()) {
+        if (B.Cond && mentionsIdentifier(*B.Cond, V))
+          return true;
+        if (readsIndexOutside(B.Body, V, L, AncestorsOfL))
+          return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+    }
+  }
+
+  std::unordered_map<const Stmt *, std::unordered_set<Symbol>> Mentions;
+  /// Top-level statements mentioning a symbol, partitioned by whether
+  /// they read it in the liveness sense (Readers), provably do not
+  /// (Benign), or have not been asked yet (Unknown).
+  struct PerName {
+    std::unordered_set<const Stmt *> Readers;
+    std::unordered_set<const Stmt *> Benign;
+    std::unordered_set<const Stmt *> Unknown;
+  };
+  std::unordered_map<Symbol, PerName> Top;
+};
 
 /// Row/column extents of \p E when they are statically known: literal-size
 /// constructors (rand/zeros/ones/eye, reshape), elementwise builtins and
@@ -114,9 +294,9 @@ bool readsIndexOutside(const std::vector<StmtPtr> &Body, const std::string &V,
 /// constructor extents) error identically in original and transformed
 /// form before the proof matters. Names in \p Assigned shadow builtins.
 std::optional<std::pair<double, double>>
-knownDimsOf(const Expr *E, const std::map<std::string, double> &Constants,
-            const std::map<std::string, std::pair<double, double>> &Known,
-            const std::set<std::string> &Assigned) {
+knownDimsOf(const Expr *E, const std::map<Symbol, double> &Constants,
+            const std::map<Symbol, std::pair<double, double>> &Known,
+            const std::set<Symbol> &Assigned) {
   if (!E)
     return std::nullopt;
   auto Recurse = [&](const Expr *Sub) {
@@ -125,10 +305,10 @@ knownDimsOf(const Expr *E, const std::map<std::string, double> &Constants,
   if (isa<NumberExpr>(E))
     return std::make_pair(1.0, 1.0);
   if (const auto *Id = dyn_cast<IdentExpr>(E)) {
-    auto It = Known.find(Id->name());
+    auto It = Known.find(Id->sym());
     if (It != Known.end())
       return It->second;
-    if (Constants.count(Id->name()))
+    if (Constants.count(Id->sym()))
       return std::make_pair(1.0, 1.0);
     return std::nullopt;
   }
@@ -175,9 +355,10 @@ knownDimsOf(const Expr *E, const std::map<std::string, double> &Constants,
     }
   }
   if (const auto *Ix = dyn_cast<IndexExpr>(E)) {
-    std::string Fn = Ix->baseName();
-    if (Fn.empty() || Assigned.count(Fn))
+    Symbol FnSym = Ix->baseSym();
+    if (FnSym.empty() || Assigned.count(FnSym))
       return std::nullopt;
+    const std::string &Fn = FnSym.str();
     auto ConstArg = [&](unsigned I) -> std::optional<double> {
       double V;
       if (I < Ix->numArgs() && evaluateConstantWith(*Ix->arg(I), Constants, V) &&
@@ -231,16 +412,41 @@ knownDimsOf(const Expr *E, const std::map<std::string, double> &Constants,
   return std::nullopt;
 }
 
+/// Component-wise After - Before; every counter only ever grows.
+VectorizeStats statsDelta(const VectorizeStats &Before,
+                          const VectorizeStats &After) {
+  VectorizeStats D;
+  D.LoopNestsConsidered = After.LoopNestsConsidered - Before.LoopNestsConsidered;
+  D.LoopNestsImproved = After.LoopNestsImproved - Before.LoopNestsImproved;
+  D.StmtsVectorized = After.StmtsVectorized - Before.StmtsVectorized;
+  D.StmtsSequential = After.StmtsSequential - Before.StmtsSequential;
+  D.SequentialLoopsEmitted =
+      After.SequentialLoopsEmitted - Before.SequentialLoopsEmitted;
+  D.IneligibleNests = After.IneligibleNests - Before.IneligibleNests;
+  return D;
+}
+
+void addStats(VectorizeStats &S, const VectorizeStats &Delta) {
+  S.LoopNestsConsidered += Delta.LoopNestsConsidered;
+  S.LoopNestsImproved += Delta.LoopNestsImproved;
+  S.StmtsVectorized += Delta.StmtsVectorized;
+  S.StmtsSequential += Delta.StmtsSequential;
+  S.SequentialLoopsEmitted += Delta.SequentialLoopsEmitted;
+  S.IneligibleNests += Delta.IneligibleNests;
+}
+
 class VectorizerDriver {
 public:
   VectorizerDriver(const ShapeEnv &Env, const PatternDatabase &DB,
                    const VectorizerOptions &Opts, DiagnosticEngine &Diags,
-                   VectorizeStats &Stats)
-      : Env(Env), DB(DB), Opts(Opts), Diags(Diags), Stats(Stats) {}
+                   VectorizeStats &Stats, NestCache *NCache)
+      : Env(Env), DB(DB), Opts(Opts), Diags(Diags), Stats(Stats),
+        NCache(NCache) {}
 
   void run(Program &P) {
     TopBody = &P.Stmts;
     collectAssignedNames(P.Stmts, Guards.AssignedNames);
+    Liveness.indexTop(P.Stmts);
     processBody(P.Stmts);
   }
 
@@ -252,35 +458,42 @@ private:
   /// provably zero-trip), or nullopt when the loop should stay.
   std::optional<std::vector<StmtPtr>> tryNest(ForStmt &Loop);
 
+  /// Serializes everything tryNest's verdict for a top-level \p Loop can
+  /// depend on: the nest's printed text, the shape / constant / extent /
+  /// assigned-name facts for every identifier the subtree mentions, the
+  /// index-liveness verdict of each nest loop, and the configuration.
+  /// Two nests with equal keys are guaranteed the same outcome.
+  std::string nestCacheKey(ForStmt &Loop);
+
   /// Updates the constant/known-extent facts for a straight-line
   /// assignment reaching this program point on every execution.
   void recordAssignment(const AssignStmt &A) {
     if (const auto *Id = dyn_cast<IdentExpr>(A.lhs())) {
       double V;
       if (evaluateConstantWith(*A.rhs(), Guards.Constants, V))
-        Guards.Constants[Id->name()] = V;
+        Guards.Constants[Id->sym()] = V;
       else
-        Guards.Constants.erase(Id->name());
+        Guards.Constants.erase(Id->sym());
       auto Dims = knownDimsOf(A.rhs(), Guards.Constants, Guards.KnownDims,
                               Guards.AssignedNames);
       if (Dims)
-        Guards.KnownDims[Id->name()] = *Dims;
+        Guards.KnownDims[Id->sym()] = *Dims;
       else
-        Guards.KnownDims.erase(Id->name());
+        Guards.KnownDims.erase(Id->sym());
     } else if (const auto *Ix = dyn_cast<IndexExpr>(A.lhs())) {
       if (const auto *Base = dyn_cast<IdentExpr>(Ix->base())) {
-        Guards.Constants.erase(Base->name());
+        Guards.Constants.erase(Base->sym());
         // An indexed write can grow the variable, so its recorded
         // extents are no longer trustworthy.
-        Guards.KnownDims.erase(Base->name());
+        Guards.KnownDims.erase(Base->sym());
       }
     }
   }
 
   void eraseAssignedConstants(const std::vector<StmtPtr> &Body) {
-    std::set<std::string> Assigned;
+    std::set<Symbol> Assigned;
     collectAssignedNames(Body, Assigned);
-    for (const std::string &Name : Assigned) {
+    for (Symbol Name : Assigned) {
       Guards.Constants.erase(Name);
       Guards.KnownDims.erase(Name);
     }
@@ -296,7 +509,82 @@ private:
   const std::vector<StmtPtr> *TopBody = nullptr;
   /// Facts codegen needs to stay sound when trip counts may be zero.
   CodegenGuards Guards;
+  /// Memoized subtree facts for the liveness scan.
+  LivenessScanner Liveness;
+  /// Chain of compound statements the current processBody call is
+  /// nested under; their cached mention sets are widened when a rewrite
+  /// splices new statements below them.
+  std::vector<const Stmt *> Enclosing;
+  /// Cross-run nest outcome cache; null when the caller did not opt in.
+  NestCache *NCache;
 };
+
+std::string VectorizerDriver::nestCacheKey(ForStmt &Loop) {
+  std::string Key = printStmt(Loop);
+  char Buf[80];
+
+  // Context facts for every identifier the subtree mentions, in
+  // deterministic (content) order. Identifiers the environment does not
+  // know still contribute a line: "known nothing" must not collide with
+  // "not mentioned".
+  Key += "#env\n";
+  const std::unordered_set<Symbol> &Mentions = Liveness.mentionSet(Loop);
+  std::vector<Symbol> Sorted(Mentions.begin(), Mentions.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  for (Symbol Name : Sorted) {
+    Key += Name.str();
+    Key += '=';
+    if (std::optional<Dimensionality> Shape = Env.getShape(Name.str()))
+      Key += Shape->str();
+    else
+      Key += '?';
+    auto C = Guards.Constants.find(Name);
+    if (C != Guards.Constants.end()) {
+      std::snprintf(Buf, sizeof(Buf), ";c%.17g", C->second);
+      Key += Buf;
+    }
+    auto D = Guards.KnownDims.find(Name);
+    if (D != Guards.KnownDims.end()) {
+      std::snprintf(Buf, sizeof(Buf), ";d%.17gx%.17g", D->second.first,
+                    D->second.second);
+      Key += Buf;
+    }
+    if (Guards.AssignedNames.count(Name))
+      Key += ";a";
+    Key += '\n';
+  }
+
+  // Liveness verdict of each nest loop's index variable, in the same
+  // order tryNest tests them. The key is only built for top-level nests,
+  // so the ancestor sets mirror tryNest's with Enclosing empty.
+  Key += "#live ";
+  std::vector<const ForStmt *> NestLoops;
+  NestLoops.push_back(&Loop);
+  visitStmts(Loop.body(), [&](const Stmt &S) {
+    if (const auto *F = dyn_cast<ForStmt>(&S))
+      NestLoops.push_back(F);
+  });
+  for (const ForStmt *F : NestLoops) {
+    std::unordered_set<const Stmt *> Ancestors;
+    const Stmt *TopStmt = nullptr;
+    if (F != &Loop) {
+      Ancestors.insert(&Loop);
+      std::vector<const Stmt *> Path;
+      collectAncestors(Loop.body(), F, Path);
+      Ancestors.insert(Path.begin(), Path.end());
+      TopStmt = &Loop;
+    }
+    Key += Liveness.readsIndexOutsideTop(F->indexSym(), F, TopStmt, Ancestors)
+               ? '1'
+               : '0';
+  }
+
+  std::snprintf(Buf, sizeof(Buf), "\n#cfg %llx/%p",
+                static_cast<unsigned long long>(optionsFingerprint(Opts)),
+                static_cast<const void *>(&DB));
+  Key += Buf;
+  return Key;
+}
 
 std::optional<std::vector<StmtPtr>> VectorizerDriver::tryNest(ForStmt &Loop) {
   ++Stats.LoopNestsConsidered;
@@ -323,8 +611,9 @@ std::optional<std::vector<StmtPtr>> VectorizerDriver::tryNest(ForStmt &Loop) {
   // changes which values land where. Any rewrite of a nest that draws
   // random numbers is observable, so refuse the whole nest.
   bool DrawsRandom = false;
+  static const Symbol RandSym = internSymbol("rand");
   auto CheckExprForRand = [&DrawsRandom](const Expr &E) {
-    if (mentionsIdentifier(E, "rand"))
+    if (mentionsIdentifier(E, RandSym))
       DrawsRandom = true;
   };
   visitStmts(Loop.body(), [&](const Stmt &S) {
@@ -355,8 +644,27 @@ std::optional<std::vector<StmtPtr>> VectorizerDriver::tryNest(ForStmt &Loop) {
     if (const auto *F = dyn_cast<ForStmt>(&S))
       NestLoops.push_back(F);
   });
+  // Ancestors of the nest's loops are already known: the driver carries
+  // the chain of compound statements enclosing the current body, and any
+  // deeper ancestors lie inside Loop's own (small) subtree — no need to
+  // search the whole program per loop.
   for (const ForStmt *F : NestLoops) {
-    if (TopBody && readsIndexOutside(*TopBody, F->indexVar(), F)) {
+    std::unordered_set<const Stmt *> Ancestors(Enclosing.begin(),
+                                               Enclosing.end());
+    if (F != &Loop) {
+      Ancestors.insert(&Loop);
+      std::vector<const Stmt *> Path;
+      collectAncestors(Loop.body(), F, Path);
+      Ancestors.insert(Path.begin(), Path.end());
+    }
+    // The one top-level statement whose subtree holds F and may still be
+    // rewritten; every other top-level statement goes through the index.
+    const Stmt *TopStmt = !Enclosing.empty()
+                              ? Enclosing.front()
+                              : (F == &Loop ? nullptr
+                                            : static_cast<const Stmt *>(&Loop));
+    if (TopBody &&
+        Liveness.readsIndexOutsideTop(F->indexSym(), F, TopStmt, Ancestors)) {
       ++Stats.IneligibleNests;
       if (Opts.EmitRemarks)
         Diags.remark(Loop.loc(),
@@ -390,18 +698,63 @@ void VectorizerDriver::processBody(std::vector<StmtPtr> &Body) {
       // Names the loop subtree assigns hold unknown values afterwards
       // regardless of whether the nest is rewritten.
       eraseAssignedConstants(Loop->body());
-      Guards.Constants.erase(Loop->indexVar());
-      Guards.KnownDims.erase(Loop->indexVar());
+      Guards.Constants.erase(Loop->indexSym());
+      Guards.KnownDims.erase(Loop->indexSym());
 
-      std::optional<std::vector<StmtPtr>> Replacement = tryNest(*Loop);
+      // The nest cache only serves top-level nests (inner nests see a
+      // recursion-dependent environment) and never runs under remarks:
+      // a replayed outcome cannot re-emit this run's source locations.
+      bool UseCache = NCache && Enclosing.empty() && !Opts.EmitRemarks;
+      std::string CacheKey;
+      std::optional<std::vector<StmtPtr>> Replacement;
+      bool Cached = false;
+      if (UseCache) {
+        CacheKey = nestCacheKey(*Loop);
+        if (std::optional<NestCache::Outcome> Hit = NCache->lookup(CacheKey)) {
+          Cached = true;
+          addStats(Stats, Hit->Delta);
+          if (Hit->Replaced)
+            Replacement = std::move(Hit->Stmts);
+        }
+      }
+      if (!Cached) {
+        VectorizeStats Before = Stats;
+        Replacement = tryNest(*Loop);
+        if (UseCache)
+          NCache->insert(CacheKey, Replacement.has_value(),
+                         Replacement ? &*Replacement : nullptr,
+                         statsDelta(Before, Stats));
+      }
       if (Replacement) {
         // Commit the rewrite — possibly zero statements, when the whole
         // nest was provably zero-trip and simply removed.
         size_t N = Replacement->size();
+        if (!Enclosing.empty()) {
+          // Keep enclosing statements' cached mention sets a superset
+          // of reality: the new statements may mention new names.
+          std::unordered_set<Symbol> NewNames;
+          for (const StmtPtr &R : *Replacement) {
+            const auto &M = Liveness.mentionSet(*R);
+            NewNames.insert(M.begin(), M.end());
+          }
+          Liveness.augment(Enclosing, NewNames);
+        } else {
+          // Top-level splice: the old statement leaves the liveness
+          // index before it is destroyed.
+          Liveness.onTopRemove(*Body[I]);
+        }
         Body.erase(Body.begin() + I);
         Body.insert(Body.begin() + I,
                     std::make_move_iterator(Replacement->begin()),
                     std::make_move_iterator(Replacement->end()));
+        if (Enclosing.empty()) {
+          for (size_t J = I; J != I + N; ++J)
+            Liveness.onTopInsert(*Body[J]);
+        } else {
+          // A rewrite landed somewhere under this top-level statement:
+          // its cached liveness verdicts no longer hold.
+          Liveness.invalidateTop(*Enclosing.front());
+        }
         // Resume scanning at the first statement after the replacement
         // (unsigned wraparound at I==0, N==0 is undone by the ++I).
         I += N;
@@ -414,7 +767,9 @@ void VectorizerDriver::processBody(std::vector<StmtPtr> &Body) {
       std::optional<Dimensionality> Saved = Env.getShape(Loop->indexVar());
       Env.setShape(Loop->indexVar(), Dimensionality::scalar());
       CodegenGuards SavedGuards = Guards;
+      Enclosing.push_back(Loop);
       processBody(Loop->body());
+      Enclosing.pop_back();
       Guards = std::move(SavedGuards);
       if (Saved)
         Env.setShape(Loop->indexVar(), *Saved);
@@ -425,13 +780,17 @@ void VectorizerDriver::processBody(std::vector<StmtPtr> &Body) {
     if (auto *While = dyn_cast<WhileStmt>(S)) {
       eraseAssignedConstants(While->body());
       CodegenGuards SavedGuards = Guards;
+      Enclosing.push_back(While);
       processBody(While->body());
+      Enclosing.pop_back();
       Guards = std::move(SavedGuards);
     } else if (auto *If = dyn_cast<IfStmt>(S)) {
       for (IfStmt::Branch &B : If->branches()) {
         eraseAssignedConstants(B.Body);
         CodegenGuards SavedGuards = Guards;
+        Enclosing.push_back(If);
         processBody(B.Body);
+        Enclosing.pop_back();
         Guards = std::move(SavedGuards);
       }
     } else if (const auto *A = dyn_cast<AssignStmt>(S)) {
@@ -446,11 +805,14 @@ Program mvec::vectorizeProgram(const Program &P, const ShapeEnv &Env,
                                const PatternDatabase &DB,
                                const VectorizerOptions &Opts,
                                DiagnosticEngine &Diags,
-                               VectorizeStats *Stats) {
+                               VectorizeStats *Stats, NestCache *Cache) {
   VectorizeStats LocalStats;
   VectorizeStats &S = Stats ? *Stats : LocalStats;
   Program Result = P.cloneProgram();
-  VectorizerDriver Driver(Env, DB, Opts, Diags, S);
+  // Every node the rewrite creates belongs to the result program, so the
+  // whole pass runs inside its arena.
+  ArenaScope Scope(Result.Arena.get());
+  VectorizerDriver Driver(Env, DB, Opts, Diags, S, Cache);
   Driver.run(Result);
   return Result;
 }

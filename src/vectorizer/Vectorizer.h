@@ -24,6 +24,8 @@
 
 namespace mvec {
 
+class NestCache;
+
 struct VectorizeStats {
   unsigned LoopNestsConsidered = 0;
   /// Nests where at least one statement was emitted in vector form.
@@ -39,11 +41,19 @@ struct VectorizeStats {
 /// Vectorizes \p P under shape environment \p Env using pattern database
 /// \p DB, returning the transformed program. Remarks (when enabled) and
 /// warnings go to \p Diags; the input program is never modified.
+///
+/// \p Cache, when given, memoizes per-loop-nest outcomes across calls
+/// (see NestCache.h); it is bypassed whenever remarks are enabled, since
+/// replayed outcomes cannot reproduce per-run source locations. There is
+/// deliberately no process-global default cache — cold-path measurements
+/// must stay honest — so callers wanting nest reuse own one explicitly
+/// (the service layer does).
 Program vectorizeProgram(const Program &P, const ShapeEnv &Env,
                          const PatternDatabase &DB,
                          const VectorizerOptions &Opts,
                          DiagnosticEngine &Diags,
-                         VectorizeStats *Stats = nullptr);
+                         VectorizeStats *Stats = nullptr,
+                         NestCache *Cache = nullptr);
 
 } // namespace mvec
 

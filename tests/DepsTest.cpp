@@ -116,8 +116,8 @@ TEST(LoopNestTest, SimpleNest) {
   auto Nest = F.nest();
   ASSERT_TRUE(Nest.has_value());
   ASSERT_EQ(Nest->Loops.size(), 2u);
-  EXPECT_EQ(Nest->Loops[0].IndexVar, "i");
-  EXPECT_EQ(Nest->Loops[1].IndexVar, "j");
+  EXPECT_EQ(Nest->Loops[0].indexVar(), "i");
+  EXPECT_EQ(Nest->Loops[1].indexVar(), "j");
   ASSERT_EQ(Nest->Stmts.size(), 1u);
   EXPECT_EQ(Nest->Stmts[0].Depth, 2u);
 }

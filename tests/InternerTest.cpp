@@ -1,0 +1,96 @@
+//===- InternerTest.cpp - StringInterner / Symbol unit tests ----------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+using namespace mvec;
+
+namespace {
+
+TEST(InternerTest, DeduplicatesContent) {
+  Symbol A = internSymbol("alpha");
+  Symbol B = internSymbol(std::string("al") + "pha");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(&A.str(), &B.str()) << "equal symbols must share storage";
+  EXPECT_EQ(A.str(), "alpha");
+
+  Symbol C = internSymbol("beta");
+  EXPECT_NE(A, C);
+}
+
+TEST(InternerTest, EmptyStringIsTheEmptySymbol) {
+  Symbol E = internSymbol("");
+  EXPECT_TRUE(E.empty());
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E, Symbol());
+  EXPECT_EQ(E.str(), "");
+  EXPECT_NE(E, internSymbol("x"));
+}
+
+TEST(InternerTest, OrderIsContentOrderNotAddressOrder) {
+  // Intern in an order unlikely to match allocation order, then check
+  // that Symbol's operator< sorts by spelling. Deterministic iteration
+  // of Symbol-keyed sets is what keeps diagnostics byte-stable.
+  std::vector<Symbol> Syms;
+  for (const char *Name : {"zeta", "alpha", "mu", "beta", "omega", "c"})
+    Syms.push_back(internSymbol(Name));
+  std::sort(Syms.begin(), Syms.end());
+  std::vector<std::string> Sorted;
+  for (Symbol S : Syms)
+    Sorted.push_back(S.str());
+  EXPECT_EQ(Sorted, (std::vector<std::string>{"alpha", "beta", "c", "mu",
+                                              "omega", "zeta"}));
+
+  std::set<Symbol> Ordered(Syms.begin(), Syms.end());
+  EXPECT_EQ(Ordered.begin()->str(), "alpha");
+  EXPECT_EQ(Ordered.rbegin()->str(), "zeta");
+}
+
+TEST(InternerTest, SymbolsWorkInUnorderedContainers) {
+  std::unordered_set<Symbol> Set;
+  Set.insert(internSymbol("i"));
+  Set.insert(internSymbol("j"));
+  Set.insert(internSymbol("i")); // duplicate content, same symbol
+  EXPECT_EQ(Set.size(), 2u);
+  EXPECT_TRUE(Set.count(internSymbol("i")));
+  EXPECT_FALSE(Set.count(internSymbol("k")));
+}
+
+TEST(InternerTest, ConcurrentInterningIsRaceFreeAndConsistent) {
+  // Many threads interning overlapping name sets must agree on one
+  // canonical Symbol per spelling. Run under TSan in CI.
+  constexpr int NumThreads = 8;
+  constexpr int NamesPerThread = 200;
+  std::vector<std::vector<Symbol>> PerThread(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([T, &PerThread] {
+      PerThread[T].reserve(NamesPerThread);
+      for (int I = 0; I != NamesPerThread; ++I)
+        // Every thread interns the same names, racing on each shard.
+        PerThread[T].push_back(internSymbol("var_" + std::to_string(I)));
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  for (int I = 0; I != NamesPerThread; ++I) {
+    Symbol Canonical = PerThread[0][I];
+    EXPECT_EQ(Canonical.str(), "var_" + std::to_string(I));
+    for (int T = 1; T != NumThreads; ++T)
+      EXPECT_EQ(PerThread[T][I], Canonical);
+  }
+}
+
+} // namespace

@@ -153,6 +153,52 @@ TEST(PipelineTest, AnnotationsBeatInference) {
       << R.VectorizedSource;
 }
 
+TEST(OutputsMatchTest, IdenticalTranscriptsShortCircuit) {
+  EXPECT_TRUE(detail::outputsMatch("", "", 0.0));
+  std::string T = "x = 1.5\nans = 2\n";
+  EXPECT_TRUE(detail::outputsMatch(T, T, 0.0));
+}
+
+TEST(OutputsMatchTest, WhitespaceIsInsignificantBetweenTokens) {
+  EXPECT_TRUE(detail::outputsMatch("a 1.0 b", "a\t1.0\n b ", 0.0));
+  // Missing or extra tokens still differ.
+  EXPECT_FALSE(detail::outputsMatch("a 1.0", "a 1.0 b", 0.0));
+  EXPECT_FALSE(detail::outputsMatch("a 1.0 b", "a 1.0", 0.0));
+}
+
+TEST(OutputsMatchTest, NumbersCompareWithRelativeTolerance) {
+  // |1.0000001 - 1.0| <= 1e-6 * max(1, |a|, |b|)
+  EXPECT_TRUE(detail::outputsMatch("x 1.0000001", "x 1.0", 1e-6));
+  EXPECT_FALSE(detail::outputsMatch("x 1.0000001", "x 1.0", 1e-9));
+  // The scale floor is 1, so tiny numbers compare near-absolutely.
+  EXPECT_TRUE(detail::outputsMatch("1e-12", "0", 1e-9));
+  // Large magnitudes scale the tolerance up.
+  EXPECT_TRUE(detail::outputsMatch("1000000.001", "1000000.0", 1e-6));
+  EXPECT_FALSE(detail::outputsMatch("1000001", "1000000", 1e-9));
+  // Differing spellings of the same value match exactly.
+  EXPECT_TRUE(detail::outputsMatch("1.50", "1.5", 0.0));
+}
+
+TEST(OutputsMatchTest, NaNMatchesNaNOnly) {
+  // NaN != NaN numerically, but two runs that both print NaN agree.
+  EXPECT_TRUE(detail::outputsMatch("x NaN", "x NaN", 1e-9));
+  EXPECT_TRUE(detail::outputsMatch("nan", "NaN", 1e-9));
+  EXPECT_FALSE(detail::outputsMatch("NaN", "0", 1e-9));
+  EXPECT_FALSE(detail::outputsMatch("0", "NaN", 1e-9));
+  EXPECT_FALSE(detail::outputsMatch("Inf", "NaN", 1e-9));
+}
+
+TEST(OutputsMatchTest, InfinitiesAndNonNumericTokens) {
+  EXPECT_TRUE(detail::outputsMatch("Inf", "Inf", 0.0));
+  EXPECT_FALSE(detail::outputsMatch("Inf", "-Inf", 1e-9));
+  // Non-numeric tokens must match byte for byte.
+  EXPECT_FALSE(detail::outputsMatch("abc", "abd", 1e9));
+  // A number never matches a word, whatever the tolerance.
+  EXPECT_FALSE(detail::outputsMatch("1.0", "one", 1e9));
+  // Partial parses ("1.0x") are words, not numbers.
+  EXPECT_FALSE(detail::outputsMatch("1.0x", "1.0", 1e9));
+}
+
 TEST(PipelineTest, SequentialFallbackIsFaithful) {
   // A program the vectorizer cannot improve must round-trip untouched.
   std::string Source = "n = 5;\nv = zeros(1,n);\nv(1) = 1;\n%! v(1,*)\n"

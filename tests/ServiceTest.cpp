@@ -263,6 +263,60 @@ TEST(ServiceTest, ConcurrentSubmissionStress) {
   EXPECT_GT(M.CacheHits.load(), 0u);
 }
 
+TEST(ServiceTest, NestCacheServesSharedNestsConcurrently) {
+  ServiceConfig Config;
+  Config.Workers = 4;
+  Config.QueueCapacity = 8;
+  // Disable the whole-script cache so every job runs the pipeline and
+  // exercises the nest cache from multiple workers at once (this test is
+  // the TSan coverage for NestCache).
+  Config.CacheCapacity = 0;
+  Config.NestCacheCapacity = 64;
+  VectorizationService Service(Config);
+
+  constexpr int Submitters = 4;
+  constexpr int PerThread = 10;
+  std::atomic<int> Succeeded{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != Submitters; ++T)
+    Threads.emplace_back([&Service, &Succeeded, T] {
+      for (int I = 0; I != PerThread; ++I) {
+        // Unique source text per job (no script-level dedup possible),
+        // but every script shares the same loop nest in the same
+        // context, so the nest cache serves all but the first.
+        JobResult R = Service
+                          .submit(makeSpec("job", validScript(std::to_string(
+                                                      T * 100 + I))))
+                          .get();
+        // Validation runs on every job: a wrong cached splice would
+        // surface as a semantic divergence, not just a wrong counter.
+        if (R.Status == JobStatus::Succeeded)
+          Succeeded.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Succeeded.load(), Submitters * PerThread);
+  EXPECT_GT(Service.nestCache().hits(), 0u);
+  EXPECT_GT(Service.nestCache().size(), 0u);
+  EXPECT_LT(Service.nestCache().misses(),
+            uint64_t(Submitters * PerThread));
+}
+
+TEST(ServiceTest, NestCacheZeroCapacityDisables) {
+  ServiceConfig Config;
+  Config.CacheCapacity = 0;
+  Config.NestCacheCapacity = 0;
+  VectorizationService Service(Config);
+  EXPECT_TRUE(Service.submit(makeSpec("a", validScript("a"))).get()
+                  .succeeded());
+  EXPECT_TRUE(Service.submit(makeSpec("b", validScript("b"))).get()
+                  .succeeded());
+  EXPECT_EQ(Service.nestCache().size(), 0u);
+  EXPECT_EQ(Service.nestCache().hits(), 0u);
+}
+
 TEST(ServiceTest, MetricsDumpsAreWellFormed) {
   VectorizationService Service;
   Service.submit(makeSpec("ok", validScript())).get();

@@ -1,0 +1,8 @@
+n=12;
+A=rand(n,n);
+p=zeros(1,n);
+p(1:n)=n+1-(1:n);
+a=zeros(1,n);
+for i=1:n
+  a(i)=A(i,p(i));
+end

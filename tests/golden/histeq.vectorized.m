@@ -1,0 +1,7 @@
+rows=64;
+cols=96;
+im=mod(floor(reshape(0:rows*cols-1,rows,cols)/7),64);
+h=hist(im(:),[0:255]);
+heq=255*cumsum(h(:))/sum(h(:));
+im2(1:size(im,1),1:size(im,2))=heq(im(1:size(im,1),1:size(im,2))+1);
+fprintf('mean intensity before %g after %g\n',sum(im(:))/numel(im),sum(im2(:))/numel(im2));
