@@ -119,18 +119,26 @@ int runBatch(const std::string &Dir, const VectorizerOptions &Opts,
   VectorizationService Service(Config);
   std::vector<JobResult> Results = Service.runBatch(std::move(Specs));
 
-  size_t Succeeded = 0;
+  size_t Succeeded = 0, Degraded = 0;
   for (const JobResult &R : Results) {
     if (R.succeeded())
       ++Succeeded;
+    else if (R.Status == JobStatus::Degraded)
+      ++Degraded;
     std::fprintf(stderr, "%-40s %-9s %s%6.1f ms  %u stmt(s) vectorized%s%s\n",
                  R.Name.c_str(), jobStatusName(R.Status),
                  R.CacheHit ? "[cache] " : "", R.TotalSeconds * 1e3,
                  R.Stats.StmtsVectorized, R.Message.empty() ? "" : "\n    ",
                  R.Message.c_str());
   }
-  std::fprintf(stderr, "batch: %zu/%zu job(s) succeeded\n", Succeeded,
-               Results.size());
+  if (Degraded != 0)
+    std::fprintf(stderr,
+                 "batch: %zu/%zu job(s) succeeded, %zu degraded "
+                 "(original source passed through)\n",
+                 Succeeded, Results.size(), Degraded);
+  else
+    std::fprintf(stderr, "batch: %zu/%zu job(s) succeeded\n", Succeeded,
+                 Results.size());
   if (Stats)
     std::fprintf(stderr, "%s", Service.metrics().text().c_str());
   if (!StatsJsonPath.empty()) {

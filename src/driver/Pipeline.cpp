@@ -10,6 +10,7 @@
 #include "frontend/ASTUtils.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
+#include "resilience/FaultInjection.h"
 #include "shape/AnnotationParser.h"
 #include "shape/ShapeInference.h"
 
@@ -111,6 +112,7 @@ PipelineResult mvec::vectorizeSource(const std::string &Source,
                                      const VectorizerOptions &Opts,
                                      const PatternDatabase *DB,
                                      NestCache *NestC) {
+  maybeInject(FaultSite::VectorizeEntry);
   PipelineResult Result;
   ParseResult Parsed = parseMatlab(Source, Result.Diags);
   if (Result.Diags.hasErrors())
@@ -132,6 +134,7 @@ DiffOutcome mvec::diffRunLimited(const std::string &OriginalSource,
                                  const std::string &TransformedSource,
                                  const RunLimits &Limits, double Tol,
                                  uint64_t Seed) {
+  maybeInject(FaultSite::ValidateEntry);
   auto Fail = [](DiffStatus Status, std::string Message) {
     return DiffOutcome{Status, std::move(Message)};
   };

@@ -71,10 +71,25 @@ private:
   void indent(std::string &Out, unsigned Indent) {
     Out.append(2 * static_cast<size_t>(Indent), ' ');
   }
+
+  /// Defensive backstop: the parser caps AST depth well below this, so the
+  /// limit is unreachable through the normal pipeline, but programmatically
+  /// built trees (tests, future transforms) must not overflow the stack.
+  static constexpr unsigned MaxPrintDepth = 4000;
+  unsigned Depth = 0;
 };
 
 void PrinterImpl::printExpr(std::string &Out, const Expr &E,
                             unsigned MinPrec) {
+  if (Depth >= MaxPrintDepth) {
+    Out += '0'; // sentinel; such a tree cannot round-trip anyway
+    return;
+  }
+  ++Depth;
+  struct DepthGuard {
+    unsigned &D;
+    ~DepthGuard() { --D; }
+  } Guard{Depth};
   switch (E.kind()) {
   case Expr::Kind::Number:
     Out += formatMatlabNumber(cast<NumberExpr>(E).value());

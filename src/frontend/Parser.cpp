@@ -6,6 +6,8 @@
 
 #include "frontend/Parser.h"
 
+#include "resilience/FaultInjection.h"
+
 #include <cassert>
 
 using namespace mvec;
@@ -54,10 +56,38 @@ bool Parser::consumeIf(TokenKind Kind) {
 bool Parser::expect(TokenKind Kind, const char *Context) {
   if (consumeIf(Kind))
     return true;
-  Diags.error(current().Loc, std::string("expected ") + tokenKindName(Kind) +
-                                 " " + Context + ", found " +
-                                 tokenKindName(current().Kind));
+  // After the depth limit tripped the parse was abandoned wholesale; every
+  // frame unwinding against Eof would otherwise add one bogus diagnostic.
+  if (!DepthExceeded)
+    Diags.error(current().Loc, std::string("expected ") +
+                                   tokenKindName(Kind) + " " + Context +
+                                   ", found " +
+                                   tokenKindName(current().Kind));
   return false;
+}
+
+bool Parser::enterExpr() {
+  if (DepthExceeded)
+    return false;
+  if (ExprDepth >= MaxExprDepth) {
+    reportDepthLimit();
+    return false;
+  }
+  ++ExprDepth;
+  return true;
+}
+
+void Parser::reportDepthLimit() {
+  DepthExceeded = true;
+  Diags.error(current().Loc,
+              "expression nesting exceeds the maximum depth of " +
+                  std::to_string(MaxExprDepth) +
+                  "; rewrite using intermediate variables");
+  // Abandon the rest of the parse: consume to Eof so every recursive frame
+  // already on the stack unwinds against a terminator and recovery stays
+  // linear in the input size.
+  while (!current().is(TokenKind::Eof))
+    consume();
 }
 
 void Parser::skipStatementSeparators() {
@@ -123,11 +153,19 @@ std::vector<StmtPtr> Parser::parseStmtList() {
 StmtPtr Parser::parseStmt() {
   switch (current().Kind) {
   case TokenKind::KwFor:
-    return parseFor();
   case TokenKind::KwWhile:
-    return parseWhile();
-  case TokenKind::KwIf:
-    return parseIf();
+  case TokenKind::KwIf: {
+    // Nested control flow recurses through parseStmtList and charges the
+    // same depth budget as expressions: statement trees run through the
+    // same recursive destructor and visitor paths.
+    if (!enterExpr())
+      return nullptr;
+    StmtPtr S = current().is(TokenKind::KwFor)     ? parseFor()
+                : current().is(TokenKind::KwWhile) ? parseWhile()
+                                                   : parseIf();
+    leaveExpr();
+    return S;
+  }
   case TokenKind::KwBreak: {
     SourceLoc Loc = consume().Loc;
     return std::make_unique<BreakStmt>(Loc);
@@ -225,58 +263,93 @@ StmtPtr Parser::parseAssignOrExpr() {
 //===----------------------------------------------------------------------===//
 
 ExprPtr Parser::errorExpr(const char *Message) {
-  Diags.error(current().Loc, Message);
+  if (!DepthExceeded)
+    Diags.error(current().Loc, Message);
   return makeNumber(0);
 }
 
-ExprPtr Parser::parseExpr() { return parseOrOr(); }
+ExprPtr Parser::parseExpr() {
+  if (!enterExpr())
+    return errorExpr("expression too deeply nested");
+  ExprPtr E = parseOrOr();
+  leaveExpr();
+  return E;
+}
+
+// The binary-operator levels below build left-leaning chains iteratively, so
+// they never deepen the C++ call stack themselves — but each iteration adds
+// one level to the resulting *tree*, and a 100k-term chain would later blow
+// the stack in the recursive consumers (and in the unique_ptr destructor
+// chain). Each loop therefore charges one depth unit per node built and
+// credits them back when it returns.
 
 ExprPtr Parser::parseOrOr() {
   ExprPtr LHS = parseAndAnd();
+  unsigned Charged = 0;
   while (current().is(TokenKind::PipePipe)) {
+    if (!enterExpr())
+      break;
+    ++Charged;
     SourceLoc Loc = consume().Loc;
     ExprPtr RHS = parseAndAnd();
     LHS = std::make_unique<BinaryExpr>(BinaryOp::OrOr, std::move(LHS),
                                        std::move(RHS), Loc);
   }
+  ExprDepth -= Charged;
   return LHS;
 }
 
 ExprPtr Parser::parseAndAnd() {
   ExprPtr LHS = parseOr();
+  unsigned Charged = 0;
   while (current().is(TokenKind::AmpAmp)) {
+    if (!enterExpr())
+      break;
+    ++Charged;
     SourceLoc Loc = consume().Loc;
     ExprPtr RHS = parseOr();
     LHS = std::make_unique<BinaryExpr>(BinaryOp::AndAnd, std::move(LHS),
                                        std::move(RHS), Loc);
   }
+  ExprDepth -= Charged;
   return LHS;
 }
 
 ExprPtr Parser::parseOr() {
   ExprPtr LHS = parseAnd();
+  unsigned Charged = 0;
   while (current().is(TokenKind::Pipe)) {
+    if (!enterExpr())
+      break;
+    ++Charged;
     SourceLoc Loc = consume().Loc;
     ExprPtr RHS = parseAnd();
     LHS = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(LHS),
                                        std::move(RHS), Loc);
   }
+  ExprDepth -= Charged;
   return LHS;
 }
 
 ExprPtr Parser::parseAnd() {
   ExprPtr LHS = parseComparison();
+  unsigned Charged = 0;
   while (current().is(TokenKind::Amp)) {
+    if (!enterExpr())
+      break;
+    ++Charged;
     SourceLoc Loc = consume().Loc;
     ExprPtr RHS = parseComparison();
     LHS = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(LHS),
                                        std::move(RHS), Loc);
   }
+  ExprDepth -= Charged;
   return LHS;
 }
 
 ExprPtr Parser::parseComparison() {
   ExprPtr LHS = parseRange();
+  unsigned Charged = 0;
   while (true) {
     BinaryOp Op;
     switch (current().Kind) {
@@ -299,8 +372,14 @@ ExprPtr Parser::parseComparison() {
       Op = BinaryOp::Ne;
       break;
     default:
+      ExprDepth -= Charged;
       return LHS;
     }
+    if (!enterExpr()) {
+      ExprDepth -= Charged;
+      return LHS;
+    }
+    ++Charged;
     SourceLoc Loc = consume().Loc;
     ExprPtr RHS = parseRange();
     LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
@@ -337,8 +416,12 @@ bool Parser::minusBeginsNewMatrixElement() {
 
 ExprPtr Parser::parseAdditive() {
   ExprPtr LHS = parseMultiplicative();
+  unsigned Charged = 0;
   while ((current().is(TokenKind::Plus) || current().is(TokenKind::Minus)) &&
          !minusBeginsNewMatrixElement()) {
+    if (!enterExpr())
+      break;
+    ++Charged;
     BinaryOp Op =
         current().is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
     SourceLoc Loc = consume().Loc;
@@ -346,11 +429,13 @@ ExprPtr Parser::parseAdditive() {
     LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
                                        Loc);
   }
+  ExprDepth -= Charged;
   return LHS;
 }
 
 ExprPtr Parser::parseMultiplicative() {
   ExprPtr LHS = parseUnary();
+  unsigned Charged = 0;
   while (true) {
     BinaryOp Op;
     switch (current().Kind) {
@@ -373,8 +458,14 @@ ExprPtr Parser::parseMultiplicative() {
       consume();
       continue;
     default:
+      ExprDepth -= Charged;
       return LHS;
     }
+    if (!enterExpr()) {
+      ExprDepth -= Charged;
+      return LHS;
+    }
+    ++Charged;
     SourceLoc Loc = consume().Loc;
     ExprPtr RHS = parseUnary();
     LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
@@ -383,28 +474,37 @@ ExprPtr Parser::parseMultiplicative() {
 }
 
 ExprPtr Parser::parseUnary() {
+  UnaryOp Op;
   switch (current().Kind) {
-  case TokenKind::Plus: {
-    SourceLoc Loc = consume().Loc;
-    return std::make_unique<UnaryExpr>(UnaryOp::Plus, parseUnary(), Loc);
-  }
-  case TokenKind::Minus: {
-    SourceLoc Loc = consume().Loc;
-    return std::make_unique<UnaryExpr>(UnaryOp::Minus, parseUnary(), Loc);
-  }
-  case TokenKind::Tilde: {
-    SourceLoc Loc = consume().Loc;
-    return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), Loc);
-  }
+  case TokenKind::Plus:
+    Op = UnaryOp::Plus;
+    break;
+  case TokenKind::Minus:
+    Op = UnaryOp::Minus;
+    break;
+  case TokenKind::Tilde:
+    Op = UnaryOp::Not;
+    break;
   default:
     return parsePower();
   }
+  // Prefix chains ("----x") self-recurse, so they charge depth directly.
+  if (!enterExpr())
+    return errorExpr("expression too deeply nested");
+  SourceLoc Loc = consume().Loc;
+  ExprPtr E = std::make_unique<UnaryExpr>(Op, parseUnary(), Loc);
+  leaveExpr();
+  return E;
 }
 
 ExprPtr Parser::parsePower() {
   ExprPtr LHS = parsePostfix();
+  unsigned Charged = 0;
   while (current().is(TokenKind::Caret) ||
          current().is(TokenKind::DotCaret)) {
+    if (!enterExpr())
+      break;
+    ++Charged;
     BinaryOp Op =
         current().is(TokenKind::Caret) ? BinaryOp::Pow : BinaryOp::DotPow;
     SourceLoc Loc = consume().Loc;
@@ -421,25 +521,35 @@ ExprPtr Parser::parsePower() {
     LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
                                        Loc);
   }
+  ExprDepth -= Charged;
   return LHS;
 }
 
 ExprPtr Parser::parsePostfix() {
   ExprPtr E = parsePrimary();
+  unsigned Charged = 0;
   while (true) {
     if (current().is(TokenKind::LParen)) {
+      if (!enterExpr())
+        break;
+      ++Charged;
       SourceLoc Loc = current().Loc;
       std::vector<ExprPtr> Args = parseIndexArgs();
       E = std::make_unique<IndexExpr>(std::move(E), std::move(Args), Loc);
       continue;
     }
     if (current().is(TokenKind::Quote) || current().is(TokenKind::DotQuote)) {
+      if (!enterExpr())
+        break;
+      ++Charged;
       SourceLoc Loc = consume().Loc;
       E = std::make_unique<TransposeExpr>(std::move(E), Loc);
       continue;
     }
-    return E;
+    break;
   }
+  ExprDepth -= Charged;
+  return E;
 }
 
 std::vector<ExprPtr> Parser::parseIndexArgs() {
@@ -557,6 +667,7 @@ ExprPtr Parser::parsePrimary() {
 }
 
 ParseResult mvec::parseMatlab(std::string Source, DiagnosticEngine &Diags) {
+  maybeInject(FaultSite::ParseEntry);
   Parser P(std::move(Source), Diags);
   return P.parseProgram();
 }

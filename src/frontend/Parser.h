@@ -88,6 +88,22 @@ private:
 
   ExprPtr errorExpr(const char *Message);
 
+  /// Expression-tree depth cap. Both the recursive descent (parens, unary
+  /// prefixes) and the iteratively built binary/postfix chains charge one
+  /// level per tree level, so no parse can build an AST deeper than this —
+  /// which bounds every downstream recursion over the tree (printer, shape
+  /// inference, dim checking, interpretation, and the unique_ptr destructor
+  /// chains) instead of overflowing the stack on hostile input.
+  static constexpr unsigned MaxExprDepth = 1000;
+
+  /// Charges one expression-tree level; on exhaustion reports the depth
+  /// error (once), abandons the statement, and returns false.
+  bool enterExpr();
+  void leaveExpr() { --ExprDepth; }
+  /// One structured "nesting too deep" diagnostic per parse, followed by a
+  /// token-level sync so error recovery stays linear in the input size.
+  void reportDepthLimit();
+
   std::vector<Token> Tokens;
   size_t Pos = 0;
   DiagnosticEngine &Diags;
@@ -95,6 +111,8 @@ private:
   unsigned ParenDepth = 0;
   unsigned MatrixDepth = 0;
   unsigned IndexDepth = 0;
+  unsigned ExprDepth = 0;
+  bool DepthExceeded = false;
 };
 
 /// Parses \p Source, returning the program (empty on hard errors; check

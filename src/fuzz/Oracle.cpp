@@ -143,6 +143,11 @@ Oracle::Oracle(OracleConfig Config) : Config(Config) {
   // Submission happens in batches sized to the worker count; a roomy
   // queue keeps the generator ahead of the workers.
   SC.QueueCapacity = std::max<size_t>(64, 8 * Config.Jobs);
+  // Degradation would repackage "internal error:" crashes as Degraded
+  // passthrough results and hide them from the oracle; the fuzzer wants
+  // the raw failure, not the graceful fallback.
+  SC.Resilience.DegradeOnExhaustion = false;
+  SC.Resilience.Retry.MaxAttempts = 1;
   Service = std::make_unique<VectorizationService>(SC);
 }
 
@@ -191,6 +196,9 @@ Verdict Oracle::classifyJob(const JobResult &R) {
   case JobStatus::Succeeded:
     return Verdict{};
   case JobStatus::Cancelled:
+  case JobStatus::Degraded:
+    // Degraded should not occur with DegradeOnExhaustion off (see the
+    // constructor); treat it as non-finding if a custom config allows it.
     return rejected();
   case JobStatus::TimedOut: {
     if (startsWith(R.Message, "deadline exceeded during vectorization"))

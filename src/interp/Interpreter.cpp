@@ -85,12 +85,39 @@ void Interpreter::prepare(const Program &P) {
   });
 }
 
+namespace {
+/// OpWorkspace poll trampoline: long kernels call this between chunks so
+/// deadlines, cancellation, and armed kernel-poll faults land mid-kernel.
+bool interpKernelPoll(void *Ctx) {
+  auto *I = static_cast<Interpreter *>(Ctx);
+  maybeInject(FaultSite::KernelPoll);
+  return I->checkInterrupt(SourceLoc());
+}
+} // namespace
+
 bool Interpreter::run(const Program &P) {
+  FaultCtx = detail::tlsFaultContext();
+  // Only arm the in-kernel poll when something could actually interrupt:
+  // the disarmed configuration must stay at benchmark-identical cost.
+  if (CancelFlag || DeadlineTp || FaultCtx)
+    Pool.setPollHook(&interpKernelPoll, this);
   prepare(P);
-  execBody(P.Stmts);
+  try {
+    execBody(P.Stmts);
+  } catch (...) {
+    // Injected faults and resource-budget exhaustion unwind through here;
+    // leave the interpreter reusable before letting the job layer classify
+    // the exception.
+    NodeCache.clear();
+    Pool.setPollHook(nullptr, nullptr);
+    FaultCtx = nullptr;
+    throw;
+  }
   // Drop the node cache: a later program could allocate nodes at the same
   // addresses, and a stale hit would resolve them to the wrong slots.
   NodeCache.clear();
+  Pool.setPollHook(nullptr, nullptr);
+  FaultCtx = nullptr;
   return !Failed;
 }
 
@@ -123,6 +150,11 @@ bool Interpreter::checkInterrupt(SourceLoc Loc) {
     fail(Loc, "execution deadline exceeded");
     return true;
   }
+  if (FaultCtx && FaultCtx->deadlineForced()) {
+    Interrupt = InterruptKind::Deadline;
+    fail(Loc, "execution deadline exceeded");
+    return true;
+  }
   return false;
 }
 
@@ -136,9 +168,12 @@ Interpreter::Flow Interpreter::execStmt(const Stmt &S) {
     fail(S.loc(), "execution step limit exceeded");
     return Flow::Return;
   }
-  if ((CancelFlag || DeadlineTp) && (Steps & 0xF) == 0 &&
-      checkInterrupt(S.loc()))
-    return Flow::Return;
+  if ((Steps & 0xF) == 0) {
+    if (FaultCtx)
+      FaultCtx->inject(FaultSite::InterpStmt);
+    if ((CancelFlag || DeadlineTp || FaultCtx) && checkInterrupt(S.loc()))
+      return Flow::Return;
+  }
   switch (S.kind()) {
   case Stmt::Kind::Assign:
     execAssign(cast<AssignStmt>(S));
@@ -340,6 +375,21 @@ static const std::vector<Value> &noArgs() {
 Value Interpreter::eval(const Expr &E) {
   if (Failed)
     return Value();
+  if (EvalDepth >= MaxEvalDepth) {
+    fail(E.loc(), "expression nesting exceeds the evaluator depth limit");
+    return Value();
+  }
+  ++EvalDepth;
+  // Injected faults and budget exhaustion unwind through eval() by
+  // exception, so the counter needs unwind-safe restoration.
+  struct DepthGuard {
+    unsigned &D;
+    ~DepthGuard() { --D; }
+  } Guard{EvalDepth};
+  return evalImpl(E);
+}
+
+Value Interpreter::evalImpl(const Expr &E) {
   switch (E.kind()) {
   case Expr::Kind::Number:
     return Value::scalar(cast<NumberExpr>(E).value());

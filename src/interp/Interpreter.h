@@ -29,6 +29,7 @@
 #include "interp/MatrixOps.h"
 #include "interp/Value.h"
 #include "interp/Workspace.h"
+#include "resilience/FaultInjection.h"
 
 #include <atomic>
 #include <chrono>
@@ -51,7 +52,9 @@ public:
   /// (see errorMessage()). The workspace persists across run() calls.
   bool run(const Program &P);
 
-  /// Evaluates a single expression in the current workspace.
+  /// Evaluates a single expression in the current workspace. Guards the
+  /// recursion depth: evaluating a programmatically built tree deeper than
+  /// the evaluator limit is a runtime error, not a stack overflow.
   Value eval(const Expr &E);
 
   // Workspace access.
@@ -226,6 +229,10 @@ private:
     return NodeCache.find(Node);
   }
 
+  /// eval()'s dispatch body; all recursion re-enters through eval() so the
+  /// depth guard sees every level.
+  Value evalImpl(const Expr &E);
+
   Flow execBody(const std::vector<StmtPtr> &Body);
   Flow execStmt(const Stmt &S);
   Flow execFor(const ForStmt &S);
@@ -298,6 +305,13 @@ private:
   const std::atomic<bool> *CancelFlag = nullptr;
   InterruptKind Interrupt = InterruptKind::None;
   uint64_t RandState = 0x9E3779B97F4A7C15ull;
+
+  /// eval() recursion ceiling; the parser caps parse trees far below this.
+  static constexpr unsigned MaxEvalDepth = 2000;
+  unsigned EvalDepth = 0;
+  /// The thread's fault-injection context, sampled once per run() so the
+  /// per-statement gate is a cached member null check, not a TLS load.
+  FaultContext *FaultCtx = nullptr;
 };
 
 /// Compares two workspaces for semantic equality within \p Tol. Returns an

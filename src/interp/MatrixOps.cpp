@@ -6,16 +6,30 @@
 
 #include "interp/MatrixOps.h"
 
+#include "resilience/ResourceGovernor.h"
+
 #include <algorithm>
 #include <cmath>
 
 using namespace mvec;
+
+namespace {
+/// Elements of kernel arithmetic between poll-hook checks. Small enough
+/// that a deadline lands within tens of microseconds even on a slow
+/// machine, large enough that the poll is free on the profiles the
+/// benchmarks measure.
+constexpr size_t PollGrainElems = 32768;
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // OpWorkspace
 //===----------------------------------------------------------------------===//
 
 std::shared_ptr<std::vector<double>> OpWorkspace::acquire(size_t N) {
+  // Budget accounting is cumulative-by-design: pooled reuse charges the
+  // same as a fresh allocation, so a job's measured footprint does not
+  // depend on what earlier jobs left in the pool.
+  chargeMemory(N * sizeof(double));
   if (!Free.empty()) {
     std::shared_ptr<std::vector<double>> Buf = std::move(Free.back());
     Free.pop_back();
@@ -199,15 +213,20 @@ Value mvec::fusedMulAdd(const Value &A, const Value &B, const Value &C,
   const double *AD = A.raw(), *BD = B.raw(), *CD = C.raw();
   double *RD = Result.mutableRaw();
   size_t N = R * Cn;
-  if (!Subtract) {
-    for (size_t I = 0; I != N; ++I)
-      RD[I] = AD[I * SA] * BD[I * SB] + CD[I * SC];
-  } else if (ProductOnLeft) {
-    for (size_t I = 0; I != N; ++I)
-      RD[I] = AD[I * SA] * BD[I * SB] - CD[I * SC];
-  } else {
-    for (size_t I = 0; I != N; ++I)
-      RD[I] = CD[I * SC] - AD[I * SA] * BD[I * SB];
+  for (size_t I0 = 0; I0 < N; I0 += PollGrainElems) {
+    if (I0 != 0 && WS && WS->poll())
+      break;
+    size_t I1 = std::min(I0 + PollGrainElems, N);
+    if (!Subtract) {
+      for (size_t I = I0; I != I1; ++I)
+        RD[I] = AD[I * SA] * BD[I * SB] + CD[I * SC];
+    } else if (ProductOnLeft) {
+      for (size_t I = I0; I != I1; ++I)
+        RD[I] = AD[I * SA] * BD[I * SB] - CD[I * SC];
+    } else {
+      for (size_t I = I0; I != I1; ++I)
+        RD[I] = CD[I * SC] - AD[I * SA] * BD[I * SB];
+    }
   }
   return Result;
 }
@@ -219,11 +238,20 @@ namespace {
 /// the result. Per output element the accumulation order over P is still
 /// strictly ascending — identical results to the naive jki loop.
 void matMulCore(const double *AD, const double *BD, double *RD, size_t M,
-                size_t K, size_t N) {
+                size_t K, size_t N, OpWorkspace *WS) {
   constexpr size_t PBlock = 128;
+  // Accumulated multiply-adds since the last interrupt poll; an O(M*K*N)
+  // product can run for seconds, far past any deadline, without this.
+  size_t SincePoll = 0;
   for (size_t P0 = 0; P0 < K; P0 += PBlock) {
     size_t P1 = std::min(P0 + PBlock, K);
     for (size_t J = 0; J != N; ++J) {
+      if (SincePoll >= PollGrainElems) {
+        SincePoll = 0;
+        if (WS && WS->poll())
+          return;
+      }
+      SincePoll += (P1 - P0) * M;
       double *RCol = RD + J * M;
       for (size_t P = P0; P != P1; ++P) {
         double BV = BD[J * K + P];
@@ -251,7 +279,7 @@ Value mvec::matMul(const Value &A, const Value &B, OpError &Err,
   size_t M = A.rows(), K = A.cols(), N = B.cols();
   Value Result = makeDestZeroed(WS, M, N);
   if (M * N != 0)
-    matMulCore(A.raw(), B.raw(), Result.mutableRaw(), M, K, N);
+    matMulCore(A.raw(), B.raw(), Result.mutableRaw(), M, K, N, WS);
   return Result;
 }
 
@@ -286,7 +314,7 @@ Value mvec::matMulTransB(const Value &A, const Value &B, OpError &Err,
   for (size_t P = 0; P != K; ++P)
     for (size_t J = 0; J != N; ++J)
       BT[J * K + P] = BD[P * N + J];
-  matMulCore(A.raw(), BT, Result.mutableRaw(), M, K, N);
+  matMulCore(A.raw(), BT, Result.mutableRaw(), M, K, N, WS);
   if (Scratch)
     WS->recycleBuffer(std::move(Scratch));
   return Result;

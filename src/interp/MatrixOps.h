@@ -51,6 +51,19 @@ struct OpError {
 /// are never recycled underneath them.
 class OpWorkspace {
 public:
+  /// Cooperative-interrupt hook polled by long-running kernels (matrix
+  /// product, fused multiply-add) between bounded chunks of work, so a
+  /// deadline or cancellation lands within a chunk's worth of arithmetic
+  /// instead of after the whole kernel. Returns true to abort the kernel
+  /// early; the partially written destination is discarded by the failing
+  /// caller.
+  using PollFn = bool (*)(void *Ctx);
+  void setPollHook(PollFn Fn, void *Ctx) {
+    Hook = Fn;
+    HookCtx = Ctx;
+  }
+  bool poll() { return Hook && Hook(HookCtx); }
+
   /// A buffer of exactly \p N elements with unspecified contents (callers
   /// overwrite every element).
   std::shared_ptr<std::vector<double>> acquire(size_t N);
@@ -70,6 +83,8 @@ public:
 private:
   static constexpr size_t MaxPooled = 8;
   std::vector<std::shared_ptr<std::vector<double>>> Free;
+  PollFn Hook = nullptr;
+  void *HookCtx = nullptr;
 };
 
 /// Elementwise binary operation with MATLAB scalar expansion. Handles the

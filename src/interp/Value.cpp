@@ -39,11 +39,13 @@ void Value::growTo(size_t Rows, size_t Cols) {
     // 0x0 -> 1x1 and friends: stays inline.
   } else if (LayoutPreserved) {
     if (!Heap) {
+      chargeMemory(NewN * sizeof(double));
       Heap = std::make_shared<std::vector<double>>();
       Heap->resize(NewN, 0.0);
       if (OldN == 1)
         (*Heap)[0] = InlineVal;
     } else if (Heap.use_count() > 1) {
+      chargeMemory(NewN * sizeof(double));
       auto NewBuf = std::make_shared<std::vector<double>>();
       NewBuf->reserve(NewN);
       NewBuf->assign(Heap->begin(), Heap->end());
@@ -51,10 +53,14 @@ void Value::growTo(size_t Rows, size_t Cols) {
       Heap = std::move(NewBuf);
     } else {
       // vector::resize grows capacity geometrically, which is what makes
-      // A(i) = ... append loops amortized linear.
+      // A(i) = ... append loops amortized linear. Charge the delta, not
+      // the total: cumulative deltas sum to the final footprint without
+      // turning an append loop into a quadratic charge.
+      chargeMemory((NewN - OldN) * sizeof(double));
       Heap->resize(NewN, 0.0);
     }
   } else {
+    chargeMemory(NewN * sizeof(double));
     auto NewBuf = std::make_shared<std::vector<double>>(NewN, 0.0);
     const double *Src = raw();
     double *Dst = NewBuf->data();
@@ -71,11 +77,14 @@ void Value::reserveHint(size_t Numel) {
   if (Numel <= 1)
     return;
   if (Heap) {
-    if (Heap.use_count() == 1 && Heap->capacity() < Numel)
+    if (Heap.use_count() == 1 && Heap->capacity() < Numel) {
+      chargeMemory(Numel * sizeof(double));
       Heap->reserve(Numel);
+    }
     return;
   }
   size_t N = numel(); // 0 or 1
+  chargeMemory(Numel * sizeof(double));
   Heap = std::make_shared<std::vector<double>>();
   Heap->reserve(Numel);
   Heap->resize(N);

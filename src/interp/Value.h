@@ -22,6 +22,8 @@
 #ifndef MVEC_INTERP_VALUE_H
 #define MVEC_INTERP_VALUE_H
 
+#include "resilience/ResourceGovernor.h"
+
 #include <cassert>
 #include <cstddef>
 #include <memory>
@@ -39,10 +41,12 @@ public:
   Value(size_t Rows, size_t Cols, double Fill = 0.0)
       : NumRows(Rows), NumCols(Cols) {
     size_t N = Rows * Cols;
-    if (N > 1)
+    if (N > 1) {
+      chargeMemory(N * sizeof(double));
       Heap = std::make_shared<std::vector<double>>(N, Fill);
-    else
+    } else {
       InlineVal = Fill;
+    }
   }
 
   static Value scalar(double V) {
@@ -58,10 +62,12 @@ public:
     Value Result;
     Result.NumRows = Row ? (Elems.empty() ? 0 : 1) : Elems.size();
     Result.NumCols = Row ? Elems.size() : (Elems.empty() ? 0 : 1);
-    if (Elems.size() > 1)
+    if (Elems.size() > 1) {
+      chargeMemory(Elems.size() * sizeof(double));
       Result.Heap = std::make_shared<std::vector<double>>(std::move(Elems));
-    else if (!Elems.empty())
+    } else if (!Elems.empty()) {
       Result.InlineVal = Elems[0];
+    }
     return Result;
   }
 
@@ -118,8 +124,10 @@ public:
 
   /// Mutable payload pointer; detaches from any sharing copies first.
   double *mutableRaw() {
-    if (Heap && Heap.use_count() > 1)
+    if (Heap && Heap.use_count() > 1) {
+      chargeMemory(Heap->size() * sizeof(double));
       Heap = std::make_shared<std::vector<double>>(*Heap);
+    }
     return Heap ? Heap->data() : &InlineVal;
   }
 

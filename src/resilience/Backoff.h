@@ -1,0 +1,64 @@
+//===- Backoff.h - Jittered exponential retry backoff -----------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Retry policy and the deterministic jittered-exponential-backoff delay
+/// function. Jitter is derived from a seed, not from a global RNG, so a
+/// replayed job (same spec, same fault plan) waits the same intervals —
+/// reproducibility extends to timing-adjacent behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_RESILIENCE_BACKOFF_H
+#define MVEC_RESILIENCE_BACKOFF_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace mvec {
+
+struct RetryPolicy {
+  /// Total attempts per job, including the first (1 = never retry). Only
+  /// ErrorClass::Internal failures are eligible.
+  unsigned MaxAttempts = 3;
+  /// Base delay before the first retry.
+  std::chrono::milliseconds InitialBackoff{5};
+  /// Growth factor per retry.
+  double Multiplier = 2.0;
+  /// Delay is scaled by a factor drawn from [1 - Jitter, 1 + Jitter].
+  double Jitter = 0.5;
+  /// Upper bound on any single delay.
+  std::chrono::milliseconds MaxBackoff{250};
+};
+
+/// Delay before retry number \p Retry (1-based: 1 follows the first failed
+/// attempt). Deterministic in (\p Policy, \p Retry, \p Seed).
+inline std::chrono::microseconds
+backoffDelay(const RetryPolicy &Policy, unsigned Retry, uint64_t Seed) {
+  double Base = double(std::chrono::duration_cast<std::chrono::microseconds>(
+                           Policy.InitialBackoff)
+                           .count());
+  for (unsigned I = 1; I < Retry; ++I)
+    Base *= Policy.Multiplier;
+  // SplitMix64 of (seed, retry) -> uniform in [0, 1).
+  uint64_t X = Seed + 0x9E3779B97F4A7C15ull * (Retry + 1);
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  X ^= X >> 31;
+  double Unit = double(X >> 11) * (1.0 / 9007199254740992.0);
+  double Jitter = std::clamp(Policy.Jitter, 0.0, 1.0);
+  double Scaled = Base * (1.0 - Jitter + 2.0 * Jitter * Unit);
+  double CapUs = double(std::chrono::duration_cast<std::chrono::microseconds>(
+                            Policy.MaxBackoff)
+                            .count());
+  Scaled = std::clamp(Scaled, 0.0, CapUs);
+  return std::chrono::microseconds(static_cast<int64_t>(Scaled));
+}
+
+} // namespace mvec
+
+#endif // MVEC_RESILIENCE_BACKOFF_H

@@ -1,0 +1,123 @@
+//===- FaultInjection.cpp - Deterministic fault injection -------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resilience/FaultInjection.h"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+using namespace mvec;
+
+const char *mvec::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::ParseEntry:
+    return "parse-entry";
+  case FaultSite::VectorizeEntry:
+    return "vectorize-entry";
+  case FaultSite::ValidateEntry:
+    return "validate-entry";
+  case FaultSite::InterpStmt:
+    return "interp-stmt";
+  case FaultSite::KernelPoll:
+    return "kernel-poll";
+  case FaultSite::WorkerPickup:
+    return "worker-pickup";
+  case FaultSite::CacheInsert:
+    return "cache-insert";
+  }
+  return "unknown";
+}
+
+const char *mvec::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::BadAlloc:
+    return "bad-alloc";
+  case FaultKind::Exception:
+    return "exception";
+  case FaultKind::Latency:
+    return "latency";
+  case FaultKind::DeadlineExpire:
+    return "deadline-expire";
+  }
+  return "unknown";
+}
+
+bool mvec::faultSiteFromName(const std::string &Name, FaultSite &Out) {
+  for (unsigned S = 0; S != NumFaultSites; ++S)
+    if (Name == faultSiteName(static_cast<FaultSite>(S))) {
+      Out = static_cast<FaultSite>(S);
+      return true;
+    }
+  return false;
+}
+
+bool mvec::faultKindFromName(const std::string &Name, FaultKind &Out) {
+  static constexpr FaultKind Kinds[NumFaultKinds] = {
+      FaultKind::BadAlloc, FaultKind::Exception, FaultKind::Latency,
+      FaultKind::DeadlineExpire};
+  for (FaultKind K : Kinds)
+    if (Name == faultKindName(K)) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+/// SplitMix64 — the same bit-stable mixer the fuzzer's Rng uses; good
+/// enough to decorrelate (seed, salt, site, hit) tuples.
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+FaultContext::FaultContext(const FaultPlan *Plan, uint64_t Salt)
+    : Plan(Plan), Salt(Salt) {
+  if (Plan)
+    RuleFires.assign(Plan->Rules.size(), 0);
+}
+
+void FaultContext::inject(FaultSite Site) {
+  if (!Plan)
+    return;
+  unsigned SiteIdx = static_cast<unsigned>(Site);
+  unsigned Hit = SiteHits[SiteIdx]++;
+  for (size_t R = 0; R != Plan->Rules.size(); ++R) {
+    const FaultRule &Rule = Plan->Rules[R];
+    if (Rule.Site != Site)
+      continue;
+    if (Rule.MaxFires != 0 && RuleFires[R] >= Rule.MaxFires)
+      continue;
+    unsigned Period = Rule.Period ? Rule.Period : 1;
+    uint64_t Decision = splitmix64(Plan->Seed ^ (Salt * 0x9E3779B97F4A7C15ull) ^
+                                   (uint64_t(SiteIdx) << 32) ^ Hit);
+    if (Decision % Period != 0)
+      continue;
+    ++RuleFires[R];
+    ++SiteFires[SiteIdx];
+    ++TotalFires;
+    switch (Rule.Kind) {
+    case FaultKind::BadAlloc:
+      throw std::bad_alloc();
+    case FaultKind::Exception:
+      throw InjectedFault(std::string("injected fault at ") +
+                          faultSiteName(Site));
+    case FaultKind::Latency:
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(Rule.LatencyMicros));
+      break;
+    case FaultKind::DeadlineExpire:
+      ForcedDeadline = true;
+      break;
+    }
+  }
+}

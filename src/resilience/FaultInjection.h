@@ -1,0 +1,163 @@
+//===- FaultInjection.h - Deterministic fault injection ---------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, replayable fault injection for the vectorization
+/// pipeline. Named injection points (FaultSite) are compiled into the
+/// layers the service drives; a FaultPlan arms a subset of them with a
+/// seeded schedule, and a per-job FaultContext decides — as a pure
+/// function of (plan seed, job salt, site, per-site hit index) — whether a
+/// given crossing of a site fires. The decision is independent of thread
+/// interleaving, so a failure observed once replays exactly from the same
+/// plan and salt.
+///
+/// The disarmed cost is one thread-local load and a null check per site
+/// crossing; sites on per-statement or per-kernel-chunk paths stay off the
+/// profile when no plan is installed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_RESILIENCE_FAULTINJECTION_H
+#define MVEC_RESILIENCE_FAULTINJECTION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mvec {
+
+/// Named injection points. Keep in sync with faultSiteName().
+enum class FaultSite : unsigned {
+  ParseEntry,     ///< entry of parseMatlab
+  VectorizeEntry, ///< entry of vectorizeSource
+  ValidateEntry,  ///< entry of diffRunLimited
+  InterpStmt,     ///< interpreter statement boundary (amortized)
+  KernelPoll,     ///< inside long-running fused kernels (per chunk)
+  WorkerPickup,   ///< a service worker starting a job attempt
+  CacheInsert,    ///< result-cache insertion after a successful job
+};
+inline constexpr unsigned NumFaultSites = 7;
+
+/// What an armed site does when it fires.
+enum class FaultKind {
+  BadAlloc,       ///< throw std::bad_alloc (allocation failure)
+  Exception,      ///< throw InjectedFault (worker exception)
+  Latency,        ///< sleep for LatencyMicros (slow dependency)
+  DeadlineExpire, ///< force the job's deadline checks to report expiry
+};
+inline constexpr unsigned NumFaultKinds = 4;
+
+const char *faultSiteName(FaultSite Site);
+const char *faultKindName(FaultKind Kind);
+/// Parses a site/kind display name; returns false on unknown names.
+bool faultSiteFromName(const std::string &Name, FaultSite &Out);
+bool faultKindFromName(const std::string &Name, FaultKind &Out);
+
+/// The exception thrown by FaultKind::Exception injections.
+class InjectedFault : public std::runtime_error {
+public:
+  explicit InjectedFault(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// One armed (site, kind) pair plus its firing schedule.
+struct FaultRule {
+  FaultSite Site = FaultSite::WorkerPickup;
+  FaultKind Kind = FaultKind::Exception;
+  /// Fire roughly every Period-th eligible crossing (1 = every crossing).
+  /// Which crossings fire is decided by the seeded hash, not by a modulo
+  /// counter, so distinct jobs fail at distinct points.
+  unsigned Period = 1;
+  /// At most this many fires per job (0 = unlimited). MaxFires = 1 models
+  /// a transient fault that a retry survives.
+  unsigned MaxFires = 0;
+  /// Sleep duration for FaultKind::Latency.
+  unsigned LatencyMicros = 2000;
+};
+
+/// A seeded set of rules. Shared, read-only, must outlive every job run
+/// against it.
+struct FaultPlan {
+  uint64_t Seed = 0;
+  std::vector<FaultRule> Rules;
+};
+
+/// Per-job injection state: per-site hit counters and per-rule fire
+/// counts. One context belongs to one job attempt on one thread.
+class FaultContext {
+public:
+  /// \p Salt distinguishes jobs (and attempts) under one plan; equal
+  /// (plan, salt) pairs replay identically.
+  FaultContext(const FaultPlan *Plan, uint64_t Salt);
+
+  /// Called at a site crossing; throws / sleeps / flags per the armed
+  /// rules.
+  void inject(FaultSite Site);
+
+  /// True once a DeadlineExpire rule has fired for this job.
+  bool deadlineForced() const { return ForcedDeadline; }
+  /// Total fires across all rules (test and campaign accounting).
+  unsigned totalFires() const { return TotalFires; }
+  /// Fires charged to \p Site.
+  unsigned firesAt(FaultSite Site) const {
+    return SiteFires[static_cast<unsigned>(Site)];
+  }
+
+private:
+  const FaultPlan *Plan;
+  uint64_t Salt;
+  bool ForcedDeadline = false;
+  unsigned TotalFires = 0;
+  unsigned SiteHits[NumFaultSites] = {};
+  unsigned SiteFires[NumFaultSites] = {};
+  std::vector<unsigned> RuleFires;
+};
+
+namespace detail {
+
+/// The fault context armed on this thread, or null when injection is
+/// disarmed (the common case — one TLS load decides).
+inline FaultContext *&tlsFaultContext() {
+  thread_local FaultContext *Current = nullptr;
+  return Current;
+}
+
+} // namespace detail
+
+/// RAII guard arming \p Ctx (may be null: explicitly disarmed) on the
+/// current thread for the guard's lifetime. Scopes nest.
+class FaultScope {
+public:
+  explicit FaultScope(FaultContext *Ctx) : Prev(detail::tlsFaultContext()) {
+    detail::tlsFaultContext() = Ctx;
+  }
+  ~FaultScope() { detail::tlsFaultContext() = Prev; }
+  FaultScope(const FaultScope &) = delete;
+  FaultScope &operator=(const FaultScope &) = delete;
+
+private:
+  FaultContext *Prev;
+};
+
+/// The site-crossing hook compiled into the pipeline layers. Near-free
+/// when no context is armed.
+inline void maybeInject(FaultSite Site) {
+  if (FaultContext *Ctx = detail::tlsFaultContext())
+    Ctx->inject(Site);
+}
+
+/// True when an armed DeadlineExpire rule has fired on this thread's
+/// job — deadline polls treat this as "the clock has run out".
+inline bool faultDeadlineForced() {
+  FaultContext *Ctx = detail::tlsFaultContext();
+  return Ctx && Ctx->deadlineForced();
+}
+
+} // namespace mvec
+
+#endif // MVEC_RESILIENCE_FAULTINJECTION_H

@@ -1,0 +1,18 @@
+//===- ResourceGovernor.cpp - Per-job resource budgets ----------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resilience/ResourceGovernor.h"
+
+using namespace mvec;
+
+void ResourceGovernor::overBudget() const {
+  // Out of line so the inlined charge() fast path carries no string
+  // machinery; the message is part of the stable Resource-class
+  // diagnostic surface (see DESIGN.md §5g).
+  throw ResourceExhausted("memory budget exceeded: " + std::to_string(Used) +
+                          " bytes charged against a cap of " +
+                          std::to_string(MaxBytes));
+}

@@ -15,6 +15,7 @@
 #ifndef MVEC_SERVICE_JOB_H
 #define MVEC_SERVICE_JOB_H
 
+#include "resilience/Resilience.h"
 #include "vectorizer/Options.h"
 #include "vectorizer/Vectorizer.h"
 
@@ -29,6 +30,7 @@ enum class JobStatus {
   Failed,    ///< parse/vectorize error, runtime error, or divergence
   TimedOut,  ///< the per-job deadline fired before the job finished
   Cancelled, ///< the batch was cancelled before/while the job ran
+  Degraded,  ///< retries/budgets exhausted; original source passed through
 };
 
 /// Display name for \p Status ("succeeded", "failed", ...).
@@ -66,9 +68,18 @@ struct JobSpec {
 /// What the service produced for one job.
 struct JobResult {
   JobStatus Status = JobStatus::Failed;
+  /// Coarse failure taxonomy driving retry/breaker/degradation decisions
+  /// (None on success). Input errors are the script's fault, Resource
+  /// means a budget was exhausted, Deadline the clock ran out, Internal
+  /// an unexpected exception escaped the pipeline.
+  ErrorClass Class = ErrorClass::None;
+  /// Pipeline attempts this result took (retries = Attempts - 1).
+  unsigned Attempts = 1;
   /// Echo of JobSpec::Name.
   std::string Name;
-  /// The vectorized program (empty unless Status == Succeeded).
+  /// The vectorized program (empty unless Status == Succeeded). For
+  /// Degraded results this is the *original* source, byte for byte: the
+  /// caller can always run whatever comes back here.
   std::string VectorizedSource;
   /// Diagnostics / failure description (empty on success).
   std::string Message;

@@ -84,7 +84,10 @@ std::string ServiceMetrics::text() const {
       << " succeeded=" << JobsSucceeded.load()
       << " failed=" << JobsFailed.load()
       << " timed_out=" << JobsTimedOut.load()
-      << " cancelled=" << JobsCancelled.load() << "\n"
+      << " cancelled=" << JobsCancelled.load()
+      << " degraded=" << JobsDegraded.load() << "\n"
+      << "  resilience: retries=" << Retries.load()
+      << " breaker_shed=" << BreakerShed.load() << "\n"
       << "  cache: hits=" << CacheHits.load()
       << " misses=" << CacheMisses.load() << "\n"
       << "  queue: depth_high_water=" << QueueDepthHighWater.load() << "\n";
@@ -101,7 +104,10 @@ std::string ServiceMetrics::json() const {
       << ",\"succeeded\":" << JobsSucceeded.load()
       << ",\"failed\":" << JobsFailed.load()
       << ",\"timed_out\":" << JobsTimedOut.load()
-      << ",\"cancelled\":" << JobsCancelled.load() << "},"
+      << ",\"cancelled\":" << JobsCancelled.load()
+      << ",\"degraded\":" << JobsDegraded.load() << "},"
+      << "\"resilience\":{\"retries\":" << Retries.load()
+      << ",\"breaker_shed\":" << BreakerShed.load() << "},"
       << "\"cache\":{\"hits\":" << CacheHits.load()
       << ",\"misses\":" << CacheMisses.load() << "},"
       << "\"queue\":{\"depth_high_water\":" << QueueDepthHighWater.load()

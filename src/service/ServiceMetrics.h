@@ -55,6 +55,13 @@ struct ServiceMetrics {
   std::atomic<uint64_t> JobsFailed{0};
   std::atomic<uint64_t> JobsTimedOut{0};
   std::atomic<uint64_t> JobsCancelled{0};
+  /// Jobs that exhausted retries/budgets and fell back to passing the
+  /// original source through.
+  std::atomic<uint64_t> JobsDegraded{0};
+  /// Pipeline re-attempts after a retryable (internal) failure.
+  std::atomic<uint64_t> Retries{0};
+  /// Jobs shed without an attempt because the circuit breaker was open.
+  std::atomic<uint64_t> BreakerShed{0};
   std::atomic<uint64_t> CacheHits{0};
   std::atomic<uint64_t> CacheMisses{0};
   /// Deepest the submission queue has ever been.
@@ -69,7 +76,8 @@ struct ServiceMetrics {
     return JobsSucceeded.load(std::memory_order_relaxed) +
            JobsFailed.load(std::memory_order_relaxed) +
            JobsTimedOut.load(std::memory_order_relaxed) +
-           JobsCancelled.load(std::memory_order_relaxed);
+           JobsCancelled.load(std::memory_order_relaxed) +
+           JobsDegraded.load(std::memory_order_relaxed);
   }
 
   /// Raises QueueDepthHighWater to at least \p Depth.

@@ -40,17 +40,21 @@ void ThreadPool::drain() {
 }
 
 void ThreadPool::shutdown() {
+  // Claim the thread handles under the lock: two concurrent shutdown()
+  // calls previously both reached the join loop (the second saw
+  // ShuttingDown set but Threads not yet cleared) and raced on the same
+  // std::thread objects. Whoever swaps the vector out joins; everyone
+  // else returns with nothing to do.
+  std::vector<std::thread> ToJoin;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    if (ShuttingDown && Threads.empty())
-      return;
     ShuttingDown = true;
+    ToJoin.swap(Threads);
   }
   QueueNotEmpty.notify_all();
   QueueNotFull.notify_all();
-  for (std::thread &T : Threads)
+  for (std::thread &T : ToJoin)
     T.join();
-  Threads.clear();
 }
 
 size_t ThreadPool::queueDepth() const {
@@ -61,6 +65,11 @@ size_t ThreadPool::queueDepth() const {
 size_t ThreadPool::queueHighWater() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return HighWater;
+}
+
+size_t ThreadPool::taskFaults() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return TaskFaults;
 }
 
 void ThreadPool::workerLoop() {
@@ -79,7 +88,17 @@ void ThreadPool::workerLoop() {
       ++Running;
     }
     QueueNotFull.notify_one();
-    Task();
+    // A task that throws must not take the worker thread down with it
+    // (std::terminate): the pool would silently shrink and, at shutdown,
+    // queued tasks would never resolve their promises. Task wrappers are
+    // expected to catch their own exceptions; this is the containment of
+    // last resort.
+    try {
+      Task();
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++TaskFaults;
+    }
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       --Running;

@@ -54,6 +54,8 @@ public:
   size_t queueDepth() const;
   /// Deepest the queue has been since construction.
   size_t queueHighWater() const;
+  /// Tasks that escaped with an exception (contained by the worker loop).
+  size_t taskFaults() const;
 
 private:
   void workerLoop();
@@ -67,6 +69,7 @@ private:
   std::vector<std::thread> Threads;
   size_t HighWater = 0;
   size_t Running = 0;
+  size_t TaskFaults = 0;
   bool ShuttingDown = false;
 };
 

@@ -7,6 +7,10 @@
 #include "service/VectorizationService.h"
 
 #include "driver/Pipeline.h"
+#include "resilience/ResourceGovernor.h"
+
+#include <optional>
+#include <thread>
 
 using namespace mvec;
 
@@ -30,13 +34,15 @@ const char *mvec::jobStatusName(JobStatus Status) {
     return "timed_out";
   case JobStatus::Cancelled:
     return "cancelled";
+  case JobStatus::Degraded:
+    return "degraded";
   }
   return "unknown";
 }
 
 VectorizationService::VectorizationService(ServiceConfig Config)
     : Config(Config), Cache(Config.CacheCapacity),
-      NCache(Config.NestCacheCapacity) {
+      NCache(Config.NestCacheCapacity), Breaker(Config.Resilience.Breaker) {
   if (Config.DB) {
     DB = Config.DB;
   } else {
@@ -60,7 +66,27 @@ std::future<JobResult> VectorizationService::submit(JobSpec Spec) {
   std::string Name = Spec.Name;
   bool Accepted = Pool->submit(
       [this, Promise, Spec = std::move(Spec), SubmitTime]() mutable {
-        Promise->set_value(processJob(Spec, SubmitTime));
+        // The promise MUST resolve no matter what processJob does: a
+        // dropped promise turns the caller's future.get() into a hang (or
+        // broken_promise), and an escaping exception would previously have
+        // killed the worker via std::terminate.
+        JobResult R;
+        try {
+          R = processJob(Spec, SubmitTime);
+        } catch (const std::exception &E) {
+          R.Name = Spec.Name;
+          R.Status = JobStatus::Failed;
+          R.Class = ErrorClass::Internal;
+          R.Message = std::string("internal error: ") + E.what();
+          Metrics.JobsFailed.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+          R.Name = Spec.Name;
+          R.Status = JobStatus::Failed;
+          R.Class = ErrorClass::Internal;
+          R.Message = "internal error: unknown exception";
+          Metrics.JobsFailed.fetch_add(1, std::memory_order_relaxed);
+        }
+        Promise->set_value(std::move(R));
       });
   Metrics.noteQueueDepth(Pool->queueHighWater());
   if (!Accepted) {
@@ -104,12 +130,15 @@ JobResult VectorizationService::processJob(const JobSpec &Spec,
   Metrics.QueueLatency.record(QueueSeconds);
 
   JobResult R;
+  // Job salt: same spec -> same salt -> the same fault plan replays the
+  // same schedule for the same job, which is what makes campaign failures
+  // reproducible in isolation.
+  uint64_t Key = cacheKeyFor(Spec);
   if (CancelRequested.load(std::memory_order_relaxed)) {
     R.Name = Spec.Name;
     R.Status = JobStatus::Cancelled;
     R.Message = "batch cancelled before execution";
   } else if (Config.CacheCapacity > 0) {
-    uint64_t Key = cacheKeyFor(Spec);
     if (std::optional<JobResult> Hit = Cache.lookup(Key)) {
       Metrics.CacheHits.fetch_add(1, std::memory_order_relaxed);
       R = std::move(*Hit);
@@ -120,12 +149,23 @@ JobResult VectorizationService::processJob(const JobSpec &Spec,
       R.ValidateSeconds = 0;
     } else {
       Metrics.CacheMisses.fetch_add(1, std::memory_order_relaxed);
-      R = executeUncached(Spec, Start);
-      if (R.succeeded())
-        Cache.insert(Key, R);
+      R = executeWithResilience(Spec, Start, Key);
+      if (R.succeeded()) {
+        // Cache insertion is best-effort: an injected (or real) failure
+        // here must not undo an otherwise-successful job.
+        try {
+          if (Config.Faults) {
+            FaultContext Ctx(Config.Faults, Key ^ 0x9E3779B97F4A7C15ull);
+            FaultScope Scope(&Ctx);
+            maybeInject(FaultSite::CacheInsert);
+          }
+          Cache.insert(Key, R);
+        } catch (...) {
+        }
+      }
     }
   } else {
-    R = executeUncached(Spec, Start);
+    R = executeWithResilience(Spec, Start, Key);
   }
 
   R.QueueSeconds = QueueSeconds;
@@ -144,6 +184,97 @@ JobResult VectorizationService::processJob(const JobSpec &Spec,
   case JobStatus::Cancelled:
     Metrics.JobsCancelled.fetch_add(1, std::memory_order_relaxed);
     break;
+  case JobStatus::Degraded:
+    Metrics.JobsDegraded.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+  return R;
+}
+
+JobResult VectorizationService::executeWithResilience(const JobSpec &Spec,
+                                                      Clock::time_point Start,
+                                                      uint64_t JobSalt) {
+  const ResilienceConfig &RC = Config.Resilience;
+
+  // Breaker gate: when the service is drowning in infrastructure
+  // failures, shed immediately instead of burning a worker on an attempt
+  // that is overwhelmingly likely to fail too.
+  if (!Breaker.allow()) {
+    Metrics.BreakerShed.fetch_add(1, std::memory_order_relaxed);
+    JobResult R;
+    R.Name = Spec.Name;
+    R.Class = ErrorClass::Resource;
+    if (RC.DegradeOnExhaustion) {
+      R.Status = JobStatus::Degraded;
+      R.VectorizedSource = Spec.Source;
+      R.Message = "degraded: circuit breaker open, load shed";
+    } else {
+      R.Status = JobStatus::Failed;
+      R.Message = "circuit breaker open: load shed";
+    }
+    return R;
+  }
+
+  std::chrono::milliseconds DeadlineMs =
+      Spec.Deadline.count() > 0 ? Spec.Deadline : Config.DefaultDeadline;
+  std::optional<Clock::time_point> Deadline;
+  if (DeadlineMs.count() > 0)
+    Deadline = Start + DeadlineMs;
+
+  unsigned MaxAttempts = std::max(RC.Retry.MaxAttempts, 1u);
+  JobResult R;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    {
+      // Fresh fault schedule and memory budget per attempt. The salt
+      // folds in the attempt number so a rule with Period > 1 doesn't
+      // replay the identical decision sequence on every retry.
+      std::optional<FaultContext> Faults;
+      if (Config.Faults)
+        Faults.emplace(Config.Faults, JobSalt + Attempt);
+      FaultScope FS(Faults ? &*Faults : nullptr);
+      ResourceGovernor Governor(RC.MaxJobBytes);
+      GovernorScope GS(RC.MaxJobBytes != 0 ? &Governor : nullptr);
+      R = executeUncached(Spec, Start);
+    }
+    R.Attempts = Attempt;
+
+    bool Infra =
+        R.Class == ErrorClass::Internal || R.Class == ErrorClass::Resource;
+    if (!R.succeeded() && Infra)
+      Breaker.recordFailure();
+    else
+      Breaker.recordSuccess();
+
+    // Only presumed-transient internal faults are worth retrying: bad
+    // input stays bad, a blown budget blows again, an expired deadline
+    // only gets more expired.
+    if (R.succeeded() || R.Class != ErrorClass::Internal ||
+        Attempt >= MaxAttempts)
+      break;
+    if (CancelRequested.load(std::memory_order_relaxed))
+      break;
+
+    std::chrono::microseconds Delay = backoffDelay(RC.Retry, Attempt, JobSalt);
+    if (Deadline) {
+      auto Remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+          *Deadline - Clock::now());
+      if (Remaining <= std::chrono::microseconds::zero())
+        break; // No budget left to retry in.
+      Delay = std::min(Delay, Remaining);
+    }
+    Metrics.Retries.fetch_add(1, std::memory_order_relaxed);
+    if (Delay.count() > 0)
+      std::this_thread::sleep_for(Delay);
+  }
+
+  // Graceful degradation: infrastructure trouble (not bad input, not a
+  // missed deadline) falls back to shipping the original source verbatim
+  // with a structured diagnostic, so the batch as a whole still lands.
+  if (!R.succeeded() && RC.DegradeOnExhaustion &&
+      (R.Class == ErrorClass::Internal || R.Class == ErrorClass::Resource)) {
+    R.Status = JobStatus::Degraded;
+    R.VectorizedSource = Spec.Source;
+    R.Message = "degraded: " + R.Message;
   }
   return R;
 }
@@ -164,8 +295,10 @@ JobResult VectorizationService::executeUncached(const JobSpec &Spec,
 
   // One malformed (or downright hostile) script must never take the
   // worker — or the batch — down with it: every failure mode folds into
-  // the job's result.
+  // the job's result, tagged with the ErrorClass the retry/degradation
+  // machinery keys off.
   try {
+    maybeInject(FaultSite::WorkerPickup);
     Clock::time_point T0 = Clock::now();
     PipelineResult P = vectorizeSource(Spec.Source, Spec.Opts, DB,
                                        Config.NestCacheCapacity > 0 ? &NCache
@@ -174,13 +307,16 @@ JobResult VectorizationService::executeUncached(const JobSpec &Spec,
     Metrics.VectorizeLatency.record(R.VectorizeSeconds);
     if (!P.succeeded()) {
       R.Status = JobStatus::Failed;
+      R.Class = ErrorClass::Input;
       R.Message = P.Diags.str(Spec.Name.empty() ? "<input>" : Spec.Name);
       return R;
     }
     R.Stats = P.Stats;
 
-    if (Limits.Deadline && Clock::now() >= *Limits.Deadline) {
+    if ((Limits.Deadline && Clock::now() >= *Limits.Deadline) ||
+        faultDeadlineForced()) {
       R.Status = JobStatus::TimedOut;
+      R.Class = ErrorClass::Deadline;
       R.Message = "deadline exceeded during vectorization";
       return R;
     }
@@ -201,6 +337,7 @@ JobResult VectorizationService::executeUncached(const JobSpec &Spec,
         break;
       case DiffStatus::TimedOut:
         R.Status = JobStatus::TimedOut;
+        R.Class = ErrorClass::Deadline;
         R.Message = "validation timed out: " + Diff.Message;
         return R;
       case DiffStatus::Cancelled:
@@ -210,6 +347,7 @@ JobResult VectorizationService::executeUncached(const JobSpec &Spec,
       case DiffStatus::Mismatch:
       case DiffStatus::Error:
         R.Status = JobStatus::Failed;
+        R.Class = ErrorClass::Input;
         R.Message = "validation failed: " + Diff.Message;
         return R;
       }
@@ -217,11 +355,17 @@ JobResult VectorizationService::executeUncached(const JobSpec &Spec,
 
     R.Status = JobStatus::Succeeded;
     R.VectorizedSource = std::move(P.VectorizedSource);
+  } catch (const ResourceExhausted &E) {
+    R.Status = JobStatus::Failed;
+    R.Class = ErrorClass::Resource;
+    R.Message = E.what();
   } catch (const std::exception &E) {
     R.Status = JobStatus::Failed;
+    R.Class = ErrorClass::Internal;
     R.Message = std::string("internal error: ") + E.what();
   } catch (...) {
     R.Status = JobStatus::Failed;
+    R.Class = ErrorClass::Internal;
     R.Message = "internal error: unknown exception";
   }
   return R;

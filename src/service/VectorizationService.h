@@ -24,6 +24,9 @@
 #define MVEC_SERVICE_VECTORIZATIONSERVICE_H
 
 #include "patterns/PatternDatabase.h"
+#include "resilience/CircuitBreaker.h"
+#include "resilience/FaultInjection.h"
+#include "resilience/Resilience.h"
 #include "service/ContentCache.h"
 #include "service/Job.h"
 #include "service/ServiceMetrics.h"
@@ -55,6 +58,12 @@ struct ServiceConfig {
   /// outlive the service and must be fully registered — ideally frozen —
   /// before the first job is submitted (see PatternDatabase::freeze()).
   const PatternDatabase *DB = nullptr;
+  /// Retry, circuit-breaker, budget, and degradation policy.
+  ResilienceConfig Resilience;
+  /// Fault-injection plan armed for every job (null = disarmed). Must
+  /// outlive the service. Testing/chaos-campaign hook; never set in
+  /// production configurations.
+  const FaultPlan *Faults = nullptr;
 };
 
 class VectorizationService {
@@ -94,6 +103,12 @@ public:
 private:
   JobResult processJob(const JobSpec &Spec,
                        std::chrono::steady_clock::time_point SubmitTime);
+  /// Breaker gate + per-attempt fault/governor scopes + retry with
+  /// jittered backoff + graceful degradation, around executeUncached.
+  JobResult
+  executeWithResilience(const JobSpec &Spec,
+                        std::chrono::steady_clock::time_point Start,
+                        uint64_t JobSalt);
   JobResult executeUncached(const JobSpec &Spec,
                             std::chrono::steady_clock::time_point Start);
 
@@ -106,6 +121,9 @@ private:
   /// synchronized).
   NestCache NCache;
   ServiceMetrics Metrics;
+  /// Service-wide breaker fed by internal/resource failures; open sheds
+  /// new attempts into immediate degraded results.
+  CircuitBreaker Breaker;
   std::atomic<bool> CancelRequested{false};
   /// Constructed last so workers never see a half-built service; the
   /// unique_ptr keeps teardown order explicit (reset first in ~).

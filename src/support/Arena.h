@@ -27,6 +27,8 @@
 #ifndef MVEC_SUPPORT_ARENA_H
 #define MVEC_SUPPORT_ARENA_H
 
+#include "resilience/ResourceGovernor.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -95,6 +97,9 @@ inline constexpr uint64_t HeapTag = 0;
 inline constexpr uint64_t ArenaTag = 1;
 
 inline void *allocNode(size_t Size) {
+  // Single choke point for AST node memory (arena and heap paths alike):
+  // the per-job governor, when installed, accounts every node here.
+  chargeMemory(Size + NodeHeaderSize);
   char *Raw;
   uint64_t Tag;
   if (ArenaAllocator *A = tlsNodeArena()) {

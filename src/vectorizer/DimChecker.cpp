@@ -293,6 +293,17 @@ std::optional<CheckedExpr> DimChecker::checkExpr(const Expr &E) {
 //===----------------------------------------------------------------------===//
 
 std::optional<CheckedExpr> DimChecker::check(const Expr &E) {
+  // Every recursive step funnels through here, so one counter bounds the
+  // whole traversal (including the memoized fast path, whose clone() of a
+  // cached subtree still recurses over the result).
+  if (Depth >= MaxCheckDepth)
+    return fail("expression nesting exceeds the vectorizer depth limit");
+  ++Depth;
+  struct DepthGuard {
+    unsigned &D;
+    ~DepthGuard() { --D; }
+  } Guard{Depth};
+
   // Reduction checks thread gamma/rho state through the recursion; their
   // results are not a function of (node, level window) alone.
   if (!Memo || !ReductionLoops.empty())

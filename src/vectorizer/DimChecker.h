@@ -184,6 +184,12 @@ private:
     return std::nullopt;
   }
 
+  /// Recursion ceiling for check(). The parser caps parse trees far below
+  /// this, so the limit only trips on programmatically built ASTs; tripping
+  /// is a clean per-statement failure, not a crash. Sized so the guard fires
+  /// before the stack runs out even under ASan's inflated frames.
+  static constexpr unsigned MaxCheckDepth = 1200;
+
   PatternContext patternContext(const PatternBindings &Bindings) const;
 
   const LoopNest &Nest;
@@ -195,6 +201,7 @@ private:
   DimCheckMemo *Memo;
   std::set<LoopId> ReductionLoops;
   std::string Failure;
+  unsigned Depth = 0;
 };
 
 } // namespace mvec
