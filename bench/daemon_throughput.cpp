@@ -1,0 +1,245 @@
+//===- daemon_throughput.cpp - Daemon soak benchmark -------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mvecd soak: a million VEC requests driven straight into the
+/// transport-independent Daemon core (no sockets — this measures the
+/// shard/cache/store machinery, not the kernel's TCP stack), with a full
+/// daemon restart in the middle. The restart is the point: phase B starts
+/// with cold memory caches over a warm disk store, so its disk-hit count
+/// proves persisted results actually survive a process generation.
+///
+/// Emits BENCH_daemon.json — sustained QPS, exact p50/p99/p999 latency,
+/// and the memory/disk/cold serve mix per phase, plus the disk-store
+/// counters after the restart. Same schema family as the daemon's own
+/// STATS document (ServiceMetrics JSON embedded per shard is available
+/// from the live daemon; this file keeps the flat summary CI trends).
+///
+/// Usage: daemon_throughput [--quick] [output.json]
+///   --quick   20k requests instead of a million (CI smoke)
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Daemon.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mvec::daemon;
+
+namespace {
+
+/// Distinct scripts in the key population. Small enough that both cache
+/// tiers cover it (steady state is ~pure hits, like a real hot daemon),
+/// large enough to spread across shards.
+constexpr unsigned NumScripts = 32;
+
+std::string syntheticScript(unsigned Tag) {
+  std::string S = "% soak script " + std::to_string(Tag) + "\n";
+  S += "n = " + std::to_string(8 + Tag % 8) +
+       "; x = rand(1,n); y = rand(1,n); z = zeros(1,n);\n"
+       "%! x(1,*) y(1,*) z(1,*) n(1)\n"
+       "for i=1:n\n  z(i) = 2*x(i)+y(i)^2;\nend\n";
+  return S;
+}
+
+struct PhaseStats {
+  uint64_t Requests = 0;
+  double ElapsedSec = 0;
+  uint64_t Memory = 0, Disk = 0, Cold = 0;
+  uint64_t Degraded = 0, Other = 0;
+  double P50Ms = 0, P99Ms = 0, P999Ms = 0;
+};
+
+double percentile(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  double Rank = P * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] + (Sorted[Hi] - Sorted[Lo]) * Frac;
+}
+
+/// Fires \p Requests VEC requests at \p D from \p Threads driver threads,
+/// round-robin over the script population (every script is exercised, and
+/// the same index always maps to the same content key and thus shard).
+PhaseStats runPhase(Daemon &D, uint64_t Requests, unsigned Threads,
+                    const std::vector<std::string> &Scripts) {
+  std::vector<std::vector<double>> Latencies(Threads);
+  std::vector<PhaseStats> Partial(Threads);
+  std::atomic<uint64_t> Next{0};
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T) {
+    Pool.emplace_back([&, T] {
+      Latencies[T].reserve(Requests / Threads + 1);
+      for (;;) {
+        uint64_t I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Requests)
+          break;
+        Request Req;
+        Req.V = Verb::Vec;
+        Req.Tenant = "soak-" + std::to_string(T % 4);
+        Req.Name = "req" + std::to_string(I);
+        Req.Body = Scripts[I % Scripts.size()];
+        auto T0 = std::chrono::steady_clock::now();
+        Response Resp = D.handle(Req);
+        auto T1 = std::chrono::steady_clock::now();
+        Latencies[T].push_back(
+            std::chrono::duration<double, std::milli>(T1 - T0).count());
+        PhaseStats &S = Partial[T];
+        ++S.Requests;
+        if (Resp.CacheTier == "memory")
+          ++S.Memory;
+        else if (Resp.CacheTier == "disk")
+          ++S.Disk;
+        else
+          ++S.Cold;
+        if (Resp.Status == "degraded")
+          ++S.Degraded;
+        else if (Resp.Status != "succeeded")
+          ++S.Other;
+      }
+    });
+  }
+  for (std::thread &T : Pool)
+    T.join();
+
+  PhaseStats S;
+  S.ElapsedSec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  std::vector<double> All;
+  for (unsigned T = 0; T != Threads; ++T) {
+    S.Requests += Partial[T].Requests;
+    S.Memory += Partial[T].Memory;
+    S.Disk += Partial[T].Disk;
+    S.Cold += Partial[T].Cold;
+    S.Degraded += Partial[T].Degraded;
+    S.Other += Partial[T].Other;
+    All.insert(All.end(), Latencies[T].begin(), Latencies[T].end());
+  }
+  std::sort(All.begin(), All.end());
+  S.P50Ms = percentile(All, 0.50);
+  S.P99Ms = percentile(All, 0.99);
+  S.P999Ms = percentile(All, 0.999);
+  return S;
+}
+
+void printPhase(std::ofstream &Out, const char *Name, const PhaseStats &S) {
+  double Qps = S.ElapsedSec > 0
+                   ? static_cast<double>(S.Requests) / S.ElapsedSec
+                   : 0;
+  double Hits = static_cast<double>(S.Memory + S.Disk);
+  double HitRatio =
+      S.Requests ? Hits / static_cast<double>(S.Requests) : 0;
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"name\":\"%s\",\"requests\":%llu,\"elapsed_s\":%.3f,"
+      "\"qps\":%.1f,\"serves\":{\"memory\":%llu,\"disk\":%llu,"
+      "\"cold\":%llu},\"hit_ratio\":%.4f,\"degraded\":%llu,"
+      "\"other\":%llu,\"latency_ms\":{\"p50\":%.4f,\"p99\":%.4f,"
+      "\"p999\":%.4f}}",
+      Name, static_cast<unsigned long long>(S.Requests), S.ElapsedSec, Qps,
+      static_cast<unsigned long long>(S.Memory),
+      static_cast<unsigned long long>(S.Disk),
+      static_cast<unsigned long long>(S.Cold), HitRatio,
+      static_cast<unsigned long long>(S.Degraded),
+      static_cast<unsigned long long>(S.Other), S.P50Ms, S.P99Ms, S.P999Ms);
+  Out << Buf;
+  std::printf("%-14s %8llu req  %9.1f req/s  p50=%.4fms p99=%.4fms "
+              "p999=%.4fms  mem=%llu disk=%llu cold=%llu\n",
+              Name, static_cast<unsigned long long>(S.Requests), Qps,
+              S.P50Ms, S.P99Ms, S.P999Ms,
+              static_cast<unsigned long long>(S.Memory),
+              static_cast<unsigned long long>(S.Disk),
+              static_cast<unsigned long long>(S.Cold));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t TotalRequests = 1000000;
+  std::string OutPath = "BENCH_daemon.json";
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--quick")
+      TotalRequests = 20000;
+    else
+      OutPath = Arg;
+  }
+  unsigned Threads = std::max(2u, std::thread::hardware_concurrency());
+
+  namespace fs = std::filesystem;
+  fs::path StoreDir = fs::temp_directory_path() / "mvec_bench_daemon_store";
+  std::error_code EC;
+  fs::remove_all(StoreDir, EC); // Always a cold store at phase A.
+
+  std::vector<std::string> Scripts;
+  for (unsigned I = 0; I != NumScripts; ++I)
+    Scripts.push_back(syntheticScript(I));
+
+  DaemonConfig Config;
+  Config.Shards = 4;
+  Config.WorkersPerShard = std::max(1u, Threads / 4);
+  Config.StoreDir = StoreDir.string();
+  Config.MaxQueueDepth = 4096; // A soak measures latency, not shedding.
+
+  uint64_t Half = TotalRequests / 2;
+  PhaseStats A, B;
+  uint64_t DiskHits = 0, DiskEntries = 0;
+  {
+    Daemon D(Config);
+    A = runPhase(D, Half, Threads, Scripts);
+  } // Restart: the daemon (and its memory caches) dies; the store stays.
+  {
+    Daemon D(Config);
+    B = runPhase(D, TotalRequests - Half, Threads, Scripts);
+    DiskHits = D.store()->hits();
+    DiskEntries = D.store()->entries();
+  }
+
+  std::ofstream Out(OutPath, std::ios::trunc);
+  Out << "{\"bench\":\"daemon_throughput\",\"requests\":" << TotalRequests
+      << ",\"threads\":" << Threads << ",\"shards\":" << Config.Shards
+      << ",\"scripts\":" << NumScripts << ",\"phases\":[";
+  printPhase(Out, "pre-restart", A);
+  Out << ",";
+  printPhase(Out, "post-restart", B);
+  Out << "],\"restart\":{\"disk_hits_after_restart\":" << DiskHits
+      << ",\"store_entries\":" << DiskEntries << "}}\n";
+  Out.close();
+
+  fs::remove_all(StoreDir, EC);
+
+  std::printf("disk store after restart: %llu hit(s), %llu entr%s\n",
+              static_cast<unsigned long long>(DiskHits),
+              static_cast<unsigned long long>(DiskEntries),
+              DiskEntries == 1 ? "y" : "ies");
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  // The restart contract is the whole reason this soak exists: phase B
+  // must have warmed from disk, not recompiled the world.
+  if (DiskHits == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no disk-store hits after the mid-soak restart\n");
+    return 1;
+  }
+  if (A.Degraded + A.Other + B.Degraded + B.Other != 0) {
+    std::fprintf(stderr, "FAIL: soak saw non-succeeded responses\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- Config.cpp - mvecd configuration -------------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace mvec::daemon;
+
+namespace {
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return S.substr(B, E - B + 1);
+}
+
+bool parseUnsigned(const std::string &V, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(V.c_str(), &End, 10);
+  return End != V.c_str() && *End == '\0';
+}
+
+bool parseDouble(const std::string &V, double &Out) {
+  char *End = nullptr;
+  Out = std::strtod(V.c_str(), &End);
+  return End != V.c_str() && *End == '\0' && Out >= 0;
+}
+
+} // namespace
+
+bool mvec::daemon::parseDaemonConfig(const std::string &Text,
+                                     DaemonConfig &Out, std::string &Error) {
+  DaemonConfig C = Out;
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string T = trim(Line);
+    if (T.empty() || T[0] == '#')
+      continue;
+    size_t Eq = T.find('=');
+    if (Eq == std::string::npos) {
+      Error = "line " + std::to_string(LineNo) + ": expected 'key = value'";
+      return false;
+    }
+    std::string Key = trim(T.substr(0, Eq));
+    std::string Value = trim(T.substr(Eq + 1));
+    uint64_t U = 0;
+    double D = 0;
+    if (Key == "shards" && parseUnsigned(Value, U) && U >= 1 && U <= 256)
+      C.Shards = static_cast<unsigned>(U);
+    else if (Key == "workers_per_shard" && parseUnsigned(Value, U) && U >= 1 &&
+             U <= 256)
+      C.WorkersPerShard = static_cast<unsigned>(U);
+    else if (Key == "cache_capacity" && parseUnsigned(Value, U))
+      C.CacheCapacity = U;
+    else if (Key == "nest_cache_capacity" && parseUnsigned(Value, U))
+      C.NestCacheCapacity = U;
+    else if (Key == "max_queue_depth" && parseUnsigned(Value, U) && U >= 1)
+      C.MaxQueueDepth = U;
+    else if (Key == "store_dir")
+      C.StoreDir = Value;
+    else if (Key == "store_max_bytes" && parseUnsigned(Value, U))
+      C.StoreMaxBytes = U;
+    else if (Key == "tenant_rate" && parseDouble(Value, D))
+      C.TenantRate = D;
+    else if (Key == "tenant_burst" && parseDouble(Value, D) && D >= 1)
+      C.TenantBurst = D;
+    else if (Key == "deadline_ms" && parseUnsigned(Value, U) &&
+             U <= 24ull * 3600 * 1000)
+      C.DeadlineMs = static_cast<unsigned>(U);
+    else {
+      Error = "line " + std::to_string(LineNo) + ": bad entry '" + T + "'";
+      return false;
+    }
+  }
+  Out = C;
+  return true;
+}
+
+bool mvec::daemon::loadDaemonConfigFile(const std::string &Path,
+                                        DaemonConfig &Out,
+                                        std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot read config file '" + Path + "'";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parseDaemonConfig(SS.str(), Out, Error);
+}
+
+std::string mvec::daemon::daemonConfigText(const DaemonConfig &Config) {
+  std::ostringstream Out;
+  Out << "shards = " << Config.Shards << "\n"
+      << "workers_per_shard = " << Config.WorkersPerShard << "\n"
+      << "cache_capacity = " << Config.CacheCapacity << "\n"
+      << "nest_cache_capacity = " << Config.NestCacheCapacity << "\n"
+      << "max_queue_depth = " << Config.MaxQueueDepth << "\n"
+      << "store_dir = " << Config.StoreDir << "\n"
+      << "store_max_bytes = " << Config.StoreMaxBytes << "\n"
+      << "tenant_rate = " << Config.TenantRate << "\n"
+      << "tenant_burst = " << Config.TenantBurst << "\n"
+      << "deadline_ms = " << Config.DeadlineMs << "\n";
+  return Out.str();
+}

@@ -1,0 +1,82 @@
+//===- Config.h - mvecd configuration ---------------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's tunables and the trivial `key = value` file format they
+/// are loaded from (and hot-reloaded from on SIGHUP or a CONFIG frame):
+///
+///   # mvecd.conf
+///   shards = 4
+///   workers_per_shard = 2
+///   cache_capacity = 512
+///   tenant_rate = 200
+///   tenant_burst = 64
+///
+/// Reload semantics are defined by Daemon::reload(): QoS limits, queue
+/// depth and deadline apply instantly; shard/worker/cache-size changes
+/// swap in a fresh shard fleet while every in-flight job completes on the
+/// old one (nothing is dropped).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_DAEMON_CONFIG_H
+#define MVEC_DAEMON_CONFIG_H
+
+#include <cstddef>
+#include <string>
+
+namespace mvec {
+struct FaultPlan;
+namespace daemon {
+
+struct DaemonConfig {
+  /// Worker shards; a request's content key picks its shard (key % N), so
+  /// identical scripts always land on the same shard's caches.
+  unsigned Shards = 2;
+  /// Vectorization workers per shard.
+  unsigned WorkersPerShard = 2;
+  /// In-memory result-cache entries per shard.
+  size_t CacheCapacity = 512;
+  /// Per-shard nest-cache entries.
+  size_t NestCacheCapacity = 1024;
+  /// In-flight requests per shard beyond which new arrivals are shed as
+  /// degraded passthrough instead of queueing.
+  size_t MaxQueueDepth = 96;
+  /// Disk-store directory (empty = memory tiers only, nothing survives a
+  /// restart).
+  std::string StoreDir;
+  /// Disk-store soft byte budget (0 = unbounded).
+  size_t StoreMaxBytes = size_t(256) << 20;
+  /// Per-tenant admission rate, requests/second (0 = unlimited).
+  double TenantRate = 0;
+  /// Per-tenant burst ceiling.
+  double TenantBurst = 64;
+  /// Default per-request deadline in ms (0 = none).
+  unsigned DeadlineMs = 10000;
+  /// Fault-injection plan armed in every shard service (test hook; not
+  /// settable from a config file). Must outlive the daemon.
+  const FaultPlan *Faults = nullptr;
+};
+
+/// Parses `key = value` \p Text into \p Out (starting from \p Out's
+/// current values, so a partial file only overrides what it names).
+/// Returns false with \p Error set on an unknown key or a bad value; \p
+/// Out is untouched on failure.
+bool parseDaemonConfig(const std::string &Text, DaemonConfig &Out,
+                       std::string &Error);
+
+/// Reads \p Path and parses it. Returns false on I/O or parse errors.
+bool loadDaemonConfigFile(const std::string &Path, DaemonConfig &Out,
+                          std::string &Error);
+
+/// The config rendered back in the file format (used as the CONFIG
+/// response body, so a client can read back what is now in force).
+std::string daemonConfigText(const DaemonConfig &Config);
+
+} // namespace daemon
+} // namespace mvec
+
+#endif // MVEC_DAEMON_CONFIG_H

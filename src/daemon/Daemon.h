@@ -1,0 +1,132 @@
+//===- Daemon.h - Sharded vectorization daemon core -------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport-independent heart of mvecd: N sharded
+/// VectorizationService instances (each with its own memory caches) over
+/// one shared persistent DiskStore, fronted by admission control.
+///
+/// Sharding: a request's content key (the same FNV-1a key the caches use)
+/// picks its shard as key % N, so repeated submissions of the same script
+/// always land on the same shard and its warm caches — the shards never
+/// duplicate cache entries for one script.
+///
+/// Admission: per-tenant token buckets first, then a per-shard in-flight
+/// depth gate. A shed request is *served* — degraded passthrough, the
+/// original body echoed back with a "degraded:" diagnostic — never
+/// refused at the protocol level. Combined with the service layer's own
+/// degradation, the daemon-wide invariant is: a well-formed VEC request
+/// always yields a 200 whose body the client can run (vectorized on
+/// success, byte-exact original otherwise).
+///
+/// Hot reload: reload() applies QoS limits, queue depth and deadline
+/// instantly (atomics); shard-count/worker/cache-size changes build a
+/// fresh shard fleet and retire the old one only after its in-flight jobs
+/// complete (the old services drain; nothing is dropped). The disk store
+/// survives reloads, so the new fleet warms from it immediately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_DAEMON_DAEMON_H
+#define MVEC_DAEMON_DAEMON_H
+
+#include "daemon/Config.h"
+#include "daemon/DiskStore.h"
+#include "daemon/Protocol.h"
+#include "daemon/Qos.h"
+#include "service/VectorizationService.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mvec {
+namespace daemon {
+
+class Daemon {
+public:
+  /// Boots the shard fleet and (when configured) opens the disk store.
+  /// Throws std::runtime_error when the store directory is unusable.
+  explicit Daemon(DaemonConfig Config);
+  /// Drains every shard (all in-flight jobs complete) before returning.
+  ~Daemon();
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// Serves one parsed request. Never throws; any internal trouble folds
+  /// into a degraded-passthrough response. Safe from many threads.
+  Response handle(const Request &R);
+
+  /// Applies \p New as described in the class comment. Blocks until any
+  /// retired fleet has drained. Returns false (no changes applied) with
+  /// \p Error set when the new store directory cannot be opened.
+  bool reload(const DaemonConfig &New, std::string &Error);
+  /// Parses \p ConfigText on top of the current config, then reload().
+  bool reloadFromText(const std::string &ConfigText, std::string &Error);
+
+  /// True after a SHUTDOWN request was served; the transport layer polls
+  /// this to begin its drain.
+  bool shutdownRequested() const {
+    return ShutdownFlag.load(std::memory_order_relaxed);
+  }
+
+  DaemonConfig config() const;
+  /// The daemon-level metrics document (one JSON object embedding each
+  /// shard's ServiceMetrics dump) — the schema BENCH_daemon.json and the
+  /// CI smoke job both read.
+  std::string metricsJson() const;
+
+  const DiskStore *store() const { return Store.get(); }
+  unsigned shardCount() const;
+  uint64_t shedQos() const { return ShedQos.load(std::memory_order_relaxed); }
+  uint64_t shedQueue() const {
+    return ShedQueue.load(std::memory_order_relaxed);
+  }
+  uint64_t reloads() const { return Reloads.load(std::memory_order_relaxed); }
+
+private:
+  struct Shard {
+    std::unique_ptr<VectorizationService> Service;
+    std::atomic<uint64_t> InFlight{0};
+    std::atomic<uint64_t> Shed{0};
+  };
+  struct Fleet {
+    std::vector<std::unique_ptr<Shard>> Shards;
+  };
+
+  std::shared_ptr<Fleet> makeFleet(const DaemonConfig &C) const;
+  std::shared_ptr<Fleet> fleetSnapshot() const;
+  Response handleVec(const Request &R);
+  Response degradedPassthrough(const Request &R, const std::string &Why,
+                               unsigned ShardIdx) const;
+
+  /// Guards Config and structural swaps (reload is serialized).
+  mutable std::mutex ConfigMutex;
+  DaemonConfig Config;
+  /// Guards only the FleetPtr copy so handle() never waits on a reload.
+  mutable std::mutex FleetMutex;
+  std::shared_ptr<Fleet> FleetPtr;
+  std::unique_ptr<DiskStore> Store;
+  AdmissionController Qos;
+
+  std::atomic<unsigned> DeadlineMs;
+  std::atomic<size_t> MaxQueueDepth;
+  std::atomic<bool> ShutdownFlag{false};
+
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> VecRequests{0};
+  std::atomic<uint64_t> ShedQos{0};
+  std::atomic<uint64_t> ShedQueue{0};
+  std::atomic<uint64_t> Reloads{0};
+};
+
+} // namespace daemon
+} // namespace mvec
+
+#endif // MVEC_DAEMON_DAEMON_H

@@ -16,11 +16,7 @@ uint64_t mvec::cacheKeyFor(const std::string &Source,
   // Fold the configuration in through one more FNV round per byte so a
   // toggle flip never cancels against a source edit.
   uint64_t Config = (optionsFingerprint(Opts) << 1) | (Validate ? 1 : 0);
-  for (int Byte = 0; Byte != 8; ++Byte) {
-    Key ^= (Config >> (8 * Byte)) & 0xFF;
-    Key *= 0x100000001b3ull;
-  }
-  return Key;
+  return fnv1aMix(Config, Key);
 }
 
 uint64_t mvec::cacheKeyFor(const JobSpec &Spec) {
@@ -29,12 +25,8 @@ uint64_t mvec::cacheKeyFor(const JobSpec &Spec) {
   static_assert(sizeof(TolBits) == sizeof(Spec.ValidateTol));
   std::memcpy(&TolBits, &Spec.ValidateTol, sizeof(TolBits));
   for (uint64_t Word :
-       {TolBits, Spec.MaxSteps, uint64_t(Spec.CheckAnnotations)}) {
-    for (int Byte = 0; Byte != 8; ++Byte) {
-      Key ^= (Word >> (8 * Byte)) & 0xFF;
-      Key *= 0x100000001b3ull;
-    }
-  }
+       {TolBits, Spec.MaxSteps, uint64_t(Spec.CheckAnnotations)})
+    Key = fnv1aMix(Word, Key);
   return Key;
 }
 

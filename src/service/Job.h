@@ -87,6 +87,9 @@ struct JobResult {
   /// True when the result was served from the content-addressed cache
   /// without re-running the pipeline.
   bool CacheHit = false;
+  /// True when the serving cache tier was the persistent result store
+  /// (implies CacheHit; the in-memory tier missed, e.g. after a restart).
+  bool DiskHit = false;
   /// Wall time spent queued before a worker picked the job up.
   double QueueSeconds = 0;
   /// Wall time of the parse+infer+vectorize stage (0 on cache hits).

@@ -58,9 +58,11 @@ void appendHistText(std::ostringstream &Out, const char *Name,
                     const LatencyHistogram &H) {
   char Buf[160];
   std::snprintf(Buf, sizeof(Buf),
-                "  %-10s count=%llu mean=%.6fs p50<=%.6fs p99<=%.6fs\n", Name,
-                static_cast<unsigned long long>(H.count()), H.meanSeconds(),
-                H.quantileSeconds(0.5), H.quantileSeconds(0.99));
+                "  %-10s count=%llu mean=%.6fs p50<=%.6fs p99<=%.6fs "
+                "p999<=%.6fs\n",
+                Name, static_cast<unsigned long long>(H.count()),
+                H.meanSeconds(), H.quantileSeconds(0.5),
+                H.quantileSeconds(0.99), H.quantileSeconds(0.999));
   Out << Buf;
 }
 
@@ -69,7 +71,8 @@ void appendHistJson(std::ostringstream &Out, const char *Name,
   Out << "\"" << Name << "\":{\"count\":" << H.count()
       << ",\"sum_us\":" << H.sumMicros() << ",\"mean_s\":" << H.meanSeconds()
       << ",\"p50_le_s\":" << H.quantileSeconds(0.5)
-      << ",\"p99_le_s\":" << H.quantileSeconds(0.99) << ",\"buckets_us\":[";
+      << ",\"p99_le_s\":" << H.quantileSeconds(0.99)
+      << ",\"p999_le_s\":" << H.quantileSeconds(0.999) << ",\"buckets_us\":[";
   for (size_t B = 0; B != LatencyHistogram::NumBuckets; ++B)
     Out << (B ? "," : "") << H.bucket(B);
   Out << "]}";
@@ -89,7 +92,9 @@ std::string ServiceMetrics::text() const {
       << "  resilience: retries=" << Retries.load()
       << " breaker_shed=" << BreakerShed.load() << "\n"
       << "  cache: hits=" << CacheHits.load()
-      << " misses=" << CacheMisses.load() << "\n"
+      << " misses=" << CacheMisses.load()
+      << " disk_hits=" << DiskHits.load()
+      << " disk_misses=" << DiskMisses.load() << "\n"
       << "  queue: depth_high_water=" << QueueDepthHighWater.load() << "\n";
   appendHistText(Out, "queue", QueueLatency);
   appendHistText(Out, "vectorize", VectorizeLatency);
@@ -109,7 +114,9 @@ std::string ServiceMetrics::json() const {
       << "\"resilience\":{\"retries\":" << Retries.load()
       << ",\"breaker_shed\":" << BreakerShed.load() << "},"
       << "\"cache\":{\"hits\":" << CacheHits.load()
-      << ",\"misses\":" << CacheMisses.load() << "},"
+      << ",\"misses\":" << CacheMisses.load()
+      << ",\"disk_hits\":" << DiskHits.load()
+      << ",\"disk_misses\":" << DiskMisses.load() << "},"
       << "\"queue\":{\"depth_high_water\":" << QueueDepthHighWater.load()
       << "},\"latency\":{";
   appendHistJson(Out, "queue", QueueLatency);

@@ -64,6 +64,10 @@ struct ServiceMetrics {
   std::atomic<uint64_t> BreakerShed{0};
   std::atomic<uint64_t> CacheHits{0};
   std::atomic<uint64_t> CacheMisses{0};
+  /// Persistent-store (second tier) hits/misses; only move when a
+  /// ResultStore is configured, and only on memory-tier misses.
+  std::atomic<uint64_t> DiskHits{0};
+  std::atomic<uint64_t> DiskMisses{0};
   /// Deepest the submission queue has ever been.
   std::atomic<uint64_t> QueueDepthHighWater{0};
 

@@ -149,18 +149,49 @@ JobResult VectorizationService::processJob(const JobSpec &Spec,
       R.ValidateSeconds = 0;
     } else {
       Metrics.CacheMisses.fetch_add(1, std::memory_order_relaxed);
-      R = executeWithResilience(Spec, Start, Key);
-      if (R.succeeded()) {
-        // Cache insertion is best-effort: an injected (or real) failure
-        // here must not undo an otherwise-successful job.
+      // Second tier: the persistent result store (when wired in). A disk
+      // hit promotes the entry back into the memory tier so the next
+      // request is a plain memory hit.
+      std::optional<JobResult> FromStore;
+      if (Config.Store) {
+        // Store lookups are best-effort: a torn/corrupt entry or an I/O
+        // error is a miss, never a job failure.
         try {
-          if (Config.Faults) {
-            FaultContext Ctx(Config.Faults, Key ^ 0x9E3779B97F4A7C15ull);
-            FaultScope Scope(&Ctx);
-            maybeInject(FaultSite::CacheInsert);
-          }
+          FromStore = Config.Store->load(Key);
+        } catch (...) {
+        }
+        if (FromStore)
+          Metrics.DiskHits.fetch_add(1, std::memory_order_relaxed);
+        else
+          Metrics.DiskMisses.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (FromStore) {
+        R = std::move(*FromStore);
+        R.Name = Spec.Name;
+        try {
           Cache.insert(Key, R);
         } catch (...) {
+        }
+        R.CacheHit = true;
+        R.DiskHit = true;
+        R.VectorizeSeconds = 0;
+        R.ValidateSeconds = 0;
+      } else {
+        R = executeWithResilience(Spec, Start, Key);
+        if (R.succeeded()) {
+          // Cache insertion is best-effort: an injected (or real) failure
+          // here must not undo an otherwise-successful job.
+          try {
+            if (Config.Faults) {
+              FaultContext Ctx(Config.Faults, Key ^ 0x9E3779B97F4A7C15ull);
+              FaultScope Scope(&Ctx);
+              maybeInject(FaultSite::CacheInsert);
+            }
+            Cache.insert(Key, R);
+            if (Config.Store)
+              Config.Store->store(Key, R);
+          } catch (...) {
+          }
         }
       }
     }

@@ -29,6 +29,7 @@
 #include "resilience/Resilience.h"
 #include "service/ContentCache.h"
 #include "service/Job.h"
+#include "service/ResultStore.h"
 #include "service/ServiceMetrics.h"
 #include "service/ThreadPool.h"
 
@@ -58,6 +59,12 @@ struct ServiceConfig {
   /// outlive the service and must be fully registered — ideally frozen —
   /// before the first job is submitted (see PatternDatabase::freeze()).
   const PatternDatabase *DB = nullptr;
+  /// Persistent second cache tier consulted on a memory-cache miss and
+  /// written through on success (null = memory tier only). Must outlive
+  /// the service and be callable from every worker concurrently; the
+  /// daemon wires its on-disk DiskStore in here so warm results survive
+  /// restarts.
+  ResultStore *Store = nullptr;
   /// Retry, circuit-breaker, budget, and degradation policy.
   ResilienceConfig Resilience;
   /// Fault-injection plan armed for every job (null = disarmed). Must

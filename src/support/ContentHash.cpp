@@ -1,0 +1,52 @@
+//===- ContentHash.cpp - Content-addressing hash helpers --------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ContentHash.h"
+
+using namespace mvec;
+
+uint64_t mvec::fnv1aHash(const std::string &Data, uint64_t Hash) {
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+uint64_t mvec::fnv1aMix(uint64_t Word, uint64_t Hash) {
+  for (int Byte = 0; Byte != 8; ++Byte) {
+    Hash ^= (Word >> (8 * Byte)) & 0xFF;
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+std::string mvec::contentHexKey(uint64_t Key) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Hex(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Hex[static_cast<size_t>(I)] = Digits[Key & 0xF];
+    Key >>= 4;
+  }
+  return Hex;
+}
+
+bool mvec::parseContentHexKey(const std::string &Hex, uint64_t &Key) {
+  if (Hex.size() != 16)
+    return false;
+  uint64_t Out = 0;
+  for (char C : Hex) {
+    Out <<= 4;
+    if (C >= '0' && C <= '9')
+      Out |= static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Out |= static_cast<uint64_t>(C - 'a' + 10);
+    else
+      return false;
+  }
+  Key = Out;
+  return true;
+}

@@ -10,14 +10,6 @@
 
 using namespace mvec;
 
-uint64_t mvec::fnv1aHash(const std::string &Data, uint64_t Hash) {
-  for (unsigned char C : Data) {
-    Hash ^= C;
-    Hash *= 0x100000001b3ull;
-  }
-  return Hash;
-}
-
 uint64_t mvec::optionsFingerprint(const VectorizerOptions &Opts) {
   uint64_t Bits = 0;
   auto Pack = [&Bits](bool Flag) { Bits = (Bits << 1) | (Flag ? 1 : 0); };

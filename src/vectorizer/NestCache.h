@@ -25,6 +25,7 @@
 #define MVEC_VECTORIZER_NESTCACHE_H
 
 #include "frontend/AST.h"
+#include "support/ContentHash.h" // fnv1aHash
 #include "vectorizer/Options.h"
 #include "vectorizer/Vectorizer.h"
 
@@ -38,11 +39,6 @@
 #include <vector>
 
 namespace mvec {
-
-/// 64-bit FNV-1a over \p Data, continuing from \p Hash (pass the default
-/// to start a fresh hash).
-uint64_t fnv1aHash(const std::string &Data,
-                   uint64_t Hash = 0xcbf29ce484222325ull);
 
 /// Packs every output-affecting VectorizerOptions toggle into a bitmask.
 /// New options must be added here, or distinct configurations would share

@@ -103,6 +103,43 @@ TEST(ContentCacheTest, ZeroCapacityDisables) {
   EXPECT_FALSE(Cache.lookup(1).has_value());
 }
 
+// Concurrent get/put churn over a deliberately tiny cache, so lookups,
+// inserts, refreshes and evictions interleave constantly. Run under TSan
+// (the CI thread-sanitizer job builds this binary) this is the data-race
+// check for the LRU list + index; in any build it verifies the counters
+// stay coherent and values never tear.
+TEST(ContentCacheTest, ConcurrentChurnKeepsInvariants) {
+  constexpr size_t Capacity = 8;
+  // Ops is a multiple of 3 so exactly Ops/3 of each thread's operations
+  // are inserts and the rest are lookups — the counter check is exact.
+  constexpr int Threads = 8, Ops = 1998, KeySpace = 32;
+  ContentCache Cache(Capacity);
+  std::vector<std::thread> Pool;
+  for (int T = 0; T != Threads; ++T) {
+    Pool.emplace_back([&Cache, T] {
+      for (int I = 0; I != Ops; ++I) {
+        uint64_t Key = static_cast<uint64_t>((T * 7 + I * 13) % KeySpace);
+        if ((T + I) % 3 == 0) {
+          JobResult R;
+          R.Status = JobStatus::Succeeded;
+          R.VectorizedSource = "v" + std::to_string(Key);
+          Cache.insert(Key, std::move(R));
+        } else if (auto Hit = Cache.lookup(Key)) {
+          // A hit must be a complete, untorn value for that key.
+          EXPECT_EQ(Hit->VectorizedSource, "v" + std::to_string(Key));
+          EXPECT_EQ(Hit->Status, JobStatus::Succeeded);
+        }
+      }
+    });
+  }
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_LE(Cache.size(), Capacity);
+  EXPECT_EQ(Cache.hits() + Cache.misses(),
+            static_cast<uint64_t>(Threads) * Ops * 2 / 3)
+      << "every lookup counted exactly once";
+}
+
 TEST(ThreadPoolTest, RunsEverythingAndTracksHighWater) {
   ThreadPool Pool(2, 4);
   std::atomic<int> Ran{0};

@@ -44,6 +44,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -55,6 +56,12 @@
 using namespace mvec;
 
 namespace {
+
+/// SIGINT/SIGTERM stop the campaign at the next plan boundary: the plan
+/// in flight completes (its service drains normally), partial results are
+/// flushed, and the process exits 0.
+volatile std::sig_atomic_t Interrupted = 0;
+void onStopSignal(int) { Interrupted = 1; }
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
@@ -189,6 +196,9 @@ PlanTally runPlan(const Campaign &C, const std::vector<JobSpec> &Specs,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+
   uint64_t Seed = 1;
   unsigned Jobs = 4;
   unsigned DeadlineMs = 5000;
@@ -315,7 +325,11 @@ int main(int Argc, char **Argv) {
   uint64_t TotalJobs = 0, TotalViolations = 0;
   if (Json)
     std::printf("{\"plans\":[");
+  size_t PlansRun = 0;
   for (size_t P = 0; P != Campaigns.size(); ++P) {
+    if (Interrupted)
+      break;
+    ++PlansRun;
     const Campaign &C = Campaigns[P];
     PlanTally T = runPlan(C, Specs, Jobs, DeadlineMs);
     TotalJobs += Specs.size();
@@ -351,16 +365,21 @@ int main(int Argc, char **Argv) {
                        .count();
   if (Json) {
     std::printf("],\"plans_run\":%zu,\"jobs\":%llu,\"violations\":%llu,"
-                "\"elapsed_ms\":%lld}\n",
-                Campaigns.size(), static_cast<unsigned long long>(TotalJobs),
+                "\"interrupted\":%s,\"elapsed_ms\":%lld}\n",
+                PlansRun, static_cast<unsigned long long>(TotalJobs),
                 static_cast<unsigned long long>(TotalViolations),
+                Interrupted ? "true" : "false",
                 static_cast<long long>(ElapsedMs));
   } else {
-    std::printf("campaign: %zu plan(s), %llu job(s), %llu violation(s) "
-                "in %lld ms\n",
-                Campaigns.size(), static_cast<unsigned long long>(TotalJobs),
+    std::printf("campaign: %zu of %zu plan(s), %llu job(s), %llu "
+                "violation(s) in %lld ms%s\n",
+                PlansRun, Campaigns.size(),
+                static_cast<unsigned long long>(TotalJobs),
                 static_cast<unsigned long long>(TotalViolations),
-                static_cast<long long>(ElapsedMs));
+                static_cast<long long>(ElapsedMs),
+                Interrupted ? " (interrupted; state flushed)" : "");
   }
+  if (Interrupted)
+    return 0;
   return TotalViolations == 0 ? 0 : 1;
 }

@@ -46,6 +46,7 @@
 #include "fuzz/Reducer.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -57,6 +58,13 @@ using namespace mvec;
 using namespace mvec::fuzz;
 
 namespace {
+
+/// SIGINT/SIGTERM end the run early but cleanly: the current batch
+/// finishes, findings so far are flushed (reported and, with --save-new,
+/// persisted), and the process exits 0 — an interrupted fuzz run is not a
+/// failed one.
+volatile std::sig_atomic_t Interrupted = 0;
+void onStopSignal(int) { Interrupted = 1; }
 
 int usage(const char *Argv0) {
   std::fprintf(
@@ -145,6 +153,9 @@ int replayCorpus(Corpus &C, const Oracle &O, bool Stats) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+
   FuzzOptions Opt;
   bool CorpusExplicit = false;
   for (int I = 1; I != Argc; ++I) {
@@ -213,6 +224,8 @@ int main(int Argc, char **Argv) {
 
   auto Start = std::chrono::steady_clock::now();
   auto expired = [&] {
+    if (Interrupted)
+      return true;
     if (Opt.TimeSeconds == 0)
       return false;
     return std::chrono::steady_clock::now() - Start >=
@@ -271,7 +284,9 @@ int main(int Argc, char **Argv) {
   // the reproducer keeps hitting the same bucket it was filed under.
   for (auto &[Bucket, F] : NewBuckets) {
     std::string Reproducer = F.Source;
-    if (Opt.Reduce) {
+    // After an interrupt, skip minimization (it can take a while) but
+    // still report and persist the raw reproducers below.
+    if (Opt.Reduce && !Interrupted) {
       const std::string &Want = Bucket;
       ReduceResult RR = reduceProgram(F.Source, [&](const std::string &S) {
         Verdict V = O.check(S);
@@ -310,5 +325,9 @@ int main(int Argc, char **Argv) {
               KnownBucketHits.size(), NewBuckets.size());
   if (Opt.Stats)
     std::fputs(O.metrics().text().c_str(), stdout);
+  if (Interrupted) {
+    std::printf("interrupted; state flushed\n");
+    return 0;
+  }
   return NewBuckets.empty() ? 0 : 1;
 }
