@@ -18,6 +18,11 @@
 ///   --validate         run both versions in the interpreter and verify
 ///                      identical final workspaces
 ///   --run              execute the transformed program and print output
+///   --engine E         execution tier for --validate/--run and batch
+///                      validation: ast (default, tree-walker), vm
+///                      (register bytecode), or both (cross-check the two
+///                      tiers for byte-identical behaviour; single-file
+///                      mode only)
 ///   --plugin PATH      dlopen a pattern plugin (repeatable)
 ///   --no-transposes / --no-patterns / --no-reductions /
 ///   --no-reassociation / --no-normalize
@@ -39,6 +44,8 @@
 #include "interp/Interpreter.h"
 #include "patterns/PluginAPI.h"
 #include "service/VectorizationService.h"
+#include "vm/Compiler.h"
+#include "vm/VM.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -56,9 +63,10 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [options] input.m\n"
                "       %s --batch DIR [--jobs N] [--cache N] "
-               "[--deadline-ms N] [--no-validate] [--stats] "
-               "[--stats-json FILE]\n"
-               "  -o FILE, --remarks, --validate, --run, --plugin PATH,\n"
+               "[--deadline-ms N] [--no-validate] [--engine ast|vm] "
+               "[--stats] [--stats-json FILE]\n"
+               "  -o FILE, --remarks, --validate, --run, "
+               "--engine ast|vm|both, --plugin PATH,\n"
                "  --no-transposes, --no-patterns, --no-reductions,\n"
                "  --no-reassociation, --no-normalize\n",
                Argv0, Argv0);
@@ -79,8 +87,8 @@ bool readFile(const std::string &Path, std::string &Out) {
 /// process exit code (0 only when every job succeeded).
 int runBatch(const std::string &Dir, const VectorizerOptions &Opts,
              const PatternDatabase &DB, unsigned Jobs, size_t CacheEntries,
-             unsigned DeadlineMs, bool Validate, bool Stats,
-             const std::string &StatsJsonPath) {
+             unsigned DeadlineMs, bool Validate, ExecEngine Engine,
+             bool Stats, const std::string &StatsJsonPath) {
   namespace fs = std::filesystem;
   std::error_code EC;
   std::vector<std::string> Paths;
@@ -116,6 +124,7 @@ int runBatch(const std::string &Dir, const VectorizerOptions &Opts,
   Config.CacheCapacity = CacheEntries;
   Config.DefaultDeadline = std::chrono::milliseconds(DeadlineMs);
   Config.DB = &DB;
+  Config.Engine = Engine;
   VectorizationService Service(Config);
   std::vector<JobResult> Results = Service.runBatch(std::move(Specs));
 
@@ -167,6 +176,7 @@ int main(int argc, char **argv) {
   unsigned DeadlineMs = 10000;
   bool NoValidate = false, Stats = false;
   std::string StatsJsonPath;
+  std::string EngineName = "ast";
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -190,6 +200,8 @@ int main(int argc, char **argv) {
       DeadlineMs = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (Arg == "--no-validate")
       NoValidate = true;
+    else if (Arg == "--engine" && I + 1 < argc)
+      EngineName = argv[++I];
     else if (Arg == "--stats")
       Stats = true;
     else if (Arg == "--stats-json" && I + 1 < argc)
@@ -217,6 +229,14 @@ int main(int argc, char **argv) {
   }
   if (BatchDir.empty() == InputPath.empty())
     return usage(argv[0]);
+  if (EngineName != "ast" && EngineName != "vm" && EngineName != "both")
+    return usage(argv[0]);
+  // "both" fans one validation out into three runs; the batch path keeps
+  // one engine per service instead.
+  if (EngineName == "both" && !BatchDir.empty())
+    return usage(argv[0]);
+  ExecEngine Engine =
+      EngineName == "vm" ? ExecEngine::Vm : ExecEngine::Ast;
 
   if (!BatchDir.empty()) {
     PatternDatabase DB = makeDefaultPatternDatabase();
@@ -230,7 +250,7 @@ int main(int argc, char **argv) {
     }
     DB.freeze();
     return runBatch(BatchDir, Opts, DB, Jobs, CacheEntries, DeadlineMs,
-                    !NoValidate, Stats, StatsJsonPath);
+                    !NoValidate, Engine, Stats, StatsJsonPath);
   }
 
   // Read the input.
@@ -276,13 +296,32 @@ int main(int argc, char **argv) {
                Result.Stats.StmtsSequential);
 
   if (Validate) {
-    std::string Diff = diffRun(Source, Result.VectorizedSource);
+    RunLimits Limits;
+    Limits.Engine = Engine;
+    std::string Diff =
+        diffRunLimited(Source, Result.VectorizedSource, Limits).Message;
     if (!Diff.empty()) {
       std::fprintf(stderr, "validation FAILED: %s\n", Diff.c_str());
       return 1;
     }
     std::fprintf(stderr, "validation: transformed program is semantically "
                          "equivalent\n");
+  }
+  if (EngineName == "both") {
+    // Cross-check the execution tiers on both programs: the tree-walker
+    // and the bytecode VM must behave byte-identically.
+    for (const auto &[What, Src] :
+         {std::pair<const char *, const std::string &>{"original", Source},
+          {"transformed", Result.VectorizedSource}}) {
+      DiffOutcome Out = engineDiffRun(Src);
+      if (Out.Status == DiffStatus::Mismatch) {
+        std::fprintf(stderr, "engine cross-check FAILED on %s program: %s\n",
+                     What, Out.Message.c_str());
+        return 1;
+      }
+    }
+    std::fprintf(stderr,
+                 "engine cross-check: ast and vm tiers agree byte-for-byte\n");
   }
 
   if (OutputPath.empty()) {
@@ -300,7 +339,15 @@ int main(int argc, char **argv) {
     DiagnosticEngine Diags;
     ParseResult Parsed = parseMatlab(Result.VectorizedSource, Diags);
     Interpreter I;
-    if (!I.run(Parsed.Prog)) {
+    bool Ok;
+    if (Engine == ExecEngine::Vm) {
+      vm::CompiledProgram CP =
+          vm::compileProgram(Parsed.Prog, Result.VectorizedSource);
+      Ok = vm::execute(CP, I);
+    } else {
+      Ok = I.run(Parsed.Prog);
+    }
+    if (!Ok) {
       std::fprintf(stderr, "runtime error: %s\n", I.errorMessage().c_str());
       return 1;
     }

@@ -78,6 +78,10 @@ bool mvec::daemon::parseDaemonConfig(const std::string &Text,
     else if (Key == "deadline_ms" && parseUnsigned(Value, U) &&
              U <= 24ull * 3600 * 1000)
       C.DeadlineMs = static_cast<unsigned>(U);
+    else if (Key == "engine" && (Value == "ast" || Value == "vm"))
+      C.Engine = Value;
+    else if (Key == "code_cache_capacity" && parseUnsigned(Value, U))
+      C.CodeCacheCapacity = U;
     else {
       Error = "line " + std::to_string(LineNo) + ": bad entry '" + T + "'";
       return false;
@@ -111,6 +115,8 @@ std::string mvec::daemon::daemonConfigText(const DaemonConfig &Config) {
       << "store_max_bytes = " << Config.StoreMaxBytes << "\n"
       << "tenant_rate = " << Config.TenantRate << "\n"
       << "tenant_burst = " << Config.TenantBurst << "\n"
-      << "deadline_ms = " << Config.DeadlineMs << "\n";
+      << "deadline_ms = " << Config.DeadlineMs << "\n"
+      << "engine = " << Config.Engine << "\n"
+      << "code_cache_capacity = " << Config.CodeCacheCapacity << "\n";
   return Out.str();
 }

@@ -56,6 +56,12 @@ struct DaemonConfig {
   double TenantBurst = 64;
   /// Default per-request deadline in ms (0 = none).
   unsigned DeadlineMs = 10000;
+  /// Execution tier for differential validation: "ast" (tree-walker) or
+  /// "vm" (register bytecode; compiled programs are cached per shard and
+  /// persisted beside results when a store_dir is configured).
+  std::string Engine = "ast";
+  /// Per-shard compiled-program cache entries (vm engine only).
+  size_t CodeCacheCapacity = 64;
   /// Fault-injection plan armed in every shard service (test hook; not
   /// settable from a config file). Must outlive the daemon.
   const FaultPlan *Faults = nullptr;

@@ -48,6 +48,8 @@ std::shared_ptr<Daemon::Fleet> Daemon::makeFleet(const DaemonConfig &C) const {
     SC.NestCacheCapacity = C.NestCacheCapacity;
     SC.Store = Store.get();
     SC.Faults = C.Faults;
+    SC.Engine = C.Engine == "vm" ? ExecEngine::Vm : ExecEngine::Ast;
+    SC.CodeCacheCapacity = C.CodeCacheCapacity;
     auto S = std::make_unique<Shard>();
     S->Service = std::make_unique<VectorizationService>(SC);
     F->Shards.push_back(std::move(S));

@@ -13,6 +13,9 @@
 #include "resilience/FaultInjection.h"
 #include "shape/AnnotationParser.h"
 #include "shape/ShapeInference.h"
+#include "vm/CodeCache.h"
+#include "vm/Compiler.h"
+#include "vm/VM.h"
 
 #include <cmath>
 #include <cstdlib>
@@ -23,6 +26,22 @@
 using namespace mvec;
 
 namespace {
+
+/// Runs \p Prog on \p I under the engine selected in \p Limits. The VM
+/// tier needs the program's source text for content-addressed cache
+/// lookup (and to stamp the source hash into fresh compilations).
+bool runWithEngine(Interpreter &I, const Program &Prog,
+                   const std::string &Source, const RunLimits &Limits) {
+  if (Limits.Engine != ExecEngine::Vm)
+    return I.run(Prog);
+  std::shared_ptr<const vm::CompiledProgram> CP;
+  if (Limits.Code)
+    CP = Limits.Code->obtain(Source, Prog);
+  else
+    CP = std::make_shared<const vm::CompiledProgram>(
+        vm::compileProgram(Prog, Source));
+  return vm::execute(*CP, I);
+}
 
 } // namespace
 
@@ -188,7 +207,7 @@ DiffOutcome mvec::diffRunLimited(const std::string &OriginalSource,
     A.setShapeCaps(std::move(Caps));
   }
 
-  if (!A.run(Original.Prog))
+  if (!runWithEngine(A, Original.Prog, OriginalSource, Limits))
     return Fail(RunStatus(A), "original program failed: " + A.errorMessage());
 
   if (Limits.CheckAnnotations) {
@@ -212,7 +231,7 @@ DiffOutcome mvec::diffRunLimited(const std::string &OriginalSource,
     }
   }
 
-  if (!B.run(Transformed.Prog))
+  if (!runWithEngine(B, Transformed.Prog, TransformedSource, Limits))
     return Fail(RunStatus(B),
                 "transformed program failed: " + B.errorMessage());
 
@@ -248,6 +267,97 @@ DiffOutcome mvec::diffRunLimited(const std::string &OriginalSource,
   }
   if (!detail::outputsMatch(A.output(), B.output(), Tol))
     return Fail(DiffStatus::Mismatch, "printed output differs");
+  return DiffOutcome{};
+}
+
+DiffOutcome mvec::engineDiffRun(const std::string &Source,
+                                const RunLimits &Limits, uint64_t Seed) {
+  DiagnosticEngine Diags;
+  ParseResult Parsed = parseMatlab(Source, Diags);
+  if (Diags.hasErrors())
+    return DiffOutcome{DiffStatus::Error,
+                       "program does not parse: " + Diags.str()};
+
+  Interpreter Ast, Vm;
+  for (Interpreter *I : {&Ast, &Vm}) {
+    I->seedRandom(Seed);
+    I->setStepLimit(Limits.MaxSteps);
+    if (Limits.Deadline)
+      I->setDeadline(*Limits.Deadline);
+    I->setCancelFlag(Limits.Cancel);
+  }
+
+  RunLimits AstLimits = Limits;
+  AstLimits.Engine = ExecEngine::Ast;
+  RunLimits VmLimits = Limits;
+  VmLimits.Engine = ExecEngine::Vm;
+  bool AstOk = runWithEngine(Ast, Parsed.Prog, Source, AstLimits);
+  bool VmOk = runWithEngine(Vm, Parsed.Prog, Source, VmLimits);
+
+  // A wall-clock interrupt (deadline/cancel) on either side makes the
+  // comparison inconclusive: where the clock fires is nondeterministic,
+  // so the engines legitimately stop at different statements.
+  auto WallClock = [](const Interpreter &I) {
+    return I.interruptKind() == Interpreter::InterruptKind::Deadline ||
+           I.interruptKind() == Interpreter::InterruptKind::Cancelled;
+  };
+  if (WallClock(Ast) || WallClock(Vm)) {
+    bool Cancelled =
+        Ast.interruptKind() == Interpreter::InterruptKind::Cancelled ||
+        Vm.interruptKind() == Interpreter::InterruptKind::Cancelled;
+    return DiffOutcome{Cancelled ? DiffStatus::Cancelled
+                                 : DiffStatus::TimedOut,
+                       ""};
+  }
+
+  auto Mismatch = [](std::string Message) {
+    return DiffOutcome{DiffStatus::Mismatch, std::move(Message)};
+  };
+  if (AstOk != VmOk || Ast.failed() != Vm.failed())
+    return Mismatch(std::string("engines disagree on failure: ast ") +
+                    (Ast.failed() ? "failed" : "succeeded") + " ('" +
+                    Ast.errorMessage() + "'), vm " +
+                    (Vm.failed() ? "failed" : "succeeded") + " ('" +
+                    Vm.errorMessage() + "')");
+  if (Ast.failed()) {
+    if (Ast.errorMessage() != Vm.errorMessage())
+      return Mismatch("error messages differ: ast '" + Ast.errorMessage() +
+                      "' vs vm '" + Vm.errorMessage() + "'");
+    if (!(Ast.errorLoc() == Vm.errorLoc()))
+      return Mismatch(
+          "error locations differ: ast " +
+          std::to_string(Ast.errorLoc().Line) + ":" +
+          std::to_string(Ast.errorLoc().Col) + " vs vm " +
+          std::to_string(Vm.errorLoc().Line) + ":" +
+          std::to_string(Vm.errorLoc().Col) + " for '" +
+          Ast.errorMessage() + "'");
+  }
+  if (Ast.interruptKind() != Vm.interruptKind())
+    return Mismatch("interrupt kinds differ");
+  if (Ast.stepsExecuted() != Vm.stepsExecuted())
+    return Mismatch("step counts differ: ast " +
+                    std::to_string(Ast.stepsExecuted()) + " vs vm " +
+                    std::to_string(Vm.stepsExecuted()));
+  if (Ast.output() != Vm.output())
+    return Mismatch("printed output differs byte-for-byte");
+
+  // Workspaces must agree exactly — tolerance 0 (Value::equals treats
+  // NaN as equal to NaN, so identical computations always pass).
+  auto WsA = Ast.workspace();
+  auto WsB = Vm.workspace();
+  for (const auto &[Name, ValueA] : WsA) {
+    const Value *ValueB = Vm.getVariable(Name);
+    if (!ValueB)
+      return Mismatch("variable '" + Name + "' defined by ast engine only");
+    if (!ValueA.equals(*ValueB, 0.0))
+      return Mismatch("variable '" + Name + "' differs: ast " +
+                      ValueA.str() + " vs vm " + ValueB->str());
+  }
+  for (const auto &[Name, ValueB] : WsB) {
+    (void)ValueB;
+    if (!Ast.getVariable(Name))
+      return Mismatch("variable '" + Name + "' defined by vm engine only");
+  }
   return DiffOutcome{};
 }
 

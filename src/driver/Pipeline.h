@@ -28,6 +28,20 @@
 
 namespace mvec {
 
+namespace vm {
+class CodeCache;
+} // namespace vm
+
+/// Which execution tier runs interpreted programs during differential
+/// validation. Both tiers share one semantics contract: the bytecode VM
+/// executes through a host Interpreter (same workspace, kernels, RNG,
+/// error/interrupt machinery), so a program must behave byte-identically
+/// under either engine. engineDiffRun() enforces exactly that.
+enum class ExecEngine {
+  Ast, ///< the original tree-walking interpreter
+  Vm,  ///< register-bytecode VM (compiled via vm::compileProgram)
+};
+
 struct PipelineResult {
   /// The vectorized program, re-rendered as MATLAB source.
   std::string VectorizedSource;
@@ -87,6 +101,11 @@ struct RunLimits {
   /// input's fault, not the transformation's. Used by the fuzzer, where
   /// mutation can desynchronize annotations from code.
   bool CheckAnnotations = false;
+  /// Execution tier for both runs.
+  ExecEngine Engine = ExecEngine::Ast;
+  /// Optional compiled-program cache consulted when Engine == Vm; null
+  /// compiles fresh each run (caller-owned, must outlive the call).
+  vm::CodeCache *Code = nullptr;
 };
 
 enum class DiffStatus {
@@ -110,6 +129,20 @@ DiffOutcome diffRunLimited(const std::string &OriginalSource,
                            const std::string &TransformedSource,
                            const RunLimits &Limits, double Tol = 1e-9,
                            uint64_t Seed = 12345);
+
+/// Engine-differential validation: runs \p Source once under the
+/// tree-walker and once under the bytecode VM (fresh interpreters, same
+/// seed and limits) and demands *byte-identical* behaviour: same
+/// failed/error message/error location, same interrupt kind, same step
+/// count, exactly equal workspaces (tolerance 0; NaNs compare equal) and
+/// printed output. The only tolerated asymmetry is wall-clock interrupts:
+/// when either run is cut off by the deadline or the cancel flag, the
+/// comparison is inconclusive (returns TimedOut/Cancelled with an empty
+/// message) because where the clock fires is not deterministic. Step-limit
+/// interrupts ARE deterministic and must match exactly.
+DiffOutcome engineDiffRun(const std::string &Source,
+                          const RunLimits &Limits = {},
+                          uint64_t Seed = 12345);
 
 /// Differential validation: executes \p OriginalSource and
 /// \p TransformedSource in fresh interpreters (same RNG seed) and compares

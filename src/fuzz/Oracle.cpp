@@ -23,6 +23,8 @@ const char *mvec::fuzz::findingKindName(FindingKind Kind) {
     return "mismatch";
   case FindingKind::Hang:
     return "hang";
+  case FindingKind::EngineDivergence:
+    return "engine-divergence";
   }
   return "unknown";
 }
@@ -148,6 +150,10 @@ Oracle::Oracle(OracleConfig Config) : Config(Config) {
   // the raw failure, not the graceful fallback.
   SC.Resilience.DegradeOnExhaustion = false;
   SC.Resilience.Retry.MaxAttempts = 1;
+  // Vm mode validates on the bytecode tier; Both keeps the service on the
+  // tree-walker and layers the engine cross-check on top (engineCheck).
+  SC.Engine = Config.Engine == EngineMode::Vm ? ExecEngine::Vm
+                                              : ExecEngine::Ast;
   Service = std::make_unique<VectorizationService>(SC);
 }
 
@@ -155,8 +161,53 @@ Oracle::~Oracle() = default;
 
 ServiceMetrics &Oracle::metrics() { return Service->metrics(); }
 
+Verdict Oracle::engineCheck(const std::string &Source,
+                            const std::string &Family) const {
+  Verdict V;
+  try {
+    RunLimits Limits;
+    Limits.MaxSteps = Config.MaxSteps;
+    if (Config.Deadline.count() > 0)
+      Limits.Deadline = std::chrono::steady_clock::now() + Config.Deadline;
+    DiffOutcome Diff = engineDiffRun(Source, Limits);
+    switch (Diff.Status) {
+    case DiffStatus::Match:
+      break;
+    case DiffStatus::Error:     // the program itself does not parse
+    case DiffStatus::TimedOut:  // wall-clock interrupt: inconclusive
+    case DiffStatus::Cancelled:
+      V = rejected();
+      break;
+    case DiffStatus::Mismatch:
+      V = finding(FindingKind::EngineDivergence,
+                  "engine:" + normalizeForBucket(Diff.Message), Diff.Message);
+      break;
+    }
+  } catch (const std::exception &E) {
+    V = finding(FindingKind::Crash,
+                "crash:" + normalizeForBucket(E.what()),
+                std::string("internal error: ") + E.what());
+  } catch (...) {
+    V = finding(FindingKind::Crash, "crash:unknown",
+                "internal error: unknown exception");
+  }
+  if (V.isFinding()) {
+    V.F.Source = Source;
+    V.F.Family = Family;
+  }
+  return V;
+}
+
 Verdict Oracle::check(const std::string &Source,
                       const std::string &Family) const {
+  // Under Both, the tier cross-check runs first: an engine divergence on
+  // the *original* program poisons any differential verdict about the
+  // transformation, so it dominates.
+  if (Config.Engine == EngineMode::Both) {
+    Verdict E = engineCheck(Source, Family);
+    if (E.isFinding())
+      return E;
+  }
   Verdict V;
   try {
     PipelineResult P = vectorizeSource(Source, Config.Opts);
@@ -172,9 +223,18 @@ Verdict Oracle::check(const std::string &Source,
       Limits.CheckAnnotations = true;
       if (Config.Deadline.count() > 0)
         Limits.Deadline = std::chrono::steady_clock::now() + Config.Deadline;
+      if (Config.Engine == EngineMode::Vm)
+        Limits.Engine = ExecEngine::Vm;
       DiffOutcome Diff =
           diffRunLimited(Source, P.VectorizedSource, Limits, Config.Tol);
       V = classifyDiff(Diff.Status, Diff.Message);
+      if (V.ok() && Config.Engine == EngineMode::Both) {
+        // The vectorized output is a program too; both tiers must agree
+        // on it as well.
+        Verdict E = engineCheck(P.VectorizedSource, Family);
+        if (E.isFinding())
+          return E;
+      }
     }
   } catch (const std::exception &E) {
     V = finding(FindingKind::Crash,
@@ -261,6 +321,16 @@ Oracle::checkBatch(const std::vector<GenProgram> &Candidates) {
     if (V.isFinding()) {
       V.F.Source = Candidates[I].Source;
       V.F.Family = Candidates[I].Family;
+    } else if (Config.Engine == EngineMode::Both) {
+      // Tier cross-check on top of the service verdict: the original
+      // always, the vectorized output when one was produced. A pipeline
+      // finding above still wins — it already names a defect.
+      V = engineCheck(Candidates[I].Source, Candidates[I].Family);
+      if (!V.isFinding() && Results[I].succeeded() &&
+          !Results[I].VectorizedSource.empty())
+        V = engineCheck(Results[I].VectorizedSource, Candidates[I].Family);
+      if (!V.isFinding())
+        V = classifyJob(Results[I]);
     }
     Verdicts.push_back(std::move(V));
   }

@@ -46,6 +46,7 @@ enum class FindingKind {
   TransformedRunError,///< vectorized program fails to parse or to run
   Mismatch,           ///< both ran; final workspaces or output diverge
   Hang,               ///< transformed run (or the vectorizer) overran
+  EngineDivergence,   ///< tree-walker and bytecode VM disagree on a program
 };
 
 /// Display name for \p Kind ("crash", "mismatch", ...).
@@ -76,6 +77,14 @@ struct Verdict {
   bool isFinding() const { return S == State::Finding; }
 };
 
+/// Which execution tier(s) the oracle validates with. Ast and Vm pick
+/// one tier for the differential (original vs transformed) runs; Both
+/// additionally cross-checks the two tiers against each other on every
+/// program (original, and the vectorized output when one was produced),
+/// demanding byte-identical behaviour — see engineDiffRun(). A
+/// divergence is a FindingKind::EngineDivergence.
+enum class EngineMode { Ast, Vm, Both };
+
 struct OracleConfig {
   /// Service workers for checkBatch.
   unsigned Jobs = 4;
@@ -88,6 +97,8 @@ struct OracleConfig {
   uint64_t MaxSteps = 2000000;
   /// Workspace comparison tolerance (reductions reorder FP sums).
   double Tol = 1e-7;
+  /// Execution tier(s); see EngineMode.
+  EngineMode Engine = EngineMode::Ast;
   VectorizerOptions Opts;
 };
 
@@ -104,6 +115,15 @@ public:
   /// budgets and produces the same buckets as checkBatch.
   Verdict check(const std::string &Source,
                 const std::string &Family = std::string()) const;
+
+  /// Cross-checks the tree-walker and bytecode VM on \p Source under the
+  /// oracle's budgets (see engineDiffRun): Ok when behaviour is
+  /// byte-identical (or the comparison is inconclusive because a
+  /// wall-clock interrupt fired), Rejected when the program does not
+  /// parse, an EngineDivergence finding otherwise. check()/checkBatch()
+  /// run this automatically under EngineMode::Both.
+  Verdict engineCheck(const std::string &Source,
+                      const std::string &Family = std::string()) const;
 
   /// Classifies many candidates in parallel on the service's workers.
   /// Results are in candidate order.

@@ -95,12 +95,21 @@ bool interpKernelPoll(void *Ctx) {
 }
 } // namespace
 
-bool Interpreter::run(const Program &P) {
+void Interpreter::engineBegin() {
   FaultCtx = detail::tlsFaultContext();
   // Only arm the in-kernel poll when something could actually interrupt:
   // the disarmed configuration must stay at benchmark-identical cost.
   if (CancelFlag || DeadlineTp || FaultCtx)
     Pool.setPollHook(&interpKernelPoll, this);
+}
+
+void Interpreter::engineEnd() {
+  Pool.setPollHook(nullptr, nullptr);
+  FaultCtx = nullptr;
+}
+
+bool Interpreter::run(const Program &P) {
+  engineBegin();
   prepare(P);
   try {
     execBody(P.Stmts);
@@ -109,15 +118,13 @@ bool Interpreter::run(const Program &P) {
     // leave the interpreter reusable before letting the job layer classify
     // the exception.
     NodeCache.clear();
-    Pool.setPollHook(nullptr, nullptr);
-    FaultCtx = nullptr;
+    engineEnd();
     throw;
   }
   // Drop the node cache: a later program could allocate nodes at the same
   // addresses, and a stale hit would resolve them to the wrong slots.
   NodeCache.clear();
-  Pool.setPollHook(nullptr, nullptr);
-  FaultCtx = nullptr;
+  engineEnd();
   return !Failed;
 }
 
@@ -158,22 +165,17 @@ bool Interpreter::checkInterrupt(SourceLoc Loc) {
   return false;
 }
 
+bool Interpreter::stmtPoll(SourceLoc Loc) {
+  if (FaultCtx)
+    FaultCtx->inject(FaultSite::InterpStmt);
+  if ((CancelFlag || DeadlineTp || FaultCtx) && checkInterrupt(Loc))
+    return true;
+  return false;
+}
+
 Interpreter::Flow Interpreter::execStmt(const Stmt &S) {
-  ++Steps;
-  // The step limit must catch the exact overflowing statement (property
-  // tests rely on it); the clock and cancel-flag polls are amortized over
-  // a few statements to keep the hot interpret loop cheap.
-  if (StepLimit != 0 && Steps > StepLimit) {
-    Interrupt = InterruptKind::StepLimit;
-    fail(S.loc(), "execution step limit exceeded");
+  if (stmtStep(S.loc()))
     return Flow::Return;
-  }
-  if ((Steps & 0xF) == 0) {
-    if (FaultCtx)
-      FaultCtx->inject(FaultSite::InterpStmt);
-    if ((CancelFlag || DeadlineTp || FaultCtx) && checkInterrupt(S.loc()))
-      return Flow::Return;
-  }
   switch (S.kind()) {
   case Stmt::Kind::Assign:
     execAssign(cast<AssignStmt>(S));
@@ -215,10 +217,7 @@ void Interpreter::noteAccumulatorHints(const ForStmt &S, size_t NumIters) {
       Slot = Env.lookup(Idx->baseName());
     if (Slot < 0)
       continue;
-    if (Env.isDefined(Slot))
-      Env.slotValue(Slot).reserveHint(NumIters);
-    else
-      PendingHints.emplace_back(static_cast<unsigned>(Slot), NumIters);
+    noteHintForSlot(static_cast<unsigned>(Slot), NumIters);
   }
 }
 
@@ -335,16 +334,12 @@ void Interpreter::execAssign(const AssignStmt &S) {
   }
   // Marks the slot defined even if the write then fails — same as the old
   // map-based store, whose operator[] created the [] entry up front.
-  Value &Target = Env.defineRef(static_cast<unsigned>(Slot));
-  if (!PendingHints.empty())
-    applyPendingHint(static_cast<unsigned>(Slot), Target);
+  Value &Target = defineSlotRef(static_cast<unsigned>(Slot));
   writeIndexed(Target, *Index, RHS);
   checkShapeCap(static_cast<unsigned>(Slot), S.loc());
 }
 
-void Interpreter::checkShapeCap(unsigned Slot, SourceLoc Loc) {
-  if (ShapeCaps.empty() || Failed)
-    return;
+void Interpreter::checkShapeCapSlow(unsigned Slot, SourceLoc Loc) {
   while (SlotCaps.size() < Env.numSlots()) {
     auto It = ShapeCaps.find(Env.nameOf(static_cast<unsigned>(SlotCaps.size())));
     int8_t Mask = 0;
@@ -435,16 +430,7 @@ Value Interpreter::evalImpl(const Expr &E) {
     Value Stop = eval(*R.stop());
     if (Failed)
       return Value();
-    if (!Start.isScalar() || !Step.isScalar() || !Stop.isScalar()) {
-      fail(E.loc(), "range endpoints must be scalars");
-      return Value();
-    }
-    OpError Err;
-    Value Result = makeRange(Start.scalarValue(), Step.scalarValue(),
-                             Stop.scalarValue(), Err);
-    if (Err.failed())
-      fail(E.loc(), Err.Message);
-    return Result;
+    return makeRangeChecked(Start, Step, Stop, E.loc());
   }
   case Expr::Kind::Unary: {
     const auto &U = cast<UnaryExpr>(E);
@@ -515,49 +501,67 @@ Value Interpreter::evalFusedMulAdd(const BinaryExpr &E, const BinaryExpr &Prod,
   }
   if (Failed)
     return Value();
-  const Value &A = *AP, &B = *BP, &C = *CP;
+  Value Result = applyFusedMulAdd(*AP, *BP, *CP,
+                                  /*Subtract=*/E.op() == BinaryOp::Sub,
+                                  ProductOnLeft,
+                                  /*DotMul=*/Prod.op() == BinaryOp::DotMul,
+                                  E.loc(), Prod.loc());
+  Pool.recycle(std::move(AT));
+  Pool.recycle(std::move(BT));
+  Pool.recycle(std::move(CT));
+  return Result;
+}
 
+Value Interpreter::applyFusedMulAdd(const Value &A, const Value &B,
+                                    const Value &C, bool Subtract,
+                                    bool ProductOnLeft, bool DotMul,
+                                    SourceLoc ELoc, SourceLoc ProdLoc) {
   // All-scalar: combine directly, rounding the product first exactly like
   // the two-step evaluation does.
   if (A.isScalar() && B.isScalar() && C.isScalar()) {
     double P = A.scalarValue() * B.scalarValue();
     double CV = C.scalarValue();
-    if (E.op() != BinaryOp::Sub)
+    if (!Subtract)
       return Value::scalar(P + CV);
     return Value::scalar(ProductOnLeft ? P - CV : CV - P);
   }
 
   // '*' is elementwise only when one operand is scalar; a true matrix
   // product keeps the exact two-step path below.
-  bool Elementwise =
-      Prod.op() == BinaryOp::DotMul || A.isScalar() || B.isScalar();
-  if (Elementwise && fusableMulAddShapes(A, B, C)) {
-    Value Result = fusedMulAdd(A, B, C, /*Subtract=*/E.op() == BinaryOp::Sub,
-                               ProductOnLeft, &Pool);
-    Pool.recycle(std::move(AT));
-    Pool.recycle(std::move(BT));
-    Pool.recycle(std::move(CT));
-    return Result;
-  }
+  bool Elementwise = DotMul || A.isScalar() || B.isScalar();
+  if (Elementwise && fusableMulAddShapes(A, B, C))
+    return fusedMulAdd(A, B, C, Subtract, ProductOnLeft, &Pool);
 
   OpError Err;
-  Value Product = Prod.op() == BinaryOp::DotMul
+  Value Product = DotMul
                       ? elementwiseBinary(BinaryOp::DotMul, A, B, Err, &Pool)
                       : mulOp(A, B, Err, &Pool);
   if (Err.failed()) {
-    fail(Prod.loc(), Err.Message);
+    fail(ProdLoc, Err.Message);
     return Value();
   }
-  Pool.recycle(std::move(AT));
-  Pool.recycle(std::move(BT));
+  BinaryOp Outer = Subtract ? BinaryOp::Sub : BinaryOp::Add;
   OpError Err2;
   Value Result = ProductOnLeft
-                     ? elementwiseBinary(E.op(), Product, C, Err2, &Pool)
-                     : elementwiseBinary(E.op(), C, Product, Err2, &Pool);
+                     ? elementwiseBinary(Outer, Product, C, Err2, &Pool)
+                     : elementwiseBinary(Outer, C, Product, Err2, &Pool);
   Pool.recycle(std::move(Product));
-  Pool.recycle(std::move(CT));
   if (Err2.failed())
-    fail(E.loc(), Err2.Message);
+    fail(ELoc, Err2.Message);
+  return Result;
+}
+
+Value Interpreter::makeRangeChecked(const Value &Start, const Value &Step,
+                                    const Value &Stop, SourceLoc Loc) {
+  if (!Start.isScalar() || !Step.isScalar() || !Stop.isScalar()) {
+    fail(Loc, "range endpoints must be scalars");
+    return Value();
+  }
+  OpError Err;
+  Value Result = makeRange(Start.scalarValue(), Step.scalarValue(),
+                           Stop.scalarValue(), Err);
+  if (Err.failed())
+    fail(Loc, Err.Message);
   return Result;
 }
 
@@ -589,39 +593,49 @@ Value Interpreter::evalBinary(const BinaryExpr &E) {
       return evalFusedMulAdd(E, *R, /*ProductOnLeft=*/false);
   }
 
-  Value LT, RT;
-  const Value *LP = nullptr, *RP = nullptr;
   // A * B': multiply against packed-transposed data without materializing
   // the transpose as a value.
   if (E.op() == BinaryOp::Mul) {
     if (const auto *T = dyn_cast<TransposeExpr>(E.rhs())) {
-      LP = &evalOperand(*E.lhs(), LT);
-      Value BTmp;
+      Value LT, BTmp;
+      const Value &LOp = evalOperand(*E.lhs(), LT);
       const Value &BOp = evalOperand(*T->operand(), BTmp);
       if (Failed)
         return Value();
-      if (!LP->isScalar() && !BOp.isScalar() && LP->cols() == BOp.cols()) {
-        OpError Err;
-        Value Result = matMulTransB(*LP, BOp, Err, &Pool);
-        Pool.recycle(std::move(LT));
-        Pool.recycle(std::move(BTmp));
-        if (Err.failed())
-          fail(E.loc(), Err.Message);
-        return Result;
-      }
-      RT = BOp.transposed();
+      Value Result = applyMulTransB(LOp, BOp, E.loc());
+      Pool.recycle(std::move(LT));
       Pool.recycle(std::move(BTmp));
-      RP = &RT;
+      return Result;
     }
   }
-  if (!LP) {
-    LP = &evalOperand(*E.lhs(), LT);
-    RP = &evalOperand(*E.rhs(), RT);
-    if (Failed)
-      return Value();
-  }
-  const Value &LHS = *LP, &RHS = *RP;
+  Value LT, RT;
+  const Value &LHS = evalOperand(*E.lhs(), LT);
+  const Value &RHS = evalOperand(*E.rhs(), RT);
+  if (Failed)
+    return Value();
+  Value Result = applyBinary(E.op(), LHS, RHS, E.loc());
+  Pool.recycle(std::move(LT));
+  Pool.recycle(std::move(RT));
+  return Result;
+}
 
+Value Interpreter::applyMulTransB(const Value &LHS, const Value &B,
+                                  SourceLoc Loc) {
+  if (!LHS.isScalar() && !B.isScalar() && LHS.cols() == B.cols()) {
+    OpError Err;
+    Value Result = matMulTransB(LHS, B, Err, &Pool);
+    if (Err.failed())
+      fail(Loc, Err.Message);
+    return Result;
+  }
+  Value RT = B.transposed();
+  Value Result = applyBinary(BinaryOp::Mul, LHS, RT, Loc);
+  Pool.recycle(std::move(RT));
+  return Result;
+}
+
+Value Interpreter::applyBinary(BinaryOp Op, const Value &LHS, const Value &RHS,
+                               SourceLoc Loc) {
   // Scalar fast path: no kernel dispatch, no allocation. Semantics are
   // those of applyScalarOp in MatrixOps (comparisons and elementwise
   // logic yield logical values, division by zero yields Inf/NaN).
@@ -632,7 +646,7 @@ Value Interpreter::evalBinary(const BinaryExpr &E) {
       R.setLogical(true);
       return R;
     };
-    switch (E.op()) {
+    switch (Op) {
     case BinaryOp::Add:
       return Value::scalar(A + B);
     case BinaryOp::Sub:
@@ -666,7 +680,7 @@ Value Interpreter::evalBinary(const BinaryExpr &E) {
 
   OpError Err;
   Value Result;
-  switch (E.op()) {
+  switch (Op) {
   case BinaryOp::Mul:
     Result = mulOp(LHS, RHS, Err, &Pool);
     break;
@@ -677,13 +691,11 @@ Value Interpreter::evalBinary(const BinaryExpr &E) {
     Result = powOp(LHS, RHS, Err);
     break;
   default:
-    Result = elementwiseBinary(E.op(), LHS, RHS, Err, &Pool);
+    Result = elementwiseBinary(Op, LHS, RHS, Err, &Pool);
     break;
   }
-  Pool.recycle(std::move(LT));
-  Pool.recycle(std::move(RT));
   if (Err.failed())
-    fail(E.loc(), Err.Message);
+    fail(Loc, Err.Message);
   return Result;
 }
 
@@ -721,14 +733,17 @@ Value Interpreter::evalMatrixLiteral(const MatrixExpr &E) {
 // Indexing
 //===----------------------------------------------------------------------===//
 
+Value Interpreter::makeColonVector(size_t Extent) {
+  Value All(1, Extent);
+  double *AllD = All.mutableRaw();
+  for (size_t I = 0; I != Extent; ++I)
+    AllD[I] = static_cast<double>(I + 1);
+  return All;
+}
+
 Value Interpreter::evalSubscript(const Expr &Arg, size_t Extent) {
-  if (isa<MagicColonExpr>(&Arg)) {
-    Value All(1, Extent);
-    double *AllD = All.mutableRaw();
-    for (size_t I = 0; I != Extent; ++I)
-      AllD[I] = static_cast<double>(I + 1);
-    return All;
-  }
+  if (isa<MagicColonExpr>(&Arg))
+    return makeColonVector(Extent);
   if (!mentionsEndKeyword(Arg))
     return eval(Arg);
   ExprPtr Rewritten =
@@ -776,51 +791,76 @@ bool Interpreter::toIndices(const Value &Idx, size_t Extent,
   return true;
 }
 
+Value Interpreter::indexReadAll(const Value &Base) {
+  // Linear (column-major) indexing. A(:) flattens to a column.
+  Value Result = Base;
+  Result.reshapeTo(Base.numel(), Base.numel() ? 1 : 0);
+  return Result;
+}
+
+Value Interpreter::indexRead1(const Value &Base, const Value &Idx,
+                              SourceLoc Loc) {
+  std::vector<size_t> &Indices = IdxScratchA;
+  if (!toIndices(Idx, Base.numel(), Indices, Loc))
+    return Value();
+  // Result shape: like the index, except that vector(A)(vector idx)
+  // follows A's orientation; mask selection yields a column unless the
+  // base is a row.
+  size_t R = Idx.rows(), C = Idx.cols();
+  if (Idx.isLogical()) {
+    if (Base.isRow()) {
+      R = 1;
+      C = Indices.size();
+    } else {
+      R = Indices.size();
+      C = Indices.empty() ? 0 : 1;
+    }
+  } else if (Base.isVector() && Idx.isVector()) {
+    if (Base.isRow()) {
+      R = 1;
+      C = Indices.size();
+    } else {
+      R = Indices.size();
+      C = 1;
+    }
+  }
+  Value Result(R, C);
+  const double *BaseD = Base.raw();
+  double *ResultD = Result.mutableRaw();
+  for (size_t I = 0; I != Indices.size(); ++I)
+    ResultD[I] = BaseD[Indices[I]];
+  Result.setLogical(Base.isLogical());
+  return Result;
+}
+
+Value Interpreter::indexRead2(const Value &Base, const Value &RowIdx,
+                              const Value &ColIdx, SourceLoc Loc) {
+  std::vector<size_t> &RI = IdxScratchA, &CI = IdxScratchB;
+  if (!toIndices(RowIdx, Base.rows(), RI, Loc) ||
+      !toIndices(ColIdx, Base.cols(), CI, Loc))
+    return Value();
+  Value Result(RI.size(), CI.size());
+  const double *BaseD = Base.raw();
+  double *ResultD = Result.mutableRaw();
+  size_t BaseRows = Base.rows();
+  for (size_t C = 0; C != CI.size(); ++C)
+    for (size_t R = 0; R != RI.size(); ++R)
+      ResultD[C * RI.size() + R] = BaseD[CI[C] * BaseRows + RI[R]];
+  Result.setLogical(Base.isLogical());
+  return Result;
+}
+
 Value Interpreter::readIndexed(const Value &Base, const IndexExpr &E) {
   if (E.numArgs() == 0)
     return Base; // f() with a variable f is just the value.
 
   if (E.numArgs() == 1) {
-    // Linear (column-major) indexing. A(:) flattens to a column.
-    if (isa<MagicColonExpr>(E.arg(0))) {
-      Value Result = Base;
-      Result.reshapeTo(Base.numel(), Base.numel() ? 1 : 0);
-      return Result;
-    }
+    if (isa<MagicColonExpr>(E.arg(0)))
+      return indexReadAll(Base);
     Value Idx = evalSubscript(*E.arg(0), Base.numel());
     if (Failed)
       return Value();
-    std::vector<size_t> &Indices = IdxScratchA;
-    if (!toIndices(Idx, Base.numel(), Indices, E.loc()))
-      return Value();
-    // Result shape: like the index, except that vector(A)(vector idx)
-    // follows A's orientation; mask selection yields a column unless the
-    // base is a row.
-    size_t R = Idx.rows(), C = Idx.cols();
-    if (Idx.isLogical()) {
-      if (Base.isRow()) {
-        R = 1;
-        C = Indices.size();
-      } else {
-        R = Indices.size();
-        C = Indices.empty() ? 0 : 1;
-      }
-    } else if (Base.isVector() && Idx.isVector()) {
-      if (Base.isRow()) {
-        R = 1;
-        C = Indices.size();
-      } else {
-        R = Indices.size();
-        C = 1;
-      }
-    }
-    Value Result(R, C);
-    const double *BaseD = Base.raw();
-    double *ResultD = Result.mutableRaw();
-    for (size_t I = 0; I != Indices.size(); ++I)
-      ResultD[I] = BaseD[Indices[I]];
-    Result.setLogical(Base.isLogical());
-    return Result;
+    return indexRead1(Base, Idx, E.loc());
   }
 
   if (E.numArgs() == 2) {
@@ -828,23 +868,119 @@ Value Interpreter::readIndexed(const Value &Base, const IndexExpr &E) {
     Value ColIdx = evalSubscript(*E.arg(1), Base.cols());
     if (Failed)
       return Value();
-    std::vector<size_t> &RI = IdxScratchA, &CI = IdxScratchB;
-    if (!toIndices(RowIdx, Base.rows(), RI, E.loc()) ||
-        !toIndices(ColIdx, Base.cols(), CI, E.loc()))
-      return Value();
-    Value Result(RI.size(), CI.size());
-    const double *BaseD = Base.raw();
-    double *ResultD = Result.mutableRaw();
-    size_t BaseRows = Base.rows();
-    for (size_t C = 0; C != CI.size(); ++C)
-      for (size_t R = 0; R != RI.size(); ++R)
-        ResultD[C * RI.size() + R] = BaseD[CI[C] * BaseRows + RI[R]];
-    Result.setLogical(Base.isLogical());
-    return Result;
+    return indexRead2(Base, RowIdx, ColIdx, E.loc());
   }
 
   fail(E.loc(), "N-dimensional indexing is not supported");
   return Value();
+}
+
+void Interpreter::indexWriteAll(Value &Target, const Value &RHS,
+                                SourceLoc Loc) {
+  // A(:) = B requires matching element count or scalar B.
+  if (RHS.isScalar()) {
+    double Fill = RHS.scalarValue();
+    double *TD = Target.mutableRaw();
+    for (size_t I = 0, E = Target.numel(); I != E; ++I)
+      TD[I] = Fill;
+    return;
+  }
+  if (RHS.numel() != Target.numel()) {
+    fail(Loc, "A(:) assignment requires matching element counts");
+    return;
+  }
+  const double *RD = RHS.raw();
+  double *TD = Target.mutableRaw();
+  for (size_t I = 0, E = Target.numel(); I != E; ++I)
+    TD[I] = RD[I];
+}
+
+void Interpreter::indexWrite1(Value &Target, const Value &Idx,
+                              const Value &RHS, SourceLoc Loc) {
+  if (Idx.isLogical()) {
+    std::vector<size_t> &Indices = IdxScratchA;
+    if (!toIndices(Idx, Target.numel(), Indices, Loc))
+      return;
+    if (!RHS.isScalar() && RHS.numel() != Indices.size()) {
+      fail(Loc, "masked assignment size mismatch");
+      return;
+    }
+    double *TD = Target.mutableRaw();
+    for (size_t I = 0; I != Indices.size(); ++I)
+      TD[Indices[I]] = RHS.isScalar() ? RHS.scalarValue() : RHS.linear(I);
+    return;
+  }
+  // Determine whether growth is needed and legal.
+  double MaxIdx = 0;
+  for (size_t I = 0, E = Idx.numel(); I != E; ++I)
+    MaxIdx = std::fmax(MaxIdx, Idx.linear(I));
+  if (MaxIdx > static_cast<double>(Target.numel())) {
+    auto Needed = static_cast<size_t>(MaxIdx);
+    if (Target.rows() == 0 && Target.cols() <= 1) {
+      // x(5) = v on a 0x0 x yields a row vector, unless the index
+      // values come as a column. A 0x1 empty takes the same path:
+      // element-at-a-time growth necessarily passes through a 1x1
+      // value (which then widens into a row), so slice growth must
+      // agree or the two orders of writing the same elements would
+      // produce different shapes. Degenerate empties with a wider
+      // dimension (e.g. zeros(7,0)) are matrices and fall through to
+      // the growth error below, as in MATLAB.
+      if (Idx.isColumn() && Idx.numel() > 1)
+        Target.growTo(Needed, 1);
+      else
+        Target.growTo(1, Needed);
+    } else if (Target.rows() == 1) {
+      Target.growTo(1, Needed);
+    } else if (Target.cols() == 1) {
+      Target.growTo(Needed, 1);
+    } else {
+      fail(Loc, "linear indexed assignment cannot grow a matrix");
+      return;
+    }
+  }
+  std::vector<size_t> &Indices = IdxScratchA;
+  if (!toIndices(Idx, Target.numel(), Indices, Loc))
+    return;
+  if (!RHS.isScalar() && RHS.numel() != Indices.size()) {
+    fail(Loc, "indexed assignment size mismatch");
+    return;
+  }
+  double *TD = Target.mutableRaw();
+  for (size_t I = 0; I != Indices.size(); ++I)
+    TD[Indices[I]] = RHS.isScalar() ? RHS.scalarValue() : RHS.linear(I);
+}
+
+void Interpreter::indexWrite2(Value &Target, const Value &RowIdx,
+                              const Value &ColIdx, const Value &RHS,
+                              SourceLoc Loc) {
+  double MaxRow = 0, MaxCol = 0;
+  for (size_t I = 0, E = RowIdx.numel(); I != E; ++I)
+    MaxRow = std::fmax(MaxRow, RowIdx.linear(I));
+  for (size_t I = 0, E = ColIdx.numel(); I != E; ++I)
+    MaxCol = std::fmax(MaxCol, ColIdx.linear(I));
+  if (MaxRow > static_cast<double>(Target.rows()) ||
+      MaxCol > static_cast<double>(Target.cols()))
+    Target.growTo(static_cast<size_t>(std::fmax(
+                      MaxRow, static_cast<double>(Target.rows()))),
+                  static_cast<size_t>(std::fmax(
+                      MaxCol, static_cast<double>(Target.cols()))));
+  std::vector<size_t> &RI = IdxScratchA, &CI = IdxScratchB;
+  if (!toIndices(RowIdx, Target.rows(), RI, Loc) ||
+      !toIndices(ColIdx, Target.cols(), CI, Loc))
+    return;
+  if (!RHS.isScalar() && RHS.numel() != RI.size() * CI.size()) {
+    fail(Loc, "indexed assignment size mismatch");
+    return;
+  }
+  double *TD = Target.mutableRaw();
+  size_t TargetRows = Target.rows();
+  size_t Flat = 0;
+  for (size_t C = 0; C != CI.size(); ++C)
+    for (size_t R = 0; R != RI.size(); ++R) {
+      TD[CI[C] * TargetRows + RI[R]] =
+          RHS.isScalar() ? RHS.scalarValue() : RHS.linear(Flat);
+      ++Flat;
+    }
 }
 
 void Interpreter::writeIndexed(Value &Target, const IndexExpr &LHS,
@@ -856,79 +992,13 @@ void Interpreter::writeIndexed(Value &Target, const IndexExpr &LHS,
 
   if (LHS.numArgs() == 1) {
     if (isa<MagicColonExpr>(LHS.arg(0))) {
-      // A(:) = B requires matching element count or scalar B.
-      if (RHS.isScalar()) {
-        double Fill = RHS.scalarValue();
-        double *TD = Target.mutableRaw();
-        for (size_t I = 0, E = Target.numel(); I != E; ++I)
-          TD[I] = Fill;
-        return;
-      }
-      if (RHS.numel() != Target.numel()) {
-        fail(LHS.loc(), "A(:) assignment requires matching element counts");
-        return;
-      }
-      const double *RD = RHS.raw();
-      double *TD = Target.mutableRaw();
-      for (size_t I = 0, E = Target.numel(); I != E; ++I)
-        TD[I] = RD[I];
+      indexWriteAll(Target, RHS, LHS.loc());
       return;
     }
     Value Idx = evalSubscript(*LHS.arg(0), Target.numel());
     if (Failed)
       return;
-    if (Idx.isLogical()) {
-      std::vector<size_t> &Indices = IdxScratchA;
-      if (!toIndices(Idx, Target.numel(), Indices, LHS.loc()))
-        return;
-      if (!RHS.isScalar() && RHS.numel() != Indices.size()) {
-        fail(LHS.loc(), "masked assignment size mismatch");
-        return;
-      }
-      double *TD = Target.mutableRaw();
-      for (size_t I = 0; I != Indices.size(); ++I)
-        TD[Indices[I]] = RHS.isScalar() ? RHS.scalarValue() : RHS.linear(I);
-      return;
-    }
-    // Determine whether growth is needed and legal.
-    double MaxIdx = 0;
-    for (size_t I = 0, E = Idx.numel(); I != E; ++I)
-      MaxIdx = std::fmax(MaxIdx, Idx.linear(I));
-    if (MaxIdx > static_cast<double>(Target.numel())) {
-      auto Needed = static_cast<size_t>(MaxIdx);
-      if (Target.rows() == 0 && Target.cols() <= 1) {
-        // x(5) = v on a 0x0 x yields a row vector, unless the index
-        // values come as a column. A 0x1 empty takes the same path:
-        // element-at-a-time growth necessarily passes through a 1x1
-        // value (which then widens into a row), so slice growth must
-        // agree or the two orders of writing the same elements would
-        // produce different shapes. Degenerate empties with a wider
-        // dimension (e.g. zeros(7,0)) are matrices and fall through to
-        // the growth error below, as in MATLAB.
-        if (Idx.isColumn() && Idx.numel() > 1)
-          Target.growTo(Needed, 1);
-        else
-          Target.growTo(1, Needed);
-      } else if (Target.rows() == 1) {
-        Target.growTo(1, Needed);
-      } else if (Target.cols() == 1) {
-        Target.growTo(Needed, 1);
-      } else {
-        fail(LHS.loc(),
-             "linear indexed assignment cannot grow a matrix");
-        return;
-      }
-    }
-    std::vector<size_t> &Indices = IdxScratchA;
-    if (!toIndices(Idx, Target.numel(), Indices, LHS.loc()))
-      return;
-    if (!RHS.isScalar() && RHS.numel() != Indices.size()) {
-      fail(LHS.loc(), "indexed assignment size mismatch");
-      return;
-    }
-    double *TD = Target.mutableRaw();
-    for (size_t I = 0; I != Indices.size(); ++I)
-      TD[Indices[I]] = RHS.isScalar() ? RHS.scalarValue() : RHS.linear(I);
+    indexWrite1(Target, Idx, RHS, LHS.loc());
     return;
   }
 
@@ -937,34 +1007,7 @@ void Interpreter::writeIndexed(Value &Target, const IndexExpr &LHS,
     Value ColIdx = evalSubscript(*LHS.arg(1), Target.cols());
     if (Failed)
       return;
-    double MaxRow = 0, MaxCol = 0;
-    for (size_t I = 0, E = RowIdx.numel(); I != E; ++I)
-      MaxRow = std::fmax(MaxRow, RowIdx.linear(I));
-    for (size_t I = 0, E = ColIdx.numel(); I != E; ++I)
-      MaxCol = std::fmax(MaxCol, ColIdx.linear(I));
-    if (MaxRow > static_cast<double>(Target.rows()) ||
-        MaxCol > static_cast<double>(Target.cols()))
-      Target.growTo(static_cast<size_t>(std::fmax(
-                        MaxRow, static_cast<double>(Target.rows()))),
-                    static_cast<size_t>(std::fmax(
-                        MaxCol, static_cast<double>(Target.cols()))));
-    std::vector<size_t> &RI = IdxScratchA, &CI = IdxScratchB;
-    if (!toIndices(RowIdx, Target.rows(), RI, LHS.loc()) ||
-        !toIndices(ColIdx, Target.cols(), CI, LHS.loc()))
-      return;
-    if (!RHS.isScalar() && RHS.numel() != RI.size() * CI.size()) {
-      fail(LHS.loc(), "indexed assignment size mismatch");
-      return;
-    }
-    double *TD = Target.mutableRaw();
-    size_t TargetRows = Target.rows();
-    size_t Flat = 0;
-    for (size_t C = 0; C != CI.size(); ++C)
-      for (size_t R = 0; R != RI.size(); ++R) {
-        TD[CI[C] * TargetRows + RI[R]] =
-            RHS.isScalar() ? RHS.scalarValue() : RHS.linear(Flat);
-        ++Flat;
-      }
+    indexWrite2(Target, RowIdx, ColIdx, RHS, LHS.loc());
     return;
   }
 

@@ -133,6 +133,109 @@ public:
     SlotCaps.clear();
   }
 
+  //===--------------------------------------------------------------------===//
+  // Execution-engine support
+  //
+  // The bytecode VM (src/vm) executes *through* a host Interpreter: it
+  // shares the workspace, the kernel buffer pool, the RNG, the output
+  // buffer, the error/interrupt state, and the per-statement accounting
+  // below, so both engines observe byte-identical semantics by
+  // construction. The tree-walker itself is rewired through the same
+  // primitives.
+  //===--------------------------------------------------------------------===//
+
+  Workspace &env() { return Env; }
+  OpWorkspace &pool() { return Pool; }
+
+  /// Samples the thread's fault-injection context and arms the in-kernel
+  /// poll hook, exactly as run() does for the tree-walker. An engine must
+  /// pair this with engineEnd(), including on unwind.
+  void engineBegin();
+  void engineEnd();
+
+  /// Per-statement accounting: counts the step, enforces the step limit at
+  /// the exact overflowing statement, and amortizes the fault/cancel/
+  /// deadline polls over 16 statements. Returns true when execution must
+  /// stop (the interpreter is then in the failed state).
+  bool stmtStep(SourceLoc Loc) {
+    ++Steps;
+    if (StepLimit != 0 && Steps > StepLimit) {
+      Interrupt = InterruptKind::StepLimit;
+      fail(Loc, "execution step limit exceeded");
+      return true;
+    }
+    if ((Steps & 0xF) == 0)
+      return stmtPoll(Loc);
+    return false;
+  }
+
+  /// Deferred accumulator reserve hints (see execFor). Engines record the
+  /// watermark at loop entry and restore it on loop exit and on unwind.
+  size_t pendingHintCount() const { return PendingHints.size(); }
+  void restorePendingHints(size_t Watermark) { PendingHints.resize(Watermark); }
+  /// Records a reserve hint for \p Slot: applied immediately when the slot
+  /// is defined, deferred to its creating assignment otherwise.
+  void noteHintForSlot(unsigned Slot, size_t NumIters) {
+    if (Env.isDefined(Slot))
+      Env.slotValue(Slot).reserveHint(NumIters);
+    else
+      PendingHints.emplace_back(Slot, NumIters);
+  }
+
+  /// Indexed-assignment target: marks the slot defined (empty value if
+  /// new) and applies any pending reserve hint, exactly as execAssign
+  /// does before writeIndexed.
+  Value &defineSlotRef(unsigned Slot) {
+    Value &Target = Env.defineRef(Slot);
+    if (!PendingHints.empty())
+      applyPendingHint(Slot, Target);
+    return Target;
+  }
+
+  /// Enforces a registered shape cap after an assignment to \p Slot.
+  /// Inline guard: assignments are the hottest statement kind and almost
+  /// no run registers caps, so the empty case must not cost a call.
+  void checkShapeCap(unsigned Slot, SourceLoc Loc) {
+    if (ShapeCaps.empty() || Failed)
+      return;
+    checkShapeCapSlow(Slot, Loc);
+  }
+  /// True when any shape caps are registered (a capless assignment can
+  /// never enter the failed state).
+  bool hasShapeCaps() const { return !ShapeCaps.empty(); }
+
+  // AST-free evaluation primitives shared by both engines. Each reports
+  // errors via fail() at the caller-supplied location with the exact
+  // tree-walker messages; on failure the returned value is empty.
+  Value applyBinary(BinaryOp Op, const Value &LHS, const Value &RHS,
+                    SourceLoc Loc);
+  /// (A .* B) +/- C with the fused-kernel gate and the exact two-step
+  /// fallback of the tree-walker. \p DotMul says the product was written
+  /// '.*' (a '*' product is elementwise only when an operand is scalar).
+  Value applyFusedMulAdd(const Value &A, const Value &B, const Value &C,
+                         bool Subtract, bool ProductOnLeft, bool DotMul,
+                         SourceLoc ELoc, SourceLoc ProdLoc);
+  /// L * B' through the packed-transpose kernel when shapes allow,
+  /// materialized transpose + applyBinary otherwise.
+  Value applyMulTransB(const Value &LHS, const Value &B, SourceLoc Loc);
+  /// Range construction with the scalar-endpoint check.
+  Value makeRangeChecked(const Value &Start, const Value &Step,
+                         const Value &Stop, SourceLoc Loc);
+  /// The 1..Extent row vector a bare ':' subscript denotes.
+  static Value makeColonVector(size_t Extent);
+
+  // Indexing cores: subscript values are already evaluated ('end' resolved,
+  // ':' materialized); these implement shape rules, growth, and writes.
+  Value indexReadAll(const Value &Base);
+  Value indexRead1(const Value &Base, const Value &Idx, SourceLoc Loc);
+  Value indexRead2(const Value &Base, const Value &RowIdx, const Value &ColIdx,
+                   SourceLoc Loc);
+  void indexWriteAll(Value &Target, const Value &RHS, SourceLoc Loc);
+  void indexWrite1(Value &Target, const Value &Idx, const Value &RHS,
+                   SourceLoc Loc);
+  void indexWrite2(Value &Target, const Value &RowIdx, const Value &ColIdx,
+                   const Value &RHS, SourceLoc Loc);
+
 private:
   enum class Flow { Normal, Break, Continue, Return };
 
@@ -267,8 +370,12 @@ private:
   Value readIndexed(const Value &Base, const IndexExpr &E);
   void writeIndexed(Value &Target, const IndexExpr &LHS, const Value &RHS);
 
-  /// Enforces a registered shape cap after an assignment to \p Slot.
-  void checkShapeCap(unsigned Slot, SourceLoc Loc);
+  /// The amortized slice of stmtStep: fault injection plus the cancel/
+  /// deadline poll, run every 16 statements.
+  bool stmtPoll(SourceLoc Loc);
+
+  /// The caps-registered tail of checkShapeCap.
+  void checkShapeCapSlow(unsigned Slot, SourceLoc Loc);
 
   /// Records capacity hints for top-level A(i) = ... accumulators of a
   /// loop with \p NumIters iterations; applied when the target variable

@@ -13,17 +13,6 @@
 
 using namespace mvec;
 
-void LatencyHistogram::record(double Seconds) {
-  double Micros = std::max(Seconds, 0.0) * 1e6;
-  auto Us = static_cast<uint64_t>(Micros);
-  size_t B = 0;
-  while (B + 1 < NumBuckets && (uint64_t(1) << (B + 1)) <= (Us | 1))
-    ++B;
-  Buckets[B].fetch_add(1, std::memory_order_relaxed);
-  Count.fetch_add(1, std::memory_order_relaxed);
-  SumUs.fetch_add(Us, std::memory_order_relaxed);
-}
-
 double LatencyHistogram::meanSeconds() const {
   uint64_t N = count();
   return N == 0 ? 0.0 : double(sumMicros()) / double(N) * 1e-6;
@@ -95,11 +84,15 @@ std::string ServiceMetrics::text() const {
       << " misses=" << CacheMisses.load()
       << " disk_hits=" << DiskHits.load()
       << " disk_misses=" << DiskMisses.load() << "\n"
-      << "  queue: depth_high_water=" << QueueDepthHighWater.load() << "\n";
+      << "  queue: depth_high_water=" << QueueDepthHighWater.load() << "\n"
+      << "  compile: bytecode_compiles=" << BytecodeCompiles.load()
+      << " code_cache_hits=" << CodeCacheHits.load()
+      << " code_cache_misses=" << CodeCacheMisses.load() << "\n";
   appendHistText(Out, "queue", QueueLatency);
   appendHistText(Out, "vectorize", VectorizeLatency);
   appendHistText(Out, "validate", ValidateLatency);
   appendHistText(Out, "total", TotalLatency);
+  appendHistText(Out, "compile", CompileLatency);
   return Out.str();
 }
 
@@ -118,6 +111,9 @@ std::string ServiceMetrics::json() const {
       << ",\"disk_hits\":" << DiskHits.load()
       << ",\"disk_misses\":" << DiskMisses.load() << "},"
       << "\"queue\":{\"depth_high_water\":" << QueueDepthHighWater.load()
+      << "},\"compile\":{\"bytecode_compiles\":" << BytecodeCompiles.load()
+      << ",\"code_cache_hits\":" << CodeCacheHits.load()
+      << ",\"code_cache_misses\":" << CodeCacheMisses.load()
       << "},\"latency\":{";
   appendHistJson(Out, "queue", QueueLatency);
   Out << ",";
@@ -126,6 +122,8 @@ std::string ServiceMetrics::json() const {
   appendHistJson(Out, "validate", ValidateLatency);
   Out << ",";
   appendHistJson(Out, "total", TotalLatency);
+  Out << ",";
+  appendHistJson(Out, "compile", CompileLatency);
   Out << "}}";
   return Out.str();
 }

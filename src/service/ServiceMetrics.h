@@ -15,6 +15,7 @@
 #ifndef MVEC_SERVICE_SERVICEMETRICS_H
 #define MVEC_SERVICE_SERVICEMETRICS_H
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -29,7 +30,18 @@ class LatencyHistogram {
 public:
   static constexpr size_t NumBuckets = 26;
 
-  void record(double Seconds);
+  // Inline so recorders outside the service library (the vm CodeCache)
+  // need only this header.
+  void record(double Seconds) {
+    double Micros = std::max(Seconds, 0.0) * 1e6;
+    auto Us = static_cast<uint64_t>(Micros);
+    size_t B = 0;
+    while (B + 1 < NumBuckets && (uint64_t(1) << (B + 1)) <= (Us | 1))
+      ++B;
+    Buckets[B].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    SumUs.fetch_add(Us, std::memory_order_relaxed);
+  }
 
   uint64_t count() const { return Count.load(std::memory_order_relaxed); }
   /// Total observed time in microseconds.
@@ -70,11 +82,17 @@ struct ServiceMetrics {
   std::atomic<uint64_t> DiskMisses{0};
   /// Deepest the submission queue has ever been.
   std::atomic<uint64_t> QueueDepthHighWater{0};
+  /// Compiled-execution tier: programs lowered to bytecode, and
+  /// CodeCache hits (memory or persisted) vs misses (had to lower).
+  std::atomic<uint64_t> BytecodeCompiles{0};
+  std::atomic<uint64_t> CodeCacheHits{0};
+  std::atomic<uint64_t> CodeCacheMisses{0};
 
   LatencyHistogram QueueLatency;     ///< submission -> worker pickup
   LatencyHistogram VectorizeLatency; ///< parse+infer+vectorize stage
   LatencyHistogram ValidateLatency;  ///< differential validation stage
   LatencyHistogram TotalLatency;     ///< submission -> completion
+  LatencyHistogram CompileLatency;   ///< AST -> bytecode lowering
 
   uint64_t jobsCompleted() const {
     return JobsSucceeded.load(std::memory_order_relaxed) +

@@ -8,6 +8,8 @@
 
 #include "driver/Pipeline.h"
 #include "resilience/ResourceGovernor.h"
+#include "support/ContentHash.h"
+#include "vm/CodeCache.h"
 
 #include <optional>
 #include <thread>
@@ -50,6 +52,9 @@ VectorizationService::VectorizationService(ServiceConfig Config)
     OwnedDB.freeze();
     DB = &OwnedDB;
   }
+  if (Config.Engine == ExecEngine::Vm)
+    Code = std::make_unique<vm::CodeCache>(Config.CodeCacheCapacity,
+                                           Config.Store, &Metrics);
   Pool = std::make_unique<ThreadPool>(Config.Workers, Config.QueueCapacity);
 }
 
@@ -134,6 +139,10 @@ JobResult VectorizationService::processJob(const JobSpec &Spec,
   // same schedule for the same job, which is what makes campaign failures
   // reproducible in isolation.
   uint64_t Key = cacheKeyFor(Spec);
+  // Engine-salted: a validation verdict from one execution tier must
+  // never be served as the other's (neither from memory nor from disk).
+  if (Config.Engine == ExecEngine::Vm)
+    Key = fnv1aMix(0x564d, Key);
   if (CancelRequested.load(std::memory_order_relaxed)) {
     R.Name = Spec.Name;
     R.Status = JobStatus::Cancelled;
@@ -323,6 +332,8 @@ JobResult VectorizationService::executeUncached(const JobSpec &Spec,
   Limits.Cancel = &CancelRequested;
   Limits.MaxSteps = Spec.MaxSteps;
   Limits.CheckAnnotations = Spec.CheckAnnotations;
+  Limits.Engine = Config.Engine;
+  Limits.Code = Code.get();
 
   // One malformed (or downright hostile) script must never take the
   // worker — or the batch — down with it: every failure mode folds into

@@ -23,6 +23,7 @@
 #ifndef MVEC_SERVICE_VECTORIZATIONSERVICE_H
 #define MVEC_SERVICE_VECTORIZATIONSERVICE_H
 
+#include "driver/Pipeline.h"
 #include "patterns/PatternDatabase.h"
 #include "resilience/CircuitBreaker.h"
 #include "resilience/FaultInjection.h"
@@ -71,6 +72,16 @@ struct ServiceConfig {
   /// outlive the service. Testing/chaos-campaign hook; never set in
   /// production configurations.
   const FaultPlan *Faults = nullptr;
+  /// Execution tier for the differential-validation runs: the classic
+  /// tree-walker, or the register-bytecode VM (src/vm). Result-cache keys
+  /// are salted with the engine so a verdict produced by one tier is
+  /// never served as the other's.
+  ExecEngine Engine = ExecEngine::Ast;
+  /// Compiled-program (bytecode) cache entries when Engine == Vm; 0
+  /// disables the memory tier. The cache writes serialized programs
+  /// through to Store (when wired), so a restarted daemon re-executes
+  /// warm scripts without re-lowering them.
+  size_t CodeCacheCapacity = 64;
 };
 
 class VectorizationService {
@@ -106,6 +117,8 @@ public:
   const ServiceMetrics &metrics() const { return Metrics; }
   const ContentCache &cache() const { return Cache; }
   const NestCache &nestCache() const { return NCache; }
+  /// Null unless the service runs the Vm engine.
+  const vm::CodeCache *codeCache() const { return Code.get(); }
 
 private:
   JobResult processJob(const JobSpec &Spec,
@@ -127,6 +140,9 @@ private:
   /// Nest-level outcome cache shared by every worker (internally
   /// synchronized).
   NestCache NCache;
+  /// Compiled-bytecode cache (built only for the Vm engine; internally
+  /// synchronized, shared by every worker).
+  std::unique_ptr<vm::CodeCache> Code;
   ServiceMetrics Metrics;
   /// Service-wide breaker fed by internal/resource failures; open sheds
   /// new attempts into immediate degraded results.

@@ -1,0 +1,496 @@
+//===- Serialize.cpp - Bytecode (de)serialization and disassembly ---------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Serialize.h"
+
+#include "frontend/AST.h"
+#include "support/ContentHash.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace mvec;
+using namespace mvec::vm;
+
+//===----------------------------------------------------------------------===//
+// Cache key
+//===----------------------------------------------------------------------===//
+
+uint64_t vm::codeKeyFor(const std::string &Source) {
+  return fnv1aMix(kBytecodeFormatVersion, fnv1aHash(Source));
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'V', 'B', 'C'};
+
+// Size sanity caps: far above anything the compiler produces, low enough
+// that a corrupt length field cannot drive a giant allocation.
+constexpr uint32_t kMaxPoolEntries = 1u << 22;
+constexpr uint32_t kMaxStringBytes = 1u << 20;
+constexpr uint32_t kMaxRegs = 1u << 20;
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putI32(std::string &Out, int32_t V) { putU32(Out, static_cast<uint32_t>(V)); }
+
+void putStr(std::string &Out, const std::string &S) {
+  putU32(Out, static_cast<uint32_t>(S.size()));
+  Out.append(S);
+}
+
+struct Reader {
+  const std::string &Bytes;
+  size_t Pos = 0;
+  bool Ok = true;
+
+  bool take(void *Dst, size_t N) {
+    if (!Ok || Bytes.size() - Pos < N) {
+      Ok = false;
+      return false;
+    }
+    std::memcpy(Dst, Bytes.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+
+  uint32_t u32() {
+    unsigned char B[4] = {};
+    take(B, 4);
+    return static_cast<uint32_t>(B[0]) | (static_cast<uint32_t>(B[1]) << 8) |
+           (static_cast<uint32_t>(B[2]) << 16) |
+           (static_cast<uint32_t>(B[3]) << 24);
+  }
+
+  uint64_t u64() {
+    uint64_t Lo = u32(), Hi = u32();
+    return Lo | (Hi << 32);
+  }
+
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+
+  uint8_t u8() {
+    unsigned char B = 0;
+    take(&B, 1);
+    return B;
+  }
+
+  std::string str() {
+    uint32_t N = u32();
+    if (!Ok || N > kMaxStringBytes || Bytes.size() - Pos < N) {
+      Ok = false;
+      return std::string();
+    }
+    std::string S(Bytes.data() + Pos, N);
+    Pos += N;
+    return S;
+  }
+};
+
+} // namespace
+
+std::string vm::serializeProgram(const CompiledProgram &P) {
+  std::string Out;
+  Out.append(kMagic, sizeof(kMagic));
+  putU32(Out, kBytecodeFormatVersion);
+  putU64(Out, P.SourceHash);
+  putU32(Out, static_cast<uint32_t>(P.Constants.size()));
+  for (double C : P.Constants) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &C, sizeof(Bits));
+    putU64(Out, Bits);
+  }
+  putU32(Out, static_cast<uint32_t>(P.Strings.size()));
+  for (const std::string &S : P.Strings)
+    putStr(Out, S);
+  putU32(Out, static_cast<uint32_t>(P.VarNames.size()));
+  for (const std::string &S : P.VarNames)
+    putStr(Out, S);
+  putU32(Out, static_cast<uint32_t>(P.ForInfos.size()));
+  for (const ForInfo &FI : P.ForInfos) {
+    putI32(Out, FI.IdxVar);
+    putU32(Out, static_cast<uint32_t>(FI.HintVars.size()));
+    for (int32_t H : FI.HintVars)
+      putI32(Out, H);
+  }
+  putU32(Out, P.NumRegs);
+  putU32(Out, static_cast<uint32_t>(P.Instrs.size()));
+  for (const Instr &I : P.Instrs) {
+    Out.push_back(static_cast<char>(I.Opcode));
+    Out.push_back(static_cast<char>(I.Flags));
+    putI32(Out, I.A);
+    putI32(Out, I.B);
+    putI32(Out, I.C);
+    putI32(Out, I.D);
+    putU32(Out, I.Loc.Line);
+    putU32(Out, I.Loc.Col);
+    putU32(Out, I.Loc2.Line);
+    putU32(Out, I.Loc2.Col);
+  }
+  return Out;
+}
+
+std::optional<CompiledProgram> vm::deserializeProgram(const std::string &Bytes) {
+  Reader R{Bytes};
+  char Magic[4] = {};
+  if (!R.take(Magic, 4) || std::memcmp(Magic, kMagic, 4) != 0)
+    return std::nullopt;
+  if (R.u32() != kBytecodeFormatVersion)
+    return std::nullopt;
+
+  CompiledProgram P;
+  P.SourceHash = R.u64();
+
+  uint32_t NumConsts = R.u32();
+  if (!R.Ok || NumConsts > kMaxPoolEntries)
+    return std::nullopt;
+  P.Constants.reserve(NumConsts);
+  for (uint32_t I = 0; I != NumConsts && R.Ok; ++I) {
+    uint64_t Bits = R.u64();
+    double D;
+    std::memcpy(&D, &Bits, sizeof(D));
+    P.Constants.push_back(D);
+  }
+
+  uint32_t NumStrings = R.u32();
+  if (!R.Ok || NumStrings > kMaxPoolEntries)
+    return std::nullopt;
+  for (uint32_t I = 0; I != NumStrings && R.Ok; ++I)
+    P.Strings.push_back(R.str());
+
+  uint32_t NumVars = R.u32();
+  if (!R.Ok || NumVars > kMaxPoolEntries)
+    return std::nullopt;
+  for (uint32_t I = 0; I != NumVars && R.Ok; ++I)
+    P.VarNames.push_back(R.str());
+
+  uint32_t NumFors = R.u32();
+  if (!R.Ok || NumFors > kMaxPoolEntries)
+    return std::nullopt;
+  for (uint32_t I = 0; I != NumFors && R.Ok; ++I) {
+    ForInfo FI;
+    FI.IdxVar = R.i32();
+    uint32_t NumHints = R.u32();
+    if (!R.Ok || NumHints > kMaxPoolEntries)
+      return std::nullopt;
+    for (uint32_t H = 0; H != NumHints && R.Ok; ++H)
+      FI.HintVars.push_back(R.i32());
+    P.ForInfos.push_back(std::move(FI));
+  }
+
+  P.NumRegs = R.u32();
+  uint32_t NumInstrs = R.u32();
+  if (!R.Ok || P.NumRegs > kMaxRegs || NumInstrs > kMaxPoolEntries)
+    return std::nullopt;
+  P.Instrs.reserve(NumInstrs);
+  for (uint32_t I = 0; I != NumInstrs && R.Ok; ++I) {
+    Instr In;
+    uint8_t OpByte = R.u8();
+    if (OpByte >= kNumOps)
+      return std::nullopt;
+    In.Opcode = static_cast<Op>(OpByte);
+    In.Flags = R.u8();
+    In.A = R.i32();
+    In.B = R.i32();
+    In.C = R.i32();
+    In.D = R.i32();
+    In.Loc.Line = R.u32();
+    In.Loc.Col = R.u32();
+    In.Loc2.Line = R.u32();
+    In.Loc2.Col = R.u32();
+    P.Instrs.push_back(In);
+  }
+
+  if (!R.Ok || R.Pos != Bytes.size())
+    return std::nullopt;
+  if (!validateProgram(P).empty())
+    return std::nullopt;
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool validOperand(const CompiledProgram &P, OperandClass Cls, int32_t V,
+                  uint8_t Flags) {
+  switch (Cls) {
+  case OperandClass::None:
+    return true; // unused fields carry whatever the compiler left (zero)
+  case OperandClass::Reg:
+    return V >= 0 && static_cast<uint32_t>(V) < P.NumRegs;
+  case OperandClass::Var:
+    return V >= 0 && static_cast<size_t>(V) < P.VarNames.size();
+  case OperandClass::Const:
+    return V >= 0 && static_cast<size_t>(V) < P.Constants.size();
+  case OperandClass::Str:
+    return V >= 0 && static_cast<size_t>(V) < P.Strings.size();
+  case OperandClass::Target:
+    return V >= 0 && static_cast<size_t>(V) < P.Instrs.size();
+  case OperandClass::ForIdx:
+    return V >= 0 && static_cast<size_t>(V) < P.ForInfos.size();
+  case OperandClass::Count:
+    return V >= 0;
+  case OperandClass::BaseRC:
+    if (Flags & flags::BaseIsSlot)
+      return V >= 0 && static_cast<size_t>(V) < P.VarNames.size();
+    return V >= 0 && static_cast<uint32_t>(V) < P.NumRegs;
+  case OperandClass::DstRS:
+    if (Flags & flags::StoreToSlot)
+      return V >= 0 && static_cast<size_t>(V) < P.VarNames.size();
+    return V >= 0 && static_cast<uint32_t>(V) < P.NumRegs;
+  case OperandClass::Src:
+    if (V >= 0)
+      return static_cast<uint32_t>(V) < P.NumRegs;
+    if (V == kNoOperand)
+      return false;
+    return foldedIsConst(V)
+               ? static_cast<size_t>(foldedIndex(V)) < P.Constants.size()
+               : static_cast<size_t>(foldedIndex(V)) < P.VarNames.size();
+  case OperandClass::OptSrc:
+    return V == kNoOperand || validOperand(P, OperandClass::Src, V, Flags);
+  }
+  return false;
+}
+
+bool validFlags(Op O, uint8_t F) {
+  switch (O) {
+  case Op::JumpIfTrue:
+  case Op::JumpIfFalse:
+    return F <= flags::Release;
+  case Op::CmpJump: {
+    BinaryOp B = static_cast<BinaryOp>(F);
+    return B == BinaryOp::Lt || B == BinaryOp::Gt || B == BinaryOp::Le ||
+           B == BinaryOp::Ge || B == BinaryOp::Eq || B == BinaryOp::Ne;
+  }
+  case Op::Binary:
+    return (F & ~flags::StoreToSlot) <= static_cast<uint8_t>(BinaryOp::OrOr);
+  case Op::FusedMulAdd:
+    return (F & ~flags::StoreToSlot) <=
+           (flags::FmaSubtract | flags::FmaProductOnLeft | flags::FmaDotMul);
+  case Op::LoadExtent:
+  case Op::MakeColon:
+    return (F & flags::DimMask) != flags::DimMask &&
+           F <= (flags::DimMask | flags::BaseIsSlot);
+  case Op::IndexReadAll:
+  case Op::IndexRead1:
+  case Op::IndexRead2:
+    return (F & ~flags::BaseIsSlot) == 0;
+  case Op::CallBuiltin:
+    return true; // flags carry the argument-scratch depth
+  default:
+    return F == 0;
+  }
+}
+
+} // namespace
+
+std::string vm::validateProgram(const CompiledProgram &P) {
+  if (P.Instrs.empty())
+    return "empty instruction stream";
+  if (P.Instrs.back().Opcode != Op::Halt)
+    return "missing trailing Halt";
+  for (size_t I = 0, E = P.Instrs.size(); I != E; ++I) {
+    const Instr &In = P.Instrs[I];
+    const OpInfo &Info = opInfo(In.Opcode);
+    std::string Where =
+        "instr " + std::to_string(I) + " (" + std::string(Info.Name) + "): ";
+    if (!validFlags(In.Opcode, In.Flags))
+      return Where + "bad flags";
+    if (!validOperand(P, Info.A, In.A, In.Flags))
+      return Where + "bad operand A";
+    if (!validOperand(P, Info.B, In.B, In.Flags))
+      return Where + "bad operand B";
+    if (!validOperand(P, Info.C, In.C, In.Flags))
+      return Where + "bad operand C";
+    if (!validOperand(P, Info.D, In.D, In.Flags))
+      return Where + "bad operand D";
+    if (In.Opcode == Op::CallBuiltin &&
+        (In.D < 0 ||
+         static_cast<uint64_t>(In.C) + static_cast<uint64_t>(In.D) > P.NumRegs))
+      return Where + "argument window out of range";
+    if (In.Opcode == Op::ForNext || In.Opcode == Op::ForPrep) {
+      const ForInfo &FI = P.ForInfos[In.B];
+      if (FI.IdxVar < 0 || static_cast<size_t>(FI.IdxVar) >= P.VarNames.size())
+        return Where + "bad loop variable";
+      for (int32_t H : FI.HintVars)
+        if (H < 0 || static_cast<size_t>(H) >= P.VarNames.size())
+          return Where + "bad hint variable";
+    }
+  }
+  return std::string();
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembly
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *binaryOpName(uint8_t F) {
+  static const char *Names[] = {"Add", "Sub",    "Mul",    "Div",  "Pow",
+                                "DotMul", "DotDiv", "DotPow", "Lt",   "Gt",
+                                "Le",  "Ge",     "Eq",     "Ne",   "And",
+                                "Or",  "AndAnd", "OrOr"};
+  return F < sizeof(Names) / sizeof(Names[0]) ? Names[F] : "?";
+}
+
+const char *dimName(uint8_t F) {
+  switch (F & flags::DimMask) {
+  case flags::DimRows:
+    return "rows";
+  case flags::DimCols:
+    return "cols";
+  default:
+    return "numel";
+  }
+}
+
+void renderOperand(std::string &Out, const CompiledProgram &P,
+                   OperandClass Cls, int32_t V, uint8_t Flags, bool &First) {
+  if (Cls == OperandClass::None)
+    return;
+  Out += First ? " " : ", ";
+  First = false;
+  switch (Cls) {
+  case OperandClass::Reg:
+    Out += "r" + std::to_string(V);
+    break;
+  case OperandClass::Src:
+  case OperandClass::OptSrc:
+    if (V == kNoOperand) {
+      Out += "one";
+    } else if (V >= 0) {
+      Out += "r" + std::to_string(V);
+    } else if (foldedIsConst(V)) {
+      char Buf[40];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", P.Constants[foldedIndex(V)]);
+      Out += "c" + std::to_string(foldedIndex(V)) + "=" + Buf;
+    } else {
+      Out += "v" + std::to_string(foldedIndex(V)) + ":" +
+             P.VarNames[foldedIndex(V)];
+    }
+    break;
+  case OperandClass::Var:
+    Out += "v" + std::to_string(V) + ":" + P.VarNames[V];
+    break;
+  case OperandClass::Const: {
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", P.Constants[V]);
+    Out += "c" + std::to_string(V) + "=" + Buf;
+    break;
+  }
+  case OperandClass::Str:
+    Out += "s" + std::to_string(V) + "=\"" + P.Strings[V] + "\"";
+    break;
+  case OperandClass::Target:
+    Out += "->" + std::to_string(V);
+    break;
+  case OperandClass::ForIdx:
+    Out += "f" + std::to_string(V) + ":" + P.VarNames[P.ForInfos[V].IdxVar];
+    break;
+  case OperandClass::Count:
+    Out += "#" + std::to_string(V);
+    break;
+  case OperandClass::BaseRC:
+    if (Flags & flags::BaseIsSlot)
+      Out += "v" + std::to_string(V) + ":" + P.VarNames[V];
+    else
+      Out += "r" + std::to_string(V);
+    break;
+  case OperandClass::DstRS:
+    if (Flags & flags::StoreToSlot)
+      Out += "v" + std::to_string(V) + ":" + P.VarNames[V];
+    else
+      Out += "r" + std::to_string(V);
+    break;
+  case OperandClass::None:
+    break;
+  }
+}
+
+} // namespace
+
+std::string vm::disassemble(const CompiledProgram &P) {
+  std::string Out;
+  Out += "; regs=" + std::to_string(P.NumRegs) +
+         " consts=" + std::to_string(P.Constants.size()) +
+         " strings=" + std::to_string(P.Strings.size()) +
+         " vars=" + std::to_string(P.VarNames.size()) +
+         " loops=" + std::to_string(P.ForInfos.size()) +
+         " instrs=" + std::to_string(P.Instrs.size()) + "\n";
+  for (size_t I = 0, E = P.Instrs.size(); I != E; ++I) {
+    const Instr &In = P.Instrs[I];
+    const OpInfo &Info = opInfo(In.Opcode);
+    char Head[32];
+    std::snprintf(Head, sizeof(Head), "%4zu  %-13s", I, Info.Name);
+    Out += Head;
+    bool First = true;
+    renderOperand(Out, P, Info.A, In.A, In.Flags, First);
+    renderOperand(Out, P, Info.B, In.B, In.Flags, First);
+    renderOperand(Out, P, Info.C, In.C, In.Flags, First);
+    renderOperand(Out, P, Info.D, In.D, In.Flags, First);
+    switch (In.Opcode) {
+    case Op::Binary:
+    case Op::CmpJump:
+      Out += " [";
+      Out += binaryOpName(In.Flags & ~flags::StoreToSlot);
+      if (In.Flags & flags::StoreToSlot)
+        Out += ",store";
+      Out += "]";
+      break;
+    case Op::FusedMulAdd:
+      Out += " [";
+      Out += (In.Flags & flags::FmaSubtract) ? "sub" : "add";
+      Out += (In.Flags & flags::FmaProductOnLeft) ? ",prod-left" : ",prod-right";
+      if (In.Flags & flags::FmaDotMul)
+        Out += ",dotmul";
+      if (In.Flags & flags::StoreToSlot)
+        Out += ",store";
+      Out += "]";
+      break;
+    case Op::LoadExtent:
+    case Op::MakeColon:
+      Out += " [";
+      Out += dimName(In.Flags);
+      Out += "]";
+      break;
+    case Op::JumpIfTrue:
+    case Op::JumpIfFalse:
+      if (In.Flags & flags::Release)
+        Out += " [release]";
+      break;
+    case Op::CallBuiltin:
+      if (In.Flags)
+        Out += " [depth=" + std::to_string(In.Flags) + "]";
+      break;
+    default:
+      break;
+    }
+    if (In.Loc.isValid())
+      Out += " @" + std::to_string(In.Loc.Line) + ":" +
+             std::to_string(In.Loc.Col);
+    if (In.Loc2.isValid())
+      Out += " /@" + std::to_string(In.Loc2.Line) + ":" +
+             std::to_string(In.Loc2.Col);
+    Out += "\n";
+  }
+  return Out;
+}

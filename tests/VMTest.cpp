@@ -1,0 +1,598 @@
+//===- VMTest.cpp - Bytecode tier tests -----------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mvec::vm contract, pinned: golden disassembly for representative
+/// lowerings (superinstructions included), deterministic compilation
+/// (same source, same bytes, same content key), serialize/deserialize
+/// fidelity with corrupt inputs rejected, byte-identical engine parity
+/// against the tree-walker (values, errors, interrupts, governor
+/// charges), and the CodeCache's LRU + disk-store tiers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "resilience/ResourceGovernor.h"
+#include "service/ResultStore.h"
+#include "vm/CodeCache.h"
+#include "vm/Compiler.h"
+#include "vm/Serialize.h"
+#include "vm/VM.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <sstream>
+
+using namespace mvec;
+
+namespace {
+
+vm::CompiledProgram compile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return vm::compileProgram(R.Prog, Source);
+}
+
+/// Strips trailing blanks per line so golden pins stay readable (the
+/// disassembler pads the mnemonic column even when no operands follow).
+std::string stripTrailing(const std::string &Text) {
+  std::string Out;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t E = Line.find_last_not_of(' ');
+    Out += E == std::string::npos ? std::string() : Line.substr(0, E + 1);
+    Out += '\n';
+  }
+  return Out;
+}
+
+void expectDisasm(const std::string &Source, const std::string &Golden) {
+  EXPECT_EQ(stripTrailing(vm::disassemble(compile(Source))), Golden)
+      << "for source:\n"
+      << Source;
+}
+
+//===----------------------------------------------------------------------===//
+// Golden disassembly
+//===----------------------------------------------------------------------===//
+
+TEST(VMDisasm, ArithmeticFusesMulAdd) {
+  // The constants fold into the FusedMulAdd and the store fuses too
+  // (flags::StoreToSlot): one instruction for the whole statement.
+  expectDisasm("x = 1 + 2 * 3;\n",
+               "; regs=1 consts=3 strings=0 vars=1 loops=0 instrs=3\n"
+               "   0  Step          @1:1\n"
+               "   1  FusedMulAdd   v0:x, c1=2, c2=3, c0=1 "
+               "[add,prod-right,store] @1:7 /@1:11\n"
+               "   2  Halt\n");
+}
+
+TEST(VMDisasm, ForLoop) {
+  // Loops are bottom-tested (ForNext at the bottom jumps back to the
+  // body), the definedness analysis folds s and i straight into the
+  // body's Binary, and the store fuses into it: the two-instruction
+  // iteration (Step, Binary-with-store, ForNext aside) is the whole
+  // point of the exercise.
+  expectDisasm("s = 0;\nfor i = 1:10\n  s = s + i;\nend\n",
+               "; regs=2 consts=3 strings=0 vars=2 loops=1 instrs=10\n"
+               "   0  Step          @1:1\n"
+               "   1  StoreVar      v0:s, c0=0 @1:1\n"
+               "   2  Step          @2:1\n"
+               "   3  MakeRange     r0, c1=1, one, c2=10 @2:10\n"
+               "   4  ForPrep       r0, f0:i\n"
+               "   5  Jump          ->8\n"
+               "   6  Step          @3:3\n"
+               "   7  Binary        v0:s, v0:s, v1:i [Add,store] @3:9\n"
+               "   8  ForNext       r0, f0:i, ->6\n"
+               "   9  Halt\n");
+}
+
+TEST(VMDisasm, FusedKernels) {
+  // Elementwise a.*b+c fuses with the dotmul flag; M*V'-1 fuses the
+  // subtraction and keeps the transpose explicit (MulTransB only fires
+  // when the product itself is the A*B' shape).
+  expectDisasm("y = a .* b + c;\nz = M * V' - 1;\n",
+               "; regs=4 consts=1 strings=0 vars=7 loops=0 instrs=11\n"
+               "   0  Step          @1:1\n"
+               "   1  LoadIdent     r1, v0:a @1:5\n"
+               "   2  LoadIdent     r2, v1:b @1:10\n"
+               "   3  LoadIdent     r3, v2:c @1:14\n"
+               "   4  FusedMulAdd   v3:y, r1, r2, r3 "
+               "[add,prod-left,dotmul,store] @1:12 /@1:7\n"
+               "   5  Step          @2:1\n"
+               "   6  LoadIdent     r1, v4:M @2:5\n"
+               "   7  LoadIdent     r3, v5:V @2:9\n"
+               "   8  Transpose     r2, r3\n"
+               "   9  FusedMulAdd   v6:z, r1, r2, c0=1 [sub,prod-left,store] "
+               "@2:12 /@2:7\n"
+               "  10  Halt\n");
+}
+
+TEST(VMDisasm, MulTransB) {
+  std::string Text = vm::disassemble(compile("C = A * B';\n"));
+  EXPECT_NE(Text.find("MulTransB"), std::string::npos) << Text;
+}
+
+TEST(VMDisasm, CallsCarryArgPoolDepth) {
+  // The undefined-at-compile-time identifier dispatches through
+  // TestDefined: the defined path indexes, the undefined path calls the
+  // builtin. Nested call arguments carry their ArgPool retention depth.
+  // Constants fold into the IndexRead2 paths (a subscript read is a
+  // side-effect-free consumer) but NOT into CallBuiltin argument slots,
+  // which still materialize registers for the ArgPool.
+  expectDisasm(
+      "x = max(1, min(2, 3));\ndisp(x);\n",
+      "; regs=5 consts=3 strings=3 vars=4 loops=0 instrs=31\n"
+      "   0  Step          @1:1\n"
+      "   1  TestDefined   v0:max, ->11\n"
+      "   2  TestDefined   v1:min, ->5\n"
+      "   3  IndexRead2    r1, v1:min, c1=2, c2=3 @1:15\n"
+      "   4  Jump          ->9\n"
+      "   5  CheckCallable v1:min, s0=\"undefined function or variable "
+      "'min'\" @1:15\n"
+      "   6  LoadConst     r2, c1=2\n"
+      "   7  LoadConst     r3, c2=3\n"
+      "   8  CallBuiltin   r1, v1:min, r2, #2 @1:15\n"
+      "   9  IndexRead2    r0, v0:max, c0=1, r1 @1:8\n"
+      "  10  Jump          ->21\n"
+      "  11  CheckCallable v0:max, s1=\"undefined function or variable "
+      "'max'\" @1:8\n"
+      "  12  LoadConst     r1, c0=1\n"
+      "  13  TestDefined   v1:min, ->16\n"
+      "  14  IndexRead2    r2, v1:min, c1=2, c2=3 @1:15\n"
+      "  15  Jump          ->20\n"
+      "  16  CheckCallable v1:min, s0=\"undefined function or variable "
+      "'min'\" @1:15\n"
+      "  17  LoadConst     r3, c1=2\n"
+      "  18  LoadConst     r4, c2=3\n"
+      "  19  CallBuiltin   r2, v1:min, r3, #2 [depth=1] @1:15\n"
+      "  20  CallBuiltin   r0, v0:max, r1, #2 @1:8\n"
+      "  21  StoreVar      v2:x, r0 @1:1\n"
+      "  22  Step          @2:1\n"
+      "  23  TestDefined   v3:disp, ->26\n"
+      "  24  IndexRead1    r0, v3:disp, v2:x @2:5\n"
+      "  25  Jump          ->29\n"
+      "  26  CheckCallable v3:disp, s2=\"undefined function or variable "
+      "'disp'\" @2:5\n"
+      "  27  LoadIdent     r1, v2:x @2:6\n"
+      "  28  CallBuiltin   r0, v3:disp, r1, #1 @2:5\n"
+      "  29  Drop          r0\n"
+      "  30  Halt\n");
+}
+
+TEST(VMDisasm, IndexingFeatures) {
+  std::string Text = vm::disassemble(compile(
+      "v = [1 2 3];\nv(2) = v(end) + 1;\nw = v(:);\nu = v(1, end);\n"));
+  // 'end' in a 1-d subscript reads numel; in the column position, cols.
+  EXPECT_NE(Text.find("LoadExtent    r2, v0:v [numel]"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("LoadExtent    r1, v0:v [cols]"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("IndexReadAll  r0, v0:v"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("DefineRef     v0:v"), std::string::npos) << Text;
+  // The write's constant subscript folds straight into the instruction.
+  EXPECT_NE(Text.find("IndexWrite1   v0:v, c1=2, r0"), std::string::npos)
+      << Text;
+  // The undefined-base path must still report the walker's exact error.
+  EXPECT_NE(
+      Text.find("Fail          s1=\"':' and 'end' are not valid function "
+                "arguments\""),
+      std::string::npos)
+      << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Compile determinism and the content key
+//===----------------------------------------------------------------------===//
+
+TEST(VMCompile, DeterministicBytesAndKey) {
+  const std::string Source =
+      "A = rand(4, 4);\nB = A * A';\nfor i = 1:3\n  B = B + i;\nend\n";
+  vm::CompiledProgram P1 = compile(Source);
+  vm::CompiledProgram P2 = compile(Source);
+  std::string B1 = vm::serializeProgram(P1);
+  std::string B2 = vm::serializeProgram(P2);
+  EXPECT_EQ(B1, B2) << "same source must lower to identical bytes";
+  EXPECT_EQ(P1.SourceHash, P2.SourceHash);
+  // The content key is a pure function of the source text; a different
+  // program gets a different key.
+  EXPECT_EQ(vm::codeKeyFor(Source), vm::codeKeyFor(Source));
+  EXPECT_NE(vm::codeKeyFor(Source), vm::codeKeyFor(Source + " "));
+}
+
+TEST(VMCompile, EveryParseCompilesValid) {
+  const char *Sources[] = {
+      "x = 1;\n",
+      "y = max(:, 1);\n",        // lowers to Fail, still valid bytecode
+      "A = ones(2,2);\nx = A(1, 1, 1);\n",
+      "for i = 1:3\n  disp(i);\nend\n",
+  };
+  for (const char *S : Sources)
+    EXPECT_EQ(vm::validateProgram(compile(S)), "") << S;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+TEST(VMSerialize, RoundTripIsByteExact) {
+  vm::CompiledProgram P = compile(
+      "s = 'hi';\nv = [1 2 3];\nfor i = 1:numel(v)\n  v(i) = v(i) * 2;\n"
+      "end\ndisp(v);\n");
+  std::string Bytes = vm::serializeProgram(P);
+  std::optional<vm::CompiledProgram> Back = vm::deserializeProgram(Bytes);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(vm::serializeProgram(*Back), Bytes);
+  EXPECT_EQ(Back->SourceHash, P.SourceHash);
+  EXPECT_EQ(vm::validateProgram(*Back), "");
+}
+
+TEST(VMSerialize, MalformedBytesRejected) {
+  std::string Bytes = vm::serializeProgram(compile("x = 1 + 2;\n"));
+  EXPECT_TRUE(vm::deserializeProgram(Bytes).has_value());
+
+  std::string BadMagic = Bytes;
+  BadMagic[0] ^= 0x40;
+  EXPECT_FALSE(vm::deserializeProgram(BadMagic).has_value());
+
+  EXPECT_FALSE(
+      vm::deserializeProgram(Bytes.substr(0, Bytes.size() / 2)).has_value());
+  EXPECT_FALSE(vm::deserializeProgram(Bytes + "x").has_value());
+  EXPECT_FALSE(vm::deserializeProgram("").has_value());
+
+  // A flipped operand that lands out of range must fail validation, not
+  // execute: corrupt every byte position in turn and demand that any
+  // accepted variant still validates structurally.
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::string Mut = Bytes;
+    Mut[I] ^= 0x7f;
+    std::optional<vm::CompiledProgram> Got = vm::deserializeProgram(Mut);
+    if (Got.has_value()) {
+      EXPECT_EQ(vm::validateProgram(*Got), "") << "flipped byte " << I;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine parity (tree-walker vs VM, byte-identical)
+//===----------------------------------------------------------------------===//
+
+TEST(VMParity, Battery) {
+  // Every case runs under both engines via engineDiffRun, which demands
+  // identical failure state, error message + location, interrupt kind,
+  // step count, printed output (byte-for-byte) and workspace (tol 0).
+  const char *Cases[] = {
+      "x = 1 + 2 * 3;\n",
+      "v = 1:10;\ns = sum(v);\n",
+      "v = 10:-2:1;\n",
+      "s = 0;\nfor i = 1:100\n  s = s + i * i;\nend\n",
+      "a = zeros(1, 20);\nfor i = 1:20\n  a(i) = i * 2;\nend\n",
+      "x = 0;\nwhile x < 10\n  x = x + 3;\nend\n",
+      "x = 5;\nif x > 10\n  y = 1;\nelseif x > 3\n  y = 2;\nelse\n  y = 3;\n"
+      "end\n",
+      "s = 0;\nfor i = 1:10\n  if i == 3\n    continue;\n  end\n"
+      "  if i == 7\n    break;\n  end\n  s = s + i;\nend\n",
+      "A = [1 2 3; 4 5 6];\nB = [A; A];\nC = [A, A];\n",
+      "v = zeros(1, 5);\nv(2) = 7;\nv(end) = 9;\nw = v(2:3);\nz = v(:);\n",
+      "A = ones(3, 3);\nA(2, 2) = 5;\nx = A(2, :);\ny = A(:, 1);\n"
+      "z = A(end, end);\n",
+      "a = 1; b = 0;\nc = a && b;\nd = a || b;\ne = a & b;\nf = ~a;\n",
+      "A = [1 2; 3 4];\nB = A';\n",
+      "a = [1 2 3]; b = [4 5 6]; c = [7 8 9];\ny = a .* b + c;\n"
+      "z = c - a .* b;\n",
+      "A = [1 2; 3 4];\nB = [5 6; 7 8];\nC = A * B';\n",
+      "x = max(3, 4);\ny = min([1 5 2]);\nz = sqrt(16);\nw = abs(-3);\n",
+      "disp(42);\nfprintf('%d\\n', 7);\ndisp([1 2 3]);\n",
+      "r = rand(2, 2);\ns = rand();\n",
+      "s = 'hello';\nn = length(s);\n",
+      "x = pi;\ny = 2 * pi;\n",
+      "x = max(min(3, 5), abs(-2));\n",
+      "y = nosuchvar + 1;\n",
+      "y = nosuchfn(3);\n",
+      "y = max(:, 1);\n",
+      "A = ones(2,2);\nx = A(1, 1, 1);\n",
+      "A = ones(2,2);\nA(1, 1, 1) = 5;\n",
+      "v = [1 2 3];\nx = v(10);\n",
+      "s = 0;\nfor i = 1:5\n  s = s + i;\n  if i == 3\n"
+      "    q = undefinedvar;\n  end\nend\n",
+      "e = [];\nn = numel(e);\n",
+      "s = 0;\nfor i = 1:1000\n  s = s + i;\nend\n",
+      "v = [1 2 3];\nx = max(v(end), 2);\n",
+      "A = [1 2 3; 4 5 6];\ns = 0;\nfor c = A\n  s = s + sum(c);\nend\n",
+      "s = 0;\nfor i = []\n  s = s + 1;\nend\n",
+      "x = 0;\nn = 0;\nwhile x < 10 && n < 100\n  x = x + 1;\n  n = n + 2;\n"
+      "end\n",
+      "x = -(-5);\ny = ~~1;\nz = +7;\n",
+      "x = 2 ^ 10;\ny = [1 2 3] .^ 2;\n",
+      "x = 10 / 4;\ny = [4 6] ./ [2 3];\n",
+      "A = [1 5 3];\nB = [2 4 3];\nm = A > B;\ne = A == B;\n",
+      "s = 0;\nfor i = 1:5\n  for j = 1:5\n    s = s + i * j;\n  end\nend\n",
+      "v = [10 20 30];\nidx = [1 3];\nw = v(idx);\n",
+      "v = [1 5 2 8];\nm = v(v > 3);\n",
+      "v = [1 2 3 4 5];\nx = v(end - 1);\ny = v(2:end);\n",
+      "x = 1 < 2;\n",
+      "A = [1 2; 3];\n",
+      "s = ['ab' 'cd'];\n",
+      "A = ones(2,2) * 3;\nB = A + 1;\n",
+      "v = 0:0.5:2;\n",
+      "x = ((1 + 2) * (3 + 4)) - ((5 - 6) / (7 + 8));\n",
+      "for i = 1:3\n  i = i * 10;\nend\n",
+      "x = mod(10, 3);\ny = rem(-10, 3);\n",
+      "for i = 1:3\n  disp(i);\nend\n",
+  };
+  for (const char *Source : Cases) {
+    DiffOutcome Out = engineDiffRun(Source);
+    EXPECT_TRUE(Out.agreed()) << "engines diverge on:\n"
+                              << Source << "\n"
+                              << Out.Message;
+  }
+}
+
+TEST(VMParity, StepLimitInterrupt) {
+  const std::string Source = "s = 0;\nfor i = 1:100000\n  s = s + i;\nend\n";
+  RunLimits Limits;
+  Limits.MaxSteps = 500;
+  // Step-limit interrupts are deterministic, so engineDiffRun compares
+  // them exactly (kind and step count).
+  EXPECT_TRUE(engineDiffRun(Source, Limits).agreed());
+
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab(Source, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+
+  Interpreter Ast;
+  Ast.setStepLimit(500);
+  EXPECT_FALSE(Ast.run(R.Prog));
+  EXPECT_EQ(Ast.interruptKind(), Interpreter::InterruptKind::StepLimit);
+
+  Interpreter Vm;
+  Vm.setStepLimit(500);
+  vm::CompiledProgram CP = vm::compileProgram(R.Prog, Source);
+  EXPECT_FALSE(vm::execute(CP, Vm));
+  EXPECT_EQ(Vm.interruptKind(), Interpreter::InterruptKind::StepLimit);
+
+  EXPECT_EQ(Ast.stepsExecuted(), Vm.stepsExecuted());
+  EXPECT_EQ(Ast.errorMessage(), Vm.errorMessage());
+}
+
+TEST(VMParity, DeadlineInterrupt) {
+  const std::string Source = "s = 0;\nwhile 1 > 0\n  s = s + 1;\nend\n";
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab(Source, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  auto Past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+
+  Interpreter Ast;
+  Ast.setDeadline(Past);
+  EXPECT_FALSE(Ast.run(R.Prog));
+  EXPECT_EQ(Ast.interruptKind(), Interpreter::InterruptKind::Deadline);
+
+  Interpreter Vm;
+  Vm.setDeadline(Past);
+  vm::CompiledProgram CP = vm::compileProgram(R.Prog, Source);
+  EXPECT_FALSE(vm::execute(CP, Vm));
+  EXPECT_EQ(Vm.interruptKind(), Interpreter::InterruptKind::Deadline);
+  EXPECT_EQ(Ast.errorMessage(), Vm.errorMessage());
+}
+
+TEST(VMParity, CancelInterrupt) {
+  const std::string Source = "s = 0;\nwhile 1 > 0\n  s = s + 1;\nend\n";
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab(Source, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  std::atomic<bool> Cancel{true};
+
+  Interpreter Ast;
+  Ast.setCancelFlag(&Cancel);
+  EXPECT_FALSE(Ast.run(R.Prog));
+  EXPECT_EQ(Ast.interruptKind(), Interpreter::InterruptKind::Cancelled);
+
+  Interpreter Vm;
+  Vm.setCancelFlag(&Cancel);
+  vm::CompiledProgram CP = vm::compileProgram(R.Prog, Source);
+  EXPECT_FALSE(vm::execute(CP, Vm));
+  EXPECT_EQ(Vm.interruptKind(), Interpreter::InterruptKind::Cancelled);
+  EXPECT_EQ(Ast.errorMessage(), Vm.errorMessage());
+}
+
+TEST(VMParity, GovernorChargesIdentically) {
+  const char *Sources[] = {
+      "A = zeros(40, 40);\nB = A + 1;\nC = B * B;\n",
+      "v = [];\nfor i = 1:50\n  v = [v, i];\nend\ns = sum(v);\n",
+      "x = rand(8, 8);\ny = x';\nz = x .* y + 3;\n",
+  };
+  for (const char *Source : Sources) {
+    DiagnosticEngine D1, D2;
+    ParseResult P1 = parseMatlab(Source, D1);
+    ParseResult P2 = parseMatlab(Source, D2);
+    ASSERT_FALSE(D1.hasErrors());
+
+    // Account-only governors (cap 0 never throws) must see the same
+    // cumulative allocation stream from both engines.
+    ResourceGovernor GA(0), GV(0);
+    {
+      GovernorScope Scope(&GA);
+      Interpreter I;
+      I.seedRandom(7);
+      EXPECT_TRUE(I.run(P1.Prog));
+    }
+    {
+      GovernorScope Scope(&GV);
+      Interpreter I;
+      I.seedRandom(7);
+      vm::CompiledProgram CP = vm::compileProgram(P2.Prog, Source);
+      EXPECT_TRUE(vm::execute(CP, I));
+    }
+    EXPECT_EQ(GA.usedBytes(), GV.usedBytes()) << Source;
+    EXPECT_GT(GA.usedBytes(), 0u) << Source;
+  }
+
+  // And under a budget that cannot hold the workload, both engines abort
+  // with the same ResourceExhausted unwind.
+  const std::string Big = "A = zeros(200, 200);\n";
+  DiagnosticEngine D1, D2;
+  ParseResult P1 = parseMatlab(Big, D1);
+  ParseResult P2 = parseMatlab(Big, D2);
+  {
+    ResourceGovernor G(1024);
+    GovernorScope Scope(&G);
+    Interpreter I;
+    EXPECT_THROW(I.run(P1.Prog), ResourceExhausted);
+  }
+  {
+    ResourceGovernor G(1024);
+    GovernorScope Scope(&G);
+    Interpreter I;
+    vm::CompiledProgram CP = vm::compileProgram(P2.Prog, Big);
+    EXPECT_THROW(vm::execute(CP, I), ResourceExhausted);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CodeCache
+//===----------------------------------------------------------------------===//
+
+ParseResult parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  ParseResult R = parseMatlab(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return R;
+}
+
+/// Minimal in-process ResultStore so CodeCache's disk tier is testable
+/// without a daemon DiskStore.
+class MapStore : public ResultStore {
+public:
+  std::optional<JobResult> load(uint64_t Key) override {
+    auto It = Entries.find(Key);
+    if (It == Entries.end())
+      return std::nullopt;
+    ++Loads;
+    return It->second;
+  }
+  void store(uint64_t Key, const JobResult &Result) override {
+    Entries[Key] = Result;
+    ++Stores;
+  }
+
+  std::map<uint64_t, JobResult> Entries;
+  unsigned Loads = 0;
+  unsigned Stores = 0;
+};
+
+TEST(VMCodeCache, HitsShareOneCompilation) {
+  const std::string Source = "x = 1 + 2;\n";
+  ParseResult R = parseOk(Source);
+  vm::CodeCache Cache(8);
+  auto A = Cache.obtain(Source, R.Prog);
+  auto B = Cache.obtain(Source, R.Prog);
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(A.get(), B.get()) << "second obtain must share, not recompile";
+  EXPECT_EQ(Cache.compiles(), 1u);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+}
+
+TEST(VMCodeCache, LRUEviction) {
+  const std::string S1 = "x = 1;\n", S2 = "x = 2;\n", S3 = "x = 3;\n";
+  ParseResult R1 = parseOk(S1), R2 = parseOk(S2), R3 = parseOk(S3);
+  vm::CodeCache Cache(2);
+  Cache.obtain(S1, R1.Prog);
+  Cache.obtain(S2, R2.Prog);
+  EXPECT_EQ(Cache.size(), 2u);
+  Cache.obtain(S3, R3.Prog); // evicts S1 (least recently used)
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.compiles(), 3u);
+  Cache.obtain(S2, R2.Prog); // still resident
+  EXPECT_EQ(Cache.compiles(), 3u);
+  Cache.obtain(S1, R1.Prog); // evicted: compiles again
+  EXPECT_EQ(Cache.compiles(), 4u);
+}
+
+TEST(VMCodeCache, DiskRoundTripSurvivesRestart) {
+  const std::string Source = "v = 1:5;\ns = sum(v);\n";
+  ParseResult R = parseOk(Source);
+  MapStore Store;
+  {
+    vm::CodeCache Warm(8, &Store);
+    Warm.obtain(Source, R.Prog);
+    EXPECT_EQ(Warm.compiles(), 1u);
+    EXPECT_EQ(Store.Stores, 1u);
+  }
+  // A fresh cache over the same store models a restarted shard: the
+  // program loads from the persisted bytes without re-lowering.
+  vm::CodeCache Cold(8, &Store);
+  auto CP = Cold.obtain(Source, R.Prog);
+  ASSERT_TRUE(CP);
+  EXPECT_EQ(Cold.compiles(), 0u);
+  EXPECT_EQ(Cold.hits(), 1u);
+  // And the loaded program actually runs.
+  Interpreter I;
+  EXPECT_TRUE(vm::execute(*CP, I));
+  const Value *S = I.getVariable("s");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->scalarValue(), 15.0);
+}
+
+TEST(VMCodeCache, CorruptPersistedEntryIsAMiss) {
+  const std::string Source = "x = 42;\n";
+  ParseResult R = parseOk(Source);
+  MapStore Store;
+  {
+    vm::CodeCache Warm(8, &Store);
+    Warm.obtain(Source, R.Prog);
+  }
+  ASSERT_EQ(Store.Entries.size(), 1u);
+  // Truncate the persisted bytecode in place; the cold cache must treat
+  // the entry as a miss and recompile rather than trust it.
+  JobResult &Entry = Store.Entries.begin()->second;
+  Entry.VectorizedSource = Entry.VectorizedSource.substr(
+      0, Entry.VectorizedSource.size() / 2);
+  vm::CodeCache Cold(8, &Store);
+  auto CP = Cold.obtain(Source, R.Prog);
+  ASSERT_TRUE(CP);
+  EXPECT_EQ(Cold.compiles(), 1u) << "corrupt entry must recompile";
+  Interpreter I;
+  EXPECT_TRUE(vm::execute(*CP, I));
+  const Value *X = I.getVariable("x");
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(X->scalarValue(), 42.0);
+}
+
+TEST(VMCodeCache, WrongSourceHashIsAMiss) {
+  // A store entry whose bytes deserialize fine but were compiled from
+  // different source (hash mismatch after a collisionless key mixup)
+  // must also be rejected.
+  const std::string SourceA = "x = 1;\n", SourceB = "y = 2;\n";
+  ParseResult RA = parseOk(SourceA), RB = parseOk(SourceB);
+  MapStore Store;
+  {
+    vm::CodeCache Warm(8, &Store);
+    Warm.obtain(SourceB, RB.Prog);
+  }
+  ASSERT_EQ(Store.Entries.size(), 1u);
+  // Graft B's payload onto A's key.
+  JobResult Payload = Store.Entries.begin()->second;
+  Store.Entries.clear();
+  Store.Entries[vm::codeKeyFor(SourceA)] = Payload;
+  vm::CodeCache Cold(8, &Store);
+  auto CP = Cold.obtain(SourceA, RA.Prog);
+  ASSERT_TRUE(CP);
+  EXPECT_EQ(Cold.compiles(), 1u);
+  Interpreter I;
+  EXPECT_TRUE(vm::execute(*CP, I));
+  EXPECT_NE(I.getVariable("x"), nullptr);
+  EXPECT_EQ(I.getVariable("y"), nullptr);
+}
+
+} // namespace

@@ -31,6 +31,12 @@
 ///   --kinds a,b       restrict the matrix to these kinds (default all)
 ///   --deadline-ms N   per-job deadline (default 5000)
 ///   --period N        fire every ~Nth eligible crossing (default 1)
+///   --engine E        execution tier for validation runs: ast (default)
+///                     or vm — the vm sweep arms every fault site inside
+///                     compiled (bytecode) execution and asserts the same
+///                     contract, so injected faults unwinding through the
+///                     dispatch loop must leave shards as healthy as ones
+///                     unwinding through the tree-walker
 ///   --no-chaos        skip the everything-armed plan
 ///   --json            machine-readable per-plan summary on stdout
 ///
@@ -67,7 +73,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s --corpus DIR [--corpus DIR]... [--seed N] [--jobs N]\n"
                "       %*s [--sites a,b] [--kinds a,b] [--deadline-ms N]\n"
-               "       %*s [--period N] [--no-chaos] [--json]\n",
+               "       %*s [--period N] [--engine ast|vm] [--no-chaos] "
+               "[--json]\n",
                Argv0, static_cast<int>(std::strlen(Argv0)), "",
                static_cast<int>(std::strlen(Argv0)), "");
   return 2;
@@ -135,11 +142,12 @@ struct PlanTally {
 /// Runs every spec through a fresh service armed with \p Plan and checks
 /// the resilience contract on each result.
 PlanTally runPlan(const Campaign &C, const std::vector<JobSpec> &Specs,
-                  unsigned Jobs, unsigned DeadlineMs) {
+                  unsigned Jobs, unsigned DeadlineMs, ExecEngine Engine) {
   ServiceConfig SC;
   SC.Workers = Jobs;
   SC.DefaultDeadline = std::chrono::milliseconds(DeadlineMs);
   SC.Faults = C.Plan.Rules.empty() ? nullptr : &C.Plan;
+  SC.Engine = Engine;
   VectorizationService Service(SC);
 
   PlanTally T;
@@ -203,6 +211,7 @@ int main(int Argc, char **Argv) {
   unsigned Jobs = 4;
   unsigned DeadlineMs = 5000;
   unsigned Period = 1;
+  ExecEngine Engine = ExecEngine::Ast;
   bool Chaos = true;
   bool Json = false;
   std::vector<std::string> Dirs;
@@ -232,6 +241,14 @@ int main(int Argc, char **Argv) {
         return usage(Argv[0]);
     } else if (Arg == "--kinds" && I + 1 != Argc) {
       if (!parseList(Argv[++I], KindNames))
+        return usage(Argv[0]);
+    } else if (Arg == "--engine" && I + 1 != Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "ast")
+        Engine = ExecEngine::Ast;
+      else if (Mode == "vm")
+        Engine = ExecEngine::Vm;
+      else
         return usage(Argv[0]);
     } else if (Arg == "--no-chaos")
       Chaos = false;
@@ -331,7 +348,7 @@ int main(int Argc, char **Argv) {
       break;
     ++PlansRun;
     const Campaign &C = Campaigns[P];
-    PlanTally T = runPlan(C, Specs, Jobs, DeadlineMs);
+    PlanTally T = runPlan(C, Specs, Jobs, DeadlineMs, Engine);
     TotalJobs += Specs.size();
     TotalViolations += T.Violations.size();
     if (Json) {

@@ -32,6 +32,9 @@
 ///   --deadline-ms N     per-candidate deadline (default 2000)
 ///   --max-steps N       interpreter step budget per run (default 2000000)
 ///   --mutate-percent P  share of candidates that are mutants (default 40)
+///   --engine E          execution tier: ast (default), vm, or both
+///                       (both cross-checks the tree-walker against the
+///                       bytecode VM on every program)
 ///   --no-reduce         keep findings unminimized
 ///   --save-new          persist new findings into the corpus
 ///   --replay            re-run the corpus as a regression suite and exit
@@ -71,9 +74,12 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s [--seed N] [--time SECONDS] [--max-programs N] [--jobs N]\n"
       "       %*s [--corpus DIR] [--deadline-ms N] [--max-steps N]\n"
-      "       %*s [--mutate-percent P] [--no-reduce] [--save-new] [--stats]\n"
-      "       %s --replay [--corpus DIR] [--jobs N] [--stats]\n",
+      "       %*s [--mutate-percent P] [--engine ast|vm|both]\n"
+      "       %*s [--no-reduce] [--save-new] [--stats]\n"
+      "       %s --replay [--corpus DIR] [--jobs N] [--engine ast|vm|both]"
+      " [--stats]\n",
       Argv0, static_cast<int>(std::strlen(Argv0)), "",
+      static_cast<int>(std::strlen(Argv0)), "",
       static_cast<int>(std::strlen(Argv0)), "", Argv0);
   return 2;
 }
@@ -87,6 +93,7 @@ struct FuzzOptions {
   unsigned DeadlineMs = 2000;
   uint64_t MaxSteps = 2000000;
   int MutatePercent = 40;
+  EngineMode Engine = EngineMode::Ast;
   bool Reduce = true;
   bool SaveNew = false;
   bool Replay = false;
@@ -184,7 +191,17 @@ int main(int Argc, char **Argv) {
       Opt.MaxSteps = Value;
     else if (Arg == "--mutate-percent" && NextValue(Value))
       Opt.MutatePercent = std::min(100, static_cast<int>(Value));
-    else if (Arg == "--no-reduce")
+    else if (Arg == "--engine" && I + 1 != Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "ast")
+        Opt.Engine = EngineMode::Ast;
+      else if (Mode == "vm")
+        Opt.Engine = EngineMode::Vm;
+      else if (Mode == "both")
+        Opt.Engine = EngineMode::Both;
+      else
+        return usage(Argv[0]);
+    } else if (Arg == "--no-reduce")
       Opt.Reduce = false;
     else if (Arg == "--save-new")
       Opt.SaveNew = true;
@@ -203,6 +220,7 @@ int main(int Argc, char **Argv) {
   OC.Jobs = Opt.Jobs;
   OC.Deadline = std::chrono::milliseconds(Opt.DeadlineMs);
   OC.MaxSteps = Opt.MaxSteps;
+  OC.Engine = Opt.Engine;
   Oracle O(OC);
 
   Corpus C(Opt.CorpusDir.empty() ? std::string("corpus") : Opt.CorpusDir);
