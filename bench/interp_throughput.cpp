@@ -27,6 +27,7 @@
 
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
+#include "interp/simd/SimdDispatch.h"
 
 #include <chrono>
 #include <cstdio>
@@ -150,11 +151,14 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--quick") == 0)
       BudgetSecs = 0.2; // CI smoke: just prove it runs and emits valid JSON
-    else
+    else if (mvec::simd::handleSimdFlag(argc, argv, I)) {
+      // kernel dispatch configured (exits with status 2 on a bad level)
+    } else
       OutPath = argv[I];
   }
 
-  std::printf("interp_throughput: %.1fs budget per workload\n\n", BudgetSecs);
+  std::printf("interp_throughput: %.1fs budget per workload, simd=%s\n\n",
+              BudgetSecs, mvec::simd::levelName(mvec::simd::activeLevel()));
   std::printf("%-16s %14s %12s %16s %10s\n", "workload", "scripts/sec",
               "ns/stmt", "baseline (seed)", "speedup");
 
@@ -172,7 +176,9 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
     return 1;
   }
-  Out << "{\n  \"benchmark\": \"interp_throughput\",\n  \"workloads\": [\n";
+  Out << "{\n  \"benchmark\": \"interp_throughput\",\n  \"simd\": \""
+      << mvec::simd::levelName(mvec::simd::activeLevel())
+      << "\",\n  \"workloads\": [\n";
   for (size_t I = 0; I != Samples.size(); ++I) {
     const Sample &S = Samples[I];
     double Speedup = S.Baseline > 0 ? S.ScriptsPerSec / S.Baseline : 0.0;

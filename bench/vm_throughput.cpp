@@ -24,6 +24,7 @@
 
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
+#include "interp/simd/SimdDispatch.h"
 #include "vm/Compiler.h"
 #include "vm/VM.h"
 
@@ -169,12 +170,14 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--quick") == 0)
       BudgetSecs = 0.2; // CI smoke: just prove it runs and emits valid JSON
-    else
+    else if (mvec::simd::handleSimdFlag(argc, argv, I)) {
+      // kernel dispatch configured (exits with status 2 on a bad level)
+    } else
       OutPath = argv[I];
   }
 
-  std::printf("vm_throughput: %.1fs budget per tier per workload\n\n",
-              BudgetSecs);
+  std::printf("vm_throughput: %.1fs budget per tier per workload, simd=%s\n\n",
+              BudgetSecs, mvec::simd::levelName(mvec::simd::activeLevel()));
   std::printf("%-16s %12s %12s %12s %10s %10s\n", "workload", "walker/s",
               "vm-cold/s", "vm-warm/s", "warm-spd", "cold-spd");
 

@@ -42,6 +42,7 @@
 #include "driver/Pipeline.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
+#include "interp/simd/SimdDispatch.h"
 #include "patterns/PluginAPI.h"
 #include "service/VectorizationService.h"
 #include "vm/Compiler.h"
@@ -67,9 +68,10 @@ int usage(const char *Argv0) {
                "[--stats] [--stats-json FILE]\n"
                "  -o FILE, --remarks, --validate, --run, "
                "--engine ast|vm|both, --plugin PATH,\n"
+               "  --simd %s (or MVEC_SIMD env),\n"
                "  --no-transposes, --no-patterns, --no-reductions,\n"
                "  --no-reassociation, --no-normalize\n",
-               Argv0, Argv0);
+               Argv0, Argv0, simd::flagValues());
   return 2;
 }
 
@@ -202,7 +204,9 @@ int main(int argc, char **argv) {
       NoValidate = true;
     else if (Arg == "--engine" && I + 1 < argc)
       EngineName = argv[++I];
-    else if (Arg == "--stats")
+    else if (simd::handleSimdFlag(argc, argv, I)) {
+      // kernel dispatch configured (exits with status 2 on a bad level)
+    } else if (Arg == "--stats")
       Stats = true;
     else if (Arg == "--stats-json" && I + 1 < argc)
       StatsJsonPath = argv[++I];

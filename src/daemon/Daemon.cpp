@@ -6,6 +6,8 @@
 
 #include "daemon/Daemon.h"
 
+#include "interp/simd/SimdDispatch.h"
+
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -276,6 +278,10 @@ std::string Daemon::metricsJson() const {
       << ",\"shed_qos\":" << ShedQos.load(std::memory_order_relaxed)
       << ",\"shed_queue\":" << ShedQueue.load(std::memory_order_relaxed)
       << ",\"reloads\":" << Reloads.load(std::memory_order_relaxed)
+      // One kernel table per process: the active ISA is daemon-wide, so
+      // STATS surfaces it once at the top level (per-shard metrics repeat
+      // the shared dispatch counters).
+      << ",\"simd_isa\":\"" << simd::levelName(simd::activeLevel()) << "\""
       << ",\"disk_store\":";
   if (Store) {
     Out << "{\"configured\":true,\"hits\":" << Store->hits()

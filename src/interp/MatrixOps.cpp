@@ -6,12 +6,21 @@
 
 #include "interp/MatrixOps.h"
 
+#include "interp/simd/SimdDispatch.h"
 #include "resilience/ResourceGovernor.h"
 
 #include <algorithm>
 #include <cmath>
 
 using namespace mvec;
+
+namespace {
+// Shorthand for the relaxed dispatch-counter bumps at each kernel call
+// site (one bump per kernel invocation, not per element).
+inline void countDispatch(std::atomic<uint64_t> &C) {
+  C.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace
 
 namespace {
 /// Elements of kernel arithmetic between poll-hook checks. Small enough
@@ -25,22 +34,22 @@ constexpr size_t PollGrainElems = 32768;
 // OpWorkspace
 //===----------------------------------------------------------------------===//
 
-std::shared_ptr<std::vector<double>> OpWorkspace::acquire(size_t N) {
+std::shared_ptr<PayloadBuffer> OpWorkspace::acquire(size_t N) {
   // Budget accounting is cumulative-by-design: pooled reuse charges the
   // same as a fresh allocation, so a job's measured footprint does not
   // depend on what earlier jobs left in the pool.
   chargeMemory(N * sizeof(double));
   if (!Free.empty()) {
-    std::shared_ptr<std::vector<double>> Buf = std::move(Free.back());
+    std::shared_ptr<PayloadBuffer> Buf = std::move(Free.back());
     Free.pop_back();
     Buf->resize(N);
     return Buf;
   }
-  return std::make_shared<std::vector<double>>(N);
+  return std::make_shared<PayloadBuffer>(N);
 }
 
-std::shared_ptr<std::vector<double>> OpWorkspace::acquireZeroed(size_t N) {
-  std::shared_ptr<std::vector<double>> Buf = acquire(N);
+std::shared_ptr<PayloadBuffer> OpWorkspace::acquireZeroed(size_t N) {
+  std::shared_ptr<PayloadBuffer> Buf = acquire(N);
   std::fill(Buf->begin(), Buf->end(), 0.0);
   return Buf;
 }
@@ -49,7 +58,7 @@ void OpWorkspace::recycle(Value &&V) {
   recycleBuffer(V.releaseBuffer());
 }
 
-void OpWorkspace::recycleBuffer(std::shared_ptr<std::vector<double>> Buf) {
+void OpWorkspace::recycleBuffer(std::shared_ptr<PayloadBuffer> Buf) {
   if (Buf && Buf.use_count() == 1 && Free.size() < MaxPooled)
     Free.push_back(std::move(Buf));
 }
@@ -114,30 +123,72 @@ bool producesLogical(BinaryOp Op) {
   return isElementwiseRelOp(Op);
 }
 
-/// Runs the elementwise loop with the per-element op hoisted out of the
-/// switch for the arithmetic operators the benchmarks spend their time in.
+/// Routes the elementwise loop to the runtime-dispatched SIMD kernel
+/// table (simd::kernels()) for the operators with vector forms; Pow and
+/// the short-circuit pseudo-ops keep the scalar fallback loop.
 /// \p SA / \p SB are operand strides: 0 replays a scalar, 1 walks a matrix.
 void ewLoop(BinaryOp Op, const double *AD, size_t SA, const double *BD,
             size_t SB, double *RD, size_t N, OpError &Err) {
+  const simd::KernelTable &K = simd::kernels();
+  simd::DispatchCounters &Counters = simd::dispatchCounters();
   switch (Op) {
   case BinaryOp::Add:
-    for (size_t I = 0; I != N; ++I)
-      RD[I] = AD[I * SA] + BD[I * SB];
+    countDispatch(Counters.Elementwise);
+    K.EwAdd(AD, SA, BD, SB, RD, N);
     return;
   case BinaryOp::Sub:
-    for (size_t I = 0; I != N; ++I)
-      RD[I] = AD[I * SA] - BD[I * SB];
+    countDispatch(Counters.Elementwise);
+    K.EwSub(AD, SA, BD, SB, RD, N);
     return;
   case BinaryOp::Mul:
   case BinaryOp::DotMul:
-    for (size_t I = 0; I != N; ++I)
-      RD[I] = AD[I * SA] * BD[I * SB];
+    countDispatch(Counters.Elementwise);
+    K.EwMul(AD, SA, BD, SB, RD, N);
     return;
   case BinaryOp::Div:
   case BinaryOp::DotDiv:
-    for (size_t I = 0; I != N; ++I)
-      RD[I] = AD[I * SA] / BD[I * SB];
+    countDispatch(Counters.Elementwise);
+    K.EwDiv(AD, SA, BD, SB, RD, N);
     return;
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::And:
+  case BinaryOp::Or: {
+    simd::CmpPred Pred;
+    switch (Op) {
+    case BinaryOp::Lt:
+      Pred = simd::CmpPred::Lt;
+      break;
+    case BinaryOp::Gt:
+      Pred = simd::CmpPred::Gt;
+      break;
+    case BinaryOp::Le:
+      Pred = simd::CmpPred::Le;
+      break;
+    case BinaryOp::Ge:
+      Pred = simd::CmpPred::Ge;
+      break;
+    case BinaryOp::Eq:
+      Pred = simd::CmpPred::Eq;
+      break;
+    case BinaryOp::Ne:
+      Pred = simd::CmpPred::Ne;
+      break;
+    case BinaryOp::And:
+      Pred = simd::CmpPred::And;
+      break;
+    default:
+      Pred = simd::CmpPred::Or;
+      break;
+    }
+    countDispatch(Counters.Compare);
+    K.EwCmp(Pred, AD, SA, BD, SB, RD, N);
+    return;
+  }
   default:
     for (size_t I = 0; I != N; ++I)
       RD[I] = applyScalarOp(Op, AD[I * SA], BD[I * SB], Err);
@@ -213,20 +264,20 @@ Value mvec::fusedMulAdd(const Value &A, const Value &B, const Value &C,
   const double *AD = A.raw(), *BD = B.raw(), *CD = C.raw();
   double *RD = Result.mutableRaw();
   size_t N = R * Cn;
+  simd::FmaMode Mode = !Subtract        ? simd::FmaMode::MulAdd
+                       : ProductOnLeft  ? simd::FmaMode::MulSub
+                                        : simd::FmaMode::RevSub;
+  const simd::KernelTable &K = simd::kernels();
+  countDispatch(simd::dispatchCounters().FusedMulAdd);
+  // The deadline poll stays here, between bounded chunks, so resilience
+  // behavior is identical on every dispatch level; the kernel leaf itself
+  // never polls or allocates.
   for (size_t I0 = 0; I0 < N; I0 += PollGrainElems) {
     if (I0 != 0 && WS && WS->poll())
       break;
     size_t I1 = std::min(I0 + PollGrainElems, N);
-    if (!Subtract) {
-      for (size_t I = I0; I != I1; ++I)
-        RD[I] = AD[I * SA] * BD[I * SB] + CD[I * SC];
-    } else if (ProductOnLeft) {
-      for (size_t I = I0; I != I1; ++I)
-        RD[I] = AD[I * SA] * BD[I * SB] - CD[I * SC];
-    } else {
-      for (size_t I = I0; I != I1; ++I)
-        RD[I] = CD[I * SC] - AD[I * SA] * BD[I * SB];
-    }
+    K.FusedMulAdd(Mode, AD + I0 * SA, SA, BD + I0 * SB, SB, CD + I0 * SC, SC,
+                  RD + I0, I1 - I0);
   }
   return Result;
 }
@@ -240,27 +291,27 @@ namespace {
 void matMulCore(const double *AD, const double *BD, double *RD, size_t M,
                 size_t K, size_t N, OpWorkspace *WS) {
   constexpr size_t PBlock = 128;
+  // Column tile matching the SIMD micro-kernel's register blocking (4
+  // result columns held in accumulators across a P panel).
+  constexpr size_t JTile = 4;
+  const simd::KernelTable &Kern = simd::kernels();
+  countDispatch(simd::dispatchCounters().MatMul);
   // Accumulated multiply-adds since the last interrupt poll; an O(M*K*N)
-  // product can run for seconds, far past any deadline, without this.
+  // product can run for seconds, far past any deadline, without this. The
+  // poll lives here between tile calls — never inside the kernel leaf —
+  // so every dispatch level has identical resilience behavior.
   size_t SincePoll = 0;
   for (size_t P0 = 0; P0 < K; P0 += PBlock) {
     size_t P1 = std::min(P0 + PBlock, K);
-    for (size_t J = 0; J != N; ++J) {
+    for (size_t J0 = 0; J0 < N; J0 += JTile) {
+      size_t J1 = std::min(J0 + JTile, N);
       if (SincePoll >= PollGrainElems) {
         SincePoll = 0;
         if (WS && WS->poll())
           return;
       }
-      SincePoll += (P1 - P0) * M;
-      double *RCol = RD + J * M;
-      for (size_t P = P0; P != P1; ++P) {
-        double BV = BD[J * K + P];
-        if (BV == 0.0)
-          continue;
-        const double *ACol = AD + P * M;
-        for (size_t I = 0; I != M; ++I)
-          RCol[I] += ACol[I] * BV;
-      }
+      SincePoll += (P1 - P0) * M * (J1 - J0);
+      Kern.MatMulTile(AD, BD, RD, M, K, P0, P1, J0, J1);
     }
   }
 }
@@ -300,7 +351,7 @@ Value mvec::matMulTransB(const Value &A, const Value &B, OpError &Err,
   // kernel. The packed copy is what makes the inner loop unit-stride; the
   // scratch comes from (and returns to) the pool, so no Value temporary is
   // allocated for the transpose.
-  std::shared_ptr<std::vector<double>> Scratch;
+  std::shared_ptr<PayloadBuffer> Scratch;
   std::vector<double> Local;
   double *BT;
   if (WS) {
@@ -369,19 +420,15 @@ Value mvec::powOp(const Value &A, const Value &B, OpError &Err) {
 
 Value mvec::unaryMinus(const Value &A, OpWorkspace *WS) {
   Value Result = makeDest(WS, A.rows(), A.cols());
-  const double *AD = A.raw();
-  double *RD = Result.mutableRaw();
-  for (size_t I = 0, E = A.numel(); I != E; ++I)
-    RD[I] = -AD[I];
+  countDispatch(simd::dispatchCounters().Unary);
+  simd::kernels().UnaryNeg(A.raw(), Result.mutableRaw(), A.numel());
   return Result;
 }
 
 Value mvec::unaryNot(const Value &A, OpWorkspace *WS) {
   Value Result = makeDest(WS, A.rows(), A.cols());
-  const double *AD = A.raw();
-  double *RD = Result.mutableRaw();
-  for (size_t I = 0, E = A.numel(); I != E; ++I)
-    RD[I] = AD[I] == 0.0 ? 1.0 : 0.0;
+  countDispatch(simd::dispatchCounters().Unary);
+  simd::kernels().UnaryNot(A.raw(), Result.mutableRaw(), A.numel());
   Result.setLogical(true);
   return Result;
 }
@@ -451,23 +498,14 @@ Value mvec::vertcat(const Value &A, const Value &B, OpError &Err) {
 Value mvec::sumAlong(const Value &A, unsigned Dim) {
   if (A.isEmpty())
     return Dim == 1 ? Value(1, A.cols(), 0.0) : Value(A.rows(), 1, 0.0);
+  countDispatch(simd::dispatchCounters().Reduce);
   if (Dim == 1) {
     Value Result(1, A.cols());
-    for (size_t C = 0; C != A.cols(); ++C) {
-      double Acc = 0;
-      for (size_t R = 0; R != A.rows(); ++R)
-        Acc += A.at(R, C);
-      Result.at(0, C) = Acc;
-    }
+    simd::kernels().ColSums(A.raw(), A.rows(), A.cols(), Result.mutableRaw());
     return Result;
   }
   Value Result(A.rows(), 1);
-  for (size_t R = 0; R != A.rows(); ++R) {
-    double Acc = 0;
-    for (size_t C = 0; C != A.cols(); ++C)
-      Acc += A.at(R, C);
-    Result.at(R, 0) = Acc;
-  }
+  simd::kernels().RowSums(A.raw(), A.rows(), A.cols(), Result.mutableRaw());
   return Result;
 }
 
@@ -483,23 +521,15 @@ Value mvec::sumDefault(const Value &A) {
 
 Value mvec::cumsumAlong(const Value &A, unsigned Dim) {
   Value Result(A.rows(), A.cols());
-  if (Dim == 1) {
-    for (size_t C = 0; C != A.cols(); ++C) {
-      double Acc = 0;
-      for (size_t R = 0; R != A.rows(); ++R) {
-        Acc += A.at(R, C);
-        Result.at(R, C) = Acc;
-      }
-    }
+  if (A.isEmpty())
     return Result;
-  }
-  for (size_t R = 0; R != A.rows(); ++R) {
-    double Acc = 0;
-    for (size_t C = 0; C != A.cols(); ++C) {
-      Acc += A.at(R, C);
-      Result.at(R, C) = Acc;
-    }
-  }
+  countDispatch(simd::dispatchCounters().Cumsum);
+  if (Dim == 1)
+    simd::kernels().CumsumDim1(A.raw(), A.rows(), A.cols(),
+                               Result.mutableRaw());
+  else
+    simd::kernels().CumsumDim2(A.raw(), A.rows(), A.cols(),
+                               Result.mutableRaw());
   return Result;
 }
 
@@ -516,13 +546,11 @@ Value mvec::prodDefault(const Value &A) {
       Acc *= D;
     return Value::scalar(Acc);
   }
+  if (A.isEmpty())
+    return Value(1, A.cols(), 1.0);
+  countDispatch(simd::dispatchCounters().Reduce);
   Value Result(1, A.cols());
-  for (size_t C = 0; C != A.cols(); ++C) {
-    double Acc = 1;
-    for (size_t R = 0; R != A.rows(); ++R)
-      Acc *= A.at(R, C);
-    Result.at(0, C) = Acc;
-  }
+  simd::kernels().ColProds(A.raw(), A.rows(), A.cols(), Result.mutableRaw());
   return Result;
 }
 

@@ -66,23 +66,23 @@ public:
 
   /// A buffer of exactly \p N elements with unspecified contents (callers
   /// overwrite every element).
-  std::shared_ptr<std::vector<double>> acquire(size_t N);
+  std::shared_ptr<PayloadBuffer> acquire(size_t N);
 
   /// Like acquire, but zero-filled (for accumulation kernels).
-  std::shared_ptr<std::vector<double>> acquireZeroed(size_t N);
+  std::shared_ptr<PayloadBuffer> acquireZeroed(size_t N);
 
   /// Takes a dying value's payload back into the pool when it is heap
   /// allocated and exclusively owned; otherwise does nothing.
   void recycle(Value &&V);
 
   /// Returns a raw buffer (from acquire) to the pool.
-  void recycleBuffer(std::shared_ptr<std::vector<double>> Buf);
+  void recycleBuffer(std::shared_ptr<PayloadBuffer> Buf);
 
   void clear() { Free.clear(); }
 
 private:
   static constexpr size_t MaxPooled = 8;
-  std::vector<std::shared_ptr<std::vector<double>>> Free;
+  std::vector<std::shared_ptr<PayloadBuffer>> Free;
   PollFn Hook = nullptr;
   void *HookCtx = nullptr;
 };

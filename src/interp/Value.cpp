@@ -40,13 +40,13 @@ void Value::growTo(size_t Rows, size_t Cols) {
   } else if (LayoutPreserved) {
     if (!Heap) {
       chargeMemory(NewN * sizeof(double));
-      Heap = std::make_shared<std::vector<double>>();
+      Heap = std::make_shared<PayloadBuffer>();
       Heap->resize(NewN, 0.0);
       if (OldN == 1)
         (*Heap)[0] = InlineVal;
     } else if (Heap.use_count() > 1) {
       chargeMemory(NewN * sizeof(double));
-      auto NewBuf = std::make_shared<std::vector<double>>();
+      auto NewBuf = std::make_shared<PayloadBuffer>();
       NewBuf->reserve(NewN);
       NewBuf->assign(Heap->begin(), Heap->end());
       NewBuf->resize(NewN, 0.0);
@@ -61,7 +61,7 @@ void Value::growTo(size_t Rows, size_t Cols) {
     }
   } else {
     chargeMemory(NewN * sizeof(double));
-    auto NewBuf = std::make_shared<std::vector<double>>(NewN, 0.0);
+    auto NewBuf = std::make_shared<PayloadBuffer>(NewN, 0.0);
     const double *Src = raw();
     double *Dst = NewBuf->data();
     for (size_t C = 0; C != NumCols; ++C)
@@ -85,7 +85,7 @@ void Value::reserveHint(size_t Numel) {
   }
   size_t N = numel(); // 0 or 1
   chargeMemory(Numel * sizeof(double));
-  Heap = std::make_shared<std::vector<double>>();
+  Heap = std::make_shared<PayloadBuffer>();
   Heap->reserve(Numel);
   Heap->resize(N);
   if (N == 1)

@@ -27,11 +27,41 @@
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace mvec {
+
+/// STL allocator backing every matrix payload with 64-byte-aligned
+/// storage (cache line / AVX-512 width). Alignment is a property of the
+/// allocator type, so it survives any buffer round trip — OpWorkspace
+/// pooling, Value::adoptBuffer / releaseBuffer — by construction; the
+/// SIMD kernel backend (src/interp/simd) relies on payloads never
+/// straddling a vector register's natural boundary at element 0.
+template <typename T> struct PayloadAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t Alignment{64};
+
+  PayloadAllocator() = default;
+  template <typename U> PayloadAllocator(const PayloadAllocator<U> &) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(::operator new(N * sizeof(T), Alignment));
+  }
+  void deallocate(T *P, size_t) noexcept { ::operator delete(P, Alignment); }
+
+  friend bool operator==(const PayloadAllocator &, const PayloadAllocator &) {
+    return true;
+  }
+  friend bool operator!=(const PayloadAllocator &, const PayloadAllocator &) {
+    return false;
+  }
+};
+
+/// The payload vector type shared by Value and the OpWorkspace pool.
+using PayloadBuffer = std::vector<double, PayloadAllocator<double>>;
 
 class Value {
 public:
@@ -43,7 +73,7 @@ public:
     size_t N = Rows * Cols;
     if (N > 1) {
       chargeMemory(N * sizeof(double));
-      Heap = std::make_shared<std::vector<double>>(N, Fill);
+      Heap = std::make_shared<PayloadBuffer>(N, Fill);
     } else {
       InlineVal = Fill;
     }
@@ -64,7 +94,10 @@ public:
     Result.NumCols = Row ? Elems.size() : (Elems.empty() ? 0 : 1);
     if (Elems.size() > 1) {
       chargeMemory(Elems.size() * sizeof(double));
-      Result.Heap = std::make_shared<std::vector<double>>(std::move(Elems));
+      // Copies (allocator conversion) rather than moves: the payload must
+      // land in aligned storage.
+      Result.Heap =
+          std::make_shared<PayloadBuffer>(Elems.begin(), Elems.end());
     } else if (!Elems.empty()) {
       Result.InlineVal = Elems[0];
     }
@@ -73,8 +106,8 @@ public:
 
   /// Wraps a payload buffer (typically recycled from an OpWorkspace pool)
   /// as a \p Rows x \p Cols value. Requires Buf->size() == Rows * Cols.
-  static Value adoptBuffer(std::shared_ptr<std::vector<double>> Buf,
-                           size_t Rows, size_t Cols) {
+  static Value adoptBuffer(std::shared_ptr<PayloadBuffer> Buf, size_t Rows,
+                           size_t Cols) {
     assert(Buf && Buf->size() == Rows * Cols && "buffer/shape mismatch");
     Value Result;
     Result.NumRows = Rows;
@@ -89,8 +122,8 @@ public:
   /// Surrenders the heap payload for pooling when this value owns one
   /// exclusively; returns null for inline/shared payloads. The value
   /// becomes empty either way.
-  std::shared_ptr<std::vector<double>> releaseBuffer() {
-    std::shared_ptr<std::vector<double>> Out;
+  std::shared_ptr<PayloadBuffer> releaseBuffer() {
+    std::shared_ptr<PayloadBuffer> Out;
     if (Heap && Heap.use_count() == 1)
       Out = std::move(Heap);
     Heap.reset();
@@ -126,7 +159,7 @@ public:
   double *mutableRaw() {
     if (Heap && Heap.use_count() > 1) {
       chargeMemory(Heap->size() * sizeof(double));
-      Heap = std::make_shared<std::vector<double>>(*Heap);
+      Heap = std::make_shared<PayloadBuffer>(*Heap);
     }
     return Heap ? Heap->data() : &InlineVal;
   }
@@ -202,7 +235,7 @@ private:
   /// Shared payload; null iff the value fits inline (reserveHint may
   /// promote a small value to a heap buffer early). When set, the vector's
   /// size equals numel().
-  std::shared_ptr<std::vector<double>> Heap;
+  std::shared_ptr<PayloadBuffer> Heap;
 };
 
 } // namespace mvec

@@ -1,0 +1,22 @@
+//===- Kernels_avx2.cpp - AVX2 kernel table -------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// KernelsImpl.h at vector width 4, compiled with -mavx2 — four doubles per
+// register, 256-bit loads/stores, permute2f128-based 4x4 transposes in the
+// column reductions. Deliberately NOT compiled with -mfma and built with
+// -ffp-contract=off: a hardware fused multiply-add rounds once where the
+// scalar reference rounds twice, which would break the bit-exactness
+// contract (SimdDispatch.h).
+//
+//===----------------------------------------------------------------------===//
+
+#define MVEC_SIMD_IMPL_NS avx2_impl
+#define MVEC_SIMD_IMPL_LEVEL ::mvec::simd::Level::Avx2
+#define MVEC_SIMD_IMPL_NAME "avx2"
+#define MVEC_SIMD_WIDTH 4
+#define MVEC_SIMD_TABLE_ACCESSOR avx2Table
+
+#include "interp/simd/KernelsImpl.h"

@@ -1,0 +1,20 @@
+//===- Kernels_scalar.cpp - Portable scalar kernel table ------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The always-compiled portable build of KernelsImpl.h: plain C++ loops, no
+// intrinsics, no ISA flags. This table is the differential-testing
+// reference every vector table must match bit-for-bit, and the fallback on
+// hosts (or -DMVEC_SIMD=OFF builds) with no vector tier.
+//
+//===----------------------------------------------------------------------===//
+
+#define MVEC_SIMD_IMPL_NS scalar_impl
+#define MVEC_SIMD_IMPL_LEVEL ::mvec::simd::Level::Scalar
+#define MVEC_SIMD_IMPL_NAME "scalar"
+#define MVEC_SIMD_WIDTH 1
+#define MVEC_SIMD_TABLE_ACCESSOR scalarTable
+
+#include "interp/simd/KernelsImpl.h"

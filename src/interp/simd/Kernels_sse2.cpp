@@ -1,0 +1,20 @@
+//===- Kernels_sse2.cpp - SSE2 kernel table -------------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// KernelsImpl.h at vector width 2, compiled with -msse2 (the x86-64
+// baseline — every 64-bit x86 CPU runs this table). Own translation unit
+// so its object file alone carries the ISA flags; see
+// src/interp/CMakeLists.txt.
+//
+//===----------------------------------------------------------------------===//
+
+#define MVEC_SIMD_IMPL_NS sse2_impl
+#define MVEC_SIMD_IMPL_LEVEL ::mvec::simd::Level::Sse2
+#define MVEC_SIMD_IMPL_NAME "sse2"
+#define MVEC_SIMD_WIDTH 2
+#define MVEC_SIMD_TABLE_ACCESSOR sse2Table
+
+#include "interp/simd/KernelsImpl.h"

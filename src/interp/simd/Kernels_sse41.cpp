@@ -1,0 +1,21 @@
+//===- Kernels_sse41.cpp - SSE4.1 kernel table ----------------------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// KernelsImpl.h at vector width 2, compiled with -msse4.1. The source is
+// identical to the SSE2 table; the compiler is free to use SSE3/SSSE3/
+// SSE4.1 encodings (e.g. blendvpd for the compare selects) that the SSE2
+// object cannot, which is exactly the per-ISA-translation-unit pattern
+// this backend exists to exploit.
+//
+//===----------------------------------------------------------------------===//
+
+#define MVEC_SIMD_IMPL_NS sse41_impl
+#define MVEC_SIMD_IMPL_LEVEL ::mvec::simd::Level::Sse41
+#define MVEC_SIMD_IMPL_NAME "sse41"
+#define MVEC_SIMD_WIDTH 2
+#define MVEC_SIMD_TABLE_ACCESSOR sse41Table
+
+#include "interp/simd/KernelsImpl.h"

@@ -1,0 +1,211 @@
+//===- SimdDispatch.cpp - cpuid-based kernel table selection --------------===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/simd/SimdDispatch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mvec::simd {
+
+namespace detail {
+const KernelTable &scalarTable();
+#ifdef MVEC_SIMD_X86
+const KernelTable &sse2Table();
+const KernelTable &sse41Table();
+const KernelTable &avx2Table();
+#endif
+} // namespace detail
+
+namespace {
+
+const KernelTable *tableFor(Level L) {
+  switch (L) {
+  case Level::Scalar:
+    return &detail::scalarTable();
+#ifdef MVEC_SIMD_X86
+  case Level::Sse2:
+    return &detail::sse2Table();
+  case Level::Sse41:
+    return &detail::sse41Table();
+  case Level::Avx2:
+    return &detail::avx2Table();
+#else
+  default:
+    break;
+#endif
+  }
+  return nullptr;
+}
+
+bool cpuSupports(Level L) {
+  switch (L) {
+  case Level::Scalar:
+    return true;
+#ifdef MVEC_SIMD_X86
+  case Level::Sse2:
+    return __builtin_cpu_supports("sse2");
+  case Level::Sse41:
+    return __builtin_cpu_supports("sse4.1");
+  case Level::Avx2:
+    // AVX2 kernels also use AVX encodings of the 128-bit ops; the OS must
+    // save ymm state, which cpu_supports("avx2") implies on GCC/Clang.
+    return __builtin_cpu_supports("avx2");
+#else
+  default:
+    return false;
+#endif
+  }
+  return false;
+}
+
+/// The active table. Null until first use; kernels() initializes it from
+/// detection + MVEC_SIMD, tools may re-point it via setLevel().
+std::atomic<const KernelTable *> ActiveTable{nullptr};
+std::once_flag InitOnce;
+
+void initFromEnvironment() {
+  Level Chosen = bestSupportedLevel();
+  if (const char *Env = std::getenv("MVEC_SIMD"); Env && *Env) {
+    Level EnvLevel = Level::Scalar;
+    bool Parsed = true;
+    std::string Spec(Env);
+    if (Spec == "auto" || Spec == "best")
+      EnvLevel = bestSupportedLevel();
+    else if (Spec == "scalar")
+      EnvLevel = Level::Scalar;
+    else if (Spec == "sse2")
+      EnvLevel = Level::Sse2;
+    else if (Spec == "sse41")
+      EnvLevel = Level::Sse41;
+    else if (Spec == "avx2")
+      EnvLevel = Level::Avx2;
+    else
+      Parsed = false;
+    if (!Parsed) {
+      std::fprintf(stderr,
+                   "mvec: ignoring MVEC_SIMD=%s (expected %s); using %s\n",
+                   Env, flagValues(), levelName(Chosen));
+    } else if (!levelSupported(EnvLevel)) {
+      std::fprintf(
+          stderr,
+          "mvec: MVEC_SIMD=%s not supported on this host/build; using %s\n",
+          Env, levelName(Chosen));
+    } else {
+      Chosen = EnvLevel;
+    }
+  }
+  ActiveTable.store(tableFor(Chosen), std::memory_order_release);
+}
+
+} // namespace
+
+DispatchCounters &dispatchCounters() {
+  static DispatchCounters Counters;
+  return Counters;
+}
+
+const KernelTable &kernels() {
+  const KernelTable *T = ActiveTable.load(std::memory_order_acquire);
+  if (T)
+    return *T;
+  std::call_once(InitOnce, initFromEnvironment);
+  return *ActiveTable.load(std::memory_order_acquire);
+}
+
+Level activeLevel() { return kernels().Isa; }
+
+const char *levelName(Level L) {
+  switch (L) {
+  case Level::Scalar:
+    return "scalar";
+  case Level::Sse2:
+    return "sse2";
+  case Level::Sse41:
+    return "sse41";
+  case Level::Avx2:
+    return "avx2";
+  }
+  return "?";
+}
+
+std::vector<Level> compiledLevels() {
+  std::vector<Level> Levels{Level::Scalar};
+#ifdef MVEC_SIMD_X86
+  Levels.push_back(Level::Sse2);
+  Levels.push_back(Level::Sse41);
+  Levels.push_back(Level::Avx2);
+#endif
+  return Levels;
+}
+
+bool levelSupported(Level L) { return tableFor(L) && cpuSupports(L); }
+
+Level bestSupportedLevel() {
+  Level Best = Level::Scalar;
+#ifdef MVEC_SIMD_X86
+  for (Level L : {Level::Sse2, Level::Sse41, Level::Avx2})
+    if (levelSupported(L))
+      Best = L;
+#endif
+  return Best;
+}
+
+bool setLevel(Level L, std::string *Err) {
+  if (!levelSupported(L)) {
+    if (Err)
+      *Err = std::string("simd level '") + levelName(L) +
+             "' is not supported on this host/build";
+    return false;
+  }
+  // Ensure first-use init can't race in later and clobber the pin.
+  std::call_once(InitOnce, initFromEnvironment);
+  ActiveTable.store(tableFor(L), std::memory_order_release);
+  return true;
+}
+
+bool configureFromString(const std::string &Spec, std::string *Err) {
+  if (Spec == "auto" || Spec == "best")
+    return setLevel(bestSupportedLevel(), Err);
+  if (Spec == "scalar")
+    return setLevel(Level::Scalar, Err);
+  if (Spec == "sse2")
+    return setLevel(Level::Sse2, Err);
+  if (Spec == "sse41")
+    return setLevel(Level::Sse41, Err);
+  if (Spec == "avx2")
+    return setLevel(Level::Avx2, Err);
+  if (Err)
+    *Err = "unknown simd level '" + Spec + "' (expected " + flagValues() + ")";
+  return false;
+}
+
+bool handleSimdFlag(int Argc, char **Argv, int &I) {
+  const char *Arg = Argv[I];
+  if (std::strncmp(Arg, "--simd", 6) != 0)
+    return false;
+  const char *Spec;
+  if (Arg[6] == '=')
+    Spec = Arg + 7;
+  else if (Arg[6] == '\0' && I + 1 < Argc)
+    Spec = Argv[++I];
+  else if (Arg[6] == '\0') {
+    std::fprintf(stderr, "error: --simd requires a level (%s)\n",
+                 flagValues());
+    std::exit(2);
+  } else
+    return false; // e.g. some future --simd-foo flag
+  std::string Err;
+  if (!configureFromString(Spec, &Err)) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
+    std::exit(2);
+  }
+  return true;
+}
+
+} // namespace mvec::simd

@@ -1,0 +1,171 @@
+//===- SimdDispatch.h - Runtime-dispatched SIMD kernel backend --*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter's SIMD kernel backend: a table of leaf kernel function
+/// pointers (elementwise arithmetic/compares, fused multiply-add, the
+/// blocked-matmul inner tile, order-preserving reductions) with one
+/// implementation per instruction set, selected once at load time by a
+/// cpuid-based dispatcher.
+///
+/// Each ISA lives in its own translation unit compiled with that ISA's
+/// flags (Kernels_sse2.cpp, Kernels_sse41.cpp, Kernels_avx2.cpp — the
+/// per-ISA-object-file pattern of RayDemo's `_Ray_Sse41.cpp` builds); the
+/// portable scalar table (Kernels_scalar.cpp) is always compiled and is
+/// both the fallback on non-x86 hosts and the bit-exact reference the
+/// differential tests compare every other table against.
+///
+/// Exact-semantics contract (PR 3): every table must produce bit-identical
+/// results to the scalar table. Concretely:
+///   * no FMA contraction — products and sums are separate roundings, so
+///     the per-ISA translation units are built without -mfma and with
+///     -ffp-contract=off;
+///   * no reassociation in order-sensitive reductions — SIMD reductions
+///     vectorize across *independent* output elements (lanes are distinct
+///     columns/rows), never across a single accumulation chain;
+///   * the blocked matmul keeps the scalar kernel's per-(column, P)
+///     zero-skip, so Inf/NaN propagation through zero multipliers is
+///     unchanged.
+///
+/// Selection: the first use picks the best CPU-supported compiled-in
+/// level, overridable by the MVEC_SIMD environment variable or the tools'
+/// --simd flag ("auto", "best", "scalar", "sse2", "sse41", "avx2").
+/// Dispatch state is process-global; per-kernel dispatch counters let
+/// deployments confirm which tier actually served their traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_INTERP_SIMD_SIMDDISPATCH_H
+#define MVEC_INTERP_SIMD_SIMDDISPATCH_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvec::simd {
+
+/// Dispatch levels, ordered weakest to strongest. Scalar is always
+/// available; the x86 levels exist only when compiled in (MVEC_SIMD=ON,
+/// x86-64 host toolchain) and the CPU reports the feature.
+enum class Level : int { Scalar = 0, Sse2 = 1, Sse41 = 2, Avx2 = 3 };
+
+/// Comparison / elementwise-logical predicates, decoupled from the
+/// frontend's BinaryOp so kernel translation units stay AST-free.
+/// All produce MATLAB logical 1.0/0.0; NaN compares follow IEEE scalar
+/// semantics (ordered compares false, Ne true).
+enum class CmpPred : int { Lt, Gt, Le, Ge, Eq, Ne, And, Or };
+
+/// Fused multiply-add flavors: (A.*B)+C, (A.*B)-C, C-(A.*B).
+enum class FmaMode : int { MulAdd = 0, MulSub = 1, RevSub = 2 };
+
+/// One ISA's leaf kernels. Pointers are never null: levels that have no
+/// profitable vector form for a kernel (e.g. the serial-per-column cumsum
+/// along dim 1) point at the shared portable loop.
+///
+/// Conventions: payloads are dense column-major doubles. Elementwise
+/// strides SA/SB/SC are 0 (replay one scalar) or 1 (walk the payload).
+/// Leaves contain no polling and no allocation — deadline polls and
+/// ResourceGovernor charges stay in MatrixOps.cpp, between tile calls, so
+/// resilience behavior is identical on every level.
+struct KernelTable {
+  Level Isa;
+  const char *Name;
+
+  /// R[i] = A[i*SA] op B[i*SB] for i in [0, N).
+  void (*EwAdd)(const double *A, size_t SA, const double *B, size_t SB,
+                double *R, size_t N);
+  void (*EwSub)(const double *A, size_t SA, const double *B, size_t SB,
+                double *R, size_t N);
+  void (*EwMul)(const double *A, size_t SA, const double *B, size_t SB,
+                double *R, size_t N);
+  void (*EwDiv)(const double *A, size_t SA, const double *B, size_t SB,
+                double *R, size_t N);
+  /// R[i] = pred(A[i*SA], B[i*SB]) ? 1.0 : 0.0.
+  void (*EwCmp)(CmpPred Pred, const double *A, size_t SA, const double *B,
+                size_t SB, double *R, size_t N);
+  /// R[i] = mode(A[i*SA] * B[i*SB], C[i*SC]); product and sum are two
+  /// roundings (never contracted to a hardware fma).
+  void (*FusedMulAdd)(FmaMode Mode, const double *A, size_t SA,
+                      const double *B, size_t SB, const double *C, size_t SC,
+                      double *R, size_t N);
+  /// R[i] = -A[i] / R[i] = (A[i] == 0.0).
+  void (*UnaryNeg)(const double *A, double *R, size_t N);
+  void (*UnaryNot)(const double *A, double *R, size_t N);
+  /// Matmul inner tile: R columns [J0, J1) += A(:, P0:P1) * B(P0:P1,
+  /// J0:J1) on raw column-major payloads (A is M x K, B is K x N, R is
+  /// M x N). Per output element the accumulation over P is strictly
+  /// ascending, and a zero B element skips its update entirely — both
+  /// exactly as the scalar kernel.
+  void (*MatMulTile)(const double *A, const double *B, double *R, size_t M,
+                     size_t K, size_t P0, size_t P1, size_t J0, size_t J1);
+  /// Out[c] = sum/prod of column c (ascending row order per column).
+  void (*ColSums)(const double *A, size_t Rows, size_t Cols, double *Out);
+  void (*ColProds)(const double *A, size_t Rows, size_t Cols, double *Out);
+  /// Out[r] = sum of row r (ascending column order per row).
+  void (*RowSums)(const double *A, size_t Rows, size_t Cols, double *Out);
+  /// Running sums down columns (dim 1) / across rows (dim 2), writing a
+  /// full Rows x Cols result.
+  void (*CumsumDim1)(const double *A, size_t Rows, size_t Cols, double *Out);
+  void (*CumsumDim2)(const double *A, size_t Rows, size_t Cols, double *Out);
+};
+
+/// Process-global per-kernel dispatch counters (relaxed atomics, bumped
+/// once per kernel call, not per element). Shared by every service in the
+/// process — they answer "which tier ran, and did it actually get
+/// traffic", not per-tenant accounting.
+struct DispatchCounters {
+  std::atomic<uint64_t> Elementwise{0};
+  std::atomic<uint64_t> Compare{0};
+  std::atomic<uint64_t> FusedMulAdd{0};
+  std::atomic<uint64_t> MatMul{0};
+  std::atomic<uint64_t> Reduce{0};
+  std::atomic<uint64_t> Cumsum{0};
+  std::atomic<uint64_t> Unary{0};
+};
+
+DispatchCounters &dispatchCounters();
+
+/// The active kernel table. First call runs detection (and the MVEC_SIMD
+/// environment override); afterwards this is one atomic load.
+const KernelTable &kernels();
+
+Level activeLevel();
+const char *levelName(Level L);
+
+/// Levels whose translation units are compiled into this binary
+/// (ascending; always includes Scalar).
+std::vector<Level> compiledLevels();
+
+/// True when \p L is compiled in and the running CPU supports it.
+bool levelSupported(Level L);
+
+/// Strongest supported compiled-in level on this CPU.
+Level bestSupportedLevel();
+
+/// Pins dispatch to \p L. Fails (returning false, leaving dispatch
+/// unchanged) when \p L is not supported on this host.
+bool setLevel(Level L, std::string *Err = nullptr);
+
+/// Parses a --simd / MVEC_SIMD spec: "auto" and "best" select the
+/// strongest supported level, otherwise a level name pins that level.
+/// Unknown names and unsupported levels fail with a diagnostic in \p Err.
+bool configureFromString(const std::string &Spec, std::string *Err = nullptr);
+
+/// The usage string shared by every tool flag: "auto|scalar|sse2|sse41|avx2".
+inline const char *flagValues() { return "auto|scalar|sse2|sse41|avx2"; }
+
+/// CLI helper shared by the tools and benches: recognizes both
+/// "--simd LEVEL" and "--simd=LEVEL". Returns false when \p Argv[I] is
+/// not a --simd flag. On a recognized flag, configures dispatch and
+/// returns true, advancing \p I past a separate LEVEL argument; a bad or
+/// missing level prints a diagnostic to stderr and exits with status 2.
+bool handleSimdFlag(int Argc, char **Argv, int &I);
+
+} // namespace mvec::simd
+
+#endif // MVEC_INTERP_SIMD_SIMDDISPATCH_H

@@ -6,6 +6,8 @@
 
 #include "service/ServiceMetrics.h"
 
+#include "interp/simd/SimdDispatch.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -88,6 +90,16 @@ std::string ServiceMetrics::text() const {
       << "  compile: bytecode_compiles=" << BytecodeCompiles.load()
       << " code_cache_hits=" << CodeCacheHits.load()
       << " code_cache_misses=" << CodeCacheMisses.load() << "\n";
+  // Dispatch state is process-global (one kernel table per process), so
+  // every service in the process reports the same tier and shares one set
+  // of counters; it still answers "which ISA actually served my traffic".
+  const simd::DispatchCounters &D = simd::dispatchCounters();
+  Out << "  simd: isa=" << simd::levelName(simd::activeLevel())
+      << " elementwise=" << D.Elementwise.load()
+      << " compare=" << D.Compare.load()
+      << " fused_mul_add=" << D.FusedMulAdd.load()
+      << " matmul=" << D.MatMul.load() << " reduce=" << D.Reduce.load()
+      << " cumsum=" << D.Cumsum.load() << " unary=" << D.Unary.load() << "\n";
   appendHistText(Out, "queue", QueueLatency);
   appendHistText(Out, "vectorize", VectorizeLatency);
   appendHistText(Out, "validate", ValidateLatency);
@@ -113,8 +125,15 @@ std::string ServiceMetrics::json() const {
       << "\"queue\":{\"depth_high_water\":" << QueueDepthHighWater.load()
       << "},\"compile\":{\"bytecode_compiles\":" << BytecodeCompiles.load()
       << ",\"code_cache_hits\":" << CodeCacheHits.load()
-      << ",\"code_cache_misses\":" << CodeCacheMisses.load()
-      << "},\"latency\":{";
+      << ",\"code_cache_misses\":" << CodeCacheMisses.load() << "},";
+  const simd::DispatchCounters &D = simd::dispatchCounters();
+  Out << "\"simd\":{\"isa\":\"" << simd::levelName(simd::activeLevel())
+      << "\",\"dispatch\":{\"elementwise\":" << D.Elementwise.load()
+      << ",\"compare\":" << D.Compare.load()
+      << ",\"fused_mul_add\":" << D.FusedMulAdd.load()
+      << ",\"matmul\":" << D.MatMul.load() << ",\"reduce\":" << D.Reduce.load()
+      << ",\"cumsum\":" << D.Cumsum.load() << ",\"unary\":" << D.Unary.load()
+      << "}},\"latency\":{";
   appendHistJson(Out, "queue", QueueLatency);
   Out << ",";
   appendHistJson(Out, "vectorize", VectorizeLatency);

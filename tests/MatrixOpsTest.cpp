@@ -6,11 +6,15 @@
 
 #include "interp/MatrixOps.h"
 
+#include "interp/simd/SimdDispatch.h"
+
 #include "gtest/gtest.h"
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 
 using namespace mvec;
 
@@ -454,3 +458,345 @@ TEST(DifferentialTest, PoolRecyclingNeverAliasesLiveValues) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// SIMD dispatch and per-ISA differential tests. The contract
+// (SimdDispatch.h) is bit-exactness: every compiled-in vector table must
+// reproduce the scalar reference table bit for bit — including NaN
+// payloads, signed zeros and Inf propagation — on every kernel. These
+// tests pin the dispatch level per run and compare raw payload bits.
+//===----------------------------------------------------------------------===//
+
+/// Pins the process-global dispatch level for a scope.
+class ScopedSimdLevel {
+  simd::Level Saved;
+
+public:
+  explicit ScopedSimdLevel(simd::Level L) : Saved(simd::activeLevel()) {
+    EXPECT_TRUE(simd::setLevel(L));
+  }
+  ~ScopedSimdLevel() { simd::setLevel(Saved); }
+};
+
+std::vector<simd::Level> supportedLevels() {
+  std::vector<simd::Level> Out;
+  for (simd::Level L : simd::compiledLevels())
+    if (simd::levelSupported(L))
+      Out.push_back(L);
+  return Out;
+}
+
+/// Bitwise payload comparison: the only equality that catches -0.0 vs 0.0
+/// and NaN-payload divergence.
+void expectBitIdentical(const Value &Got, const Value &Want,
+                        const std::string &What) {
+  ASSERT_EQ(Got.rows(), Want.rows()) << What;
+  ASSERT_EQ(Got.cols(), Want.cols()) << What;
+  for (size_t I = 0, E = Got.numel(); I != E; ++I) {
+    uint64_t GotBits, WantBits;
+    double G = Got.linear(I), W = Want.linear(I);
+    // Any NaN matches any NaN: IEEE 754 leaves payload/sign propagation
+    // unspecified, and the compiler may commute multiply operands per
+    // optimization level, so which payload survives an accumulation is
+    // not a property the kernels can pin down. Everything else —
+    // including -0.0 vs 0.0 and NaN vs number — must match bit for bit.
+    if (std::isnan(G) && std::isnan(W))
+      continue;
+    std::memcpy(&GotBits, &G, sizeof(double));
+    std::memcpy(&WantBits, &W, sizeof(double));
+    ASSERT_EQ(GotBits, WantBits)
+        << What << " elt " << I << ": " << G << " vs " << W;
+  }
+}
+
+/// Random payload seasoned with the IEEE specials the vector compare and
+/// zero-skip paths must reproduce exactly.
+Value randomWithSpecials(TestRng &Rng, size_t Rows, size_t Cols) {
+  static const double Specials[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(), -0.0};
+  Value M(Rows, Cols);
+  size_t Which = 0;
+  for (size_t I = 0; I != M.numel(); ++I) {
+    double V = Rng.next();
+    M.linear(I) = V > 7.0 ? Specials[Which++ % 4] : V;
+  }
+  return M;
+}
+
+/// A strictly zero-free payload: drives the matmul's register-blocked
+/// no-zero panel kernel rather than the zero-skip fallback.
+Value randomZeroFree(TestRng &Rng, size_t Rows, size_t Cols) {
+  Value M(Rows, Cols);
+  for (size_t I = 0; I != M.numel(); ++I)
+    M.linear(I) = std::fabs(Rng.next()) + 0.25;
+  return M;
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysCompiledAndSpecParses) {
+  std::vector<simd::Level> Levels = simd::compiledLevels();
+  ASSERT_FALSE(Levels.empty());
+  EXPECT_EQ(Levels.front(), simd::Level::Scalar);
+  EXPECT_TRUE(simd::levelSupported(simd::Level::Scalar));
+  EXPECT_STREQ(simd::levelName(simd::Level::Scalar), "scalar");
+
+  std::string Err;
+  EXPECT_FALSE(simd::configureFromString("vliw", &Err));
+  EXPECT_FALSE(Err.empty());
+  // "auto"/"best" and every supported name select successfully; the active
+  // level is restored afterwards so other tests see the default.
+  simd::Level Before = simd::activeLevel();
+  EXPECT_TRUE(simd::configureFromString("scalar", nullptr));
+  EXPECT_EQ(simd::activeLevel(), simd::Level::Scalar);
+  EXPECT_TRUE(simd::configureFromString("auto", nullptr));
+  EXPECT_EQ(simd::activeLevel(), simd::bestSupportedLevel());
+  for (simd::Level L : supportedLevels())
+    EXPECT_TRUE(simd::configureFromString(simd::levelName(L), nullptr));
+  EXPECT_TRUE(simd::setLevel(Before));
+}
+
+TEST(SimdDispatchTest, ForcedScalarFallbackServesKernels) {
+  ScopedSimdLevel Pin(simd::Level::Scalar);
+  ASSERT_EQ(simd::activeLevel(), simd::Level::Scalar);
+  uint64_t EwBefore = simd::dispatchCounters().Elementwise.load();
+  uint64_t MmBefore = simd::dispatchCounters().MatMul.load();
+  TestRng Rng(11);
+  Value A = randomValue(Rng, 6, 6), B = randomValue(Rng, 6, 6);
+  OpError Err;
+  Value Sum = elementwiseBinary(BinaryOp::Add, A, B, Err);
+  ASSERT_FALSE(Err.failed());
+  for (size_t I = 0; I != Sum.numel(); ++I)
+    ASSERT_DOUBLE_EQ(Sum.linear(I), A.linear(I) + B.linear(I));
+  Value Prod = mulOp(A, B, Err);
+  ASSERT_FALSE(Err.failed());
+  ASSERT_TRUE(Prod.equals(naiveMatMul(A, B), 1e-12));
+  // The dispatch counters observed the traffic even on the fallback tier.
+  EXPECT_GT(simd::dispatchCounters().Elementwise.load(), EwBefore);
+  EXPECT_GT(simd::dispatchCounters().MatMul.load(), MmBefore);
+}
+
+TEST(SimdDifferentialTest, ElementwiseAndCompareBitExactAcrossLevels) {
+  const BinaryOp Ops[] = {BinaryOp::Add, BinaryOp::Sub, BinaryOp::DotMul,
+                          BinaryOp::DotDiv, BinaryOp::Lt, BinaryOp::Gt,
+                          BinaryOp::Le,  BinaryOp::Ge,  BinaryOp::Eq,
+                          BinaryOp::Ne,  BinaryOp::And, BinaryOp::Or};
+  // Shapes straddling every vector width's main-loop/tail boundary.
+  const size_t Shapes[][2] = {{1, 1}, {1, 2}, {1, 3}, {1, 4}, {1, 5},
+                              {1, 7}, {1, 8}, {1, 9}, {3, 3}, {4, 4},
+                              {5, 5}, {8, 8}, {16, 17}};
+  for (simd::Level L : supportedLevels()) {
+    if (L == simd::Level::Scalar)
+      continue;
+    TestRng Rng(0xA11CE); // same stream per level: identical inputs
+    for (const auto &Shape : Shapes) {
+      size_t R = Shape[0], C = Shape[1];
+      for (int Broadcast = 0; Broadcast != 3; ++Broadcast) {
+        Value A = Broadcast == 1 ? Value::scalar(Rng.next())
+                                 : randomWithSpecials(Rng, R, C);
+        Value B = Broadcast == 2 ? Value::scalar(Rng.next())
+                                 : randomWithSpecials(Rng, R, C);
+        for (BinaryOp Op : Ops) {
+          OpError ErrS, ErrV;
+          Value Want, Got;
+          {
+            ScopedSimdLevel Pin(simd::Level::Scalar);
+            Want = elementwiseBinary(Op, A, B, ErrS);
+          }
+          {
+            ScopedSimdLevel Pin(L);
+            Got = elementwiseBinary(Op, A, B, ErrV);
+          }
+          ASSERT_EQ(ErrS.failed(), ErrV.failed());
+          expectBitIdentical(Got, Want,
+                             std::string(simd::levelName(L)) + " op " +
+                                 std::to_string(static_cast<int>(Op)) + " " +
+                                 std::to_string(R) + "x" + std::to_string(C));
+          ASSERT_EQ(Got.isLogical(), Want.isLogical());
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, FusedMulAddBitExactAcrossLevels) {
+  const size_t Shapes[][2] = {{1, 5}, {2, 2}, {3, 3}, {4, 4},
+                              {5, 5}, {7, 9}, {16, 16}};
+  for (simd::Level L : supportedLevels()) {
+    if (L == simd::Level::Scalar)
+      continue;
+    TestRng Rng(0xFAB);
+    for (const auto &Shape : Shapes) {
+      size_t R = Shape[0], C = Shape[1];
+      for (int Trial = 0; Trial != 8; ++Trial) {
+        Value A = (Trial & 1) ? Value::scalar(Rng.next())
+                              : randomWithSpecials(Rng, R, C);
+        Value B = (Trial & 2) ? Value::scalar(Rng.next())
+                              : randomWithSpecials(Rng, R, C);
+        Value Cv = (Trial & 4) ? Value::scalar(Rng.next())
+                               : randomWithSpecials(Rng, R, C);
+        if (!fusableMulAddShapes(A, B, Cv))
+          continue;
+        for (bool Subtract : {false, true})
+          for (bool ProductOnLeft : {false, true}) {
+            Value Want, Got;
+            {
+              ScopedSimdLevel Pin(simd::Level::Scalar);
+              Want = fusedMulAdd(A, B, Cv, Subtract, ProductOnLeft);
+            }
+            {
+              ScopedSimdLevel Pin(L);
+              Got = fusedMulAdd(A, B, Cv, Subtract, ProductOnLeft);
+            }
+            expectBitIdentical(Got, Want,
+                               std::string(simd::levelName(L)) + " fma " +
+                                   std::to_string(R) + "x" +
+                                   std::to_string(C));
+          }
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, MatMulBitExactAcrossLevels) {
+  // Crosses the vector width, the 4-column register tile, and the
+  // PBlock=128 panel boundary; includes skinny and tall extremes.
+  const size_t Dims[][3] = {{1, 1, 1},   {2, 2, 2},   {3, 3, 3},
+                            {4, 4, 4},   {5, 5, 5},   {7, 3, 9},
+                            {8, 8, 8},   {9, 5, 6},   {16, 16, 16},
+                            {33, 129, 17}, {130, 2, 3}, {5, 128, 5},
+                            {2, 130, 2},  {6, 127, 11}};
+  for (simd::Level L : supportedLevels()) {
+    if (L == simd::Level::Scalar)
+      continue;
+    TestRng Rng(0x5EED);
+    for (const auto &D : Dims) {
+      size_t M = D[0], K = D[1], P = D[2];
+      // Three densities: ~1/16 exact zeros (exercises the zero-skip
+      // fallback), zero-free (exercises the register-blocked panel), and
+      // special-laden (Inf/NaN must propagate identically through both).
+      Value As[] = {randomValue(Rng, M, K), randomZeroFree(Rng, M, K),
+                    randomWithSpecials(Rng, M, K)};
+      Value Bs[] = {randomValue(Rng, K, P), randomZeroFree(Rng, K, P),
+                    randomWithSpecials(Rng, K, P)};
+      for (int Density = 0; Density != 3; ++Density) {
+        OpError ErrS, ErrV;
+        Value Want, Got;
+        {
+          ScopedSimdLevel Pin(simd::Level::Scalar);
+          Want = matMul(As[Density], Bs[Density], ErrS);
+        }
+        {
+          ScopedSimdLevel Pin(L);
+          Got = matMul(As[Density], Bs[Density], ErrV);
+        }
+        ASSERT_FALSE(ErrS.failed());
+        ASSERT_FALSE(ErrV.failed());
+        expectBitIdentical(Got, Want,
+                           std::string(simd::levelName(L)) + " matmul " +
+                               std::to_string(M) + "x" + std::to_string(K) +
+                               "*" + std::to_string(K) + "x" +
+                               std::to_string(P) + " d" +
+                               std::to_string(Density));
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, MatMulTransBBitExactAcrossLevels) {
+  const size_t Dims[][3] = {{1, 1, 1},  {3, 3, 3},   {4, 4, 4},
+                            {5, 5, 5},  {8, 8, 8},   {16, 16, 16},
+                            {9, 130, 7}, {2, 5, 33}, {33, 17, 129}};
+  for (simd::Level L : supportedLevels()) {
+    if (L == simd::Level::Scalar)
+      continue;
+    TestRng Rng(0x7B);
+    for (const auto &D : Dims) {
+      size_t M = D[0], K = D[1], P = D[2];
+      // A is MxK, B is PxK: result A * B' is MxP.
+      Value A = randomValue(Rng, M, K);
+      Value B = randomValue(Rng, P, K);
+      OpError ErrS, ErrV;
+      Value Want, Got;
+      {
+        ScopedSimdLevel Pin(simd::Level::Scalar);
+        Want = matMulTransB(A, B, ErrS);
+      }
+      {
+        ScopedSimdLevel Pin(L);
+        Got = matMulTransB(A, B, ErrV);
+      }
+      ASSERT_FALSE(ErrS.failed());
+      ASSERT_FALSE(ErrV.failed());
+      expectBitIdentical(Got, Want,
+                         std::string(simd::levelName(L)) + " matmul-tb " +
+                             std::to_string(M) + "x" + std::to_string(K) +
+                             "*(" + std::to_string(P) + "x" +
+                             std::to_string(K) + ")'");
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, ReductionsBitExactAcrossLevels) {
+  // Row counts cross every vector width (the column reductions transpose
+  // WxW blocks in registers); column counts cross the row-tail gather.
+  const size_t Shapes[][2] = {{1, 1},  {2, 2},  {3, 3},  {4, 4},  {5, 5},
+                              {8, 3},  {3, 8},  {7, 7},  {16, 16}, {17, 9},
+                              {33, 7}, {9, 33}, {1, 12}, {12, 1}};
+  for (simd::Level L : supportedLevels()) {
+    if (L == simd::Level::Scalar)
+      continue;
+    TestRng Rng(0xCAFE);
+    for (const auto &Shape : Shapes) {
+      size_t R = Shape[0], C = Shape[1];
+      for (int Density = 0; Density != 2; ++Density) {
+        Value A = Density ? randomWithSpecials(Rng, R, C)
+                          : randomValue(Rng, R, C);
+        std::string Tag = std::string(simd::levelName(L)) + " " +
+                          std::to_string(R) + "x" + std::to_string(C) +
+                          " d" + std::to_string(Density);
+        Value WantS1, WantS2, WantC1, WantC2, WantP;
+        {
+          ScopedSimdLevel Pin(simd::Level::Scalar);
+          WantS1 = sumAlong(A, 1);
+          WantS2 = sumAlong(A, 2);
+          WantC1 = cumsumAlong(A, 1);
+          WantC2 = cumsumAlong(A, 2);
+          WantP = prodDefault(A);
+        }
+        ScopedSimdLevel Pin(L);
+        expectBitIdentical(sumAlong(A, 1), WantS1, Tag + " sum1");
+        expectBitIdentical(sumAlong(A, 2), WantS2, Tag + " sum2");
+        expectBitIdentical(cumsumAlong(A, 1), WantC1, Tag + " cumsum1");
+        expectBitIdentical(cumsumAlong(A, 2), WantC2, Tag + " cumsum2");
+        expectBitIdentical(prodDefault(A), WantP, Tag + " prod");
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, UnaryBitExactAcrossLevels) {
+  const size_t Shapes[][2] = {{1, 1}, {1, 3}, {1, 5}, {2, 2},
+                              {3, 3}, {5, 7}, {16, 17}};
+  for (simd::Level L : supportedLevels()) {
+    if (L == simd::Level::Scalar)
+      continue;
+    TestRng Rng(0xF00D);
+    for (const auto &Shape : Shapes) {
+      Value A = randomWithSpecials(Rng, Shape[0], Shape[1]);
+      Value WantNeg, WantNot;
+      {
+        ScopedSimdLevel Pin(simd::Level::Scalar);
+        WantNeg = unaryMinus(A);
+        WantNot = unaryNot(A);
+      }
+      ScopedSimdLevel Pin(L);
+      std::string Tag = std::string(simd::levelName(L)) + " " +
+                        std::to_string(Shape[0]) + "x" +
+                        std::to_string(Shape[1]);
+      expectBitIdentical(unaryMinus(A), WantNeg, Tag + " neg");
+      // unaryNot maps NaN -> 0 like MATLAB ~; still must match bitwise.
+      expectBitIdentical(unaryNot(A), WantNot, Tag + " not");
+    }
+  }
+}

@@ -15,9 +15,11 @@
 
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
+#include "interp/MatrixOps.h"
 
 #include "gtest/gtest.h"
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -83,7 +85,7 @@ TEST(CowValueTest, ScalarsStayInline) {
 }
 
 TEST(CowValueTest, AdoptAndReleaseBufferRoundTrip) {
-  auto Buf = std::make_shared<std::vector<double>>(6, 2.0);
+  auto Buf = std::make_shared<PayloadBuffer>(6, 2.0);
   double *Payload = Buf->data();
   Value M = Value::adoptBuffer(std::move(Buf), 2, 3);
   EXPECT_EQ(M.rows(), 2u);
@@ -101,6 +103,32 @@ TEST(CowValueTest, AdoptAndReleaseBufferRoundTrip) {
   Value B = A;
   EXPECT_EQ(A.releaseBuffer(), nullptr);
   EXPECT_DOUBLE_EQ(B.at(2, 1), 2.0); // sharer keeps the data
+}
+
+TEST(CowValueTest, PayloadsAre64ByteAlignedAcrossPoolRecycle) {
+  auto isAligned = [](const double *P) {
+    return reinterpret_cast<uintptr_t>(P) % 64 == 0;
+  };
+  // Fresh heap payloads come from PayloadAllocator: 64-byte aligned.
+  Value Direct(5, 9);
+  EXPECT_TRUE(isAligned(Direct.raw()));
+
+  // The alignment must survive the full pool round trip the kernels use:
+  // acquire -> adoptBuffer -> releaseBuffer/recycle -> re-acquire. The
+  // SIMD backend depends on this holding for every pooled buffer, not
+  // just fresh ones.
+  OpWorkspace WS;
+  auto Buf = WS.acquire(33); // odd count: alignment is not size luck
+  EXPECT_TRUE(isAligned(Buf->data()));
+  Value Adopted = Value::adoptBuffer(std::move(Buf), 3, 11);
+  EXPECT_TRUE(isAligned(Adopted.raw()));
+  WS.recycle(std::move(Adopted));
+  auto Recycled = WS.acquire(24);
+  EXPECT_TRUE(isAligned(Recycled->data()));
+  // Pool resize to a larger payload must re-land aligned too.
+  WS.recycleBuffer(std::move(Recycled));
+  auto Grown = WS.acquire(1024);
+  EXPECT_TRUE(isAligned(Grown->data()));
 }
 
 TEST(CowValueTest, GrowToPreservesPositionsWhenShared) {

@@ -37,6 +37,10 @@
 ///                     contract, so injected faults unwinding through the
 ///                     dispatch loop must leave shards as healthy as ones
 ///                     unwinding through the tree-walker
+///   --simd LEVEL      pin the kernel dispatch level (auto|scalar|sse2|
+///                     sse41|avx2; MVEC_SIMD env is the default) — the
+///                     campaign's deadline-poll and governor invariants
+///                     must hold on the vector path too
 ///   --no-chaos        skip the everything-armed plan
 ///   --json            machine-readable per-plan summary on stdout
 ///
@@ -45,6 +49,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "interp/simd/SimdDispatch.h"
 #include "resilience/FaultInjection.h"
 #include "service/VectorizationService.h"
 
@@ -73,8 +78,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s --corpus DIR [--corpus DIR]... [--seed N] [--jobs N]\n"
                "       %*s [--sites a,b] [--kinds a,b] [--deadline-ms N]\n"
-               "       %*s [--period N] [--engine ast|vm] [--no-chaos] "
-               "[--json]\n",
+               "       %*s [--period N] [--engine ast|vm] [--simd LEVEL] "
+               "[--no-chaos] [--json]\n",
                Argv0, static_cast<int>(std::strlen(Argv0)), "",
                static_cast<int>(std::strlen(Argv0)), "");
   return 2;
@@ -250,6 +255,8 @@ int main(int Argc, char **Argv) {
         Engine = ExecEngine::Vm;
       else
         return usage(Argv[0]);
+    } else if (simd::handleSimdFlag(Argc, Argv, I)) {
+      // kernel dispatch configured (exits with status 2 on a bad level)
     } else if (Arg == "--no-chaos")
       Chaos = false;
     else if (Arg == "--json")

@@ -35,6 +35,8 @@
 ///   --engine E          execution tier: ast (default), vm, or both
 ///                       (both cross-checks the tree-walker against the
 ///                       bytecode VM on every program)
+///   --simd LEVEL        pin the kernel dispatch level (auto|scalar|sse2|
+///                       sse41|avx2; MVEC_SIMD env is the default)
 ///   --no-reduce         keep findings unminimized
 ///   --save-new          persist new findings into the corpus
 ///   --replay            re-run the corpus as a regression suite and exit
@@ -43,6 +45,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Corpus.h"
+#include "interp/simd/SimdDispatch.h"
 #include "fuzz/Generator.h"
 #include "fuzz/Mutator.h"
 #include "fuzz/Oracle.h"
@@ -75,7 +78,7 @@ int usage(const char *Argv0) {
       "usage: %s [--seed N] [--time SECONDS] [--max-programs N] [--jobs N]\n"
       "       %*s [--corpus DIR] [--deadline-ms N] [--max-steps N]\n"
       "       %*s [--mutate-percent P] [--engine ast|vm|both]\n"
-      "       %*s [--no-reduce] [--save-new] [--stats]\n"
+      "       %*s [--simd LEVEL] [--no-reduce] [--save-new] [--stats]\n"
       "       %s --replay [--corpus DIR] [--jobs N] [--engine ast|vm|both]"
       " [--stats]\n",
       Argv0, static_cast<int>(std::strlen(Argv0)), "",
@@ -201,6 +204,8 @@ int main(int Argc, char **Argv) {
         Opt.Engine = EngineMode::Both;
       else
         return usage(Argv[0]);
+    } else if (simd::handleSimdFlag(Argc, Argv, I)) {
+      // kernel dispatch configured (exits with status 2 on a bad level)
     } else if (Arg == "--no-reduce")
       Opt.Reduce = false;
     else if (Arg == "--save-new")
