@@ -1,0 +1,13 @@
+% fuzz-finding: kind=mismatch status=fixed
+% bucket: mismatch:var:y
+% family: mutate:splice,dup-stmt,splice
+% Strong-SIV refined the carried direction in index-value space, so for
+% a negative-step loop the flow dependence from x(i)=1 to y=x(i+1) was
+% oriented backwards and loop distribution emitted the reading loop
+% before the vectorized write; y then observed the stale rand values.
+n=5;
+x=rand(1,11);
+for i=n:-1:1
+  x(i)=1;
+  y=x(i+1);
+end

@@ -1,0 +1,16 @@
+% fuzz-finding: kind=transformed-run-error status=fixed
+% bucket: trun:matrix dimensions must agree (#x# vs #x#)
+% family: mutate:jitter-ann,splice,jitter-num
+% Table 1 gave M(e1) the subscript's shape whenever the base was
+% declared (*,*), but '*' admits extent 1: here x is a runtime column
+% vector, so the slice x(1:n) is column-oriented and the rewritten
+% z(1:n)=x(1:n).*y(1:n) stored a 6x1 into a 1x6 target. Vector slices
+% of matrix-shaped bases now stay sequential.
+%! x(*,*) z(1,*)
+n=6;
+x=rand(n,1);
+y=rand(n,1);
+for i=1:n
+  z(i)=x(i).*y(i);
+end
+x=rand(2,n);

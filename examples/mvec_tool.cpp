@@ -24,6 +24,15 @@
 ///                      tiers for byte-identical behaviour; single-file
 ///                      mode only)
 ///   --plugin PATH      dlopen a pattern plugin (repeatable)
+///   --cost-model M     profitability model: off (default, vectorize
+///                      whenever legal) or on (keep loops the model
+///                      prices cheaper than their vector form)
+///   --cost-profile P   calibrated costs.mvec.json (default: built-in
+///                      conservative profile; a rejected file falls back
+///                      with a diagnostic)
+///   --explain-cost     implies --cost-model on; prints one line per
+///                      nest statement with the estimated vector/loop
+///                      costs and the decision (single-file mode only)
 ///   --no-transposes / --no-patterns / --no-reductions /
 ///   --no-reassociation / --no-normalize
 ///                      disable individual mechanisms
@@ -39,6 +48,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cost/CostModel.h"
 #include "driver/Pipeline.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
@@ -54,7 +64,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 using namespace mvec;
 
@@ -68,6 +80,7 @@ int usage(const char *Argv0) {
                "[--stats] [--stats-json FILE]\n"
                "  -o FILE, --remarks, --validate, --run, "
                "--engine ast|vm|both, --plugin PATH,\n"
+               "  --cost-model off|on, --cost-profile FILE, --explain-cost,\n"
                "  --simd %s (or MVEC_SIMD env),\n"
                "  --no-transposes, --no-patterns, --no-reductions,\n"
                "  --no-reassociation, --no-normalize\n",
@@ -179,6 +192,8 @@ int main(int argc, char **argv) {
   bool NoValidate = false, Stats = false;
   std::string StatsJsonPath;
   std::string EngineName = "ast";
+  bool CostOn = false, ExplainCost = false;
+  std::string CostProfile;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -204,6 +219,18 @@ int main(int argc, char **argv) {
       NoValidate = true;
     else if (Arg == "--engine" && I + 1 < argc)
       EngineName = argv[++I];
+    else if (Arg == "--cost-model" && I + 1 < argc) {
+      std::string Mode = argv[++I];
+      if (Mode == "off")
+        CostOn = false;
+      else if (Mode == "on")
+        CostOn = true;
+      else
+        return usage(argv[0]);
+    } else if (Arg == "--cost-profile" && I + 1 < argc)
+      CostProfile = argv[++I];
+    else if (Arg == "--explain-cost")
+      ExplainCost = true;
     else if (simd::handleSimdFlag(argc, argv, I)) {
       // kernel dispatch configured (exits with status 2 on a bad level)
     } else if (Arg == "--stats")
@@ -239,8 +266,25 @@ int main(int argc, char **argv) {
   // one engine per service instead.
   if (EngineName == "both" && !BatchDir.empty())
     return usage(argv[0]);
+  // The decision log is a single-translation artifact; batch jobs go
+  // through the (cost-fingerprinted) caches instead.
+  if (ExplainCost && !BatchDir.empty())
+    return usage(argv[0]);
   ExecEngine Engine =
       EngineName == "vm" ? ExecEngine::Vm : ExecEngine::Ast;
+
+  std::unique_ptr<cost::CostModel> Model;
+  if (CostOn || ExplainCost) {
+    std::string Diag;
+    Model = std::make_unique<cost::CostModel>(
+        cost::loadCostProfileOrDefault(CostProfile, Diag));
+    if (!Diag.empty())
+      std::fprintf(stderr, "warning: %s\n", Diag.c_str());
+    Opts.Cost = Model.get();
+  }
+  std::vector<cost::CostDecision> Decisions;
+  if (ExplainCost)
+    Opts.CostLog = &Decisions;
 
   if (!BatchDir.empty()) {
     PatternDatabase DB = makeDefaultPatternDatabase();
@@ -298,6 +342,28 @@ int main(int argc, char **argv) {
                DisplayName.c_str(), Result.Stats.LoopNestsConsidered,
                Result.Stats.LoopNestsImproved, Result.Stats.StmtsVectorized,
                Result.Stats.StmtsSequential);
+  if (ExplainCost) {
+    if (Opts.Cost->profile().Calibrated)
+      std::fprintf(stderr, "cost model: calibrated profile (simd %s)\n",
+                   Opts.Cost->profile().SimdLevel.c_str());
+    else
+      std::fprintf(stderr, "cost model: built-in conservative profile\n");
+    for (const cost::CostDecision &D : Decisions) {
+      std::fprintf(stderr, "  line %u: %s\n", D.Line, D.Stmt.c_str());
+      if (D.Vectorized)
+        std::fprintf(stderr,
+                     "    vectorized at level %u: vector ~%.0f ns vs loop "
+                     "~%.0f ns%s (%s)\n",
+                     D.ChosenLevel, D.VectorNs, D.LoopNs,
+                     D.VariantOverride ? ", variant override" : "",
+                     D.Detail.c_str());
+      else
+        std::fprintf(stderr,
+                     "    kept loop form: vector ~%.0f ns vs loop ~%.0f ns "
+                     "(%s)\n",
+                     D.VectorNs, D.LoopNs, D.Detail.c_str());
+    }
+  }
 
   if (Validate) {
     RunLimits Limits;

@@ -82,6 +82,10 @@ bool mvec::daemon::parseDaemonConfig(const std::string &Text,
       C.Engine = Value;
     else if (Key == "code_cache_capacity" && parseUnsigned(Value, U))
       C.CodeCacheCapacity = U;
+    else if (Key == "cost_model" && (Value == "off" || Value == "on"))
+      C.CostModel = Value;
+    else if (Key == "cost_profile")
+      C.CostProfile = Value;
     else {
       Error = "line " + std::to_string(LineNo) + ": bad entry '" + T + "'";
       return false;
@@ -117,6 +121,8 @@ std::string mvec::daemon::daemonConfigText(const DaemonConfig &Config) {
       << "tenant_burst = " << Config.TenantBurst << "\n"
       << "deadline_ms = " << Config.DeadlineMs << "\n"
       << "engine = " << Config.Engine << "\n"
-      << "code_cache_capacity = " << Config.CodeCacheCapacity << "\n";
+      << "code_cache_capacity = " << Config.CodeCacheCapacity << "\n"
+      << "cost_model = " << Config.CostModel << "\n"
+      << "cost_profile = " << Config.CostProfile << "\n";
   return Out.str();
 }

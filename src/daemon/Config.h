@@ -62,6 +62,16 @@ struct DaemonConfig {
   std::string Engine = "ast";
   /// Per-shard compiled-program cache entries (vm engine only).
   size_t CodeCacheCapacity = 64;
+  /// Profitability cost model: "off" vectorizes whenever legal, "on"
+  /// consults the model (built-in conservative profile unless
+  /// cost_profile names a calibrated costs.mvec.json). Hot-reloadable;
+  /// a change swaps in a fresh shard fleet because the profile
+  /// fingerprint salts every cache tier.
+  std::string CostModel = "off";
+  /// Path to a calibrated cost profile (empty = built-in defaults). A
+  /// malformed or stale file falls back to the defaults with a logged
+  /// diagnostic; it never prevents startup.
+  std::string CostProfile;
   /// Fault-injection plan armed in every shard service (test hook; not
   /// settable from a config file). Must outlive the daemon.
   const FaultPlan *Faults = nullptr;

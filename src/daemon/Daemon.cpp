@@ -9,6 +9,7 @@
 #include "interp/simd/SimdDispatch.h"
 
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <thread>
 
@@ -39,6 +40,13 @@ Daemon::~Daemon() {
 
 std::shared_ptr<Daemon::Fleet> Daemon::makeFleet(const DaemonConfig &C) const {
   auto F = std::make_shared<Fleet>();
+  if (C.CostModel == "on") {
+    std::string Diag;
+    F->Cost = std::make_unique<cost::CostModel>(
+        cost::loadCostProfileOrDefault(C.CostProfile, Diag));
+    if (!Diag.empty())
+      std::fprintf(stderr, "mvecd: %s\n", Diag.c_str());
+  }
   F->Shards.reserve(C.Shards);
   for (unsigned I = 0; I != C.Shards; ++I) {
     ServiceConfig SC;
@@ -52,6 +60,7 @@ std::shared_ptr<Daemon::Fleet> Daemon::makeFleet(const DaemonConfig &C) const {
     SC.Faults = C.Faults;
     SC.Engine = C.Engine == "vm" ? ExecEngine::Vm : ExecEngine::Ast;
     SC.CodeCacheCapacity = C.CodeCacheCapacity;
+    SC.Cost = F->Cost.get();
     auto S = std::make_unique<Shard>();
     S->Service = std::make_unique<VectorizationService>(SC);
     F->Shards.push_back(std::move(S));
@@ -208,7 +217,11 @@ bool Daemon::reload(const DaemonConfig &New, std::string &Error) {
                       Applied.WorkersPerShard != Config.WorkersPerShard ||
                       Applied.CacheCapacity != Config.CacheCapacity ||
                       Applied.NestCacheCapacity != Config.NestCacheCapacity ||
-                      Applied.MaxQueueDepth != Config.MaxQueueDepth;
+                      Applied.MaxQueueDepth != Config.MaxQueueDepth ||
+                      // A cost-model change re-fingerprints every cache
+                      // key, so the memory tiers must be rebuilt anyway.
+                      Applied.CostModel != Config.CostModel ||
+                      Applied.CostProfile != Config.CostProfile;
 
   if (FleetChanged) {
     // The old store must outlive the old fleet (its services hold a raw

@@ -33,6 +33,7 @@
 #ifndef MVEC_DAEMON_DAEMON_H
 #define MVEC_DAEMON_DAEMON_H
 
+#include "cost/CostModel.h"
 #include "daemon/Config.h"
 #include "daemon/DiskStore.h"
 #include "daemon/Protocol.h"
@@ -97,6 +98,10 @@ private:
     std::atomic<uint64_t> Shed{0};
   };
   struct Fleet {
+    /// Cost model shared by every shard service of this fleet (null when
+    /// cost_model = off). Declared before Shards so the services (which
+    /// hold a raw pointer) are destroyed first.
+    std::unique_ptr<cost::CostModel> Cost;
     std::vector<std::unique_ptr<Shard>> Shards;
   };
 

@@ -27,7 +27,10 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr const char *Magic = "MVRS1";
+// Bumped to 2 when the header grew the cost-model decision counters
+// (StmtsCostKept/NestsKeptLoop/VariantOverrides); v1 entries parse as
+// misses and are re-derived.
+constexpr const char *Magic = "MVRS2";
 
 uint64_t entryChecksum(const std::string &Src, const std::string &Msg) {
   return fnv1aHash(Msg, fnv1aHash(Src));
@@ -37,11 +40,12 @@ std::string headerLine(const JobResult &R) {
   const VectorizeStats &S = R.Stats;
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
-                "%s %zu %zu %s %u %u %u %u %u %u %s\n", Magic,
+                "%s %zu %zu %s %u %u %u %u %u %u %u %u %u %s\n", Magic,
                 R.VectorizedSource.size(), R.Message.size(),
                 jobStatusName(R.Status), S.LoopNestsConsidered,
                 S.LoopNestsImproved, S.StmtsVectorized, S.StmtsSequential,
-                S.SequentialLoopsEmitted, S.IneligibleNests,
+                S.SequentialLoopsEmitted, S.IneligibleNests, S.StmtsCostKept,
+                S.NestsKeptLoop, S.VariantOverrides,
                 contentHexKey(entryChecksum(R.VectorizedSource, R.Message))
                     .c_str());
   return Buf;
@@ -58,7 +62,8 @@ bool parseEntry(const std::string &Data, JobResult &R) {
   VectorizeStats S;
   Header >> Version >> SrcLen >> MsgLen >> Status >> S.LoopNestsConsidered >>
       S.LoopNestsImproved >> S.StmtsVectorized >> S.StmtsSequential >>
-      S.SequentialLoopsEmitted >> S.IneligibleNests >> SumHex;
+      S.SequentialLoopsEmitted >> S.IneligibleNests >> S.StmtsCostKept >>
+      S.NestsKeptLoop >> S.VariantOverrides >> SumHex;
   if (!Header || Version != Magic)
     return false;
   // Only successful results are ever stored; refuse anything else rather

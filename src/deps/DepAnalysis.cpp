@@ -435,10 +435,20 @@ void DepBuilder::testPair(unsigned S1, const AccessInfo &W, unsigned S2,
       if (UnitStep && HasLB && HasUB &&
           std::fabs(Dist) > UB - LB)
         return;
-      DirSet Refined = Dist > 0   ? DirSet::only('<')
-                       : Dist < 0 ? DirSet::only('>')
-                                  : DirSet::only('=');
-      Dirs[L - 1].intersect(Refined);
+      // Dist is in index-VALUE space; directions describe EXECUTION
+      // order. A negative step walks values downward, so the later
+      // iteration holds the smaller value and the sign flips; a
+      // non-constant step leaves execution order unknowable (a zero
+      // distance is still '=' either way).
+      if (Dist == 0.0) {
+        Dirs[L - 1].intersect(DirSet::only('='));
+      } else {
+        if (!Header.StepConst || *Header.StepConst == 0.0)
+          continue; // cannot orient the carried direction: stay full
+        double ExecDist = Dist * (*Header.StepConst > 0 ? 1.0 : -1.0);
+        Dirs[L - 1].intersect(ExecDist > 0 ? DirSet::only('<')
+                                           : DirSet::only('>'));
+      }
       if (Dirs[L - 1].empty())
         return; // contradictory constraints: no dependence
     }

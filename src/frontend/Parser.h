@@ -93,8 +93,10 @@ private:
   /// level per tree level, so no parse can build an AST deeper than this —
   /// which bounds every downstream recursion over the tree (printer, shape
   /// inference, dim checking, interpretation, and the unique_ptr destructor
-  /// chains) instead of overflowing the stack on hostile input.
-  static constexpr unsigned MaxExprDepth = 1000;
+  /// chains) instead of overflowing the stack on hostile input. Sized so
+  /// the ~13-frame descent cycle per level fits the default stack even
+  /// under ASan's inflated frames (1000 overflowed there).
+  static constexpr unsigned MaxExprDepth = 256;
 
   /// Charges one expression-tree level; on exhaustion reports the depth
   /// error (once), abandons the statement, and returns false.

@@ -6,6 +6,7 @@
 
 #include "fuzz/Oracle.h"
 
+#include "cost/CostModel.h"
 #include "driver/Pipeline.h"
 
 #include <cctype>
@@ -25,6 +26,8 @@ const char *mvec::fuzz::findingKindName(FindingKind Kind) {
     return "hang";
   case FindingKind::EngineDivergence:
     return "engine-divergence";
+  case FindingKind::CostDivergence:
+    return "cost-divergence";
   }
   return "unknown";
 }
@@ -198,24 +201,26 @@ Verdict Oracle::engineCheck(const std::string &Source,
   return V;
 }
 
-Verdict Oracle::check(const std::string &Source,
-                      const std::string &Family) const {
-  // Under Both, the tier cross-check runs first: an engine divergence on
-  // the *original* program poisons any differential verdict about the
-  // transformation, so it dominates.
-  if (Config.Engine == EngineMode::Both) {
-    Verdict E = engineCheck(Source, Family);
-    if (E.isFinding())
-      return E;
-  }
+const cost::CostModel *Oracle::costModel() const {
+  if (Config.Cost == CostMode::Off)
+    return nullptr;
+  return Config.Model ? Config.Model : &cost::builtinCostModel();
+}
+
+Verdict Oracle::checkImpl(const std::string &Source,
+                          const std::string &Family,
+                          const VectorizerOptions &Opts,
+                          std::string *TransformedOut) const {
   Verdict V;
   try {
-    PipelineResult P = vectorizeSource(Source, Config.Opts);
+    PipelineResult P = vectorizeSource(Source, Opts);
     if (!P.succeeded()) {
       // The pipeline refused the input with diagnostics; for a fuzzer
       // that is the expected fate of malformed mutants, not a defect.
       V = rejected();
     } else {
+      if (TransformedOut)
+        *TransformedOut = P.VectorizedSource;
       RunLimits Limits;
       Limits.MaxSteps = Config.MaxSteps;
       // Mutation can make the code contradict its %! annotations; a
@@ -249,6 +254,72 @@ Verdict Oracle::check(const std::string &Source,
     V.F.Family = Family;
   }
   return V;
+}
+
+Verdict Oracle::crossCheckCost(const std::string &Source,
+                               const std::string &Family,
+                               const std::string &OffOut,
+                               const std::string &OnOut) const {
+  if (OffOut == OnOut)
+    return Verdict{};
+  RunLimits Limits;
+  Limits.MaxSteps = Config.MaxSteps;
+  if (Config.Deadline.count() > 0)
+    Limits.Deadline = std::chrono::steady_clock::now() + Config.Deadline;
+  if (Config.Engine == EngineMode::Vm)
+    Limits.Engine = ExecEngine::Vm;
+  // Both outputs already matched the original within Tol, so by the
+  // triangle inequality they agree within 2*Tol; a wider gap means the
+  // cost model changed semantics, not just rounding.
+  DiffOutcome Diff = diffRunLimited(OffOut, OnOut, Limits, 2 * Config.Tol);
+  if (Diff.Status != DiffStatus::Mismatch)
+    return Verdict{}; // re-run noise (budget/interrupt), not a verdict
+  Verdict V = finding(FindingKind::CostDivergence,
+                      "cost-divergence:" + normalizeForBucket(Diff.Message),
+                      "cost-model-on output diverges from cost-model-off "
+                      "output: " +
+                          Diff.Message);
+  V.F.Source = Source;
+  V.F.Family = Family;
+  return V;
+}
+
+Verdict Oracle::check(const std::string &Source,
+                      const std::string &Family) const {
+  // Under EngineMode::Both, the tier cross-check runs first: an engine
+  // divergence on the *original* program poisons any differential verdict
+  // about the transformation, so it dominates.
+  if (Config.Engine == EngineMode::Both) {
+    Verdict E = engineCheck(Source, Family);
+    if (E.isFinding())
+      return E;
+  }
+  VectorizerOptions Base = Config.Opts;
+  VectorizerOptions WithModel = Base;
+  WithModel.Cost = costModel();
+
+  if (Config.Cost != CostMode::Both)
+    return checkImpl(Source, Family,
+                     Config.Cost == CostMode::On ? WithModel : Base, nullptr);
+
+  // CostMode::Both: model-off first (its buckets are the stable,
+  // paper-faithful ones), then model-on, then the off-vs-on semantic
+  // cross-check on the two transformed programs.
+  std::string OffOut, OnOut;
+  Verdict Off = checkImpl(Source, Family, Base, &OffOut);
+  if (!Off.ok())
+    return Off;
+  Verdict On = checkImpl(Source, Family, WithModel, &OnOut);
+  if (On.isFinding()) {
+    // The defect only manifests with the model attached; mark the bucket
+    // so it never collapses into an off-mode signature.
+    On.F.Bucket = "cost:" + On.F.Bucket;
+    return On;
+  }
+  if (!On.ok())
+    return On;
+  Verdict Cross = crossCheckCost(Source, Family, OffOut, OnOut);
+  return Cross.isFinding() ? Cross : Off;
 }
 
 Verdict Oracle::classifyJob(const JobResult &R) {
@@ -299,25 +370,39 @@ Verdict Oracle::classifyJob(const JobResult &R) {
 
 std::vector<Verdict>
 Oracle::checkBatch(const std::vector<GenProgram> &Candidates) {
+  const bool CostBoth = Config.Cost == CostMode::Both;
   std::vector<JobSpec> Specs;
-  Specs.reserve(Candidates.size());
+  Specs.reserve(Candidates.size() * (CostBoth ? 2 : 1));
   for (const GenProgram &Candidate : Candidates) {
     JobSpec Spec;
     Spec.Name = Candidate.Family;
     Spec.Source = Candidate.Source;
     Spec.Opts = Config.Opts;
+    if (Config.Cost == CostMode::On)
+      Spec.Opts.Cost = costModel();
     Spec.Validate = true;
     Spec.Deadline = Config.Deadline;
     Spec.ValidateTol = Config.Tol;
     Spec.MaxSteps = Config.MaxSteps;
     Spec.CheckAnnotations = true;
-    Specs.push_back(std::move(Spec));
+    if (CostBoth) {
+      // Paired submission: the model-on twin rides the same batch (the
+      // options fingerprint separates the cache entries), and the
+      // verdict loop below cross-checks each pair.
+      JobSpec Twin = Spec;
+      Twin.Opts.Cost = costModel();
+      Specs.push_back(std::move(Spec));
+      Specs.push_back(std::move(Twin));
+    } else {
+      Specs.push_back(std::move(Spec));
+    }
   }
   std::vector<JobResult> Results = Service->runBatch(std::move(Specs));
   std::vector<Verdict> Verdicts;
-  Verdicts.reserve(Results.size());
-  for (size_t I = 0; I != Results.size(); ++I) {
-    Verdict V = classifyJob(Results[I]);
+  Verdicts.reserve(Candidates.size());
+  for (size_t I = 0; I != Candidates.size(); ++I) {
+    const JobResult &R = Results[CostBoth ? 2 * I : I];
+    Verdict V = classifyJob(R);
     if (V.isFinding()) {
       V.F.Source = Candidates[I].Source;
       V.F.Family = Candidates[I].Family;
@@ -326,11 +411,26 @@ Oracle::checkBatch(const std::vector<GenProgram> &Candidates) {
       // always, the vectorized output when one was produced. A pipeline
       // finding above still wins — it already names a defect.
       V = engineCheck(Candidates[I].Source, Candidates[I].Family);
-      if (!V.isFinding() && Results[I].succeeded() &&
-          !Results[I].VectorizedSource.empty())
-        V = engineCheck(Results[I].VectorizedSource, Candidates[I].Family);
+      if (!V.isFinding() && R.succeeded() && !R.VectorizedSource.empty())
+        V = engineCheck(R.VectorizedSource, Candidates[I].Family);
       if (!V.isFinding())
-        V = classifyJob(Results[I]);
+        V = classifyJob(R);
+    }
+    if (CostBoth && !V.isFinding()) {
+      const JobResult &ROn = Results[2 * I + 1];
+      Verdict On = classifyJob(ROn);
+      if (On.isFinding()) {
+        On.F.Bucket = "cost:" + On.F.Bucket;
+        On.F.Source = Candidates[I].Source;
+        On.F.Family = Candidates[I].Family;
+        V = std::move(On);
+      } else if (R.succeeded() && ROn.succeeded()) {
+        Verdict Cross =
+            crossCheckCost(Candidates[I].Source, Candidates[I].Family,
+                           R.VectorizedSource, ROn.VectorizedSource);
+        if (Cross.isFinding())
+          V = std::move(Cross);
+      }
     }
     Verdicts.push_back(std::move(V));
   }

@@ -47,6 +47,7 @@ enum class FindingKind {
   Mismatch,           ///< both ran; final workspaces or output diverge
   Hang,               ///< transformed run (or the vectorizer) overran
   EngineDivergence,   ///< tree-walker and bytecode VM disagree on a program
+  CostDivergence,     ///< cost-model-on output diverges from cost-model-off
 };
 
 /// Display name for \p Kind ("crash", "mismatch", ...).
@@ -85,6 +86,15 @@ struct Verdict {
 /// divergence is a FindingKind::EngineDivergence.
 enum class EngineMode { Ast, Vm, Both };
 
+/// Whether the profitability cost model participates. Off reproduces the
+/// paper's vectorize-whenever-legal behaviour; On attaches a model to
+/// every candidate; Both runs each candidate through *both*
+/// configurations and demands that the two transformed programs behave
+/// identically — keeping a loop (or choosing another mul-chain variant)
+/// must never change semantics. A divergence is a
+/// FindingKind::CostDivergence.
+enum class CostMode { Off, On, Both };
+
 struct OracleConfig {
   /// Service workers for checkBatch.
   unsigned Jobs = 4;
@@ -99,6 +109,11 @@ struct OracleConfig {
   double Tol = 1e-7;
   /// Execution tier(s); see EngineMode.
   EngineMode Engine = EngineMode::Ast;
+  /// Cost-model participation; see CostMode.
+  CostMode Cost = CostMode::Off;
+  /// Model used under CostMode::On/Both (null = the built-in conservative
+  /// profile). Must outlive the oracle.
+  const cost::CostModel *Model = nullptr;
   VectorizerOptions Opts;
 };
 
@@ -142,6 +157,20 @@ public:
   ServiceMetrics &metrics();
 
 private:
+  /// The differential (original vs transformed) classification under one
+  /// specific options configuration; fills \p TransformedOut with the
+  /// vectorized source when the pipeline produced one.
+  Verdict checkImpl(const std::string &Source, const std::string &Family,
+                    const VectorizerOptions &Opts,
+                    std::string *TransformedOut) const;
+  /// The model consulted under CostMode::On/Both.
+  const cost::CostModel *costModel() const;
+  /// Compares the model-off and model-on transformed programs; returns a
+  /// CostDivergence finding when their behaviour differs.
+  Verdict crossCheckCost(const std::string &Source, const std::string &Family,
+                         const std::string &OffOut,
+                         const std::string &OnOut) const;
+
   OracleConfig Config;
   std::unique_ptr<VectorizationService> Service;
 };

@@ -252,6 +252,10 @@ Interpreter::Flow Interpreter::execFor(const ForStmt &S) {
 
   Flow Result = Flow::Normal;
   for (size_t Col = 0; Col != NumIters; ++Col) {
+    if (backEdgePoll(S.loc())) {
+      Result = Flow::Return;
+      break;
+    }
     if (RangeV.rows() == 1) {
       Env.define(IdxSlot, Value::scalar(RangeV.at(0, Col)));
     } else {
@@ -275,6 +279,8 @@ Interpreter::Flow Interpreter::execFor(const ForStmt &S) {
 
 Interpreter::Flow Interpreter::execWhile(const WhileStmt &S) {
   while (true) {
+    if (backEdgePoll(S.loc()))
+      return Flow::Return;
     Value Cond = eval(*S.cond());
     if (Failed)
       return Flow::Return;

@@ -169,6 +169,17 @@ public:
     return false;
   }
 
+  /// Amortized cancel/deadline poll charged on loop back-edges by both
+  /// engines. A bodiless loop never reaches stmtStep, so without this an
+  /// armed deadline cannot interrupt `while 1; end`; polling instead of
+  /// stepping leaves the step count the engines keep in lockstep
+  /// untouched. Returns true when execution must stop.
+  bool backEdgePoll(SourceLoc Loc) {
+    if ((++BackEdges & 0xF) == 0)
+      return stmtPoll(Loc);
+    return false;
+  }
+
   /// Deferred accumulator reserve hints (see execFor). Engines record the
   /// watermark at loop entry and restore it on loop exit and on unwind.
   size_t pendingHintCount() const { return PendingHints.size(); }
@@ -408,6 +419,7 @@ private:
   SourceLoc ErrorLoc;
   uint64_t StepLimit = 0;
   uint64_t Steps = 0;
+  uint64_t BackEdges = 0;
   std::optional<std::chrono::steady_clock::time_point> DeadlineTp;
   const std::atomic<bool> *CancelFlag = nullptr;
   InterruptKind Interrupt = InterruptKind::None;

@@ -89,7 +89,10 @@ std::string ServiceMetrics::text() const {
       << "  queue: depth_high_water=" << QueueDepthHighWater.load() << "\n"
       << "  compile: bytecode_compiles=" << BytecodeCompiles.load()
       << " code_cache_hits=" << CodeCacheHits.load()
-      << " code_cache_misses=" << CodeCacheMisses.load() << "\n";
+      << " code_cache_misses=" << CodeCacheMisses.load() << "\n"
+      << "  cost: nests_vectorized=" << NestsVectorized.load()
+      << " nests_kept_loop=" << NestsKeptLoop.load()
+      << " variant_overrides=" << VariantOverrides.load() << "\n";
   // Dispatch state is process-global (one kernel table per process), so
   // every service in the process reports the same tier and shares one set
   // of counters; it still answers "which ISA actually served my traffic".
@@ -125,7 +128,10 @@ std::string ServiceMetrics::json() const {
       << "\"queue\":{\"depth_high_water\":" << QueueDepthHighWater.load()
       << "},\"compile\":{\"bytecode_compiles\":" << BytecodeCompiles.load()
       << ",\"code_cache_hits\":" << CodeCacheHits.load()
-      << ",\"code_cache_misses\":" << CodeCacheMisses.load() << "},";
+      << ",\"code_cache_misses\":" << CodeCacheMisses.load()
+      << "},\"cost\":{\"nests_vectorized\":" << NestsVectorized.load()
+      << ",\"nests_kept_loop\":" << NestsKeptLoop.load()
+      << ",\"variant_overrides\":" << VariantOverrides.load() << "},";
   const simd::DispatchCounters &D = simd::dispatchCounters();
   Out << "\"simd\":{\"isa\":\"" << simd::levelName(simd::activeLevel())
       << "\",\"dispatch\":{\"elementwise\":" << D.Elementwise.load()

@@ -87,6 +87,14 @@ struct ServiceMetrics {
   std::atomic<uint64_t> BytecodeCompiles{0};
   std::atomic<uint64_t> CodeCacheHits{0};
   std::atomic<uint64_t> CodeCacheMisses{0};
+  /// Cost-model decisions (only move when ServiceConfig::Cost is set):
+  /// nests with at least one vector-form statement, nests where the model
+  /// kept at least one legal vectorization in loop form, and mul-chain
+  /// variant overrides. Replayed on cache hits like the VectorizeStats
+  /// they derive from.
+  std::atomic<uint64_t> NestsVectorized{0};
+  std::atomic<uint64_t> NestsKeptLoop{0};
+  std::atomic<uint64_t> VariantOverrides{0};
 
   LatencyHistogram QueueLatency;     ///< submission -> worker pickup
   LatencyHistogram VectorizeLatency; ///< parse+infer+vectorize stage

@@ -64,6 +64,11 @@ VectorizationService::~VectorizationService() {
 }
 
 std::future<JobResult> VectorizationService::submit(JobSpec Spec) {
+  // Service-wide cost model, unless the job brought its own. Applied
+  // before anything hashes the spec: the model's fingerprint is part of
+  // the options fingerprint and therefore of every cache key.
+  if (!Spec.Opts.Cost && Config.Cost)
+    Spec.Opts.Cost = Config.Cost;
   Metrics.JobsSubmitted.fetch_add(1, std::memory_order_relaxed);
   Clock::time_point SubmitTime = Clock::now();
   auto Promise = std::make_shared<std::promise<JobResult>>();
@@ -214,6 +219,14 @@ JobResult VectorizationService::processJob(const JobSpec &Spec,
   switch (R.Status) {
   case JobStatus::Succeeded:
     Metrics.JobsSucceeded.fetch_add(1, std::memory_order_relaxed);
+    // Cost-model decision counters ride on the replayed VectorizeStats,
+    // so cache hits count the same decisions the original run made.
+    Metrics.NestsVectorized.fetch_add(R.Stats.LoopNestsImproved,
+                                      std::memory_order_relaxed);
+    Metrics.NestsKeptLoop.fetch_add(R.Stats.NestsKeptLoop,
+                                    std::memory_order_relaxed);
+    Metrics.VariantOverrides.fetch_add(R.Stats.VariantOverrides,
+                                       std::memory_order_relaxed);
     break;
   case JobStatus::Failed:
     Metrics.JobsFailed.fetch_add(1, std::memory_order_relaxed);

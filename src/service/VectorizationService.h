@@ -82,6 +82,12 @@ struct ServiceConfig {
   /// through to Store (when wired), so a restarted daemon re-executes
   /// warm scripts without re-lowering them.
   size_t CodeCacheCapacity = 64;
+  /// Profitability cost model applied to every job that did not bring its
+  /// own (null = vectorize whenever legal). Must outlive the service; its
+  /// fingerprint salts every cache tier through optionsFingerprint, so
+  /// results computed under one calibration are never served under
+  /// another.
+  const cost::CostModel *Cost = nullptr;
 };
 
 class VectorizationService {

@@ -6,12 +6,15 @@
 
 #include "vectorizer/Codegen.h"
 
+#include "cost/CostModel.h"
 #include "frontend/ASTPrinter.h"
 #include "frontend/ASTUtils.h"
 #include "frontend/Simplify.h"
 #include "vectorizer/DimChecker.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <map>
 #include <optional>
 
@@ -54,6 +57,8 @@ private:
   void emitSingle(unsigned StmtIdx, unsigned Level,
                   std::vector<StmtPtr> &Block);
   std::optional<double> literalValue(const Expr *E) const;
+  double estimatedTrip(unsigned K) const;
+  double tripsProduct(unsigned Lo, unsigned Hi) const;
   bool provablyPositiveTrips(unsigned L, unsigned MaxL) const;
   bool provablyZeroTrips(unsigned L, unsigned MaxL) const;
   std::string emptyTripHazard(unsigned L, unsigned MaxL,
@@ -222,6 +227,131 @@ std::string CodegenDriver::emptyTripHazard(unsigned L, unsigned MaxL,
          "positive)";
 }
 
+/// Estimated trip count of nest level \p K: exact when the bounds fold to
+/// literals (through Guards.Constants and known sizes), else the model's
+/// assume-large fallback. Used only for profitability estimates — safety
+/// proofs stay with provablyPositiveTrips/provablyZeroTrips.
+double CodegenDriver::estimatedTrip(unsigned K) const {
+  const LoopHeader &H = Nest.Loops[K - 1];
+  std::optional<double> Start = literalValue(H.Start);
+  std::optional<double> Stop = literalValue(H.Stop);
+  double Step = 1.0;
+  bool StepKnown = true;
+  if (H.Step) {
+    std::optional<double> SV = literalValue(H.Step);
+    if (SV)
+      Step = *SV;
+    else
+      StepKnown = false;
+  }
+  if (Start && Stop && StepKnown && Step != 0) {
+    double Trips = std::floor((*Stop - *Start) / Step) + 1;
+    return Trips > 0 ? Trips : 0.0;
+  }
+  return Opts.Cost ? Opts.Cost->assumedTrip() : 64.0;
+}
+
+double CodegenDriver::tripsProduct(unsigned Lo, unsigned Hi) const {
+  double Product = 1.0;
+  for (unsigned K = Lo; K <= Hi; ++K)
+    Product *= estimatedTrip(K);
+  return Product;
+}
+
+/// Number of interpreter-dispatched operations one execution of \p E
+/// performs in scalar (loop-body) form.
+unsigned countOps(const Expr *E) {
+  if (!E)
+    return 0;
+  if (const auto *Un = dyn_cast<UnaryExpr>(E))
+    return 1 + countOps(Un->operand());
+  if (const auto *T = dyn_cast<TransposeExpr>(E))
+    return 1 + countOps(T->operand());
+  if (const auto *Bin = dyn_cast<BinaryExpr>(E))
+    return 1 + countOps(Bin->lhs()) + countOps(Bin->rhs());
+  if (const auto *R = dyn_cast<RangeExpr>(E))
+    return 1 + countOps(R->start()) + countOps(R->step()) +
+           countOps(R->stop());
+  if (const auto *Ix = dyn_cast<IndexExpr>(E)) {
+    unsigned N = 1;
+    for (unsigned I = 0, K = Ix->numArgs(); I != K; ++I)
+      N += countOps(Ix->arg(I));
+    return N;
+  }
+  if (const auto *M = dyn_cast<MatrixExpr>(E)) {
+    unsigned N = 1;
+    for (const auto &Row : M->rows())
+      for (const ExprPtr &Elt : Row)
+        N += countOps(Elt.get());
+    return N;
+  }
+  return 1; // leaf: number, identifier, colon, end
+}
+
+/// Kernel-class census of a vectorized statement's RHS, mirroring how the
+/// interpreter will actually execute it: a '+'/'-' directly over a '.*'
+/// runs as one fused multiply-add kernel, 'sum' as a reduction, 'repmat'
+/// as a materialization, everything else pointwise.
+void countKernels(const Expr *E, cost::KernelCounts &K) {
+  if (!E)
+    return;
+  if (const auto *Bin = dyn_cast<BinaryExpr>(E)) {
+    BinaryOp Op = Bin->op();
+    if (Op == BinaryOp::Mul) {
+      ++K.MatMul;
+    } else if (Op == BinaryOp::Add || Op == BinaryOp::Sub) {
+      const auto *DM = dyn_cast<BinaryExpr>(Bin->lhs());
+      if (!(DM && DM->op() == BinaryOp::DotMul)) {
+        const auto *RhsBin = dyn_cast<BinaryExpr>(Bin->rhs());
+        DM = (RhsBin && RhsBin->op() == BinaryOp::DotMul) ? RhsBin : nullptr;
+      }
+      if (DM) {
+        ++K.FusedMulAdd;
+        countKernels(DM->lhs(), K);
+        countKernels(DM->rhs(), K);
+        countKernels(DM == Bin->lhs() ? Bin->rhs() : Bin->lhs(), K);
+        return;
+      }
+      ++K.Elementwise;
+    } else {
+      ++K.Elementwise;
+    }
+    countKernels(Bin->lhs(), K);
+    countKernels(Bin->rhs(), K);
+    return;
+  }
+  if (const auto *T = dyn_cast<TransposeExpr>(E)) {
+    ++K.Transpose;
+    countKernels(T->operand(), K);
+    return;
+  }
+  if (const auto *Un = dyn_cast<UnaryExpr>(E)) {
+    ++K.Elementwise;
+    countKernels(Un->operand(), K);
+    return;
+  }
+  if (const auto *Ix = dyn_cast<IndexExpr>(E)) {
+    Symbol Base = Ix->baseSym();
+    if (!Base.empty() && Base.str() == "sum")
+      ++K.Reduce;
+    else if (!Base.empty() && Base.str() == "repmat")
+      ++K.Repmat;
+    else
+      ++K.Elementwise; // slice read or other call
+    for (unsigned I = 0, N = Ix->numArgs(); I != N; ++I)
+      countKernels(Ix->arg(I), K);
+    return;
+  }
+  if (const auto *M = dyn_cast<MatrixExpr>(E)) {
+    ++K.Elementwise;
+    for (const auto &Row : M->rows())
+      for (const ExprPtr &Elt : Row)
+        countKernels(Elt.get(), K);
+    return;
+  }
+  // Leaves are free: whole-variable reads and literals dispatch no kernel.
+}
+
 std::vector<StmtPtr>
 CodegenDriver::codegen(const std::vector<unsigned> &Active, unsigned Level) {
   std::vector<StmtPtr> Block;
@@ -284,7 +414,6 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
                                std::vector<StmtPtr> &Block) {
   const NestStmt &NS = Nest.Stmts[StmtIdx];
   unsigned MaxL = NS.Depth;
-  std::vector<StmtPtr> *BlockPtr = &Block;
 
   // Share dim_i results across the per-level attempts below: a subtree
   // indifferent to the level being peeled replays instead of re-deriving.
@@ -293,6 +422,20 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
   std::optional<DimCheckMemo> Memo;
   if (MaxL > Level && Nest.Loops.size() <= 32)
     Memo.emplace(Nest);
+
+  // Phase 1 — collect. Without a cost model the outermost legal level
+  // wins and the scan short-circuits there (the paper's behavior, same
+  // work as before). With a model every level is a candidate: an outer
+  // level vectorizes more loops but may force expensive kernel shapes,
+  // an inner one trades shell iterations for cheaper kernels.
+  struct Candidate {
+    unsigned L = 0;
+    std::unique_ptr<AssignStmt> Stmt;
+    unsigned Overrides = 0; ///< mul-chain variant overrides in this form
+    double CostNs = 0;      ///< modeled cost, filled in phase 2
+  };
+  std::vector<Candidate> Cands;
+  std::map<unsigned, std::string> FailWhy;
 
   for (unsigned L = Level; L <= MaxL; ++L) {
     // Recurrences on the statement itself at the levels still in play.
@@ -358,20 +501,88 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
           std::move(LHS), std::move(RHS), NS.S->loc());
       std::string Hazard = emptyTripHazard(L, MaxL, IsReduction);
       if (Hazard.empty()) {
-        remark(NS.S->loc(), "vectorized statement at loop level " +
-                                std::to_string(L) + ": " +
-                                printStmt(*NewStmt));
-        BlockPtr->push_back(std::move(NewStmt));
-        ++Result.VectorizedStmts;
-        return;
+        Candidate C;
+        C.L = L;
+        C.Stmt = std::move(NewStmt);
+        C.Overrides = Checker.variantOverrides();
+        Cands.push_back(std::move(C));
+        if (!Opts.Cost)
+          break; // outermost legal level wins, exactly as before
+        continue;
       }
       Checked.reset();
       Why = Hazard;
     }
 
     if (!Why.empty())
+      FailWhy[L] = Why;
+  }
+
+  // Phase 2 — decide. Without a model: first (outermost) candidate, or
+  // keep the loop when none. With a model: cheapest candidate against the
+  // interpreted loop form; keep-loop is always semantically safe, so the
+  // comparison needs no extra guards.
+  int Chosen = -1;
+  double LoopNs = 0, BestVecNs = 0;
+  if (!Opts.Cost) {
+    Chosen = Cands.empty() ? -1 : 0;
+  } else {
+    LoopNs = Opts.Cost->loopCost(tripsProduct(Level, MaxL),
+                                 countOps(NS.S->lhs()) + countOps(NS.S->rhs()));
+    for (size_t I = 0; I != Cands.size(); ++I) {
+      cost::KernelCounts K;
+      countKernels(Cands[I].Stmt->rhs(), K);
+      ++K.Elementwise; // the vectorized store itself
+      Cands[I].CostNs =
+          Opts.Cost->vectorCost(K, tripsProduct(Cands[I].L, MaxL),
+                                tripsProduct(Level, Cands[I].L - 1));
+      if (Chosen < 0 || Cands[I].CostNs < BestVecNs) {
+        Chosen = static_cast<int>(I);
+        BestVecNs = Cands[I].CostNs;
+      }
+    }
+    if (Chosen >= 0 && BestVecNs > LoopNs)
+      Chosen = -1; // the loop is cheaper; ties vectorize
+  }
+
+  if (Opts.Cost && Opts.CostLog) {
+    cost::CostDecision D;
+    D.Line = NS.S->loc().Line;
+    D.Stmt = printStmt(*NS.S);
+    while (!D.Stmt.empty() && (D.Stmt.back() == '\n' || D.Stmt.back() == ' '))
+      D.Stmt.pop_back();
+    D.Vectorized = Chosen >= 0;
+    D.ChosenLevel = Chosen >= 0 ? Cands[Chosen].L : 0;
+    D.LoopNs = LoopNs;
+    D.VariantOverride = Chosen >= 0 && Cands[Chosen].Overrides > 0;
+    if (Cands.empty()) {
+      D.Detail = "no legal vectorization level";
+    } else {
+      for (const Candidate &C : Cands) {
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), "%sL%u: %.0fns",
+                      D.Detail.empty() ? "" : ", ", C.L, C.CostNs);
+        D.Detail += Buf;
+        if (D.VectorNs == 0 || C.CostNs < D.VectorNs)
+          D.VectorNs = C.CostNs;
+      }
+    }
+    Opts.CostLog->push_back(std::move(D));
+  }
+
+  // Phase 3 — emit: sequential shells down to the chosen level (or all
+  // the way when the loop is kept), then the vector statement or the
+  // original body.
+  std::vector<StmtPtr> *BlockPtr = &Block;
+  unsigned ShellEnd = Chosen >= 0 ? Cands[Chosen].L : MaxL + 1;
+  for (unsigned L = Level; L != ShellEnd; ++L) {
+    auto It = FailWhy.find(L);
+    if (It != FailWhy.end())
       remark(NS.S->loc(), "level " + std::to_string(L) +
-                              " not vectorizable: " + Why);
+                              " not vectorizable: " + It->second);
+    else if (Opts.Cost)
+      remark(NS.S->loc(), "level " + std::to_string(L) +
+                              " kept sequential by cost model");
     StmtPtr Loop = makeSequentialLoop(L);
     auto *LoopRaw = cast<ForStmt>(Loop.get());
     ++Result.SequentialLoops;
@@ -379,8 +590,25 @@ void CodegenDriver::emitSingle(unsigned StmtIdx, unsigned Level,
     BlockPtr = &LoopRaw->body();
   }
 
-  // No level vectorized: the statement stays inside the sequential loops
-  // materialized above.
+  if (Chosen >= 0) {
+    Candidate &C = Cands[Chosen];
+    remark(NS.S->loc(), "vectorized statement at loop level " +
+                            std::to_string(C.L) + ": " + printStmt(*C.Stmt));
+    Result.VariantOverrides += C.Overrides;
+    BlockPtr->push_back(std::move(C.Stmt));
+    ++Result.VectorizedStmts;
+    return;
+  }
+
+  if (Opts.Cost && !Cands.empty()) {
+    ++Result.CostKeptStmts;
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "cost model kept loop form (~%.0fns) over vectorized form "
+                  "(~%.0fns)",
+                  LoopNs, BestVecNs);
+    remark(NS.S->loc(), Buf);
+  }
   BlockPtr->push_back(NS.S->clone());
   ++Result.SequentialStmts;
 }

@@ -66,6 +66,12 @@ struct CodegenResult {
   /// Sequential for-loops materialized in the output (0 when the whole
   /// nest vectorized).
   unsigned SequentialLoops = 0;
+  /// Statements a legal vectorization existed for but the cost model
+  /// priced slower than the interpreted loop (always 0 without a model).
+  unsigned CostKeptStmts = 0;
+  /// Mul-chain associations where the cost model overrode the default
+  /// most-reductions-folded choice, counted over emitted statements only.
+  unsigned VariantOverrides = 0;
 };
 
 /// Runs codegen_dim over \p Nest with dependence graph \p Graph.

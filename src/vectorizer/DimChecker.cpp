@@ -6,11 +6,13 @@
 
 #include "vectorizer/DimChecker.h"
 
+#include "cost/CostModel.h"
 #include "frontend/ASTUtils.h"
 #include "interp/Builtins.h"
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 using namespace mvec;
 
@@ -586,6 +588,35 @@ std::optional<CheckedExpr> DimChecker::combinePointwise(BinaryOp Op,
               dimsMismatch(L.Dims, R.Dims));
 }
 
+double DimChecker::dimExtent(DimSymbol D) const {
+  double Assumed = Opts.Cost ? Opts.Cost->assumedTrip() : 64.0;
+  if (D.isOne())
+    return 1.0;
+  if (D.isRange()) {
+    if (const LoopHeader *H = headerOf(D.loop())) {
+      double Start, Stop, Step = 1.0;
+      bool StepKnown = !H->Step || evaluateConstant(*H->Step, Step);
+      if (H->StepConst)
+        Step = *H->StepConst, StepKnown = true;
+      if (H->Start && H->Stop && StepKnown && Step != 0 &&
+          evaluateConstant(*H->Start, Start) &&
+          evaluateConstant(*H->Stop, Stop)) {
+        double Trips = std::floor((Stop - Start) / Step) + 1;
+        if (Trips > 0)
+          return Trips;
+      }
+    }
+  }
+  return Assumed; // Star or symbolic bounds: "assume large".
+}
+
+double DimChecker::dimsElems(const Dimensionality &D) const {
+  double Elems = 1.0;
+  for (DimSymbol S : D.symbols())
+    Elems *= dimExtent(S);
+  return Elems;
+}
+
 std::optional<CheckedExpr> DimChecker::combineMul(const CheckedExpr &L,
                                                   const CheckedExpr &R) {
   if (!rhoConsistent(L, R))
@@ -593,24 +624,35 @@ std::optional<CheckedExpr> DimChecker::combineMul(const CheckedExpr &L,
   std::set<LoopId> Rho = L.Rho;
   Rho.insert(R.Rho.begin(), R.Rho.end());
 
-  auto Result = [&Rho](ExprPtr E, Dimensionality Dims,
-                       std::optional<LoopId> Reduced = std::nullopt) {
+  // Each legal combination carries the modeled cost of its kernels so
+  // checkMulChain can rank associative groupings; KernelNs is this
+  // combination's own contribution on top of the operands'.
+  double BaseNs = L.CostNs + R.CostNs;
+  const cost::CostProfile &CP =
+      (Opts.Cost ? *Opts.Cost : cost::builtinCostModel()).profile();
+  auto Result = [&](ExprPtr E, Dimensionality Dims, double KernelNs,
+                    std::optional<LoopId> Reduced = std::nullopt) {
     CheckedExpr C;
     C.E = std::move(E);
     C.Dims = std::move(Dims);
     C.Rho = Rho;
+    C.CostNs = BaseNs + KernelNs;
     if (Reduced)
       C.Rho.insert(*Reduced);
     return C;
+  };
+  // Price of materializing a transposed operand.
+  auto TransNs = [&](const CheckedExpr &Op) {
+    return CP.TransposeNs * dimsElems(Op.Dims);
   };
 
   // Scalars multiply anything with a native '*'.
   if (L.Dims.isScalarShape())
     return Result(makeBinary(BinaryOp::Mul, L.E->clone(), R.E->clone()),
-                  R.Dims);
+                  R.Dims, CP.ElementwiseNs * dimsElems(R.Dims));
   if (R.Dims.isScalarShape())
     return Result(makeBinary(BinaryOp::Mul, L.E->clone(), R.E->clone()),
-                  L.Dims);
+                  L.Dims, CP.ElementwiseNs * dimsElems(L.Dims));
 
   const bool BothScalarPerIteration =
       !containsStar(L.Dims) && !containsStar(R.Dims);
@@ -621,16 +663,18 @@ std::optional<CheckedExpr> DimChecker::combineMul(const CheckedExpr &L,
   if (BothScalarPerIteration) {
     if (compatible(L.Dims, R.Dims))
       return Result(makeBinary(BinaryOp::DotMul, L.E->clone(), R.E->clone()),
-                    L.Dims);
+                    L.Dims, CP.ElementwiseNs * dimsElems(L.Dims));
     if (Opts.EnableTransposes) {
       if (compatible(L.Dims, R.Dims.reversed()))
         return Result(makeBinary(BinaryOp::DotMul, L.E->clone(),
                                  makeTranspose(R.E->clone())),
-                      L.Dims);
+                      L.Dims,
+                      CP.ElementwiseNs * dimsElems(L.Dims) + TransNs(R));
       if (compatible(L.Dims.reversed(), R.Dims))
         return Result(makeBinary(BinaryOp::DotMul,
                                  makeTranspose(L.E->clone()), R.E->clone()),
-                      R.Dims);
+                      R.Dims,
+                      CP.ElementwiseNs * dimsElems(R.Dims) + TransNs(L));
     }
   }
 
@@ -663,9 +707,12 @@ std::optional<CheckedExpr> DimChecker::combineMul(const CheckedExpr &L,
           continue;
         ExprPtr EL = TL ? makeTranspose(L.E->clone()) : L.E->clone();
         ExprPtr ER = TR ? makeTranspose(R.E->clone()) : R.E->clone();
+        double MulNs = CP.MatMulNs * dimExtent(DL[0]) * dimExtent(Inner) *
+                           dimExtent(DR[1]) +
+                       (TL ? TransNs(L) : 0.0) + (TR ? TransNs(R) : 0.0);
         return Result(makeBinary(BinaryOp::Mul, std::move(EL),
                                  std::move(ER)),
-                      Dimensionality{DL[0], DR[1]}, Reduced);
+                      Dimensionality{DL[0], DR[1]}, MulNs, Reduced);
       }
     }
   }
@@ -690,7 +737,13 @@ std::optional<CheckedExpr> DimChecker::combineMul(const CheckedExpr &L,
                 patternContext(Match.Bindings));
             if (!T)
               continue;
-            return Result(std::move(T), Match.OutDims);
+            // Pattern forms touch both inputs and materialize the output;
+            // price them as one pass over each.
+            double PatNs =
+                CP.ElementwiseNs * (dimsElems(DL) + dimsElems(DR) +
+                                    dimsElems(Match.OutDims)) +
+                (TL ? TransNs(L) : 0.0) + (TR ? TransNs(R) : 0.0);
+            return Result(std::move(T), Match.OutDims, PatNs);
           }
         }
       }
@@ -788,7 +841,40 @@ std::optional<CheckedExpr> DimChecker::checkMulChain(const BinaryExpr &E) {
                    [](const CheckedExpr &A, const CheckedExpr &B) {
                      return A.Rho.size() > B.Rho.size();
                    });
-  return std::move(Final.front());
+  if (!Opts.Cost || Final.size() < 2)
+    return std::move(Final.front());
+
+  // Cost-model variant selection: re-rank the candidates by modeled
+  // kernel cost. A reduction a candidate left unfolded still has to
+  // happen as a Gamma sum pass downstream, so each candidate is charged
+  // ReduceNs over its intermediate for every loop some sibling managed to
+  // fold but it did not — otherwise fewer-folded variants would look
+  // artificially cheap. Ties keep the default (Rho-major) order.
+  const cost::CostProfile &CP = Opts.Cost->profile();
+  std::set<LoopId> Foldable;
+  for (const CheckedExpr &C : Final)
+    Foldable.insert(C.Rho.begin(), C.Rho.end());
+  auto Adjusted = [&](const CheckedExpr &C) {
+    double Ns = C.CostNs;
+    // The gamma pass walks the candidate's intermediate, whose dims still
+    // carry the unfolded range, so dimsElems(C.Dims) already includes it.
+    for (LoopId Loop : Foldable)
+      if (!C.Rho.count(Loop))
+        Ns += CP.ReduceNs * dimsElems(C.Dims);
+    return Ns;
+  };
+  size_t Best = 0;
+  double BestNs = Adjusted(Final[0]);
+  for (size_t I = 1; I != Final.size(); ++I) {
+    double Ns = Adjusted(Final[I]);
+    if (Ns < BestNs) {
+      Best = I;
+      BestNs = Ns;
+    }
+  }
+  if (Best != 0)
+    ++VariantOverrides;
+  return std::move(Final[Best]);
 }
 
 //===----------------------------------------------------------------------===//
@@ -899,10 +985,21 @@ std::optional<CheckedExpr> DimChecker::checkIndex(const IndexExpr &E) {
         return std::nullopt;
       if (!CA->Rho.empty())
         return fail("reduction inside a subscript");
-      if ((BaseShape && BaseShape->isMatrixShape()) ||
-          CA->Dims.isMatrixShape()) {
-        // Table 1: M(e1) takes e1's shape when either is a matrix.
+      if (CA->Dims.isMatrixShape() ||
+          (BaseShape && BaseShape->isMatrixShape() &&
+           CA->Dims.isScalarShape())) {
+        // Table 1: M(e1) takes e1's shape when either is a matrix. A
+        // scalar subscript is orientation-free, and a matrix-shaped
+        // subscript forces its own shape even on a vector base.
         Dims = CA->Dims;
+      } else if (BaseShape && BaseShape->isMatrixShape()) {
+        // A '*' extent admits 1, so a base declared (*,*) may be a
+        // runtime column vector — and MATLAB then orients the slice
+        // along the base, not the subscript. The abstract shape of a
+        // vector slice is underivable from the annotation: stay
+        // sequential rather than guess.
+        return fail("vector slice of matrix-shaped '" + Name +
+                    "' has data-dependent orientation");
       } else if (BaseShape) {
         auto S = CA->Dims.fmax();
         if (!S)

@@ -42,12 +42,18 @@ struct CheckedExpr {
   ExprPtr E;
   Dimensionality Dims;
   std::set<LoopId> Rho;
+  /// Modeled kernel cost (ns) accumulated through '*' combinations; only
+  /// meaningful relative to sibling candidates of the same mul chain,
+  /// where it ranks associative groupings (matrix-chain ordering, dot
+  /// product vs matmul) when a cost model is active.
+  double CostNs = 0;
 
   CheckedExpr clone() const {
     CheckedExpr C;
     C.E = E->clone();
     C.Dims = Dims;
     C.Rho = Rho;
+    C.CostNs = CostNs;
     return C;
   }
 };
@@ -130,6 +136,11 @@ public:
   /// Why the last checkStatement failed.
   const std::string &failureReason() const { return Failure; }
 
+  /// Times the active cost model picked a mul-chain association other
+  /// than the default most-reductions-folded / discovery-order choice.
+  /// Always 0 when VectorizerOptions::Cost is null.
+  unsigned variantOverrides() const { return VariantOverrides; }
+
   /// Checks a single expression (exposed for unit tests).
   std::optional<CheckedExpr> checkExpr(const Expr &E);
 
@@ -171,6 +182,13 @@ private:
   /// operand must not appear in the other's dimensionality.
   bool rhoConsistent(const CheckedExpr &L, const CheckedExpr &R) const;
 
+  /// Estimated extent of one abstract dimension: 1 for One, the loop's
+  /// constant trip count for a Range with literal bounds, else the cost
+  /// model's assumed-large fallback. Used only for variant ranking.
+  double dimExtent(DimSymbol D) const;
+  /// Product of dimExtent over \p D's symbols.
+  double dimsElems(const Dimensionality &D) const;
+
   /// Loop id when \p Name is the index variable of a vectorized loop.
   std::optional<LoopId> vectorizedLoop(Symbol Name) const;
   /// True when \p Name is the index of a sequential (outer) loop.
@@ -202,6 +220,7 @@ private:
   std::set<LoopId> ReductionLoops;
   std::string Failure;
   unsigned Depth = 0;
+  unsigned VariantOverrides = 0;
 };
 
 } // namespace mvec

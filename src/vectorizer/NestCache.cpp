@@ -6,6 +6,7 @@
 
 #include "vectorizer/NestCache.h"
 
+#include "cost/CostModel.h"
 #include "support/Arena.h"
 
 using namespace mvec;
@@ -20,6 +21,14 @@ uint64_t mvec::optionsFingerprint(const VectorizerOptions &Opts) {
   Pack(Opts.NormalizeLoops);
   Pack(Opts.DistributeTransposes);
   Pack(Opts.EmitRemarks);
+  // An active cost model changes which form a nest compiles to, so its
+  // calibration fingerprint (profile checksum + SIMD level) becomes part
+  // of the options identity: NestCache, ContentCache, and the daemon
+  // DiskStore all key off this value and must never serve a result
+  // produced under a different calibration.
+  Pack(Opts.Cost != nullptr);
+  if (Opts.Cost)
+    Bits = fnv1aMix(Opts.Cost->fingerprint(), Bits);
   return Bits;
 }
 

@@ -14,7 +14,14 @@
 #ifndef MVEC_VECTORIZER_OPTIONS_H
 #define MVEC_VECTORIZER_OPTIONS_H
 
+#include <vector>
+
 namespace mvec {
+
+namespace cost {
+class CostModel;
+struct CostDecision;
+} // namespace cost
 
 struct VectorizerOptions {
   /// Insert transposes to reconcile row/column mismatches (Sec. 2.2).
@@ -35,6 +42,19 @@ struct VectorizerOptions {
   bool DistributeTransposes = false;
   /// Emit optimization remarks explaining decisions.
   bool EmitRemarks = false;
+  /// Profitability model (null = vectorize whenever legal, the paper's
+  /// behavior). When set, codegen estimates vectorized-vs-loop cost per
+  /// nest statement and keeps the loop when the loop is cheaper; the
+  /// mul-chain reassociation DP additionally ranks variants by modeled
+  /// kernel cost. The pointee must outlive every vectorization run using
+  /// these options; its fingerprint is mixed into optionsFingerprint so
+  /// all cache tiers stay calibration-consistent.
+  const cost::CostModel *Cost = nullptr;
+  /// When non-null, codegen appends one CostDecision per nest statement
+  /// (mvec_tool --explain-cost). Forces a NestCache bypass — decision
+  /// logs, like remarks, are per-run diagnostics a cache hit would
+  /// silently drop.
+  std::vector<cost::CostDecision> *CostLog = nullptr;
 };
 
 } // namespace mvec

@@ -423,6 +423,9 @@ VectorizeStats statsDelta(const VectorizeStats &Before,
   D.SequentialLoopsEmitted =
       After.SequentialLoopsEmitted - Before.SequentialLoopsEmitted;
   D.IneligibleNests = After.IneligibleNests - Before.IneligibleNests;
+  D.StmtsCostKept = After.StmtsCostKept - Before.StmtsCostKept;
+  D.NestsKeptLoop = After.NestsKeptLoop - Before.NestsKeptLoop;
+  D.VariantOverrides = After.VariantOverrides - Before.VariantOverrides;
   return D;
 }
 
@@ -433,6 +436,9 @@ void addStats(VectorizeStats &S, const VectorizeStats &Delta) {
   S.StmtsSequential += Delta.StmtsSequential;
   S.SequentialLoopsEmitted += Delta.SequentialLoopsEmitted;
   S.IneligibleNests += Delta.IneligibleNests;
+  S.StmtsCostKept += Delta.StmtsCostKept;
+  S.NestsKeptLoop += Delta.NestsKeptLoop;
+  S.VariantOverrides += Delta.VariantOverrides;
 }
 
 class VectorizerDriver {
@@ -681,6 +687,13 @@ std::optional<std::vector<StmtPtr>> VectorizerDriver::tryNest(ForStmt &Loop) {
   Stats.StmtsSequential += Result.SequentialStmts;
   if (Result.VectorizedStmts != 0)
     Stats.SequentialLoopsEmitted += Result.SequentialLoops;
+  // Cost decisions are counted even when the nest stays untouched below:
+  // "everything kept in loop form" is exactly the verdict the counters
+  // and daemon STATS need to surface.
+  Stats.StmtsCostKept += Result.CostKeptStmts;
+  Stats.VariantOverrides += Result.VariantOverrides;
+  if (Result.CostKeptStmts != 0)
+    ++Stats.NestsKeptLoop;
   if (Result.VectorizedStmts == 0)
     return std::nullopt; // nothing improved: keep the original loop untouched
 
@@ -702,9 +715,11 @@ void VectorizerDriver::processBody(std::vector<StmtPtr> &Body) {
       Guards.KnownDims.erase(Loop->indexSym());
 
       // The nest cache only serves top-level nests (inner nests see a
-      // recursion-dependent environment) and never runs under remarks:
-      // a replayed outcome cannot re-emit this run's source locations.
-      bool UseCache = NCache && Enclosing.empty() && !Opts.EmitRemarks;
+      // recursion-dependent environment) and never runs under remarks or
+      // a cost-decision log: a replayed outcome cannot re-emit this run's
+      // source locations or CostDecision records.
+      bool UseCache =
+          NCache && Enclosing.empty() && !Opts.EmitRemarks && !Opts.CostLog;
       std::string CacheKey;
       std::optional<std::vector<StmtPtr>> Replacement;
       bool Cached = false;

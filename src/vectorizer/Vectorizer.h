@@ -36,6 +36,14 @@ struct VectorizeStats {
   /// vectorization indicator).
   unsigned SequentialLoopsEmitted = 0;
   unsigned IneligibleNests = 0;
+  /// Statements a legal vectorization existed for but the cost model kept
+  /// in loop form (0 unless VectorizerOptions::Cost is set).
+  unsigned StmtsCostKept = 0;
+  /// Nests where the cost model kept at least one such statement.
+  unsigned NestsKeptLoop = 0;
+  /// Mul-chain associations where the cost model overrode the default
+  /// most-reductions-folded grouping in emitted code.
+  unsigned VariantOverrides = 0;
 };
 
 /// Vectorizes \p P under shape environment \p Env using pattern database

@@ -388,7 +388,14 @@ bool vm::execute(const CompiledProgram &P, Interpreter &Host) {
       }
       VM_CASE(Jump) : {
         NextIP = static_cast<size_t>(In->A);
-        VM_NEXT_NOFAIL();
+        // A backward jump is a loop back-edge; poll so a bodiless loop
+        // (whose body never reaches a Step) stays interruptible.
+        if (NextIP <= IP) {
+          Host.backEdgePoll(CurStmt);
+          VM_NEXT();
+        } else {
+          VM_NEXT_NOFAIL();
+        }
       }
       VM_CASE(JumpIfTrue) : {
         bool T = IsSca[In->A] ? Sca[In->A] != 0.0 : Regs[In->A].isTrue();
@@ -905,7 +912,8 @@ bool vm::execute(const CompiledProgram &P, Interpreter &Host) {
           }
           ++F.Col;
           NextIP = static_cast<size_t>(In->C);
-          VM_NEXT_NOFAIL();
+          Host.backEdgePoll(In->Loc);
+          VM_NEXT();
         }
         Host.restorePendingHints(F.HintsBefore);
         Regs[F.RangeReg] = Value();

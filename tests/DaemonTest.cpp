@@ -661,6 +661,56 @@ TEST(Daemon, ConfigVerbAppliesAndReportsFailuresAsJobOutcomes) {
   EXPECT_EQ(D.config().DeadlineMs, 2500u) << "no partial application";
 }
 
+TEST(DaemonConfigParse, CostModelKeys) {
+  DaemonConfig C;
+  C.CostModel = "on";
+  C.CostProfile = "/etc/mvec/costs.mvec.json";
+  DaemonConfig Back;
+  std::string Error;
+  ASSERT_TRUE(parseDaemonConfig(daemonConfigText(C), Back, Error)) << Error;
+  EXPECT_EQ(Back.CostModel, "on");
+  EXPECT_EQ(Back.CostProfile, "/etc/mvec/costs.mvec.json");
+  EXPECT_FALSE(parseDaemonConfig("cost_model = maybe\n", Back, Error))
+      << "only off|on are valid";
+}
+
+TEST(Daemon, CostModelReloadRebuildsTheFleetAndCountsDecisions) {
+  DaemonConfig C;
+  C.Shards = 1;
+  C.WorkersPerShard = 1;
+  Daemon D(C);
+  D.handle(vecRequest(script(7)));
+  ASSERT_EQ(D.handle(vecRequest(script(7))).CacheTier, "memory");
+
+  // Turning the model on re-fingerprints every cache key, so the fleet
+  // (and its warm caches) must be rebuilt, not reused.
+  DaemonConfig New = D.config();
+  New.CostModel = "on";
+  std::string Error;
+  ASSERT_TRUE(D.reload(New, Error)) << Error;
+  EXPECT_EQ(D.handle(vecRequest(script(7))).CacheTier, "none");
+
+  // A tiny-trip nest under a hot shell is kept in loop form; the
+  // decision shows up in the STATS counters.
+  Response Kept = D.handle(vecRequest("%! w(1,*) acc(1,*)\n"
+                                      "w = rand(1,2);\nacc = zeros(1,2);\n"
+                                      "for r = 1:100000\n"
+                                      "  for j = 1:2\n"
+                                      "    acc(j) = acc(j)*0.999 + w(j);\n"
+                                      "  end\n"
+                                      "end\n"));
+  EXPECT_EQ(Kept.Code, 200);
+  EXPECT_EQ(Kept.Status, "succeeded");
+
+  Request Stats;
+  Stats.V = Verb::Stats;
+  std::string Json = D.handle(Stats).Body;
+  // The two-deep nest is attempted at both levels, so the count is >= 1;
+  // only the zero value would mean the decision never surfaced.
+  EXPECT_NE(Json.find("\"nests_kept_loop\":"), std::string::npos) << Json;
+  EXPECT_EQ(Json.find("\"nests_kept_loop\":0"), std::string::npos) << Json;
+}
+
 TEST(Daemon, FastKnobReloadDoesNotRebuildTheFleet) {
   DaemonConfig C;
   C.Shards = 2;

@@ -327,6 +327,23 @@ TEST(DepAnalysisTest, AntiDependenceReversed) {
   EXPECT_TRUE(FoundAnti) << G.str();
 }
 
+TEST(DepAnalysisTest, NegativeStepFlowDirectionFollowsExecutionOrder) {
+  // Reverse loop: the iteration with value i runs BEFORE the one with
+  // value i-1, so the write x(i) precedes the read x(i+1) that aliases
+  // it and the carried edge is a Flow from S0 to S1. Orienting the
+  // strong-SIV direction in index-value space instead of execution
+  // order used to reverse this into an edge forcing S1 first, and loop
+  // distribution then emitted the reading loop before the write.
+  NestFixture F("%! x(1,*) y(1)\nfor i=n:-1:1\n x(i)=1;\n y=x(i+1);\nend");
+  DepGraph G = graphFor(F);
+  bool FoundFlow = false;
+  for (const DepEdge &E : G.Edges)
+    if (E.Src == 0 && E.Dst == 1 && E.Kind == DepKind::Flow)
+      FoundFlow = true;
+  EXPECT_TRUE(FoundFlow) << G.str();
+  EXPECT_EQ(countEdges(G, 1, 0), 0u) << G.str();
+}
+
 TEST(DepAnalysisTest, UnknownSubscriptIsConservative) {
   NestFixture F("%! x(1,*) k(1,*)\nfor i=1:n\n x(k(i))=x(i)+1;\nend");
   DepGraph G = graphFor(F);

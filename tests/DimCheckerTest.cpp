@@ -157,9 +157,17 @@ TEST(Table1Test, MatrixValuedSubscriptTakesSubscriptShape) {
   EXPECT_EQ(F.dims("v(M(i,j)+1)"), "(r1,r2)");
 }
 
-TEST(Table1Test, MatrixBaseLinearIndexTakesSubscriptShape) {
-  CheckFixture F(" M(*,*) v(1,*)");
-  EXPECT_EQ(F.dims("M(i)"), "(1,r1)");
+TEST(Table1Test, MatrixBaseVectorSliceRejected) {
+  // The paper's Table 1 gives M(e1) the subscript's shape, but a '*'
+  // extent admits 1: a runtime column vector orients M(1:n) along the
+  // base instead (fuzz counterexample: x=rand(n,1) under x(*,*) turned
+  // z(i)=x(i).*y(i) into a column slice stored to a row target). A
+  // scalar subscript stays orientation-free.
+  CheckFixture F(" M(*,*) v(1,*) s(1)");
+  EXPECT_EQ(F.dims("M(i)"),
+            "FAIL: vector slice of matrix-shaped 'M' has data-dependent "
+            "orientation");
+  EXPECT_EQ(F.dims("M(s)"), "(1,1)");
 }
 
 TEST(Table1Test, TwoSubscriptsUseFmax) {

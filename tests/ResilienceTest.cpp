@@ -281,8 +281,8 @@ TEST(DepthGuardTest, ParserSurvivesDeepStatementNesting) {
 }
 
 TEST(DepthGuardTest, ShallowNestingStillParses) {
-  std::string Source = "x = " + std::string(900, '(') + "1" +
-                       std::string(900, ')') + ";";
+  std::string Source = "x = " + std::string(200, '(') + "1" +
+                       std::string(200, ')') + ";";
   DiagnosticEngine Diags;
   ParseResult R = parseMatlab(Source, Diags);
   EXPECT_FALSE(Diags.hasErrors()) << Diags.str();

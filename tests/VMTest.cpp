@@ -385,6 +385,28 @@ TEST(VMParity, DeadlineInterrupt) {
   EXPECT_EQ(Ast.errorMessage(), Vm.errorMessage());
 }
 
+TEST(VMParity, BodilessLoopsHonorDeadline) {
+  // Neither body ever reaches a Step, so only the back-edge poll can
+  // interrupt these; both engines used to spin past any deadline.
+  for (const char *Source : {"while 1 > 0\nend\n", "for i = 1:2000000\nend\n"}) {
+    DiagnosticEngine Diags;
+    ParseResult R = parseMatlab(Source, Diags);
+    ASSERT_FALSE(Diags.hasErrors());
+    auto Past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+
+    Interpreter Ast;
+    Ast.setDeadline(Past);
+    EXPECT_FALSE(Ast.run(R.Prog)) << Source;
+    EXPECT_EQ(Ast.interruptKind(), Interpreter::InterruptKind::Deadline);
+
+    Interpreter Vm;
+    Vm.setDeadline(Past);
+    vm::CompiledProgram CP = vm::compileProgram(R.Prog, Source);
+    EXPECT_FALSE(vm::execute(CP, Vm)) << Source;
+    EXPECT_EQ(Vm.interruptKind(), Interpreter::InterruptKind::Deadline);
+  }
+}
+
 TEST(VMParity, CancelInterrupt) {
   const std::string Source = "s = 0;\nwhile 1 > 0\n  s = s + 1;\nend\n";
   DiagnosticEngine Diags;

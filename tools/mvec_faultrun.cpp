@@ -41,6 +41,10 @@
 ///                     sse41|avx2; MVEC_SIMD env is the default) — the
 ///                     campaign's deadline-poll and governor invariants
 ///                     must hold on the vector path too
+///   --cost-model M    profitability model during vectorization: off
+///                     (default) or on — the resilience contract must
+///                     hold regardless of which form each nest takes
+///   --cost-profile P  calibrated costs.mvec.json for --cost-model on
 ///   --no-chaos        skip the everything-armed plan
 ///   --json            machine-readable per-plan summary on stdout
 ///
@@ -49,6 +53,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cost/CostModel.h"
 #include "interp/simd/SimdDispatch.h"
 #include "resilience/FaultInjection.h"
 #include "service/VectorizationService.h"
@@ -60,6 +65,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -79,8 +85,10 @@ int usage(const char *Argv0) {
                "usage: %s --corpus DIR [--corpus DIR]... [--seed N] [--jobs N]\n"
                "       %*s [--sites a,b] [--kinds a,b] [--deadline-ms N]\n"
                "       %*s [--period N] [--engine ast|vm] [--simd LEVEL] "
-               "[--no-chaos] [--json]\n",
+               "[--cost-model off|on]\n"
+               "       %*s [--cost-profile FILE] [--no-chaos] [--json]\n",
                Argv0, static_cast<int>(std::strlen(Argv0)), "",
+               static_cast<int>(std::strlen(Argv0)), "",
                static_cast<int>(std::strlen(Argv0)), "");
   return 2;
 }
@@ -147,12 +155,14 @@ struct PlanTally {
 /// Runs every spec through a fresh service armed with \p Plan and checks
 /// the resilience contract on each result.
 PlanTally runPlan(const Campaign &C, const std::vector<JobSpec> &Specs,
-                  unsigned Jobs, unsigned DeadlineMs, ExecEngine Engine) {
+                  unsigned Jobs, unsigned DeadlineMs, ExecEngine Engine,
+                  const cost::CostModel *Cost) {
   ServiceConfig SC;
   SC.Workers = Jobs;
   SC.DefaultDeadline = std::chrono::milliseconds(DeadlineMs);
   SC.Faults = C.Plan.Rules.empty() ? nullptr : &C.Plan;
   SC.Engine = Engine;
+  SC.Cost = Cost;
   VectorizationService Service(SC);
 
   PlanTally T;
@@ -217,6 +227,8 @@ int main(int Argc, char **Argv) {
   unsigned DeadlineMs = 5000;
   unsigned Period = 1;
   ExecEngine Engine = ExecEngine::Ast;
+  bool CostOn = false;
+  std::string CostProfile;
   bool Chaos = true;
   bool Json = false;
   std::vector<std::string> Dirs;
@@ -255,6 +267,16 @@ int main(int Argc, char **Argv) {
         Engine = ExecEngine::Vm;
       else
         return usage(Argv[0]);
+    } else if (Arg == "--cost-model" && I + 1 != Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "off")
+        CostOn = false;
+      else if (Mode == "on")
+        CostOn = true;
+      else
+        return usage(Argv[0]);
+    } else if (Arg == "--cost-profile" && I + 1 != Argc) {
+      CostProfile = Argv[++I];
     } else if (simd::handleSimdFlag(Argc, Argv, I)) {
       // kernel dispatch configured (exits with status 2 on a bad level)
     } else if (Arg == "--no-chaos")
@@ -345,6 +367,15 @@ int main(int Argc, char **Argv) {
     Campaigns.push_back(std::move(C));
   }
 
+  std::unique_ptr<cost::CostModel> Cost;
+  if (CostOn) {
+    std::string Diag;
+    Cost = std::make_unique<cost::CostModel>(
+        cost::loadCostProfileOrDefault(CostProfile, Diag));
+    if (!Diag.empty())
+      std::fprintf(stderr, "mvec_faultrun: %s\n", Diag.c_str());
+  }
+
   auto Start = std::chrono::steady_clock::now();
   uint64_t TotalJobs = 0, TotalViolations = 0;
   if (Json)
@@ -355,7 +386,7 @@ int main(int Argc, char **Argv) {
       break;
     ++PlansRun;
     const Campaign &C = Campaigns[P];
-    PlanTally T = runPlan(C, Specs, Jobs, DeadlineMs, Engine);
+    PlanTally T = runPlan(C, Specs, Jobs, DeadlineMs, Engine, Cost.get());
     TotalJobs += Specs.size();
     TotalViolations += T.Violations.size();
     if (Json) {

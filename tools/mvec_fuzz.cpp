@@ -35,6 +35,11 @@
 ///   --engine E          execution tier: ast (default), vm, or both
 ///                       (both cross-checks the tree-walker against the
 ///                       bytecode VM on every program)
+///   --cost-model M      profitability model: off (default), on, or both
+///                       (both runs every candidate with the model off
+///                       and on and demands identical behaviour)
+///   --cost-profile P    calibrated costs.mvec.json for on/both (default:
+///                       the built-in conservative profile)
 ///   --simd LEVEL        pin the kernel dispatch level (auto|scalar|sse2|
 ///                       sse41|avx2; MVEC_SIMD env is the default)
 ///   --no-reduce         keep findings unminimized
@@ -44,6 +49,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cost/CostModel.h"
 #include "fuzz/Corpus.h"
 #include "interp/simd/SimdDispatch.h"
 #include "fuzz/Generator.h"
@@ -57,6 +63,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -78,10 +85,12 @@ int usage(const char *Argv0) {
       "usage: %s [--seed N] [--time SECONDS] [--max-programs N] [--jobs N]\n"
       "       %*s [--corpus DIR] [--deadline-ms N] [--max-steps N]\n"
       "       %*s [--mutate-percent P] [--engine ast|vm|both]\n"
+      "       %*s [--cost-model off|on|both] [--cost-profile FILE]\n"
       "       %*s [--simd LEVEL] [--no-reduce] [--save-new] [--stats]\n"
       "       %s --replay [--corpus DIR] [--jobs N] [--engine ast|vm|both]"
       " [--stats]\n",
       Argv0, static_cast<int>(std::strlen(Argv0)), "",
+      static_cast<int>(std::strlen(Argv0)), "",
       static_cast<int>(std::strlen(Argv0)), "",
       static_cast<int>(std::strlen(Argv0)), "", Argv0);
   return 2;
@@ -97,6 +106,8 @@ struct FuzzOptions {
   uint64_t MaxSteps = 2000000;
   int MutatePercent = 40;
   EngineMode Engine = EngineMode::Ast;
+  CostMode Cost = CostMode::Off;
+  std::string CostProfile;
   bool Reduce = true;
   bool SaveNew = false;
   bool Replay = false;
@@ -204,6 +215,18 @@ int main(int Argc, char **Argv) {
         Opt.Engine = EngineMode::Both;
       else
         return usage(Argv[0]);
+    } else if (Arg == "--cost-model" && I + 1 != Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "off")
+        Opt.Cost = CostMode::Off;
+      else if (Mode == "on")
+        Opt.Cost = CostMode::On;
+      else if (Mode == "both")
+        Opt.Cost = CostMode::Both;
+      else
+        return usage(Argv[0]);
+    } else if (Arg == "--cost-profile" && I + 1 != Argc) {
+      Opt.CostProfile = Argv[++I];
     } else if (simd::handleSimdFlag(Argc, Argv, I)) {
       // kernel dispatch configured (exits with status 2 on a bad level)
     } else if (Arg == "--no-reduce")
@@ -226,6 +249,16 @@ int main(int Argc, char **Argv) {
   OC.Deadline = std::chrono::milliseconds(Opt.DeadlineMs);
   OC.MaxSteps = Opt.MaxSteps;
   OC.Engine = Opt.Engine;
+  OC.Cost = Opt.Cost;
+  std::unique_ptr<cost::CostModel> Model;
+  if (Opt.Cost != CostMode::Off) {
+    std::string Diag;
+    Model = std::make_unique<cost::CostModel>(
+        cost::loadCostProfileOrDefault(Opt.CostProfile, Diag));
+    if (!Diag.empty())
+      std::fprintf(stderr, "mvec_fuzz: %s\n", Diag.c_str());
+    OC.Model = Model.get();
+  }
   Oracle O(OC);
 
   Corpus C(Opt.CorpusDir.empty() ? std::string("corpus") : Opt.CorpusDir);
