@@ -86,6 +86,26 @@ bool mvec::daemon::parseDaemonConfig(const std::string &Text,
       C.CostModel = Value;
     else if (Key == "cost_profile")
       C.CostProfile = Value;
+    else if (Key == "isolation" && (Value == "inproc" || Value == "process"))
+      C.Isolation = Value;
+    else if (Key == "worker_memory_mb" && parseUnsigned(Value, U) &&
+             U <= (size_t(1) << 20))
+      C.WorkerMemoryMB = U;
+    else if (Key == "worker_cpu_s" && parseUnsigned(Value, U) &&
+             U <= 24ull * 3600)
+      C.WorkerCpuSeconds = static_cast<unsigned>(U);
+    else if (Key == "heartbeat_interval_ms" && parseUnsigned(Value, U) &&
+             U >= 1 && U <= 60000)
+      C.HeartbeatIntervalMs = static_cast<unsigned>(U);
+    else if (Key == "heartbeat_timeout_ms" && parseUnsigned(Value, U) &&
+             U >= 1 && U <= 600000)
+      C.HeartbeatTimeoutMs = static_cast<unsigned>(U);
+    else if (Key == "quarantine_dir")
+      C.QuarantineDir = Value;
+    else if (Key == "sandbox_test_hooks" && (Value == "off" || Value == "on"))
+      C.SandboxTestHooks = Value == "on";
+    else if (Key == "max_frame_bytes" && parseUnsigned(Value, U) && U >= 4096)
+      C.MaxFrameBytes = U;
     else {
       Error = "line " + std::to_string(LineNo) + ": bad entry '" + T + "'";
       return false;
@@ -123,6 +143,15 @@ std::string mvec::daemon::daemonConfigText(const DaemonConfig &Config) {
       << "engine = " << Config.Engine << "\n"
       << "code_cache_capacity = " << Config.CodeCacheCapacity << "\n"
       << "cost_model = " << Config.CostModel << "\n"
-      << "cost_profile = " << Config.CostProfile << "\n";
+      << "cost_profile = " << Config.CostProfile << "\n"
+      << "isolation = " << Config.Isolation << "\n"
+      << "worker_memory_mb = " << Config.WorkerMemoryMB << "\n"
+      << "worker_cpu_s = " << Config.WorkerCpuSeconds << "\n"
+      << "heartbeat_interval_ms = " << Config.HeartbeatIntervalMs << "\n"
+      << "heartbeat_timeout_ms = " << Config.HeartbeatTimeoutMs << "\n"
+      << "quarantine_dir = " << Config.QuarantineDir << "\n"
+      << "sandbox_test_hooks = " << (Config.SandboxTestHooks ? "on" : "off")
+      << "\n"
+      << "max_frame_bytes = " << Config.MaxFrameBytes << "\n";
   return Out.str();
 }

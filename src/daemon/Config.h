@@ -72,6 +72,33 @@ struct DaemonConfig {
   /// malformed or stale file falls back to the defaults with a logged
   /// diagnostic; it never prevents startup.
   std::string CostProfile;
+  /// Shard execution placement: "inproc" runs each shard's service in
+  /// the daemon process (fastest); "process" runs it in forked sandbox
+  /// worker processes behind socketpairs (see src/sandbox/) so a worker
+  /// crash, OOM kill, or wedge never takes the daemon down.
+  /// Hot-reloadable; a change swaps in a fresh shard fleet.
+  std::string Isolation = "inproc";
+  /// RLIMIT_AS per sandbox worker in MiB (0 = unlimited; process
+  /// isolation only).
+  size_t WorkerMemoryMB = 512;
+  /// RLIMIT_CPU per sandbox worker in seconds, cumulative over the
+  /// worker's lifetime (0 = unlimited; process isolation only).
+  unsigned WorkerCpuSeconds = 0;
+  /// How often the sandbox supervisor PINGs idle workers.
+  unsigned HeartbeatIntervalMs = 250;
+  /// Silence budget before an idle worker is SIGKILLed; also the grace
+  /// added to a request's deadline before a busy worker counts as stuck.
+  unsigned HeartbeatTimeoutMs = 2000;
+  /// Where crash-inducing inputs are quarantined (empty disables).
+  std::string QuarantineDir = "corpus/quarantine";
+  /// Honor %!sandbox-* crash markers in request bodies (crash-campaign
+  /// hook; never enable in production).
+  bool SandboxTestHooks = false;
+  /// Transport frame-size ceiling: a request whose content-length
+  /// exceeds this is answered 400 and disconnected before its body is
+  /// buffered. Applied per connection at accept time (not retroactive
+  /// to connections already open across a reload).
+  size_t MaxFrameBytes = size_t(4) << 20;
   /// Fault-injection plan armed in every shard service (test hook; not
   /// settable from a config file). Must outlive the daemon.
   const FaultPlan *Faults = nullptr;

@@ -40,6 +40,35 @@ Daemon::~Daemon() {
 
 std::shared_ptr<Daemon::Fleet> Daemon::makeFleet(const DaemonConfig &C) const {
   auto F = std::make_shared<Fleet>();
+  if (C.Isolation == "process") {
+    // Each shard becomes a pool of forked workers; every worker builds
+    // its own service (and cost model) after the fork, so the parent
+    // fleet carries no in-process execution state at all.
+    sandbox::SandboxConfig SC;
+    SC.Workers = C.WorkersPerShard;
+    SC.CacheCapacity = C.CacheCapacity;
+    SC.NestCacheCapacity = C.NestCacheCapacity;
+    SC.CodeCacheCapacity = C.CodeCacheCapacity;
+    SC.Engine = C.Engine;
+    SC.CostModel = C.CostModel;
+    SC.CostProfile = C.CostProfile;
+    SC.StoreDir = C.StoreDir;
+    SC.StoreMaxBytes = C.StoreMaxBytes;
+    SC.DeadlineMs = C.DeadlineMs;
+    SC.MemoryLimitMB = C.WorkerMemoryMB;
+    SC.CpuLimitSeconds = C.WorkerCpuSeconds;
+    SC.HeartbeatIntervalMs = C.HeartbeatIntervalMs;
+    SC.HeartbeatTimeoutMs = C.HeartbeatTimeoutMs;
+    SC.QuarantineDir = C.QuarantineDir;
+    SC.TestHooks = C.SandboxTestHooks;
+    F->Shards.reserve(C.Shards);
+    for (unsigned I = 0; I != C.Shards; ++I) {
+      auto S = std::make_unique<Shard>();
+      S->Sandbox = std::make_unique<sandbox::SandboxPool>(SC);
+      F->Shards.push_back(std::move(S));
+    }
+    return F;
+  }
   if (C.CostModel == "on") {
     std::string Diag;
     F->Cost = std::make_unique<cost::CostModel>(
@@ -76,6 +105,20 @@ std::shared_ptr<Daemon::Fleet> Daemon::fleetSnapshot() const {
 unsigned Daemon::shardCount() const {
   auto F = fleetSnapshot();
   return F ? static_cast<unsigned>(F->Shards.size()) : 0;
+}
+
+std::vector<pid_t> Daemon::workerPids() const {
+  std::vector<pid_t> Out;
+  auto F = fleetSnapshot();
+  if (!F)
+    return Out;
+  for (const auto &S : F->Shards) {
+    if (!S->Sandbox)
+      continue;
+    std::vector<pid_t> Pids = S->Sandbox->workerPids();
+    Out.insert(Out.end(), Pids.begin(), Pids.end());
+  }
+  return Out;
 }
 
 DaemonConfig Daemon::config() const {
@@ -182,6 +225,22 @@ Response Daemon::handleVec(const Request &R) {
                                ShardIdx);
   }
 
+  if (S.Sandbox) {
+    // Forward the already-parsed frame to an isolated worker with the
+    // deadline resolved; any failure to get a response (crash, watchdog
+    // kill, breaker open) degrades — never a protocol error.
+    Request Fwd = R;
+    Fwd.DeadlineMs = ResolvedDeadline;
+    Response Resp;
+    std::string Why;
+    bool Ok = S.Sandbox->handle(Fwd, Key, Resp, Why);
+    S.InFlight.fetch_sub(1, std::memory_order_relaxed);
+    if (!Ok)
+      return degradedPassthrough(R, Why, ShardIdx);
+    Resp.Shard = ShardIdx;
+    return Resp;
+  }
+
   JobResult Result;
   try {
     Result = S.Service->submit(std::move(Spec)).get();
@@ -221,7 +280,17 @@ bool Daemon::reload(const DaemonConfig &New, std::string &Error) {
                       // A cost-model change re-fingerprints every cache
                       // key, so the memory tiers must be rebuilt anyway.
                       Applied.CostModel != Config.CostModel ||
-                      Applied.CostProfile != Config.CostProfile;
+                      Applied.CostProfile != Config.CostProfile ||
+                      // Isolation and the sandbox knobs are baked into
+                      // the worker processes at spawn time.
+                      Applied.Isolation != Config.Isolation ||
+                      Applied.WorkerMemoryMB != Config.WorkerMemoryMB ||
+                      Applied.WorkerCpuSeconds != Config.WorkerCpuSeconds ||
+                      Applied.HeartbeatIntervalMs !=
+                          Config.HeartbeatIntervalMs ||
+                      Applied.HeartbeatTimeoutMs != Config.HeartbeatTimeoutMs ||
+                      Applied.QuarantineDir != Config.QuarantineDir ||
+                      Applied.SandboxTestHooks != Config.SandboxTestHooks;
 
   if (FleetChanged) {
     // The old store must outlive the old fleet (its services hold a raw
@@ -291,6 +360,7 @@ std::string Daemon::metricsJson() const {
       << ",\"shed_qos\":" << ShedQos.load(std::memory_order_relaxed)
       << ",\"shed_queue\":" << ShedQueue.load(std::memory_order_relaxed)
       << ",\"reloads\":" << Reloads.load(std::memory_order_relaxed)
+      << ",\"isolation\":\"" << config().Isolation << "\""
       // One kernel table per process: the active ISA is daemon-wide, so
       // STATS surfaces it once at the top level (per-shard metrics repeat
       // the shared dispatch counters).
@@ -318,8 +388,15 @@ std::string Daemon::metricsJson() const {
       const Shard &S = *F->Shards[I];
       Out << (I ? "," : "") << "{\"shard\":" << I << ",\"queue_depth\":"
           << S.InFlight.load(std::memory_order_relaxed)
-          << ",\"shed_queue\":" << S.Shed.load(std::memory_order_relaxed)
-          << ",\"metrics\":" << S.Service->metrics().json() << "}";
+          << ",\"shed_queue\":" << S.Shed.load(std::memory_order_relaxed);
+      if (S.Sandbox) {
+        std::vector<pid_t> Pids = S.Sandbox->workerPids();
+        Out << ",\"worker_pids\":[";
+        for (size_t P = 0; P != Pids.size(); ++P)
+          Out << (P ? "," : "") << Pids[P];
+        Out << "]";
+      }
+      Out << ",\"metrics\":" << S.metrics().json() << "}";
     }
   }
   Out << "]}}";

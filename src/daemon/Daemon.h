@@ -38,6 +38,7 @@
 #include "daemon/DiskStore.h"
 #include "daemon/Protocol.h"
 #include "daemon/Qos.h"
+#include "sandbox/SandboxPool.h"
 #include "service/VectorizationService.h"
 
 #include <atomic>
@@ -85,6 +86,9 @@ public:
 
   const DiskStore *store() const { return Store.get(); }
   unsigned shardCount() const;
+  /// Live sandbox worker pids across every shard (empty with
+  /// isolation=inproc). Kill campaigns aim here.
+  std::vector<pid_t> workerPids() const;
   uint64_t shedQos() const { return ShedQos.load(std::memory_order_relaxed); }
   uint64_t shedQueue() const {
     return ShedQueue.load(std::memory_order_relaxed);
@@ -93,9 +97,18 @@ public:
 
 private:
   struct Shard {
+    /// Exactly one of these is set, per the fleet's isolation mode:
+    /// Service runs jobs in-process, Sandbox in forked workers.
     std::unique_ptr<VectorizationService> Service;
+    std::unique_ptr<sandbox::SandboxPool> Sandbox;
     std::atomic<uint64_t> InFlight{0};
     std::atomic<uint64_t> Shed{0};
+    ServiceMetrics &metrics() {
+      return Sandbox ? Sandbox->metrics() : Service->metrics();
+    }
+    const ServiceMetrics &metrics() const {
+      return Sandbox ? Sandbox->metrics() : Service->metrics();
+    }
   };
   struct Fleet {
     /// Cost model shared by every shard service of this fleet (null when

@@ -138,7 +138,7 @@ DiskStore::DiskStore(DiskStoreConfig Config) : Config(std::move(Config)) {
     if (P.extension() == ".mvr") {
       ++Count;
       Total += static_cast<uint64_t>(It->file_size(EC));
-    } else {
+    } else if (this->Config.SweepTmps) {
       fs::remove(P, EC);
     }
   }
@@ -201,8 +201,10 @@ void DiskStore::store(uint64_t Key, const JobResult &Result) {
       Existed = true;
       OldSize = static_cast<uint64_t>(fs::file_size(Path, EC));
     }
+    // Pid-qualified so processes sharing the directory (daemon +
+    // sandboxed workers) can never race on the same temp name.
     std::string TmpPath =
-        Path + ".tmp" +
+        Path + ".tmp" + std::to_string(::getpid()) + "_" +
         std::to_string(TmpCounter.fetch_add(1, std::memory_order_relaxed));
     if (!writeThenRename(TmpPath, Path, Data))
       return;

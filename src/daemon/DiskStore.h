@@ -52,6 +52,12 @@ struct DiskStoreConfig {
   /// Soft byte budget; when total payload bytes exceed it, the oldest
   /// entries (by mtime) are pruned to ~75% of the budget. 0 = unbounded.
   size_t MaxBytes = size_t(256) << 20;
+  /// Remove orphaned .tmp files on open. True for the first process to
+  /// open a directory (the daemon); false when a sandboxed worker opens
+  /// a store another process is already writing to — a sweep there
+  /// would delete a sibling's in-flight temp file. Tmp names are
+  /// pid-qualified, so skipping the sweep never causes collisions.
+  bool SweepTmps = true;
 };
 
 class DiskStore : public ResultStore {

@@ -205,9 +205,9 @@ FrameReader::Result FrameReader::next(Frame &Out, std::string &Error) {
     Error = "invalid content-length '" + LenStr + "'";
     return Result::Malformed;
   }
-  if (ContentLength > MaxBodyBytes) {
+  if (ContentLength > BodyLimit) {
     Poisoned = true;
-    Error = "body exceeds " + std::to_string(MaxBodyBytes) + " bytes";
+    Error = "body exceeds " + std::to_string(BodyLimit) + " bytes";
     return Result::Malformed;
   }
 

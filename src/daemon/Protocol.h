@@ -52,8 +52,12 @@
 namespace mvec {
 namespace daemon {
 
-/// Frame-size ceilings: a peer that blows these is answered 400 and
-/// disconnected before it can balloon server memory.
+/// Default frame-size ceilings: a peer that blows these is answered 400
+/// and disconnected before it can balloon server memory. FrameReader
+/// instances can tighten (or widen) the body limit per connection — see
+/// the `max_frame_bytes` daemon config key — and the content-length
+/// check fires *before* any body byte is buffered, so a hostile
+/// huge-length header costs at most MaxHeaderBytes of memory.
 constexpr size_t MaxHeaderBytes = 64 * 1024;
 constexpr size_t MaxBodyBytes = 16 * 1024 * 1024;
 
@@ -109,6 +113,12 @@ class FrameReader {
 public:
   enum class Result { NeedMore, Ready, Malformed };
 
+  FrameReader() = default;
+  /// A reader with a custom body-size ceiling (clamped to >= 1; the
+  /// header ceiling stays MaxHeaderBytes).
+  explicit FrameReader(size_t MaxFrameBytes)
+      : BodyLimit(MaxFrameBytes ? MaxFrameBytes : 1) {}
+
   /// A raw parsed frame: the start line split at spaces, the header list
   /// in arrival order, and the body.
   struct Frame {
@@ -131,8 +141,12 @@ public:
   /// Bytes buffered but not yet consumed by a complete frame.
   size_t pendingBytes() const { return Buffer.size(); }
 
+  /// The body-size ceiling in force for this reader.
+  size_t maxBodyBytes() const { return BodyLimit; }
+
 private:
   std::string Buffer;
+  size_t BodyLimit = MaxBodyBytes;
   bool Poisoned = false;
 };
 

@@ -6,6 +6,8 @@
 
 #include "daemon/Server.h"
 
+#include "support/Io.h"
+
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -75,7 +77,7 @@ void Server::run() {
     }
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
-      continue;
+      continue; // EINTR/transient accept errors: back to the poll.
     if (ActiveConnections.load(std::memory_order_relaxed) >=
         Config.MaxConnections) {
       Refused.fetch_add(1, std::memory_order_relaxed);
@@ -127,30 +129,31 @@ void Server::serveConnection(int Fd) {
   timeval Timeout{};
   Timeout.tv_usec = 250 * 1000;
   ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+  // Bound individual send() calls too, so the overall sendAll budget is
+  // enforced even mid-syscall; io::sendFull treats the EAGAIN ticks as
+  // poll points against its wall-clock deadline.
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Timeout, sizeof(Timeout));
   int One = 1;
   ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
 
-  auto sendAll = [Fd](const std::string &Data) {
-    size_t Off = 0;
-    while (Off < Data.size()) {
-      ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off,
-                         MSG_NOSIGNAL);
-      if (N <= 0)
-        return false;
-      Off += static_cast<size_t>(N);
-    }
-    return true;
+  // MSG_NOSIGNAL inside sendFull turns a dead peer into EPIPE rather
+  // than SIGPIPE, and the send budget keeps a slow-reading client from
+  // wedging this thread (it is disconnected instead).
+  int SendBudget = Config.SendTimeoutMs ? static_cast<int>(Config.SendTimeoutMs)
+                                        : -1;
+  auto sendAll = [Fd, SendBudget](const std::string &Data) {
+    return io::sendFull(Fd, Data.data(), Data.size(), SendBudget);
   };
 
-  FrameReader Reader;
+  FrameReader Reader(Config.MaxFrameBytes);
   char Buf[64 * 1024];
   bool Alive = true;
   while (Alive && !StopFlag.load(std::memory_order_relaxed)) {
-    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    ssize_t N = io::recvSome(Fd, Buf, sizeof(Buf));
     if (N == 0)
       break; // peer closed
     if (N < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
         continue; // timeout tick: re-check StopFlag
       break;
     }

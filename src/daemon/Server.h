@@ -44,6 +44,16 @@ struct ServerConfig {
   /// Concurrent connections beyond this are accepted and immediately
   /// closed (the client sees EOF and retries elsewhere/later).
   unsigned MaxConnections = 128;
+  /// Per-connection frame-size ceiling (FrameReader body limit): a
+  /// request announcing a bigger content-length is answered 400 and
+  /// disconnected before its body is buffered. mvecd wires the
+  /// `max_frame_bytes` config key here at boot.
+  size_t MaxFrameBytes = MaxBodyBytes;
+  /// Wall-clock budget for writing one response. A client that stops
+  /// reading (dead, or maliciously slow) blocks the send once the
+  /// socket buffer fills; past this budget the connection is dropped so
+  /// it cannot wedge a handler thread forever. 0 = no limit.
+  unsigned SendTimeoutMs = 10000;
 };
 
 class Server {

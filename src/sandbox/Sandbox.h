@@ -1,0 +1,127 @@
+//===- Sandbox.h - Process-isolation types ----------------------*- C++ -*-===//
+//
+// Part of the mvec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared types for `mvec::sandbox`, the daemon's crash-containment
+/// layer. With `isolation = process`, each shard's VectorizationService
+/// runs in forked worker processes behind AF_UNIX socketpairs speaking
+/// the ordinary MVEC/1 frame protocol; the parent keeps only a
+/// supervisor (SandboxPool) that forwards requests, watches heartbeats,
+/// classifies deaths, quarantines crash-inducing inputs, and respawns
+/// workers with jittered backoff. A genuine SIGSEGV, OOM kill, or
+/// infinite loop then costs one worker process — never the daemon.
+///
+/// Failure taxonomy (WorkerFailure): every way a worker can stop serving
+/// is classified so metrics, quarantine headers, and logs agree on
+/// vocabulary:
+///
+///   clean-exit        exited 0 (EOF from the parent, SHUTDOWN frame)
+///   exit-error        exited nonzero (unexpected; treated as a crash)
+///   crash             died on a signal other than SIGKILL (SIGSEGV,
+///                     SIGABRT from an assert or unhandled exception,
+///                     SIGXCPU past RLIMIT_CPU, ...)
+///   oom-kill          died on SIGKILL: the kernel OOM killer, or an
+///                     operator/chaos campaign. Indistinguishable from
+///                     the parent's side — both mean "gone, not my
+///                     doing" — so they share a class.
+///   watchdog-timeout  the parent SIGKILLed it: a request exceeded its
+///                     deadline + grace, or an idle worker stopped
+///                     answering PINGs
+///   protocol-error    the worker wrote bytes that do not parse as a
+///                     MVEC/1 response (memory corruption survived long
+///                     enough to babble); killed and respawned
+///   spawn-failed      fork/socketpair failed; retried with backoff
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MVEC_SANDBOX_SANDBOX_H
+#define MVEC_SANDBOX_SANDBOX_H
+
+#include "resilience/Backoff.h"
+#include "resilience/CircuitBreaker.h"
+
+#include <cstddef>
+#include <string>
+
+namespace mvec {
+namespace sandbox {
+
+enum class WorkerFailure {
+  CleanExit,
+  ExitError,
+  Crash,
+  OomKill,
+  WatchdogTimeout,
+  ProtocolError,
+  SpawnFailed,
+};
+
+const char *workerFailureName(WorkerFailure F);
+
+struct SandboxConfig {
+  /// Worker processes in the pool (one shard's worth; clamped >= 1).
+  unsigned Workers = 2;
+
+  // --- The service each worker runs (mirrors the shard's in-process
+  // ServiceConfig; see Daemon::makeFleet) ---
+  size_t CacheCapacity = 512;
+  size_t NestCacheCapacity = 1024;
+  size_t CodeCacheCapacity = 64;
+  std::string Engine = "ast"; ///< "ast" or "vm"
+  std::string CostModel = "off";
+  std::string CostProfile;
+  /// Directory of the shared DiskStore; each worker opens its own handle
+  /// with SweepTmps=false (rename(2) atomicity makes concurrent writers
+  /// safe; pid-qualified tmp names make them collision-free). Empty =
+  /// memory tiers only.
+  std::string StoreDir;
+  size_t StoreMaxBytes = size_t(256) << 20;
+  /// Default per-job deadline applied inside the worker when a request
+  /// carries none.
+  unsigned DeadlineMs = 10000;
+
+  // --- Containment ---
+  /// RLIMIT_AS per worker in MiB (0 = unlimited). Exhaustion surfaces as
+  /// bad_alloc inside the worker (folded into a failed/degraded job
+  /// result, or an abort if it strikes outside the service) — the
+  /// kernel OOM killer path is SIGKILL and classified oom-kill.
+  size_t MemoryLimitMB = 0;
+  /// RLIMIT_CPU per worker in seconds, cumulative over the worker's
+  /// lifetime (0 = unlimited). Exceeding it delivers SIGXCPU.
+  unsigned CpuLimitSeconds = 0;
+  /// How often the supervisor PINGs idle workers.
+  unsigned HeartbeatIntervalMs = 250;
+  /// An idle worker that does not answer a PING within this budget is
+  /// SIGKILLed; also the grace added on top of a request's deadline
+  /// before a busy worker is declared stuck.
+  unsigned HeartbeatTimeoutMs = 2000;
+  /// Where crash-inducing inputs are written (empty disables
+  /// quarantine). See Quarantine.h for the file format.
+  std::string QuarantineDir = "corpus/quarantine";
+  /// Honor `%!sandbox-crash` / `%!sandbox-spin` / `%!sandbox-oom`
+  /// markers in request bodies (crash-campaign hook; never set in
+  /// production configurations).
+  bool TestHooks = false;
+  /// Backoff between respawn attempts of one worker slot; the retry
+  /// number is the slot's consecutive-failure streak, so a crash-looping
+  /// slot backs off exponentially while a one-off crash respawns almost
+  /// immediately.
+  RetryPolicy Respawn{/*MaxAttempts=*/3,
+                      /*InitialBackoff=*/std::chrono::milliseconds(20),
+                      /*Multiplier=*/2.0, /*Jitter=*/0.5,
+                      /*MaxBackoff=*/std::chrono::milliseconds(2000)};
+  /// Crash-loop breaker: consecutive worker deaths trip it Open and the
+  /// pool sheds requests (the daemon answers degraded passthrough)
+  /// until the cooldown elapses. FailureThreshold 0 disables.
+  BreakerConfig CrashLoop{/*FailureThreshold=*/8,
+                          /*Cooldown=*/std::chrono::milliseconds(2000),
+                          /*HalfOpenProbes=*/1};
+};
+
+} // namespace sandbox
+} // namespace mvec
+
+#endif // MVEC_SANDBOX_SANDBOX_H

@@ -92,7 +92,12 @@ std::string ServiceMetrics::text() const {
       << " code_cache_misses=" << CodeCacheMisses.load() << "\n"
       << "  cost: nests_vectorized=" << NestsVectorized.load()
       << " nests_kept_loop=" << NestsKeptLoop.load()
-      << " variant_overrides=" << VariantOverrides.load() << "\n";
+      << " variant_overrides=" << VariantOverrides.load() << "\n"
+      << "  sandbox: crashes=" << SandboxCrashes.load()
+      << " respawns=" << SandboxRespawns.load()
+      << " watchdog_kills=" << SandboxWatchdogKills.load()
+      << " quarantined=" << SandboxQuarantined.load()
+      << " breaker_shed=" << SandboxBreakerShed.load() << "\n";
   // Dispatch state is process-global (one kernel table per process), so
   // every service in the process reports the same tier and shares one set
   // of counters; it still answers "which ISA actually served my traffic".
@@ -131,7 +136,12 @@ std::string ServiceMetrics::json() const {
       << ",\"code_cache_misses\":" << CodeCacheMisses.load()
       << "},\"cost\":{\"nests_vectorized\":" << NestsVectorized.load()
       << ",\"nests_kept_loop\":" << NestsKeptLoop.load()
-      << ",\"variant_overrides\":" << VariantOverrides.load() << "},";
+      << ",\"variant_overrides\":" << VariantOverrides.load()
+      << "},\"sandbox\":{\"crashes\":" << SandboxCrashes.load()
+      << ",\"respawns\":" << SandboxRespawns.load()
+      << ",\"watchdog_kills\":" << SandboxWatchdogKills.load()
+      << ",\"quarantined\":" << SandboxQuarantined.load()
+      << ",\"breaker_shed\":" << SandboxBreakerShed.load() << "},";
   const simd::DispatchCounters &D = simd::dispatchCounters();
   Out << "\"simd\":{\"isa\":\"" << simd::levelName(simd::activeLevel())
       << "\",\"dispatch\":{\"elementwise\":" << D.Elementwise.load()

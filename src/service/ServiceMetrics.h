@@ -95,6 +95,18 @@ struct ServiceMetrics {
   std::atomic<uint64_t> NestsVectorized{0};
   std::atomic<uint64_t> NestsKeptLoop{0};
   std::atomic<uint64_t> VariantOverrides{0};
+  /// Sandbox supervisor counters (only move for process-isolated shards,
+  /// where this registry belongs to a sandbox::SandboxPool): worker
+  /// processes that died unexpectedly (signal, OOM kill, nonzero exit),
+  /// workers respawned after a death, workers SIGKILLed by the watchdog
+  /// (stuck past their deadline or missed heartbeats), crash-inducing
+  /// inputs written to the quarantine directory, and requests shed
+  /// because the crash-loop breaker was open.
+  std::atomic<uint64_t> SandboxCrashes{0};
+  std::atomic<uint64_t> SandboxRespawns{0};
+  std::atomic<uint64_t> SandboxWatchdogKills{0};
+  std::atomic<uint64_t> SandboxQuarantined{0};
+  std::atomic<uint64_t> SandboxBreakerShed{0};
 
   LatencyHistogram QueueLatency;     ///< submission -> worker pickup
   LatencyHistogram VectorizeLatency; ///< parse+infer+vectorize stage

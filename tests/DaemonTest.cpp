@@ -232,6 +232,35 @@ TEST(Protocol, MalformedFramesPoisonTheReader) {
   }
 }
 
+// A hostile header announcing a huge body must be rejected from the
+// length header alone — before any body bytes are buffered — and the
+// ceiling must be configurable per reader (the server wires the
+// `max_frame_bytes` config key here).
+TEST(Protocol, ConfigurableFrameSizeLimitRejectsHugeLengthHeader) {
+  FrameReader Tight(4096);
+  EXPECT_EQ(Tight.maxBodyBytes(), 4096u);
+  // Feed ONLY the header block: the reader must refuse without ever
+  // seeing (or allocating for) the announced 64 MiB body.
+  Tight.feed("MVEC/1 VEC\ncontent-length: 67108864\n\n");
+  FrameReader::Frame Frame;
+  std::string Error;
+  EXPECT_EQ(Tight.next(Frame, Error), FrameReader::Result::Malformed);
+  EXPECT_NE(Error.find("exceeds"), std::string::npos) << Error;
+
+  // At the limit is fine; one byte over is not.
+  FrameReader AtLimit(8);
+  AtLimit.feed("MVEC/1 VEC\ncontent-length: 8\n\n12345678");
+  EXPECT_EQ(AtLimit.next(Frame, Error), FrameReader::Result::Ready) << Error;
+  EXPECT_EQ(Frame.Body, "12345678");
+  FrameReader OverLimit(8);
+  OverLimit.feed("MVEC/1 VEC\ncontent-length: 9\n\n123456789");
+  EXPECT_EQ(OverLimit.next(Frame, Error), FrameReader::Result::Malformed);
+
+  // The default-constructed reader keeps the protocol-wide ceiling.
+  FrameReader Default;
+  EXPECT_EQ(Default.maxBodyBytes(), MaxBodyBytes);
+}
+
 TEST(Protocol, UnknownVerbIsRejectedAtRequestLevel) {
   FrameReader Reader;
   Reader.feed("MVEC/1 FROB\ncontent-length: 0\n\n");
@@ -399,6 +428,43 @@ TEST(DiskStore, ConcurrentPutGetChurn) {
   for (std::thread &T : Pool)
     T.join();
   EXPECT_EQ(Store.corruptDropped(), 0u);
+}
+
+// Prune racing live churn: a budget small enough that nearly every store
+// triggers a prune, with concurrent writers and readers hammering
+// overlapping keys. Nothing may crash, no entry may be served torn, and
+// a reopened store must agree with the on-disk reality.
+TEST(DiskStore, PruneRacesConcurrentChurnSafely) {
+  ScratchDir Scratch("prunechurn");
+  std::string Payload(512, 'q');
+  {
+    DiskStore Store(DiskStoreConfig{Scratch.path(), 4096});
+    constexpr int Threads = 8, Ops = 150;
+    std::vector<std::thread> Pool;
+    for (int T = 0; T != Threads; ++T) {
+      Pool.emplace_back([&, T] {
+        for (int I = 0; I != Ops; ++I) {
+          uint64_t Key = static_cast<uint64_t>((T * 31 + I) % 59);
+          if (I % 2 == 0)
+            Store.store(Key, successResult(Payload));
+          else if (auto R = Store.load(Key))
+            EXPECT_EQ(R->VectorizedSource, Payload)
+                << "a pruned-or-present entry must never be torn";
+        }
+      });
+    }
+    for (std::thread &T : Pool)
+      T.join();
+    EXPECT_EQ(Store.corruptDropped(), 0u);
+    EXPECT_LT(Store.payloadBytes(), 4096u + Payload.size());
+  }
+  // The survivor set reloads cleanly.
+  DiskStore Reopened(DiskStoreConfig{Scratch.path(), 4096});
+  EXPECT_EQ(Reopened.corruptDropped(), 0u);
+  for (uint64_t Key = 0; Key != 59; ++Key)
+    if (auto R = Reopened.load(Key))
+      EXPECT_EQ(R->VectorizedSource, Payload);
+  EXPECT_EQ(Reopened.corruptDropped(), 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -878,6 +944,84 @@ TEST(Server, MalformedFrameGets400AndDisconnect) {
   }
   S.stop();
   Loop.join();
+}
+
+// The transport honors the configured frame ceiling: a client whose
+// length header announces more than max_frame_bytes is answered 400 and
+// disconnected — before it transmits (or the server buffers) the body.
+TEST(Server, OversizeLengthHeaderGets400AndDisconnect) {
+  DaemonConfig C;
+  C.Shards = 1;
+  C.WorkersPerShard = 1;
+  Daemon D(C);
+  ServerConfig SC;
+  SC.MaxFrameBytes = 4096;
+  Server S(D, SC);
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+  std::thread Loop([&] { S.run(); });
+  {
+    TestClient Client;
+    ASSERT_TRUE(Client.connect(S.port()));
+    // Header only; the megabyte body is never sent.
+    ASSERT_TRUE(Client.sendRaw("MVEC/1 VEC\ncontent-length: 1048576\n\n"));
+    std::string Reply = Client.drain(); // 400, then the server closes.
+    EXPECT_NE(Reply.find("MVEC/1 400"), std::string::npos) << Reply;
+    EXPECT_NE(Reply.find("exceeds"), std::string::npos) << Reply;
+  }
+  S.stop();
+  Loop.join();
+}
+
+// A client that vanishes (or stops reading) mid-response must cost the
+// server one connection, not one wedged handler thread. The response is
+// made large enough to overflow the socket buffers so the send genuinely
+// blocks, and the SendTimeoutMs budget must unblock it.
+TEST(Server, DeadClientMidResponseDoesNotWedgeTheServer) {
+  DaemonConfig C;
+  C.Shards = 1;
+  C.WorkersPerShard = 1;
+  C.TenantRate = 0.001; // Second request from the tenant is shed ...
+  C.TenantBurst = 1;    // ... into passthrough, echoing the big body.
+  Daemon D(C);
+  ServerConfig SC;
+  SC.SendTimeoutMs = 600;
+  Server S(D, SC);
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+  std::thread Loop([&] { S.run(); });
+
+  std::string Huge = "% filler\n" + std::string(6 << 20, 'x');
+  {
+    // Client one: reads its first (small) response, then sends a request
+    // whose degraded passthrough echoes ~6 MiB back — and never reads a
+    // byte of it. The server must give up within the send budget.
+    TestClient Stalled;
+    ASSERT_TRUE(Stalled.connect(S.port()));
+    Response Resp;
+    ASSERT_TRUE(Stalled.roundTrip(vecRequest(script(8), "wedge"), Resp));
+    ASSERT_TRUE(Stalled.sendRaw(serializeRequest(vecRequest(Huge, "wedge"))));
+
+    // Client two: disconnects immediately after sending (EPIPE path).
+    {
+      TestClient Vanisher;
+      ASSERT_TRUE(Vanisher.connect(S.port()));
+      ASSERT_TRUE(
+          Vanisher.sendRaw(serializeRequest(vecRequest(Huge, "wedge"))));
+    } // Destructor closes the socket with the response unread.
+
+    // A healthy client is still served while the other two fail.
+    TestClient Healthy;
+    ASSERT_TRUE(Healthy.connect(S.port()));
+    ASSERT_TRUE(Healthy.roundTrip(vecRequest(script(8), "ok"), Resp));
+    EXPECT_EQ(Resp.Code, 200);
+  }
+  // The real assertion: stop() drains every handler thread, including
+  // the two stuck in doomed sends. A wedged thread hangs the join (and
+  // the test run), which is exactly the regression this guards.
+  S.stop();
+  Loop.join();
+  SUCCEED();
 }
 
 TEST(Server, ShutdownVerbEndsTheAcceptLoop) {

@@ -18,6 +18,9 @@
 ///   --store DIR         disk store directory (overrides the config file)
 ///   --shards N          shard count (overrides the config file)
 ///   --workers N         worker threads per shard (overrides the config file)
+///   --isolation MODE    inproc | process (overrides the config file):
+///                       process runs each shard's workers as forked,
+///                       rlimit-capped, supervised sandbox processes
 ///   --print-config      dump the effective config and exit
 ///
 /// On boot the effective port is announced on stdout as
@@ -53,7 +56,7 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--bind ADDR] [--config FILE]\n"
                "       %*s [--store DIR] [--shards N] [--workers N]\n"
-               "       %*s [--print-config]\n",
+               "       %*s [--isolation inproc|process] [--print-config]\n",
                Argv0, static_cast<int>(std::strlen(Argv0)), "",
                static_cast<int>(std::strlen(Argv0)), "");
   return 2;
@@ -66,6 +69,7 @@ int main(int Argc, char **Argv) {
   std::string Bind = "127.0.0.1";
   std::string ConfigFile;
   std::string StoreOverride;
+  std::string IsolationOverride;
   unsigned ShardsOverride = 0, WorkersOverride = 0;
   bool PrintConfig = false;
 
@@ -90,6 +94,10 @@ int main(int Argc, char **Argv) {
       ShardsOverride = static_cast<unsigned>(Value);
     else if (Arg == "--workers" && NextValue(Value) && Value >= 1)
       WorkersOverride = static_cast<unsigned>(Value);
+    else if (Arg == "--isolation" && I + 1 != Argc &&
+             (std::string(Argv[I + 1]) == "inproc" ||
+              std::string(Argv[I + 1]) == "process"))
+      IsolationOverride = Argv[++I];
     else if (Arg == "--print-config")
       PrintConfig = true;
     else
@@ -110,6 +118,8 @@ int main(int Argc, char **Argv) {
     Config.Shards = ShardsOverride;
   if (WorkersOverride)
     Config.WorkersPerShard = WorkersOverride;
+  if (!IsolationOverride.empty())
+    Config.Isolation = IsolationOverride;
 
   if (PrintConfig) {
     std::fputs(daemonConfigText(Config).c_str(), stdout);
@@ -126,6 +136,7 @@ int main(int Argc, char **Argv) {
     ServerConfig SC;
     SC.BindAddress = Bind;
     SC.Port = Port;
+    SC.MaxFrameBytes = Config.MaxFrameBytes;
     Server S(D, SC);
     std::string Error;
     if (!S.start(Error)) {
@@ -134,8 +145,9 @@ int main(int Argc, char **Argv) {
     }
     // CI parses this line; keep its shape stable.
     std::printf("mvecd: listening on %s:%u\n", Bind.c_str(), S.port());
-    std::printf("mvecd: %u shard(s) x %u worker(s), store %s\n",
+    std::printf("mvecd: %u shard(s) x %u worker(s), isolation %s, store %s\n",
                 D.shardCount(), Config.WorkersPerShard,
+                Config.Isolation.c_str(),
                 Config.StoreDir.empty() ? "(none)"
                                         : Config.StoreDir.c_str());
     std::fflush(stdout);
